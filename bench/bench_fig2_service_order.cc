@@ -1,0 +1,142 @@
+// Experiment E1 — Figure 2 (§3.1): the service order of GPS, WFQ, WF²Q and
+// WF²Q+ on the paper's worked example. 11 sessions on a unit link; session
+// 1 (share 0.5) sends 11 back-to-back unit packets at t=0; sessions 2..11
+// (share 0.05) send one each.
+//
+// Prints the timelines the figure draws, and checks the paper's exact
+// claims: GPS finish times (2k / 21 / 20), WFQ's burst of 10 followed by
+// starvation, WF²Q's/WF²Q+'s interleaving, and the N/2-packet inaccuracy
+// of WFQ versus GPS at t=10.
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/wf2qplus.h"
+#include "fluid/gps.h"
+#include "net/scheduler.h"
+#include "sched/wf2q.h"
+#include "sched/wfq.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+
+namespace hfq::bench {
+namespace {
+
+constexpr double kRate = 8.0;  // 8 bps, 1-byte packets → 1 s slots
+
+template <typename Sched>
+std::vector<net::FlowId> service_order(Sched& s) {
+  s.add_flow(0, 4.0);
+  for (net::FlowId j = 1; j <= 10; ++j) s.add_flow(j, 0.4);
+  sim::Simulator sim;
+  sim::Link link(sim, s, kRate);
+  std::vector<net::FlowId> order;
+  link.set_delivery(
+      [&order](const net::Packet& p, net::Time) { order.push_back(p.flow); });
+  sim.at(0.0, [&] {
+    std::uint64_t id = 0;
+    for (int k = 0; k < 11; ++k) {
+      net::Packet p;
+      p.flow = 0;
+      p.size_bytes = 1;
+      p.id = id++;
+      link.submit(p);
+    }
+    for (net::FlowId j = 1; j <= 10; ++j) {
+      net::Packet p;
+      p.flow = j;
+      p.size_bytes = 1;
+      p.id = id++;
+      link.submit(p);
+    }
+  });
+  sim.run();
+  return order;
+}
+
+std::string timeline(const std::vector<net::FlowId>& order) {
+  std::ostringstream os;
+  for (const auto f : order) {
+    if (f == 0) {
+      os << " s1 ";
+    } else {
+      os << " s" << (f + 1) << (f + 1 < 10 ? " " : "");
+    }
+  }
+  return os.str();
+}
+
+int run() {
+  std::cout << "== Figure 2: WFQ vs WF2Q vs WF2Q+ service order ==\n";
+
+  // GPS fluid finish times.
+  fluid::GpsServer<double> gps(kRate);
+  gps.add_flow(0, 4.0);
+  for (net::FlowId j = 1; j <= 10; ++j) gps.add_flow(j, 0.4);
+  for (int k = 0; k < 11; ++k) gps.arrive(0.0, 0, 8.0);
+  for (net::FlowId j = 1; j <= 10; ++j) gps.arrive(0.0, j, 8.0);
+  gps.advance_to(30.0);
+  std::cout << "GPS finish times, session 1 packets:";
+  std::vector<double> s1;
+  for (const auto& d : gps.departures()) {
+    if (d.flow == 0) s1.push_back(d.time);
+  }
+  for (const auto t : s1) std::cout << ' ' << fmt(t, 2);
+  std::cout << "\nGPS finish time, each other session's packet: 20.00\n\n";
+
+  sched::Wfq wfq(kRate);
+  sched::Wf2q wf2q(kRate);
+  core::Wf2qPlus wf2qp(kRate);
+  const auto o_wfq = service_order(wfq);
+  const auto o_wf2q = service_order(wf2q);
+  const auto o_wf2qp = service_order(wf2qp);
+
+  std::cout << "WFQ   :" << timeline(o_wfq) << '\n';
+  std::cout << "WF2Q  :" << timeline(o_wf2q) << '\n';
+  std::cout << "WF2Q+ :" << timeline(o_wf2qp) << "\n\n";
+
+  // Paper claims.
+  bool ok = true;
+  // GPS: finish 2k for k=1..10, 21 for the 11th.
+  for (int k = 1; k <= 10; ++k) {
+    ok = ok && std::abs(s1[k - 1] - 2.0 * k) < 1e-6;
+  }
+  ok = ok && std::abs(s1[10] - 21.0) < 1e-6;
+  // WFQ: first ten departures all session 1, session 1's last packet
+  // departs last.
+  for (int i = 0; i < 10; ++i) ok = ok && o_wfq[i] == 0;
+  ok = ok && o_wfq.back() == 0;
+  // WF²Q/WF²Q+: session 1 exactly every other slot.
+  for (int i = 0; i < 21; ++i) {
+    ok = ok && (o_wf2q[i] == 0) == (i % 2 == 0);
+    ok = ok && (o_wf2qp[i] == 0) == (i % 2 == 0);
+  }
+
+  Table t({"policy", "s1 pkts served by t=10", "inaccuracy vs GPS (pkts)"});
+  auto count10 = [](const std::vector<net::FlowId>& o) {
+    int n = 0;
+    for (int i = 0; i < 10; ++i) n += (o[i] == 0) ? 1 : 0;
+    return n;
+  };
+  const int gps10 = 5;  // GPS serves 5 session-1 packets by t=10
+  t.row({"GPS (fluid)", "5", "0"});
+  t.row({"WFQ", std::to_string(count10(o_wfq)),
+         std::to_string(count10(o_wfq) - gps10)});
+  t.row({"WF2Q", std::to_string(count10(o_wf2q)),
+         std::to_string(count10(o_wf2q) - gps10)});
+  t.row({"WF2Q+", std::to_string(count10(o_wf2qp)),
+         std::to_string(count10(o_wf2qp) - gps10)});
+  t.print();
+
+  std::cout << "exactness check (paper's Fig. 2 timelines): "
+            << (ok ? "OK" : "FAILED") << "\n\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hfq::bench
+
+int main() { return hfq::bench::run(); }

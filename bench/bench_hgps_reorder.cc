@@ -1,0 +1,76 @@
+// Experiment E2 — the Section 2.2 H-GPS example: the relative fluid finish
+// order of two sessions' packets changes when a third session becomes
+// active, which is why no single virtual time function can drive a packet
+// approximation of H-GPS (the paper's motivation for building H-PFQ out of
+// per-node PFQ servers).
+//
+// Tree: root{A:0.8{A1:0.75, A2:0.05}, B:0.2}, link rate 1, unit packets.
+// A2 and B heavily backlogged at t=0; A1 idle, then (second run) A1 becomes
+// backlogged at t=1.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "fluid/hgps.h"
+
+namespace hfq::bench {
+namespace {
+
+struct Run {
+  std::vector<double> a2;
+  std::vector<double> b;
+};
+
+Run simulate(bool a1_arrives) {
+  fluid::HgpsServer<double> h(1.0);
+  const auto a = h.add_node(h.root(), 0.8);
+  const auto a1 = h.add_node(a, 0.75);
+  const auto a2 = h.add_node(a, 0.05);
+  const auto b = h.add_node(h.root(), 0.2);
+  for (int k = 0; k < 16; ++k) h.arrive(0.0, a2, 1.0);
+  for (int k = 0; k < 20; ++k) h.arrive(0.0, b, 1.0);
+  if (a1_arrives) {
+    for (int k = 0; k < 60; ++k) h.arrive(1.0, a1, 1.0);
+  }
+  h.advance_to(60.0);
+  Run out;
+  for (const auto& d : h.departures()) {
+    if (d.flow == a2) out.a2.push_back(d.time);
+    if (d.flow == b) out.b.push_back(d.time);
+  }
+  return out;
+}
+
+int run() {
+  std::cout << "== Section 2.2: H-GPS finish-order flip ==\n";
+  const Run base = simulate(false);
+  const Run flip = simulate(true);
+
+  Table t({"packet", "finish (A1 idle)", "finish (A1 active from t=1)"});
+  for (int k = 0; k < 3; ++k) {
+    t.row({"A2 #" + std::to_string(k + 1), fmt(base.a2[k], 2),
+           fmt(flip.a2[k], 2)});
+  }
+  for (int k = 0; k < 4; ++k) {
+    t.row({"B  #" + std::to_string(k + 1), fmt(base.b[k], 2),
+           fmt(flip.b[k], 2)});
+  }
+  t.print();
+
+  // The paper's point: B's finishes are unchanged; A2's packets leapfrog
+  // from "before B's" to "after all of B's shown here".
+  bool ok = true;
+  for (int k = 0; k < 4; ++k) ok = ok && std::abs(flip.b[k] - base.b[k]) < 1e-6;
+  ok = ok && base.a2[1] < base.b[0];  // before: A2#2 ahead of B#1
+  ok = ok && flip.a2[1] > flip.b[3];  // after: A2#2 behind B#4
+  std::cout << "order-flip check: " << (ok ? "OK" : "FAILED") << '\n';
+  std::cout << "(note: the paper's prose quotes post-arrival A2 finishes of "
+               "21/41/61, neglecting A2's service in [0,1]; the exact values "
+               "are 5/25/45 — the order flip is identical)\n\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hfq::bench
+
+int main() { return hfq::bench::run(); }

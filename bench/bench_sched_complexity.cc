@@ -1,0 +1,139 @@
+// Experiment E10 — the paper's complexity claim (§3.4): WF²Q+ does
+// O(log N) work per packet, against WFQ/WF²Q whose exact GPS virtual time
+// costs O(N) in the worst case, and the O(1)-ish SCFQ/SFQ/DRR baselines.
+//
+// google-benchmark microbenchmark: steady-state enqueue+dequeue pairs on a
+// server with N continuously backlogged sessions. The adversarial pattern
+// for the GPS clock — long idle-ish stretches followed by simultaneous
+// re-arrivals — is exercised by the *_Churn variants, where all N sessions
+// drain and refill, forcing O(N) fluid-departure processing per advance.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/wf2qplus.h"
+#include "net/scheduler.h"
+#include "sched/drr.h"
+#include "sched/scfq.h"
+#include "sched/sfq.h"
+#include "sched/wf2q.h"
+#include "sched/wfq.h"
+
+namespace hfq::bench {
+namespace {
+
+constexpr double kLinkRate = 1e9;
+constexpr std::uint32_t kBytes = 1000;
+
+template <typename Sched>
+void setup_flows(Sched& s, int n) {
+  for (int f = 0; f < n; ++f) {
+    s.add_flow(static_cast<net::FlowId>(f), kLinkRate / n);
+  }
+}
+
+net::Packet pkt(net::FlowId f, std::uint64_t id) {
+  net::Packet p;
+  p.flow = f;
+  p.size_bytes = kBytes;
+  p.id = id;
+  return p;
+}
+
+// Steady state: every flow stays backlogged; each iteration dequeues one
+// packet and replenishes the same flow.
+template <typename Sched>
+void steady_state(benchmark::State& state, Sched& s) {
+  const int n = static_cast<int>(state.range(0));
+  setup_flows(s, n);
+  const double pkt_time = 8.0 * kBytes / kLinkRate;
+  std::uint64_t id = 0;
+  double now = 0.0;
+  for (int f = 0; f < n; ++f) {
+    s.enqueue(pkt(static_cast<net::FlowId>(f), id++), now);
+    s.enqueue(pkt(static_cast<net::FlowId>(f), id++), now);
+  }
+  for (auto _ : state) {
+    now += pkt_time;
+    auto p = s.dequeue(now);
+    benchmark::DoNotOptimize(p);
+    s.enqueue(pkt(p->flow, id++), now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Churn: all flows drain completely, then all re-arrive simultaneously —
+// the worst case for the exact GPS virtual time (O(N) departures pop per
+// advance).
+template <typename Sched>
+void churn(benchmark::State& state, Sched& s) {
+  const int n = static_cast<int>(state.range(0));
+  setup_flows(s, n);
+  const double pkt_time = 8.0 * kBytes / kLinkRate;
+  std::uint64_t id = 0;
+  double now = 0.0;
+  for (auto _ : state) {
+    for (int f = 0; f < n; ++f) {
+      s.enqueue(pkt(static_cast<net::FlowId>(f), id++), now);
+    }
+    for (int f = 0; f < n; ++f) {
+      now += pkt_time;
+      auto p = s.dequeue(now);
+      benchmark::DoNotOptimize(p);
+    }
+    now += n * pkt_time;  // idle gap: the fluid system fully drains
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_Wf2qPlus(benchmark::State& state) {
+  core::Wf2qPlus s(kLinkRate);
+  steady_state(state, s);
+}
+void BM_Wfq(benchmark::State& state) {
+  sched::Wfq s(kLinkRate);
+  steady_state(state, s);
+}
+void BM_Wf2q(benchmark::State& state) {
+  sched::Wf2q s(kLinkRate);
+  steady_state(state, s);
+}
+void BM_Scfq(benchmark::State& state) {
+  sched::Scfq s;
+  steady_state(state, s);
+}
+void BM_Sfq(benchmark::State& state) {
+  sched::StartTimeFq s;
+  steady_state(state, s);
+}
+void BM_Drr(benchmark::State& state) {
+  // Frame scaled with N so each flow's quantum is one max packet — the
+  // deployment rule that makes DRR O(1) (quanta below the packet size
+  // degenerate into thousands of rounds per packet).
+  sched::Drr s(kLinkRate, 8.0 * kBytes * static_cast<double>(state.range(0)));
+  steady_state(state, s);
+}
+
+void BM_Wf2qPlus_Churn(benchmark::State& state) {
+  core::Wf2qPlus s(kLinkRate);
+  churn(state, s);
+}
+void BM_Wfq_Churn(benchmark::State& state) {
+  sched::Wfq s(kLinkRate);
+  churn(state, s);
+}
+
+BENCHMARK(BM_Wf2qPlus)->Arg(64)->Arg(512)->Arg(4096)->Arg(32768);
+BENCHMARK(BM_Wfq)->Arg(64)->Arg(512)->Arg(4096)->Arg(32768);
+BENCHMARK(BM_Wf2q)->Arg(64)->Arg(512)->Arg(4096)->Arg(32768);
+BENCHMARK(BM_Scfq)->Arg(64)->Arg(512)->Arg(4096)->Arg(32768);
+BENCHMARK(BM_Sfq)->Arg(64)->Arg(512)->Arg(4096)->Arg(32768);
+BENCHMARK(BM_Drr)->Arg(64)->Arg(512)->Arg(4096)->Arg(32768);
+BENCHMARK(BM_Wf2qPlus_Churn)->Arg(64)->Arg(512)->Arg(4096);
+BENCHMARK(BM_Wfq_Churn)->Arg(64)->Arg(512)->Arg(4096);
+
+}  // namespace
+}  // namespace hfq::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Experiment E8 — the paper's §3.1/§3.2 claim as a table: the Worst-case
+// Fair Index of WFQ (and the other SFF baselines) grows linearly with the
+// number of sessions, while WF²Q and WF²Q+ stay at ~one maximum packet
+// regardless of N (Theorems 3 and 4).
+//
+// Workload per N: the Fig. 2 pattern scaled up — session 0 has share 0.5
+// and sends a long back-to-back burst at t=0; N light sessions (share
+// 0.5/N each) are continuously backlogged. The measured quantity is the
+// B-WFI of session 0 (Definition 2), in units of maximum packets.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/wf2qplus.h"
+#include "net/scheduler.h"
+#include "sched/drr.h"
+#include "sched/scfq.h"
+#include "sched/sfq.h"
+#include "sched/wf2q.h"
+#include "sched/wfq.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "stats/wfi_estimator.h"
+
+namespace hfq::bench {
+namespace {
+
+constexpr double kLinkRate = 8000.0;  // 1000-bit packets → 0.125 s slots
+constexpr std::uint32_t kBytes = 125;
+constexpr double kPktBits = 1000.0;
+
+template <typename Sched>
+double measure_bwfi_packets(Sched& s, int n_light) {
+  sim::Simulator sim;
+  sim::Link link(sim, s, kLinkRate);
+  stats::WfiEstimator wfi(0.5);
+  const int burst = 2 * n_light + 10;
+  int flow0_departed = 0;
+  link.set_delivery([&](const net::Packet& p, net::Time) {
+    wfi.on_server_departure(p.size_bits(), p.flow == 0 ? p.size_bits() : 0.0);
+    if (p.flow == 0 && ++flow0_departed == burst) {
+      wfi.backlog_end();  // session 0's backlogged period is over
+    }
+  });
+  sim.at(0.0, [&] {
+    std::uint64_t id = 0;
+    wfi.backlog_start();
+    for (int k = 0; k < burst; ++k) {
+      net::Packet p;
+      p.flow = 0;
+      p.size_bytes = kBytes;
+      p.id = id++;
+      link.submit(p);
+    }
+    for (int j = 1; j <= n_light; ++j) {
+      for (int k = 0; k < 6; ++k) {
+        net::Packet p;
+        p.flow = static_cast<net::FlowId>(j);
+        p.size_bytes = kBytes;
+        p.id = id++;
+        link.submit(p);
+      }
+    }
+  });
+  sim.run();
+  return wfi.bwfi_bits() / kPktBits;
+}
+
+template <typename Make>
+double run_one(Make make, int n_light) {
+  auto s = make();
+  s->add_flow(0, kLinkRate / 2.0);
+  for (int j = 1; j <= n_light; ++j) {
+    s->add_flow(static_cast<net::FlowId>(j), kLinkRate / 2.0 / n_light);
+  }
+  return measure_bwfi_packets(*s, n_light);
+}
+
+int run() {
+  std::cout << "== Table: measured B-WFI of the heavy session vs. number of "
+               "sessions (in max packets) ==\n";
+  const std::vector<int> ns = {4, 8, 16, 32, 64};
+  Table t({"N (light sessions)", "WFQ", "SCFQ", "SFQ", "DRR", "WF2Q",
+           "WF2Q+", "WF2Q+ bound (Thm 4)"});
+  std::vector<double> wfq_series, wf2qp_series;
+  for (const int n : ns) {
+    const double wfq = run_one(
+        [] { return std::make_unique<sched::Wfq>(kLinkRate); }, n);
+    const double scfq = run_one(
+        [] { return std::make_unique<sched::Scfq>(); }, n);
+    const double sfq = run_one(
+        [] { return std::make_unique<sched::StartTimeFq>(); }, n);
+    const double drr = run_one(
+        [] { return std::make_unique<sched::Drr>(kLinkRate, 8 * kPktBits); },
+        n);
+    const double wf2q = run_one(
+        [] { return std::make_unique<sched::Wf2q>(kLinkRate); }, n);
+    const double wf2qp = run_one(
+        [] { return std::make_unique<core::Wf2qPlus>(kLinkRate); }, n);
+    // Theorem 4: alpha = L_i,max + (L_max − L_i,max) r_i/r = 1 packet here.
+    t.row({std::to_string(n), fmt(wfq, 2), fmt(scfq, 2), fmt(sfq, 2),
+           fmt(drr, 2), fmt(wf2q, 2), fmt(wf2qp, 2), "1.00"});
+    wfq_series.push_back(wfq);
+    wf2qp_series.push_back(wf2qp);
+  }
+  t.print();
+
+  // Shape: WFQ's WFI grows ~linearly in N (≈ N/2); WF²Q+'s stays ≤ ~1.
+  bool ok = true;
+  for (std::size_t i = 1; i < ns.size(); ++i) {
+    ok = ok && wfq_series[i] > 1.5 * wfq_series[i - 1];
+  }
+  ok = ok && wfq_series.back() > 20.0;
+  for (const double v : wf2qp_series) ok = ok && v <= 1.2;
+  std::cout << "shape check (WFQ WFI grows ~N/2; WF2Q+ WFI <= 1 packet): "
+            << (ok ? "OK" : "FAILED") << "\n\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hfq::bench
+
+int main() { return hfq::bench::run(); }

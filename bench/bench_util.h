@@ -1,0 +1,96 @@
+// Output helpers shared by the figure/table reproduction binaries: aligned
+// console tables (the "rows the paper reports") and CSV series dumps for
+// replotting.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace hfq::bench {
+
+// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        if (r[c].size() > width[c]) width[c] = r[c].size();
+      }
+    }
+    auto line = [&] {
+      os << '+';
+      for (const auto w : width) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    auto print_row = [&](const std::vector<std::string>& r) {
+      os << '|';
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < r.size() ? r[c] : std::string();
+        os << ' ' << std::left << std::setw(static_cast<int>(width[c])) << cell
+           << " |";
+      }
+      os << '\n';
+    };
+    line();
+    print_row(headers_);
+    line();
+    for (const auto& r : rows_) print_row(r);
+    line();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_ms(double seconds, int precision = 2) {
+  return fmt(seconds * 1e3, precision) + " ms";
+}
+
+inline std::string fmt_mbps(double bps, int precision = 2) {
+  return fmt(bps / 1e6, precision);
+}
+
+// Writes (x, y...) series as CSV next to the binary.
+inline void write_csv(const std::string& path,
+                      const std::vector<std::string>& columns,
+                      const std::vector<std::vector<double>>& rows) {
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "warning: cannot write " << path << '\n';
+    return;
+  }
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    f << columns[i] << (i + 1 < columns.size() ? ',' : '\n');
+  }
+  for (const auto& r : rows) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      f << r[i] << (i + 1 < r.size() ? ',' : '\n');
+    }
+  }
+  std::cout << "  (series written to " << path << ")\n";
+}
+
+}  // namespace hfq::bench

@@ -1,0 +1,2 @@
+// Hierarchy is header-only; this TU anchors the library target.
+#include "core/hierarchy.h"

@@ -1,0 +1,137 @@
+// Declarative description of a link-sharing hierarchy.
+//
+// One spec can instantiate (a) any HPfq<Policy> packet server, (b) the fluid
+// H-GPS reference server, and (c) the ideal-share solver — so experiments
+// compare all three on exactly the same tree. Node indices are identical
+// across the three builds (nodes are added in spec order, root = 0).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/hpfq.h"
+#include "fluid/hgps.h"
+#include "fluid/share_solver.h"
+#include "net/packet.h"
+#include "util/assert.h"
+
+namespace hfq::core {
+
+class Hierarchy {
+ public:
+  struct NodeSpec {
+    std::string name;
+    double rate_bps = 0.0;
+    std::int32_t parent = -1;  // -1 = root
+    bool leaf = false;
+    net::FlowId flow = net::kInvalidFlow;
+    std::size_t capacity_packets = 0;
+  };
+
+  // Creates a hierarchy whose root (index 0) is the physical link.
+  explicit Hierarchy(double link_rate_bps, std::string link_name = "link") {
+    HFQ_ASSERT(link_rate_bps > 0.0);
+    NodeSpec root;
+    root.name = std::move(link_name);
+    root.rate_bps = link_rate_bps;
+    nodes_.push_back(std::move(root));
+  }
+
+  // Adds a link-sharing class; returns its node index.
+  std::uint32_t add_class(std::uint32_t parent, std::string_view name,
+                          double rate_bps) {
+    return add(parent, name, rate_bps, false, net::kInvalidFlow, 0);
+  }
+
+  // Adds a session leaf fed by packets with the given flow id.
+  std::uint32_t add_session(std::uint32_t parent, std::string_view name,
+                            double rate_bps, net::FlowId flow,
+                            std::size_t capacity_packets = 0) {
+    return add(parent, name, rate_bps, true, flow, capacity_packets);
+  }
+
+  [[nodiscard]] const NodeSpec& node(std::uint32_t i) const {
+    HFQ_ASSERT(i < nodes_.size());
+    return nodes_[i];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] double link_rate() const noexcept { return nodes_[0].rate_bps; }
+
+  // Index of the node with the given name (names are unique).
+  [[nodiscard]] std::uint32_t index_of(std::string_view name) const {
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].name == name) return i;
+    }
+    HFQ_ASSERT_MSG(false, "unknown hierarchy node name");
+    return 0;
+  }
+
+  // Builds a packet server of the given policy. The returned object's node
+  // ids equal the spec indices. (Returned by unique_ptr: schedulers are
+  // pinned — links hold references to them.)
+  template <typename Policy>
+  [[nodiscard]] std::unique_ptr<HPfq<Policy>> build_packet() const {
+    auto server = std::make_unique<HPfq<Policy>>(nodes_[0].rate_bps);
+    for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+      const NodeSpec& n = nodes_[i];
+      const auto parent = static_cast<NodeId>(n.parent);
+      NodeId id;
+      if (n.leaf) {
+        id = server->add_leaf(parent, n.rate_bps, n.flow, n.capacity_packets);
+      } else {
+        id = server->add_internal(parent, n.rate_bps);
+      }
+      HFQ_ASSERT(id == i);
+    }
+    return server;
+  }
+
+  // Builds the fluid H-GPS reference on the same tree.
+  [[nodiscard]] fluid::HgpsServer<double> build_fluid() const {
+    fluid::HgpsServer<double> server(nodes_[0].rate_bps);
+    for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+      const NodeSpec& n = nodes_[i];
+      const auto id =
+          server.add_node(static_cast<fluid::NodeId>(n.parent), n.rate_bps);
+      HFQ_ASSERT(id == i);
+    }
+    return server;
+  }
+
+  // Builds the ideal-share solver (weights = guaranteed rates).
+  [[nodiscard]] fluid::ShareSolver build_solver() const {
+    fluid::ShareSolver solver;
+    for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+      const NodeSpec& n = nodes_[i];
+      const auto id = solver.add_node(
+          static_cast<fluid::ShareSolver::NodeId>(n.parent), n.rate_bps);
+      HFQ_ASSERT(id == i);
+    }
+    return solver;
+  }
+
+ private:
+  std::uint32_t add(std::uint32_t parent, std::string_view name,
+                    double rate_bps, bool leaf, net::FlowId flow,
+                    std::size_t capacity) {
+    HFQ_ASSERT(parent < nodes_.size());
+    HFQ_ASSERT_MSG(!nodes_[parent].leaf, "cannot add child under a session");
+    HFQ_ASSERT(rate_bps > 0.0);
+    NodeSpec n;
+    n.name = std::string(name);
+    n.rate_bps = rate_bps;
+    n.parent = static_cast<std::int32_t>(parent);
+    n.leaf = leaf;
+    n.flow = flow;
+    n.capacity_packets = capacity;
+    nodes_.push_back(std::move(n));
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+
+  std::vector<NodeSpec> nodes_;
+};
+
+}  // namespace hfq::core

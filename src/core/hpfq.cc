@@ -1,0 +1,15 @@
+// Explicit instantiations of the H-PFQ framework for every provided node
+// policy; keeps all template code compiled with full warnings.
+#include "core/hpfq.h"
+
+namespace hfq::core {
+
+template class HPfq<Wf2qPlusPolicy>;
+template class HPfq<GpsSffPolicy>;
+template class HPfq<GpsSeffPolicy>;
+template class HPfq<ScfqPolicy>;
+template class HPfq<SfqPolicy>;
+template class HPfq<ApproxWfqPolicy>;
+template class HPfq<DrrPolicy>;
+
+}  // namespace hfq::core

@@ -1,0 +1,239 @@
+// H-PFQ: the hierarchical packet fair queueing framework of Section 4.
+//
+// The class implements the paper's ARRIVE / RESTART-NODE / RESET-PATH
+// pseudocode over a tree of server nodes. Leaves hold real FIFO packet
+// queues; every non-root node is connected to its parent through a logical
+// queue that holds (a copy of) the head packet of its subtree. The node
+// policy (core/node_policy.h) supplies the virtual time function and the
+// child-selection rule, so the same framework yields H-WF²Q+, H-WFQ,
+// H-WF²Q, H-SCFQ, H-SFQ and the ablation variants.
+//
+// Timing contract: the link calls dequeue() when it is ready to start the
+// next transmission. Internally the RESET-PATH for packet k is deferred to
+// the dequeue that selects packet k+1, which reproduces the paper's order
+// of events exactly (the path is reset when the link finishes serving a
+// packet, after which RESTART-NODE cascades bottom-up and can see every
+// arrival that happened during the transmission).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/node_policy.h"
+#include "net/flow.h"
+#include "net/packet.h"
+#include "net/scheduler.h"
+#include "util/assert.h"
+
+namespace hfq::core {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = UINT32_MAX;
+
+template <typename Policy>
+class HPfq : public net::Scheduler {
+ public:
+  explicit HPfq(double link_rate_bps) : link_rate_(link_rate_bps) {
+    HFQ_ASSERT(link_rate_bps > 0.0);
+    nodes_.emplace_back();  // root
+    Node& r = nodes_[0];
+    r.rate = link_rate_bps;
+    r.parent = kNoNode;
+    r.policy.init(link_rate_bps);
+  }
+
+  [[nodiscard]] NodeId root() const noexcept { return 0; }
+
+  // Adds an interior server node (a link-sharing class).
+  NodeId add_internal(NodeId parent, double rate_bps) {
+    const NodeId id = add_node(parent, rate_bps);
+    nodes_[id].policy.init(rate_bps);
+    return id;
+  }
+
+  // Adds a leaf session under `parent`. Packets with flow id `flow` are
+  // routed to this leaf. `capacity_packets` bounds the session buffer
+  // (0 = unlimited).
+  NodeId add_leaf(NodeId parent, double rate_bps, net::FlowId flow,
+                  std::size_t capacity_packets = 0) {
+    const NodeId id = add_node(parent, rate_bps);
+    Node& n = nodes_[id];
+    n.is_leaf = true;
+    n.flow = flow;
+    n.queue = net::FlowQueue(capacity_packets);
+    if (flow >= leaf_of_flow_.size()) leaf_of_flow_.resize(flow + 1, kNoNode);
+    HFQ_ASSERT_MSG(leaf_of_flow_[flow] == kNoNode, "flow bound to two leaves");
+    leaf_of_flow_[flow] = id;
+    return id;
+  }
+
+  // --- net::Scheduler interface -------------------------------------------
+
+  bool enqueue(const net::Packet& p, net::Time /*now*/) override {
+    HFQ_ASSERT_MSG(p.flow < leaf_of_flow_.size() &&
+                       leaf_of_flow_[p.flow] != kNoNode,
+                   "packet for unknown flow");
+    const NodeId leaf = leaf_of_flow_[p.flow];
+    Node& n = nodes_[leaf];
+    if (!n.queue.push(p)) return false;
+    ++backlog_;
+    if (n.queue.size() > 1) return true;  // logical head unchanged
+    // ARRIVE: the packet becomes the head of the leaf's logical queue.
+    n.logical = p;
+    n.has_logical = true;
+    stamp_child(leaf, /*continuing=*/false);
+    if (!nodes_[n.parent].busy) restart_node(n.parent);
+    return true;
+  }
+
+  std::optional<net::Packet> dequeue(net::Time /*now*/) override {
+    if (pending_reset_) {
+      pending_reset_ = false;
+      reset_path(0);
+    }
+    Node& r = nodes_[0];
+    if (!r.has_logical) return std::nullopt;
+    pending_reset_ = true;
+    --backlog_;
+    return r.logical;
+  }
+
+  [[nodiscard]] std::size_t backlog_packets() const override {
+    return backlog_;
+  }
+
+  // --- introspection -------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t drops(net::FlowId flow) const {
+    return nodes_[leaf_of_flow_[flow]].queue.drops();
+  }
+  [[nodiscard]] std::size_t queue_length(net::FlowId flow) const {
+    return nodes_[leaf_of_flow_[flow]].queue.size();
+  }
+  [[nodiscard]] double node_rate(NodeId id) const { return nodes_[id].rate; }
+  [[nodiscard]] NodeId parent_of(NodeId id) const { return nodes_[id].parent; }
+  [[nodiscard]] NodeId leaf_of(net::FlowId flow) const {
+    return leaf_of_flow_[flow];
+  }
+  // Reference time T_n = W_n(0,t)/r_n of a node (Section 4.1).
+  [[nodiscard]] double reference_time(NodeId id) const { return nodes_[id].T; }
+  [[nodiscard]] const Policy& policy_of(NodeId id) const {
+    return nodes_[id].policy;
+  }
+  // Mutable access for tuning knobs (e.g. rebase thresholds in tests).
+  [[nodiscard]] Policy& mutable_policy(NodeId id) { return nodes_[id].policy; }
+  [[nodiscard]] double link_rate() const noexcept { return link_rate_; }
+
+ private:
+  struct Node {
+    double rate = 0.0;
+    NodeId parent = kNoNode;
+    std::vector<NodeId> children;
+    std::size_t child_slot = 0;  // index within parent's policy
+    bool is_leaf = false;
+    bool busy = false;
+    bool has_logical = false;
+    net::Packet logical;  // head packet of this subtree's logical queue
+    NodeId active_child = kNoNode;
+    double s = 0.0, f = 0.0;  // tags as a child of the parent node
+    double T = 0.0;           // reference time (seconds of service / rate)
+    net::FlowQueue queue;     // leaves only
+    net::FlowId flow = net::kInvalidFlow;
+    Policy policy;            // interior nodes only
+  };
+
+  NodeId add_node(NodeId parent, double rate_bps) {
+    HFQ_ASSERT(parent < nodes_.size());
+    HFQ_ASSERT_MSG(!nodes_[parent].is_leaf, "cannot add child under a leaf");
+    HFQ_ASSERT(rate_bps > 0.0);
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.emplace_back();
+    Node& n = nodes_[id];
+    n.rate = rate_bps;
+    n.parent = parent;
+    n.child_slot = nodes_[parent].children.size();
+    nodes_[parent].children.push_back(id);
+    nodes_[parent].policy.add_child(n.child_slot, rate_bps);
+    return id;
+  }
+
+  // Registers node `c`'s new logical head with its parent's policy and
+  // refreshes the (s, f) tags. `continuing` selects the Eq. 28 branch.
+  void stamp_child(NodeId c, bool continuing) {
+    Node& n = nodes_[c];
+    Node& p = nodes_[n.parent];
+    const VtStamp tags = p.policy.on_head(n.child_slot, n.logical.size_bits(),
+                                          continuing, p.T);
+    n.s = tags.start;
+    n.f = tags.finish;
+  }
+
+  // RESTART-NODE(n): select a new head for node `nid` (and cascade upward).
+  void restart_node(NodeId nid) {
+    Node& n = nodes_[nid];
+    HFQ_ASSERT(!n.is_leaf);
+    if (n.policy.has_selectable()) {
+      const std::size_t slot = n.policy.select(n.T);
+      const NodeId child = n.children[slot];
+      HFQ_ASSERT(nodes_[child].has_logical);
+      n.active_child = child;
+      n.logical = nodes_[child].logical;
+      n.has_logical = true;
+      // Line 13: the node's reference time advances by the service this
+      // selection commits to.
+      n.T += n.logical.size_bits() / n.rate;
+      if (nid != 0) {
+        // Lines 7–10: restamp this node as a child of its parent. The
+        // continuing branch applies when the node stayed busy.
+        stamp_child(nid, /*continuing=*/n.busy);
+      }
+      n.busy = true;
+    } else {
+      n.active_child = kNoNode;
+      n.has_logical = false;
+      n.busy = false;
+    }
+    // Lines 17–18: cascade to the parent if it has not selected a packet.
+    if (nid != 0 && !nodes_[n.parent].has_logical) {
+      restart_node(n.parent);
+    }
+  }
+
+  // RESET-PATH(n): the packet at the head of this subtree departed.
+  void reset_path(NodeId nid) {
+    Node& n = nodes_[nid];
+    n.has_logical = false;
+    if (n.is_leaf) {
+      n.queue.pop();  // the transmitted packet leaves the real queue
+      if (!n.queue.empty()) {
+        n.logical = n.queue.front();
+        n.has_logical = true;
+        stamp_child(nid, /*continuing=*/true);
+      }
+      restart_node(n.parent);
+    } else {
+      const NodeId m = n.active_child;
+      HFQ_ASSERT(m != kNoNode);
+      n.active_child = kNoNode;
+      reset_path(m);
+    }
+  }
+
+  double link_rate_;
+  std::size_t backlog_ = 0;
+  bool pending_reset_ = false;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> leaf_of_flow_;
+};
+
+// The paper's H-WF²Q+ server and the baseline hierarchies.
+using HWf2qPlus = HPfq<Wf2qPlusPolicy>;
+using HWfq = HPfq<GpsSffPolicy>;
+using HWf2q = HPfq<GpsSeffPolicy>;
+using HScfq = HPfq<ScfqPolicy>;
+using HSfq = HPfq<SfqPolicy>;
+using HApproxWfq = HPfq<ApproxWfqPolicy>;
+using HDrr = HPfq<DrrPolicy>;
+
+}  // namespace hfq::core

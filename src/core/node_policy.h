@@ -1,0 +1,438 @@
+// Per-node scheduling policies for the H-PFQ framework (Section 4).
+//
+// The framework (core/hpfq.h) runs the paper's ARRIVE / RESTART-NODE /
+// RESET-PATH pseudocode; everything policy-specific — the virtual time
+// function and the child-selection rule — lives here. A policy manages the
+// virtual start/finish tags of its node's *children* (the paper's s_m, f_m
+// maintained per logical queue) and answers two questions:
+//
+//   on_head(...)  — a child's logical queue got a new head packet: stamp it
+//                   (Eq. 28/29 against this node's virtual time) and make
+//                   the child selectable;
+//   select(...)   — pick the next child to serve and perform the node's
+//                   virtual-time update for that service.
+//
+// Provided policies:
+//   Wf2qPlusPolicy   — SEFF + Eq. 27 virtual time      → H-WF²Q+  (the paper)
+//   GpsSffPolicy     — SFF  + exact GPS virtual time   → H-WFQ    (baseline)
+//   GpsSeffPolicy    — SEFF + exact GPS virtual time   → H-WF²Q   (baseline)
+//   ScfqPolicy       — SFF  + self-clocked V           → H-SCFQ   (baseline)
+//   SfqPolicy        — min-start + start-clocked V     → H-SFQ    (extension)
+//   ApproxWfqPolicy  — SFF  + Eq. 27 virtual time      → ablation: shows the
+//                      pathology is the missing eligibility test, not the
+//                      virtual time function
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sched/flat_base.h"
+#include "sched/gps_virtual_time.h"
+#include "util/assert.h"
+#include "util/heap.h"
+
+namespace hfq::core {
+
+struct VtStamp {
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+// Shared child bookkeeping: rates, head tags, head sizes, registration.
+class NodePolicyBase {
+ public:
+  void init(double node_rate_bps) {
+    HFQ_ASSERT(node_rate_bps > 0.0);
+    node_rate_ = node_rate_bps;
+  }
+
+  void add_child(std::size_t slot, double rate_bps) {
+    HFQ_ASSERT(rate_bps > 0.0);
+    if (slot >= children_.size()) children_.resize(slot + 1);
+    children_[slot].rate = rate_bps;
+  }
+
+  [[nodiscard]] std::size_t child_count() const noexcept {
+    return children_.size();
+  }
+
+ protected:
+  struct Child {
+    double rate = 0.0;
+    double start = 0.0;
+    double finish = 0.0;
+    double head_bits = 0.0;
+    util::HeapHandle handle = util::kInvalidHeapHandle;
+    bool in_eligible = false;
+  };
+
+  Child& child(std::size_t slot) {
+    HFQ_ASSERT(slot < children_.size());
+    return children_[slot];
+  }
+
+  // Stamps per Eq. 28/29 against virtual time `v`.
+  VtStamp stamp(Child& c, double bits, bool continuing, double v) {
+    VtStamp st;
+    st.start = continuing ? c.finish : (c.finish > v ? c.finish : v);
+    st.finish = st.start + bits / c.rate;
+    c.start = st.start;
+    c.finish = st.finish;
+    c.head_bits = bits;
+    return st;
+  }
+
+  double node_rate_ = 0.0;
+  std::vector<Child> children_;
+};
+
+// SEFF + Eq. 27 — the WF²Q+ node server (the paper's pseudocode, Table 1).
+class Wf2qPlusPolicy : public NodePolicyBase {
+ public:
+  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+
+  VtStamp on_head(std::size_t slot, double bits, bool continuing,
+                  double /*T_node*/) {
+    Child& c = child(slot);
+    const VtStamp st = stamp(c, bits, continuing, vtime_);
+    if (sched::vt_leq(c.start, vtime_)) {
+      c.in_eligible = true;
+      c.handle = eligible_.push(c.finish, slot);
+    } else {
+      c.in_eligible = false;
+      c.handle = waiting_.push(c.start, slot);
+    }
+    return st;
+  }
+
+  [[nodiscard]] bool has_selectable() const noexcept {
+    return !eligible_.empty() || !waiting_.empty();
+  }
+
+  std::size_t select(double /*T_node*/) {
+    // Lines 1 and 12 of RESTART-NODE: pick the smallest finish tag among
+    // E_n = {m : s_m <= max(V, Smin)}, then V <- max(V, Smin) + L/r_n.
+    double v_now = vtime_;
+    if (eligible_.empty()) {
+      HFQ_ASSERT_MSG(!waiting_.empty(), "select with no selectable children");
+      if (waiting_.top_key() > v_now) v_now = waiting_.top_key();
+    }
+    while (!waiting_.empty() && sched::vt_leq(waiting_.top_key(), v_now)) {
+      const std::size_t slot = waiting_.pop();
+      Child& c = child(slot);
+      c.in_eligible = true;
+      c.handle = eligible_.push(c.finish, slot);
+    }
+    HFQ_ASSERT(!eligible_.empty());
+    const std::size_t slot = eligible_.pop();
+    Child& c = child(slot);
+    c.handle = util::kInvalidHeapHandle;
+    vtime_ = v_now + c.head_bits / node_rate_;
+    maybe_rebase();
+    return slot;
+  }
+
+  [[nodiscard]] std::uint64_t rebase_count() const noexcept {
+    return rebases_;
+  }
+
+  // Test/tuning knob: virtual time at which the node rebases its tags.
+  void set_rebase_threshold(double seconds) {
+    HFQ_ASSERT(seconds > 0.0);
+    rebase_threshold_ = seconds;
+  }
+
+ private:
+  // A hierarchy node never restarts its clock (there is no idle-detection
+  // below the root), so on long-running servers the tags grow without
+  // bound and double precision eventually erodes the sub-packet tag
+  // differences that ordering depends on. Subtracting a common offset is
+  // order-preserving everywhere tags are compared, so it is invisible to
+  // the algorithm.
+  void maybe_rebase() {
+    if (vtime_ < rebase_threshold_) return;
+    const double off = vtime_;
+    vtime_ = 0.0;
+    for (Child& c : children_) {
+      c.start -= off;
+      c.finish -= off;
+    }
+    eligible_.transform_keys([off](double k) { return k - off; });
+    waiting_.transform_keys([off](double k) { return k - off; });
+    ++rebases_;
+  }
+
+  double vtime_ = 0.0;
+  double rebase_threshold_ = 1e9;
+  std::uint64_t rebases_ = 0;
+  util::HandleHeap<double, std::size_t> eligible_;  // keyed by finish tag
+  util::HandleHeap<double, std::size_t> waiting_;   // keyed by start tag
+};
+
+// SFF + Eq. 27 virtual time: an ablation showing that replacing the GPS
+// virtual time alone does not fix WFQ — the eligibility test does.
+class ApproxWfqPolicy : public NodePolicyBase {
+ public:
+  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+
+  VtStamp on_head(std::size_t slot, double bits, bool continuing,
+                  double /*T_node*/) {
+    Child& c = child(slot);
+    const VtStamp st = stamp(c, bits, continuing, vtime_);
+    c.handle = heads_.push(c.finish, slot);
+    return st;
+  }
+
+  [[nodiscard]] bool has_selectable() const noexcept { return !heads_.empty(); }
+
+  std::size_t select(double /*T_node*/) {
+    HFQ_ASSERT(!heads_.empty());
+    // Smin over selectable children — linear scan is fine here: this policy
+    // exists only for ablation benchmarks.
+    double smin = 0.0;
+    bool first = true;
+    for (std::size_t i = 0; i < child_count(); ++i) {
+      const Child& c = children_[i];
+      if (c.handle == util::kInvalidHeapHandle) continue;
+      if (first || c.start < smin) {
+        smin = c.start;
+        first = false;
+      }
+    }
+    double v_now = vtime_;
+    if (!first && smin > v_now) v_now = smin;
+    const std::size_t slot = heads_.pop();
+    Child& c = child(slot);
+    c.handle = util::kInvalidHeapHandle;
+    vtime_ = v_now + c.head_bits / node_rate_;
+    return slot;
+  }
+
+ private:
+  double vtime_ = 0.0;
+  util::HandleHeap<double, std::size_t> heads_;  // keyed by finish tag (SFF)
+};
+
+// Exact GPS virtual time per node (the node's fluid reference runs in the
+// node reference time T_n = W_n(0,t)/r_n — Section 4.1). Base for H-WFQ
+// (SFF) and H-WF²Q (SEFF).
+template <bool kUseEligibility>
+class GpsTrackedPolicy : public NodePolicyBase {
+ public:
+  void init(double node_rate_bps) {
+    NodePolicyBase::init(node_rate_bps);
+    vt_.emplace(node_rate_bps);
+  }
+
+  void add_child(std::size_t slot, double rate_bps) {
+    NodePolicyBase::add_child(slot, rate_bps);
+    vt_->add_flow(static_cast<net::FlowId>(slot), rate_bps);
+  }
+
+  [[nodiscard]] double vtime() const noexcept { return vt_->vtime(); }
+
+  VtStamp on_head(std::size_t slot, double bits, bool /*continuing*/,
+                  double T_node) {
+    Child& c = child(slot);
+    // The logical packet "arrives" at the node now; stamp it in the node's
+    // fluid GPS system. This subsumes Eq. 28: while the child stays
+    // fluid-backlogged the stamp degenerates to S = F_prev.
+    const auto st = vt_->on_arrival(T_node, static_cast<net::FlowId>(slot), bits);
+    c.start = st.start;
+    c.finish = st.finish;
+    c.head_bits = bits;
+    if constexpr (kUseEligibility) {
+      if (sched::vt_leq(c.start, vt_->vtime())) {
+        c.in_eligible = true;
+        c.handle = eligible_.push(c.finish, slot);
+      } else {
+        c.in_eligible = false;
+        c.handle = waiting_.push(c.start, slot);
+      }
+    } else {
+      c.handle = eligible_.push(c.finish, slot);
+    }
+    return VtStamp{st.start, st.finish};
+  }
+
+  [[nodiscard]] bool has_selectable() const noexcept {
+    return !eligible_.empty() || !waiting_.empty();
+  }
+
+  std::size_t select(double T_node) {
+    vt_->advance_to(T_node);
+    if constexpr (kUseEligibility) {
+      while (!waiting_.empty() && sched::vt_leq(waiting_.top_key(), vt_->vtime())) {
+        const std::size_t slot = waiting_.pop();
+        Child& c = child(slot);
+        c.in_eligible = true;
+        c.handle = eligible_.push(c.finish, slot);
+      }
+      if (eligible_.empty()) {
+        // Floating-point guard: fall back to the smallest start tag.
+        HFQ_ASSERT(!waiting_.empty());
+        const std::size_t slot = waiting_.pop();
+        child(slot).handle = util::kInvalidHeapHandle;
+        return slot;
+      }
+    }
+    HFQ_ASSERT(!eligible_.empty());
+    const std::size_t slot = eligible_.pop();
+    child(slot).handle = util::kInvalidHeapHandle;
+    return slot;
+  }
+
+ private:
+  std::optional<sched::GpsVirtualTime> vt_;  // constructed in init()
+  util::HandleHeap<double, std::size_t> eligible_;  // keyed by finish tag
+  util::HandleHeap<double, std::size_t> waiting_;   // keyed by start tag
+};
+
+using GpsSffPolicy = GpsTrackedPolicy<false>;   // H-WFQ node
+using GpsSeffPolicy = GpsTrackedPolicy<true>;   // H-WF²Q node
+
+// Self-clocked (SCFQ) node: V = finish tag of the child in service; SFF.
+class ScfqPolicy : public NodePolicyBase {
+ public:
+  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+
+  VtStamp on_head(std::size_t slot, double bits, bool continuing,
+                  double /*T_node*/) {
+    Child& c = child(slot);
+    const VtStamp st = stamp(c, bits, continuing, vtime_);
+    c.handle = heads_.push(c.finish, slot);
+    return st;
+  }
+
+  [[nodiscard]] bool has_selectable() const noexcept { return !heads_.empty(); }
+
+  std::size_t select(double /*T_node*/) {
+    HFQ_ASSERT(!heads_.empty());
+    const std::size_t slot = heads_.pop();
+    Child& c = child(slot);
+    c.handle = util::kInvalidHeapHandle;
+    vtime_ = c.finish;
+    return slot;
+  }
+
+ private:
+  double vtime_ = 0.0;
+  util::HandleHeap<double, std::size_t> heads_;  // keyed by finish tag
+};
+
+// Deficit Round Robin node (→ H-DRR): no virtual times at all — children
+// rotate with byte deficits, quantum proportional to their rate. Extension
+// baseline showing that a frame-based hierarchy keeps long-run shares but
+// has frame-sized WFI at every level.
+class DrrPolicy : public NodePolicyBase {
+ public:
+  // One frame hands each child rate_child/rate_node of `frame_bits`.
+  // 16 Kbit default ≈ two 1000-byte packets per full-rate child.
+  void set_frame_bits(double bits) {
+    HFQ_ASSERT(bits > 0.0);
+    frame_bits_ = bits;
+  }
+
+  [[nodiscard]] double vtime() const noexcept { return 0.0; }
+
+  VtStamp on_head(std::size_t slot, double bits, bool /*continuing*/,
+                  double /*T_node*/) {
+    Child& c = child(slot);
+    c.head_bits = bits;
+    if (slot >= state_.size()) state_.resize(slot + 1);
+    state_[slot].has_head = true;
+    if (!state_[slot].in_list) {
+      state_[slot].in_list = true;
+      state_[slot].deficit = 0.0;
+      state_[slot].visited = false;
+      active_.push_back(slot);
+    }
+    ++selectable_;
+    return VtStamp{0.0, 0.0};  // tags unused by frame-based nodes
+  }
+
+  [[nodiscard]] bool has_selectable() const noexcept {
+    return selectable_ > 0;
+  }
+
+  std::size_t select(double /*T_node*/) {
+    HFQ_ASSERT(selectable_ > 0);
+    for (;;) {
+      HFQ_ASSERT(!active_.empty());
+      const std::size_t slot = active_.front();
+      DrrState& st = state_[slot];
+      if (!st.has_head) {
+        // The child drained (it did not re-register after its last
+        // service): retire it from the round.
+        st.in_list = false;
+        st.deficit = 0.0;
+        st.visited = false;
+        active_.pop_front();
+        continue;
+      }
+      if (!st.visited) {
+        st.deficit += quantum(slot);
+        st.visited = true;
+      }
+      if (st.deficit + 1e-9 >= child(slot).head_bits) {
+        st.deficit -= child(slot).head_bits;
+        st.has_head = false;  // consumed; re-registered via on_head
+        --selectable_;
+        return slot;
+      }
+      st.visited = false;
+      active_.pop_front();
+      active_.push_back(slot);
+    }
+  }
+
+ private:
+  struct DrrState {
+    bool has_head = false;
+    bool in_list = false;
+    bool visited = false;
+    double deficit = 0.0;
+  };
+
+  [[nodiscard]] double quantum(std::size_t slot) const {
+    return frame_bits_ * children_[slot].rate / node_rate_;
+  }
+
+  double frame_bits_ = 16000.0;
+  std::size_t selectable_ = 0;
+  std::vector<DrrState> state_;
+  std::deque<std::size_t> active_;
+};
+
+// Start-time node: V = start tag of the child in service; pick min start.
+class SfqPolicy : public NodePolicyBase {
+ public:
+  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+
+  VtStamp on_head(std::size_t slot, double bits, bool continuing,
+                  double /*T_node*/) {
+    Child& c = child(slot);
+    const VtStamp st = stamp(c, bits, continuing, vtime_);
+    c.handle = heads_.push(c.start, slot);
+    return st;
+  }
+
+  [[nodiscard]] bool has_selectable() const noexcept { return !heads_.empty(); }
+
+  std::size_t select(double /*T_node*/) {
+    HFQ_ASSERT(!heads_.empty());
+    const std::size_t slot = heads_.pop();
+    Child& c = child(slot);
+    c.handle = util::kInvalidHeapHandle;
+    vtime_ = c.start;
+    return slot;
+  }
+
+ private:
+  double vtime_ = 0.0;
+  util::HandleHeap<double, std::size_t> heads_;  // keyed by start tag
+};
+
+}  // namespace hfq::core

@@ -1,0 +1,224 @@
+#include "core/tree_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace hfq::core {
+namespace {
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::istream& in) {
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      std::istringstream ls(line);
+      std::string tok;
+      while (ls >> tok) tokens_.push_back(tok);
+    }
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ >= tokens_.size(); }
+
+  [[nodiscard]] const std::string& peek() const {
+    if (done()) throw std::runtime_error("hierarchy: unexpected end of input");
+    return tokens_[pos_];
+  }
+
+  std::string next() {
+    const std::string t = peek();
+    ++pos_;
+    return t;
+  }
+
+  // Consumes `expected` or throws.
+  void expect(const std::string& expected) {
+    const std::string t = next();
+    if (t != expected) {
+      throw std::runtime_error("hierarchy: expected '" + expected +
+                               "', got '" + t + "'");
+    }
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::size_t pos_ = 0;
+};
+
+double parse_rate(const std::string& tok) {
+  std::size_t idx = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(tok, &idx);
+  } catch (const std::exception&) {
+    throw std::runtime_error("hierarchy: bad rate '" + tok + "'");
+  }
+  double mult = 1.0;
+  if (idx < tok.size()) {
+    if (idx + 1 != tok.size()) {
+      throw std::runtime_error("hierarchy: bad rate suffix in '" + tok + "'");
+    }
+    switch (tok[idx]) {
+      case 'k':
+      case 'K':
+        mult = 1e3;
+        break;
+      case 'M':
+        mult = 1e6;
+        break;
+      case 'G':
+        mult = 1e9;
+        break;
+      default:
+        throw std::runtime_error("hierarchy: bad rate suffix in '" + tok +
+                                 "'");
+    }
+  }
+  if (value <= 0.0) {
+    throw std::runtime_error("hierarchy: rate must be positive in '" + tok +
+                             "'");
+  }
+  return value * mult;
+}
+
+// Parses `key=value` attributes; returns true if the token matched `key`.
+bool parse_attr(const std::string& tok, const std::string& key,
+                std::uint64_t& out) {
+  if (tok.rfind(key + "=", 0) != 0) return false;
+  const std::string v = tok.substr(key.size() + 1);
+  try {
+    std::size_t idx = 0;
+    const auto parsed = std::stoull(v, &idx);
+    if (idx != v.size()) throw std::invalid_argument(v);
+    out = parsed;
+  } catch (const std::exception&) {
+    throw std::runtime_error("hierarchy: bad attribute '" + tok + "'");
+  }
+  return true;
+}
+
+void parse_children(Tokenizer& tz, Hierarchy& spec, std::uint32_t parent);
+
+// Parses one node entry (name rate [attrs] [{children}]).
+void parse_node(Tokenizer& tz, Hierarchy& spec, std::uint32_t parent) {
+  const std::string name = tz.next();
+  if (name == "{" || name == "}") {
+    throw std::runtime_error("hierarchy: expected node name, got '" + name +
+                             "'");
+  }
+  const double rate = parse_rate(tz.next());
+  bool has_flow = false;
+  std::uint64_t flow = 0, cap = 0;
+  while (!tz.done()) {
+    const std::string& t = tz.peek();
+    std::uint64_t v = 0;
+    if (parse_attr(t, "flow", v)) {
+      has_flow = true;
+      flow = v;
+      tz.next();
+    } else if (parse_attr(t, "cap", v)) {
+      cap = v;
+      tz.next();
+    } else {
+      break;
+    }
+  }
+  if (!tz.done() && tz.peek() == "{") {
+    if (has_flow) {
+      throw std::runtime_error("hierarchy: session '" + name +
+                               "' cannot have children");
+    }
+    const auto id = spec.add_class(parent, name, rate);
+    tz.expect("{");
+    parse_children(tz, spec, id);
+    tz.expect("}");
+  } else if (has_flow) {
+    spec.add_session(parent, name, rate, static_cast<net::FlowId>(flow),
+                     static_cast<std::size_t>(cap));
+  } else {
+    // Childless class: legal (capacity may be attached later).
+    spec.add_class(parent, name, rate);
+  }
+}
+
+void parse_children(Tokenizer& tz, Hierarchy& spec, std::uint32_t parent) {
+  while (!tz.done() && tz.peek() != "}") {
+    parse_node(tz, spec, parent);
+  }
+}
+
+}  // namespace
+
+Hierarchy parse_hierarchy(std::istream& in) {
+  Tokenizer tz(in);
+  tz.expect("link");
+  const double link_rate = parse_rate(tz.next());
+  Hierarchy spec(link_rate);
+  parse_children(tz, spec, 0);
+  if (!tz.done()) {
+    throw std::runtime_error("hierarchy: trailing token '" + tz.peek() + "'");
+  }
+  return spec;
+}
+
+Hierarchy parse_hierarchy(const std::string& text) {
+  std::istringstream in(text);
+  return parse_hierarchy(in);
+}
+
+Hierarchy parse_hierarchy_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("hierarchy: cannot open " + path);
+  return parse_hierarchy(f);
+}
+
+namespace {
+
+std::string rate_str(double bps) {
+  std::ostringstream os;
+  if (bps >= 1e9 && bps == static_cast<double>(static_cast<long long>(bps / 1e9)) * 1e9) {
+    os << bps / 1e9 << 'G';
+  } else if (bps >= 1e6) {
+    os << bps / 1e6 << 'M';
+  } else if (bps >= 1e3) {
+    os << bps / 1e3 << 'k';
+  } else {
+    os << bps;
+  }
+  return os.str();
+}
+
+void format_subtree(const Hierarchy& spec, std::uint32_t node, int depth,
+                    std::ostringstream& os) {
+  // Children of `node`, in insertion order.
+  for (std::uint32_t i = 1; i < spec.size(); ++i) {
+    if (static_cast<std::uint32_t>(spec.node(i).parent) != node) continue;
+    const auto& n = spec.node(i);
+    os << std::string(static_cast<std::size_t>(depth) * 2, ' ') << n.name
+       << ' ' << rate_str(n.rate_bps);
+    if (n.leaf) {
+      os << " flow=" << n.flow;
+      if (n.capacity_packets != 0) os << " cap=" << n.capacity_packets;
+      os << '\n';
+    } else {
+      os << " {\n";
+      format_subtree(spec, i, depth + 1, os);
+      os << std::string(static_cast<std::size_t>(depth) * 2, ' ') << "}\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string format_hierarchy(const Hierarchy& spec) {
+  std::ostringstream os;
+  os << "link " << rate_str(spec.link_rate()) << '\n';
+  format_subtree(spec, 0, 0, os);
+  return os.str();
+}
+
+}  // namespace hfq::core

@@ -1,0 +1,38 @@
+// Textual hierarchy description → core::Hierarchy.
+//
+// Grammar (whitespace-separated tokens, '#' starts a comment to EOL):
+//
+//   link <rate>
+//   <name> <rate> [flow=<id>] [cap=<packets>] [ { <children...> } ]
+//
+// Rates accept k/M/G suffixes (powers of ten, bits/sec). A node with a
+// flow= attribute is a session leaf; anything else is a link-sharing class.
+//
+//   link 45M
+//   N-2 22.5M {
+//     N-1 11.11M {
+//       RT-1 9M    flow=0 cap=64
+//       BE-1 2.11M flow=1
+//     }
+//   }
+//   B 22.5M flow=2
+//
+// Parse errors throw std::runtime_error with the offending token.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/hierarchy.h"
+
+namespace hfq::core {
+
+[[nodiscard]] Hierarchy parse_hierarchy(std::istream& in);
+[[nodiscard]] Hierarchy parse_hierarchy(const std::string& text);
+[[nodiscard]] Hierarchy parse_hierarchy_file(const std::string& path);
+
+// Renders a Hierarchy back to the textual format (round-trips through
+// parse_hierarchy).
+[[nodiscard]] std::string format_hierarchy(const Hierarchy& spec);
+
+}  // namespace hfq::core

@@ -1,0 +1,2 @@
+// Wf2qPlusFixed is header-only; this TU anchors the library target.
+#include "core/wf2qplus_fixed.h"

@@ -1,0 +1,10 @@
+// Explicit instantiations of the fluid GPS server for the two supported
+// numeric types; keeps template code compiled and warnings visible.
+#include "fluid/gps.h"
+
+namespace hfq::fluid {
+
+template class GpsServer<double>;
+template class GpsServer<util::Rational>;
+
+}  // namespace hfq::fluid

@@ -1,0 +1,193 @@
+// Event-driven fluid Generalized Processor Sharing (GPS) reference server.
+//
+// This is the idealized system of Parekh & Gallager [14] that WFQ / WF²Q /
+// WF²Q+ approximate. It is used as the test oracle: packet schedulers are
+// checked against per-packet fluid finish times and cumulative service
+// curves. The implementation is templated on the numeric type so the paper's
+// worked examples can be verified with exact rational arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/assert.h"
+#include "util/rational.h"
+
+namespace hfq::fluid {
+
+using net::FlowId;
+
+// Numeric glue so the same fluid code runs on double and exact Rational.
+template <typename Num>
+struct NumTraits;
+
+template <>
+struct NumTraits<double> {
+  static constexpr double zero() { return 0.0; }
+  // Service amounts below this are considered fully drained (absorbs FP dust
+  // from repeated rate subdivision).
+  static bool is_drained(double backlog_bits) { return backlog_bits <= 1e-6; }
+};
+
+template <>
+struct NumTraits<util::Rational> {
+  static util::Rational zero() { return util::Rational(0); }
+  static bool is_drained(const util::Rational& backlog_bits) {
+    return backlog_bits <= util::Rational(0);
+  }
+};
+
+// A completed fluid service of one packet.
+template <typename Num>
+struct FluidDeparture {
+  Num time{};
+  FlowId flow = net::kInvalidFlow;
+  std::uint64_t pkt_index = 0;  // 0-based per-flow sequence number
+};
+
+template <typename Num>
+class GpsServer {
+ public:
+  explicit GpsServer(Num link_rate_bps) : link_rate_(link_rate_bps) {
+    HFQ_ASSERT(Num(0) < link_rate_);
+  }
+
+  // Registers a flow with its guaranteed rate (bits/sec). The GPS share is
+  // proportional to the rate. Must be called before arrivals for the flow.
+  void add_flow(FlowId id, Num rate_bps) {
+    HFQ_ASSERT(Num(0) < rate_bps);
+    if (id >= flows_.size()) flows_.resize(id + 1);
+    HFQ_ASSERT_MSG(!flows_[id].registered, "flow registered twice");
+    flows_[id].registered = true;
+    flows_[id].rate = rate_bps;
+  }
+
+  // Feeds a packet arrival. Times must be non-decreasing across calls.
+  void arrive(Num time, FlowId id, Num bits) {
+    HFQ_ASSERT(id < flows_.size() && flows_[id].registered);
+    HFQ_ASSERT_MSG(!(time < now_), "arrivals must be time-ordered");
+    HFQ_ASSERT(Num(0) < bits);
+    advance_to(time);
+    Flow& f = flows_[id];
+    f.boundaries.push_back(f.arrived_bits + bits);
+    f.arrived_bits += bits;
+    if (!f.backlogged) {
+      f.backlogged = true;
+      backlogged_count_ += 1;
+      backlogged_rate_sum_ += f.rate;
+    }
+  }
+
+  // Processes fluid service up to absolute time `t`.
+  void advance_to(Num t) {
+    HFQ_ASSERT_MSG(!(t < now_), "cannot advance backwards");
+    while (now_ < t) {
+      if (backlogged_count_ == 0) {
+        now_ = t;
+        return;
+      }
+      // Time until the earliest backlogged flow crosses a packet boundary.
+      std::optional<Num> min_dt;
+      for (FlowId id = 0; id < flows_.size(); ++id) {
+        const Flow& f = flows_[id];
+        if (!f.backlogged) continue;
+        const Num rate = instantaneous_rate(f);
+        const Num dt = (f.boundaries.front() - f.served_bits) / rate;
+        if (!min_dt || dt < *min_dt) min_dt = dt;
+      }
+      const Num dt_to_t = t - now_;
+      serve_for(*min_dt < dt_to_t ? *min_dt : dt_to_t);
+      process_departures();
+    }
+    process_departures();
+  }
+
+  // Departure log in fluid finish-time order (ties: flow id order).
+  [[nodiscard]] const std::vector<FluidDeparture<Num>>& departures() const {
+    return departures_;
+  }
+
+  // Cumulative bits served to flow `id` as of the current time.
+  [[nodiscard]] Num work(FlowId id) const {
+    HFQ_ASSERT(id < flows_.size() && flows_[id].registered);
+    return flows_[id].served_bits;
+  }
+
+  [[nodiscard]] Num backlog(FlowId id) const {
+    HFQ_ASSERT(id < flows_.size() && flows_[id].registered);
+    return flows_[id].arrived_bits - flows_[id].served_bits;
+  }
+
+  [[nodiscard]] bool backlogged(FlowId id) const {
+    HFQ_ASSERT(id < flows_.size() && flows_[id].registered);
+    return flows_[id].backlogged;
+  }
+
+  [[nodiscard]] std::size_t backlogged_flows() const noexcept {
+    return backlogged_count_;
+  }
+
+  [[nodiscard]] Num now() const { return now_; }
+  [[nodiscard]] Num link_rate() const { return link_rate_; }
+
+ private:
+  struct Flow {
+    bool registered = false;
+    bool backlogged = false;
+    Num rate{};          // guaranteed rate (share weight)
+    Num arrived_bits{};  // cumulative arrivals
+    Num served_bits{};   // cumulative service
+    std::uint64_t departed_count = 0;
+    std::deque<Num> boundaries;  // cumulative-bit packet boundaries not yet departed
+  };
+
+  // Rate of a backlogged flow: share of the link proportional to its
+  // guaranteed rate among currently backlogged flows (Eq. 2 of the paper).
+  [[nodiscard]] Num instantaneous_rate(const Flow& f) const {
+    return f.rate / backlogged_rate_sum_ * link_rate_;
+  }
+
+  void serve_for(Num dt) {
+    if (!(Num(0) < dt)) return;
+    for (FlowId id = 0; id < flows_.size(); ++id) {
+      Flow& f = flows_[id];
+      if (!f.backlogged) continue;
+      f.served_bits += instantaneous_rate(f) * dt;
+      if (f.arrived_bits < f.served_bits) f.served_bits = f.arrived_bits;
+    }
+    now_ += dt;
+  }
+
+  void process_departures() {
+    for (FlowId id = 0; id < flows_.size(); ++id) {
+      Flow& f = flows_[id];
+      while (!f.boundaries.empty() &&
+             NumTraits<Num>::is_drained(f.boundaries.front() - f.served_bits)) {
+        departures_.push_back(FluidDeparture<Num>{now_, id, f.departed_count});
+        f.departed_count += 1;
+        f.boundaries.pop_front();
+      }
+      if (f.backlogged &&
+          NumTraits<Num>::is_drained(f.arrived_bits - f.served_bits)) {
+        f.backlogged = false;
+        f.served_bits = f.arrived_bits;  // snap away FP dust
+        backlogged_count_ -= 1;
+        backlogged_rate_sum_ -= f.rate;
+        if (backlogged_count_ == 0) backlogged_rate_sum_ = NumTraits<Num>::zero();
+      }
+    }
+  }
+
+  Num link_rate_;
+  Num now_ = NumTraits<Num>::zero();
+  Num backlogged_rate_sum_ = NumTraits<Num>::zero();
+  std::size_t backlogged_count_ = 0;
+
+  std::vector<Flow> flows_;
+  std::vector<FluidDeparture<Num>> departures_;
+};
+
+}  // namespace hfq::fluid

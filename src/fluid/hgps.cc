@@ -1,0 +1,9 @@
+// Explicit instantiations of the fluid H-GPS server.
+#include "fluid/hgps.h"
+
+namespace hfq::fluid {
+
+template class HgpsServer<double>;
+template class HgpsServer<util::Rational>;
+
+}  // namespace hfq::fluid

@@ -1,0 +1,221 @@
+// Event-driven fluid Hierarchical GPS (H-GPS) reference server (Section 2.2
+// of the paper).
+//
+// Each node distributes the service it receives to its backlogged children
+// in proportion to their shares; packet queues live only at leaves. The
+// implementation reproduces the paper's defining behaviour, including the
+// finish-order reordering that makes a single virtual time function
+// impossible (the A1/A2/B example) — a unit test pins those exact numbers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "fluid/gps.h"
+#include "util/assert.h"
+
+namespace hfq::fluid {
+
+using NodeId = std::uint32_t;
+
+template <typename Num>
+class HgpsServer {
+ public:
+  explicit HgpsServer(Num link_rate_bps) : link_rate_(link_rate_bps) {
+    HFQ_ASSERT(Num(0) < link_rate_);
+    nodes_.push_back(Node{});  // root
+    nodes_[0].rate = link_rate_;
+    nodes_[0].parent = kNoParent;
+  }
+
+  [[nodiscard]] NodeId root() const noexcept { return 0; }
+
+  // Adds a node under `parent` with guaranteed rate `rate_bps` (bits/sec).
+  // A node becomes a leaf by receiving arrivals; internal nodes are those
+  // with children. Children's rates should sum to at most the parent's.
+  NodeId add_node(NodeId parent, Num rate_bps) {
+    HFQ_ASSERT(parent < nodes_.size());
+    HFQ_ASSERT(Num(0) < rate_bps);
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{});
+    nodes_[id].rate = rate_bps;
+    nodes_[id].parent = parent;
+    nodes_[parent].children.push_back(id);
+    return id;
+  }
+
+  // Feeds a packet arrival at a leaf. Times must be non-decreasing.
+  void arrive(Num time, NodeId leaf, Num bits) {
+    HFQ_ASSERT(leaf < nodes_.size());
+    HFQ_ASSERT_MSG(nodes_[leaf].children.empty(), "arrivals only at leaves");
+    HFQ_ASSERT_MSG(!(time < now_), "arrivals must be time-ordered");
+    advance_to(time);
+    Node& n = nodes_[leaf];
+    n.boundaries.push_back(n.arrived_bits + bits);
+    n.arrived_bits += bits;
+    mark_backlogged(leaf);
+  }
+
+  // Processes fluid service up to absolute time `t`.
+  void advance_to(Num t) {
+    HFQ_ASSERT_MSG(!(t < now_), "cannot advance backwards");
+    while (now_ < t) {
+      if (!nodes_[0].backlogged) {
+        now_ = t;
+        return;
+      }
+      compute_rates();
+      std::optional<Num> min_dt;
+      for (NodeId id = 0; id < nodes_.size(); ++id) {
+        const Node& n = nodes_[id];
+        if (!is_leaf(id) || !n.backlogged) continue;
+        const Num dt = (n.boundaries.front() - n.served_bits) / n.inst_rate;
+        if (!min_dt || dt < *min_dt) min_dt = dt;
+      }
+      const Num dt_to_t = t - now_;
+      serve_for(*min_dt < dt_to_t ? *min_dt : dt_to_t);
+      process_departures();
+    }
+    process_departures();
+  }
+
+  [[nodiscard]] const std::vector<FluidDeparture<Num>>& departures() const {
+    return departures_;
+  }
+
+  // Cumulative bits served to the subtree rooted at `id` (for a leaf, to the
+  // session) as of the current time. This is the paper's W_n(0, t).
+  [[nodiscard]] Num work(NodeId id) const {
+    HFQ_ASSERT(id < nodes_.size());
+    return nodes_[id].served_bits;
+  }
+
+  [[nodiscard]] Num backlog(NodeId leaf) const {
+    HFQ_ASSERT(leaf < nodes_.size() && is_leaf(leaf));
+    return nodes_[leaf].arrived_bits - nodes_[leaf].served_bits;
+  }
+
+  [[nodiscard]] bool backlogged(NodeId id) const {
+    HFQ_ASSERT(id < nodes_.size());
+    return nodes_[id].backlogged;
+  }
+
+  // Instantaneous service rate of a node as of the last event (valid for
+  // backlogged nodes between events).
+  [[nodiscard]] Num instantaneous_rate(NodeId id) {
+    compute_rates();
+    return nodes_[id].inst_rate;
+  }
+
+  [[nodiscard]] Num now() const { return now_; }
+  [[nodiscard]] Num link_rate() const { return link_rate_; }
+
+ private:
+  static constexpr NodeId kNoParent = UINT32_MAX;
+
+  struct Node {
+    Num rate{};              // guaranteed rate (share weight)
+    NodeId parent = kNoParent;
+    std::vector<NodeId> children;
+    bool backlogged = false;
+    Num inst_rate{};         // current fluid rate (recomputed per event)
+    Num arrived_bits{};      // leaves only
+    Num served_bits{};       // leaves: session service; internal: subtree sum
+    std::uint64_t departed_count = 0;
+    std::deque<Num> boundaries;
+  };
+
+  [[nodiscard]] bool is_leaf(NodeId id) const {
+    return nodes_[id].children.empty();
+  }
+
+  void mark_backlogged(NodeId leaf) {
+    for (NodeId id = leaf; id != kNoParent; id = nodes_[id].parent) {
+      if (nodes_[id].backlogged) break;
+      nodes_[id].backlogged = true;
+    }
+  }
+
+  // Top-down proportional distribution among backlogged children (Eq. 8/9).
+  void compute_rates() {
+    for (Node& n : nodes_) n.inst_rate = NumTraits<Num>::zero();
+    if (!nodes_[0].backlogged) return;
+    nodes_[0].inst_rate = link_rate_;
+    // nodes_ is in creation order, parents precede children.
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      const Node& n = nodes_[id];
+      if (!n.backlogged || n.children.empty()) continue;
+      Num share_sum = NumTraits<Num>::zero();
+      for (const NodeId c : n.children) {
+        if (nodes_[c].backlogged) share_sum += nodes_[c].rate;
+      }
+      for (const NodeId c : n.children) {
+        if (nodes_[c].backlogged) {
+          nodes_[c].inst_rate = n.inst_rate * nodes_[c].rate / share_sum;
+        }
+      }
+    }
+  }
+
+  void serve_for(Num dt) {
+    if (!(Num(0) < dt)) return;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      Node& n = nodes_[id];
+      if (!is_leaf(id) || !n.backlogged) continue;
+      Num served = n.inst_rate * dt;
+      if (n.arrived_bits - n.served_bits < served) {
+        served = n.arrived_bits - n.served_bits;
+      }
+      n.served_bits += served;
+      // Propagate subtree service to ancestors.
+      for (NodeId a = n.parent; a != kNoParent; a = nodes_[a].parent) {
+        nodes_[a].served_bits += served;
+      }
+    }
+    now_ += dt;
+  }
+
+  void process_departures() {
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      Node& n = nodes_[id];
+      if (!is_leaf(id)) continue;
+      while (!n.boundaries.empty() &&
+             NumTraits<Num>::is_drained(n.boundaries.front() - n.served_bits)) {
+        departures_.push_back(FluidDeparture<Num>{now_, id, n.departed_count});
+        n.departed_count += 1;
+        n.boundaries.pop_front();
+      }
+      if (n.backlogged &&
+          NumTraits<Num>::is_drained(n.arrived_bits - n.served_bits)) {
+        n.served_bits = n.arrived_bits;  // snap away FP dust
+        unmark_backlogged(id);
+      }
+    }
+  }
+
+  // Clears backlogged flags upward while subtrees have drained.
+  void unmark_backlogged(NodeId leaf) {
+    nodes_[leaf].backlogged = false;
+    for (NodeId id = nodes_[leaf].parent; id != kNoParent;
+         id = nodes_[id].parent) {
+      bool any = false;
+      for (const NodeId c : nodes_[id].children) {
+        if (nodes_[c].backlogged) {
+          any = true;
+          break;
+        }
+      }
+      if (any) break;
+      nodes_[id].backlogged = false;
+    }
+  }
+
+  Num link_rate_;
+  Num now_ = NumTraits<Num>::zero();
+  std::vector<Node> nodes_;
+  std::vector<FluidDeparture<Num>> departures_;
+};
+
+}  // namespace hfq::fluid

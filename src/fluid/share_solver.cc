@@ -1,0 +1,2 @@
+// ShareSolver is header-only; this TU anchors the library target.
+#include "fluid/share_solver.h"

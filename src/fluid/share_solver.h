@@ -1,0 +1,137 @@
+// Hierarchical water-filling solver for ideal H-GPS bandwidth shares.
+//
+// Given the link-sharing tree, per-node weights, and per-leaf demands
+// (finite for peak-rate-limited sources, infinite for greedy/TCP sources),
+// computes the instantaneous bandwidth H-GPS would give every node: each
+// node splits its capacity among children in proportion to weights, capped
+// at demand, with surplus redistributed among the unsatisfied siblings.
+// This generates the "ideal" curves of the paper's Fig. 9(b).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace hfq::fluid {
+
+class ShareSolver {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr double kInfiniteDemand =
+      std::numeric_limits<double>::infinity();
+
+  // Creates the solver with an implicit root node (id 0).
+  ShareSolver() { nodes_.push_back(Node{}); }
+
+  // Adds a node under `parent` with the given weight (any positive scale —
+  // only ratios between siblings matter).
+  NodeId add_node(NodeId parent, double weight) {
+    HFQ_ASSERT(parent < nodes_.size());
+    HFQ_ASSERT(weight > 0.0);
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{});
+    nodes_[id].parent = parent;
+    nodes_[id].weight = weight;
+    nodes_[parent].children.push_back(id);
+    return id;
+  }
+
+  // Sets a leaf's demand in bits/sec (0 = inactive; kInfiniteDemand = greedy).
+  void set_demand(NodeId leaf, double demand_bps) {
+    HFQ_ASSERT(leaf < nodes_.size());
+    HFQ_ASSERT_MSG(nodes_[leaf].children.empty(), "demand only at leaves");
+    HFQ_ASSERT(demand_bps >= 0.0);
+    nodes_[leaf].demand = demand_bps;
+  }
+
+  // Computes the allocation for every node given the root capacity.
+  // Result is indexed by NodeId (bits/sec).
+  [[nodiscard]] std::vector<double> solve(double link_rate_bps) const {
+    HFQ_ASSERT(link_rate_bps > 0.0);
+    std::vector<double> subtree_demand(nodes_.size(), 0.0);
+    // Children were always appended after parents, so a reverse sweep
+    // aggregates demands bottom-up.
+    for (std::size_t i = nodes_.size(); i-- > 0;) {
+      const Node& n = nodes_[i];
+      if (n.children.empty()) {
+        subtree_demand[i] = n.demand;
+      } else {
+        double sum = 0.0;
+        for (const NodeId c : n.children) sum += subtree_demand[c];
+        subtree_demand[i] = sum;
+      }
+    }
+    std::vector<double> alloc(nodes_.size(), 0.0);
+    alloc[0] = std::min(link_rate_bps, subtree_demand[0]);
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      if (!nodes_[id].children.empty()) {
+        fill_children(id, alloc[id], subtree_demand, alloc);
+      }
+    }
+    return alloc;
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    NodeId parent = 0;
+    double weight = 1.0;
+    double demand = 0.0;  // leaves only
+    std::vector<NodeId> children;
+  };
+
+  // Water-filling among the children of `id` given capacity `cap`.
+  void fill_children(NodeId id, double cap,
+                     const std::vector<double>& subtree_demand,
+                     std::vector<double>& alloc) const {
+    const Node& n = nodes_[id];
+    struct Entry {
+      NodeId child;
+      double weight;
+      double demand;
+    };
+    std::vector<Entry> active;
+    active.reserve(n.children.size());
+    for (const NodeId c : n.children) {
+      if (subtree_demand[c] > 0.0) {
+        active.push_back(Entry{c, nodes_[c].weight, subtree_demand[c]});
+      }
+    }
+    double remaining = cap;
+    double weight_sum = 0.0;
+    for (const Entry& e : active) weight_sum += e.weight;
+    // Iteratively satisfy children whose demand is below their fair share.
+    // Each pass removes at least one child, so this terminates in O(k²),
+    // fine for link-sharing trees.
+    std::vector<bool> done(active.size(), false);
+    std::size_t open = active.size();
+    while (open > 0) {
+      bool changed = false;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (done[i]) continue;
+        const double fair = remaining * active[i].weight / weight_sum;
+        if (active[i].demand <= fair) {
+          alloc[active[i].child] = active[i].demand;
+          remaining -= active[i].demand;
+          weight_sum -= active[i].weight;
+          done[i] = true;
+          --open;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (!done[i]) {
+        alloc[active[i].child] = remaining * active[i].weight / weight_sum;
+      }
+    }
+  }
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace hfq::fluid

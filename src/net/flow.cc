@@ -1,0 +1,2 @@
+// FlowQueue is header-only; this TU anchors the library target.
+#include "net/flow.h"

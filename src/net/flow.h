@@ -1,0 +1,59 @@
+// Per-session FIFO packet queue with byte accounting and optional capacity.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "net/packet.h"
+#include "util/assert.h"
+
+namespace hfq::net {
+
+// FIFO queue for one session. Capacity (in packets) bounds the queue for
+// drop-tail behaviour; 0 means unlimited. Drops are counted, which the TCP
+// experiments rely on as their loss signal.
+class FlowQueue {
+ public:
+  FlowQueue() = default;
+  explicit FlowQueue(std::size_t capacity_packets)
+      : capacity_(capacity_packets) {}
+
+  // Returns true if accepted, false if dropped (queue full).
+  bool push(const Packet& p) {
+    if (capacity_ != 0 && q_.size() >= capacity_) {
+      ++drops_;
+      return false;
+    }
+    q_.push_back(p);
+    bytes_ += p.size_bytes;
+    return true;
+  }
+
+  [[nodiscard]] const Packet& front() const {
+    HFQ_ASSERT(!q_.empty());
+    return q_.front();
+  }
+
+  Packet pop() {
+    HFQ_ASSERT(!q_.empty());
+    Packet p = q_.front();
+    q_.pop_front();
+    bytes_ -= p.size_bytes;
+    return p;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::deque<Packet> q_;
+  std::size_t capacity_ = 0;  // 0 = unlimited
+  std::uint64_t bytes_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace hfq::net

@@ -1,0 +1,13 @@
+#include "net/packet.h"
+
+#include <ostream>
+
+namespace hfq::net {
+
+std::ostream& operator<<(std::ostream& os, const Packet& p) {
+  return os << "pkt{id=" << p.id << " flow=" << p.flow << " bytes="
+            << p.size_bytes << (p.kind == PacketKind::kAck ? " ack" : "")
+            << "}";
+}
+
+}  // namespace hfq::net

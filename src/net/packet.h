@@ -1,0 +1,39 @@
+// Packet and flow identifiers shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+namespace hfq::net {
+
+// Identifies a session (the paper's "session"/leaf queue). Dense small
+// integers; schedulers size their tables by the largest id registered.
+using FlowId = std::uint32_t;
+inline constexpr FlowId kInvalidFlow = std::numeric_limits<FlowId>::max();
+
+// Simulated time in seconds.
+using Time = double;
+
+enum class PacketKind : std::uint8_t {
+  kData = 0,
+  kAck = 1,  // used by the TCP substrate
+};
+
+struct Packet {
+  std::uint64_t id = 0;         // globally unique, assigned by the creator
+  FlowId flow = kInvalidFlow;   // session the packet belongs to
+  std::uint32_t size_bytes = 0;
+  Time created = 0.0;           // time the source emitted the packet
+  Time arrival = 0.0;           // time it entered the measured server
+  PacketKind kind = PacketKind::kData;
+  std::uint64_t meta = 0;       // protocol scratch (e.g. TCP sequence number)
+
+  [[nodiscard]] double size_bits() const noexcept {
+    return 8.0 * static_cast<double>(size_bytes);
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Packet& p);
+
+}  // namespace hfq::net

@@ -1,0 +1,41 @@
+// The scheduler interface a link drives.
+//
+// Timing contract (matches the paper's Section 4.2 ordering): the link calls
+// dequeue() at the instant it is ready to begin the next transmission, i.e.
+// after the previous packet fully departed. Any packet enqueued during the
+// previous transmission is therefore visible to the selection — this is what
+// makes SEFF eligibility and RESET-PATH-then-RESTART semantics exact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/packet.h"
+
+namespace hfq::net {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Offers a packet to the session queue. `now` is the arrival time (used by
+  // virtual-time bookkeeping). Returns false iff the packet was dropped
+  // (finite session buffer).
+  virtual bool enqueue(const Packet& p, Time now) = 0;
+
+  // Picks the next packet to transmit, or nullopt if idle. `now` is the time
+  // transmission would begin.
+  virtual std::optional<Packet> dequeue(Time now) = 0;
+
+  // Number of packets currently queued (a packet handed out by dequeue() is
+  // no longer counted).
+  [[nodiscard]] virtual std::size_t backlog_packets() const = 0;
+
+  [[nodiscard]] bool empty() const { return backlog_packets() == 0; }
+};
+
+}  // namespace hfq::net

@@ -1,0 +1,107 @@
+#include "qos/admission.h"
+
+#include <map>
+
+namespace hfq::qos {
+namespace {
+
+// Sum of children's guaranteed rates per node index.
+std::map<std::uint32_t, double> children_rate_sums(
+    const core::Hierarchy& spec) {
+  std::map<std::uint32_t, double> sums;
+  for (std::uint32_t i = 1; i < spec.size(); ++i) {
+    sums[static_cast<std::uint32_t>(spec.node(i).parent)] +=
+        spec.node(i).rate_bps;
+  }
+  return sums;
+}
+
+}  // namespace
+
+std::vector<ValidationIssue> validate(const core::Hierarchy& spec) {
+  std::vector<ValidationIssue> issues;
+  const auto sums = children_rate_sums(spec);
+  for (const auto& [node, sum] : sums) {
+    const double rate = spec.node(node).rate_bps;
+    // Tolerate tiny floating slack (shares are often typed as decimals).
+    if (sum > rate * (1.0 + 1e-9) + 1e-9) {
+      issues.push_back(ValidationIssue{
+          node, sum, rate,
+          "children of '" + spec.node(node).name +
+              "' oversubscribe it: " + std::to_string(sum) + " > " +
+              std::to_string(rate)});
+    }
+  }
+  return issues;
+}
+
+std::optional<double> delay_bound(const core::Hierarchy& spec,
+                                  std::uint32_t leaf, double sigma_bits,
+                                  double lmax_bits) {
+  if (leaf >= spec.size() || !spec.node(leaf).leaf) return std::nullopt;
+  HFQ_ASSERT(sigma_bits >= 0.0);
+  HFQ_ASSERT(lmax_bits > 0.0);
+  double bound = sigma_bits / spec.node(leaf).rate_bps;
+  // Ancestor servers: parent class, ..., root (the link).
+  for (std::int32_t n = spec.node(leaf).parent; n >= 0;
+       n = spec.node(static_cast<std::uint32_t>(n)).parent) {
+    bound += lmax_bits / spec.node(static_cast<std::uint32_t>(n)).rate_bps;
+  }
+  bound += lmax_bits / spec.link_rate();  // own transmission time
+  return bound;
+}
+
+std::optional<double> delay_bound_for_flow(const core::Hierarchy& spec,
+                                           net::FlowId flow,
+                                           double sigma_bits,
+                                           double lmax_bits) {
+  for (std::uint32_t i = 1; i < spec.size(); ++i) {
+    if (spec.node(i).leaf && spec.node(i).flow == flow) {
+      return delay_bound(spec, i, sigma_bits, lmax_bits);
+    }
+  }
+  return std::nullopt;
+}
+
+AdmissionDecision evaluate(const core::Hierarchy& spec,
+                           const AdmissionRequest& req, double lmax_bits) {
+  AdmissionDecision out;
+  if (req.parent >= spec.size() || spec.node(req.parent).leaf) {
+    out.reason = "parent is not a class";
+    return out;
+  }
+  if (req.rate_bps <= 0.0) {
+    out.reason = "rate must be positive";
+    return out;
+  }
+  // Headroom under the parent.
+  double children = 0.0;
+  for (std::uint32_t i = 1; i < spec.size(); ++i) {
+    if (static_cast<std::uint32_t>(spec.node(i).parent) == req.parent) {
+      children += spec.node(i).rate_bps;
+    }
+  }
+  out.headroom_bps = spec.node(req.parent).rate_bps - children;
+  if (req.rate_bps > out.headroom_bps * (1.0 + 1e-9) + 1e-9) {
+    out.reason = "insufficient rate headroom under parent";
+    return out;
+  }
+  // Bound the hypothetical session would get (Corollary 2 path walk).
+  double bound = req.sigma_bits / req.rate_bps;
+  for (std::int32_t n = static_cast<std::int32_t>(req.parent); n >= 0;
+       n = spec.node(static_cast<std::uint32_t>(n)).parent) {
+    bound += lmax_bits / spec.node(static_cast<std::uint32_t>(n)).rate_bps;
+  }
+  bound += lmax_bits / spec.link_rate();
+  out.bound_s = bound;
+  if (bound > req.target_s) {
+    out.reason = "delay bound " + std::to_string(bound) +
+                 " s exceeds target " + std::to_string(req.target_s) + " s";
+    return out;
+  }
+  out.admitted = true;
+  out.reason = "ok";
+  return out;
+}
+
+}  // namespace hfq::qos

@@ -1,0 +1,78 @@
+// Admission control and delay-bound computation on a link-sharing tree —
+// the library's "downstream user" API for the paper's analytical results.
+//
+// Given a Hierarchy and the maximum packet size, this module:
+//  * validates the rate configuration (children's guaranteed rates must not
+//    oversubscribe their parent — the assumption behind Eqs. 3/8),
+//  * computes each session's Corollary 2 delay bound for a (sigma, rho)
+//    arrival constraint under H-WF²Q+,
+//  * answers admission queries: can a new session with a given rate and
+//    delay target be attached under a given class?
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "net/packet.h"
+#include "util/assert.h"
+
+namespace hfq::qos {
+
+struct ValidationIssue {
+  std::uint32_t node = 0;   // hierarchy index of the offending class
+  double children_rate = 0.0;
+  double node_rate = 0.0;
+  std::string message;
+};
+
+// Checks that every class's children sum to at most its own rate. Returns
+// all violations (empty = valid).
+[[nodiscard]] std::vector<ValidationIssue> validate(
+    const core::Hierarchy& spec);
+
+// Corollary 2 (conservative form): delay bound for a (sigma_bits,
+// rho = session rate) constrained session at hierarchy index `leaf` under
+// H-WF²Q+ nodes:
+//
+//   sigma / r_session + sum over ancestor servers n of Lmax / r_n
+//   + Lmax / r_link   (the packet's own transmission time)
+//
+// Returns nullopt if `leaf` is not a session.
+[[nodiscard]] std::optional<double> delay_bound(const core::Hierarchy& spec,
+                                                std::uint32_t leaf,
+                                                double sigma_bits,
+                                                double lmax_bits);
+
+// The same bound looked up by flow id.
+[[nodiscard]] std::optional<double> delay_bound_for_flow(
+    const core::Hierarchy& spec, net::FlowId flow, double sigma_bits,
+    double lmax_bits);
+
+// Admission request: attach a new session under class `parent` with the
+// given guaranteed rate and (sigma, rho=rate) constraint; the session needs
+// end-of-transmission delay at most `target_s`.
+struct AdmissionRequest {
+  std::uint32_t parent = 0;
+  double rate_bps = 0.0;
+  double sigma_bits = 0.0;
+  double target_s = 0.0;
+};
+
+struct AdmissionDecision {
+  bool admitted = false;
+  double bound_s = 0.0;       // the bound the new session would get
+  double headroom_bps = 0.0;  // spare rate under the parent before adding
+  std::string reason;
+};
+
+// Evaluates the request against the tree (without modifying it): the parent
+// must have `rate_bps` of unallocated rate, and the resulting Corollary 2
+// bound must meet the target.
+[[nodiscard]] AdmissionDecision evaluate(const core::Hierarchy& spec,
+                                         const AdmissionRequest& req,
+                                         double lmax_bits);
+
+}  // namespace hfq::qos

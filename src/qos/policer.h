@@ -1,0 +1,57 @@
+// (sigma, rho) token-bucket policer: drops non-conformant packets.
+//
+// The enforcement-side counterpart of traffic::LeakyBucketShaper (which
+// delays instead). Admission control (qos/admission.h) computes bounds that
+// hold for (sigma, rho)-constrained sessions; a policer at the edge makes
+// the constraint true by construction for untrusted traffic.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "util/assert.h"
+
+namespace hfq::qos {
+
+class Policer {
+ public:
+  Policer(double sigma_bits, double rho_bps)
+      : sigma_(sigma_bits), rho_(rho_bps), tokens_(sigma_bits) {
+    HFQ_ASSERT(sigma_bits > 0.0);
+    HFQ_ASSERT(rho_bps > 0.0);
+  }
+
+  // Returns true if the packet conforms (and charges the bucket); false if
+  // it must be dropped. Call with non-decreasing timestamps.
+  bool conforms(const net::Packet& p, net::Time now) {
+    HFQ_ASSERT_MSG(now >= clock_ - 1e-12, "policer time went backwards");
+    if (now > clock_) {
+      tokens_ += rho_ * (now - clock_);
+      if (tokens_ > sigma_) tokens_ = sigma_;
+      clock_ = now;
+    }
+    if (p.size_bits() <= tokens_ + 1e-9) {
+      tokens_ -= p.size_bits();
+      ++conformant_;
+      return true;
+    }
+    ++dropped_;
+    return false;
+  }
+
+  [[nodiscard]] std::uint64_t conformant() const noexcept {
+    return conformant_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] double tokens_bits() const noexcept { return tokens_; }
+
+ private:
+  double sigma_;
+  double rho_;
+  double tokens_;
+  net::Time clock_ = 0.0;
+  std::uint64_t conformant_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hfq::qos

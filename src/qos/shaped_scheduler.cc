@@ -1,0 +1,2 @@
+// ShapedScheduler is header-only; this TU anchors the library target.
+#include "qos/shaped_scheduler.h"

@@ -1,0 +1,82 @@
+// Rate-capped scheduling: a Scheduler decorator that shapes selected flows
+// to (sigma, rho) envelopes before they reach the inner scheduler.
+//
+// H-PFQ is work conserving: a class with idle siblings absorbs their
+// bandwidth. Deployments often also want an upper bound per class (the
+// "ceil" of later hierarchical shapers like Linux HTB). Composing the
+// paper's machinery gets exactly that: shape the flow's arrivals to
+// (sigma, rho_max) — its Corollary 2 bound then holds with rho = rho_max —
+// and let the inner H-WF²Q+ distribute what the shaper admits.
+//
+// The decorator is itself a net::Scheduler, so links drive it unchanged;
+// non-capped flows pass straight through.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "net/packet.h"
+#include "net/scheduler.h"
+#include "sim/simulator.h"
+#include "traffic/leaky_bucket.h"
+#include "util/assert.h"
+
+namespace hfq::qos {
+
+class ShapedScheduler : public net::Scheduler {
+ public:
+  // `inner` must outlive this object (typically both owned side by side).
+  ShapedScheduler(sim::Simulator& sim, net::Scheduler& inner)
+      : sim_(sim), inner_(inner) {}
+
+  // Caps `flow` to at most rho_bps with burst tolerance sigma_bits.
+  void cap_flow(net::FlowId flow, double sigma_bits, double rho_bps) {
+    HFQ_ASSERT_MSG(shapers_.count(flow) == 0, "flow capped twice");
+    shapers_.emplace(
+        flow, std::make_unique<traffic::LeakyBucketShaper>(
+                  sim_,
+                  [this](net::Packet p) {
+                    const net::Time now = sim_.now();
+                    net::Packet q = p;
+                    q.arrival = now;
+                    const bool ok = inner_.enqueue(q, now);
+                    if (ok && idle_notify_) idle_notify_();
+                    return ok;
+                  },
+                  sigma_bits, rho_bps));
+  }
+
+  // A link normally learns about new work through submit(); shaped packets
+  // surface later, so the owner must give us a poke-the-link callback.
+  void set_idle_notify(std::function<void()> fn) {
+    idle_notify_ = std::move(fn);
+  }
+
+  bool enqueue(const net::Packet& p, net::Time now) override {
+    const auto it = shapers_.find(p.flow);
+    if (it == shapers_.end()) {
+      return inner_.enqueue(p, now);
+    }
+    it->second->offer(p);
+    return true;  // accepted by the shaper (released later)
+  }
+
+  std::optional<net::Packet> dequeue(net::Time now) override {
+    return inner_.dequeue(now);
+  }
+
+  [[nodiscard]] std::size_t backlog_packets() const override {
+    return inner_.backlog_packets();
+  }
+
+ private:
+  sim::Simulator& sim_;
+  net::Scheduler& inner_;
+  std::function<void()> idle_notify_;
+  std::map<net::FlowId, std::unique_ptr<traffic::LeakyBucketShaper>> shapers_;
+};
+
+}  // namespace hfq::qos

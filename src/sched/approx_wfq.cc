@@ -1,0 +1,2 @@
+// ApproxWfq is header-only; this TU anchors the library target.
+#include "sched/approx_wfq.h"

@@ -1,0 +1,75 @@
+// "Approximate WFQ": the SFF policy running on the cheap Eq. 27 virtual
+// time instead of the exact GPS one — i.e. WF²Q+ with the eligibility test
+// removed.
+//
+// This is the design point of the frame/potential-based WFQ approximations
+// the paper cites ([18] and the SCFQ family): replace the expensive clock,
+// keep smallest-finish-first. The ablation benchmarks show its WFI is as
+// bad as WFQ's — the paper's argument that eligibility (SEFF), not the
+// clock, is what H-PFQ needs.
+#pragma once
+
+#include <optional>
+
+#include "sched/flat_base.h"
+
+namespace hfq::sched {
+
+class ApproxWfq : public FlatSchedulerBase {
+ public:
+  explicit ApproxWfq(double link_rate_bps) : link_rate_(link_rate_bps) {
+    HFQ_ASSERT(link_rate_bps > 0.0);
+  }
+
+  bool enqueue(const Packet& p, Time /*now*/) override {
+    FlowState& f = flow(p.flow);
+    if (!f.queue.push(p)) return false;
+    ++backlog_;
+    if (f.queue.size() == 1) {
+      const double f_prev = f.epoch == epoch_ ? f.finish : 0.0;
+      f.start = f_prev > vtime_ ? f_prev : vtime_;
+      f.finish = f.start + p.size_bits() / f.rate;
+      f.epoch = epoch_;
+      f.handle = heads_.push(f.finish, p.flow);
+      if (f.start < smin_ || heads_.size() == 1) smin_ = f.start;
+    }
+    return true;
+  }
+
+  std::optional<Packet> dequeue(Time /*now*/) override {
+    if (heads_.empty()) {
+      vtime_ = 0.0;
+      smin_ = 0.0;
+      ++epoch_;
+      return std::nullopt;
+    }
+    const FlowId id = heads_.pop();
+    FlowState& f = flow(id);
+    f.handle = util::kInvalidHeapHandle;
+    Packet p = f.queue.pop();
+    --backlog_;
+    // Eq. 27 update with the smallest start tag tracked conservatively:
+    // V <- max(V, Smin) + L/r.
+    double v_now = vtime_;
+    if (smin_ > v_now) v_now = smin_;
+    vtime_ = v_now + p.size_bits() / link_rate_;
+    if (!f.queue.empty()) {
+      f.start = f.finish;
+      f.finish = f.start + f.queue.front().size_bits() / f.rate;
+      f.handle = heads_.push(f.finish, id);
+      if (f.start < smin_) smin_ = f.start;
+    }
+    return p;
+  }
+
+  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+
+ private:
+  double link_rate_;
+  double vtime_ = 0.0;
+  double smin_ = 0.0;
+  std::uint64_t epoch_ = 1;
+  util::HandleHeap<double, FlowId> heads_;  // min finish tag (SFF)
+};
+
+}  // namespace hfq::sched

@@ -1,0 +1,2 @@
+// Drr is header-only; this TU anchors the library target.
+#include "sched/drr.h"

@@ -1,0 +1,76 @@
+// Deficit Round Robin (DRR) — Shreedhar & Varghese [17].
+//
+// Frame-based baseline: O(1) work per packet, no virtual times, but — as the
+// paper's related-work section notes — a Worst-case Fair Index proportional
+// to the frame length, i.e. large.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "sched/flat_base.h"
+
+namespace hfq::sched {
+
+class Drr : public FlatSchedulerBase {
+ public:
+  // `frame_bits` is the total quantum handed out per round across flows; a
+  // flow's quantum is frame_bits * rate_i / link_rate. Quanta smaller than a
+  // packet are legal (the flow accumulates deficit over several rounds).
+  Drr(double link_rate_bps, double frame_bits)
+      : link_rate_(link_rate_bps), frame_bits_(frame_bits) {
+    HFQ_ASSERT(link_rate_bps > 0.0);
+    HFQ_ASSERT(frame_bits > 0.0);
+  }
+
+  bool enqueue(const Packet& p, Time /*now*/) override {
+    FlowState& f = flow(p.flow);
+    if (!f.queue.push(p)) return false;
+    ++backlog_;
+    if (f.queue.size() == 1) {
+      f.deficit_bits = 0.0;
+      f.visited_this_round = false;
+      active_.push_back(p.flow);
+    }
+    return true;
+  }
+
+  std::optional<Packet> dequeue(Time /*now*/) override {
+    while (!active_.empty()) {
+      const FlowId id = active_.front();
+      FlowState& f = flow(id);
+      if (!f.visited_this_round) {
+        f.deficit_bits += quantum(id);
+        f.visited_this_round = true;
+      }
+      const double head_bits = f.queue.front().size_bits();
+      if (f.deficit_bits + 1e-9 >= head_bits) {
+        f.deficit_bits -= head_bits;
+        Packet p = f.queue.pop();
+        --backlog_;
+        if (f.queue.empty()) {
+          f.deficit_bits = 0.0;  // deficit does not persist across idle
+          f.visited_this_round = false;
+          active_.pop_front();
+        }
+        return p;
+      }
+      // Quantum exhausted: move to the back of the round.
+      f.visited_this_round = false;
+      active_.pop_front();
+      active_.push_back(id);
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] double quantum(FlowId id) const {
+    return frame_bits_ * flow(id).rate / link_rate_;
+  }
+
+ private:
+  double link_rate_;
+  double frame_bits_;
+  std::deque<FlowId> active_;
+};
+
+}  // namespace hfq::sched

@@ -1,0 +1,2 @@
+// Fifo is header-only; this TU anchors the library target.
+#include "sched/fifo.h"

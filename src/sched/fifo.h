@@ -1,0 +1,36 @@
+// Single shared FIFO queue — the degenerate baseline scheduler.
+#pragma once
+
+#include <optional>
+
+#include "net/flow.h"
+#include "net/scheduler.h"
+
+namespace hfq::sched {
+
+class Fifo : public net::Scheduler {
+ public:
+  Fifo() = default;
+  // Bounds the shared buffer (0 = unlimited).
+  explicit Fifo(std::size_t capacity_packets) : queue_(capacity_packets) {}
+
+  bool enqueue(const net::Packet& p, net::Time /*now*/) override {
+    return queue_.push(p);
+  }
+
+  std::optional<net::Packet> dequeue(net::Time /*now*/) override {
+    if (queue_.empty()) return std::nullopt;
+    return queue_.pop();
+  }
+
+  [[nodiscard]] std::size_t backlog_packets() const override {
+    return queue_.size();
+  }
+
+  [[nodiscard]] std::uint64_t drops() const noexcept { return queue_.drops(); }
+
+ private:
+  net::FlowQueue queue_;
+};
+
+}  // namespace hfq::sched

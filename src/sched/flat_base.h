@@ -1,0 +1,118 @@
+// Shared per-flow state for the one-level (flat) packet schedulers.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "net/flow.h"
+#include "net/packet.h"
+#include "net/scheduler.h"
+#include "util/assert.h"
+#include "util/heap.h"
+
+namespace hfq::sched {
+
+using net::FlowId;
+using net::Packet;
+using net::Time;
+
+// Common flow table: registration with guaranteed rate, per-flow FIFO queue
+// with optional capacity, and backlog accounting. Concrete schedulers add
+// their tag/selection logic on top.
+class FlatSchedulerBase : public net::Scheduler {
+ public:
+  // Registers a flow. `rate_bps` is its guaranteed rate; `capacity_packets`
+  // bounds the session buffer (0 = unlimited). Virtual: schedulers with
+  // policy-specific per-flow state (WFQ/WF²Q fluid trackers) extend it, and
+  // registration through a base pointer must reach them.
+  virtual void add_flow(FlowId id, double rate_bps,
+                        std::size_t capacity_packets = 0) {
+    HFQ_ASSERT(rate_bps > 0.0);
+    if (id >= flows_.size()) flows_.resize(id + 1);
+    HFQ_ASSERT_MSG(!flows_[id].registered, "flow registered twice");
+    flows_[id].registered = true;
+    flows_[id].rate = rate_bps;
+    flows_[id].queue = net::FlowQueue(capacity_packets);
+  }
+
+  [[nodiscard]] std::size_t backlog_packets() const override {
+    return backlog_;
+  }
+
+  [[nodiscard]] std::uint64_t drops(FlowId id) const {
+    HFQ_ASSERT(id < flows_.size() && flows_[id].registered);
+    return flows_[id].queue.drops();
+  }
+
+  [[nodiscard]] std::size_t queue_length(FlowId id) const {
+    HFQ_ASSERT(id < flows_.size() && flows_[id].registered);
+    return flows_[id].queue.size();
+  }
+
+  [[nodiscard]] double rate_of(FlowId id) const {
+    HFQ_ASSERT(id < flows_.size() && flows_[id].registered);
+    return flows_[id].rate;
+  }
+
+  [[nodiscard]] std::size_t flow_count() const noexcept {
+    return flows_.size();
+  }
+
+ protected:
+  struct FlowState {
+    bool registered = false;
+    double rate = 0.0;
+    net::FlowQueue queue;
+    // Virtual start/finish tags of the head packet (schedulers that use
+    // virtual times; Eq. 28/29 per-session form).
+    double start = 0.0;
+    double finish = 0.0;
+    util::HeapHandle handle = util::kInvalidHeapHandle;
+    bool in_eligible = false;  // WF²Q-family: which heap `handle` refers to
+    // Busy-period epoch for self-clocked schedulers: tags stamped in an
+    // older epoch are treated as zero (O(1) idle reset).
+    std::uint64_t epoch = 0;
+    // DRR state.
+    double deficit_bits = 0.0;
+    bool visited_this_round = false;
+  };
+
+  FlowState& flow(FlowId id) {
+    HFQ_ASSERT_MSG(id < flows_.size() && flows_[id].registered,
+                   "unknown flow id");
+    return flows_[id];
+  }
+  const FlowState& flow(FlowId id) const {
+    HFQ_ASSERT_MSG(id < flows_.size() && flows_[id].registered,
+                   "unknown flow id");
+    return flows_[id];
+  }
+
+  std::vector<FlowState> flows_;
+  std::size_t backlog_ = 0;
+};
+
+// Comparison tolerance for virtual-time eligibility tests: absolute epsilon
+// scaled to the magnitude of the tags involved.
+[[nodiscard]] inline bool vt_leq(double a, double b) {
+  const double mag = std::abs(a) > std::abs(b) ? std::abs(a) : std::abs(b);
+  return a <= b + 1e-9 * (mag > 1.0 ? mag : 1.0);
+}
+
+// Heap key for virtual-time tags: equal tags are ordered by packet arrival
+// sequence, reproducing the classic "global packet priority queue" tie
+// semantics of WFQ (the paper's Fig. 2 timeline depends on this: session 1's
+// tenth packet ties at virtual finish 20 with the ten one-packet sessions
+// and wins because it arrived first).
+struct VtKey {
+  double tag = 0.0;
+  std::uint64_t arrival_no = 0;
+
+  friend bool operator<(const VtKey& a, const VtKey& b) {
+    if (a.tag != b.tag) return a.tag < b.tag;
+    return a.arrival_no < b.arrival_no;
+  }
+};
+
+}  // namespace hfq::sched

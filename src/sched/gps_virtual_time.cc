@@ -1,0 +1,2 @@
+// GpsVirtualTime is header-only; this TU anchors the library target.
+#include "sched/gps_virtual_time.h"

@@ -1,0 +1,124 @@
+// Piecewise-linear GPS virtual time V_GPS(·) (Eqs. 4–7 of the paper).
+//
+// Tracks the fluid GPS system induced by a stamped arrival stream and
+// answers V(T) at any reference time T. The reference time is real time for
+// a standalone server and the node reference time T_n = W_n(0,t)/r_n for a
+// server node inside a hierarchy (Section 4.1).
+//
+// Worst-case cost of an advance is O(N) (stepping over fluid departure
+// epochs) — exactly the complexity the paper attributes to WFQ/WF²Q and the
+// motivation for WF²Q+'s cheaper Eq. 27 function.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/assert.h"
+#include "util/heap.h"
+
+namespace hfq::sched {
+
+using net::FlowId;
+
+class GpsVirtualTime {
+ public:
+  struct Stamp {
+    double start = 0.0;
+    double finish = 0.0;
+  };
+
+  explicit GpsVirtualTime(double link_rate_bps) : link_rate_(link_rate_bps) {
+    HFQ_ASSERT(link_rate_bps > 0.0);
+  }
+
+  // Registers a flow with its guaranteed rate (bits/sec); the GPS share is
+  // rate / link_rate.
+  void add_flow(FlowId id, double rate_bps) {
+    HFQ_ASSERT(rate_bps > 0.0);
+    if (id >= flows_.size()) flows_.resize(id + 1);
+    HFQ_ASSERT_MSG(!flows_[id].registered, "flow registered twice");
+    flows_[id].registered = true;
+    flows_[id].rate = rate_bps;
+  }
+
+  // Stamps a packet arriving at reference time T: S = max(F_prev, V(T)),
+  // F = S + bits / r_i. Times must be non-decreasing across calls.
+  Stamp on_arrival(double T, FlowId id, double bits) {
+    HFQ_ASSERT(id < flows_.size() && flows_[id].registered);
+    HFQ_ASSERT(bits > 0.0);
+    advance_to(T);
+    Flow& f = flows_[id];
+    Stamp st;
+    st.start = f.last_finish > vtime_ ? f.last_finish : vtime_;
+    st.finish = st.start + bits / f.rate;
+    f.last_finish = st.finish;
+    if (f.handle == util::kInvalidHeapHandle) {
+      f.handle = backlog_.push(f.last_finish, id);
+      phi_sum_ += f.rate / link_rate_;
+    } else {
+      backlog_.update_key(f.handle, f.last_finish);
+    }
+    return st;
+  }
+
+  // Advances the fluid system to reference time T (>= previous T).
+  void advance_to(double T) {
+    HFQ_ASSERT_MSG(T >= ref_time_ - 1e-9, "reference time went backwards");
+    while (ref_time_ < T) {
+      if (backlog_.empty()) {
+        ref_time_ = T;
+        return;
+      }
+      // Next fluid departure: flow whose backlog empties at V = min lastF.
+      const double v_next = backlog_.top_key();
+      const double dt_needed = (v_next - vtime_) * phi_sum_;
+      const double dt_avail = T - ref_time_;
+      if (dt_needed <= dt_avail) {
+        vtime_ = v_next;
+        ref_time_ += dt_needed;
+        pop_departures();
+      } else {
+        vtime_ += dt_avail / phi_sum_;
+        ref_time_ = T;
+      }
+    }
+  }
+
+  // Current virtual time (valid after advance_to / on_arrival).
+  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+  [[nodiscard]] double ref_time() const noexcept { return ref_time_; }
+
+  // True if the flow still has fluid backlog (its last finish tag is ahead
+  // of the current virtual time).
+  [[nodiscard]] bool fluid_backlogged(FlowId id) const {
+    HFQ_ASSERT(id < flows_.size() && flows_[id].registered);
+    return flows_[id].handle != util::kInvalidHeapHandle;
+  }
+
+ private:
+  struct Flow {
+    bool registered = false;
+    double rate = 0.0;
+    double last_finish = 0.0;  // largest virtual finish among arrived packets
+    util::HeapHandle handle = util::kInvalidHeapHandle;
+  };
+
+  void pop_departures() {
+    while (!backlog_.empty() && backlog_.top_key() <= vtime_ + 1e-12) {
+      const FlowId id = backlog_.pop();
+      flows_[id].handle = util::kInvalidHeapHandle;
+      phi_sum_ -= flows_[id].rate / link_rate_;
+    }
+    if (backlog_.empty()) phi_sum_ = 0.0;
+  }
+
+  double link_rate_;
+  double vtime_ = 0.0;
+  double ref_time_ = 0.0;
+  double phi_sum_ = 0.0;  // sum of shares of fluid-backlogged flows
+  std::vector<Flow> flows_;
+  util::HandleHeap<double, FlowId> backlog_;  // keyed by last_finish
+};
+
+}  // namespace hfq::sched

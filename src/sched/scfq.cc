@@ -1,0 +1,2 @@
+// Scfq is header-only; this TU anchors the library target.
+#include "sched/scfq.h"

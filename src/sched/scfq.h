@@ -1,0 +1,65 @@
+// Self-Clocked Fair Queueing (SCFQ) — Golestani [9].
+//
+// Avoids tracking the fluid system entirely: the virtual time is simply the
+// finish tag of the packet currently in service (O(1)). The price, which the
+// paper quantifies, is that the virtual time can stall (slope 0), so delay
+// bounds and WFI grow with the number of sessions.
+#pragma once
+
+#include <optional>
+
+#include "sched/flat_base.h"
+
+namespace hfq::sched {
+
+class Scfq : public FlatSchedulerBase {
+ public:
+  Scfq() = default;
+
+  bool enqueue(const Packet& p, Time /*now*/) override {
+    FlowState& f = flow(p.flow);
+    if (!f.queue.push(p)) return false;
+    ++backlog_;
+    if (f.queue.size() == 1) {
+      // Tags from previous busy periods are discarded (Golestani restarts
+      // the virtual clock every busy period).
+      const double f_prev = f.epoch == epoch_ ? f.finish : 0.0;
+      f.start = f_prev > vtime_ ? f_prev : vtime_;
+      f.finish = f.start + p.size_bits() / f.rate;
+      f.epoch = epoch_;
+      f.handle = heads_.push(f.finish, p.flow);
+    }
+    return true;
+  }
+
+  std::optional<Packet> dequeue(Time /*now*/) override {
+    if (heads_.empty()) {
+      // Busy period over (the link polls after the final transmission):
+      // restart the clock lazily via the epoch counter.
+      vtime_ = 0.0;
+      ++epoch_;
+      return std::nullopt;
+    }
+    const FlowId id = heads_.pop();
+    FlowState& f = flow(id);
+    f.handle = util::kInvalidHeapHandle;
+    vtime_ = f.finish;  // the self-clock: V(t) = tag of packet in service
+    Packet p = f.queue.pop();
+    --backlog_;
+    if (!f.queue.empty()) {
+      f.start = f.finish;
+      f.finish = f.start + f.queue.front().size_bits() / f.rate;
+      f.handle = heads_.push(f.finish, id);
+    }
+    return p;
+  }
+
+  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+
+ private:
+  double vtime_ = 0.0;
+  std::uint64_t epoch_ = 1;
+  util::HandleHeap<double, FlowId> heads_;  // min finish tag (SFF)
+};
+
+}  // namespace hfq::sched

@@ -1,0 +1,2 @@
+// StartTimeFq is header-only; this TU anchors the library target.
+#include "sched/sfq.h"

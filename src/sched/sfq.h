@@ -1,0 +1,64 @@
+// Start-time Fair Queueing (SFQ) — Goyal, Vin & Cheng, 1996.
+//
+// A contemporary of WF²Q+ included as an extension baseline: tags are
+// computed as in SCFQ but the server picks the smallest *start* tag, and the
+// virtual time is the start tag of the packet in service. Complexity is
+// O(log N); fairness is good but the delay bound is weaker than WF²Q+'s
+// (inversely proportional to the session rate rather than the link rate).
+#pragma once
+
+#include <optional>
+
+#include "sched/flat_base.h"
+
+namespace hfq::sched {
+
+class StartTimeFq : public FlatSchedulerBase {
+ public:
+  StartTimeFq() = default;
+
+  bool enqueue(const Packet& p, Time /*now*/) override {
+    FlowState& f = flow(p.flow);
+    if (!f.queue.push(p)) return false;
+    ++backlog_;
+    if (f.queue.size() == 1) {
+      const double f_prev = f.epoch == epoch_ ? f.finish : 0.0;
+      f.start = f_prev > vtime_ ? f_prev : vtime_;
+      f.finish = f.start + p.size_bits() / f.rate;
+      f.epoch = epoch_;
+      f.handle = heads_.push(f.start, p.flow);
+    }
+    return true;
+  }
+
+  std::optional<Packet> dequeue(Time /*now*/) override {
+    if (heads_.empty()) {
+      // Busy period over (the link polls after the final transmission):
+      // restart the clock lazily via the epoch counter.
+      vtime_ = 0.0;
+      ++epoch_;
+      return std::nullopt;
+    }
+    const FlowId id = heads_.pop();
+    FlowState& f = flow(id);
+    f.handle = util::kInvalidHeapHandle;
+    vtime_ = f.start;  // V(t) = start tag of the packet in service
+    Packet p = f.queue.pop();
+    --backlog_;
+    if (!f.queue.empty()) {
+      f.start = f.finish;
+      f.finish = f.start + f.queue.front().size_bits() / f.rate;
+      f.handle = heads_.push(f.start, id);
+    }
+    return p;
+  }
+
+  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+
+ private:
+  double vtime_ = 0.0;
+  std::uint64_t epoch_ = 1;
+  util::HandleHeap<double, FlowId> heads_;  // min start tag
+};
+
+}  // namespace hfq::sched

@@ -1,0 +1,2 @@
+// StochasticFq is header-only; this TU anchors the library target.
+#include "sched/stochastic_fq.h"

@@ -1,0 +1,87 @@
+// Stochastic Fair Queueing — McKenney [12].
+//
+// Fairness on the cheap: flows are hashed into a fixed number of buckets
+// and the buckets are served round-robin (packet-by-packet). Colliding
+// flows share one bucket's service; a keyed hash perturbs the mapping so
+// collisions are not permanent across restarts. No per-flow rates at all —
+// included as the paper's related-work baseline for "approximating fair
+// queueing with lower complexity" and measured in the WFI table.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/flow.h"
+#include "net/scheduler.h"
+#include "util/assert.h"
+
+namespace hfq::sched {
+
+class StochasticFq : public net::Scheduler {
+ public:
+  // `buckets` should be a few times the expected number of active flows;
+  // `per_bucket_capacity` bounds each bucket (0 = unlimited); `hash_key`
+  // seeds the perturbable hash.
+  explicit StochasticFq(std::size_t buckets,
+                        std::size_t per_bucket_capacity = 0,
+                        std::uint64_t hash_key = 0x9e3779b97f4a7c15ULL)
+      : key_(hash_key) {
+    HFQ_ASSERT(buckets > 0);
+    buckets_.reserve(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) {
+      buckets_.emplace_back(per_bucket_capacity);
+    }
+  }
+
+  bool enqueue(const net::Packet& p, net::Time /*now*/) override {
+    const std::size_t b = bucket_of(p.flow);
+    net::FlowQueue& q = buckets_[b];
+    const bool was_empty = q.empty();
+    if (!q.push(p)) return false;
+    ++backlog_;
+    if (was_empty) active_.push_back(b);
+    return true;
+  }
+
+  std::optional<net::Packet> dequeue(net::Time /*now*/) override {
+    if (active_.empty()) return std::nullopt;
+    const std::size_t b = active_.front();
+    active_.pop_front();
+    net::Packet p = buckets_[b].pop();
+    --backlog_;
+    if (!buckets_[b].empty()) active_.push_back(b);
+    return p;
+  }
+
+  [[nodiscard]] std::size_t backlog_packets() const override {
+    return backlog_;
+  }
+
+  // Re-keys the hash ("perturbation") — colliding flows get re-spread.
+  // Queued packets stay in their old buckets and drain round-robin.
+  void perturb(std::uint64_t new_key) { key_ = new_key; }
+
+  [[nodiscard]] std::size_t bucket_of(net::FlowId flow) const {
+    // Fibonacci-style mix keyed by key_.
+    std::uint64_t x = (static_cast<std::uint64_t>(flow) + 1) * key_;
+    x ^= x >> 29;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 32;
+    return static_cast<std::size_t>(x % buckets_.size());
+  }
+
+  [[nodiscard]] std::uint64_t drops() const {
+    std::uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.drops();
+    return n;
+  }
+
+ private:
+  std::uint64_t key_;
+  std::vector<net::FlowQueue> buckets_;
+  std::deque<std::size_t> active_;
+  std::size_t backlog_ = 0;
+};
+
+}  // namespace hfq::sched

@@ -1,0 +1,2 @@
+// VirtualClock is header-only; this TU anchors the library target.
+#include "sched/virtual_clock.h"

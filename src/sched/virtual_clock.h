@@ -1,0 +1,57 @@
+// Virtual Clock (Zhang, 1990) — an early rate-based discipline included as
+// a contrast baseline.
+//
+// Each flow keeps an auxiliary clock advanced by L/r_i per packet, lower
+// bounded by real time; the server transmits the smallest clock value.
+// Unlike the GPS family it *remembers* past excess: a flow that used idle
+// bandwidth has its clock run ahead of real time and is then locked out
+// while others catch up — unbounded unfairness, which the WFI table
+// benchmarks make visible.
+#pragma once
+
+#include <optional>
+
+#include "sched/flat_base.h"
+
+namespace hfq::sched {
+
+class VirtualClock : public FlatSchedulerBase {
+ public:
+  VirtualClock() = default;
+
+  bool enqueue(const Packet& p, Time now) override {
+    FlowState& f = flow(p.flow);
+    if (!f.queue.push(p)) return false;
+    ++backlog_;
+    // Stamp every packet at arrival: auxVC = max(now, auxVC) + L/r.
+    // Per-session storage suffices because stamps within a flow are
+    // monotone; the head stamp is reconstructed below.
+    if (f.queue.size() == 1) {
+      f.start = f.finish > now ? f.finish : now;
+      f.finish = f.start + p.size_bits() / f.rate;
+      f.handle = heads_.push(f.finish, p.flow);
+    }
+    // Packets queued behind the head chain their stamps at dequeue time.
+    return true;
+  }
+
+  std::optional<Packet> dequeue(Time now) override {
+    if (heads_.empty()) return std::nullopt;
+    const FlowId id = heads_.pop();
+    FlowState& f = flow(id);
+    f.handle = util::kInvalidHeapHandle;
+    Packet p = f.queue.pop();
+    --backlog_;
+    if (!f.queue.empty()) {
+      f.start = f.finish > now ? f.finish : now;
+      f.finish = f.start + f.queue.front().size_bits() / f.rate;
+      f.handle = heads_.push(f.finish, id);
+    }
+    return p;
+  }
+
+ private:
+  util::HandleHeap<double, FlowId> heads_;  // min auxVC
+};
+
+}  // namespace hfq::sched

@@ -1,0 +1,2 @@
+// Wf2q is header-only; this TU anchors the library target.
+#include "sched/wf2q.h"

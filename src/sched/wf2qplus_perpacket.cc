@@ -1,0 +1,2 @@
+// Wf2qPlusPerPacket is header-only; this TU anchors the library target.
+#include "sched/wf2qplus_perpacket.h"

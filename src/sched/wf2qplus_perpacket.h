@@ -1,0 +1,122 @@
+// WF²Q+ with per-packet tags — the formulation the paper simplifies away.
+//
+// Section 3.4 notes that maintaining per-packet virtual start/finish times
+// (Eqs. 6–7) "may not be acceptable for networks with small packet sizes"
+// and introduces the per-session form (Eqs. 28–29) used by core::Wf2qPlus.
+// This class implements the *original* per-packet formulation so tests can
+// verify the two produce identical schedules — evidence that the
+// simplification is behaviour-preserving, not an approximation.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sched/flat_base.h"
+
+namespace hfq::sched {
+
+class Wf2qPlusPerPacket : public FlatSchedulerBase {
+ public:
+  explicit Wf2qPlusPerPacket(double link_rate_bps)
+      : link_rate_(link_rate_bps) {
+    HFQ_ASSERT(link_rate_bps > 0.0);
+  }
+
+  void add_flow(FlowId id, double rate_bps,
+                std::size_t capacity_packets = 0) override {
+    FlatSchedulerBase::add_flow(id, rate_bps, capacity_packets);
+    if (id >= tags_.size()) tags_.resize(id + 1);
+  }
+
+  bool enqueue(const Packet& p, Time /*now*/) override {
+    FlowState& f = flow(p.flow);
+    if (!f.queue.push(p)) return false;
+    // Per-packet stamping at ARRIVAL time (Eqs. 6–7 with V_WF2Q+):
+    // S^k = max(F^{k-1}, V(a)), F^k = S^k + L/r_i.
+    PerFlow& t = tags_[p.flow];
+    const double f_prev =
+        t.epoch == epoch_ && !(t.stamps.empty() && t.last_finish == 0.0)
+            ? t.last_finish
+            : 0.0;
+    Stamp st;
+    st.start = f_prev > vtime_ ? f_prev : vtime_;
+    st.finish = st.start + p.size_bits() / f.rate;
+    st.arrival_no = arrival_counter_++;
+    t.last_finish = st.finish;
+    t.epoch = epoch_;
+    t.stamps.push_back(st);
+    ++backlog_;
+    if (f.queue.size() == 1) insert_head(p.flow);
+    return true;
+  }
+
+  std::optional<Packet> dequeue(Time /*now*/) override {
+    if (backlog_ == 0) {
+      vtime_ = 0.0;
+      ++epoch_;
+      return std::nullopt;
+    }
+    double v_now = vtime_;
+    if (eligible_.empty()) {
+      HFQ_ASSERT(!waiting_.empty());
+      const double smin = waiting_.top_key().tag;
+      if (smin > v_now) v_now = smin;
+    }
+    while (!waiting_.empty() && vt_leq(waiting_.top_key().tag, v_now)) {
+      const FlowId id = waiting_.pop();
+      FlowState& f = flow(id);
+      f.in_eligible = true;
+      const Stamp& st = tags_[id].stamps.front();
+      f.handle = eligible_.push(VtKey{st.finish, st.arrival_no}, id);
+    }
+    HFQ_ASSERT(!eligible_.empty());
+    const FlowId id = eligible_.pop();
+    FlowState& f = flow(id);
+    f.handle = util::kInvalidHeapHandle;
+    Packet p = f.queue.pop();
+    tags_[id].stamps.pop_front();
+    --backlog_;
+    vtime_ = v_now + p.size_bits() / link_rate_;
+    if (!f.queue.empty()) insert_head(id);
+    return p;
+  }
+
+  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+
+ private:
+  struct Stamp {
+    double start = 0.0;
+    double finish = 0.0;
+    std::uint64_t arrival_no = 0;
+  };
+  struct PerFlow {
+    std::deque<Stamp> stamps;   // one per queued packet
+    double last_finish = 0.0;   // F of the newest stamped packet
+    std::uint64_t epoch = 0;
+  };
+
+  void insert_head(FlowId id) {
+    FlowState& f = flow(id);
+    const Stamp& st = tags_[id].stamps.front();
+    f.start = st.start;
+    f.finish = st.finish;
+    if (vt_leq(st.start, vtime_)) {
+      f.in_eligible = true;
+      f.handle = eligible_.push(VtKey{st.finish, st.arrival_no}, id);
+    } else {
+      f.in_eligible = false;
+      f.handle = waiting_.push(VtKey{st.start, st.arrival_no}, id);
+    }
+  }
+
+  double link_rate_;
+  double vtime_ = 0.0;
+  std::uint64_t epoch_ = 1;
+  std::uint64_t arrival_counter_ = 0;
+  std::vector<PerFlow> tags_;
+  util::HandleHeap<VtKey, FlowId> eligible_;
+  util::HandleHeap<VtKey, FlowId> waiting_;
+};
+
+}  // namespace hfq::sched

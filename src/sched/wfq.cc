@@ -1,0 +1,2 @@
+// Wfq is header-only; this TU anchors the library target.
+#include "sched/wfq.h"

@@ -1,0 +1,84 @@
+// Weighted Fair Queueing (WFQ / PGPS) — Demers, Keshav & Shenker [6];
+// Parekh & Gallager [14].
+//
+// Packets are stamped with virtual start/finish times from the exact GPS
+// virtual time function; the server picks the Smallest virtual Finish time
+// First (SFF) among all queued packets. This is the paper's principal
+// baseline: tight delay bound but a Worst-case Fair Index that grows with
+// the number of sessions (Section 3.1).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sched/flat_base.h"
+#include "sched/gps_virtual_time.h"
+
+namespace hfq::sched {
+
+class Wfq : public FlatSchedulerBase {
+ public:
+  explicit Wfq(double link_rate_bps) : vt_(link_rate_bps) {}
+
+  void add_flow(FlowId id, double rate_bps,
+                std::size_t capacity_packets = 0) override {
+    FlatSchedulerBase::add_flow(id, rate_bps, capacity_packets);
+    vt_.add_flow(id, rate_bps);
+    if (id >= stamps_.size()) stamps_.resize(id + 1);
+  }
+
+  bool enqueue(const Packet& p, Time now) override {
+    FlowState& f = flow(p.flow);
+    if (!f.queue.push(p)) return false;
+    // Stamp only accepted packets — dropped traffic never enters the
+    // reference fluid system.
+    const auto st = vt_.on_arrival(now, p.flow, p.size_bits());
+    stamps_[p.flow].push_back(Entry{st, arrival_counter_++});
+    ++backlog_;
+    if (f.queue.size() == 1) set_head(p.flow);
+    return true;
+  }
+
+  std::optional<Packet> dequeue(Time now) override {
+    vt_.advance_to(now);
+    if (heads_.empty()) return std::nullopt;
+    const FlowId id = heads_.pop();
+    FlowState& f = flow(id);
+    f.handle = util::kInvalidHeapHandle;
+    Packet p = f.queue.pop();
+    stamps_[id].pop_front();
+    --backlog_;
+    if (!f.queue.empty()) set_head(id);
+    return p;
+  }
+
+  // Virtual tags of the head packet (exposed for tests/benchmarks).
+  [[nodiscard]] GpsVirtualTime::Stamp head_stamp(FlowId id) const {
+    HFQ_ASSERT(!stamps_[id].empty());
+    return stamps_[id].front().stamp;
+  }
+
+  [[nodiscard]] double vtime() const noexcept { return vt_.vtime(); }
+
+ private:
+  struct Entry {
+    GpsVirtualTime::Stamp stamp;
+    std::uint64_t arrival_no = 0;
+  };
+
+  void set_head(FlowId id) {
+    FlowState& f = flow(id);
+    const Entry& e = stamps_[id].front();
+    f.start = e.stamp.start;
+    f.finish = e.stamp.finish;
+    f.handle = heads_.push(VtKey{f.finish, e.arrival_no}, id);
+  }
+
+  GpsVirtualTime vt_;
+  std::vector<std::deque<Entry>> stamps_;
+  std::uint64_t arrival_counter_ = 0;
+  util::HandleHeap<VtKey, FlowId> heads_;  // min virtual finish time (SFF)
+};
+
+}  // namespace hfq::sched

@@ -1,0 +1,2 @@
+// Wrr is header-only; this TU anchors the library target.
+#include "sched/wrr.h"

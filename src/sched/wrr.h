@@ -1,0 +1,68 @@
+// Weighted Round Robin — the simplest weighted baseline.
+//
+// Serves up to w_i packets from flow i per round, w_i proportional to the
+// configured rate. Ignores packet sizes entirely (DRR [17] exists to fix
+// exactly that), so its fairness degrades with variable-size packets —
+// demonstrated in the scheduler-comparison tests.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "sched/flat_base.h"
+
+namespace hfq::sched {
+
+class Wrr : public FlatSchedulerBase {
+ public:
+  // `base_rate` maps rates to integer per-round packet counts:
+  // w_i = max(1, round(rate_i / base_rate)).
+  explicit Wrr(double base_rate_bps) : base_rate_(base_rate_bps) {
+    HFQ_ASSERT(base_rate_bps > 0.0);
+  }
+
+  bool enqueue(const Packet& p, Time /*now*/) override {
+    FlowState& f = flow(p.flow);
+    if (!f.queue.push(p)) return false;
+    ++backlog_;
+    if (f.queue.size() == 1) {
+      f.deficit_bits = 0.0;  // reused as "packets served this round"
+      f.visited_this_round = false;
+      active_.push_back(p.flow);
+    }
+    return true;
+  }
+
+  std::optional<Packet> dequeue(Time /*now*/) override {
+    while (!active_.empty()) {
+      const FlowId id = active_.front();
+      FlowState& f = flow(id);
+      if (f.deficit_bits < weight_of(id)) {
+        f.deficit_bits += 1.0;
+        Packet p = f.queue.pop();
+        --backlog_;
+        if (f.queue.empty()) {
+          f.deficit_bits = 0.0;
+          active_.pop_front();
+        }
+        return p;
+      }
+      // Round quota exhausted: rotate.
+      f.deficit_bits = 0.0;
+      active_.pop_front();
+      active_.push_back(id);
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] double weight_of(FlowId id) const {
+    const double w = flow(id).rate / base_rate_;
+    return w < 1.0 ? 1.0 : static_cast<double>(static_cast<int>(w + 0.5));
+  }
+
+ private:
+  double base_rate_;
+  std::deque<FlowId> active_;
+};
+
+}  // namespace hfq::sched

@@ -1,0 +1,2 @@
+// EventQueue is header-only; this TU anchors the library target.
+#include "sim/event_queue.h"

@@ -1,0 +1,43 @@
+// Time-ordered event queue for the discrete-event kernel.
+//
+// Events at equal times fire in schedule order (FIFO), which makes every
+// simulation in this repository deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.h"
+#include "util/heap.h"
+
+namespace hfq::sim {
+
+using Time = net::Time;
+using EventId = util::HeapHandle;
+inline constexpr EventId kInvalidEvent = util::kInvalidHeapHandle;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  EventId schedule(Time when, Action action) {
+    return heap_.push(when, std::move(action));
+  }
+
+  // Cancels a pending event. Safe to call only while the event is pending.
+  void cancel(EventId id) { heap_.erase(id); }
+
+  [[nodiscard]] bool pending(EventId id) const { return heap_.contains(id); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  [[nodiscard]] Time next_time() const { return heap_.top_key(); }
+
+  // Removes and returns the earliest event's action.
+  Action pop() { return heap_.pop(); }
+
+ private:
+  util::HandleHeap<Time, Action> heap_;
+};
+
+}  // namespace hfq::sim

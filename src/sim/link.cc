@@ -1,0 +1,2 @@
+// Link is header-only; this TU anchors the library target.
+#include "sim/link.h"

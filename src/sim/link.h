@@ -1,0 +1,82 @@
+// An output link: serves one packet at a time from a Scheduler at a fixed
+// bit rate, delivering each departed packet to a callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "net/packet.h"
+#include "net/scheduler.h"
+#include "sim/simulator.h"
+
+namespace hfq::sim {
+
+class Link {
+ public:
+  // Called when a packet finishes transmission; `now` is the departure time.
+  using DeliveryFn = std::function<void(const net::Packet&, Time now)>;
+
+  Link(Simulator& sim, net::Scheduler& sched, double rate_bps)
+      : sim_(sim), sched_(sched), rate_bps_(rate_bps) {
+    HFQ_ASSERT_MSG(rate_bps > 0.0, "link rate must be positive");
+  }
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  void set_delivery(DeliveryFn fn) { deliver_ = std::move(fn); }
+
+  // Entry point for traffic: stamps the arrival time, offers the packet to
+  // the scheduler and starts transmitting if idle. Returns false on drop.
+  bool submit(net::Packet p) {
+    p.arrival = sim_.now();
+    const bool accepted = sched_.enqueue(p, sim_.now());
+    if (accepted) kick();
+    return accepted;
+  }
+
+  // Re-checks the scheduler for work. Needed by components that insert
+  // packets into the scheduler outside submit() (e.g. qos::ShapedScheduler
+  // releasing shaped packets on a timer).
+  void poke() { kick(); }
+
+  [[nodiscard]] double rate_bps() const noexcept { return rate_bps_; }
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
+  [[nodiscard]] double bits_sent() const noexcept { return bits_sent_; }
+
+  // Fraction of [0, now] the link spent transmitting.
+  [[nodiscard]] double utilization(Time now) const {
+    return now > 0.0 ? bits_sent_ / (rate_bps_ * now) : 0.0;
+  }
+
+ private:
+  // Starts the next transmission if the link is idle and work is queued.
+  void kick() {
+    if (busy_) return;
+    auto p = sched_.dequeue(sim_.now());
+    if (!p.has_value()) return;
+    busy_ = true;
+    const double tx_seconds = p->size_bits() / rate_bps_;
+    sim_.after(tx_seconds, [this, pkt = *p] { complete(pkt); });
+  }
+
+  void complete(const net::Packet& p) {
+    busy_ = false;
+    ++sent_;
+    bits_sent_ += p.size_bits();
+    if (deliver_) deliver_(p, sim_.now());
+    kick();
+  }
+
+  Simulator& sim_;
+  net::Scheduler& sched_;
+  double rate_bps_;
+  DeliveryFn deliver_;
+  bool busy_ = false;
+  std::uint64_t sent_ = 0;
+  double bits_sent_ = 0.0;
+};
+
+}  // namespace hfq::sim

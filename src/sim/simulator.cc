@@ -1,0 +1,2 @@
+// Simulator is header-only; this TU anchors the library target.
+#include "sim/simulator.h"

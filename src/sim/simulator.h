@@ -1,0 +1,63 @@
+// Discrete-event simulator kernel (NETSIM-equivalent substrate).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "util/assert.h"
+
+namespace hfq::sim {
+
+class Simulator {
+ public:
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  // Schedules `action` at absolute time `when` (>= now).
+  EventId at(Time when, EventQueue::Action action) {
+    HFQ_ASSERT_MSG(when >= now_, "event scheduled in the past");
+    return events_.schedule(when, std::move(action));
+  }
+
+  // Schedules `action` `delay` seconds from now.
+  EventId after(Time delay, EventQueue::Action action) {
+    HFQ_ASSERT_MSG(delay >= 0.0, "negative delay");
+    return events_.schedule(now_ + delay, std::move(action));
+  }
+
+  void cancel(EventId id) { events_.cancel(id); }
+  [[nodiscard]] bool pending(EventId id) const { return events_.pending(id); }
+
+  // Executes the next event; returns false if none remain.
+  bool step() {
+    if (events_.empty()) return false;
+    now_ = events_.next_time();
+    auto action = events_.pop();
+    action();
+    ++executed_;
+    return true;
+  }
+
+  // Runs until the event queue drains.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  // Runs every event with time <= t_end, then advances the clock to t_end.
+  void run_until(Time t_end) {
+    while (!events_.empty() && events_.next_time() <= t_end) {
+      step();
+    }
+    if (t_end > now_) now_ = t_end;
+  }
+
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+  [[nodiscard]] std::size_t events_pending() const noexcept { return events_.size(); }
+
+ private:
+  EventQueue events_;
+  Time now_ = 0.0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace hfq::sim

@@ -1,0 +1,2 @@
+// DelayRecorder is header-only; this TU anchors the library target.
+#include "stats/delay_recorder.h"

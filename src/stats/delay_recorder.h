@@ -1,0 +1,65 @@
+// Per-flow packet delay measurement.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/assert.h"
+
+namespace hfq::stats {
+
+// Records (departure time, delay) samples for one flow and answers summary
+// queries. Delay is measured from the packet's arrival at the server to the
+// end of its transmission, matching the paper's per-hop delay figures.
+class DelayRecorder {
+ public:
+  struct Sample {
+    net::Time when = 0.0;   // departure time
+    double delay = 0.0;     // seconds
+  };
+
+  void record(const net::Packet& p, net::Time departure) {
+    HFQ_ASSERT_MSG(departure >= p.arrival, "negative delay");
+    samples_.push_back(Sample{departure, departure - p.arrival});
+    sum_ += samples_.back().delay;
+    if (samples_.back().delay > max_) max_ = samples_.back().delay;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double max_delay() const noexcept { return max_; }
+  [[nodiscard]] double mean_delay() const {
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  }
+
+  // p in [0, 100]; nearest-rank percentile.
+  [[nodiscard]] double percentile(double p) const {
+    HFQ_ASSERT(p >= 0.0 && p <= 100.0);
+    if (samples_.empty()) return 0.0;
+    std::vector<double> v;
+    v.reserve(samples_.size());
+    for (const Sample& s : samples_) v.push_back(s.delay);
+    std::sort(v.begin(), v.end());
+    const auto rank = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(v.size() - 1) + 0.5);
+    return v[std::min(rank, v.size() - 1)];
+  }
+
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+
+  void clear() {
+    samples_.clear();
+    sum_ = 0.0;
+    max_ = 0.0;
+  }
+
+ private:
+  std::vector<Sample> samples_;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hfq::stats

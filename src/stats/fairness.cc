@@ -1,0 +1,2 @@
+// Fairness helpers are header-only; this TU anchors the library target.
+#include "stats/fairness.h"

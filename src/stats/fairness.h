@@ -1,0 +1,37 @@
+// Fairness summary metrics for experiment reporting.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "util/assert.h"
+
+namespace hfq::stats {
+
+// Jain's fairness index over per-flow allocations: 1.0 = perfectly equal,
+// 1/n = maximally skewed. Pass normalized allocations (x_i = W_i / r_i) to
+// measure weighted fairness.
+[[nodiscard]] inline double jain_index(std::span<const double> x) {
+  HFQ_ASSERT(!x.empty());
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double v : x) {
+    HFQ_ASSERT(v >= 0.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all zero: trivially equal
+  return sum * sum / (static_cast<double>(x.size()) * sum_sq);
+}
+
+// Max-min ratio of normalized allocations (1.0 = perfectly weighted-fair).
+[[nodiscard]] inline double min_over_max(std::span<const double> x) {
+  HFQ_ASSERT(!x.empty());
+  double lo = x[0], hi = x[0];
+  for (const double v : x) {
+    lo = v < lo ? v : lo;
+    hi = v > hi ? v : hi;
+  }
+  return hi > 0.0 ? lo / hi : 1.0;
+}
+
+}  // namespace hfq::stats

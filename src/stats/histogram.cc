@@ -1,0 +1,2 @@
+// Histogram is header-only; this TU anchors the library target.
+#include "stats/histogram.h"

@@ -1,0 +1,66 @@
+// Fixed-bin histogram for delay distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace hfq::stats {
+
+class Histogram {
+ public:
+  // Bins of width `bin_width` covering [0, bin_width * bin_count); values
+  // beyond the last bin are counted in the overflow bucket.
+  Histogram(double bin_width, std::size_t bin_count)
+      : bin_width_(bin_width), bins_(bin_count, 0) {
+    HFQ_ASSERT(bin_width > 0.0);
+    HFQ_ASSERT(bin_count > 0);
+  }
+
+  void add(double value) {
+    HFQ_ASSERT(value >= 0.0);
+    const auto idx = static_cast<std::size_t>(value / bin_width_);
+    if (idx < bins_.size()) {
+      ++bins_[idx];
+    } else {
+      ++overflow_;
+    }
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const {
+    HFQ_ASSERT(i < bins_.size());
+    return bins_[i];
+  }
+  [[nodiscard]] std::size_t bin_count() const noexcept { return bins_.size(); }
+  [[nodiscard]] double bin_width() const noexcept { return bin_width_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  // Fraction of samples with value < x (linear interpolation inside bins).
+  [[nodiscard]] double cdf(double x) const {
+    if (total_ == 0) return 0.0;
+    double count = 0.0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+      const double lo = static_cast<double>(i) * bin_width_;
+      const double hi = lo + bin_width_;
+      if (x >= hi) {
+        count += static_cast<double>(bins_[i]);
+      } else if (x > lo) {
+        count += static_cast<double>(bins_[i]) * (x - lo) / bin_width_;
+      } else {
+        break;
+      }
+    }
+    return count / static_cast<double>(total_);
+  }
+
+ private:
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hfq::stats

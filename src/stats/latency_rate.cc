@@ -1,0 +1,2 @@
+// LatencyRateEstimator is header-only; this TU anchors the library target.
+#include "stats/latency_rate.h"

@@ -1,0 +1,57 @@
+// Latency-rate (LR) server characterization.
+//
+// A server is an LR(theta, r) server for a flow if during any backlogged
+// period starting at t0, W(t0, t) >= r * (t - t0 - theta) for all t. The
+// smallest feasible theta summarizes a scheduler's worst-case "startup"
+// latency — for WF²Q+ it is on the order of L_i/r_i + Lmax/R, while for
+// WFQ-family servers it inherits the N-dependent WFI. This estimator
+// measures theta online from observed service.
+#pragma once
+
+#include <algorithm>
+
+#include "net/packet.h"
+#include "util/assert.h"
+
+namespace hfq::stats {
+
+class LatencyRateEstimator {
+ public:
+  // `rate_bps` is the guaranteed rate the LR curve is tested against.
+  explicit LatencyRateEstimator(double rate_bps) : rate_(rate_bps) {
+    HFQ_ASSERT(rate_bps > 0.0);
+  }
+
+  // Flow transitions empty -> backlogged at time t.
+  void backlog_start(net::Time t) {
+    in_backlog_ = true;
+    t0_ = t;
+    served_in_period_ = 0.0;
+  }
+
+  void backlog_end() { in_backlog_ = false; }
+
+  // `bits` of the observed flow finished service at time t.
+  void on_service(net::Time t, double bits) {
+    if (!in_backlog_) return;
+    served_in_period_ += bits;
+    // Feasibility at this instant: W >= r (t - t0 - theta)
+    //   → theta >= (t - t0) - W / r.
+    const double needed = (t - t0_) - served_in_period_ / rate_;
+    theta_ = std::max(theta_, needed);
+  }
+
+  // The smallest theta consistent with everything observed so far.
+  [[nodiscard]] double theta_seconds() const noexcept {
+    return std::max(theta_, 0.0);
+  }
+
+ private:
+  double rate_;
+  bool in_backlog_ = false;
+  net::Time t0_ = 0.0;
+  double served_in_period_ = 0.0;
+  double theta_ = 0.0;
+};
+
+}  // namespace hfq::stats

@@ -1,0 +1,2 @@
+// P2Quantile / RunningMoments are header-only; this TU anchors the target.
+#include "stats/quantile.h"

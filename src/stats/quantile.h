@@ -1,0 +1,147 @@
+// Streaming statistics: P² quantile estimation and Welford running moments.
+//
+// Long simulations produce millions of delay samples; these estimators
+// track percentiles and moments in O(1) space so experiment harnesses can
+// run unbounded. (DelayRecorder keeps exact samples for the plots; these
+// are for the long-haul counters.)
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "util/assert.h"
+
+namespace hfq::stats {
+
+// Jain & Chlamtac's P² algorithm: estimates one quantile with five markers,
+// no stored samples.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double quantile) : q_(quantile) {
+    HFQ_ASSERT(quantile > 0.0 && quantile < 1.0);
+  }
+
+  void add(double x) {
+    if (count_ < 5) {
+      initial_[count_++] = x;
+      if (count_ == 5) {
+        std::sort(initial_.begin(), initial_.end());
+        for (int i = 0; i < 5; ++i) {
+          height_[i] = initial_[static_cast<std::size_t>(i)];
+          pos_[i] = i + 1;
+        }
+        desired_[0] = 1.0;
+        desired_[1] = 1.0 + 2.0 * q_;
+        desired_[2] = 1.0 + 4.0 * q_;
+        desired_[3] = 3.0 + 2.0 * q_;
+        desired_[4] = 5.0;
+        incr_[0] = 0.0;
+        incr_[1] = q_ / 2.0;
+        incr_[2] = q_;
+        incr_[3] = (1.0 + q_) / 2.0;
+        incr_[4] = 1.0;
+      }
+      return;
+    }
+    // Find the cell k containing x and bump marker positions.
+    int k;
+    if (x < height_[0]) {
+      height_[0] = x;
+      k = 0;
+    } else if (x >= height_[4]) {
+      height_[4] = x;
+      k = 3;
+    } else {
+      k = 0;
+      while (k < 3 && x >= height_[k + 1]) ++k;
+    }
+    for (int i = k + 1; i < 5; ++i) pos_[i] += 1;
+    for (int i = 0; i < 5; ++i) desired_[i] += incr_[i];
+    // Adjust interior markers toward their desired positions.
+    for (int i = 1; i <= 3; ++i) {
+      const double d = desired_[i] - pos_[i];
+      if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1) ||
+          (d <= -1.0 && pos_[i - 1] - pos_[i] < -1)) {
+        const int s = d >= 0 ? 1 : -1;
+        const double parabolic = parabolic_update(i, s);
+        if (height_[i - 1] < parabolic && parabolic < height_[i + 1]) {
+          height_[i] = parabolic;
+        } else {  // linear fallback
+          height_[i] = height_[i] + s * (height_[i + s] - height_[i]) /
+                                        (pos_[i + s] - pos_[i]);
+        }
+        pos_[i] += s;
+      }
+    }
+    ++count_;
+  }
+
+  // Current estimate (exact for < 5 samples).
+  [[nodiscard]] double value() const {
+    if (count_ == 0) return 0.0;
+    if (count_ < 5) {
+      auto sorted = initial_;
+      std::sort(sorted.begin(), sorted.begin() + count_);
+      const auto rank = static_cast<std::size_t>(
+          q_ * static_cast<double>(count_ - 1) + 0.5);
+      return sorted[std::min<std::size_t>(rank, count_ - 1)];
+    }
+    return height_[2];
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  [[nodiscard]] double parabolic_update(int i, int s) const {
+    const double d = static_cast<double>(s);
+    return height_[i] +
+           d / (pos_[i + 1] - pos_[i - 1]) *
+               ((pos_[i] - pos_[i - 1] + d) * (height_[i + 1] - height_[i]) /
+                    (pos_[i + 1] - pos_[i]) +
+                (pos_[i + 1] - pos_[i] - d) * (height_[i] - height_[i - 1]) /
+                    (pos_[i] - pos_[i - 1]));
+  }
+
+  double q_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> initial_{};
+  std::array<double, 5> height_{};
+  std::array<double, 5> pos_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> incr_{};
+};
+
+// Welford's online mean/variance.
+class RunningMoments {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept {
+    return std::sqrt(variance());
+  }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hfq::stats

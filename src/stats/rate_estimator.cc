@@ -1,0 +1,2 @@
+// RateEstimator is header-only; this TU anchors the library target.
+#include "stats/rate_estimator.h"

@@ -1,0 +1,62 @@
+// Windowed, exponentially averaged bandwidth estimation.
+//
+// Matches the measurement method of the paper's Section 5.2: "bandwidth is
+// measured by exponentially averaging over 50 ms windows".
+#pragma once
+
+#include <vector>
+
+#include "net/packet.h"
+#include "util/assert.h"
+
+namespace hfq::stats {
+
+class RateEstimator {
+ public:
+  struct Sample {
+    net::Time when = 0.0;  // window end
+    double rate_bps = 0.0;
+  };
+
+  // `window` is the averaging window in seconds; `alpha` the exponential
+  // smoothing weight of the newest window.
+  explicit RateEstimator(double window_seconds = 0.050, double alpha = 0.3)
+      : window_(window_seconds), alpha_(alpha), window_end_(window_seconds) {
+    HFQ_ASSERT(window_seconds > 0.0);
+    HFQ_ASSERT(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  // Accounts `bits` delivered at time `t`. Times must be non-decreasing.
+  void on_delivery(net::Time t, double bits) {
+    roll_to(t);
+    bits_in_window_ += bits;
+  }
+
+  // Flushes windows up to time `t` (call before reading the series at the
+  // end of a run).
+  void flush(net::Time t) { roll_to(t); }
+
+  [[nodiscard]] double current_rate_bps() const noexcept { return ema_; }
+  [[nodiscard]] const std::vector<Sample>& series() const noexcept {
+    return series_;
+  }
+
+ private:
+  void roll_to(net::Time t) {
+    while (t >= window_end_) {
+      ema_ = alpha_ * (bits_in_window_ / window_) + (1.0 - alpha_) * ema_;
+      series_.push_back(Sample{window_end_, ema_});
+      bits_in_window_ = 0.0;
+      window_end_ += window_;
+    }
+  }
+
+  double window_;
+  double alpha_;
+  double window_end_;  // first window ends at `window_`
+  double bits_in_window_ = 0.0;
+  double ema_ = 0.0;
+  std::vector<Sample> series_;
+};
+
+}  // namespace hfq::stats

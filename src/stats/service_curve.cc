@@ -1,0 +1,2 @@
+// ServiceCurve is header-only; this TU anchors the library target.
+#include "stats/service_curve.h"

@@ -1,0 +1,67 @@
+// Cumulative arrival and service curves for one flow.
+//
+// Reproduces the paper's Fig. 5 view: "the upper line is the number of
+// packets arrived at the server at time t, the lower line is the number of
+// packets served by time t" — and the vertical gap between them is the
+// service lag the Worst-case Fair Index controls.
+#pragma once
+
+#include <vector>
+
+#include "net/packet.h"
+#include "util/assert.h"
+
+namespace hfq::stats {
+
+class ServiceCurve {
+ public:
+  struct Point {
+    net::Time when = 0.0;
+    double cumulative = 0.0;  // packets (or bits, caller's choice of unit)
+  };
+
+  void on_arrival(net::Time t, double amount = 1.0) {
+    arrived_ += amount;
+    arrivals_.push_back(Point{t, arrived_});
+  }
+
+  void on_service(net::Time t, double amount = 1.0) {
+    served_ += amount;
+    HFQ_ASSERT_MSG(served_ <= arrived_ + 1e-9, "service exceeds arrivals");
+    services_.push_back(Point{t, served_});
+    const double lag = backlog();
+    if (lag > max_lag_) max_lag_ = lag;
+  }
+
+  [[nodiscard]] double arrived() const noexcept { return arrived_; }
+  [[nodiscard]] double served() const noexcept { return served_; }
+  [[nodiscard]] double backlog() const noexcept { return arrived_ - served_; }
+  // Largest arrival-to-service vertical gap observed at service instants.
+  [[nodiscard]] double max_lag() const noexcept { return max_lag_; }
+
+  [[nodiscard]] const std::vector<Point>& arrivals() const noexcept {
+    return arrivals_;
+  }
+  [[nodiscard]] const std::vector<Point>& services() const noexcept {
+    return services_;
+  }
+
+  // Cumulative service as of time t (step function, right-continuous).
+  [[nodiscard]] double served_by(net::Time t) const {
+    double v = 0.0;
+    for (const Point& p : services_) {
+      if (p.when > t) break;
+      v = p.cumulative;
+    }
+    return v;
+  }
+
+ private:
+  double arrived_ = 0.0;
+  double served_ = 0.0;
+  double max_lag_ = 0.0;
+  std::vector<Point> arrivals_;
+  std::vector<Point> services_;
+};
+
+}  // namespace hfq::stats

@@ -1,0 +1,2 @@
+// WfiEstimator is header-only; this TU anchors the library target.
+#include "stats/wfi_estimator.h"

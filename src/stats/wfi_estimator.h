@@ -1,0 +1,63 @@
+// Online measurement of the Bit Worst-case Fair Index (Definition 2).
+//
+//   B-WFI_i = max over backlogged intervals [t1,t2] of
+//             (phi_i/phi_s) * W_s(t1,t2) − W_i(t1,t2)
+//
+// Tracked online: let X(t) = share * W_s(0,t) − W_i(0,t). Within one
+// backlogged period of flow i the supremum of X(t2) − X(t1) is
+// X(t) − min X seen so far in that period; the estimator keeps the running
+// maximum across periods. Experiments feed it one update per server packet
+// departure, which measures the index at packet granularity — exactly the
+// granularity at which the paper's bounds are stated.
+#pragma once
+
+#include "util/assert.h"
+
+namespace hfq::stats {
+
+class WfiEstimator {
+ public:
+  // `share` is phi_i / phi_s: the flow's guaranteed fraction of the
+  // observed server's service.
+  explicit WfiEstimator(double share) : share_(share) {
+    HFQ_ASSERT(share > 0.0 && share <= 1.0);
+  }
+
+  // Marks the start of a backlogged period of the observed flow.
+  void backlog_start() {
+    in_backlog_ = true;
+    min_x_ = x_;
+  }
+
+  // Marks the end of a backlogged period.
+  void backlog_end() { in_backlog_ = false; }
+
+  // Accounts one server departure: `server_bits` left the server, of which
+  // `flow_bits` (0 or the same value) belonged to the observed flow. Only
+  // service inside backlogged periods widens the index.
+  void on_server_departure(double server_bits, double flow_bits) {
+    if (!in_backlog_) return;
+    x_ += share_ * server_bits - flow_bits;
+    if (x_ - min_x_ > bwfi_) bwfi_ = x_ - min_x_;
+    if (x_ < min_x_) min_x_ = x_;
+  }
+
+  // Largest observed B-WFI in bits.
+  [[nodiscard]] double bwfi_bits() const noexcept { return bwfi_; }
+
+  // Time WFI given the flow's guaranteed rate (Definition 1 equivalence:
+  // A = alpha / r_i).
+  [[nodiscard]] double twfi_seconds(double flow_rate_bps) const {
+    HFQ_ASSERT(flow_rate_bps > 0.0);
+    return bwfi_ / flow_rate_bps;
+  }
+
+ private:
+  double share_;
+  bool in_backlog_ = false;
+  double x_ = 0.0;      // share * W_s − W_i, cumulative
+  double min_x_ = 0.0;  // minimum X within the current backlogged period
+  double bwfi_ = 0.0;
+};
+
+}  // namespace hfq::stats

@@ -1,0 +1,2 @@
+// Network is header-only; this TU anchors the library target.
+#include "topo/network.h"

@@ -1,0 +1,133 @@
+// Multi-hop topology substrate: switches' output ports chained by routes.
+//
+// The paper analyses a single server; its delay bounds compose across hops
+// (the end-to-end framework it cites as [10]). This module wires multiple
+// scheduler+link ports into a network so sessions can be driven across
+// several H-PFQ hops: each port owns a scheduler and a link; per-flow
+// routes name the sequence of ports; packets are forwarded with a
+// per-port propagation delay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/scheduler.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "util/assert.h"
+
+namespace hfq::topo {
+
+using PortId = std::uint32_t;
+
+class Network {
+ public:
+  using DeliveryFn = std::function<void(const net::Packet&, net::Time)>;
+
+  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Adds an output port: `sched` is the port's scheduler (the Network takes
+  // ownership), `rate_bps` the line rate, `prop_delay_s` the propagation
+  // delay to the next hop (or to the receiver for the last hop).
+  PortId add_port(double rate_bps, std::unique_ptr<net::Scheduler> sched,
+                  double prop_delay_s = 0.0) {
+    HFQ_ASSERT(rate_bps > 0.0);
+    HFQ_ASSERT(prop_delay_s >= 0.0);
+    const PortId id = static_cast<PortId>(ports_.size());
+    auto port = std::make_unique<Port>();
+    port->sched = std::move(sched);
+    port->link = std::make_unique<sim::Link>(sim_, *port->sched, rate_bps);
+    port->prop_delay = prop_delay_s;
+    port->link->set_delivery([this, id](const net::Packet& p, net::Time t) {
+      on_port_delivery(id, p, t);
+    });
+    ports_.push_back(std::move(port));
+    return id;
+  }
+
+  // Declares the path a flow takes (in order). Must be set before inject();
+  // a route may not visit the same port twice.
+  void set_route(net::FlowId flow, std::vector<PortId> path) {
+    HFQ_ASSERT_MSG(!path.empty(), "empty route");
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      HFQ_ASSERT(path[i] < ports_.size());
+      for (std::size_t j = i + 1; j < path.size(); ++j) {
+        HFQ_ASSERT_MSG(path[i] != path[j], "route visits a port twice");
+      }
+    }
+    routes_[flow] = std::move(path);
+  }
+
+  // Called when a packet leaves the last hop of its route (after that
+  // port's propagation delay).
+  void set_delivery(DeliveryFn fn) { deliver_ = std::move(fn); }
+
+  // Optional per-port tap: observes every departure from the port (before
+  // propagation).
+  void set_port_tap(PortId port, DeliveryFn fn) {
+    HFQ_ASSERT(port < ports_.size());
+    ports_[port]->tap = std::move(fn);
+  }
+
+  // Injects a packet at the first hop of its flow's route. Returns false if
+  // the first-hop scheduler dropped it.
+  bool inject(net::Packet p) {
+    const auto it = routes_.find(p.flow);
+    HFQ_ASSERT_MSG(it != routes_.end(), "no route for flow");
+    return ports_[it->second.front()]->link->submit(std::move(p));
+  }
+
+  [[nodiscard]] net::Scheduler& scheduler(PortId port) {
+    HFQ_ASSERT(port < ports_.size());
+    return *ports_[port]->sched;
+  }
+  [[nodiscard]] sim::Link& link(PortId port) {
+    HFQ_ASSERT(port < ports_.size());
+    return *ports_[port]->link;
+  }
+  [[nodiscard]] std::size_t port_count() const noexcept {
+    return ports_.size();
+  }
+
+ private:
+  struct Port {
+    std::unique_ptr<net::Scheduler> sched;
+    std::unique_ptr<sim::Link> link;
+    double prop_delay = 0.0;
+    DeliveryFn tap;
+  };
+
+  void on_port_delivery(PortId port, const net::Packet& p, net::Time t) {
+    Port& pt = *ports_[port];
+    if (pt.tap) pt.tap(p, t);
+    const auto& path = routes_.at(p.flow);
+    // Find this port's position on the flow's path; forward or deliver.
+    std::size_t pos = 0;
+    while (pos < path.size() && path[pos] != port) ++pos;
+    HFQ_ASSERT_MSG(pos < path.size(), "packet delivered off its route");
+    if (pos + 1 < path.size()) {
+      const PortId next = path[pos + 1];
+      sim_.after(pt.prop_delay, [this, next, pkt = p]() mutable {
+        ports_[next]->link->submit(std::move(pkt));
+      });
+    } else if (deliver_) {
+      sim_.after(pt.prop_delay,
+                 [this, pkt = p] { deliver_(pkt, sim_.now()); });
+    }
+  }
+
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::map<net::FlowId, std::vector<PortId>> routes_;
+  DeliveryFn deliver_;
+};
+
+}  // namespace hfq::topo

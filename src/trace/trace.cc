@@ -1,0 +1,82 @@
+#include "trace/trace.h"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace hfq::trace {
+
+std::vector<Record> read(std::istream& in) {
+  std::vector<Record> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    if (lineno == 1 && line.rfind("time", 0) == 0) continue;  // header
+    std::istringstream ls(line);
+    Record r;
+    char c1 = 0, c2 = 0;
+    if (!(ls >> r.time >> c1 >> r.flow >> c2 >> r.size_bytes) || c1 != ',' ||
+        c2 != ',') {
+      throw std::runtime_error("trace: malformed line " +
+                               std::to_string(lineno) + ": " + line);
+    }
+    if (r.time < 0.0 || r.size_bytes == 0) {
+      throw std::runtime_error("trace: invalid record at line " +
+                               std::to_string(lineno));
+    }
+    if (!out.empty() && r.time < out.back().time) {
+      throw std::runtime_error("trace: timestamps not monotone at line " +
+                               std::to_string(lineno));
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Record> read_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("trace: cannot open " + path);
+  return read(f);
+}
+
+void write(std::ostream& out, const std::vector<Record>& records) {
+  out << "time_s,flow,size_bytes\n";
+  for (const Record& r : records) {
+    out << r.time << ',' << r.flow << ',' << r.size_bytes << '\n';
+  }
+}
+
+void write_file(const std::string& path, const std::vector<Record>& records) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("trace: cannot open " + path);
+  write(f, records);
+}
+
+void replay(sim::Simulator& sim, traffic::Emit emit,
+            const std::vector<Record>& records) {
+  auto seq = std::make_shared<std::map<net::FlowId, std::uint64_t>>();
+  for (const Record& r : records) {
+    sim.at(r.time, [emit, r, seq] {
+      net::Packet p;
+      p.flow = r.flow;
+      p.size_bytes = r.size_bytes;
+      p.id = (static_cast<std::uint64_t>(r.flow) << 32) | (*seq)[r.flow]++;
+      p.created = r.time;
+      emit(p);
+    });
+  }
+}
+
+traffic::Emit Recorder::wrap(traffic::Emit next) {
+  return [this, next = std::move(next)](net::Packet p) {
+    records_.push_back(Record{sim_.now(), p.flow, p.size_bytes});
+    return next(std::move(p));
+  };
+}
+
+}  // namespace hfq::trace

@@ -1,0 +1,2 @@
+// CbrSource is header-only; this TU anchors the library target.
+#include "traffic/cbr.h"

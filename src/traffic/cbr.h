@@ -1,0 +1,42 @@
+// Constant bit rate source: one packet every size/rate seconds.
+//
+// The paper's PS-n "constant rate sessions with identical start times and a
+// peak transmission rate equal to their guaranteed rate".
+#pragma once
+
+#include <limits>
+
+#include "traffic/source.h"
+#include "util/assert.h"
+
+namespace hfq::traffic {
+
+class CbrSource : public SourceBase {
+ public:
+  // Emits `packet_bytes` packets at `rate_bps` from `start` until `stop`.
+  CbrSource(sim::Simulator& sim, Emit emit, FlowId flow,
+            std::uint32_t packet_bytes, double rate_bps)
+      : SourceBase(sim, std::move(emit), flow, packet_bytes),
+        period_(8.0 * packet_bytes / rate_bps) {
+    HFQ_ASSERT(rate_bps > 0.0);
+  }
+
+  void start(Time at, Time stop = std::numeric_limits<Time>::infinity()) {
+    stop_ = stop;
+    sim_.at(at, [this] { tick(); });
+  }
+
+  [[nodiscard]] double period() const noexcept { return period_; }
+
+ private:
+  void tick() {
+    if (sim_.now() >= stop_) return;
+    emit_(make_packet());
+    sim_.after(period_, [this] { tick(); });
+  }
+
+  double period_;
+  Time stop_ = std::numeric_limits<Time>::infinity();
+};
+
+}  // namespace hfq::traffic

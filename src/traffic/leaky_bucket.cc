@@ -1,0 +1,2 @@
+// LeakyBucketShaper is header-only; this TU anchors the library target.
+#include "traffic/leaky_bucket.h"

@@ -1,0 +1,73 @@
+// (sigma, rho) leaky-bucket shaper.
+//
+// Delays offered packets until they conform to the token bucket — the
+// arrival constraint (Eq. 17) under which the paper's delay bounds
+// (Lemma 1, Theorems 2–4, Corollary 2) hold. Property tests shape random
+// bursty traffic through this and then assert the bounds.
+#pragma once
+
+#include <deque>
+#include <utility>
+
+#include "traffic/source.h"
+#include "util/assert.h"
+
+namespace hfq::traffic {
+
+class LeakyBucketShaper {
+ public:
+  // `sigma_bits` bucket depth, `rho_bps` token rate. Packets longer than
+  // sigma can never conform; asserted on offer.
+  LeakyBucketShaper(sim::Simulator& sim, Emit emit, double sigma_bits,
+                    double rho_bps)
+      : sim_(sim), emit_(std::move(emit)), sigma_(sigma_bits), rho_(rho_bps),
+        tokens_(sigma_bits) {  // the bucket starts full
+    HFQ_ASSERT(sigma_bits > 0.0);
+    HFQ_ASSERT(rho_bps > 0.0);
+  }
+
+  LeakyBucketShaper(const LeakyBucketShaper&) = delete;
+  LeakyBucketShaper& operator=(const LeakyBucketShaper&) = delete;
+
+  // Offers a packet; it is released at the earliest conforming instant
+  // (possibly immediately). FIFO order is preserved: the token state is
+  // committed at each packet's release time, so the clock only moves
+  // forward even when the next offer happens before the previous release.
+  void offer(Packet p) {
+    HFQ_ASSERT_MSG(p.size_bits() <= sigma_ + 1e-9,
+                   "packet larger than bucket depth can never conform");
+    const Time now = sim_.now();
+    if (clock_ < now) refill(now);
+    Time release = clock_;  // >= previous packet's release (FIFO)
+    if (tokens_ < p.size_bits()) {
+      release += (p.size_bits() - tokens_) / rho_;
+    }
+    refill(release);
+    tokens_ -= p.size_bits();
+    if (release <= now) {
+      emit_(std::move(p));
+    } else {
+      sim_.at(release, [this, pkt = std::move(p)] { emit_(pkt); });
+    }
+  }
+
+  [[nodiscard]] double sigma_bits() const noexcept { return sigma_; }
+  [[nodiscard]] double rho_bps() const noexcept { return rho_; }
+
+ private:
+  void refill(Time t) {
+    HFQ_ASSERT(t >= clock_);
+    tokens_ += rho_ * (t - clock_);
+    if (tokens_ > sigma_) tokens_ = sigma_;
+    clock_ = t;
+  }
+
+  sim::Simulator& sim_;
+  Emit emit_;
+  double sigma_;
+  double rho_;
+  double tokens_;
+  Time clock_ = 0.0;  // time at which `tokens_` is valid (monotone)
+};
+
+}  // namespace hfq::traffic

@@ -1,0 +1,2 @@
+// OnOffSource is header-only; this TU anchors the library target.
+#include "traffic/onoff.h"

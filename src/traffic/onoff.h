@@ -1,0 +1,71 @@
+// Deterministic on/off source: CBR at peak rate during "on", silent during
+// "off".
+//
+// The paper's RT-1 session is exactly this (25 ms on / 75 ms off), and the
+// link-sharing experiment's ON/OFF background sources use one-shot on
+// periods given by an explicit schedule — supported via the schedule
+// overload.
+#pragma once
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "traffic/source.h"
+#include "util/assert.h"
+
+namespace hfq::traffic {
+
+class OnOffSource : public SourceBase {
+ public:
+  OnOffSource(sim::Simulator& sim, Emit emit, FlowId flow,
+              std::uint32_t packet_bytes, double peak_rate_bps)
+      : SourceBase(sim, std::move(emit), flow, packet_bytes),
+        period_(8.0 * packet_bytes / peak_rate_bps) {
+    HFQ_ASSERT(peak_rate_bps > 0.0);
+  }
+
+  // Periodic duty cycle: on for `on_s`, off for `off_s`, starting at `at`.
+  void start_cycle(Time at, double on_s, double off_s,
+                   Time stop = std::numeric_limits<Time>::infinity()) {
+    HFQ_ASSERT(on_s > 0.0 && off_s >= 0.0);
+    on_s_ = on_s;
+    off_s_ = off_s;
+    stop_ = stop;
+    sim_.at(at, [this] { begin_burst(); });
+  }
+
+  // Explicit schedule of [begin, end) active intervals (the Fig. 8(b)
+  // on/off source timelines).
+  void start_schedule(std::vector<std::pair<Time, Time>> intervals) {
+    for (const auto& [begin, end] : intervals) {
+      HFQ_ASSERT(end > begin);
+      sim_.at(begin, [this, end] {
+        burst_end_ = end;
+        tick();
+      });
+    }
+  }
+
+ private:
+  void begin_burst() {
+    if (sim_.now() >= stop_) return;
+    burst_end_ = sim_.now() + on_s_;
+    tick();
+    sim_.after(on_s_ + off_s_, [this] { begin_burst(); });
+  }
+
+  void tick() {
+    if (sim_.now() >= burst_end_ || sim_.now() >= stop_) return;
+    emit_(make_packet());
+    sim_.after(period_, [this] { tick(); });
+  }
+
+  double period_;
+  double on_s_ = 0.0;
+  double off_s_ = 0.0;
+  Time burst_end_ = 0.0;
+  Time stop_ = std::numeric_limits<Time>::infinity();
+};
+
+}  // namespace hfq::traffic

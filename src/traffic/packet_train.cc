@@ -1,0 +1,2 @@
+// PacketTrainSource is header-only; this TU anchors the library target.
+#include "traffic/packet_train.h"

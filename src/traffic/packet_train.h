@@ -1,0 +1,58 @@
+// Packet-train source: periodic bursts of back-to-back packets.
+//
+// Models the paper's CS-n sessions: constant-rate sources passed through a
+// multiplexer so that each active period delivers a train of packets spaced
+// at the multiplexer's service time rather than simultaneous arrivals.
+#pragma once
+
+#include <limits>
+
+#include "traffic/source.h"
+#include "util/assert.h"
+
+namespace hfq::traffic {
+
+class PacketTrainSource : public SourceBase {
+ public:
+  // Every `period` seconds emits a train of `burst_len` packets spaced
+  // `spacing` seconds apart (spacing = packet time on the upstream mux).
+  PacketTrainSource(sim::Simulator& sim, Emit emit, FlowId flow,
+                    std::uint32_t packet_bytes, std::size_t burst_len,
+                    double spacing_s, double period_s)
+      : SourceBase(sim, std::move(emit), flow, packet_bytes),
+        burst_len_(burst_len), spacing_(spacing_s), period_(period_s) {
+    HFQ_ASSERT(burst_len > 0);
+    HFQ_ASSERT(spacing_s >= 0.0);
+    HFQ_ASSERT(period_s > 0.0);
+    HFQ_ASSERT_MSG(spacing_s * static_cast<double>(burst_len) <= period_s,
+                   "train longer than its period");
+  }
+
+  void start(Time at, Time stop = std::numeric_limits<Time>::infinity()) {
+    stop_ = stop;
+    sim_.at(at, [this] { begin_train(); });
+  }
+
+ private:
+  void begin_train() {
+    if (sim_.now() >= stop_) return;
+    remaining_ = burst_len_;
+    tick();
+    sim_.after(period_, [this] { begin_train(); });
+  }
+
+  void tick() {
+    if (remaining_ == 0 || sim_.now() >= stop_) return;
+    emit_(make_packet());
+    --remaining_;
+    if (remaining_ > 0) sim_.after(spacing_, [this] { tick(); });
+  }
+
+  std::size_t burst_len_;
+  double spacing_;
+  double period_;
+  std::size_t remaining_ = 0;
+  Time stop_ = std::numeric_limits<Time>::infinity();
+};
+
+}  // namespace hfq::traffic

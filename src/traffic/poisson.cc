@@ -1,0 +1,2 @@
+// PoissonSource is header-only; this TU anchors the library target.
+#include "traffic/poisson.h"

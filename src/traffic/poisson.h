@@ -1,0 +1,42 @@
+// Poisson source: exponential inter-arrival times with a given average rate.
+//
+// The paper's overload experiments (Sections 5.1.2–5.1.3) drive the PS-n
+// sessions as Poisson sources at 1.5x their guaranteed rate.
+#pragma once
+
+#include <limits>
+
+#include "traffic/source.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace hfq::traffic {
+
+class PoissonSource : public SourceBase {
+ public:
+  PoissonSource(sim::Simulator& sim, Emit emit, FlowId flow,
+                std::uint32_t packet_bytes, double mean_rate_bps,
+                util::Rng rng)
+      : SourceBase(sim, std::move(emit), flow, packet_bytes),
+        mean_gap_(8.0 * packet_bytes / mean_rate_bps), rng_(rng) {
+    HFQ_ASSERT(mean_rate_bps > 0.0);
+  }
+
+  void start(Time at, Time stop = std::numeric_limits<Time>::infinity()) {
+    stop_ = stop;
+    sim_.at(at, [this] { tick(); });
+  }
+
+ private:
+  void tick() {
+    if (sim_.now() >= stop_) return;
+    emit_(make_packet());
+    sim_.after(rng_.exponential(mean_gap_), [this] { tick(); });
+  }
+
+  double mean_gap_;
+  util::Rng rng_;
+  Time stop_ = std::numeric_limits<Time>::infinity();
+};
+
+}  // namespace hfq::traffic

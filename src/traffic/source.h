@@ -1,0 +1,56 @@
+// Common machinery for traffic sources.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace hfq::traffic {
+
+using net::FlowId;
+using net::Packet;
+using net::Time;
+
+// A source hands finished packets to an Emit target — normally
+// sim::Link::submit. The return value reports drop-tail acceptance; sources
+// that care (none of the open-loop ones) may inspect it.
+using Emit = std::function<bool(Packet)>;
+
+class SourceBase {
+ public:
+  SourceBase(sim::Simulator& sim, Emit emit, FlowId flow,
+             std::uint32_t packet_bytes)
+      : sim_(sim), emit_(std::move(emit)), flow_(flow),
+        packet_bytes_(packet_bytes) {}
+
+  SourceBase(const SourceBase&) = delete;
+  SourceBase& operator=(const SourceBase&) = delete;
+  virtual ~SourceBase() = default;
+
+  [[nodiscard]] FlowId flow() const noexcept { return flow_; }
+  [[nodiscard]] std::uint64_t packets_emitted() const noexcept { return seq_; }
+
+ protected:
+  // Builds the next packet. Ids encode (flow, per-flow sequence) so they are
+  // globally unique and deterministic.
+  Packet make_packet() {
+    Packet p;
+    p.id = (static_cast<std::uint64_t>(flow_) << 32) | seq_;
+    p.flow = flow_;
+    p.size_bytes = packet_bytes_;
+    p.created = sim_.now();
+    ++seq_;
+    return p;
+  }
+
+  sim::Simulator& sim_;
+  Emit emit_;
+  FlowId flow_;
+  std::uint32_t packet_bytes_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace hfq::traffic

@@ -1,0 +1,158 @@
+#include "traffic/tcp.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace hfq::traffic {
+
+TcpSource::TcpSource(sim::Simulator& sim, Emit emit, FlowId flow,
+                     std::uint32_t packet_bytes, Config config)
+    : SourceBase(sim, std::move(emit), flow, packet_bytes),
+      cfg_(config),
+      ssthresh_(config.initial_ssthresh_pkts) {
+  HFQ_ASSERT(cfg_.one_way_delay_s >= 0.0);
+  HFQ_ASSERT(cfg_.initial_ssthresh_pkts >= 2.0);
+  rto_ = std::max(cfg_.min_rto_s, 4.0 * cfg_.one_way_delay_s);
+}
+
+void TcpSource::start(Time at) {
+  sim_.at(at, [this] { try_send(); });
+}
+
+void TcpSource::on_packet_delivered(const Packet& p) {
+  HFQ_ASSERT(p.flow == flow_);
+  const std::uint64_t seq = p.meta;
+  // Propagation to the receiver, then receiver processing.
+  sim_.after(cfg_.one_way_delay_s, [this, seq] { receiver_handle(seq); });
+}
+
+void TcpSource::receiver_handle(std::uint64_t seq) {
+  bool duplicate = true;
+  if (seq == rcv_next_) {
+    ++rcv_next_;
+    // Absorb any buffered out-of-order segments now in order.
+    while (!rcv_ooo_.empty() && *rcv_ooo_.begin() == rcv_next_) {
+      rcv_ooo_.erase(rcv_ooo_.begin());
+      ++rcv_next_;
+    }
+    duplicate = false;
+    // Delayed ACKs: only every ack_every-th in-order arrival generates a
+    // (cumulative) ACK immediately; a held ACK is flushed by the delack
+    // timer. Out-of-order arrivals always ack at once so the
+    // fast-retransmit dupack signal is not delayed.
+    if (cfg_.ack_every > 1 && ++delack_count_ < cfg_.ack_every) {
+      if (delack_event_ == sim::kInvalidEvent ||
+          !sim_.pending(delack_event_)) {
+        delack_event_ =
+            sim_.after(cfg_.delack_timeout_s, [this] { flush_delack(); });
+      }
+      return;
+    }
+    delack_count_ = 0;
+  } else if (seq > rcv_next_) {
+    rcv_ooo_.insert(seq);  // gap: cumulative ack unchanged → duplicate ack
+    delack_count_ = 0;
+  }
+  // else: old retransmission; ack the current cumulative point.
+  cancel_delack();
+  const std::uint64_t cum = rcv_next_ - 1;
+  sim_.after(cfg_.one_way_delay_s,
+             [this, cum, duplicate] { on_ack(cum, duplicate); });
+}
+
+void TcpSource::flush_delack() {
+  delack_event_ = sim::kInvalidEvent;
+  delack_count_ = 0;
+  const std::uint64_t cum = rcv_next_ - 1;
+  sim_.after(cfg_.one_way_delay_s,
+             [this, cum] { on_ack(cum, /*duplicate=*/false); });
+}
+
+void TcpSource::cancel_delack() {
+  if (delack_event_ != sim::kInvalidEvent && sim_.pending(delack_event_)) {
+    sim_.cancel(delack_event_);
+  }
+  delack_event_ = sim::kInvalidEvent;
+}
+
+void TcpSource::on_ack(std::uint64_t cum, bool duplicate) {
+  if (cum > acked_hi_) {
+    const std::uint64_t newly = cum - acked_hi_;
+    acked_hi_ = cum;
+    dup_acks_ = 0;
+    if (in_recovery_) {
+      if (cum >= recovery_point_) {
+        // Full recovery (Reno): deflate to ssthresh.
+        in_recovery_ = false;
+        cwnd_ = ssthresh_;
+      } else {
+        // Partial ack: retransmit the next hole immediately.
+        ++retransmits_;
+        send_segment(acked_hi_ + 1);
+      }
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ += static_cast<double>(newly);  // slow start
+    } else {
+      cwnd_ += static_cast<double>(newly) / cwnd_;  // congestion avoidance
+    }
+    cwnd_ = std::min(cwnd_, cfg_.max_cwnd_pkts);
+    rto_ = std::max(cfg_.min_rto_s, 4.0 * cfg_.one_way_delay_s);
+    arm_rto();
+  } else if (duplicate) {
+    ++dup_acks_;
+    if (!in_recovery_ && dup_acks_ == 3) {
+      // Fast retransmit + fast recovery.
+      const double flight = static_cast<double>(next_seq_ - 1 - acked_hi_);
+      ssthresh_ = std::max(flight / 2.0, 2.0);
+      cwnd_ = ssthresh_ + 3.0;
+      in_recovery_ = true;
+      recovery_point_ = next_seq_ - 1;
+      ++retransmits_;
+      send_segment(acked_hi_ + 1);
+    } else if (in_recovery_) {
+      cwnd_ += 1.0;  // window inflation per extra duplicate ack
+    }
+  }
+  try_send();
+}
+
+void TcpSource::send_segment(std::uint64_t seq) {
+  Packet p = make_packet();
+  p.meta = seq;
+  emit_(std::move(p));  // drop-tail loss is silent to the sender
+  arm_rto();
+}
+
+void TcpSource::try_send() {
+  const auto window = static_cast<std::uint64_t>(cwnd_);
+  while (next_seq_ <= acked_hi_ + window) {
+    send_segment(next_seq_);
+    ++next_seq_;
+  }
+}
+
+void TcpSource::arm_rto() {
+  if (rto_event_ != sim::kInvalidEvent && sim_.pending(rto_event_)) {
+    sim_.cancel(rto_event_);
+  }
+  if (acked_hi_ + 1 < next_seq_) {  // data outstanding
+    rto_event_ = sim_.after(rto_, [this] { on_rto(); });
+  } else {
+    rto_event_ = sim::kInvalidEvent;
+  }
+}
+
+void TcpSource::on_rto() {
+  rto_event_ = sim::kInvalidEvent;
+  ++timeouts_;
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 1.0;
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  rto_ = std::min(rto_ * 2.0, cfg_.max_rto_s);  // exponential backoff
+  ++retransmits_;
+  send_segment(acked_hi_ + 1);
+}
+
+}  // namespace hfq::traffic

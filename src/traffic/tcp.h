@@ -1,0 +1,95 @@
+// Simplified TCP Reno over the simulator — the substrate the paper's
+// link-sharing experiment (Section 5.2) drives its TCP-n sessions with.
+//
+// Model (documented substitution, see DESIGN.md): a bulk-transfer sender
+// with slow start, congestion avoidance, fast retransmit/fast recovery and
+// an exponential-backoff RTO, paired with an in-object receiver that
+// returns one cumulative ACK per delivered data packet after a fixed
+// propagation delay. Loss happens only by drop-tail overflow of the
+// session's leaf queue in the scheduler under test; the ACK path is ideal.
+// This preserves exactly what the experiment needs: an ack-clocked, greedy,
+// adaptive source that keeps its class backlogged and absorbs whatever
+// bandwidth the hierarchy assigns it.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "sim/event_queue.h"
+#include "traffic/source.h"
+
+namespace hfq::traffic {
+
+struct TcpConfig {
+  double one_way_delay_s = 0.005;  // propagation, each direction
+  double initial_ssthresh_pkts = 64.0;
+  double max_cwnd_pkts = 1e9;      // effectively unbounded by default
+  double min_rto_s = 0.2;
+  double max_rto_s = 60.0;
+  // Delayed ACKs: acknowledge every k-th in-order segment (k=1 disables).
+  // Out-of-order segments are always acked immediately (dupack signal),
+  // and a held ACK is flushed after delack_timeout_s (the classic 200 ms
+  // timer — without it a 1-segment window deadlocks against the sender).
+  int ack_every = 1;
+  double delack_timeout_s = 0.2;
+};
+
+class TcpSource : public SourceBase {
+ public:
+  using Config = TcpConfig;
+
+  TcpSource(sim::Simulator& sim, Emit emit, FlowId flow,
+            std::uint32_t packet_bytes, Config config = Config());
+
+  // Starts the bulk transfer (greedy: infinite data).
+  void start(Time at);
+
+  // Wire this to the bottleneck link's delivery path for this flow's data
+  // packets: models the packet reaching the receiver (after the one-way
+  // propagation delay) and the ACK coming back.
+  void on_packet_delivered(const Packet& p);
+
+  // --- observability ------------------------------------------------------
+  [[nodiscard]] double cwnd_pkts() const noexcept { return cwnd_; }
+  [[nodiscard]] double ssthresh_pkts() const noexcept { return ssthresh_; }
+  [[nodiscard]] std::uint64_t bytes_acked() const noexcept {
+    return acked_hi_ * packet_bytes_;
+  }
+  [[nodiscard]] std::uint64_t retransmits() const noexcept {
+    return retransmits_;
+  }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+
+ private:
+  void receiver_handle(std::uint64_t seq);        // runs at receiver time
+  void flush_delack();                            // delayed-ack timer fired
+  void cancel_delack();
+  void on_ack(std::uint64_t cum, bool duplicate); // runs back at the sender
+  void send_segment(std::uint64_t seq);
+  void try_send();
+  void arm_rto();
+  void on_rto();
+
+  Config cfg_;
+  // Sender state. Sequence numbers count segments, starting at 1; `cum` in
+  // an ACK is the highest in-order segment received.
+  double cwnd_ = 1.0;
+  double ssthresh_;
+  std::uint64_t next_seq_ = 1;   // next new segment to send
+  std::uint64_t acked_hi_ = 0;   // highest cumulative ack
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recovery_point_ = 0;
+  double rto_ = 1.0;
+  sim::EventId rto_event_ = sim::kInvalidEvent;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t timeouts_ = 0;
+
+  // Receiver state.
+  std::uint64_t rcv_next_ = 1;             // next expected segment
+  std::set<std::uint64_t> rcv_ooo_;        // out-of-order segments held
+  int delack_count_ = 0;                   // in-order arrivals since last ACK
+  sim::EventId delack_event_ = sim::kInvalidEvent;
+};
+
+}  // namespace hfq::traffic

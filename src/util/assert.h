@@ -1,0 +1,34 @@
+// Lightweight assertion macros used across the library.
+//
+// HFQ_ASSERT is active in all build types: scheduling invariants are cheap to
+// check relative to simulation work, and a silently-corrupted virtual clock
+// is far more expensive to debug than the check.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hfq::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "HFQ_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg != nullptr ? " — " : "", msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace hfq::util
+
+#define HFQ_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::hfq::util::assert_fail(#expr, __FILE__, __LINE__, nullptr);   \
+    }                                                                 \
+  } while (false)
+
+#define HFQ_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::hfq::util::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                 \
+  } while (false)

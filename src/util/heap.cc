@@ -1,0 +1,11 @@
+// HandleHeap is header-only; this TU anchors the library target and
+// explicitly instantiates the most common configuration as a compile check.
+#include "util/heap.h"
+
+#include <cstdint>
+
+namespace hfq::util {
+
+template class HandleHeap<double, std::uint32_t>;
+
+}  // namespace hfq::util

@@ -1,0 +1,196 @@
+// Handle-based binary min-heap with arbitrary removal and key updates.
+//
+// Packet fair queueing needs priority queues whose elements move between
+// queues (e.g. the WF²Q+ eligible/waiting sets) or are deleted from the
+// middle (a flow that empties). std::priority_queue supports neither, so this
+// heap hands out stable integer handles and supports O(log n) erase and
+// update through them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace hfq::util {
+
+// Stable identifier for an element inside a HandleHeap. Handles are reused
+// after erase, but a handle is never dangling while its element is present.
+using HeapHandle = std::uint32_t;
+inline constexpr HeapHandle kInvalidHeapHandle = UINT32_MAX;
+
+// Min-heap of (Key, Value) pairs ordered by Key (then by insertion sequence,
+// so ties break FIFO — important for deterministic simulation).
+template <typename Key, typename Value>
+class HandleHeap {
+ public:
+  HandleHeap() = default;
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  // Inserts and returns a handle valid until erase/pop of this element.
+  HeapHandle push(Key key, Value value) {
+    HeapHandle h;
+    if (!free_.empty()) {
+      h = free_.back();
+      free_.pop_back();
+      nodes_[h] = Node{std::move(key), std::move(value), heap_.size(), seq_++};
+    } else {
+      h = static_cast<HeapHandle>(nodes_.size());
+      nodes_.push_back(Node{std::move(key), std::move(value), heap_.size(), seq_++});
+    }
+    heap_.push_back(h);
+    sift_up(heap_.size() - 1);
+    return h;
+  }
+
+  // The minimum element. Precondition: !empty().
+  [[nodiscard]] const Key& top_key() const {
+    HFQ_ASSERT(!heap_.empty());
+    return nodes_[heap_.front()].key;
+  }
+  [[nodiscard]] const Value& top_value() const {
+    HFQ_ASSERT(!heap_.empty());
+    return nodes_[heap_.front()].value;
+  }
+  [[nodiscard]] HeapHandle top_handle() const {
+    HFQ_ASSERT(!heap_.empty());
+    return heap_.front();
+  }
+
+  // Removes and returns the minimum element's value.
+  Value pop() {
+    HFQ_ASSERT(!heap_.empty());
+    const HeapHandle h = heap_.front();
+    Value v = std::move(nodes_[h].value);
+    erase(h);
+    return v;
+  }
+
+  // Removes the element with the given handle (any position).
+  void erase(HeapHandle h) {
+    HFQ_ASSERT(contains(h));
+    const std::size_t pos = nodes_[h].pos;
+    const std::size_t last = heap_.size() - 1;
+    if (pos != last) {
+      swap_at(pos, last);
+      heap_.pop_back();
+      release(h);
+      // The element moved into `pos` may need to move either way.
+      if (!sift_up(pos)) sift_down(pos);
+    } else {
+      heap_.pop_back();
+      release(h);
+    }
+  }
+
+  // Changes the key of an element in place.
+  void update_key(HeapHandle h, Key key) {
+    HFQ_ASSERT(contains(h));
+    nodes_[h].key = std::move(key);
+    const std::size_t pos = nodes_[h].pos;
+    if (!sift_up(pos)) sift_down(pos);
+  }
+
+  [[nodiscard]] const Key& key_of(HeapHandle h) const {
+    HFQ_ASSERT(contains(h));
+    return nodes_[h].key;
+  }
+  [[nodiscard]] const Value& value_of(HeapHandle h) const {
+    HFQ_ASSERT(contains(h));
+    return nodes_[h].value;
+  }
+  [[nodiscard]] Value& value_of(HeapHandle h) {
+    HFQ_ASSERT(contains(h));
+    return nodes_[h].value;
+  }
+
+  // True if `h` currently names a live element.
+  [[nodiscard]] bool contains(HeapHandle h) const noexcept {
+    return h < nodes_.size() && nodes_[h].pos != kErased;
+  }
+
+  void clear() noexcept {
+    heap_.clear();
+    nodes_.clear();
+    free_.clear();
+    seq_ = 0;
+  }
+
+  // Applies a strictly order-preserving transform to every key (e.g.
+  // subtracting a common offset). Because the transform is monotone, the
+  // heap shape stays valid and no re-heapify is needed. Used by long-running
+  // schedulers to rebase virtual times before double precision degrades.
+  template <typename Fn>
+  void transform_keys(Fn&& fn) {
+    for (const HeapHandle h : heap_) {
+      nodes_[h].key = fn(nodes_[h].key);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kErased = SIZE_MAX;
+
+  struct Node {
+    Key key{};
+    Value value{};
+    std::size_t pos = kErased;  // index into heap_, kErased if not present
+    std::uint64_t seq = 0;      // FIFO tie-break
+  };
+
+  [[nodiscard]] bool less(HeapHandle a, HeapHandle b) const {
+    const Node& na = nodes_[a];
+    const Node& nb = nodes_[b];
+    if (na.key < nb.key) return true;
+    if (nb.key < na.key) return false;
+    return na.seq < nb.seq;
+  }
+
+  void swap_at(std::size_t i, std::size_t j) {
+    std::swap(heap_[i], heap_[j]);
+    nodes_[heap_[i]].pos = i;
+    nodes_[heap_[j]].pos = j;
+  }
+
+  // Returns true if the element moved.
+  bool sift_up(std::size_t pos) {
+    bool moved = false;
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) / 2;
+      if (!less(heap_[pos], heap_[parent])) break;
+      swap_at(pos, parent);
+      pos = parent;
+      moved = true;
+    }
+    return moved;
+  }
+
+  void sift_down(std::size_t pos) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t smallest = pos;
+      const std::size_t l = 2 * pos + 1;
+      const std::size_t r = 2 * pos + 2;
+      if (l < n && less(heap_[l], heap_[smallest])) smallest = l;
+      if (r < n && less(heap_[r], heap_[smallest])) smallest = r;
+      if (smallest == pos) return;
+      swap_at(pos, smallest);
+      pos = smallest;
+    }
+  }
+
+  void release(HeapHandle h) {
+    nodes_[h].pos = kErased;
+    free_.push_back(h);
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<HeapHandle> heap_;   // heap of handles
+  std::vector<HeapHandle> free_;   // recycled handles
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace hfq::util

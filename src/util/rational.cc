@@ -1,0 +1,68 @@
+#include "util/rational.h"
+
+#include <cstdlib>
+#include <ostream>
+
+namespace hfq::util {
+namespace {
+
+__int128 gcd128(__int128 a, __int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+constexpr __int128 kLimit = static_cast<__int128>(1) << 96;
+
+}  // namespace
+
+void Rational::normalize() {
+  HFQ_ASSERT_MSG(den_ != 0, "rational with zero denominator");
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  const __int128 g = gcd128(num_, den_);
+  num_ /= g;
+  den_ /= g;
+  // Guard against values creeping toward overflow of intermediate products
+  // (which use num*den of two rationals, i.e. up to 2x these widths).
+  HFQ_ASSERT_MSG(num_ < kLimit && num_ > -kLimit && den_ < kLimit,
+                 "rational magnitude exceeds safe range");
+}
+
+std::string Rational::to_string() const {
+  auto int128_to_string = [](__int128 v) {
+    if (v == 0) return std::string("0");
+    const bool neg = v < 0;
+    if (neg) v = -v;
+    std::string s;
+    while (v > 0) {
+      s.insert(s.begin(), static_cast<char>('0' + static_cast<int>(v % 10)));
+      v /= 10;
+    }
+    if (neg) s.insert(s.begin(), '-');
+    return s;
+  };
+  std::string s = int128_to_string(num_);
+  if (den_ != 1) {
+    s += '/';
+    s += int128_to_string(den_);
+  }
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace hfq::util

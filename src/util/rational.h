@@ -1,0 +1,83 @@
+// Exact rational arithmetic over __int128.
+//
+// The fluid GPS / H-GPS reference servers can run on Rational instead of
+// double so that unit tests asserting exact packet orderings (the paper's
+// worked examples use shares like 0.05 that are not binary-representable)
+// are free of floating-point artifacts.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <numeric>
+#include <string>
+
+#include "util/assert.h"
+
+namespace hfq::util {
+
+// A reduced-form rational p/q with q > 0. Arithmetic aborts on overflow of
+// the 128-bit intermediate products; simulation-scale values stay far below
+// that.
+class Rational {
+ public:
+  constexpr Rational() noexcept = default;
+  constexpr Rational(std::int64_t value) noexcept : num_(value), den_(1) {}  // NOLINT(google-explicit-constructor): numeric literal interop
+  Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+    HFQ_ASSERT_MSG(den != 0, "rational with zero denominator");
+    normalize();
+  }
+
+  [[nodiscard]] std::int64_t num() const noexcept { return static_cast<std::int64_t>(num_); }
+  [[nodiscard]] std::int64_t den() const noexcept { return static_cast<std::int64_t>(den_); }
+  [[nodiscard]] double to_double() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  Rational& operator+=(const Rational& o) { return assign(num_ * o.den_ + o.num_ * den_, den_ * o.den_); }
+  Rational& operator-=(const Rational& o) { return assign(num_ * o.den_ - o.num_ * den_, den_ * o.den_); }
+  Rational& operator*=(const Rational& o) { return assign(num_ * o.num_, den_ * o.den_); }
+  Rational& operator/=(const Rational& o) {
+    HFQ_ASSERT_MSG(o.num_ != 0, "rational division by zero");
+    return assign(num_ * o.den_, den_ * o.num_);
+  }
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+  friend Rational operator-(const Rational& a) { Rational r; r.num_ = -a.num_; r.den_ = a.den_; return r; }
+
+  friend bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b) noexcept {
+    const __int128 lhs = a.num_ * b.den_;
+    const __int128 rhs = b.num_ * a.den_;
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+
+  // min/max convenience mirroring std::min/std::max for template code that
+  // is generic over double and Rational.
+  friend const Rational& min(const Rational& a, const Rational& b) { return b < a ? b : a; }
+  friend const Rational& max(const Rational& a, const Rational& b) { return a < b ? b : a; }
+
+ private:
+  Rational& assign(__int128 num, __int128 den) {
+    num_ = num;
+    den_ = den;
+    normalize();
+    return *this;
+  }
+  void normalize();
+
+  __int128 num_ = 0;
+  __int128 den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace hfq::util

@@ -1,0 +1,2 @@
+// Rng is header-only; this TU anchors the library target.
+#include "util/rng.h"

@@ -1,0 +1,44 @@
+// Deterministic random number generation for simulations.
+//
+// All stochastic traffic sources draw from an Rng seeded explicitly, so every
+// experiment in bench/ is exactly reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace hfq::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [0, 1).
+  [[nodiscard]] double uniform() { return unit_(engine_); }
+
+  // Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  // Exponential with the given mean (inter-arrival draw for Poisson sources).
+  [[nodiscard]] double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+
+  // Derives an independent stream (for giving each source its own RNG).
+  [[nodiscard]] Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace hfq::util

@@ -1,0 +1,68 @@
+// Shared test harness: drive a scheduler with a timed arrival trace through
+// a Link and collect the departure schedule.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/scheduler.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+
+namespace hfq::testing {
+
+struct Departure {
+  net::Packet pkt;
+  net::Time time = 0.0;  // transmission-complete time
+};
+
+struct TimedArrival {
+  net::Time time = 0.0;
+  net::Packet pkt;
+};
+
+inline net::Packet packet(net::FlowId flow, std::uint32_t bytes,
+                          std::uint64_t id = 0) {
+  net::Packet p;
+  p.id = id;
+  p.flow = flow;
+  p.size_bytes = bytes;
+  return p;
+}
+
+// Runs the trace to completion and returns departures in order.
+inline std::vector<Departure> run_trace(net::Scheduler& sched, double rate_bps,
+                                        std::vector<TimedArrival> arrivals) {
+  sim::Simulator sim;
+  sim::Link link(sim, sched, rate_bps);
+  std::vector<Departure> out;
+  link.set_delivery([&out](const net::Packet& p, net::Time t) {
+    out.push_back(Departure{p, t});
+  });
+  for (auto& a : arrivals) {
+    sim.at(a.time, [&link, pkt = a.pkt] { link.submit(pkt); });
+  }
+  sim.run();
+  return out;
+}
+
+// The paper's Fig. 2 arrival pattern, scaled to bytes: link 8 bps, unit
+// packets of 1 byte (8 bits, 1 s transmission). Session 0 (rate 4 bps =
+// share 0.5) sends `heavy_count` packets at t=0; sessions 1..n_light (rate
+// 0.4 bps = share 0.05 each) send one packet each at t=0.
+inline std::vector<TimedArrival> fig2_arrivals(int heavy_count = 11,
+                                               int n_light = 10) {
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  for (int k = 0; k < heavy_count; ++k) {
+    arr.push_back(TimedArrival{0.0, packet(0, 1, id++)});
+  }
+  for (int j = 1; j <= n_light; ++j) {
+    arr.push_back(
+        TimedArrival{0.0, packet(static_cast<net::FlowId>(j), 1, id++)});
+  }
+  return arr;
+}
+
+}  // namespace hfq::testing

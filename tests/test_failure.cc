@@ -1,0 +1,198 @@
+// Failure injection and edge cases: buffer exhaustion mid-schedule, drops
+// interacting with virtual-time state, pathological configurations, and the
+// policer.
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hpfq.h"
+#include "core/wf2qplus.h"
+#include "harness.h"
+#include "qos/policer.h"
+#include "sched/wfq.h"
+#include "util/rng.h"
+
+namespace hfq {
+namespace {
+
+using net::FlowId;
+using net::Packet;
+using testing::TimedArrival;
+using testing::packet;
+using testing::run_trace;
+
+// Drops at a full session buffer must not corrupt virtual-time state: the
+// surviving packets still obey FIFO and conservation, and the flow keeps
+// its share afterwards.
+TEST(FailureInjection, DropsDoNotCorruptWf2qPlusState) {
+  util::Rng rng(99);
+  core::Wf2qPlus s(8000.0);
+  s.add_flow(0, 4000.0, /*capacity=*/4);
+  s.add_flow(1, 4000.0, /*capacity=*/4);
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  double t = 0.0;
+  // Heavy overload: many drops guaranteed.
+  for (int i = 0; i < 600; ++i) {
+    t += rng.uniform(0.0, 0.05);
+    arr.push_back({t, packet(static_cast<FlowId>(rng.uniform_int(0, 1)),
+                             125, id++)});
+  }
+  const auto deps = run_trace(s, 8000.0, arr);
+  EXPECT_GT(s.drops(0) + s.drops(1), 0u);
+  EXPECT_EQ(deps.size() + s.drops(0) + s.drops(1), arr.size());
+  std::map<FlowId, std::uint64_t> last;
+  for (const auto& d : deps) {
+    if (last.count(d.pkt.flow) != 0) {
+      EXPECT_LT(last[d.pkt.flow], d.pkt.id);
+    }
+    last[d.pkt.flow] = d.pkt.id;
+  }
+  // Post-overload the scheduler still works.
+  EXPECT_TRUE(s.enqueue(packet(0, 125, 999999), t + 100.0));
+  EXPECT_TRUE(s.dequeue(t + 100.0).has_value());
+}
+
+// Same for the WFQ fluid tracker: dropped packets must never be stamped
+// into the fluid system (otherwise phantom fluid work distorts everyone).
+TEST(FailureInjection, WfqDropsNeverEnterFluidSystem) {
+  sched::Wfq s(8000.0);
+  s.add_flow(0, 4000.0, /*capacity=*/2);
+  s.add_flow(1, 4000.0);
+  sim::Simulator sim;
+  sim::Link link(sim, s, 8000.0);
+  std::map<FlowId, int> delivered;
+  link.set_delivery(
+      [&](const Packet& p, net::Time) { delivered[p.flow]++; });
+  sim.at(0.0, [&] {
+    for (int i = 0; i < 20; ++i) link.submit(packet(0, 125, i));  // drops
+    for (int i = 0; i < 10; ++i) link.submit(packet(1, 125, 100 + i));
+  });
+  sim.run();
+  EXPECT_EQ(delivered[0], 3);  // 1 in service + 2 buffered
+  EXPECT_EQ(delivered[1], 10);
+  EXPECT_EQ(s.drops(0), 17u);
+  // Flow 1 must not have been delayed by phantom flow-0 fluid work: total
+  // time = 13 packets x 0.125 s.
+  EXPECT_NEAR(sim.now(), 13 * 0.125, 1e-9);
+}
+
+// Hierarchies with drops at leaves: conservation at every level.
+TEST(FailureInjection, HierarchyDropsConserved) {
+  core::HWf2qPlus h(8000.0);
+  const auto a = h.add_internal(h.root(), 4000.0);
+  h.add_leaf(a, 2000.0, 0, /*capacity=*/3);
+  h.add_leaf(a, 2000.0, 1, /*capacity=*/3);
+  h.add_leaf(h.root(), 4000.0, 2, /*capacity=*/3);
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  for (int k = 0; k < 30; ++k) {
+    for (FlowId f = 0; f < 3; ++f) arr.push_back({0.0, packet(f, 125, id++)});
+  }
+  const auto deps = run_trace(h, 8000.0, arr);
+  const auto total_drops = h.drops(0) + h.drops(1) + h.drops(2);
+  EXPECT_EQ(deps.size() + total_drops, arr.size());
+  EXPECT_GT(total_drops, 0u);
+  EXPECT_EQ(h.backlog_packets(), 0u);
+}
+
+// A one-packet-capacity session (the smallest legal buffer).
+TEST(FailureInjection, SinglePacketBufferWorks) {
+  core::Wf2qPlus s(8000.0);
+  s.add_flow(0, 8000.0, /*capacity=*/1);
+  EXPECT_TRUE(s.enqueue(packet(0, 125, 1), 0.0));
+  EXPECT_FALSE(s.enqueue(packet(0, 125, 2), 0.0));
+  EXPECT_TRUE(s.dequeue(0.0).has_value());
+  EXPECT_TRUE(s.enqueue(packet(0, 125, 3), 0.125));
+}
+
+// Extreme rate asymmetry (1 : 10^6) must neither starve nor crash.
+TEST(FailureInjection, ExtremeRateAsymmetry) {
+  core::Wf2qPlus s(1e7);
+  s.add_flow(0, 1e7 - 10.0);
+  s.add_flow(1, 10.0);
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  for (int k = 0; k < 500; ++k) arr.push_back({0.0, packet(0, 125, id++)});
+  for (int k = 0; k < 3; ++k) arr.push_back({0.0, packet(1, 125, id++)});
+  const auto deps = run_trace(s, 1e7, arr);
+  ASSERT_EQ(deps.size(), 503u);
+  // The tiny flow is not starved forever: its first packet departs while
+  // the big flow still has work (eligible with an early start tag).
+  double first_tiny = -1.0;
+  for (const auto& d : deps) {
+    if (d.pkt.flow == 1) {
+      first_tiny = d.time;
+      break;
+    }
+  }
+  ASSERT_GT(first_tiny, 0.0);
+  EXPECT_LT(first_tiny, deps.back().time);
+}
+
+// Many flows, one packet each, all at once (a flash crowd).
+TEST(FailureInjection, FlashCrowdOfThousandFlows) {
+  core::Wf2qPlus s(8000.0);
+  const int n = 1000;
+  for (int f = 0; f < n; ++f) {
+    s.add_flow(static_cast<FlowId>(f), 8000.0 / n);
+  }
+  std::vector<TimedArrival> arr;
+  for (int f = 0; f < n; ++f) {
+    arr.push_back({0.0, packet(static_cast<FlowId>(f), 125,
+                               static_cast<std::uint64_t>(f))});
+  }
+  const auto deps = run_trace(s, 8000.0, arr);
+  ASSERT_EQ(deps.size(), static_cast<std::size_t>(n));
+  // Work conserving: finishes in exactly n packet times.
+  EXPECT_NEAR(deps.back().time, n * 0.125, 1e-6);
+}
+
+// --------------------------------------------------------------- Policer
+
+TEST(Policer, AllowsBurstUpToSigma) {
+  qos::Policer pol(3000.0, 1000.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(pol.conforms(packet(0, 125, static_cast<std::uint64_t>(i)),
+                             0.0));
+  }
+  EXPECT_FALSE(pol.conforms(packet(0, 125, 3), 0.0));
+  EXPECT_EQ(pol.conformant(), 3u);
+  EXPECT_EQ(pol.dropped(), 1u);
+}
+
+TEST(Policer, RefillsAtRho) {
+  qos::Policer pol(1000.0, 1000.0);
+  EXPECT_TRUE(pol.conforms(packet(0, 125, 1), 0.0));  // bucket empty now
+  EXPECT_FALSE(pol.conforms(packet(0, 125, 2), 0.1)); // only 100 bits back
+  EXPECT_TRUE(pol.conforms(packet(0, 125, 3), 1.0));  // 1000 bits back
+}
+
+TEST(Policer, PolicedStreamConformsToArrivalCurve) {
+  util::Rng rng(13);
+  qos::Policer pol(4000.0, 2000.0);
+  std::vector<std::pair<double, double>> accepted;  // (time, bits)
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    t += rng.uniform(0.0, 0.2);
+    Packet p = packet(0, static_cast<std::uint32_t>(rng.uniform_int(50, 250)),
+                      static_cast<std::uint64_t>(i));
+    if (pol.conforms(p, t)) accepted.emplace_back(t, p.size_bits());
+  }
+  // Every window of the accepted stream satisfies sigma + rho * dt.
+  std::vector<double> cum(accepted.size() + 1, 0.0);
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    cum[i + 1] = cum[i] + accepted[i].second;
+  }
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    for (std::size_t j = i; j < accepted.size(); ++j) {
+      const double window = cum[j + 1] - cum[i];
+      const double dt = accepted[j].first - accepted[i].first;
+      ASSERT_LE(window, 4000.0 + 2000.0 * dt + 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hfq

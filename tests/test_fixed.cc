@@ -1,0 +1,177 @@
+// Tests for the fixed-point WF²Q+ (core/wf2qplus_fixed) and the
+// latency-rate estimator (stats/latency_rate).
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/wf2qplus.h"
+#include "core/wf2qplus_fixed.h"
+#include "harness.h"
+#include "stats/latency_rate.h"
+#include "stats/wfi_estimator.h"
+#include "util/rng.h"
+
+namespace hfq {
+namespace {
+
+using net::FlowId;
+using net::Packet;
+using testing::TimedArrival;
+using testing::packet;
+using testing::run_trace;
+
+// ------------------------------------------------------------ fixed point
+
+TEST(Wf2qPlusFixed, Fig2PatternScaled) {
+  // Same Fig. 2 pattern scaled x10: link 80 bps, session 0 at 40, ten
+  // sessions at 4 bps, 10-byte packets (1 s slots).
+  core::Wf2qPlusFixed s(80);
+  s.add_flow(0, 40.0);
+  for (FlowId j = 1; j <= 10; ++j) s.add_flow(j, 4.0);
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  for (int k = 0; k < 11; ++k) arr.push_back({0.0, packet(0, 10, id++)});
+  for (FlowId j = 1; j <= 10; ++j) arr.push_back({0.0, packet(j, 10, id++)});
+  const auto deps = run_trace(s, 80.0, arr);
+  ASSERT_EQ(deps.size(), 21u);
+  // WF²Q+ interleaving: session 0 in every even slot.
+  for (int i = 0; i < 21; ++i) {
+    EXPECT_EQ(deps[static_cast<std::size_t>(i)].pkt.flow == 0, i % 2 == 0)
+        << "slot " << i;
+  }
+}
+
+TEST(Wf2qPlusFixed, MatchesDoubleVersionOnRandomTraffic) {
+  // Rates and sizes chosen so no two flows can produce equal tags (see the
+  // one-level equivalence test in test_hpfq.cc): tie-breaking never kicks
+  // in and both implementations must emit the identical schedule.
+  util::Rng rng(909);
+  for (int trial = 0; trial < 5; ++trial) {
+    core::Wf2qPlus a(64.0);
+    core::Wf2qPlusFixed b(64);
+    const double rates[4] = {7.0, 11.0, 19.0, 27.0};
+    for (FlowId f = 0; f < 4; ++f) {
+      a.add_flow(f, rates[f]);
+      b.add_flow(f, rates[f]);
+    }
+    std::vector<TimedArrival> arr;
+    std::uint64_t id = 0;
+    double t = 0.0;
+    for (int i = 0; i < 300; ++i) {
+      t += rng.uniform(0.0, 0.05);
+      arr.push_back({t, packet(static_cast<FlowId>(rng.uniform_int(0, 3)),
+                               static_cast<std::uint32_t>(rng.uniform_int(1, 6)),
+                               id++)});
+    }
+    const auto da = run_trace(a, 64.0, arr);
+    const auto db = run_trace(b, 64.0, arr);
+    ASSERT_EQ(da.size(), db.size());
+    // Tick rounding can flip eligibility decisions that sit within one
+    // tick of the boundary, so the two (both valid WF²Q+) schedules may
+    // differ in order — but never in service: per-flow cumulative bits
+    // must track within one maximum packet at every departure index.
+    std::map<FlowId, double> wa, wb;
+    for (std::size_t i = 0; i < da.size(); ++i) {
+      wa[da[i].pkt.flow] += da[i].pkt.size_bits();
+      wb[db[i].pkt.flow] += db[i].pkt.size_bits();
+      for (FlowId f = 0; f < 4; ++f) {
+        ASSERT_NEAR(wa[f], wb[f], 48.0 + 1e-9)  // one max packet (6 bytes)
+            << "trial " << trial << " departure " << i << " flow " << f;
+      }
+    }
+  }
+}
+
+TEST(Wf2qPlusFixed, WfiBoundedByOneMaxPacket) {
+  core::Wf2qPlusFixed s(8000);
+  s.add_flow(0, 4000.0);
+  s.add_flow(1, 2000.0);
+  s.add_flow(2, 2000.0);
+  sim::Simulator sim;
+  sim::Link link(sim, s, 8000.0);
+  stats::WfiEstimator wfi(0.5);
+  wfi.backlog_start();
+  link.set_delivery([&](const Packet& p, net::Time) {
+    wfi.on_server_departure(p.size_bits(), p.flow == 0 ? p.size_bits() : 0.0);
+  });
+  sim.at(0.0, [&] {
+    std::uint64_t id = 0;
+    for (int k = 0; k < 400; ++k) {
+      for (FlowId f = 0; f < 3; ++f) link.submit(packet(f, 125, id++));
+    }
+  });
+  sim.run_until(40.0);
+  EXPECT_LE(wfi.bwfi_bits(), 1000.0 + 1e-6);
+}
+
+TEST(Wf2qPlusFixed, RejectsSubBpsRates) {
+  core::Wf2qPlusFixed s(8);
+  EXPECT_DEATH(s.add_flow(0, 0.4), "fixed-point");
+}
+
+// ----------------------------------------------------------- latency rate
+
+TEST(LatencyRate, ZeroForImmediateFullRateService) {
+  stats::LatencyRateEstimator lr(1000.0);
+  lr.backlog_start(0.0);
+  // Service exactly at rate: 100 bits every 0.1 s, the first completing at
+  // t=0.1 — consistent with theta = 0.
+  for (int i = 1; i <= 10; ++i) lr.on_service(0.1 * i, 100.0);
+  EXPECT_NEAR(lr.theta_seconds(), 0.0, 1e-9);
+}
+
+TEST(LatencyRate, MeasuresStartupLatency) {
+  stats::LatencyRateEstimator lr(1000.0);
+  lr.backlog_start(0.0);
+  // Nothing until t=0.5, then full-rate service.
+  for (int i = 1; i <= 10; ++i) lr.on_service(0.5 + 0.1 * i, 100.0);
+  EXPECT_NEAR(lr.theta_seconds(), 0.5, 1e-9);
+}
+
+TEST(LatencyRate, IgnoresServiceOutsideBacklog) {
+  stats::LatencyRateEstimator lr(1000.0);
+  lr.on_service(100.0, 1.0);  // not in backlog: no effect
+  EXPECT_NEAR(lr.theta_seconds(), 0.0, 1e-9);
+  lr.backlog_start(100.0);
+  lr.on_service(100.2, 100.0);
+  EXPECT_NEAR(lr.theta_seconds(), 0.1, 1e-9);  // 0.2 - 100/1000
+}
+
+// WF²Q+ measured as an LR server: theta on the order of L_i/r_i + Lmax/R
+// even with an adversarial competitor, never N-dependent.
+TEST(LatencyRate, Wf2qPlusThetaIsSmall) {
+  core::Wf2qPlus s(8000.0);
+  const int n = 20;
+  s.add_flow(0, 4000.0);
+  for (int j = 1; j <= n; ++j) {
+    s.add_flow(static_cast<FlowId>(j), 4000.0 / n);
+  }
+  sim::Simulator sim;
+  sim::Link link(sim, s, 8000.0);
+  stats::LatencyRateEstimator lr(4000.0);
+  link.set_delivery([&](const Packet& p, net::Time t) {
+    if (p.flow == 0) lr.on_service(t, p.size_bits());
+  });
+  sim.at(0.0, [&] {
+    std::uint64_t id = 0;
+    for (int j = 1; j <= n; ++j) {
+      for (int k = 0; k < 10; ++k) {
+        link.submit(packet(static_cast<FlowId>(j), 125, id++));
+      }
+    }
+  });
+  // Flow 0 becomes backlogged at t=1, mid-contention.
+  sim.at(1.0, [&] {
+    lr.backlog_start(1.0);
+    for (int k = 0; k < 40; ++k) {
+      link.submit(packet(0, 125, 10000 + static_cast<std::uint64_t>(k)));
+    }
+  });
+  sim.run();
+  // L_i/r_i + 2 Lmax/R = 0.25 + 0.25; allow one extra packet of slack.
+  EXPECT_LE(lr.theta_seconds(), 0.625);
+}
+
+}  // namespace
+}  // namespace hfq

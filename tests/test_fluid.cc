@@ -1,0 +1,512 @@
+// Tests for the fluid reference servers (src/fluid): GPS, H-GPS and the
+// ideal-share solver — including the paper's worked examples, verified with
+// exact rational arithmetic.
+#include <limits>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fluid/gps.h"
+#include "fluid/hgps.h"
+#include "fluid/share_solver.h"
+#include "util/rational.h"
+#include "util/rng.h"
+
+namespace hfq::fluid {
+namespace {
+
+using util::Rational;
+
+// -------------------------------------------------------------------- GPS
+
+TEST(GpsServer, SingleFlowServedAtLinkRate) {
+  GpsServer<double> gps(100.0);
+  gps.add_flow(0, 100.0);
+  gps.arrive(0.0, 0, 50.0);
+  gps.advance_to(0.25);
+  EXPECT_NEAR(gps.work(0), 25.0, 1e-9);
+  gps.advance_to(1.0);
+  EXPECT_NEAR(gps.work(0), 50.0, 1e-9);
+  EXPECT_FALSE(gps.backlogged(0));
+  ASSERT_EQ(gps.departures().size(), 1u);
+  EXPECT_NEAR(gps.departures()[0].time, 0.5, 1e-9);
+}
+
+TEST(GpsServer, EqualFlowsSplitEqually) {
+  GpsServer<double> gps(100.0);
+  gps.add_flow(0, 50.0);
+  gps.add_flow(1, 50.0);
+  gps.arrive(0.0, 0, 100.0);
+  gps.arrive(0.0, 1, 100.0);
+  gps.advance_to(1.0);
+  EXPECT_NEAR(gps.work(0), 50.0, 1e-9);
+  EXPECT_NEAR(gps.work(1), 50.0, 1e-9);
+}
+
+TEST(GpsServer, ExcessBandwidthRedistributed) {
+  // Flow 1 drains early; flow 0 then gets the whole link.
+  GpsServer<double> gps(100.0);
+  gps.add_flow(0, 50.0);
+  gps.add_flow(1, 50.0);
+  gps.arrive(0.0, 0, 100.0);
+  gps.arrive(0.0, 1, 25.0);
+  // Flow 1 drains at t = 0.5 (25 bits at 50 bps).
+  gps.advance_to(0.5);
+  EXPECT_FALSE(gps.backlogged(1));
+  EXPECT_NEAR(gps.work(0), 25.0, 1e-9);
+  gps.advance_to(1.0);
+  EXPECT_NEAR(gps.work(0), 25.0 + 100.0 * 0.5, 1e-9);
+}
+
+TEST(GpsServer, WorkConservingAcrossIdleGaps) {
+  GpsServer<double> gps(10.0);
+  gps.add_flow(0, 10.0);
+  gps.arrive(0.0, 0, 10.0);   // busy [0, 1]
+  gps.advance_to(2.0);        // idle [1, 2]
+  gps.arrive(2.0, 0, 10.0);   // busy [2, 3]
+  gps.advance_to(4.0);
+  EXPECT_NEAR(gps.work(0), 20.0, 1e-9);
+  ASSERT_EQ(gps.departures().size(), 2u);
+  EXPECT_NEAR(gps.departures()[0].time, 1.0, 1e-9);
+  EXPECT_NEAR(gps.departures()[1].time, 3.0, 1e-9);
+}
+
+// The Fig. 2 scenario, exact: link rate 1, unit packets; session 1 has
+// rate 0.5 and sends 11 packets at t=0; sessions 2..11 have rate 0.05 and
+// send one packet each at t=0. GPS finish times: 2k for p1^k (k=1..10),
+// 21 for p1^11, and 20 for every other session's packet.
+TEST(GpsServer, PaperFig2FinishTimesExact) {
+  GpsServer<Rational> gps(Rational(1));
+  gps.add_flow(0, Rational(1, 2));
+  for (net::FlowId j = 1; j <= 10; ++j) gps.add_flow(j, Rational(1, 20));
+  for (int k = 0; k < 11; ++k) gps.arrive(Rational(0), 0, Rational(1));
+  for (net::FlowId j = 1; j <= 10; ++j) gps.arrive(Rational(0), j, Rational(1));
+  gps.advance_to(Rational(30));
+
+  std::vector<Rational> s1_finishes;
+  std::vector<Rational> other_finishes;
+  for (const auto& d : gps.departures()) {
+    if (d.flow == 0) {
+      s1_finishes.push_back(d.time);
+    } else {
+      other_finishes.push_back(d.time);
+    }
+  }
+  ASSERT_EQ(s1_finishes.size(), 11u);
+  for (int k = 1; k <= 10; ++k) {
+    EXPECT_EQ(s1_finishes[k - 1], Rational(2 * k)) << "packet " << k;
+  }
+  EXPECT_EQ(s1_finishes[10], Rational(21));
+  ASSERT_EQ(other_finishes.size(), 10u);
+  for (const auto& t : other_finishes) EXPECT_EQ(t, Rational(20));
+}
+
+// Property (Eq. 2): during any interval in which two flows are both
+// backlogged, normalized service is identical — exactly, on rationals.
+TEST(GpsServerProperty, FairnessEq2ExactOnRandomTraffic) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    GpsServer<Rational> gps(Rational(10));
+    const std::vector<Rational> rates = {Rational(1), Rational(2), Rational(3),
+                                         Rational(4)};
+    for (net::FlowId i = 0; i < 4; ++i) gps.add_flow(i, rates[i]);
+    // Load every flow heavily at t=0 so all stay backlogged a while.
+    for (net::FlowId i = 0; i < 4; ++i) {
+      gps.arrive(Rational(0), i, Rational(100 + rng.uniform_int(0, 50)));
+    }
+    const Rational t1(rng.uniform_int(1, 3));
+    const Rational t2 = t1 + Rational(rng.uniform_int(1, 3));
+    gps.advance_to(t1);
+    std::vector<Rational> w1(4);
+    for (net::FlowId i = 0; i < 4; ++i) w1[i] = gps.work(i);
+    gps.advance_to(t2);
+    for (net::FlowId i = 0; i < 4; ++i) {
+      ASSERT_TRUE(gps.backlogged(i));  // loads chosen large enough
+      const Rational di = (gps.work(i) - w1[i]) / rates[i];
+      const Rational d0 = (gps.work(0) - w1[0]) / rates[0];
+      EXPECT_EQ(di, d0);
+    }
+  }
+}
+
+// Property (Eq. 3): a backlogged flow always gets at least its guaranteed
+// rate, no matter what the others do.
+TEST(GpsServerProperty, GuaranteedRateLowerBound) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    GpsServer<double> gps(100.0);
+    const int n = 5;
+    for (net::FlowId i = 0; i < n; ++i) gps.add_flow(i, 20.0);
+    gps.arrive(0.0, 0, 500.0);  // flow 0 backlogged for >= 5 s guaranteed
+    double t = 0.0;
+    for (int e = 0; e < 30; ++e) {
+      t += rng.uniform(0.0, 0.2);
+      const auto f = static_cast<net::FlowId>(rng.uniform_int(1, n - 1));
+      gps.arrive(t, f, rng.uniform(10.0, 200.0));
+    }
+    const double t_end = 4.0;
+    gps.advance_to(t_end);
+    ASSERT_TRUE(gps.backlogged(0));
+    EXPECT_GE(gps.work(0), 20.0 * t_end - 1e-6);
+  }
+}
+
+// ------------------------------------------------------------------- H-GPS
+
+// The Section 2.2 example, exact. Link rate 1, unit packets. Tree:
+// root{A:0.8{A1:0.75, A2:0.05}, B:0.2}. A2 and B heavily backlogged at t=0;
+// A1 idle. Under the no-future-arrival assumption A2 finishes at 1.25k and
+// B at 5k. When A1 becomes backlogged at t=1 the A2/B *relative order*
+// flips — the property that makes a single virtual time function impossible
+// for H-GPS. (Exact post-arrival finish times: A2's first packet has 1/5
+// bit left served at rate 1/20 → t=5; later packets every 20. The paper's
+// prose quotes 21/41/61, which neglects A2's service during [0,1]; the
+// order flip it illustrates is unaffected.)
+TEST(HgpsServer, PaperSection22ReorderExampleExact) {
+  // First: the no-future-arrival baseline.
+  {
+    HgpsServer<Rational> h(Rational(1));
+    const NodeId a = h.add_node(h.root(), Rational(8, 10));
+    const NodeId a1 = h.add_node(a, Rational(75, 100));
+    const NodeId a2 = h.add_node(a, Rational(5, 100));
+    const NodeId b = h.add_node(h.root(), Rational(2, 10));
+    (void)a1;
+    // "Many packets queued": enough that neither A2 nor B drains within the
+    // asserted horizon (redistribution would otherwise change the rates).
+    for (int k = 0; k < 16; ++k) h.arrive(Rational(0), a2, Rational(1));
+    for (int k = 0; k < 10; ++k) h.arrive(Rational(0), b, Rational(1));
+    h.advance_to(Rational(18));
+    std::vector<Rational> a2_fin, b_fin;
+    for (const auto& d : h.departures()) {
+      if (d.flow == a2) a2_fin.push_back(d.time);
+      if (d.flow == b) b_fin.push_back(d.time);
+    }
+    ASSERT_GE(a2_fin.size(), 4u);
+    EXPECT_EQ(a2_fin[0], Rational(5, 4));    // 1.25
+    EXPECT_EQ(a2_fin[1], Rational(10, 4));   // 2.5
+    EXPECT_EQ(a2_fin[2], Rational(15, 4));   // 3.75
+    ASSERT_GE(b_fin.size(), 3u);
+    EXPECT_EQ(b_fin[0], Rational(5));
+    EXPECT_EQ(b_fin[1], Rational(10));
+    EXPECT_EQ(b_fin[2], Rational(15));
+    // Baseline relative order: A2's 2nd packet before B's 1st.
+    EXPECT_LT(a2_fin[1], b_fin[0]);
+  }
+  // Now: A1 arrives at t=1 and the order flips.
+  {
+    HgpsServer<Rational> h(Rational(1));
+    const NodeId a = h.add_node(h.root(), Rational(8, 10));
+    const NodeId a1 = h.add_node(a, Rational(75, 100));
+    const NodeId a2 = h.add_node(a, Rational(5, 100));
+    const NodeId b = h.add_node(h.root(), Rational(2, 10));
+    for (int k = 0; k < 8; ++k) h.arrive(Rational(0), a2, Rational(1));
+    for (int k = 0; k < 20; ++k) h.arrive(Rational(0), b, Rational(1));
+    for (int k = 0; k < 60; ++k) h.arrive(Rational(1), a1, Rational(1));
+    h.advance_to(Rational(50));
+    std::vector<Rational> a2_fin, b_fin;
+    for (const auto& d : h.departures()) {
+      if (d.flow == a2) a2_fin.push_back(d.time);
+      if (d.flow == b) b_fin.push_back(d.time);
+    }
+    ASSERT_GE(a2_fin.size(), 3u);
+    ASSERT_GE(b_fin.size(), 4u);
+    // B unchanged: 5, 10, 15, 20.
+    EXPECT_EQ(b_fin[0], Rational(5));
+    EXPECT_EQ(b_fin[1], Rational(10));
+    EXPECT_EQ(b_fin[2], Rational(15));
+    EXPECT_EQ(b_fin[3], Rational(20));
+    // A2's first packet: 0.8 bits served by t=1, 0.2 left at rate 0.05.
+    EXPECT_EQ(a2_fin[0], Rational(5));
+    EXPECT_EQ(a2_fin[1], Rational(25));
+    EXPECT_EQ(a2_fin[2], Rational(45));
+    // The flip: A2's 2nd packet now finishes after *all* of B's packets.
+    EXPECT_GT(a2_fin[1], b_fin[3]);
+  }
+}
+
+TEST(HgpsServer, ReducesToGpsForFlatTree) {
+  // A one-level H-GPS must behave exactly like GPS.
+  HgpsServer<Rational> h(Rational(1));
+  GpsServer<Rational> g(Rational(1));
+  const NodeId f0 = h.add_node(h.root(), Rational(1, 2));
+  const NodeId f1 = h.add_node(h.root(), Rational(1, 2));
+  g.add_flow(0, Rational(1, 2));
+  g.add_flow(1, Rational(1, 2));
+  h.arrive(Rational(0), f0, Rational(3));
+  h.arrive(Rational(0), f1, Rational(1));
+  g.arrive(Rational(0), 0, Rational(3));
+  g.arrive(Rational(0), 1, Rational(1));
+  h.advance_to(Rational(10));
+  g.advance_to(Rational(10));
+  EXPECT_EQ(h.work(f0), g.work(0));
+  EXPECT_EQ(h.work(f1), g.work(1));
+  ASSERT_EQ(h.departures().size(), g.departures().size());
+  for (std::size_t i = 0; i < h.departures().size(); ++i) {
+    EXPECT_EQ(h.departures()[i].time, g.departures()[i].time);
+  }
+}
+
+TEST(HgpsServer, SiblingFairnessEq9Exact) {
+  // Two sibling subtrees backlogged throughout: their normalized service
+  // must match exactly (Eq. 9), even while deeper structure differs.
+  HgpsServer<Rational> h(Rational(12));
+  const NodeId a = h.add_node(h.root(), Rational(8));
+  const NodeId b = h.add_node(h.root(), Rational(4));
+  const NodeId a1 = h.add_node(a, Rational(6));
+  const NodeId a2 = h.add_node(a, Rational(2));
+  h.arrive(Rational(0), a1, Rational(100));
+  h.arrive(Rational(0), a2, Rational(100));
+  h.arrive(Rational(0), b, Rational(100));
+  h.advance_to(Rational(3));
+  EXPECT_EQ(h.work(a) / Rational(8), h.work(b) / Rational(4));
+  EXPECT_EQ(h.work(a1) / Rational(6), h.work(a2) / Rational(2));
+  // Node A's service equals the sum over its children.
+  EXPECT_EQ(h.work(a), h.work(a1) + h.work(a2));
+}
+
+TEST(HgpsServer, ExcessSharedWithinSubtreeFirst) {
+  // When A1 drains, its bandwidth goes to sibling A2 — not to B ("sessions
+  // that share smaller subtrees with the session of excess bandwidth have
+  // higher priorities").
+  HgpsServer<Rational> h(Rational(10));
+  const NodeId a = h.add_node(h.root(), Rational(5));
+  const NodeId b = h.add_node(h.root(), Rational(5));
+  const NodeId a1 = h.add_node(a, Rational(4));
+  const NodeId a2 = h.add_node(a, Rational(1));
+  h.arrive(Rational(0), a1, Rational(4));   // drains at t=1
+  h.arrive(Rational(0), a2, Rational(100));
+  h.arrive(Rational(0), b, Rational(100));
+  h.advance_to(Rational(2));
+  // [0,1]: a1 4, a2 1, b 5. [1,2]: a2 gets all of A's 5.
+  EXPECT_EQ(h.work(a2), Rational(6));
+  EXPECT_EQ(h.work(b), Rational(10));
+}
+
+TEST(HgpsServer, InstantaneousRatesFollowHierarchy) {
+  HgpsServer<double> h(10.0);
+  const NodeId a = h.add_node(h.root(), 8.0);
+  const NodeId b = h.add_node(h.root(), 2.0);
+  const NodeId a1 = h.add_node(a, 6.0);
+  const NodeId a2 = h.add_node(a, 2.0);
+  h.arrive(0.0, a1, 100.0);
+  h.arrive(0.0, a2, 100.0);
+  h.arrive(0.0, b, 100.0);
+  h.advance_to(0.1);
+  EXPECT_NEAR(h.instantaneous_rate(a), 8.0, 1e-9);
+  EXPECT_NEAR(h.instantaneous_rate(b), 2.0, 1e-9);
+  EXPECT_NEAR(h.instantaneous_rate(a1), 6.0, 1e-9);
+  EXPECT_NEAR(h.instantaneous_rate(a2), 2.0, 1e-9);
+}
+
+// Property: sibling fairness (Eq. 9) holds exactly on RANDOM trees with
+// rational arithmetic — any two sibling subtrees backlogged throughout an
+// interval receive identical normalized service.
+TEST(HgpsServerProperty, SiblingFairnessOnRandomTreesExact) {
+  util::Rng rng(515);
+  for (int trial = 0; trial < 10; ++trial) {
+    HgpsServer<Rational> h(Rational(60));
+    // Random 2-3 level tree; remember sibling groups.
+    struct Group {
+      std::vector<NodeId> members;
+      std::vector<Rational> rates;
+    };
+    std::vector<Group> groups;
+    std::vector<NodeId> leaves;
+    std::vector<NodeId> frontier = {h.root()};
+    std::vector<Rational> frontier_rate = {Rational(60)};
+    for (int depth = 0; depth < 2; ++depth) {
+      std::vector<NodeId> next;
+      std::vector<Rational> next_rate;
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        const int kids = static_cast<int>(rng.uniform_int(2, 3));
+        Group g;
+        for (int k = 0; k < kids; ++k) {
+          const Rational r = frontier_rate[i] / Rational(kids);
+          const NodeId id = h.add_node(frontier[i], r);
+          g.members.push_back(id);
+          g.rates.push_back(r);
+          if (depth == 1 || rng.uniform() < 0.5) {
+            leaves.push_back(id);
+          } else {
+            next.push_back(id);
+            next_rate.push_back(r);
+          }
+        }
+        groups.push_back(std::move(g));
+      }
+      // Anything queued in `next` gets children next round; nodes put in
+      // `leaves` receive arrivals below.
+      frontier = next;
+      frontier_rate = next_rate;
+    }
+    // Load every leaf heavily at t=0 so ALL nodes stay backlogged.
+    for (const NodeId leaf : leaves) {
+      h.arrive(Rational(0), leaf, Rational(10000));
+    }
+    const Rational t1(1), t2(5);
+    h.advance_to(t1);
+    std::map<NodeId, Rational> at1;
+    for (const auto& g : groups) {
+      for (const NodeId m : g.members) at1[m] = h.work(m);
+    }
+    h.advance_to(t2);
+    for (const auto& g : groups) {
+      for (std::size_t k = 1; k < g.members.size(); ++k) {
+        const Rational da =
+            (h.work(g.members[0]) - at1[g.members[0]]) / g.rates[0];
+        const Rational db =
+            (h.work(g.members[k]) - at1[g.members[k]]) / g.rates[k];
+        EXPECT_EQ(da, db) << "trial " << trial;
+      }
+    }
+  }
+}
+
+// Property: H-GPS is work conserving — total service equals link capacity
+// while any leaf is backlogged.
+TEST(HgpsServerProperty, WorkConservation) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    HgpsServer<double> h(100.0);
+    const NodeId a = h.add_node(h.root(), 60.0);
+    const NodeId b = h.add_node(h.root(), 40.0);
+    const NodeId a1 = h.add_node(a, 30.0);
+    const NodeId a2 = h.add_node(a, 30.0);
+    const NodeId b1 = h.add_node(b, 40.0);
+    const std::vector<NodeId> leaves = {a1, a2, b1};
+    // Load so heavily at t=0 that the system stays busy through t_end.
+    for (const NodeId leaf : leaves) {
+      h.arrive(0.0, leaf, 500.0 + rng.uniform(0.0, 100.0));
+    }
+    double t = 0.0;
+    for (int e = 0; e < 20; ++e) {
+      t += rng.uniform(0.0, 0.1);
+      h.arrive(t, leaves[static_cast<std::size_t>(rng.uniform_int(0, 2))],
+               rng.uniform(10.0, 100.0));
+    }
+    const double t_end = 5.0;
+    h.advance_to(t_end);
+    EXPECT_NEAR(h.work(h.root()), 100.0 * t_end, 1e-6);
+  }
+}
+
+// ------------------------------------------------------------ ShareSolver
+
+TEST(ShareSolver, ProportionalWhenAllGreedy) {
+  ShareSolver s;
+  const auto a = s.add_node(0, 3.0);
+  const auto b = s.add_node(0, 1.0);
+  s.set_demand(a, ShareSolver::kInfiniteDemand);
+  s.set_demand(b, ShareSolver::kInfiniteDemand);
+  const auto alloc = s.solve(100.0);
+  EXPECT_NEAR(alloc[a], 75.0, 1e-9);
+  EXPECT_NEAR(alloc[b], 25.0, 1e-9);
+}
+
+TEST(ShareSolver, SurplusRedistributedToUnsatisfied) {
+  ShareSolver s;
+  const auto a = s.add_node(0, 1.0);
+  const auto b = s.add_node(0, 1.0);
+  s.set_demand(a, 10.0);  // far below its fair share of 50
+  s.set_demand(b, ShareSolver::kInfiniteDemand);
+  const auto alloc = s.solve(100.0);
+  EXPECT_NEAR(alloc[a], 10.0, 1e-9);
+  EXPECT_NEAR(alloc[b], 90.0, 1e-9);
+}
+
+TEST(ShareSolver, InactiveLeavesGetNothing) {
+  ShareSolver s;
+  const auto a = s.add_node(0, 1.0);
+  const auto b = s.add_node(0, 1.0);
+  s.set_demand(a, 0.0);
+  s.set_demand(b, ShareSolver::kInfiniteDemand);
+  const auto alloc = s.solve(100.0);
+  EXPECT_NEAR(alloc[a], 0.0, 1e-9);
+  EXPECT_NEAR(alloc[b], 100.0, 1e-9);
+}
+
+TEST(ShareSolver, HierarchicalRedistributionPrefersSiblings) {
+  // root{A:5{A1:4, A2:1}, B:5}. A1 inactive → its share goes to A2, not B.
+  ShareSolver s;
+  const auto a = s.add_node(0, 5.0);
+  const auto b = s.add_node(0, 5.0);
+  const auto a1 = s.add_node(a, 4.0);
+  const auto a2 = s.add_node(a, 1.0);
+  s.set_demand(a1, 0.0);
+  s.set_demand(a2, ShareSolver::kInfiniteDemand);
+  s.set_demand(b, ShareSolver::kInfiniteDemand);
+  const auto alloc = s.solve(10.0);
+  EXPECT_NEAR(alloc[a2], 5.0, 1e-9);
+  EXPECT_NEAR(alloc[b], 5.0, 1e-9);
+}
+
+TEST(ShareSolver, FiniteDemandCapsSubtree) {
+  // A's children demand 3 total; B absorbs the rest.
+  ShareSolver s;
+  const auto a = s.add_node(0, 5.0);
+  const auto b = s.add_node(0, 5.0);
+  const auto a1 = s.add_node(a, 4.0);
+  const auto a2 = s.add_node(a, 1.0);
+  s.set_demand(a1, 2.0);
+  s.set_demand(a2, 1.0);
+  s.set_demand(b, ShareSolver::kInfiniteDemand);
+  const auto alloc = s.solve(10.0);
+  EXPECT_NEAR(alloc[a], 3.0, 1e-9);
+  EXPECT_NEAR(alloc[a1], 2.0, 1e-9);
+  EXPECT_NEAR(alloc[a2], 1.0, 1e-9);
+  EXPECT_NEAR(alloc[b], 7.0, 1e-9);
+}
+
+TEST(ShareSolver, UndersubscribedLinkLeavesCapacityUnused) {
+  ShareSolver s;
+  const auto a = s.add_node(0, 1.0);
+  const auto b = s.add_node(0, 1.0);
+  s.set_demand(a, 10.0);
+  s.set_demand(b, 20.0);
+  const auto alloc = s.solve(100.0);
+  EXPECT_NEAR(alloc[a], 10.0, 1e-9);
+  EXPECT_NEAR(alloc[b], 20.0, 1e-9);
+  EXPECT_NEAR(alloc[0], 30.0, 1e-9);
+}
+
+// Property: allocations never exceed demand, children sum to the parent's
+// allocation, and unsaturated children split in weight proportion.
+TEST(ShareSolverProperty, InvariantsOnRandomTrees) {
+  util::Rng rng(31337);
+  for (int trial = 0; trial < 50; ++trial) {
+    ShareSolver s;
+    std::vector<ShareSolver::NodeId> internal = {0};
+    std::vector<ShareSolver::NodeId> leaves;
+    std::vector<double> demand;
+    demand.resize(1, 0.0);
+    const int n = 12;
+    for (int i = 0; i < n; ++i) {
+      const auto parent = internal[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(internal.size()) - 1))];
+      const auto id = s.add_node(parent, rng.uniform(0.5, 4.0));
+      demand.resize(id + 1, 0.0);
+      if (rng.uniform() < 0.4 && i < n - 1) {
+        internal.push_back(id);
+      } else {
+        leaves.push_back(id);
+        const double d = rng.uniform() < 0.3
+                             ? ShareSolver::kInfiniteDemand
+                             : rng.uniform(0.0, 50.0);
+        demand[id] = d;
+        s.set_demand(id, d);
+      }
+    }
+    const auto alloc = s.solve(100.0);
+    for (const auto leaf : leaves) {
+      EXPECT_GE(alloc[leaf], -1e-9);
+      if (demand[leaf] != ShareSolver::kInfiniteDemand) {
+        EXPECT_LE(alloc[leaf], demand[leaf] + 1e-6);
+      }
+    }
+    EXPECT_LE(alloc[0], 100.0 + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace hfq::fluid

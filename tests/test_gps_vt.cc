@@ -1,0 +1,166 @@
+// Dedicated tests for the GPS virtual time tracker (sched/gps_virtual_time)
+// — the O(N)-worst-case machinery inside WFQ/WF²Q that WF²Q+'s Eq. 27
+// replaces. Cross-validated against the exact fluid GPS server.
+#include <gtest/gtest.h>
+
+#include "fluid/gps.h"
+#include "sched/gps_virtual_time.h"
+#include "util/rng.h"
+
+namespace hfq::sched {
+namespace {
+
+TEST(GpsVirtualTime, StartsAtZero) {
+  GpsVirtualTime vt(100.0);
+  EXPECT_DOUBLE_EQ(vt.vtime(), 0.0);
+  EXPECT_DOUBLE_EQ(vt.ref_time(), 0.0);
+}
+
+TEST(GpsVirtualTime, SlopeOneWhenFullyBacklogged) {
+  GpsVirtualTime vt(100.0);
+  vt.add_flow(0, 50.0);
+  vt.add_flow(1, 50.0);
+  vt.on_arrival(0.0, 0, 500.0);  // 10 s of fluid work each
+  vt.on_arrival(0.0, 1, 500.0);
+  vt.advance_to(5.0);
+  EXPECT_NEAR(vt.vtime(), 5.0, 1e-9);  // phi sum = 1 → slope 1
+}
+
+TEST(GpsVirtualTime, SlopeAcceleratesWhenPartiallyBacklogged) {
+  GpsVirtualTime vt(100.0);
+  vt.add_flow(0, 50.0);
+  vt.add_flow(1, 50.0);
+  vt.on_arrival(0.0, 0, 500.0);  // only flow 0 backlogged: phi = 0.5
+  vt.advance_to(4.0);
+  EXPECT_NEAR(vt.vtime(), 8.0, 1e-9);  // slope 2
+}
+
+TEST(GpsVirtualTime, StampsFollowEq6And7) {
+  GpsVirtualTime vt(100.0);
+  vt.add_flow(0, 25.0);
+  const auto s1 = vt.on_arrival(0.0, 0, 100.0);
+  EXPECT_DOUBLE_EQ(s1.start, 0.0);
+  EXPECT_DOUBLE_EQ(s1.finish, 4.0);  // 100 bits / 25 bps
+  // Second packet while still backlogged: S = F_prev.
+  const auto s2 = vt.on_arrival(1.0, 0, 100.0);
+  EXPECT_DOUBLE_EQ(s2.start, 4.0);
+  EXPECT_DOUBLE_EQ(s2.finish, 8.0);
+}
+
+TEST(GpsVirtualTime, StampAfterFluidDrainUsesCurrentV) {
+  GpsVirtualTime vt(100.0);
+  vt.add_flow(0, 25.0);
+  vt.add_flow(1, 75.0);
+  vt.on_arrival(0.0, 0, 100.0);  // F = 4 (virtual)
+  // Flow 0's fluid drains at V=4 (real t=1, slope 4); arrival at t=2 with
+  // fluid idle: V stays 4.
+  vt.advance_to(2.0);
+  EXPECT_TRUE(!vt.fluid_backlogged(0));
+  const auto st = vt.on_arrival(2.0, 0, 100.0);
+  EXPECT_DOUBLE_EQ(st.start, 4.0);
+  EXPECT_DOUBLE_EQ(st.finish, 8.0);
+}
+
+TEST(GpsVirtualTime, FluidBackloggedTracksDepartures) {
+  GpsVirtualTime vt(100.0);
+  vt.add_flow(0, 50.0);
+  vt.add_flow(1, 50.0);
+  vt.on_arrival(0.0, 0, 100.0);  // F = 2
+  vt.on_arrival(0.0, 1, 400.0);  // F = 8
+  EXPECT_TRUE(vt.fluid_backlogged(0));
+  EXPECT_TRUE(vt.fluid_backlogged(1));
+  vt.advance_to(2.0);  // V = 2: flow 0 drains
+  EXPECT_FALSE(vt.fluid_backlogged(0));
+  EXPECT_TRUE(vt.fluid_backlogged(1));
+  vt.advance_to(20.0);
+  EXPECT_FALSE(vt.fluid_backlogged(1));
+}
+
+// Property: the tracker's fluid-departure epochs coincide with the exact
+// fluid GPS server on random traffic.
+TEST(GpsVirtualTimeProperty, MatchesFluidGpsDrainTimes) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double link = 100.0;
+    GpsVirtualTime vt(link);
+    fluid::GpsServer<double> gps(link);
+    const int n = 4;
+    std::vector<double> rates = {10.0, 20.0, 30.0, 40.0};
+    for (net::FlowId f = 0; f < n; ++f) {
+      vt.add_flow(f, rates[f]);
+      gps.add_flow(f, rates[f]);
+    }
+    double t = 0.0;
+    struct Arr {
+      double t;
+      net::FlowId f;
+      double bits;
+    };
+    std::vector<Arr> arrivals;
+    for (int i = 0; i < 60; ++i) {
+      t += rng.uniform(0.0, 1.0);
+      arrivals.push_back(Arr{t, static_cast<net::FlowId>(rng.uniform_int(0, n - 1)),
+                             rng.uniform(10.0, 200.0)});
+    }
+    for (const auto& a : arrivals) {
+      vt.on_arrival(a.t, a.f, a.bits);
+      gps.arrive(a.t, a.f, a.bits);
+    }
+    const double t_end = t + 100.0;
+    vt.advance_to(t_end);
+    gps.advance_to(t_end);
+    for (net::FlowId f = 0; f < n; ++f) {
+      EXPECT_EQ(vt.fluid_backlogged(f), gps.backlogged(f))
+          << "trial " << trial << " flow " << f;
+    }
+    // Sample intermediate instants: the backlog sets must agree.
+    GpsVirtualTime vt2(link);
+    fluid::GpsServer<double> gps2(link);
+    for (net::FlowId f = 0; f < n; ++f) {
+      vt2.add_flow(f, rates[f]);
+      gps2.add_flow(f, rates[f]);
+    }
+    double probe = 0.0;
+    std::size_t next = 0;
+    for (int step = 0; step < 40; ++step) {
+      probe += rng.uniform(0.1, 2.0);
+      while (next < arrivals.size() && arrivals[next].t <= probe) {
+        vt2.on_arrival(arrivals[next].t, arrivals[next].f, arrivals[next].bits);
+        gps2.arrive(arrivals[next].t, arrivals[next].f, arrivals[next].bits);
+        ++next;
+      }
+      vt2.advance_to(probe);
+      gps2.advance_to(probe);
+      for (net::FlowId f = 0; f < n; ++f) {
+        EXPECT_EQ(vt2.fluid_backlogged(f), gps2.backlogged(f))
+            << "trial " << trial << " t=" << probe << " flow " << f;
+      }
+    }
+  }
+}
+
+// Property: V is non-decreasing and advances at least as fast as reference
+// time whenever at least one flow stays backlogged (minimum slope).
+TEST(GpsVirtualTimeProperty, MinimumSlopeWhileBacklogged) {
+  util::Rng rng(31);
+  GpsVirtualTime vt(100.0);
+  for (net::FlowId f = 0; f < 3; ++f) vt.add_flow(f, 30.0);
+  double t = 0.0;
+  double prev_v = 0.0;
+  // Heavy load: always backlogged.
+  for (int i = 0; i < 300; ++i) {
+    t += rng.uniform(0.0, 0.3);
+    vt.on_arrival(t, static_cast<net::FlowId>(rng.uniform_int(0, 2)),
+                  rng.uniform(50.0, 150.0));
+    const double dv = vt.vtime() - prev_v;
+    EXPECT_GE(dv, -1e-12);
+    prev_v = vt.vtime();
+  }
+  const double v_before = vt.vtime();
+  const double t_before = vt.ref_time();
+  vt.advance_to(t + 1.0);
+  EXPECT_GE(vt.vtime() - v_before, (t + 1.0 - t_before) - 1e-9);
+}
+
+}  // namespace
+}  // namespace hfq::sched

@@ -1,0 +1,224 @@
+// Integration tests: scaled-down versions of the paper's experiments run
+// end-to-end through sources → link → hierarchy → measurement, guarding the
+// shapes the benchmark binaries report. Also: virtual-time rebasing
+// transparency and multi-hop delay composition.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hierarchy.h"
+#include "core/hpfq.h"
+#include "harness.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "stats/delay_recorder.h"
+#include "stats/fairness.h"
+#include "stats/rate_estimator.h"
+#include "traffic/cbr.h"
+#include "traffic/onoff.h"
+#include "traffic/tcp.h"
+#include "util/rng.h"
+
+namespace hfq {
+namespace {
+
+using net::FlowId;
+using net::Packet;
+using testing::packet;
+
+// ------------------------------------- §3.1 pathology, three levels deep
+
+// A deterministic probe-after-burst at depth three: the best-effort burst
+// runs its whole subtree ahead under H-WFQ, so the probe pays for the
+// catch-up of BOTH ancestor levels' siblings; H-WF²Q+ serves it within a
+// few packet times.
+template <typename Policy>
+double deep_probe_delay() {
+  core::Hierarchy spec(8.0);  // unit packets: 1 byte = 1 s at 8 bps
+  const auto l1 = spec.add_class(0, "L1", 4.0);
+  const auto l2 = spec.add_class(l1, "L2", 2.0);
+  spec.add_session(l2, "be", 0.5, 0);
+  spec.add_session(l2, "rt", 1.5, 1);
+  spec.add_session(l1, "s1", 2.0, 2);    // sibling at level 1
+  for (int j = 0; j < 12; ++j) {         // siblings at the root
+    spec.add_session(0, "r" + std::to_string(j), 1.0 / 3.0,
+                     static_cast<FlowId>(3 + j));
+  }
+  auto h = spec.build_packet<Policy>();
+  sim::Simulator sim;
+  sim::Link link(sim, *h, 8.0);
+  double probe_delay = -1.0;
+  link.set_delivery([&](const Packet& p, net::Time t) {
+    if (p.flow == 1) probe_delay = t - p.arrival;
+  });
+  sim.at(0.0, [&] {
+    for (int k = 0; k < 40; ++k) link.submit(packet(0, 1, k));  // BE burst
+    for (int k = 0; k < 20; ++k) link.submit(packet(2, 1, 100 + k));
+    for (int j = 0; j < 12; ++j) {
+      for (int k = 0; k < 2; ++k) {
+        link.submit(packet(static_cast<FlowId>(3 + j), 1, 200 + 2 * j + k));
+      }
+    }
+  });
+  sim.at(12.0, [&] { link.submit(packet(1, 1, 999)); });  // RT probe
+  sim.run();
+  return probe_delay;
+}
+
+TEST(Integration, DeepHierarchyProbeDelayWfqVsWf2qPlus) {
+  const double wfq = deep_probe_delay<core::GpsSffPolicy>();
+  const double wf2qp = deep_probe_delay<core::Wf2qPlusPolicy>();
+  ASSERT_GT(wfq, 0.0);
+  ASSERT_GT(wf2qp, 0.0);
+  EXPECT_GT(wfq, 1.5 * wf2qp);
+}
+
+// ------------------------------------------ scaled Figure 9 shape guard
+
+TEST(Integration, TcpBandwidthTracksHierarchyShares) {
+  core::Hierarchy spec(1e6);
+  const auto a = spec.add_class(0, "A", 0.75e6);
+  spec.add_session(a, "t0", 0.5e6, 0, 32);
+  spec.add_session(a, "t1", 0.25e6, 1, 32);
+  spec.add_session(0, "t2", 0.25e6, 2, 32);
+  auto h = spec.build_packet<core::Wf2qPlusPolicy>();
+  sim::Simulator sim;
+  sim::Link link(sim, *h, 1e6);
+  traffic::TcpConfig cfg;
+  cfg.one_way_delay_s = 0.01;
+  std::vector<std::unique_ptr<traffic::TcpSource>> tcps;
+  for (FlowId f = 0; f < 3; ++f) {
+    tcps.push_back(std::make_unique<traffic::TcpSource>(
+        sim, [&link](Packet p) { return link.submit(p); }, f, 500, cfg));
+  }
+  std::map<FlowId, double> bits;
+  link.set_delivery([&](const Packet& p, net::Time) {
+    bits[p.flow] += p.size_bits();
+    tcps[p.flow]->on_packet_delivered(p);
+  });
+  for (auto& t : tcps) t->start(0.0);
+  sim.run_until(30.0);
+  const double total = bits[0] + bits[1] + bits[2];
+  EXPECT_GT(total, 0.85e6 * 30.0);  // work conserving under TCP
+  EXPECT_NEAR(bits[0] / total, 0.50, 0.06);
+  EXPECT_NEAR(bits[1] / total, 0.25, 0.06);
+  EXPECT_NEAR(bits[2] / total, 0.25, 0.06);
+  // Weighted fairness: Jain index of normalized shares near 1.
+  const double norm[3] = {bits[0] / 0.5, bits[1] / 0.25, bits[2] / 0.25};
+  EXPECT_GT(stats::jain_index(std::span<const double>(norm, 3)), 0.98);
+}
+
+// --------------------------------------------------- rebasing transparency
+
+// Two identical one-level H-WF²Q+ servers, one forced to rebase its
+// virtual clock thousands of times: schedules must be bit-identical.
+TEST(Integration, VirtualTimeRebasingIsScheduleTransparent) {
+  auto run = [](bool force_rebase) {
+    core::HWf2qPlus h(8000.0);
+    h.add_leaf(h.root(), 3000.0, 0);
+    h.add_leaf(h.root(), 5000.0, 1);
+    if (force_rebase) {
+      h.mutable_policy(h.root()).set_rebase_threshold(0.5);
+    }
+    sim::Simulator sim;
+    sim::Link link(sim, h, 8000.0);
+    std::vector<std::pair<double, std::uint64_t>> deps;
+    link.set_delivery([&](const Packet& p, net::Time t) {
+      deps.emplace_back(t, p.id);
+    });
+    util::Rng rng(21);
+    std::uint64_t id = 0;
+    double t = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+      t += rng.uniform(0.0, 0.2);
+      const auto f = static_cast<FlowId>(rng.uniform_int(0, 1));
+      const auto bytes = static_cast<std::uint32_t>(rng.uniform_int(10, 125));
+      sim.at(t, [&link, p = packet(f, bytes, id++)] {
+        Packet q = p;
+        link.submit(q);
+      });
+    }
+    sim.run();
+    const auto rebases = h.policy_of(h.root()).rebase_count();
+    return std::make_pair(deps, rebases);
+  };
+  const auto [base, rb0] = run(false);
+  const auto [rebased, rb1] = run(true);
+  EXPECT_EQ(rb0, 0u);
+  EXPECT_GT(rb1, 50u);  // the knob actually exercised the rebase path
+  ASSERT_EQ(base.size(), rebased.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i].second, rebased[i].second) << "departure " << i;
+    EXPECT_NEAR(base[i].first, rebased[i].first, 1e-9);
+  }
+}
+
+// ------------------------------------------------------ multi-hop delays
+
+// Three H-WF²Q+ hops in series: the end-to-end delay of a shaped session is
+// bounded by the sum of the per-hop Corollary 2 bounds.
+TEST(Integration, MultiHopDelayComposition) {
+  constexpr double kRate = 8000.0;
+  constexpr double kLmax = 1000.0;
+  sim::Simulator sim;
+
+  struct Hop {
+    std::unique_ptr<core::HWf2qPlus> sched;
+    std::unique_ptr<sim::Link> link;
+  };
+  std::vector<Hop> hops;
+  for (int i = 0; i < 3; ++i) {
+    auto s = std::make_unique<core::HWf2qPlus>(kRate);
+    s->add_leaf(s->root(), 2000.0, 0);  // probe
+    s->add_leaf(s->root(), 6000.0, static_cast<FlowId>(1 + i));  // local cross
+    auto l = std::make_unique<sim::Link>(sim, *s, kRate);
+    hops.push_back(Hop{std::move(s), std::move(l)});
+  }
+  // Chain: probe departures of hop i feed hop i+1; cross traffic is local.
+  double max_e2e = 0.0;
+  std::map<std::uint64_t, double> entry_time;
+  for (int i = 0; i < 3; ++i) {
+    const bool last = i == 2;
+    hops[i].link->set_delivery(
+        [&, i, last](const Packet& p, net::Time t) {
+          if (p.flow != 0) return;
+          if (last) {
+            max_e2e = std::max(max_e2e, t - entry_time[p.id]);
+          } else {
+            hops[i + 1].link->submit(p);
+          }
+        });
+  }
+  // Probe: leaky-bucket-conformant CBR at its guaranteed rate (sigma = L).
+  util::Rng rng(5);
+  std::uint64_t id = 0;
+  for (int k = 0; k < 300; ++k) {
+    const double t = 0.5 * k + rng.uniform(0.0, 0.2);
+    sim.at(t, [&, t, pid = id] {
+      Packet p = packet(0, 125, pid);
+      entry_time[pid] = t;
+      hops[0].link->submit(p);
+    });
+    ++id;
+  }
+  // Greedy local cross traffic at each hop.
+  for (int i = 0; i < 3; ++i) {
+    sim.at(0.0, [&, i] {
+      for (int k = 0; k < 2000; ++k) {
+        hops[i].link->submit(
+            packet(static_cast<FlowId>(1 + i), 125, 1000000 + 10000 * i + k));
+      }
+    });
+  }
+  sim.run();
+  ASSERT_GT(max_e2e, 0.0);
+  // Per hop: sigma/r + Lmax/r_link + tx time; sigma here ~ one packet.
+  const double per_hop = kLmax / 2000.0 + kLmax / kRate + kLmax / kRate;
+  EXPECT_LE(max_e2e, 3.0 * per_hop + 1e-9);
+}
+
+}  // namespace
+}  // namespace hfq

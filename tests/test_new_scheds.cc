@@ -1,0 +1,203 @@
+// Behaviour specific to the extension baselines: VirtualClock's memory of
+// past excess, WRR's size-blindness, StochasticFq's hashing and
+// perturbation, and ApproxWfq's WFQ-like burst pathology.
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness.h"
+#include "sched/approx_wfq.h"
+#include "sched/stochastic_fq.h"
+#include "sched/virtual_clock.h"
+#include "sched/wrr.h"
+
+namespace hfq::sched {
+namespace {
+
+using net::FlowId;
+using testing::TimedArrival;
+using testing::packet;
+using testing::run_trace;
+
+// ---------------------------------------------------------- VirtualClock
+
+// The famous Virtual Clock pathology: a flow that used idle bandwidth is
+// punished afterwards — its auxiliary clock ran ahead of real time, so a
+// newly active competitor locks it out completely until the clock catches
+// up. (GPS-family schedulers deliberately do NOT do this.)
+TEST(VirtualClock, PunishesPastExcessUsage) {
+  VirtualClock s;
+  s.add_flow(0, 4000.0);
+  s.add_flow(1, 4000.0);
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  // Flow 0 alone for 10 s at full link rate (8 pkt/s of 125 B): its clock
+  // advances 2x real time (rate share 0.5).
+  for (int k = 0; k < 80; ++k) arr.push_back({0.125 * k, packet(0, 125, id++)});
+  // At t=10 flow 1 becomes active; both offer packets continuously.
+  for (int k = 0; k < 40; ++k) {
+    arr.push_back({10.0 + 0.125 * k, packet(0, 125, id++)});
+    arr.push_back({10.0 + 0.125 * k, packet(1, 125, id++)});
+  }
+  const auto deps = run_trace(s, 8000.0, arr);
+  // Count flow 0 service in the window right after flow 1 arrives: Virtual
+  // Clock starves it (clock at ~20 vs flow 1 starting at ~10).
+  int flow0_in_window = 0;
+  for (const auto& d : deps) {
+    if (d.time > 10.0 && d.time <= 13.0 && d.pkt.flow == 0) ++flow0_in_window;
+  }
+  EXPECT_LE(flow0_in_window, 2);  // near-total lockout
+}
+
+TEST(VirtualClock, FairWhenSimultaneouslyBacklogged) {
+  VirtualClock s;
+  s.add_flow(0, 6000.0);
+  s.add_flow(1, 2000.0);
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  for (int k = 0; k < 200; ++k) {
+    arr.push_back({0.0, packet(0, 125, id++)});
+    arr.push_back({0.0, packet(1, 125, id++)});
+  }
+  const auto deps = run_trace(s, 8000.0, arr);
+  std::map<FlowId, int> by25;
+  for (const auto& d : deps) {
+    if (d.time <= 25.0) by25[d.pkt.flow]++;
+  }
+  // 8 pkt/s total, split 3:1.
+  EXPECT_NEAR(by25[0], 150, 8);
+  EXPECT_NEAR(by25[1], 50, 8);
+}
+
+// ------------------------------------------------------------------ WRR
+
+TEST(Wrr, RoundRobinByPacketCountIgnoresSizes) {
+  Wrr s(/*base_rate=*/1000.0);
+  s.add_flow(0, 1000.0);  // weight 1
+  s.add_flow(1, 1000.0);  // weight 1
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  for (int k = 0; k < 50; ++k) {
+    arr.push_back({0.0, packet(0, 200, id++)});  // big packets
+    arr.push_back({0.0, packet(1, 50, id++)});   // small packets
+  }
+  const auto deps = run_trace(s, 8000.0, arr);
+  // Equal packet counts per round → flow 0 gets 4x the bandwidth: the
+  // size-blindness DRR exists to fix.
+  double bits0 = 0.0, bits1 = 0.0;
+  for (const auto& d : deps) {
+    if (d.time <= 20.0) {
+      (d.pkt.flow == 0 ? bits0 : bits1) += d.pkt.size_bits();
+    }
+  }
+  EXPECT_GT(bits0, 3.0 * bits1);
+}
+
+TEST(Wrr, WeightsScaleWithRates) {
+  Wrr s(1000.0);
+  s.add_flow(0, 3000.0);  // weight 3
+  s.add_flow(1, 1000.0);  // weight 1
+  EXPECT_DOUBLE_EQ(s.weight_of(0), 3.0);
+  EXPECT_DOUBLE_EQ(s.weight_of(1), 1.0);
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  for (int k = 0; k < 120; ++k) {
+    arr.push_back({0.0, packet(0, 125, id++)});
+    arr.push_back({0.0, packet(1, 125, id++)});
+  }
+  const auto deps = run_trace(s, 8000.0, arr);
+  std::map<FlowId, int> count;
+  for (const auto& d : deps) {
+    if (d.time <= 15.0) count[d.pkt.flow]++;
+  }
+  EXPECT_NEAR(count[0], 90, 6);
+  EXPECT_NEAR(count[1], 30, 6);
+}
+
+// ----------------------------------------------------------- StochasticFq
+
+TEST(StochasticFq, SeparateBucketsShareEqually) {
+  // Pick flow ids that land in different buckets.
+  StochasticFq s(64);
+  FlowId a = 0, b = 1;
+  while (s.bucket_of(a) == s.bucket_of(b)) ++b;
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  for (int k = 0; k < 100; ++k) {
+    arr.push_back({0.0, packet(a, 125, id++)});
+    arr.push_back({0.0, packet(b, 125, id++)});
+  }
+  const auto deps = run_trace(s, 8000.0, arr);
+  std::map<FlowId, int> count;
+  for (const auto& d : deps) {
+    if (d.time <= 12.5) count[d.pkt.flow]++;
+  }
+  EXPECT_NEAR(count[a], 50, 2);
+  EXPECT_NEAR(count[b], 50, 2);
+}
+
+TEST(StochasticFq, CollidingFlowsShareOneBucket) {
+  StochasticFq s(4);  // few buckets → collisions easy to find
+  FlowId a = 0;
+  FlowId b = 1;
+  while (s.bucket_of(b) != s.bucket_of(a)) ++b;
+  FlowId c = b + 1;
+  while (s.bucket_of(c) == s.bucket_of(a)) ++c;
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  for (int k = 0; k < 90; ++k) {
+    arr.push_back({0.0, packet(a, 125, id++)});
+    arr.push_back({0.0, packet(b, 125, id++)});
+    arr.push_back({0.0, packet(c, 125, id++)});
+  }
+  const auto deps = run_trace(s, 8000.0, arr);
+  std::map<FlowId, int> count;
+  for (const auto& d : deps) {
+    if (d.time <= 15.0) count[d.pkt.flow]++;
+  }
+  // a and b split one bucket's half; c alone gets the other half.
+  EXPECT_NEAR(count[a] + count[b], count[c], 6);
+}
+
+TEST(StochasticFq, PerturbChangesMapping) {
+  StochasticFq s(1024);
+  std::map<std::size_t, int> before;
+  for (FlowId f = 0; f < 64; ++f) before[s.bucket_of(f)]++;
+  s.perturb(0x1234567890abcdefULL);
+  int moved = 0;
+  std::map<std::size_t, int> after;
+  for (FlowId f = 0; f < 64; ++f) after[s.bucket_of(f)]++;
+  // The mapping must actually change (probability of identity ~ 0).
+  if (before != after) ++moved;
+  EXPECT_EQ(moved, 1);
+}
+
+TEST(StochasticFq, DropsWhenBucketFull) {
+  StochasticFq s(8, /*per_bucket_capacity=*/2);
+  sim::Simulator sim;
+  sim::Link link(sim, s, 8000.0);
+  link.set_delivery([](const net::Packet&, net::Time) {});
+  sim.at(0.0, [&] {
+    for (int i = 0; i < 6; ++i) link.submit(packet(0, 125, i));
+  });
+  sim.run();
+  EXPECT_EQ(s.drops(), 3u);  // 1 in service + 2 queued accepted
+}
+
+// ------------------------------------------------------------- ApproxWfq
+
+// Removing only the eligibility test reintroduces the Fig. 2 burst: the
+// heavy session runs ahead exactly like WFQ.
+TEST(ApproxWfq, BurstsLikeWfqOnFig2Pattern) {
+  ApproxWfq s(8.0);
+  s.add_flow(0, 4.0);
+  for (FlowId j = 1; j <= 10; ++j) s.add_flow(j, 0.4);
+  const auto deps = run_trace(s, 8.0, testing::fig2_arrivals());
+  ASSERT_EQ(deps.size(), 21u);
+  // First ten departures all belong to session 0 — the WFQ signature.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(deps[i].pkt.flow, 0u) << i;
+}
+
+}  // namespace
+}  // namespace hfq::sched

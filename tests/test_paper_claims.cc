@@ -1,0 +1,274 @@
+// Pins the paper's quantitative claims beyond Fig. 2: the §3.1 "1001
+// classes / 120 ms" example, the Theorem 3/4 delay bounds and WFI bounds,
+// and the minimum-slope property of the Eq. 27 virtual time function.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hpfq.h"
+#include "core/wf2qplus.h"
+#include "fluid/gps.h"
+#include "harness.h"
+#include "sched/wf2q.h"
+#include "sched/wfq.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "stats/wfi_estimator.h"
+#include "traffic/leaky_bucket.h"
+#include "util/rng.h"
+
+namespace hfq {
+namespace {
+
+using net::FlowId;
+using net::Packet;
+using testing::TimedArrival;
+using testing::packet;
+
+// §3.1: "there are 1001 classes sharing a 100 Mbps link with the maximum
+// packet size of 1500 bytes. For a real-time session reserving 30% of the
+// link bandwidth, its packet may be delayed by 120 ms in just one hop! In
+// contrast, if GPS or H-GPS is used, the worst-case delay for a packet
+// arriving at an empty queue is 0.4 ms."
+//
+// Construction: class A (50 Mbps) holds a best-effort session (20 Mbps)
+// and the real-time session (30 Mbps); 1000 sibling classes (50 kbps each)
+// each have one packet queued at t=0. Best-effort bursts; under H-WFQ the
+// root serves class A 1000 packets ahead of its fluid schedule, so when the
+// real-time packet arrives it must wait for all 1000 siblings:
+// 1000 * 12 kbit / 100 Mbps = 120 ms. Under H-WF²Q+ class A was never
+// allowed ahead, and the real-time packet departs within about a packet
+// time of the GPS figure (12 kbit / 30 Mbps = 0.4 ms).
+TEST(PaperClaims, Section31ThousandClassExampleHWfqVsHWf2qPlus) {
+  constexpr double kLink = 100e6;
+  constexpr std::uint32_t kBytes = 1500;  // 12 kbit packets
+  constexpr int kN = 1000;
+  constexpr FlowId kBe = 0, kRt = 1;
+
+  auto scenario = [&](auto& h) {
+    h.add_internal(h.root(), 50e6);  // class A = node 1
+    h.add_leaf(1, 20e6, kBe);
+    h.add_leaf(1, 30e6, kRt);
+    for (int j = 0; j < kN; ++j) {
+      h.add_leaf(h.root(), 50e3, static_cast<FlowId>(2 + j));
+    }
+    sim::Simulator sim;
+    sim::Link link(sim, h, kLink);
+    double probe_delay = -1.0;
+    link.set_delivery([&](const Packet& p, net::Time t) {
+      if (p.flow == kRt) probe_delay = t - p.arrival;
+    });
+    sim.at(0.0, [&] {
+      for (int k = 0; k < 1200; ++k) link.submit(packet(kBe, kBytes, k));
+      for (int j = 0; j < kN; ++j) {
+        link.submit(packet(static_cast<FlowId>(2 + j), kBytes, 10000 + j));
+      }
+    });
+    // The probe arrives when H-WFQ has just finished running class A a full
+    // light-class tag gap ahead (1000 packets = 120 ms of link time).
+    sim.at(0.120, [&] { link.submit(packet(kRt, kBytes, 999999)); });
+    sim.run();
+    return probe_delay;
+  };
+
+  core::HWfq hwfq(kLink);
+  const double d_wfq = scenario(hwfq);
+  core::HWf2qPlus hwf2qp(kLink);
+  const double d_wf2qp = scenario(hwf2qp);
+
+  // H-WFQ: ≈120 ms (within 15%), the paper's headline number.
+  EXPECT_GT(d_wfq, 0.100);
+  EXPECT_LT(d_wfq, 0.140);
+  // H-WF²Q+: within a few packet times of the 0.4 ms GPS figure.
+  EXPECT_LT(d_wf2qp, 0.002);
+}
+
+// Theorem 4(3): WF²Q+ delay bound sigma/r_i + Lmax/r for (sigma, r_i)
+// constrained sessions, under adversarial greedy cross traffic — swept over
+// random bucket depths and rates.
+TEST(PaperClaims, Theorem4DelayBoundWf2qPlusRandomized) {
+  util::Rng rng(555);
+  for (int trial = 0; trial < 10; ++trial) {
+    const double link = 8000.0;
+    const std::uint32_t bytes = 125;  // 1000 bits
+    const double lmax = 1000.0;
+    const double r0 = rng.uniform(0.1, 0.4) * link;
+    const double sigma = rng.uniform(1.0, 5.0) * lmax;
+
+    core::Wf2qPlus s(link);
+    s.add_flow(0, r0);
+    s.add_flow(1, (link - r0) / 2.0);
+    s.add_flow(2, (link - r0) / 2.0);
+
+    sim::Simulator sim;
+    sim::Link link_obj(sim, s, link);
+    double max_delay = 0.0;
+    link_obj.set_delivery([&](const Packet& p, net::Time t) {
+      if (p.flow == 0) max_delay = std::max(max_delay, t - p.arrival);
+    });
+    traffic::LeakyBucketShaper shaper(
+        sim, [&](Packet p) { return link_obj.submit(p); }, sigma, r0);
+    double t = 0.0;
+    std::uint64_t id = 0;
+    for (int i = 0; i < 200; ++i) {
+      t += rng.uniform(0.0, 4.0 * lmax / r0);
+      const int burst = static_cast<int>(rng.uniform_int(1, 4));
+      for (int k = 0; k < burst; ++k) {
+        sim.at(t, [&shaper, p = packet(0, bytes, id++)]() mutable {
+          shaper.offer(p);
+        });
+      }
+    }
+    sim.at(0.0, [&] {
+      for (int k = 0; k < 4000; ++k) {
+        link_obj.submit(packet(1, bytes, 100000 + 2 * k));
+        link_obj.submit(packet(2, bytes, 100001 + 2 * k));
+      }
+    });
+    sim.run();
+    // + one packet transmission of measurement slack (delay includes the
+    // probe's own transmission).
+    const double bound = sigma / r0 + lmax / link + lmax / link;
+    EXPECT_LE(max_delay, bound + 1e-9) << "trial " << trial;
+  }
+}
+
+// Theorem 3(2)/4(2): measured B-WFI of every session under WF²Q and WF²Q+
+// stays within alpha_i = L_i,max + (L_max − L_i,max) r_i/r even with mixed
+// packet sizes.
+TEST(PaperClaims, Theorem4WfiBoundMixedPacketSizes) {
+  const double link = 8000.0;
+  const double lmax = 8.0 * 200;  // 1600 bits
+  for (int which = 0; which < 2; ++which) {
+    const double rates[3] = {4000.0, 2000.0, 2000.0};
+    const std::uint32_t sizes[3] = {100, 200, 50};  // flow's own max size
+    // add_flow is a concrete-class API (it registers policy-specific
+    // state), so register before erasing the type.
+    std::unique_ptr<sched::FlatSchedulerBase> s;
+    if (which == 0) {
+      auto w = std::make_unique<sched::Wf2q>(link);
+      for (FlowId f = 0; f < 3; ++f) w->add_flow(f, rates[f]);
+      s = std::move(w);
+    } else {
+      auto w = std::make_unique<core::Wf2qPlus>(link);
+      for (FlowId f = 0; f < 3; ++f) w->add_flow(f, rates[f]);
+      s = std::move(w);
+    }
+
+    sim::Simulator sim;
+    sim::Link link_obj(sim, *s, link);
+    std::vector<stats::WfiEstimator> wfi;
+    for (FlowId f = 0; f < 3; ++f) wfi.emplace_back(rates[f] / link);
+    link_obj.set_delivery([&](const Packet& p, net::Time) {
+      for (FlowId f = 0; f < 3; ++f) {
+        wfi[f].on_server_departure(p.size_bits(),
+                                   p.flow == f ? p.size_bits() : 0.0);
+      }
+    });
+    util::Rng rng(42 + which);
+    sim.at(0.0, [&] {
+      for (FlowId f = 0; f < 3; ++f) wfi[f].backlog_start();
+      std::uint64_t id = 0;
+      for (int k = 0; k < 500; ++k) {
+        for (FlowId f = 0; f < 3; ++f) {
+          // Random sizes up to the flow's own maximum.
+          const auto b = static_cast<std::uint32_t>(
+              rng.uniform_int(10, sizes[f]));
+          link_obj.submit(packet(f, b, id++));
+        }
+      }
+    });
+    sim.run_until(40.0);  // all still backlogged here
+    for (FlowId f = 0; f < 3; ++f) {
+      const double li = 8.0 * sizes[f];
+      const double alpha = li + (lmax - li) * rates[f] / link;
+      // Eq. 30's constant assumes the real-time form of V; the
+      // service-quantized form used here (the paper's own pseudocode) adds
+      // at most a sub-packet term, so assert the paper's headline property:
+      // the WFI is on the order of ONE maximum packet — never growing with
+      // the number or size-mix of competitors (contrast: WFQ's N/2 packets
+      // in bench_table_wfi_vs_n).
+      EXPECT_LE(wfi[f].bwfi_bits(), lmax + 1e-6)
+          << (which == 0 ? "WF2Q" : "WF2Q+") << " flow " << f;
+      // And it should not be far above the Eq. 30 constant either.
+      EXPECT_LE(wfi[f].bwfi_bits(), alpha + 0.5 * lmax)
+          << (which == 0 ? "WF2Q" : "WF2Q+") << " flow " << f;
+    }
+  }
+}
+
+// The "minimum slope property" of Eq. 27 (§3.4): across any sequence of
+// selections, V advances at least as fast as the reference (service) time,
+// and never drops below the smallest start tag of a backlogged head.
+TEST(PaperClaims, Eq27MinimumSlopeProperty) {
+  const double link = 8000.0;
+  core::Wf2qPlus s(link);
+  for (FlowId f = 0; f < 4; ++f) s.add_flow(f, 2000.0);
+  util::Rng rng(9);
+  std::uint64_t id = 0;
+  double served_time = 0.0;  // cumulative service normalized by link rate
+  double prev_v = 0.0;
+  double prev_served = 0.0;
+  // Keep the server continuously busy.
+  for (int round = 0; round < 2000; ++round) {
+    const auto f = static_cast<FlowId>(rng.uniform_int(0, 3));
+    const auto bytes = static_cast<std::uint32_t>(rng.uniform_int(1, 50));
+    s.enqueue(packet(f, bytes, id++), served_time);
+    if (s.backlog_packets() > 4) {
+      const auto p = s.dequeue(served_time);
+      ASSERT_TRUE(p.has_value());
+      served_time += p->size_bits() / link;
+      // Minimum slope: dV >= d(reference time).
+      EXPECT_GE(s.vtime() - prev_v, (served_time - prev_served) - 1e-9);
+      prev_v = s.vtime();
+      prev_served = served_time;
+    }
+  }
+}
+
+// WFQ's delay bound (within one packet of GPS, [14]) also holds in our WFQ
+// implementation — the baselines must be faithful too.
+TEST(PaperClaims, WfqDelayBoundHolds) {
+  util::Rng rng(77);
+  const double link = 8000.0;
+  const double lmax = 1000.0;
+  const double r0 = 2000.0;
+  const double sigma = 3.0 * lmax;
+
+  sched::Wfq s(link);
+  s.add_flow(0, r0);
+  s.add_flow(1, 3000.0);
+  s.add_flow(2, 3000.0);
+
+  sim::Simulator sim;
+  sim::Link link_obj(sim, s, link);
+  double max_delay = 0.0;
+  link_obj.set_delivery([&](const Packet& p, net::Time t) {
+    if (p.flow == 0) max_delay = std::max(max_delay, t - p.arrival);
+  });
+  traffic::LeakyBucketShaper shaper(
+      sim, [&](Packet p) { return link_obj.submit(p); }, sigma, r0);
+  double t = 0.0;
+  std::uint64_t id = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += rng.uniform(0.0, 4.0 * lmax / r0);
+    sim.at(t, [&shaper, p = packet(0, 125, id++)]() mutable {
+      shaper.offer(p);
+    });
+  }
+  sim.at(0.0, [&] {
+    for (int k = 0; k < 4000; ++k) {
+      link_obj.submit(packet(1, 125, 100000 + 2 * k));
+      link_obj.submit(packet(2, 125, 100001 + 2 * k));
+    }
+  });
+  sim.run();
+  const double bound = sigma / r0 + lmax / link + lmax / link;
+  EXPECT_LE(max_delay, bound + 1e-9);
+}
+
+}  // namespace
+}  // namespace hfq

@@ -1,0 +1,140 @@
+// Typed-test suite: the invariants every H-PFQ node policy must satisfy,
+// instantiated over all six policies (TYPED_TEST — the hierarchical
+// counterpart of test_sched_param.cc's TEST_P suite).
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hierarchy.h"
+#include "core/hpfq.h"
+#include "harness.h"
+#include "util/rng.h"
+
+namespace hfq {
+namespace {
+
+using net::FlowId;
+using net::Packet;
+using testing::TimedArrival;
+using testing::packet;
+using testing::run_trace;
+
+template <typename Policy>
+class HPfqPolicy : public ::testing::Test {
+ public:
+  // Two-level tree: root{A{f0, f1}, f2}. (Schedulers are pinned — links
+  // hold references — so they are handed out by unique_ptr.)
+  static std::unique_ptr<core::HPfq<Policy>> make() {
+    auto h = std::make_unique<core::HPfq<Policy>>(8000.0);
+    const auto a = h->add_internal(h->root(), 4000.0);
+    h->add_leaf(a, 2000.0, 0);
+    h->add_leaf(a, 2000.0, 1);
+    h->add_leaf(h->root(), 4000.0, 2);
+    return h;
+  }
+};
+
+using Policies =
+    ::testing::Types<core::Wf2qPlusPolicy, core::GpsSffPolicy,
+                     core::GpsSeffPolicy, core::ScfqPolicy, core::SfqPolicy,
+                     core::DrrPolicy>;
+TYPED_TEST_SUITE(HPfqPolicy, Policies);
+
+TYPED_TEST(HPfqPolicy, DeliversAllPacketsInFlowOrder) {
+  auto hp = TestFixture::make();
+  auto& h = *hp;
+  util::Rng rng(7);
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  double t = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    t += rng.uniform(0.0, 0.3);
+    arr.push_back({t, packet(static_cast<FlowId>(rng.uniform_int(0, 2)),
+                             static_cast<std::uint32_t>(rng.uniform_int(10, 125)),
+                             id++)});
+  }
+  const auto deps = run_trace(h, 8000.0, arr);
+  ASSERT_EQ(deps.size(), arr.size());
+  std::map<FlowId, std::uint64_t> last;
+  for (const auto& d : deps) {
+    if (last.count(d.pkt.flow) != 0) {
+      EXPECT_LT(last[d.pkt.flow], d.pkt.id);
+    }
+    last[d.pkt.flow] = d.pkt.id;
+  }
+  EXPECT_EQ(h.backlog_packets(), 0u);
+}
+
+TYPED_TEST(HPfqPolicy, WorkConservingWhenSaturated) {
+  auto hp = TestFixture::make();
+  auto& h = *hp;
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  for (int k = 0; k < 60; ++k) {
+    for (FlowId f = 0; f < 3; ++f) arr.push_back({0.0, packet(f, 125, id++)});
+  }
+  const auto deps = run_trace(h, 8000.0, arr);
+  ASSERT_EQ(deps.size(), arr.size());
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    EXPECT_NEAR(deps[i].time, 0.125 * static_cast<double>(i + 1), 1e-9);
+  }
+}
+
+TYPED_TEST(HPfqPolicy, LongRunSharesFollowHierarchy) {
+  auto hp = TestFixture::make();
+  auto& h = *hp;
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  for (int k = 0; k < 800; ++k) {
+    for (FlowId f = 0; f < 3; ++f) arr.push_back({0.0, packet(f, 125, id++)});
+  }
+  const auto deps = run_trace(h, 8000.0, arr);
+  std::map<FlowId, double> bits;
+  for (const auto& d : deps) {
+    if (d.time <= 80.0) bits[d.pkt.flow] += d.pkt.size_bits();
+  }
+  // f0, f1: 2000 bps; f2: 4000 bps.
+  EXPECT_NEAR(bits[0], 2000.0 * 80, 20000.0);
+  EXPECT_NEAR(bits[1], 2000.0 * 80, 20000.0);
+  EXPECT_NEAR(bits[2], 4000.0 * 80, 20000.0);
+}
+
+TYPED_TEST(HPfqPolicy, ClassInheritsIdleSiblingBandwidth) {
+  auto hp = TestFixture::make();
+  auto& h = *hp;
+  // Only flow 0 active: it should get the whole link (work conservation
+  // through both levels), not just its 2000 bps guarantee.
+  std::vector<TimedArrival> arr;
+  for (int k = 0; k < 40; ++k) {
+    arr.push_back({0.0, packet(0, 125, static_cast<std::uint64_t>(k))});
+  }
+  const auto deps = run_trace(h, 8000.0, arr);
+  ASSERT_EQ(deps.size(), 40u);
+  EXPECT_NEAR(deps.back().time, 40 * 0.125, 1e-9);
+}
+
+TYPED_TEST(HPfqPolicy, SurvivesManyBusyPeriods) {
+  auto hp = TestFixture::make();
+  auto& h = *hp;
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  for (int period = 0; period < 50; ++period) {
+    const double t0 = period * 10.0;
+    for (int k = 0; k < 5; ++k) {
+      arr.push_back({t0, packet(static_cast<FlowId>(k % 3), 125, id++)});
+    }
+  }
+  const auto deps = run_trace(h, 8000.0, arr);
+  ASSERT_EQ(deps.size(), arr.size());
+  // Each burst of 5 drains in 0.625 s, long before the next.
+  for (int period = 0; period < 50; ++period) {
+    const auto& last_of_period =
+        deps[static_cast<std::size_t>(period * 5 + 4)];
+    EXPECT_NEAR(last_of_period.time, period * 10.0 + 0.625, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace hfq

@@ -1,0 +1,170 @@
+// Tests for the admission-control module (src/qos): validation, Corollary 2
+// bound computation, admission decisions — and a closed loop showing the
+// computed bound really holds under adversarial load.
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "core/hierarchy.h"
+#include "core/hpfq.h"
+#include "qos/admission.h"
+#include "harness.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "traffic/leaky_bucket.h"
+#include "util/rng.h"
+
+namespace hfq::qos {
+namespace {
+
+core::Hierarchy demo_tree() {
+  core::Hierarchy spec(80.0);
+  const auto a = spec.add_class(0, "A", 40.0);
+  spec.add_session(a, "rt", 8.0, 0);
+  spec.add_session(a, "be", 32.0, 1);
+  spec.add_session(0, "b", 40.0, 2);
+  return spec;
+}
+
+TEST(Admission, ValidTreeHasNoIssues) {
+  const auto spec = demo_tree();
+  EXPECT_TRUE(validate(spec).empty());
+}
+
+TEST(Admission, DetectsOversubscribedClass) {
+  core::Hierarchy spec(80.0);
+  const auto a = spec.add_class(0, "A", 40.0);
+  spec.add_session(a, "x", 30.0, 0);
+  spec.add_session(a, "y", 30.0, 1);  // 60 > 40
+  const auto issues = validate(spec);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].node, a);
+  EXPECT_DOUBLE_EQ(issues[0].children_rate, 60.0);
+  EXPECT_DOUBLE_EQ(issues[0].node_rate, 40.0);
+}
+
+TEST(Admission, DetectsOversubscribedRoot) {
+  core::Hierarchy spec(80.0);
+  spec.add_session(0, "x", 50.0, 0);
+  spec.add_session(0, "y", 50.0, 1);
+  EXPECT_EQ(validate(spec).size(), 1u);
+}
+
+TEST(Admission, DelayBoundMatchesHandComputation) {
+  const auto spec = demo_tree();
+  const double lmax = 80.0;
+  const double sigma = 240.0;
+  // rt: sigma/8 + Lmax/40 (class A) + Lmax/80 (root) + Lmax/80 (tx).
+  const double expect = 240.0 / 8.0 + 80.0 / 40.0 + 1.0 + 1.0;
+  const auto bound = delay_bound_for_flow(spec, 0, sigma, lmax);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_NEAR(*bound, expect, 1e-12);
+}
+
+TEST(Admission, DelayBoundRejectsNonSessions) {
+  const auto spec = demo_tree();
+  EXPECT_FALSE(delay_bound(spec, 0, 100.0, 80.0).has_value());  // root
+  EXPECT_FALSE(delay_bound(spec, 1, 100.0, 80.0).has_value());  // class A
+  EXPECT_FALSE(delay_bound_for_flow(spec, 99, 100.0, 80.0).has_value());
+}
+
+TEST(Admission, EvaluateAdmitsWithinHeadroomAndTarget) {
+  const auto spec = demo_tree();  // class A has 0 headroom; root has 0
+  core::Hierarchy spacious(80.0);
+  const auto a = spacious.add_class(0, "A", 40.0);
+  spacious.add_session(a, "rt", 8.0, 0);
+  AdmissionRequest req;
+  req.parent = a;
+  req.rate_bps = 16.0;
+  req.sigma_bits = 160.0;
+  req.target_s = 20.0;
+  const auto d = evaluate(spacious, req, 80.0);
+  EXPECT_TRUE(d.admitted) << d.reason;
+  EXPECT_NEAR(d.headroom_bps, 32.0, 1e-9);
+  EXPECT_NEAR(d.bound_s, 160.0 / 16.0 + 2.0 + 1.0 + 1.0, 1e-9);
+  (void)spec;
+}
+
+TEST(Admission, EvaluateRejectsWhenNoHeadroom) {
+  const auto spec = demo_tree();
+  AdmissionRequest req;
+  req.parent = 1;  // class A, fully allocated (8 + 32 = 40)
+  req.rate_bps = 1.0;
+  req.sigma_bits = 80.0;
+  req.target_s = 100.0;
+  const auto d = evaluate(spec, req, 80.0);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_NEAR(d.headroom_bps, 0.0, 1e-9);
+}
+
+TEST(Admission, EvaluateRejectsWhenTargetUnreachable) {
+  core::Hierarchy spec(80.0);
+  const auto a = spec.add_class(0, "A", 40.0);
+  (void)a;
+  AdmissionRequest req;
+  req.parent = a;
+  req.rate_bps = 4.0;
+  req.sigma_bits = 400.0;  // sigma/rho alone = 100 s
+  req.target_s = 50.0;
+  const auto d = evaluate(spec, req, 80.0);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_GT(d.bound_s, 50.0);
+}
+
+TEST(Admission, EvaluateRejectsLeafParent) {
+  const auto spec = demo_tree();
+  AdmissionRequest req;
+  req.parent = 2;  // "rt" is a session
+  req.rate_bps = 1.0;
+  const auto d = evaluate(spec, req, 80.0);
+  EXPECT_FALSE(d.admitted);
+}
+
+// Closed loop: the admission bound must hold when the admitted session
+// actually runs against greedy cross traffic.
+TEST(Admission, AdmittedBoundHoldsInSimulation) {
+  core::Hierarchy spec(80.0);
+  const auto a = spec.add_class(0, "A", 40.0);
+  spec.add_session(a, "rt", 8.0, 0);
+  spec.add_session(a, "be", 32.0, 1);
+  spec.add_session(0, "b", 40.0, 2);
+  ASSERT_TRUE(validate(spec).empty());
+
+  const double lmax = 80.0;
+  const double sigma = 240.0;
+  const auto bound = delay_bound_for_flow(spec, 0, sigma, lmax);
+  ASSERT_TRUE(bound.has_value());
+
+  auto sched = spec.build_packet<core::Wf2qPlusPolicy>();
+  sim::Simulator sim;
+  sim::Link link(sim, *sched, 80.0);
+  double max_delay = 0.0;
+  link.set_delivery([&](const net::Packet& p, net::Time t) {
+    if (p.flow == 0) max_delay = std::max(max_delay, t - p.arrival);
+  });
+  traffic::LeakyBucketShaper shaper(
+      sim, [&link](net::Packet p) { return link.submit(p); }, sigma, 8.0);
+  util::Rng rng(101);
+  std::uint64_t id = 0;
+  double t = 0.0;
+  for (int i = 0; i < 150; ++i) {
+    t += rng.uniform(0.0, 40.0);
+    const int burst = static_cast<int>(rng.uniform_int(1, 3));
+    for (int k = 0; k < burst; ++k) {
+      sim.at(t, [&shaper, p = hfq::testing::packet(0, 10, id++)]() mutable {
+        shaper.offer(p);
+      });
+    }
+  }
+  sim.at(0.0, [&] {
+    for (int k = 0; k < 8000; ++k) {
+      link.submit(hfq::testing::packet(1, 10, 100000 + 2 * k));
+      link.submit(hfq::testing::packet(2, 10, 100001 + 2 * k));
+    }
+  });
+  sim.run();
+  EXPECT_GT(max_delay, 0.0);
+  EXPECT_LE(max_delay, *bound + 1e-9);
+}
+
+}  // namespace
+}  // namespace hfq::qos

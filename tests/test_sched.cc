@@ -1,0 +1,441 @@
+// Tests for the one-level packet schedulers (src/sched + the core WF²Q+):
+// exact reproduction of the paper's Fig. 2 timelines, fairness and
+// work-conservation properties, and baseline-specific behaviour.
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/wf2qplus.h"
+#include "fluid/gps.h"
+#include "harness.h"
+#include "sched/drr.h"
+#include "sched/fifo.h"
+#include "sched/scfq.h"
+#include "sched/sfq.h"
+#include "sched/wf2q.h"
+#include "sched/wfq.h"
+#include "util/rng.h"
+
+namespace hfq {
+namespace {
+
+using net::FlowId;
+using net::Packet;
+using testing::Departure;
+using testing::TimedArrival;
+using testing::fig2_arrivals;
+using testing::packet;
+using testing::run_trace;
+
+// Registers the Fig. 2 flow set on any flat scheduler.
+template <typename Sched>
+void add_fig2_flows(Sched& s, int n_light = 10) {
+  s.add_flow(0, 4.0);  // share 0.5 of the 8 bps link
+  for (int j = 1; j <= n_light; ++j) {
+    s.add_flow(static_cast<FlowId>(j), 0.4);  // share 0.05
+  }
+}
+
+std::vector<FlowId> flow_order(const std::vector<Departure>& deps) {
+  std::vector<FlowId> v;
+  v.reserve(deps.size());
+  for (const auto& d : deps) v.push_back(d.pkt.flow);
+  return v;
+}
+
+// ------------------------------------------------------- Fig. 2 timelines
+
+// WFQ bursts: the first ten session-0 packets go back-to-back, then the ten
+// light sessions, then session 0's eleventh packet — the paper's Fig. 2
+// middle timeline.
+TEST(Fig2, WfqServiceOrderMatchesPaper) {
+  sched::Wfq s(8.0);
+  add_fig2_flows(s);
+  const auto deps = run_trace(s, 8.0, fig2_arrivals());
+  ASSERT_EQ(deps.size(), 21u);
+  std::vector<FlowId> expect;
+  for (int k = 0; k < 10; ++k) expect.push_back(0);
+  for (int j = 1; j <= 10; ++j) expect.push_back(static_cast<FlowId>(j));
+  expect.push_back(0);
+  EXPECT_EQ(flow_order(deps), expect);
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    EXPECT_NEAR(deps[i].time, static_cast<double>(i + 1), 1e-9);
+  }
+}
+
+// WF²Q interleaves: session 0 every other slot — the paper's Fig. 2 bottom
+// timeline: p1^1, p2^1, p1^2, p3^1, ..., p1^10, p11^1, p1^11.
+std::vector<FlowId> fig2_wf2q_expected() {
+  std::vector<FlowId> expect;
+  for (int j = 1; j <= 10; ++j) {
+    expect.push_back(0);
+    expect.push_back(static_cast<FlowId>(j));
+  }
+  expect.push_back(0);
+  return expect;
+}
+
+TEST(Fig2, Wf2qServiceOrderMatchesPaper) {
+  sched::Wf2q s(8.0);
+  add_fig2_flows(s);
+  const auto deps = run_trace(s, 8.0, fig2_arrivals());
+  ASSERT_EQ(deps.size(), 21u);
+  EXPECT_EQ(flow_order(deps), fig2_wf2q_expected());
+}
+
+// WF²Q+ must produce the same schedule as WF²Q on this scenario (Theorem 4:
+// same policy class) while never touching the fluid system.
+TEST(Fig2, Wf2qPlusServiceOrderMatchesWf2q) {
+  core::Wf2qPlus s(8.0);
+  add_fig2_flows(s);
+  const auto deps = run_trace(s, 8.0, fig2_arrivals());
+  ASSERT_EQ(deps.size(), 21u);
+  EXPECT_EQ(flow_order(deps), fig2_wf2q_expected());
+}
+
+// The paper's §3.1 inaccuracy claim: by t=10 WFQ has served 10 session-0
+// packets while GPS has served only 5 — a discrepancy of N/2 packets.
+TEST(Fig2, WfqRunsNOver2PacketsAheadOfGps) {
+  sched::Wfq s(8.0);
+  add_fig2_flows(s);
+  const auto deps = run_trace(s, 8.0, fig2_arrivals());
+  int wfq_flow0_by_10 = 0;
+  for (const auto& d : deps) {
+    if (d.pkt.flow == 0 && d.time <= 10.0 + 1e-9) ++wfq_flow0_by_10;
+  }
+  EXPECT_EQ(wfq_flow0_by_10, 10);
+
+  fluid::GpsServer<double> gps(8.0);
+  gps.add_flow(0, 4.0);
+  for (FlowId j = 1; j <= 10; ++j) gps.add_flow(j, 0.4);
+  for (int k = 0; k < 11; ++k) gps.arrive(0.0, 0, 8.0);
+  for (FlowId j = 1; j <= 10; ++j) gps.arrive(0.0, j, 8.0);
+  gps.advance_to(10.0);
+  EXPECT_NEAR(gps.work(0), 5 * 8.0, 1e-6);  // 5 packets
+}
+
+// WF²Q+ tracks GPS within one packet at every departure instant (§3.3).
+TEST(Fig2, Wf2qPlusWithinOnePacketOfGps) {
+  core::Wf2qPlus s(8.0);
+  add_fig2_flows(s);
+  const auto deps = run_trace(s, 8.0, fig2_arrivals());
+
+  fluid::GpsServer<double> gps(8.0);
+  gps.add_flow(0, 4.0);
+  for (FlowId j = 1; j <= 10; ++j) gps.add_flow(j, 0.4);
+  for (int k = 0; k < 11; ++k) gps.arrive(0.0, 0, 8.0);
+  for (FlowId j = 1; j <= 10; ++j) gps.arrive(0.0, j, 8.0);
+
+  std::map<FlowId, double> served_bits;
+  for (const auto& d : deps) {
+    served_bits[d.pkt.flow] += d.pkt.size_bits();
+    gps.advance_to(d.time);
+    for (const auto& [flow, bits] : served_bits) {
+      EXPECT_LE(bits - gps.work(flow), 8.0 + 1e-6)
+          << "flow " << flow << " at t=" << d.time;
+    }
+  }
+}
+
+// ------------------------------------------------ generic scheduler checks
+
+// All departures present exactly once, per-flow FIFO, and the link never
+// idles while packets are queued (work conservation: with arrivals only at
+// t=0, departures are back-to-back).
+template <typename Sched>
+void check_basic_invariants(Sched& s, double rate_bps) {
+  const auto arrivals = fig2_arrivals();
+  const auto deps = run_trace(s, rate_bps, arrivals);
+  ASSERT_EQ(deps.size(), arrivals.size());
+  std::map<FlowId, std::uint64_t> last_id;
+  for (const auto& d : deps) {
+    if (last_id.count(d.pkt.flow) != 0) {
+      EXPECT_LT(last_id[d.pkt.flow], d.pkt.id) << "FIFO violated";
+    }
+    last_id[d.pkt.flow] = d.pkt.id;
+  }
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    EXPECT_NEAR(deps[i].time, static_cast<double>(i + 1), 1e-9)
+        << "link idled while backlogged";
+  }
+}
+
+TEST(SchedulerInvariants, Wfq) {
+  sched::Wfq s(8.0);
+  add_fig2_flows(s);
+  check_basic_invariants(s, 8.0);
+}
+TEST(SchedulerInvariants, Wf2q) {
+  sched::Wf2q s(8.0);
+  add_fig2_flows(s);
+  check_basic_invariants(s, 8.0);
+}
+TEST(SchedulerInvariants, Wf2qPlus) {
+  core::Wf2qPlus s(8.0);
+  add_fig2_flows(s);
+  check_basic_invariants(s, 8.0);
+}
+TEST(SchedulerInvariants, Scfq) {
+  sched::Scfq s;
+  add_fig2_flows(s);
+  check_basic_invariants(s, 8.0);
+}
+TEST(SchedulerInvariants, StartTimeFq) {
+  sched::StartTimeFq s;
+  add_fig2_flows(s);
+  check_basic_invariants(s, 8.0);
+}
+TEST(SchedulerInvariants, Drr) {
+  sched::Drr s(8.0, /*frame_bits=*/80.0);
+  add_fig2_flows(s);
+  check_basic_invariants(s, 8.0);
+}
+
+// Long-run throughput fairness: with every flow continuously backlogged,
+// each flow's service tracks its guaranteed rate.
+template <typename Sched>
+void check_longrun_fairness(Sched& s, double rate_bps, double slack_bits) {
+  // 3 flows with rates 1:2:5, all loaded with plenty of packets at t=0.
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  const int packets_per_flow = 400;
+  for (int k = 0; k < packets_per_flow; ++k) {
+    for (FlowId f = 0; f < 3; ++f) {
+      arr.push_back(TimedArrival{0.0, packet(f, 10, id++)});
+    }
+  }
+  const auto deps = run_trace(s, rate_bps, std::move(arr));
+  const double t_end = 400.0;  // before any flow drains
+  std::map<FlowId, double> bits;
+  for (const auto& d : deps) {
+    if (d.time <= t_end) bits[d.pkt.flow] += d.pkt.size_bits();
+  }
+  const double rates[3] = {1.0, 2.0, 5.0};
+  for (FlowId f = 0; f < 3; ++f) {
+    EXPECT_NEAR(bits[f], rates[f] * t_end, slack_bits) << "flow " << f;
+  }
+}
+
+TEST(LongRunFairness, Wfq) {
+  sched::Wfq s(8.0);
+  s.add_flow(0, 1.0);
+  s.add_flow(1, 2.0);
+  s.add_flow(2, 5.0);
+  check_longrun_fairness(s, 8.0, 200.0);
+}
+TEST(LongRunFairness, Wf2qPlus) {
+  core::Wf2qPlus s(8.0);
+  s.add_flow(0, 1.0);
+  s.add_flow(1, 2.0);
+  s.add_flow(2, 5.0);
+  check_longrun_fairness(s, 8.0, 200.0);
+}
+TEST(LongRunFairness, Scfq) {
+  sched::Scfq s;
+  s.add_flow(0, 1.0);
+  s.add_flow(1, 2.0);
+  s.add_flow(2, 5.0);
+  check_longrun_fairness(s, 8.0, 200.0);
+}
+TEST(LongRunFairness, StartTimeFq) {
+  sched::StartTimeFq s;
+  s.add_flow(0, 1.0);
+  s.add_flow(1, 2.0);
+  s.add_flow(2, 5.0);
+  check_longrun_fairness(s, 8.0, 200.0);
+}
+TEST(LongRunFairness, Drr) {
+  sched::Drr s(8.0, 160.0);
+  s.add_flow(0, 1.0);
+  s.add_flow(1, 2.0);
+  s.add_flow(2, 5.0);
+  check_longrun_fairness(s, 8.0, 400.0);  // frame-based: coarser
+}
+
+// --------------------------------------------------------- FIFO & drops
+
+TEST(Fifo, ServesInArrivalOrderAcrossFlows) {
+  sched::Fifo s;
+  std::vector<TimedArrival> arr = {
+      {0.0, packet(3, 1, 1)}, {0.0, packet(1, 1, 2)}, {0.0, packet(2, 1, 3)}};
+  const auto deps = run_trace(s, 8.0, arr);
+  ASSERT_EQ(deps.size(), 3u);
+  EXPECT_EQ(deps[0].pkt.id, 1u);
+  EXPECT_EQ(deps[1].pkt.id, 2u);
+  EXPECT_EQ(deps[2].pkt.id, 3u);
+}
+
+TEST(Fifo, DropsWhenFull) {
+  sched::Fifo s(/*capacity_packets=*/2);
+  std::vector<TimedArrival> arr;
+  for (int i = 0; i < 5; ++i) arr.push_back({0.0, packet(0, 1, i)});
+  const auto deps = run_trace(s, 8.0, arr);
+  // One packet starts transmission immediately, two are queued; two drop.
+  EXPECT_EQ(deps.size(), 3u);
+  EXPECT_EQ(s.drops(), 2u);
+}
+
+TEST(FlatSchedulers, PerFlowCapacityDropsTail) {
+  core::Wf2qPlus s(8.0);
+  s.add_flow(0, 4.0, /*capacity_packets=*/3);
+  s.add_flow(1, 4.0);
+  std::vector<TimedArrival> arr;
+  for (int i = 0; i < 8; ++i) arr.push_back({0.0, packet(0, 1, i)});
+  arr.push_back({0.0, packet(1, 1, 100)});
+  const auto deps = run_trace(s, 8.0, arr);
+  EXPECT_EQ(s.drops(0), 4u);  // 1 in service + 3 queued accepted
+  EXPECT_EQ(deps.size(), 5u);
+}
+
+// --------------------------------------------------------------- DRR
+
+TEST(Drr, DeficitCarriesAcrossRounds) {
+  // Quantum smaller than a packet: flow still progresses, one packet per
+  // several rounds, and bandwidth split stays proportional.
+  sched::Drr s(8.0, /*frame_bits=*/8.0);  // quanta: 4 and 4 bits for equal flows
+  s.add_flow(0, 4.0);
+  s.add_flow(1, 4.0);
+  std::vector<TimedArrival> arr;
+  for (int i = 0; i < 20; ++i) {
+    arr.push_back({0.0, packet(0, 1, 2 * i)});
+    arr.push_back({0.0, packet(1, 1, 2 * i + 1)});
+  }
+  const auto deps = run_trace(s, 8.0, arr);
+  ASSERT_EQ(deps.size(), 40u);
+  // Alternation: each flow gets one packet every two slots.
+  int count0 = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    if (deps[i].pkt.flow == 0) ++count0;
+  }
+  EXPECT_EQ(count0, 10);
+}
+
+// --------------------------------------------------------------- SCFQ/SFQ
+
+TEST(Scfq, SelfClockResetsAfterIdle) {
+  sched::Scfq s;
+  s.add_flow(0, 4.0);
+  s.add_flow(1, 4.0);
+  std::vector<TimedArrival> arr = {
+      {0.0, packet(0, 1, 0)},
+      {10.0, packet(1, 1, 1)},  // new busy period
+      {10.0, packet(0, 1, 2)},
+  };
+  const auto deps = run_trace(s, 8.0, arr);
+  ASSERT_EQ(deps.size(), 3u);
+  // After the idle gap both flows restart with equal tags; flow 1 enqueued
+  // first wins the tie.
+  EXPECT_EQ(deps[1].pkt.id, 1u);
+  EXPECT_NEAR(deps[1].time, 11.0, 1e-9);
+}
+
+TEST(StartTimeFq, PicksSmallestStartTag) {
+  sched::StartTimeFq s;
+  s.add_flow(0, 7.0);   // large share → small finish increments
+  s.add_flow(1, 1.0);
+  std::vector<TimedArrival> arr;
+  for (int i = 0; i < 4; ++i) arr.push_back({0.0, packet(0, 1, i)});
+  arr.push_back({0.0, packet(1, 1, 10)});
+  const auto deps = run_trace(s, 8.0, arr);
+  ASSERT_EQ(deps.size(), 5u);
+  // Both start at tag 0; flow 0 served first (FIFO tie), then flow 1's
+  // packet (start 0) before flow 0's second (start = 8/7).
+  EXPECT_EQ(deps[0].pkt.flow, 0u);
+  EXPECT_EQ(deps[1].pkt.flow, 1u);
+}
+
+// ---------------------------------------------- property: random traffic
+
+// Conservation + FIFO + work conservation on randomized traffic for every
+// virtual-time scheduler.
+template <typename MakeSched>
+void random_traffic_property(MakeSched make, std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto s = make();
+    std::vector<TimedArrival> arr;
+    std::uint64_t id = 0;
+    double t = 0.0;
+    for (int i = 0; i < 300; ++i) {
+      t += rng.uniform(0.0, 1.2);
+      const auto f = static_cast<FlowId>(rng.uniform_int(0, 3));
+      const auto bytes = static_cast<std::uint32_t>(rng.uniform_int(1, 12));
+      arr.push_back({t, packet(f, bytes, id++)});
+    }
+    const auto deps = run_trace(*s, 8.0, arr);
+    ASSERT_EQ(deps.size(), arr.size());
+    // Per-flow FIFO.
+    std::map<FlowId, std::uint64_t> last;
+    for (const auto& d : deps) {
+      if (last.count(d.pkt.flow) != 0) {
+      EXPECT_LT(last[d.pkt.flow], d.pkt.id);
+    }
+      last[d.pkt.flow] = d.pkt.id;
+    }
+    // Work conservation: total transmission time == sum of packet times,
+    // and no departure before its own arrival + transmission time.
+    double total_bits = 0.0;
+    for (const auto& a : arr) total_bits += a.pkt.size_bits();
+    EXPECT_GE(deps.back().time, total_bits / 8.0 - 1e-6);
+  }
+}
+
+TEST(RandomTrafficProperty, Wfq) {
+  random_traffic_property(
+      [] {
+        auto s = std::make_unique<sched::Wfq>(8.0);
+        for (FlowId f = 0; f < 4; ++f) s->add_flow(f, 2.0);
+        return s;
+      },
+      1);
+}
+TEST(RandomTrafficProperty, Wf2q) {
+  random_traffic_property(
+      [] {
+        auto s = std::make_unique<sched::Wf2q>(8.0);
+        for (FlowId f = 0; f < 4; ++f) s->add_flow(f, 2.0);
+        return s;
+      },
+      2);
+}
+TEST(RandomTrafficProperty, Wf2qPlus) {
+  random_traffic_property(
+      [] {
+        auto s = std::make_unique<core::Wf2qPlus>(8.0);
+        for (FlowId f = 0; f < 4; ++f) s->add_flow(f, 2.0);
+        return s;
+      },
+      3);
+}
+TEST(RandomTrafficProperty, Scfq) {
+  random_traffic_property(
+      [] {
+        auto s = std::make_unique<sched::Scfq>();
+        for (FlowId f = 0; f < 4; ++f) s->add_flow(f, 2.0);
+        return s;
+      },
+      4);
+}
+TEST(RandomTrafficProperty, StartTimeFq) {
+  random_traffic_property(
+      [] {
+        auto s = std::make_unique<sched::StartTimeFq>();
+        for (FlowId f = 0; f < 4; ++f) s->add_flow(f, 2.0);
+        return s;
+      },
+      5);
+}
+TEST(RandomTrafficProperty, Drr) {
+  random_traffic_property(
+      [] {
+        auto s = std::make_unique<sched::Drr>(8.0, 96.0);
+        for (FlowId f = 0; f < 4; ++f) s->add_flow(f, 2.0);
+        return s;
+      },
+      6);
+}
+
+}  // namespace
+}  // namespace hfq

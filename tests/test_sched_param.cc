@@ -1,0 +1,188 @@
+// Parameterized invariants run against EVERY scheduler in the library
+// (TEST_P / INSTANTIATE_TEST_SUITE_P): packet conservation, per-flow FIFO
+// order, work conservation, busy-period throughput, and idle-recovery —
+// the properties any packet scheduler must satisfy regardless of policy.
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/wf2qplus.h"
+#include "harness.h"
+#include "sched/approx_wfq.h"
+#include "sched/drr.h"
+#include "sched/fifo.h"
+#include "sched/scfq.h"
+#include "sched/sfq.h"
+#include "sched/stochastic_fq.h"
+#include "sched/virtual_clock.h"
+#include "sched/wf2q.h"
+#include "sched/wfq.h"
+#include "sched/wrr.h"
+#include "util/rng.h"
+
+namespace hfq {
+namespace {
+
+using net::FlowId;
+using net::Packet;
+using testing::TimedArrival;
+using testing::packet;
+using testing::run_trace;
+
+constexpr double kLinkRate = 8000.0;  // 1000-bit packets → 0.125 s
+constexpr int kFlows = 4;
+
+struct SchedulerCase {
+  std::string name;
+  // Builds a scheduler with kFlows flows of equal rate registered.
+  std::function<std::unique_ptr<net::Scheduler>()> make;
+  bool weighted = true;  // honours per-flow rates (FIFO/SFQ variants don't)
+};
+
+template <typename S, typename... Args>
+std::unique_ptr<net::Scheduler> make_flat(Args... args) {
+  auto s = std::make_unique<S>(args...);
+  for (FlowId f = 0; f < kFlows; ++f) {
+    s->add_flow(f, kLinkRate / kFlows);
+  }
+  return s;
+}
+
+std::vector<SchedulerCase> all_cases() {
+  return {
+      {"Fifo", [] { return std::make_unique<sched::Fifo>(); }, false},
+      {"Wfq", [] { return make_flat<sched::Wfq>(kLinkRate); }, true},
+      {"Wf2q", [] { return make_flat<sched::Wf2q>(kLinkRate); }, true},
+      {"Wf2qPlus", [] { return make_flat<core::Wf2qPlus>(kLinkRate); }, true},
+      {"ApproxWfq", [] { return make_flat<sched::ApproxWfq>(kLinkRate); },
+       true},
+      {"Scfq", [] { return make_flat<sched::Scfq>(); }, true},
+      {"StartTimeFq", [] { return make_flat<sched::StartTimeFq>(); }, true},
+      {"VirtualClock", [] { return make_flat<sched::VirtualClock>(); }, true},
+      {"Drr", [] { return make_flat<sched::Drr>(kLinkRate, 8000.0); }, true},
+      {"Wrr", [] { return make_flat<sched::Wrr>(kLinkRate / kFlows); }, true},
+      {"StochasticFq",
+       [] { return std::make_unique<sched::StochasticFq>(64); }, false},
+  };
+}
+
+class AllSchedulers : public ::testing::TestWithParam<SchedulerCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedulers, AllSchedulers, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<SchedulerCase>& info) {
+      return info.param.name;
+    });
+
+std::vector<TimedArrival> random_trace(std::uint64_t seed, int count,
+                                       double max_gap, int max_bytes) {
+  util::Rng rng(seed);
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    t += rng.uniform(0.0, max_gap);
+    arr.push_back({t, packet(static_cast<FlowId>(rng.uniform_int(0, kFlows - 1)),
+                             static_cast<std::uint32_t>(
+                                 rng.uniform_int(1, max_bytes)),
+                             id++)});
+  }
+  return arr;
+}
+
+TEST_P(AllSchedulers, DeliversEveryPacketExactlyOnce) {
+  auto s = GetParam().make();
+  const auto arr = random_trace(11, 400, 0.3, 200);
+  const auto deps = run_trace(*s, kLinkRate, arr);
+  ASSERT_EQ(deps.size(), arr.size());
+  std::map<std::uint64_t, int> seen;
+  for (const auto& d : deps) seen[d.pkt.id]++;
+  for (const auto& [id, n] : seen) EXPECT_EQ(n, 1) << "packet " << id;
+}
+
+TEST_P(AllSchedulers, PerFlowFifoOrder) {
+  auto s = GetParam().make();
+  const auto arr = random_trace(23, 400, 0.3, 200);
+  const auto deps = run_trace(*s, kLinkRate, arr);
+  std::map<FlowId, std::uint64_t> last;
+  for (const auto& d : deps) {
+    if (last.count(d.pkt.flow) != 0) {
+      EXPECT_LT(last[d.pkt.flow], d.pkt.id);
+    }
+    last[d.pkt.flow] = d.pkt.id;
+  }
+}
+
+TEST_P(AllSchedulers, WorkConservingWhenSaturated) {
+  // All packets at t=0: departures must be back-to-back with no idle gaps.
+  auto s = GetParam().make();
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  for (int k = 0; k < 25; ++k) {
+    for (FlowId f = 0; f < kFlows; ++f) {
+      arr.push_back({0.0, packet(f, 125, id++)});
+    }
+  }
+  const auto deps = run_trace(*s, kLinkRate, arr);
+  ASSERT_EQ(deps.size(), arr.size());
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    EXPECT_NEAR(deps[i].time, 0.125 * static_cast<double>(i + 1), 1e-9);
+  }
+}
+
+TEST_P(AllSchedulers, RecoversAcrossIdlePeriods) {
+  auto s = GetParam().make();
+  std::vector<TimedArrival> arr = {
+      {0.0, packet(0, 125, 1)},
+      {5.0, packet(1, 125, 2)},
+      {10.0, packet(2, 125, 3)},
+      {10.0, packet(3, 125, 4)},
+  };
+  const auto deps = run_trace(*s, kLinkRate, arr);
+  ASSERT_EQ(deps.size(), 4u);
+  EXPECT_NEAR(deps[0].time, 0.125, 1e-9);
+  EXPECT_NEAR(deps[1].time, 5.125, 1e-9);
+  EXPECT_NEAR(deps[2].time, 10.125, 1e-9);
+  EXPECT_NEAR(deps[3].time, 10.250, 1e-9);
+}
+
+TEST_P(AllSchedulers, EqualWeightFlowsShareEqually) {
+  if (!GetParam().weighted) GTEST_SKIP() << "unweighted scheduler";
+  auto s = GetParam().make();
+  // Everyone continuously backlogged with equal-size packets.
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  for (int k = 0; k < 200; ++k) {
+    for (FlowId f = 0; f < kFlows; ++f) {
+      arr.push_back({0.0, packet(f, 125, id++)});
+    }
+  }
+  const auto deps = run_trace(*s, kLinkRate, arr);
+  const double horizon = 60.0;
+  std::map<FlowId, int> count;
+  for (const auto& d : deps) {
+    if (d.time <= horizon) count[d.pkt.flow]++;
+  }
+  const int expected = static_cast<int>(horizon / 0.125) / kFlows;
+  for (FlowId f = 0; f < kFlows; ++f) {
+    EXPECT_NEAR(count[f], expected, 12) << "flow " << f;
+  }
+}
+
+TEST_P(AllSchedulers, SingleFlowGetsFullLink) {
+  auto s = GetParam().make();
+  std::vector<TimedArrival> arr;
+  for (int k = 0; k < 50; ++k) {
+    arr.push_back({0.0, packet(0, 125, static_cast<std::uint64_t>(k))});
+  }
+  const auto deps = run_trace(*s, kLinkRate, arr);
+  ASSERT_EQ(deps.size(), 50u);
+  EXPECT_NEAR(deps.back().time, 50 * 0.125, 1e-9);
+}
+
+}  // namespace
+}  // namespace hfq

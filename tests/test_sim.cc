@@ -1,0 +1,187 @@
+// Tests for the discrete-event kernel (src/sim) and the Link component.
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "sched/fifo.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+
+namespace hfq::sim {
+namespace {
+
+net::Packet make_pkt(net::FlowId flow, std::uint32_t bytes,
+                     std::uint64_t id = 0) {
+  net::Packet p;
+  p.id = id;
+  p.flow = flow;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, SimultaneousEventsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.at(1.0, [&] {
+    sim.after(0.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.pending(id));
+  sim.cancel(id);
+  EXPECT_FALSE(sim.pending(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.at(1.0, [&] { fired.push_back(1.0); });
+  sim.at(2.0, [&] { fired.push_back(2.0); });
+  sim.at(5.0, [&] { fired.push_back(5.0); });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  sim.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Simulator, EventsScheduledDuringRunAreExecuted) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) sim.after(1.0, chain);
+  };
+  sim.at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);
+  EXPECT_EQ(sim.events_executed(), 10u);
+}
+
+// ----------------------------------------------------------------- Link
+
+TEST(Link, TransmitsAtConfiguredRate) {
+  Simulator sim;
+  sched::Fifo fifo;
+  Link link(sim, fifo, /*rate_bps=*/8000.0);  // 1000 bytes/sec
+  std::vector<double> departures;
+  link.set_delivery([&](const net::Packet&, Time t) { departures.push_back(t); });
+  sim.at(0.0, [&] { link.submit(make_pkt(0, 500)); });  // 0.5 s to transmit
+  sim.run();
+  ASSERT_EQ(departures.size(), 1u);
+  EXPECT_DOUBLE_EQ(departures[0], 0.5);
+}
+
+TEST(Link, SerializesBackToBackPackets) {
+  Simulator sim;
+  sched::Fifo fifo;
+  Link link(sim, fifo, 8000.0);
+  std::vector<double> departures;
+  link.set_delivery([&](const net::Packet&, Time t) { departures.push_back(t); });
+  sim.at(0.0, [&] {
+    link.submit(make_pkt(0, 1000));
+    link.submit(make_pkt(0, 1000));
+    link.submit(make_pkt(0, 1000));
+  });
+  sim.run();
+  ASSERT_EQ(departures.size(), 3u);
+  EXPECT_DOUBLE_EQ(departures[0], 1.0);
+  EXPECT_DOUBLE_EQ(departures[1], 2.0);
+  EXPECT_DOUBLE_EQ(departures[2], 3.0);
+}
+
+TEST(Link, IdlePeriodThenResume) {
+  Simulator sim;
+  sched::Fifo fifo;
+  Link link(sim, fifo, 8000.0);
+  std::vector<double> departures;
+  link.set_delivery([&](const net::Packet&, Time t) { departures.push_back(t); });
+  sim.at(0.0, [&] { link.submit(make_pkt(0, 1000)); });
+  sim.at(5.0, [&] { link.submit(make_pkt(0, 1000)); });
+  sim.run();
+  ASSERT_EQ(departures.size(), 2u);
+  EXPECT_DOUBLE_EQ(departures[0], 1.0);
+  EXPECT_DOUBLE_EQ(departures[1], 6.0);
+  EXPECT_FALSE(link.busy());
+  EXPECT_EQ(link.packets_sent(), 2u);
+}
+
+TEST(Link, UtilizationAccountsBitsSent) {
+  Simulator sim;
+  sched::Fifo fifo;
+  Link link(sim, fifo, 8000.0);
+  link.set_delivery([](const net::Packet&, Time) {});
+  sim.at(0.0, [&] { link.submit(make_pkt(0, 1000)); });
+  sim.run();
+  sim.run_until(2.0);
+  EXPECT_DOUBLE_EQ(link.bits_sent(), 8000.0);
+  EXPECT_DOUBLE_EQ(link.utilization(2.0), 0.5);
+}
+
+TEST(Link, ArrivalDuringTransmissionWaits) {
+  Simulator sim;
+  sched::Fifo fifo;
+  Link link(sim, fifo, 8000.0);
+  std::vector<double> departures;
+  link.set_delivery([&](const net::Packet&, Time t) { departures.push_back(t); });
+  sim.at(0.0, [&] { link.submit(make_pkt(0, 1000)); });
+  sim.at(0.25, [&] { link.submit(make_pkt(1, 1000)); });
+  sim.run();
+  ASSERT_EQ(departures.size(), 2u);
+  EXPECT_DOUBLE_EQ(departures[0], 1.0);
+  EXPECT_DOUBLE_EQ(departures[1], 2.0);
+}
+
+TEST(Link, DeliveryCallbackMaySubmitMorePackets) {
+  Simulator sim;
+  sched::Fifo fifo;
+  Link link(sim, fifo, 8000.0);
+  int delivered = 0;
+  link.set_delivery([&](const net::Packet&, Time) {
+    if (++delivered < 3) link.submit(make_pkt(0, 1000));
+  });
+  sim.at(0.0, [&] { link.submit(make_pkt(0, 1000)); });
+  sim.run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+}  // namespace
+}  // namespace hfq::sim

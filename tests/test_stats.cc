@@ -1,0 +1,257 @@
+// Tests for the measurement module (src/stats).
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "stats/delay_recorder.h"
+#include "stats/fairness.h"
+#include "stats/histogram.h"
+#include "stats/quantile.h"
+#include "stats/rate_estimator.h"
+#include "stats/service_curve.h"
+#include "stats/wfi_estimator.h"
+#include "util/rng.h"
+
+namespace hfq::stats {
+namespace {
+
+net::Packet arrived_at(double t) {
+  net::Packet p;
+  p.size_bytes = 100;
+  p.arrival = t;
+  return p;
+}
+
+// ---------------------------------------------------------- DelayRecorder
+
+TEST(DelayRecorder, TracksMaxMeanCount) {
+  DelayRecorder r;
+  r.record(arrived_at(0.0), 1.0);
+  r.record(arrived_at(1.0), 4.0);
+  r.record(arrived_at(2.0), 2.5);
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_DOUBLE_EQ(r.max_delay(), 3.0);
+  EXPECT_NEAR(r.mean_delay(), (1.0 + 3.0 + 0.5) / 3.0, 1e-12);
+}
+
+TEST(DelayRecorder, PercentileNearestRank) {
+  DelayRecorder r;
+  for (int i = 1; i <= 100; ++i) {
+    r.record(arrived_at(0.0), static_cast<double>(i));
+  }
+  EXPECT_NEAR(r.percentile(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(r.percentile(100.0), 100.0, 1e-12);
+  EXPECT_NEAR(r.percentile(50.0), 50.0, 1.0);
+  EXPECT_NEAR(r.percentile(99.0), 99.0, 1.0);
+}
+
+TEST(DelayRecorder, ClearResets) {
+  DelayRecorder r;
+  r.record(arrived_at(0.0), 1.0);
+  r.clear();
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_DOUBLE_EQ(r.max_delay(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_delay(), 0.0);
+}
+
+// ---------------------------------------------------------- RateEstimator
+
+TEST(RateEstimator, ConstantRateConvergesToTruth) {
+  RateEstimator e(0.050, 0.3);
+  // 1000 bits every 10 ms = 100 kbps.
+  for (int i = 0; i < 400; ++i) {
+    e.on_delivery(0.010 * i, 1000.0);
+  }
+  e.flush(4.0);
+  EXPECT_NEAR(e.current_rate_bps(), 100000.0, 1500.0);
+}
+
+TEST(RateEstimator, SeriesHasOneSamplePerWindow) {
+  RateEstimator e(0.050);
+  e.on_delivery(0.01, 500.0);
+  e.flush(0.500001);
+  EXPECT_EQ(e.series().size(), 10u);
+  EXPECT_NEAR(e.series()[0].when, 0.050, 1e-12);
+  EXPECT_NEAR(e.series()[9].when, 0.500, 1e-9);
+}
+
+TEST(RateEstimator, DecaysToZeroAfterTrafficStops) {
+  RateEstimator e(0.050, 0.3);
+  for (int i = 0; i < 100; ++i) e.on_delivery(0.010 * i, 1000.0);
+  const double peak = e.current_rate_bps();
+  e.flush(10.0);
+  EXPECT_LT(e.current_rate_bps(), 0.01 * peak);
+}
+
+// ----------------------------------------------------------- ServiceCurve
+
+TEST(ServiceCurve, TracksBacklogAndLag) {
+  ServiceCurve c;
+  c.on_arrival(0.0);
+  c.on_arrival(0.1);
+  c.on_arrival(0.2);
+  EXPECT_DOUBLE_EQ(c.backlog(), 3.0);
+  c.on_service(0.5);
+  EXPECT_DOUBLE_EQ(c.backlog(), 2.0);
+  EXPECT_DOUBLE_EQ(c.max_lag(), 2.0);
+  c.on_service(0.6);
+  c.on_service(0.7);
+  EXPECT_DOUBLE_EQ(c.backlog(), 0.0);
+  EXPECT_DOUBLE_EQ(c.max_lag(), 2.0);
+}
+
+TEST(ServiceCurve, ServedByQueriesStepFunction) {
+  ServiceCurve c;
+  c.on_arrival(0.0, 10.0);
+  c.on_service(1.0, 4.0);
+  c.on_service(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(c.served_by(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.served_by(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(c.served_by(1.5), 4.0);
+  EXPECT_DOUBLE_EQ(c.served_by(3.0), 10.0);
+}
+
+// ----------------------------------------------------------- WfiEstimator
+
+TEST(WfiEstimator, ZeroWhenServiceMatchesShare) {
+  // Flow owns half the server and receives exactly every other packet.
+  WfiEstimator w(0.5);
+  w.backlog_start();
+  for (int i = 0; i < 100; ++i) {
+    w.on_server_departure(100.0, (i % 2 == 0) ? 100.0 : 0.0);
+  }
+  // X oscillates between +50 and 0 → B-WFI = 50 (half a packet).
+  EXPECT_NEAR(w.bwfi_bits(), 50.0, 1e-9);
+}
+
+TEST(WfiEstimator, DetectsServiceDenial) {
+  // Flow entitled to half the server is starved for 10 packets.
+  WfiEstimator w(0.5);
+  w.backlog_start();
+  for (int i = 0; i < 10; ++i) w.on_server_departure(100.0, 0.0);
+  EXPECT_NEAR(w.bwfi_bits(), 500.0, 1e-9);
+  EXPECT_NEAR(w.twfi_seconds(50.0), 10.0, 1e-9);
+}
+
+TEST(WfiEstimator, IgnoresServiceOutsideBacklog) {
+  WfiEstimator w(0.5);
+  for (int i = 0; i < 10; ++i) w.on_server_departure(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(w.bwfi_bits(), 0.0);
+  w.backlog_start();
+  w.on_server_departure(100.0, 0.0);
+  w.backlog_end();
+  for (int i = 0; i < 10; ++i) w.on_server_departure(100.0, 0.0);
+  EXPECT_NEAR(w.bwfi_bits(), 50.0, 1e-9);
+}
+
+TEST(WfiEstimator, MinResetsAcrossBacklogPeriods) {
+  WfiEstimator w(0.5);
+  // First period: flow over-served (X dives negative).
+  w.backlog_start();
+  for (int i = 0; i < 4; ++i) w.on_server_departure(100.0, 100.0);
+  w.backlog_end();
+  // Second period: starved for 3 packets. Without the min reset the
+  // earlier over-service would mask the new denial.
+  w.backlog_start();
+  for (int i = 0; i < 3; ++i) w.on_server_departure(100.0, 0.0);
+  EXPECT_NEAR(w.bwfi_bits(), 150.0, 1e-9);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(1.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(3.9);
+  h.add(10.0);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 2u);
+  EXPECT_EQ(h.bin(2), 0u);
+  EXPECT_EQ(h.bin(3), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, CdfInterpolates) {
+  Histogram h(1.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(0.5);  // all in bin 0
+  EXPECT_NEAR(h.cdf(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(h.cdf(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(h.cdf(10.0), 1.0, 1e-12);
+  EXPECT_NEAR(h.cdf(0.0), 0.0, 1e-12);
+}
+
+// --------------------------------------------------------------- fairness
+
+TEST(Fairness, JainIndexBounds) {
+  const double equal[4] = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_NEAR(jain_index(std::span<const double>(equal, 4)), 1.0, 1e-12);
+  const double skewed[4] = {1.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(jain_index(std::span<const double>(skewed, 4)), 0.25, 1e-12);
+  const double zeros[3] = {0.0, 0.0, 0.0};
+  EXPECT_NEAR(jain_index(std::span<const double>(zeros, 3)), 1.0, 1e-12);
+}
+
+TEST(Fairness, MinOverMax) {
+  const double x[3] = {2.0, 4.0, 8.0};
+  EXPECT_NEAR(min_over_max(std::span<const double>(x, 3)), 0.25, 1e-12);
+}
+
+// --------------------------------------------------------------- quantile
+
+TEST(P2Quantile, ExactForFewSamples) {
+  P2Quantile q(0.5);
+  q.add(3.0);
+  q.add(1.0);
+  q.add(2.0);
+  EXPECT_NEAR(q.value(), 2.0, 1e-12);
+}
+
+TEST(P2Quantile, MedianOfUniformStream) {
+  util::Rng rng(4);
+  P2Quantile q(0.5);
+  for (int i = 0; i < 100000; ++i) q.add(rng.uniform(0.0, 10.0));
+  EXPECT_NEAR(q.value(), 5.0, 0.15);
+}
+
+TEST(P2Quantile, TailQuantileOfExponentialStream) {
+  util::Rng rng(9);
+  P2Quantile q(0.99);
+  for (int i = 0; i < 200000; ++i) q.add(rng.exponential(1.0));
+  // True p99 of Exp(1) is -ln(0.01) ≈ 4.605.
+  EXPECT_NEAR(q.value(), 4.605, 0.35);
+}
+
+TEST(P2Quantile, MonotoneUnderShift) {
+  util::Rng rng(11);
+  P2Quantile lo(0.25), hi(0.75);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    lo.add(x);
+    hi.add(x);
+  }
+  EXPECT_LT(lo.value(), hi.value());
+}
+
+TEST(RunningMoments, MatchesClosedForm) {
+  RunningMoments m;
+  for (int i = 1; i <= 7; ++i) m.add(static_cast<double>(i));
+  EXPECT_EQ(m.count(), 7u);
+  EXPECT_NEAR(m.mean(), 4.0, 1e-12);
+  EXPECT_NEAR(m.variance(), 28.0 / 6.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(m.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 7.0);
+}
+
+TEST(RunningMoments, SingleSample) {
+  RunningMoments m;
+  m.add(42.0);
+  EXPECT_NEAR(m.mean(), 42.0, 1e-12);
+  EXPECT_NEAR(m.variance(), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.min(), 42.0);
+  EXPECT_DOUBLE_EQ(m.max(), 42.0);
+}
+
+}  // namespace
+}  // namespace hfq::stats

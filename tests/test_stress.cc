@@ -1,0 +1,204 @@
+// Stress / fuzz suite: long randomized runs over random hierarchies and
+// every node policy, checking the invariants no run may violate —
+// conservation, per-flow FIFO, work conservation, bounded divergence from
+// the fluid reference, and clean drain.
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hierarchy.h"
+#include "core/hpfq.h"
+#include "fluid/hgps.h"
+#include "harness.h"
+#include "util/rng.h"
+
+namespace hfq {
+namespace {
+
+using net::FlowId;
+using net::Packet;
+using testing::packet;
+
+struct RandomTree {
+  core::Hierarchy spec;
+  std::vector<FlowId> flows;
+  std::vector<std::uint32_t> leaf_of;  // hierarchy index per flow
+  int depth = 0;
+};
+
+RandomTree make_random_tree(util::Rng& rng) {
+  RandomTree rt{core::Hierarchy(8000.0), {}, {}, 0};
+  struct Open {
+    std::uint32_t node;
+    double rate;
+    int depth;
+  };
+  std::vector<Open> open = {{0, 8000.0, 0}};
+  FlowId next_flow = 0;
+  while (!open.empty()) {
+    const Open cur = open.back();
+    open.pop_back();
+    // Split this node's rate among 2-4 children.
+    const int kids = static_cast<int>(rng.uniform_int(2, 4));
+    std::vector<double> w(static_cast<std::size_t>(kids));
+    double sum = 0.0;
+    for (auto& x : w) {
+      x = rng.uniform(0.5, 2.0);
+      sum += x;
+    }
+    for (int k = 0; k < kids; ++k) {
+      const double rate = cur.rate * w[static_cast<std::size_t>(k)] / sum;
+      const bool leaf = cur.depth >= 3 || rng.uniform() < 0.55;
+      if (leaf) {
+        const auto idx = rt.spec.add_session(
+            cur.node, "s" + std::to_string(next_flow), rate, next_flow);
+        rt.flows.push_back(next_flow);
+        rt.leaf_of.push_back(idx);
+        ++next_flow;
+      } else {
+        const auto idx = rt.spec.add_class(
+            cur.node, "c" + std::to_string(rt.spec.size()), rate);
+        open.push_back({idx, rate, cur.depth + 1});
+        rt.depth = std::max(rt.depth, cur.depth + 1);
+      }
+    }
+  }
+  return rt;
+}
+
+template <typename Policy>
+void stress_policy(std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (int trial = 0; trial < 4; ++trial) {
+    RandomTree rt = make_random_tree(rng);
+    auto h = rt.spec.build_packet<Policy>();
+    sim::Simulator sim;
+    sim::Link link(sim, *h, 8000.0);
+    std::map<FlowId, std::uint64_t> last_id;
+    std::map<FlowId, int> delivered;
+    std::size_t total_delivered = 0;
+    link.set_delivery([&](const Packet& p, net::Time) {
+      if (last_id.count(p.flow) != 0) {
+        ASSERT_LT(last_id[p.flow], p.id) << "FIFO violated, flow " << p.flow;
+      }
+      last_id[p.flow] = p.id;
+      delivered[p.flow]++;
+      ++total_delivered;
+    });
+    // Randomized traffic with idle gaps and bursts across all flows.
+    std::size_t submitted = 0;
+    double t = 0.0;
+    std::uint64_t id = 0;
+    for (int i = 0; i < 2500; ++i) {
+      t += rng.uniform() < 0.02 ? rng.uniform(0.0, 3.0)   // idle gap
+                                : rng.uniform(0.0, 0.08);  // dense
+      const auto f = rt.flows[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(rt.flows.size()) - 1))];
+      const int burst = rng.uniform() < 0.1
+                            ? static_cast<int>(rng.uniform_int(2, 12))
+                            : 1;
+      for (int k = 0; k < burst; ++k) {
+        const auto bytes =
+            static_cast<std::uint32_t>(rng.uniform_int(10, 125));
+        sim.at(t, [&link, p = packet(f, bytes, id++)] {
+          Packet q = p;
+          link.submit(q);
+        });
+        ++submitted;
+      }
+    }
+    sim.run();
+    EXPECT_EQ(total_delivered, submitted);
+    EXPECT_EQ(h->backlog_packets(), 0u);  // fully drained
+  }
+}
+
+TEST(Stress, HWf2qPlusRandomHierarchies) {
+  stress_policy<core::Wf2qPlusPolicy>(1001);
+}
+TEST(Stress, HWfqRandomHierarchies) { stress_policy<core::GpsSffPolicy>(1002); }
+TEST(Stress, HWf2qRandomHierarchies) {
+  stress_policy<core::GpsSeffPolicy>(1003);
+}
+TEST(Stress, HScfqRandomHierarchies) { stress_policy<core::ScfqPolicy>(1004); }
+TEST(Stress, HSfqRandomHierarchies) { stress_policy<core::SfqPolicy>(1005); }
+TEST(Stress, HDrrRandomHierarchies) { stress_policy<core::DrrPolicy>(1006); }
+
+// Divergence guard: on a saturated random hierarchy, every flow's packet
+// service stays within a few max packets of the fluid H-GPS service when
+// sampled at that flow's own departures.
+TEST(Stress, HWf2qPlusTracksFluidOnRandomTrees) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 4; ++trial) {
+    RandomTree rt = make_random_tree(rng);
+    auto h = rt.spec.build_packet<core::Wf2qPlusPolicy>();
+    auto fluid = rt.spec.build_fluid();
+    sim::Simulator sim;
+    sim::Link link(sim, *h, 8000.0);
+    const double lmax = 1000.0;
+    const double bound = (rt.depth + 3) * lmax;
+    // Saturate every flow from t=0 so fluid backlog assumptions hold.
+    std::map<FlowId, double> served;
+    link.set_delivery([&](const Packet& p, net::Time t) {
+      served[p.flow] += p.size_bits();
+      fluid.advance_to(t);
+      const auto leaf = rt.leaf_of[p.flow];
+      EXPECT_NEAR(served[p.flow], fluid.work(leaf), bound)
+          << "trial " << trial << " flow " << p.flow << " t=" << t;
+    });
+    std::uint64_t id = 0;
+    sim.at(0.0, [&] {
+      for (int k = 0; k < 120; ++k) {
+        for (const auto f : rt.flows) {
+          Packet p = packet(f, 125, id++);
+          link.submit(p);
+          fluid.arrive(0.0, rt.leaf_of[f], p.size_bits());
+        }
+      }
+    });
+    sim.run_until(100.0);  // all flows still backlogged
+  }
+}
+
+// Endurance: a million-packet single run through a 2-level H-WF²Q+ —
+// exercises the rebasing path with a tiny threshold and checks the clock
+// survives with its ordering intact.
+TEST(Stress, MillionPacketEnduranceWithRebasing) {
+  core::HWf2qPlus h(8e6);
+  const auto a = h.add_internal(h.root(), 4e6);
+  h.add_leaf(a, 2e6, 0);
+  h.add_leaf(a, 2e6, 1);
+  h.add_leaf(h.root(), 4e6, 2);
+  h.mutable_policy(h.root()).set_rebase_threshold(1.0);
+  h.mutable_policy(a).set_rebase_threshold(1.0);
+
+  const double pkt_time = 1000.0 / 8e6;
+  double now = 0.0;
+  std::uint64_t id = 0;
+  std::map<FlowId, std::uint64_t> last_id;
+  std::size_t delivered = 0;
+  // Keep ~6 packets in the system, alternating flows.
+  for (FlowId f = 0; f < 3; ++f) {
+    ASSERT_TRUE(h.enqueue(packet(f, 125, id++), now));
+    ASSERT_TRUE(h.enqueue(packet(f, 125, id++), now));
+  }
+  for (int i = 0; i < 1000000; ++i) {
+    const auto p = h.dequeue(now);
+    ASSERT_TRUE(p.has_value());
+    now += pkt_time;
+    if (last_id.count(p->flow) != 0) {
+      ASSERT_LT(last_id[p->flow], p->id);
+    }
+    last_id[p->flow] = p->id;
+    ++delivered;
+    ASSERT_TRUE(h.enqueue(packet(p->flow, 125, id++), now));
+  }
+  EXPECT_EQ(delivered, 1000000u);
+  EXPECT_GT(h.policy_of(h.root()).rebase_count(), 100u);
+}
+
+}  // namespace
+}  // namespace hfq

@@ -1,0 +1,201 @@
+// Tests for the multi-hop topology substrate (src/topo) and H-DRR.
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hpfq.h"
+#include "harness.h"
+#include "sched/fifo.h"
+#include "topo/network.h"
+
+namespace hfq::topo {
+namespace {
+
+using hfq::testing::packet;
+using net::FlowId;
+using net::Packet;
+
+std::unique_ptr<net::Scheduler> fifo() {
+  return std::make_unique<sched::Fifo>();
+}
+
+TEST(Network, SingleHopDeliver) {
+  sim::Simulator sim;
+  Network net(sim);
+  const auto p0 = net.add_port(8000.0, fifo());
+  net.set_route(0, {p0});
+  std::vector<double> deliveries;
+  net.set_delivery([&](const Packet&, net::Time t) { deliveries.push_back(t); });
+  sim.at(0.0, [&] { net.inject(packet(0, 125, 1)); });
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_NEAR(deliveries[0], 0.125, 1e-9);
+}
+
+TEST(Network, MultiHopAccumulatesTransmissionAndPropagation) {
+  sim::Simulator sim;
+  Network net(sim);
+  const auto p0 = net.add_port(8000.0, fifo(), /*prop=*/0.5);
+  const auto p1 = net.add_port(8000.0, fifo(), /*prop=*/0.25);
+  const auto p2 = net.add_port(8000.0, fifo(), /*prop=*/1.0);
+  net.set_route(7, {p0, p1, p2});
+  double delivered_at = -1.0;
+  net.set_delivery([&](const Packet&, net::Time t) { delivered_at = t; });
+  sim.at(0.0, [&] { net.inject(packet(7, 125, 1)); });
+  sim.run();
+  // 3 transmissions of 0.125 s + props 0.5 + 0.25 + 1.0.
+  EXPECT_NEAR(delivered_at, 3 * 0.125 + 1.75, 1e-9);
+}
+
+TEST(Network, FlowsFollowTheirOwnRoutes) {
+  sim::Simulator sim;
+  Network net(sim);
+  const auto p0 = net.add_port(8000.0, fifo());
+  const auto p1 = net.add_port(8000.0, fifo());
+  const auto p2 = net.add_port(8000.0, fifo());
+  net.set_route(0, {p0, p2});
+  net.set_route(1, {p1, p2});
+  std::map<FlowId, int> delivered;
+  net.set_delivery([&](const Packet& p, net::Time) { delivered[p.flow]++; });
+  sim.at(0.0, [&] {
+    net.inject(packet(0, 125, 1));
+    net.inject(packet(1, 125, 2));
+  });
+  sim.run();
+  EXPECT_EQ(delivered[0], 1);
+  EXPECT_EQ(delivered[1], 1);
+  EXPECT_EQ(net.link(p0).packets_sent(), 1u);
+  EXPECT_EQ(net.link(p1).packets_sent(), 1u);
+  EXPECT_EQ(net.link(p2).packets_sent(), 2u);
+}
+
+TEST(Network, PerFlowOrderPreservedAcrossHops) {
+  sim::Simulator sim;
+  Network net(sim);
+  const auto p0 = net.add_port(8000.0, fifo(), 0.01);
+  const auto p1 = net.add_port(8000.0, fifo());
+  net.set_route(3, {p0, p1});
+  std::vector<std::uint64_t> ids;
+  net.set_delivery([&](const Packet& p, net::Time) { ids.push_back(p.id); });
+  sim.at(0.0, [&] {
+    for (int i = 0; i < 10; ++i) net.inject(packet(3, 125, i));
+  });
+  sim.run();
+  ASSERT_EQ(ids.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST(Network, PortTapSeesLocalDepartures) {
+  sim::Simulator sim;
+  Network net(sim);
+  const auto p0 = net.add_port(8000.0, fifo(), 1.0);
+  const auto p1 = net.add_port(8000.0, fifo());
+  net.set_route(0, {p0, p1});
+  int tap_count = 0;
+  double tap_time = -1.0;
+  net.set_port_tap(p0, [&](const Packet&, net::Time t) {
+    ++tap_count;
+    tap_time = t;
+  });
+  net.set_delivery([](const Packet&, net::Time) {});
+  sim.at(0.0, [&] { net.inject(packet(0, 125, 1)); });
+  sim.run();
+  EXPECT_EQ(tap_count, 1);
+  EXPECT_NEAR(tap_time, 0.125, 1e-9);  // before propagation
+}
+
+TEST(Network, DropAtFirstHopReportsFalse) {
+  sim::Simulator sim;
+  Network net(sim);
+  auto sched = std::make_unique<sched::Fifo>(/*capacity=*/1);
+  const auto p0 = net.add_port(8000.0, std::move(sched));
+  net.set_route(0, {p0});
+  net.set_delivery([](const Packet&, net::Time) {});
+  bool first = true, second = true, third = true;
+  sim.at(0.0, [&] {
+    first = net.inject(packet(0, 125, 1));   // goes into service
+    second = net.inject(packet(0, 125, 2));  // queued
+    third = net.inject(packet(0, 125, 3));   // dropped
+  });
+  sim.run();
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(second);
+  EXPECT_FALSE(third);
+}
+
+TEST(Network, CrossingFlowsShareTheMiddlePortFairly) {
+  // Diamond: two flows enter at different edge ports and contend on a
+  // shared middle port running WF²Q+ with a 3:1 weight split.
+  sim::Simulator sim;
+  Network net(sim);
+  const auto in0 = net.add_port(1e6, fifo());
+  const auto in1 = net.add_port(1e6, fifo());
+  auto mid_sched = std::make_unique<core::HWf2qPlus>(1e6);
+  mid_sched->add_leaf(mid_sched->root(), 0.75e6, 0);
+  mid_sched->add_leaf(mid_sched->root(), 0.25e6, 1);
+  const auto mid = net.add_port(1e6, std::move(mid_sched));
+  net.set_route(0, {in0, mid});
+  net.set_route(1, {in1, mid});
+  std::map<FlowId, double> bits;
+  // Count only while both flows are still backlogged at the middle port
+  // (everything eventually drains 50/50 since the offered loads are equal).
+  net.set_delivery([&](const Packet& p, net::Time t) {
+    if (t <= 2.0) bits[p.flow] += p.size_bits();
+  });
+  sim.at(0.0, [&] {
+    for (int i = 0; i < 2000; ++i) {
+      net.inject(packet(0, 125, 2 * i));
+      net.inject(packet(1, 125, 2 * i + 1));
+    }
+  });
+  sim.run_until(10.0);
+  // The edge ports forward at full rate; the middle enforces 3:1.
+  EXPECT_NEAR(bits[0] / (bits[0] + bits[1]), 0.75, 0.03);
+}
+
+// ------------------------------------------------------------------ H-DRR
+
+TEST(HDrr, LongRunSharesFollowRates) {
+  core::HDrr h(8000.0);
+  const auto a = h.add_internal(h.root(), 6000.0);
+  h.add_leaf(a, 4000.0, 0);
+  h.add_leaf(a, 2000.0, 1);
+  h.add_leaf(h.root(), 2000.0, 2);
+  std::vector<hfq::testing::TimedArrival> arr;
+  std::uint64_t id = 0;
+  for (int k = 0; k < 600; ++k) {
+    for (FlowId f = 0; f < 3; ++f) arr.push_back({0.0, packet(f, 125, id++)});
+  }
+  const auto deps = hfq::testing::run_trace(h, 8000.0, arr);
+  std::map<FlowId, double> bits;
+  for (const auto& d : deps) {
+    if (d.time <= 60.0) bits[d.pkt.flow] += d.pkt.size_bits();
+  }
+  // Rates 4000 / 2000 / 2000 out of 8000 over 60 s.
+  EXPECT_NEAR(bits[0], 4000.0 * 60, 20000.0);
+  EXPECT_NEAR(bits[1], 2000.0 * 60, 20000.0);
+  EXPECT_NEAR(bits[2], 2000.0 * 60, 20000.0);
+}
+
+TEST(HDrr, WorkConservingAndLossless) {
+  core::HDrr h(8000.0);
+  const auto a = h.add_internal(h.root(), 4000.0);
+  h.add_leaf(a, 4000.0, 0);
+  h.add_leaf(h.root(), 4000.0, 1);
+  std::vector<hfq::testing::TimedArrival> arr;
+  std::uint64_t id = 0;
+  for (int k = 0; k < 100; ++k) {
+    arr.push_back({0.0, packet(0, 125, id++)});
+    arr.push_back({0.0, packet(1, 125, id++)});
+  }
+  const auto deps = hfq::testing::run_trace(h, 8000.0, arr);
+  ASSERT_EQ(deps.size(), 200u);
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    EXPECT_NEAR(deps[i].time, 0.125 * static_cast<double>(i + 1), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace hfq::topo

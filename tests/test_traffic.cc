@@ -1,0 +1,351 @@
+// Tests for traffic sources (src/traffic), including leaky-bucket
+// conformance properties and the TCP Reno substrate.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/wf2qplus.h"
+#include "net/flow.h"
+#include "net/scheduler.h"
+#include "sched/fifo.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "traffic/cbr.h"
+#include "traffic/leaky_bucket.h"
+#include "traffic/onoff.h"
+#include "traffic/packet_train.h"
+#include "traffic/poisson.h"
+#include "traffic/tcp.h"
+#include "util/rng.h"
+
+namespace hfq::traffic {
+namespace {
+
+struct Capture {
+  std::vector<net::Packet> pkts;
+  std::vector<net::Time> times;
+};
+
+Emit capture_into(sim::Simulator& sim, Capture& c) {
+  return [&sim, &c](net::Packet p) {
+    c.pkts.push_back(p);
+    c.times.push_back(sim.now());
+    return true;
+  };
+}
+
+// ----------------------------------------------------------------- CBR
+
+TEST(CbrSource, EmitsAtExactPeriod) {
+  sim::Simulator sim;
+  Capture c;
+  CbrSource src(sim, capture_into(sim, c), 0, /*bytes=*/125, /*rate=*/1000.0);
+  // period = 1000 bits / 1000 bps = 1 s
+  src.start(2.0, /*stop=*/7.5);
+  sim.run();
+  ASSERT_EQ(c.times.size(), 6u);  // t = 2,3,4,5,6,7
+  for (std::size_t i = 0; i < c.times.size(); ++i) {
+    EXPECT_NEAR(c.times[i], 2.0 + static_cast<double>(i), 1e-9);
+  }
+  EXPECT_EQ(c.pkts[0].flow, 0u);
+  EXPECT_EQ(c.pkts[0].size_bytes, 125u);
+}
+
+TEST(CbrSource, PacketIdsAreSequential) {
+  sim::Simulator sim;
+  Capture c;
+  CbrSource src(sim, capture_into(sim, c), 3, 125, 1000.0);
+  src.start(0.0, 3.5);
+  sim.run();
+  ASSERT_EQ(c.pkts.size(), 4u);
+  for (std::size_t i = 0; i < c.pkts.size(); ++i) {
+    EXPECT_EQ(c.pkts[i].id, (3ull << 32) | i);
+  }
+}
+
+// --------------------------------------------------------------- Poisson
+
+TEST(PoissonSource, MeanRateApproximatelyCorrect) {
+  sim::Simulator sim;
+  Capture c;
+  PoissonSource src(sim, capture_into(sim, c), 0, 125, /*mean rate=*/10000.0,
+                    util::Rng(42));
+  src.start(0.0, 100.0);
+  sim.run();
+  // Expected: 10000 bps / 1000 bits per pkt = 10 pkt/s over 100 s = 1000.
+  EXPECT_NEAR(static_cast<double>(c.pkts.size()), 1000.0, 100.0);
+}
+
+TEST(PoissonSource, DeterministicForSameSeed) {
+  auto run = [] {
+    sim::Simulator sim;
+    Capture c;
+    PoissonSource src(sim, capture_into(sim, c), 0, 125, 8000.0,
+                      util::Rng(7));
+    src.start(0.0, 10.0);
+    sim.run();
+    return c.times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// ----------------------------------------------------------------- OnOff
+
+TEST(OnOffSource, DutyCycleEmitsOnlyDuringOnPeriods) {
+  sim::Simulator sim;
+  Capture c;
+  // peak 1000 bps, 1000-bit packets → 1/s during ON.
+  OnOffSource src(sim, capture_into(sim, c), 0, 125, 1000.0);
+  src.start_cycle(0.0, /*on=*/2.0, /*off=*/3.0, /*stop=*/10.0);
+  sim.run();
+  for (const auto t : c.times) {
+    const double phase = std::fmod(t, 5.0);
+    EXPECT_LT(phase, 2.0) << "emitted during OFF at t=" << t;
+  }
+  // Cycles beginning at 0 and 5: 2 packets each (t=0,1 and 5,6).
+  EXPECT_EQ(c.times.size(), 4u);
+}
+
+TEST(OnOffSource, ScheduleDrivesExplicitIntervals) {
+  sim::Simulator sim;
+  Capture c;
+  OnOffSource src(sim, capture_into(sim, c), 0, 125, 1000.0);
+  src.start_schedule({{1.0, 3.0}, {10.0, 11.5}});
+  sim.run();
+  ASSERT_EQ(c.times.size(), 4u);  // 1, 2, 10, 11
+  EXPECT_NEAR(c.times[0], 1.0, 1e-9);
+  EXPECT_NEAR(c.times[1], 2.0, 1e-9);
+  EXPECT_NEAR(c.times[2], 10.0, 1e-9);
+  EXPECT_NEAR(c.times[3], 11.0, 1e-9);
+}
+
+// ----------------------------------------------------------- PacketTrain
+
+TEST(PacketTrainSource, EmitsSpacedBursts) {
+  sim::Simulator sim;
+  Capture c;
+  PacketTrainSource src(sim, capture_into(sim, c), 0, 125, /*burst=*/3,
+                        /*spacing=*/0.1, /*period=*/2.0);
+  src.start(0.0, /*stop=*/3.0);
+  sim.run();
+  ASSERT_EQ(c.times.size(), 6u);
+  EXPECT_NEAR(c.times[0], 0.0, 1e-9);
+  EXPECT_NEAR(c.times[1], 0.1, 1e-9);
+  EXPECT_NEAR(c.times[2], 0.2, 1e-9);
+  EXPECT_NEAR(c.times[3], 2.0, 1e-9);
+  EXPECT_NEAR(c.times[4], 2.1, 1e-9);
+  EXPECT_NEAR(c.times[5], 2.2, 1e-9);
+}
+
+// ----------------------------------------------------------- LeakyBucket
+
+TEST(LeakyBucket, InitialBurstPassesUnshaped) {
+  sim::Simulator sim;
+  Capture c;
+  LeakyBucketShaper lb(sim, capture_into(sim, c), /*sigma=*/3000.0,
+                       /*rho=*/1000.0);
+  sim.at(0.0, [&] {
+    for (int i = 0; i < 3; ++i) {
+      net::Packet p;
+      p.flow = 0;
+      p.size_bytes = 125;  // 1000 bits
+      p.id = static_cast<std::uint64_t>(i);
+      lb.offer(p);
+    }
+  });
+  sim.run();
+  ASSERT_EQ(c.times.size(), 3u);
+  for (const auto t : c.times) EXPECT_NEAR(t, 0.0, 1e-9);
+}
+
+TEST(LeakyBucket, ExcessDelayedToTokenRate) {
+  sim::Simulator sim;
+  Capture c;
+  LeakyBucketShaper lb(sim, capture_into(sim, c), 1000.0, 1000.0);
+  sim.at(0.0, [&] {
+    for (int i = 0; i < 4; ++i) {
+      net::Packet p;
+      p.size_bytes = 125;
+      p.id = static_cast<std::uint64_t>(i);
+      lb.offer(p);
+    }
+  });
+  sim.run();
+  ASSERT_EQ(c.times.size(), 4u);
+  EXPECT_NEAR(c.times[0], 0.0, 1e-9);  // bucket starts full (1000 bits)
+  EXPECT_NEAR(c.times[1], 1.0, 1e-9);
+  EXPECT_NEAR(c.times[2], 2.0, 1e-9);
+  EXPECT_NEAR(c.times[3], 3.0, 1e-9);
+}
+
+// Property: the released stream satisfies A(t1,t2) <= sigma + rho (t2-t1)
+// (Eq. 17) for all pairs of release instants, for random offered traffic.
+TEST(LeakyBucketProperty, OutputConformsToArrivalCurve) {
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 10; ++trial) {
+    sim::Simulator sim;
+    const double sigma = rng.uniform(2000.0, 8000.0);
+    const double rho = rng.uniform(500.0, 4000.0);
+    std::vector<std::pair<double, double>> releases;  // (time, bits)
+    LeakyBucketShaper lb(
+        sim,
+        [&](net::Packet p) {
+          releases.emplace_back(sim.now(), p.size_bits());
+          return true;
+        },
+        sigma, rho);
+    double t = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      t += rng.uniform(0.0, 0.4);
+      const auto bytes = static_cast<std::uint32_t>(rng.uniform_int(50, 250));
+      sim.at(t, [&lb, bytes] {
+        net::Packet p;
+        p.size_bytes = bytes;
+        lb.offer(p);
+      });
+    }
+    sim.run();
+    ASSERT_EQ(releases.size(), 200u);
+    // FIFO order and conformance over every release-pair window.
+    std::vector<double> cum(releases.size() + 1, 0.0);
+    for (std::size_t i = 0; i < releases.size(); ++i) {
+      if (i > 0) {
+        EXPECT_GE(releases[i].first, releases[i - 1].first - 1e-9);
+      }
+      cum[i + 1] = cum[i] + releases[i].second;
+    }
+    for (std::size_t i = 0; i < releases.size(); ++i) {
+      for (std::size_t j = i; j < releases.size(); ++j) {
+        const double window_bits = cum[j + 1] - cum[i];  // includes pkt i and j
+        const double dt = releases[j].first - releases[i].first;
+        EXPECT_LE(window_bits, sigma + rho * dt + 1e-6)
+            << "window [" << i << "," << j << "]";
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------- TCP
+
+// A single TCP over an uncongested fat link ramps up and saturates.
+TEST(Tcp, SaturatesAnUncontendedLink) {
+  sim::Simulator sim;
+  sched::Fifo fifo(/*capacity=*/64);
+  sim::Link link(sim, fifo, /*rate=*/1e6);
+  TcpConfig cfg;
+  cfg.one_way_delay_s = 0.005;
+  TcpSource tcp(
+      sim, [&link](net::Packet p) { return link.submit(p); }, /*flow=*/0,
+      /*bytes=*/1000, cfg);
+  link.set_delivery(
+      [&tcp](const net::Packet& p, net::Time) { tcp.on_packet_delivered(p); });
+  tcp.start(0.0);
+  sim.run_until(10.0);
+  // Goodput should approach the 1 Mbps bottleneck (>= 70% within 10 s).
+  const double goodput = 8.0 * static_cast<double>(tcp.bytes_acked()) / 10.0;
+  EXPECT_GT(goodput, 0.7e6);
+}
+
+// Loss at the bottleneck queue triggers retransmission, and everything
+// eventually gets through in order.
+TEST(Tcp, RecoversFromDropTailLoss) {
+  sim::Simulator sim;
+  sched::Fifo fifo(/*capacity=*/8);  // tight buffer → drops
+  sim::Link link(sim, fifo, 1e5);
+  TcpConfig cfg;
+  cfg.one_way_delay_s = 0.02;  // BDP >> buffer → forced losses
+  TcpSource tcp(
+      sim, [&link](net::Packet p) { return link.submit(p); }, 0, 1000, cfg);
+  link.set_delivery(
+      [&tcp](const net::Packet& p, net::Time) { tcp.on_packet_delivered(p); });
+  tcp.start(0.0);
+  sim.run_until(30.0);
+  EXPECT_GT(fifo.drops(), 0u);
+  EXPECT_GT(tcp.retransmits(), 0u);
+  // Still makes solid progress despite losses.
+  const double goodput = 8.0 * static_cast<double>(tcp.bytes_acked()) / 30.0;
+  EXPECT_GT(goodput, 0.5e5);
+}
+
+// Two TCPs sharing a fair-queueing bottleneck split it per their rates.
+TEST(Tcp, TwoFlowsShareFairBottleneck) {
+  sim::Simulator sim;
+  core::Wf2qPlus sched(1e6);
+  sched.add_flow(0, 7.5e5, /*capacity_packets=*/32);
+  sched.add_flow(1, 2.5e5, /*capacity_packets=*/32);
+  sim::Link link(sim, sched, 1e6);
+  TcpConfig cfg;
+  cfg.one_way_delay_s = 0.01;
+  TcpSource t0(sim, [&link](net::Packet p) { return link.submit(p); }, 0,
+               1000, cfg);
+  TcpSource t1(sim, [&link](net::Packet p) { return link.submit(p); }, 1,
+               1000, cfg);
+  link.set_delivery([&](const net::Packet& p, net::Time) {
+    (p.flow == 0 ? t0 : t1).on_packet_delivered(p);
+  });
+  t0.start(0.0);
+  t1.start(0.0);
+  sim.run_until(30.0);
+  const double g0 = 8.0 * static_cast<double>(t0.bytes_acked()) / 30.0;
+  const double g1 = 8.0 * static_cast<double>(t1.bytes_acked()) / 30.0;
+  // Both flows are greedy; the scheduler should enforce ~3:1.
+  EXPECT_GT(g0 + g1, 0.8e6);  // work conserving
+  EXPECT_NEAR(g0 / (g0 + g1), 0.75, 0.08);
+}
+
+TEST(Tcp, DelayedAcksStillSaturateLink) {
+  sim::Simulator sim;
+  sched::Fifo fifo(/*capacity=*/64);
+  sim::Link link(sim, fifo, 1e6);
+  TcpConfig cfg;
+  cfg.one_way_delay_s = 0.005;
+  cfg.ack_every = 2;  // standard delayed-ack behaviour
+  TcpSource tcp(
+      sim, [&link](net::Packet p) { return link.submit(p); }, 0, 1000, cfg);
+  link.set_delivery(
+      [&tcp](const net::Packet& p, net::Time) { tcp.on_packet_delivered(p); });
+  tcp.start(0.0);
+  sim.run_until(10.0);
+  const double goodput = 8.0 * static_cast<double>(tcp.bytes_acked()) / 10.0;
+  EXPECT_GT(goodput, 0.6e6);  // slightly slower ramp than per-packet acks
+}
+
+TEST(Tcp, DelayedAcksDoNotBreakLossRecovery) {
+  sim::Simulator sim;
+  sched::Fifo fifo(/*capacity=*/8);
+  sim::Link link(sim, fifo, 1e5);
+  TcpConfig cfg;
+  cfg.one_way_delay_s = 0.02;
+  cfg.ack_every = 2;
+  TcpSource tcp(
+      sim, [&link](net::Packet p) { return link.submit(p); }, 0, 1000, cfg);
+  link.set_delivery(
+      [&tcp](const net::Packet& p, net::Time) { tcp.on_packet_delivered(p); });
+  tcp.start(0.0);
+  sim.run_until(30.0);
+  EXPECT_GT(fifo.drops(), 0u);
+  const double goodput = 8.0 * static_cast<double>(tcp.bytes_acked()) / 30.0;
+  EXPECT_GT(goodput, 0.4e5);
+}
+
+TEST(Tcp, SlowStartDoublesPerRtt) {
+  sim::Simulator sim;
+  sched::Fifo fifo;
+  sim::Link link(sim, fifo, 1e9);  // effectively infinite: pure slow start
+  TcpConfig cfg;
+  cfg.one_way_delay_s = 0.05;  // RTT 0.1 s
+  cfg.initial_ssthresh_pkts = 1e9;
+  TcpSource tcp(
+      sim, [&link](net::Packet p) { return link.submit(p); }, 0, 1000, cfg);
+  link.set_delivery(
+      [&tcp](const net::Packet& p, net::Time) { tcp.on_packet_delivered(p); });
+  tcp.start(0.0);
+  sim.run_until(0.45);  // ~4 RTTs
+  // cwnd ≈ 2^4 = 16 after 4 RTTs of pure slow start.
+  EXPECT_GE(tcp.cwnd_pkts(), 8.0);
+  EXPECT_LE(tcp.cwnd_pkts(), 40.0);
+}
+
+}  // namespace
+}  // namespace hfq::traffic

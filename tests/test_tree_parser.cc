@@ -1,0 +1,111 @@
+// Tests for the textual hierarchy parser (core/tree_parser).
+#include <gtest/gtest.h>
+
+#include "core/tree_parser.h"
+
+namespace hfq::core {
+namespace {
+
+constexpr const char* kFig3 = R"(
+# the Section 5.1 tree
+link 45M
+N-2 22.5M {
+  N-1 11.11M {
+    RT-1 9M    flow=0 cap=64
+    BE-1 2.11M flow=1
+  }
+  PS-1 1.139M flow=2
+}
+B 22.5M flow=3
+)";
+
+TEST(TreeParser, ParsesNestedTree) {
+  const Hierarchy h = parse_hierarchy(std::string(kFig3));
+  EXPECT_DOUBLE_EQ(h.link_rate(), 45e6);
+  EXPECT_EQ(h.size(), 7u);  // root + 6 nodes
+  const auto n1 = h.index_of("N-1");
+  EXPECT_FALSE(h.node(n1).leaf);
+  EXPECT_DOUBLE_EQ(h.node(n1).rate_bps, 11.11e6);
+  const auto rt = h.index_of("RT-1");
+  EXPECT_TRUE(h.node(rt).leaf);
+  EXPECT_EQ(h.node(rt).flow, 0u);
+  EXPECT_EQ(h.node(rt).capacity_packets, 64u);
+  EXPECT_EQ(h.node(rt).parent, static_cast<std::int32_t>(n1));
+  const auto b = h.index_of("B");
+  EXPECT_TRUE(h.node(b).leaf);
+  EXPECT_EQ(h.node(b).parent, 0);
+}
+
+TEST(TreeParser, RateSuffixes) {
+  const Hierarchy h = parse_hierarchy(
+      "link 1G\na 500M flow=0\nb 250k flow=1\nc 125 flow=2\n");
+  EXPECT_DOUBLE_EQ(h.link_rate(), 1e9);
+  EXPECT_DOUBLE_EQ(h.node(h.index_of("a")).rate_bps, 5e8);
+  EXPECT_DOUBLE_EQ(h.node(h.index_of("b")).rate_bps, 2.5e5);
+  EXPECT_DOUBLE_EQ(h.node(h.index_of("c")).rate_bps, 125.0);
+}
+
+TEST(TreeParser, CommentsAndBlankLinesIgnored) {
+  const Hierarchy h = parse_hierarchy(
+      "# top\nlink 10M # inline\n\n# mid\nx 10M flow=0\n");
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(TreeParser, RejectsMissingLinkHeader) {
+  EXPECT_THROW(parse_hierarchy(std::string("x 10M flow=0\n")),
+               std::runtime_error);
+}
+
+TEST(TreeParser, RejectsBadRate) {
+  EXPECT_THROW(parse_hierarchy(std::string("link 10Q\n")), std::runtime_error);
+  EXPECT_THROW(parse_hierarchy(std::string("link abc\n")), std::runtime_error);
+  EXPECT_THROW(parse_hierarchy(std::string("link -5M\n")), std::runtime_error);
+}
+
+TEST(TreeParser, RejectsSessionWithChildren) {
+  EXPECT_THROW(
+      parse_hierarchy(std::string("link 10M\nx 5M flow=0 { y 1M flow=1 }\n")),
+      std::runtime_error);
+}
+
+TEST(TreeParser, RejectsBadAttribute) {
+  EXPECT_THROW(parse_hierarchy(std::string("link 10M\nx 5M flow=abc\n")),
+               std::runtime_error);
+}
+
+TEST(TreeParser, RejectsUnbalancedBraces) {
+  EXPECT_THROW(parse_hierarchy(std::string("link 10M\nx 5M { y 1M flow=0\n")),
+               std::runtime_error);
+  EXPECT_THROW(parse_hierarchy(std::string("link 10M\nx 5M flow=0\n}\n")),
+               std::runtime_error);
+}
+
+TEST(TreeParser, FormatRoundTrips) {
+  const Hierarchy h = parse_hierarchy(std::string(kFig3));
+  const std::string text = format_hierarchy(h);
+  const Hierarchy h2 = parse_hierarchy(text);
+  ASSERT_EQ(h2.size(), h.size());
+  for (std::uint32_t i = 0; i < h.size(); ++i) {
+    EXPECT_EQ(h2.node(i).name, h.node(i).name);
+    EXPECT_DOUBLE_EQ(h2.node(i).rate_bps, h.node(i).rate_bps);
+    EXPECT_EQ(h2.node(i).parent, h.node(i).parent);
+    EXPECT_EQ(h2.node(i).leaf, h.node(i).leaf);
+    EXPECT_EQ(h2.node(i).flow, h.node(i).flow);
+    EXPECT_EQ(h2.node(i).capacity_packets, h.node(i).capacity_packets);
+  }
+}
+
+TEST(TreeParser, ParsedTreeBuildsWorkingScheduler) {
+  const Hierarchy h = parse_hierarchy(std::string(kFig3));
+  auto sched = h.build_packet<Wf2qPlusPolicy>();
+  net::Packet p;
+  p.flow = 0;
+  p.size_bytes = 100;
+  EXPECT_TRUE(sched->enqueue(p, 0.0));
+  const auto out = sched->dequeue(0.0);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->flow, 0u);
+}
+
+}  // namespace
+}  // namespace hfq::core
