@@ -1,0 +1,75 @@
+#include "audit/auditor.h"
+
+#include <string>
+
+namespace hfq::audit {
+
+namespace {
+
+std::string pkt_str(const net::Packet& p) {
+  return "packet id " + std::to_string(p.id) + " flow " +
+         std::to_string(p.flow);
+}
+
+}  // namespace
+
+bool SchedulerAuditor::enqueue(const net::Packet& p, net::Time now) {
+  const bool ok = inner_.enqueue(p, now);
+  if (ok) {
+    if (p.flow >= pending_.size()) pending_.resize(p.flow + 1);
+    pending_[p.flow].push_back(p.id);
+    ++accepted_;
+  } else {
+    ++dropped_;
+  }
+  check_conservation("enqueue");
+  return ok;
+}
+
+std::optional<net::Packet> SchedulerAuditor::dequeue(net::Time now) {
+  auto p = inner_.dequeue(now);
+  if (!p.has_value()) {
+    if (expect_work_conserving_ && accepted_ > delivered_) {
+      report("work-conservation", __FILE__, __LINE__,
+             "dequeue reported idle with " +
+                 std::to_string(accepted_ - delivered_) + " packets queued");
+    }
+    return p;
+  }
+  if (p->flow >= pending_.size() || pending_[p->flow].empty()) {
+    report("conservation", __FILE__, __LINE__,
+           pkt_str(*p) + " delivered but never accepted (duplication or "
+                         "invention)");
+  } else if (pending_[p->flow].front() != p->id) {
+    report("flow-fifo", __FILE__, __LINE__,
+           pkt_str(*p) + " delivered ahead of earlier packet id " +
+               std::to_string(pending_[p->flow].front()) + " of the same flow");
+    // Resynchronise so one reorder does not cascade into spurious reports:
+    // drop the delivered id from wherever it sits in the flow's queue.
+    auto& q = pending_[p->flow];
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (*it == p->id) {
+        q.erase(it);
+        break;
+      }
+    }
+  } else {
+    pending_[p->flow].pop_front();
+  }
+  ++delivered_;
+  check_conservation("dequeue");
+  return p;
+}
+
+void SchedulerAuditor::check_conservation(const char* where) {
+  const std::uint64_t expected = accepted_ - delivered_;
+  const std::size_t actual = inner_.backlog_packets();
+  if (actual != expected) {
+    report("backlog-conservation", __FILE__, __LINE__,
+           std::string(where) + ": scheduler reports backlog " +
+               std::to_string(actual) + " but accepted - delivered = " +
+               std::to_string(expected));
+  }
+}
+
+}  // namespace hfq::audit

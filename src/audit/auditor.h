@@ -1,0 +1,61 @@
+// Black-box scheduler auditor: a net::Scheduler decorator that checks the
+// model-independent invariants every packet scheduler in this repository
+// must satisfy, from the outside, in any build type:
+//
+//  * conservation — every packet handed out was previously accepted, no
+//    duplication or invention, and the scheduler's backlog counter equals
+//    accepted − delivered at every quiescent point;
+//  * per-flow FIFO order — sessions are FIFO queues, so a flow's packets
+//    depart in arrival order;
+//  * work conservation — dequeue never reports idle while packets are
+//    queued (all schedulers here except the shaped decorator are
+//    work-conserving; disable with expect_work_conserving = false).
+//
+// Violations go through audit::report, so they abort by default and are
+// collected (with a replayable seed) under the differential fuzzer. The
+// decorator is opt-in per scheduler instance and costs one deque operation
+// per packet; the compile-gated hooks in the schedulers themselves cover the
+// algorithm-specific tag discipline this wrapper cannot see.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "audit/invariants.h"
+#include "net/packet.h"
+#include "net/scheduler.h"
+
+namespace hfq::audit {
+
+class SchedulerAuditor : public net::Scheduler {
+ public:
+  explicit SchedulerAuditor(net::Scheduler& inner,
+                            bool expect_work_conserving = true)
+      : inner_(inner), expect_work_conserving_(expect_work_conserving) {}
+
+  bool enqueue(const net::Packet& p, net::Time now) override;
+  std::optional<net::Packet> dequeue(net::Time now) override;
+
+  [[nodiscard]] std::size_t backlog_packets() const override {
+    return inner_.backlog_packets();
+  }
+
+  [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  void check_conservation(const char* where);
+
+  net::Scheduler& inner_;
+  bool expect_work_conserving_;
+  // Accepted-but-not-delivered packet ids per flow, in arrival order.
+  std::vector<std::deque<std::uint64_t>> pending_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hfq::audit

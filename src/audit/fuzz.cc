@@ -1,0 +1,605 @@
+#include "audit/fuzz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "audit/auditor.h"
+#include "audit/invariants.h"
+#include "core/hpfq.h"
+#include "core/wf2qplus.h"
+#include "core/wf2qplus_fixed.h"
+#include "fluid/gps.h"
+#include "fluid/hgps.h"
+#include "sched/scfq.h"
+#include "sched/sfq.h"
+#include "sched/wf2q.h"
+#include "sched/wf2qplus_perpacket.h"
+#include "sched/wfq.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace hfq::audit {
+
+const char* shape_name(TraceShape s) {
+  switch (s) {
+    case TraceShape::kUniform:     return "uniform";
+    case TraceShape::kBursty:      return "bursty";
+    case TraceShape::kTieHeavy:    return "tie-heavy";
+    case TraceShape::kOverload:    return "overload";
+    case TraceShape::kDrainRefill: return "drain-refill";
+    case TraceShape::kCount:       break;
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- tracegen
+
+FuzzTrace generate_trace(std::uint64_t seed) {
+  util::Rng rng(seed);
+  FuzzTrace t;
+  t.seed = seed;
+  t.shape = static_cast<TraceShape>(
+      rng.uniform_int(0, static_cast<int>(TraceShape::kCount) - 1));
+  std::uint64_t id = 0;
+
+  if (t.shape == TraceShape::kTieHeavy) {
+    // Equal power-of-two rates and a power-of-two packet size keep every
+    // tag exact in both double and 2^-20-tick arithmetic, so equal tags tie
+    // *exactly* and the FIFO tie-break discipline decides the schedule.
+    const int n = 1 << rng.uniform_int(1, 3);  // 2, 4 or 8 flows
+    t.link_rate = 8192.0;
+    t.rates.assign(static_cast<std::size_t>(n), 8192.0 / n);
+    const int packets = 120 + static_cast<int>(rng.uniform_int(0, 80));
+    double time = 0.0;
+    while (id < static_cast<std::uint64_t>(packets)) {
+      time += rng.uniform(0.0, 0.4);
+      const int burst = static_cast<int>(rng.uniform_int(1, 2 * n));
+      for (int k = 0; k < burst && id < static_cast<std::uint64_t>(packets);
+           ++k) {
+        t.arrivals.push_back(
+            {time, static_cast<net::FlowId>(rng.uniform_int(0, n - 1)), 64,
+             id++});
+      }
+    }
+    return t;
+  }
+
+  const int n = static_cast<int>(rng.uniform_int(2, 8));
+  t.link_rate = 8000.0;
+  double weight_sum = 0.0;
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  for (double& w : weights) {
+    w = static_cast<double>(rng.uniform_int(1, 100));
+    weight_sum += w;
+  }
+  for (double w : weights) t.rates.push_back(w / weight_sum * t.link_rate);
+
+  const int packets = 150 + static_cast<int>(rng.uniform_int(0, 150));
+  auto rand_flow = [&] {
+    return static_cast<net::FlowId>(rng.uniform_int(0, n - 1));
+  };
+  auto rand_bytes = [&] {
+    return static_cast<std::uint32_t>(rng.uniform_int(8, 250));
+  };
+  const double avg_bits = 8.0 * (8 + 250) / 2.0;
+
+  switch (t.shape) {
+    case TraceShape::kUniform:
+    case TraceShape::kOverload: {
+      const double load = t.shape == TraceShape::kUniform ? 0.75 : 1.6;
+      const double mean_gap = avg_bits / (load * t.link_rate);
+      double time = 0.0;
+      for (int i = 0; i < packets; ++i) {
+        time += rng.exponential(mean_gap);
+        t.arrivals.push_back({time, rand_flow(), rand_bytes(), id++});
+      }
+      break;
+    }
+    case TraceShape::kBursty: {
+      double time = 0.0;
+      while (id < static_cast<std::uint64_t>(packets)) {
+        const int burst = static_cast<int>(rng.uniform_int(2, 12));
+        time += rng.exponential(burst * avg_bits / (0.9 * t.link_rate));
+        for (int k = 0; k < burst && id < static_cast<std::uint64_t>(packets);
+             ++k) {
+          t.arrivals.push_back({time, rand_flow(), rand_bytes(), id++});
+        }
+      }
+      break;
+    }
+    case TraceShape::kDrainRefill: {
+      // Bursts separated by gaps that let the link fully drain — exercises
+      // busy-period resets (both the idle-poll and the eager-enqueue path).
+      double time = 0.0;
+      while (id < static_cast<std::uint64_t>(packets)) {
+        const int burst = static_cast<int>(rng.uniform_int(2, 15));
+        double burst_bits = 0.0;
+        for (int k = 0; k < burst && id < static_cast<std::uint64_t>(packets);
+             ++k) {
+          const std::uint32_t bytes = rand_bytes();
+          burst_bits += 8.0 * bytes;
+          t.arrivals.push_back({time, rand_flow(), bytes, id++});
+        }
+        time += burst_bits / t.link_rate + rng.uniform(0.05, 0.8);
+      }
+      break;
+    }
+    case TraceShape::kTieHeavy:
+    case TraceShape::kCount:
+      break;  // handled above / unreachable
+  }
+  return t;
+}
+
+// ------------------------------------------------------------ sim drivers
+
+namespace {
+
+struct Departure {
+  net::Packet pkt;
+  double time = 0.0;
+};
+
+net::Packet make_packet(const FuzzArrival& a) {
+  net::Packet p;
+  p.id = a.id;
+  p.flow = a.flow;
+  p.size_bytes = a.bytes;
+  p.created = a.time;
+  return p;
+}
+
+struct GpsTrack {
+  double worst_ahead = 0.0;
+  double worst_behind = 0.0;
+};
+
+// Drives `sched` over the trace through a Link, wrapped in the black-box
+// auditor, with internal-hook and auditor violations collected into
+// `failures` under `name`. When `track` is non-null, the fluid GPS server
+// runs the same arrivals and per-flow cumulative service is compared at
+// every departure instant.
+std::vector<Departure> run_linked(const FuzzTrace& tr, net::Scheduler& sched,
+                                  const std::string& name,
+                                  std::vector<FuzzFailure>* failures,
+                                  GpsTrack* track) {
+  SchedulerAuditor audited(sched);
+  CollectScope collect([&](const Violation& v) {
+    failures->push_back({name + "/" + v.invariant, v.detail});
+  });
+
+  std::unique_ptr<fluid::GpsServer<double>> gps;
+  if (track != nullptr) {
+    gps = std::make_unique<fluid::GpsServer<double>>(tr.link_rate);
+    for (net::FlowId f = 0; f < tr.rates.size(); ++f) {
+      gps->add_flow(f, tr.rates[f]);
+    }
+  }
+
+  sim::Simulator sim;
+  sim::Link link(sim, audited, tr.link_rate);
+  std::vector<Departure> out;
+  std::vector<double> served(tr.rates.size(), 0.0);
+  std::size_t next_arrival = 0;
+  link.set_delivery([&](const net::Packet& p, net::Time now) {
+    out.push_back({p, now});
+    if (track == nullptr) return;
+    served[p.flow] += p.size_bits();
+    while (next_arrival < tr.arrivals.size() &&
+           tr.arrivals[next_arrival].time <= now) {
+      const FuzzArrival& a = tr.arrivals[next_arrival];
+      gps->arrive(a.time, a.flow, 8.0 * a.bytes);
+      ++next_arrival;
+    }
+    gps->advance_to(now);
+    for (net::FlowId f = 0; f < tr.rates.size(); ++f) {
+      const double diff = served[f] - gps->work(f);
+      track->worst_ahead = std::max(track->worst_ahead, diff);
+      track->worst_behind = std::max(track->worst_behind, -diff);
+    }
+  });
+  for (const FuzzArrival& a : tr.arrivals) {
+    sim.at(a.time, [&link, p = make_packet(a)] { link.submit(p); });
+  }
+  sim.run();
+  return out;
+}
+
+// Drives the scheduler directly, emulating the link's timing but never
+// issuing the idle poll (dequeue on an empty scheduler). A correct busy-
+// period reset must produce the same schedule as the polled Link driver;
+// a scheduler that leaks stale vtime/tags across an unpolled idle gap
+// diverges here.
+//
+// Timing mirrors sim::Link exactly: while a transmission is in progress,
+// arrivals up to and including its completion time are enqueued before the
+// completion's dequeue (arrival events are scheduled first, and the event
+// queue is FIFO at equal times); when the link is idle, submit() kicks
+// immediately, so a busy period starts with only its first arrival visible.
+std::vector<Departure> run_unpolled(const FuzzTrace& tr,
+                                    net::Scheduler& sched) {
+  std::vector<Departure> out;
+  std::size_t i = 0;
+  double next_free = 0.0;
+  bool idle = true;
+  auto submit = [&](const FuzzArrival& a) {
+    net::Packet p = make_packet(a);
+    p.arrival = a.time;
+    sched.enqueue(p, a.time);
+  };
+  auto transmit = [&](double start) {
+    auto p = sched.dequeue(start);
+    if (!p.has_value()) return false;  // work-conservation bug; auditor's job
+    next_free = start + p->size_bits() / tr.link_rate;
+    out.push_back({*p, next_free});
+    idle = false;
+    return true;
+  };
+  for (;;) {
+    if (idle) {
+      if (i >= tr.arrivals.size()) break;
+      const double start = std::max(next_free, tr.arrivals[i].time);
+      submit(tr.arrivals[i++]);
+      if (!transmit(start)) break;
+    } else {
+      while (i < tr.arrivals.size() && tr.arrivals[i].time <= next_free) {
+        submit(tr.arrivals[i++]);
+      }
+      if (sched.backlog_packets() > 0) {
+        if (!transmit(next_free)) break;
+      } else {
+        idle = true;  // the Link would poll dequeue() empty here; we don't
+      }
+    }
+  }
+  return out;
+}
+
+double max_packet_bits(const FuzzTrace& tr) {
+  double lmax = 0.0;
+  for (const FuzzArrival& a : tr.arrivals) {
+    lmax = std::max(lmax, 8.0 * a.bytes);
+  }
+  return lmax;
+}
+
+void check_bound(std::vector<FuzzFailure>* failures, const std::string& check,
+                 double value, double bound) {
+  if (value > bound) {
+    std::ostringstream os;
+    os << value << " bits exceeds bound " << bound;
+    failures->push_back({check, os.str()});
+  }
+}
+
+// Identical departure schedules (ids and, optionally, times).
+void check_same_schedule(std::vector<FuzzFailure>* failures,
+                         const std::string& check,
+                         const std::vector<Departure>& a,
+                         const std::vector<Departure>& b,
+                         bool compare_times) {
+  if (a.size() != b.size()) {
+    failures->push_back({check, "departure counts differ: " +
+                                    std::to_string(a.size()) + " vs " +
+                                    std::to_string(b.size())});
+    return;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].pkt.id != b[i].pkt.id) {
+      failures->push_back(
+          {check, "departure " + std::to_string(i) + ": packet id " +
+                      std::to_string(a[i].pkt.id) + " vs " +
+                      std::to_string(b[i].pkt.id)});
+      return;
+    }
+    if (compare_times && std::abs(a[i].time - b[i].time) > 1e-9) {
+      failures->push_back({check, "departure " + std::to_string(i) +
+                                      " times differ: " +
+                                      std::to_string(a[i].time) + " vs " +
+                                      std::to_string(b[i].time)});
+      return;
+    }
+  }
+}
+
+// Per-flow cumulative service of two packet systems within `bound_bits` of
+// each other at every departure index (the valid-WF²Q+-schedules-may-reorder
+// comparison used for the fixed-point variant on non-exact traces).
+void check_service_tracking(std::vector<FuzzFailure>* failures,
+                            const std::string& check,
+                            const std::vector<Departure>& a,
+                            const std::vector<Departure>& b,
+                            double bound_bits) {
+  if (a.size() != b.size()) {
+    failures->push_back({check, "departure counts differ"});
+    return;
+  }
+  std::map<net::FlowId, double> wa, wb;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    wa[a[i].pkt.flow] += a[i].pkt.size_bits();
+    wb[b[i].pkt.flow] += b[i].pkt.size_bits();
+    for (const auto& [f, bits] : wa) {
+      if (std::abs(bits - wb[f]) > bound_bits) {
+        std::ostringstream os;
+        os << "departure " << i << " flow " << f << ": " << bits << " vs "
+           << wb[f] << " bits (bound " << bound_bits << ")";
+        failures->push_back({check, os.str()});
+        return;
+      }
+    }
+  }
+}
+
+// Two-level hierarchy derived from the trace: flows split into two classes
+// with rates summing to their leaves'. Returns per-leaf worst ahead/behind
+// versus the fluid H-GPS reference; auditor violations go to `failures`.
+GpsTrack run_hierarchy(const FuzzTrace& tr, std::vector<FuzzFailure>* failures,
+                       const std::string& name) {
+  const std::size_t n = tr.rates.size();
+  const std::size_t half = n / 2 > 0 ? n / 2 : 1;
+  double rate_a = 0.0, rate_b = 0.0;
+  for (std::size_t f = 0; f < n; ++f) {
+    (f < half ? rate_a : rate_b) += tr.rates[f];
+  }
+
+  core::HWf2qPlus h(tr.link_rate);
+  const core::NodeId ca = h.add_internal(h.root(), rate_a);
+  const core::NodeId cb = h.add_internal(h.root(), rate_b);
+  fluid::HgpsServer<double> hg(tr.link_rate);
+  const fluid::NodeId ga = hg.add_node(hg.root(), rate_a);
+  const fluid::NodeId gb = hg.add_node(hg.root(), rate_b);
+  std::vector<fluid::NodeId> leaf(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    h.add_leaf(f < half ? ca : cb, tr.rates[f], static_cast<net::FlowId>(f));
+    leaf[f] = hg.add_node(f < half ? ga : gb, tr.rates[f]);
+  }
+
+  SchedulerAuditor audited(h);
+  CollectScope collect([&](const Violation& v) {
+    failures->push_back({name + "/" + v.invariant, v.detail});
+  });
+
+  GpsTrack track;
+  sim::Simulator sim;
+  sim::Link link(sim, audited, tr.link_rate);
+  std::vector<double> served(n, 0.0);
+  std::size_t next_arrival = 0;
+  link.set_delivery([&](const net::Packet& p, net::Time now) {
+    served[p.flow] += p.size_bits();
+    while (next_arrival < tr.arrivals.size() &&
+           tr.arrivals[next_arrival].time <= now) {
+      const FuzzArrival& a = tr.arrivals[next_arrival];
+      hg.arrive(a.time, leaf[a.flow], 8.0 * a.bytes);
+      ++next_arrival;
+    }
+    hg.advance_to(now);
+    for (std::size_t f = 0; f < n; ++f) {
+      const double diff = served[f] - hg.work(leaf[f]);
+      track.worst_ahead = std::max(track.worst_ahead, diff);
+      track.worst_behind = std::max(track.worst_behind, -diff);
+    }
+  });
+  for (const FuzzArrival& a : tr.arrivals) {
+    sim.at(a.time, [&link, p = make_packet(a)] { link.submit(p); });
+  }
+  sim.run();
+  return track;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- checker
+
+std::vector<FuzzFailure> run_checks(const FuzzTrace& tr) {
+  std::vector<FuzzFailure> failures;
+  if (tr.arrivals.empty() || tr.rates.empty()) return failures;
+  const double lmax = max_packet_bits(tr);
+  const double eps = 1e-6;
+
+  auto add_flows = [&](auto& s) {
+    for (net::FlowId f = 0; f < tr.rates.size(); ++f) {
+      s.add_flow(f, tr.rates[f]);
+    }
+  };
+
+  // WF²Q+ (per-session tags, Eq. 28/29) — the paper's algorithm. Near GPS
+  // on both sides; the Eq. 27 virtual time is approximate (it advances in
+  // service time, not fluid time), so under overload the packet system can
+  // run slightly more than one max packet ahead and somewhat more than two
+  // behind. The constants are empirical envelopes validated over 100k+
+  // seeds, not theorems — a tag-discipline bug blows far past them.
+  std::vector<Departure> d_plus;
+  {
+    core::Wf2qPlus s(tr.link_rate);
+    add_flows(s);
+    GpsTrack t;
+    d_plus = run_linked(tr, s, "wf2qplus", &failures, &t);
+    check_bound(&failures, "wf2qplus-gps-ahead", t.worst_ahead,
+                2.0 * lmax + eps);
+    check_bound(&failures, "wf2qplus-gps-behind", t.worst_behind,
+                3.0 * lmax + eps);
+  }
+
+  // WF²Q (SEFF on the exact GPS virtual time): same two-sided bound.
+  {
+    sched::Wf2q s(tr.link_rate);
+    add_flows(s);
+    GpsTrack t;
+    run_linked(tr, s, "wf2q", &failures, &t);
+    check_bound(&failures, "wf2q-gps-ahead", t.worst_ahead, lmax + eps);
+    check_bound(&failures, "wf2q-gps-behind", t.worst_behind,
+                2.0 * lmax + eps);
+  }
+
+  // WFQ: may run far ahead (the paper's critique) but never far behind.
+  {
+    sched::Wfq s(tr.link_rate);
+    add_flows(s);
+    GpsTrack t;
+    run_linked(tr, s, "wfq", &failures, &t);
+    check_bound(&failures, "wfq-gps-behind", t.worst_behind,
+                2.0 * lmax + eps);
+  }
+
+  // SCFQ / SFQ: no per-flow fluid bound claimed; black-box invariants only.
+  {
+    sched::Scfq s;
+    add_flows(s);
+    run_linked(tr, s, "scfq", &failures, nullptr);
+  }
+  {
+    sched::StartTimeFq s;
+    add_flows(s);
+    run_linked(tr, s, "sfq", &failures, nullptr);
+  }
+
+  // Per-packet WF²Q+ (Eqs. 6/7) against the per-session form (Eq. 28/29).
+  // The two are NOT always schedule-identical: per-packet stamps
+  // S = max(F_prev, V(arrival)) at arrival while per-session stamps
+  // S = F_prev at head succession, and V may overtake a backlogged
+  // session's finish tag (V is bounded by max F, not min F), at which
+  // point the tags — and the order of later ties — diverge. Both remain
+  // valid WF²Q+ schedules, so per-flow service must track within a couple
+  // of max packets (rare overload seeds exceed one by a few bytes).
+  {
+    sched::Wf2qPlusPerPacket s(tr.link_rate);
+    add_flows(s);
+    GpsTrack t;
+    const auto d = run_linked(tr, s, "wf2qplus-perpacket", &failures, &t);
+    check_bound(&failures, "perpacket-gps-ahead", t.worst_ahead,
+                2.0 * lmax + eps);
+    check_bound(&failures, "perpacket-gps-behind", t.worst_behind,
+                3.0 * lmax + eps);
+    check_service_tracking(&failures, "perpacket-service-tracking", d_plus, d,
+                           2.0 * lmax + eps);
+  }
+
+  // Fixed-point WF²Q+: same GPS bounds (plus a packet of tick-rounding
+  // slack), per-flow service within a couple of max packets of the double
+  // version, and — on tie-heavy traces, where all arithmetic is exact in
+  // both — the *identical* schedule, pinning the FIFO tie-break discipline.
+  {
+    core::Wf2qPlusFixed s(static_cast<std::uint64_t>(tr.link_rate));
+    add_flows(s);
+    GpsTrack t;
+    const auto d = run_linked(tr, s, "wf2qplus-fixed", &failures, &t);
+    check_bound(&failures, "fixed-gps-ahead", t.worst_ahead,
+                2.0 * lmax + eps);
+    check_bound(&failures, "fixed-gps-behind", t.worst_behind,
+                3.0 * lmax + eps);
+    check_service_tracking(&failures, "fixed-service-tracking", d_plus, d,
+                           2.0 * lmax + eps);
+    if (tr.shape == TraceShape::kTieHeavy) {
+      check_same_schedule(&failures, "fixed-tie-discipline", d_plus, d,
+                          /*compare_times=*/false);
+    }
+  }
+
+  // Busy-period discipline: an unpolled direct driver (never dequeues from
+  // an empty scheduler) must see the exact schedule the polled Link driver
+  // sees. Stale vtime/tags leaking across an idle gap diverge here.
+  {
+    core::Wf2qPlus s(tr.link_rate);
+    add_flows(s);
+    const auto d = run_unpolled(tr, s);
+    check_same_schedule(&failures, "wf2qplus-unpolled-equivalence", d_plus, d,
+                        /*compare_times=*/true);
+  }
+  {
+    core::Wf2qPlusFixed polled(static_cast<std::uint64_t>(tr.link_rate));
+    core::Wf2qPlusFixed unpolled(static_cast<std::uint64_t>(tr.link_rate));
+    add_flows(polled);
+    add_flows(unpolled);
+    const auto dp = run_linked(tr, polled, "wf2qplus-fixed", &failures,
+                               nullptr);
+    const auto du = run_unpolled(tr, unpolled);
+    check_same_schedule(&failures, "fixed-unpolled-equivalence", dp, du,
+                        /*compare_times=*/true);
+  }
+
+  // H-WF²Q+ against the fluid H-GPS reference on a two-level hierarchy:
+  // per-session discrepancy bounded by a small number of max packets (one
+  // per level ahead; behind gains the packet in transmission).
+  {
+    const GpsTrack t = run_hierarchy(tr, &failures, "hwf2qplus");
+    check_bound(&failures, "hwf2qplus-hgps-ahead", t.worst_ahead,
+                2.0 * lmax + eps);
+    check_bound(&failures, "hwf2qplus-hgps-behind", t.worst_behind,
+                4.0 * lmax + eps);
+  }
+
+  // Hierarchy baselines: black-box invariants (conservation, FIFO, work
+  // conservation) — their fluid tracking is deliberately loose.
+  {
+    core::HWfq h(tr.link_rate);
+    const core::NodeId c = h.add_internal(h.root(), tr.link_rate * 0.999);
+    for (net::FlowId f = 0; f < tr.rates.size(); ++f) {
+      h.add_leaf(c, tr.rates[f], f);
+    }
+    run_linked(tr, h, "hwfq", &failures, nullptr);
+  }
+  {
+    core::HScfq h(tr.link_rate);
+    const core::NodeId c = h.add_internal(h.root(), tr.link_rate * 0.999);
+    for (net::FlowId f = 0; f < tr.rates.size(); ++f) {
+      h.add_leaf(c, tr.rates[f], f);
+    }
+    run_linked(tr, h, "hscfq", &failures, nullptr);
+  }
+
+  return failures;
+}
+
+// -------------------------------------------------------------- minimizer
+
+FuzzTrace minimize(const FuzzTrace& trace,
+                   const std::function<bool(const FuzzTrace&)>& fails) {
+  if (!fails(trace)) return trace;
+  FuzzTrace cur = trace;
+  int evals = 0;
+  constexpr int kMaxEvals = 600;
+  std::size_t chunk = cur.arrivals.size() / 2;
+  while (chunk >= 1 && evals < kMaxEvals) {
+    bool removed_any = false;
+    std::size_t start = 0;
+    while (start < cur.arrivals.size() && evals < kMaxEvals) {
+      FuzzTrace cand = cur;
+      const std::size_t end =
+          std::min(start + chunk, cand.arrivals.size());
+      cand.arrivals.erase(cand.arrivals.begin() + static_cast<long>(start),
+                          cand.arrivals.begin() + static_cast<long>(end));
+      ++evals;
+      if (!cand.arrivals.empty() && fails(cand)) {
+        cur = std::move(cand);
+        removed_any = true;
+        // Re-test the same offset: it now holds different arrivals.
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1 && !removed_any) break;
+    if (!removed_any || chunk > 1) chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+  return cur;
+}
+
+std::string format_trace(const FuzzTrace& tr) {
+  std::ostringstream os;
+  os << "seed " << tr.seed << " shape " << shape_name(tr.shape) << " link "
+     << tr.link_rate << " bps\nrates:";
+  for (std::size_t f = 0; f < tr.rates.size(); ++f) {
+    os << " [" << f << "]=" << tr.rates[f];
+  }
+  os << "\n" << tr.arrivals.size() << " arrivals:\n";
+  for (const FuzzArrival& a : tr.arrivals) {
+    os << "  t=" << a.time << " flow=" << a.flow << " bytes=" << a.bytes
+       << " id=" << a.id << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hfq::audit

@@ -1,0 +1,76 @@
+// Differential scheduler fuzzing: randomized traces driven through every
+// packet scheduler and checked against the fluid GPS / H-GPS references and
+// against alternative formulations of the same algorithm.
+//
+// This is the systematic version of the spot checks in
+// tests/test_differential.cc: a seed deterministically generates a trace
+// (bursty, tie-heavy, overloaded, or drain/refill-cycled), run_checks()
+// replays it through the scheduler zoo under the black-box auditor (plus the
+// compile-gated internal invariant hooks when the build enables them), and
+// any failure is reported with the seed so it can be replayed exactly.
+// minimize() shrinks a failing trace to a minimal arrival subsequence by
+// greedy delta debugging.
+//
+// Used by tools/fuzz_sched_diff (CLI, runs in CI under ASan/UBSan) and by
+// the seed-replay unit tests in tests/test_audit.cc.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace hfq::audit {
+
+enum class TraceShape : int {
+  kUniform = 0,     // steady random arrivals, moderate load
+  kBursty,          // batches of simultaneous arrivals separated by gaps
+  kTieHeavy,        // equal power-of-two rates & sizes: tags tie constantly
+  kOverload,        // sustained offered load > link rate
+  kDrainRefill,     // bursts separated by gaps long enough to fully drain
+  kCount
+};
+
+[[nodiscard]] const char* shape_name(TraceShape s);
+
+struct FuzzArrival {
+  double time = 0.0;
+  net::FlowId flow = 0;
+  std::uint32_t bytes = 0;
+  std::uint64_t id = 0;
+};
+
+struct FuzzTrace {
+  std::uint64_t seed = 0;
+  TraceShape shape = TraceShape::kUniform;
+  double link_rate = 0.0;
+  std::vector<double> rates;          // per-flow guaranteed rates (bps)
+  std::vector<FuzzArrival> arrivals;  // time-ordered
+};
+
+// Deterministically derives a trace (shape, flows, rates, arrivals) from a
+// seed. Same seed, same trace — the replay contract the CLI relies on.
+[[nodiscard]] FuzzTrace generate_trace(std::uint64_t seed);
+
+struct FuzzFailure {
+  std::string check;   // stable check name, e.g. "wf2qplus-gps-ahead"
+  std::string detail;  // what diverged, with values
+};
+
+// Runs every differential and invariant check on the trace. Empty = clean.
+[[nodiscard]] std::vector<FuzzFailure> run_checks(const FuzzTrace& trace);
+
+// Greedy delta debugging: returns a trace whose arrival list is a minimal
+// subsequence of `trace`'s for which `fails` still returns true. `fails`
+// must be deterministic; evaluation count is capped, so the result is
+// 1-minimal only if the cap is not hit.
+[[nodiscard]] FuzzTrace minimize(
+    const FuzzTrace& trace,
+    const std::function<bool(const FuzzTrace&)>& fails);
+
+// Human-readable dump (rates + arrivals) for failure reports.
+[[nodiscard]] std::string format_trace(const FuzzTrace& trace);
+
+}  // namespace hfq::audit

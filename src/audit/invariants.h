@@ -1,0 +1,118 @@
+// Compile-time-optional scheduler invariant auditing.
+//
+// The paper's guarantees hang on tag discipline: SEFF must only serve
+// eligible sessions (never S > V), the Eq. 27 virtual time must be monotone
+// within a busy period, busy-period resets must not leak stale tags, and the
+// eligible/waiting heaps must stay structurally valid. This header provides
+// the reporting layer those checks feed into.
+//
+// Cost model: the hot-path hooks inside the schedulers are expanded only
+// when the build defines HFQ_AUDIT_ENABLED (CMake option -DHFQ_AUDIT=ON).
+// In a normal build HFQ_AUDIT_CHECK compiles to nothing — the condition is
+// not even evaluated — so production performance is untouched (verified by
+// bench_sched_complexity). The reporting layer itself is header-only so the
+// low-level libraries (util, core) can use it without a link-time dependency
+// on the audit library.
+//
+// A violation is fatal by default (abort, like HFQ_ASSERT): a scheduler with
+// a corrupted virtual clock must not keep producing plausible-looking
+// schedules. Tests and the differential fuzzer install a collecting handler
+// instead so a violation becomes a recorded failure with a replayable seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace hfq::audit {
+
+// True when the scheduler hot-path hooks are compiled in.
+[[nodiscard]] constexpr bool compiled_in() noexcept {
+#ifdef HFQ_AUDIT_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+struct Violation {
+  const char* invariant = "";  // stable short name, e.g. "seff-eligibility"
+  std::string detail;          // human-readable specifics (tags, ids)
+  const char* file = "";
+  int line = 0;
+};
+
+// Handler invoked on every reported violation. Process-wide.
+using Handler = std::function<void(const Violation&)>;
+
+namespace detail {
+inline Handler& handler_slot() {
+  static Handler h;  // empty = default (abort)
+  return h;
+}
+inline std::uint64_t& violation_counter() {
+  static std::uint64_t n = 0;
+  return n;
+}
+}  // namespace detail
+
+// Installs a handler and returns the previous one. Passing an empty handler
+// restores the default abort behaviour.
+inline Handler set_handler(Handler h) {
+  Handler prev = std::move(detail::handler_slot());
+  detail::handler_slot() = std::move(h);
+  return prev;
+}
+
+[[nodiscard]] inline std::uint64_t violation_count() {
+  return detail::violation_counter();
+}
+
+inline void reset_violation_count() { detail::violation_counter() = 0; }
+
+inline void report(const char* invariant, const char* file, int line,
+                   std::string detail_msg) {
+  ++detail::violation_counter();
+  const Violation v{invariant, std::move(detail_msg), file, line};
+  if (detail::handler_slot()) {
+    detail::handler_slot()(v);
+    return;
+  }
+  util::assert_fail(v.invariant, v.file, v.line, v.detail.c_str());
+}
+
+// RAII scope that collects violations into a caller-owned sink instead of
+// aborting; restores the previous handler on destruction.
+class CollectScope {
+ public:
+  explicit CollectScope(std::function<void(const Violation&)> sink)
+      : prev_(set_handler(std::move(sink))) {}
+  ~CollectScope() { set_handler(std::move(prev_)); }
+  CollectScope(const CollectScope&) = delete;
+  CollectScope& operator=(const CollectScope&) = delete;
+
+ private:
+  Handler prev_;
+};
+
+}  // namespace hfq::audit
+
+// Hot-path invariant hook. `detail_expr` is an expression producing a
+// std::string; it is evaluated only when the invariant is violated, and the
+// whole statement (condition included) vanishes when auditing is compiled
+// out.
+#ifdef HFQ_AUDIT_ENABLED
+#define HFQ_AUDIT_CHECK(invariant, cond, detail_expr)                        \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::hfq::audit::report((invariant), __FILE__, __LINE__, (detail_expr));  \
+    }                                                                        \
+  } while (false)
+#else
+#define HFQ_AUDIT_CHECK(invariant, cond, detail_expr) \
+  do {                                                \
+  } while (false)
+#endif

@@ -18,8 +18,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "audit/invariants.h"
 #include "core/node_policy.h"
 #include "net/flow.h"
 #include "net/packet.h"
@@ -94,6 +96,13 @@ class HPfq : public net::Scheduler {
     }
     Node& r = nodes_[0];
     if (!r.has_logical) return std::nullopt;
+    HFQ_AUDIT_CHECK("hpfq-backlog-conservation",
+                    audit_queued_packets() == backlog_,
+                    "backlog counter diverged from leaf queue sizes");
+    HFQ_AUDIT_CHECK("hpfq-active-chain", audit_active_chain(),
+                    "active-child chain inconsistent with the root's head");
+    HFQ_AUDIT_CHECK("hpfq-policy-valid", audit_policies(),
+                    "a node policy's heaps or child tags are corrupted");
     pending_reset_ = true;
     --backlog_;
     return r.logical;
@@ -218,6 +227,42 @@ class HPfq : public net::Scheduler {
       n.active_child = kNoNode;
       reset_path(m);
     }
+  }
+
+  // --- audit helpers (called from HFQ_AUDIT_CHECK hooks only) -------------
+
+  // Sum of real leaf queues. Matches backlog_ only while no RESET-PATH is
+  // pending (the handed-out packet leaves its leaf queue lazily); the
+  // dequeue hook runs exactly in that window.
+  [[nodiscard]] std::size_t audit_queued_packets() const {
+    std::size_t n = 0;
+    for (const Node& node : nodes_) {
+      if (node.is_leaf) n += node.queue.size();
+    }
+    return n;
+  }
+
+  // Following active_child from the root must reach a leaf whose real head
+  // packet is the packet every node on the chain advertises as its logical
+  // head.
+  [[nodiscard]] bool audit_active_chain() const {
+    NodeId id = 0;
+    while (!nodes_[id].is_leaf) {
+      const Node& n = nodes_[id];
+      if (!n.has_logical || n.active_child == kNoNode) return false;
+      if (nodes_[n.active_child].logical.id != n.logical.id) return false;
+      id = n.active_child;
+    }
+    const Node& leaf = nodes_[id];
+    return leaf.has_logical && !leaf.queue.empty() &&
+           leaf.queue.front().id == leaf.logical.id;
+  }
+
+  [[nodiscard]] bool audit_policies() const {
+    for (const Node& n : nodes_) {
+      if (!n.is_leaf && !n.policy.audit_valid()) return false;
+    }
+    return true;
   }
 
   double link_rate_;

@@ -58,6 +58,10 @@ class NodePolicyBase {
     return children_.size();
   }
 
+  // Audit hook: policies with internal heap/tag structure override this to
+  // report corruption (statically dispatched through HPfq's policy type).
+  [[nodiscard]] bool audit_valid() const { return true; }
+
  protected:
   struct Child {
     double rate = 0.0;
@@ -142,6 +146,18 @@ class Wf2qPlusPolicy : public NodePolicyBase {
   void set_rebase_threshold(double seconds) {
     HFQ_ASSERT(seconds > 0.0);
     rebase_threshold_ = seconds;
+  }
+
+  // Structural audit: both heaps ordered, every registered child's tags
+  // sane (start <= finish).
+  [[nodiscard]] bool audit_valid() const {
+    if (!eligible_.validate() || !waiting_.validate()) return false;
+    for (const Child& c : children_) {
+      if (c.handle != util::kInvalidHeapHandle && c.finish < c.start) {
+        return false;
+      }
+    }
+    return true;
   }
 
  private:
@@ -282,6 +298,10 @@ class GpsTrackedPolicy : public NodePolicyBase {
     const std::size_t slot = eligible_.pop();
     child(slot).handle = util::kInvalidHeapHandle;
     return slot;
+  }
+
+  [[nodiscard]] bool audit_valid() const {
+    return eligible_.validate() && waiting_.validate();
   }
 
  private:

@@ -25,6 +25,7 @@
 
 #include <deque>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "sched/flat_base.h"
@@ -41,7 +42,16 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
     HFQ_ASSERT(link_rate_bps > 0.0);
   }
 
-  bool enqueue(const Packet& p, Time /*now*/) override {
+  bool enqueue(const Packet& p, Time now) override {
+    // Eager busy-period boundary detection: if the scheduler drained and the
+    // link finished its last transmission strictly before this arrival, the
+    // busy period is over even if the link never polled dequeue() again.
+    // Without this, a drained-but-unpolled scheduler leaks stale vtime_ and
+    // finish tags into the new busy period and inflates start tags.
+    if (backlog_ == 0 && !sched::vt_leq(now, busy_until_)) {
+      vtime_ = 0.0;
+      ++epoch_;
+    }
     FlowState& f = flow(p.flow);
     if (!f.queue.push(p)) return false;
     if (p.flow >= arrival_nos_.size()) arrival_nos_.resize(p.flow + 1);
@@ -55,17 +65,20 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
       f.start = f_prev > vtime_ ? f_prev : vtime_;
       f.finish = f.start + p.size_bits() / f.rate;  // Eq. 29
       f.epoch = epoch_;
+      HFQ_AUDIT_CHECK("tag-sanity", f.start < f.finish,
+                      "enqueue stamped start >= finish");
       insert_by_eligibility(p.flow);
     }
     return true;
   }
 
-  std::optional<Packet> dequeue(Time /*now*/) override {
+  std::optional<Packet> dequeue(Time now) override {
     if (backlog_ == 0) {
       // The link polls once more after the final transmission completes;
       // only then is the busy period really over (a packet handed out by
       // the previous dequeue was still in service until now). Restart the
-      // virtual clock lazily via the epoch counter.
+      // virtual clock lazily via the epoch counter. (The eager check in
+      // enqueue() covers drivers that skip this idle poll.)
       vtime_ = 0.0;
       ++epoch_;
       return std::nullopt;
@@ -84,11 +97,24 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
                    "SEFF must always find an eligible session");
     const FlowId id = eligible_.pop();
     FlowState& f = flow(id);
+    HFQ_AUDIT_CHECK("seff-eligibility", sched::vt_leq(f.start, v_now),
+                    "served a session whose start tag " +
+                        std::to_string(f.start) + " exceeds V " +
+                        std::to_string(v_now));
+    HFQ_AUDIT_CHECK("vtime-monotonic", v_now >= vtime_,
+                    "virtual time moved backwards within a busy period");
+    HFQ_AUDIT_CHECK("tag-epoch", f.epoch == epoch_,
+                    "served a session carrying tags from a previous epoch");
     f.handle = util::kInvalidHeapHandle;
     Packet p = f.queue.pop();
     arrival_nos_[id].pop_front();
     --backlog_;
-    vtime_ = v_now + p.size_bits() / link_rate_;
+    const double service_time = p.size_bits() / link_rate_;
+    vtime_ = v_now + service_time;
+    // The transmission this selection commits to occupies the link until
+    // now + L/r; the busy period cannot end before then.
+    const double tx_end = now + service_time;
+    if (tx_end > busy_until_) busy_until_ = tx_end;
     if (!f.queue.empty()) {
       // Eq. 28, non-empty branch: the next packet arrived while the queue
       // was backlogged, so S = F.
@@ -96,6 +122,11 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
       f.finish = f.start + f.queue.front().size_bits() / f.rate;
       insert_by_eligibility(id);
     }
+    HFQ_AUDIT_CHECK("heap-valid", eligible_.validate() && waiting_.validate(),
+                    "eligible/waiting heap order corrupted");
+    HFQ_AUDIT_CHECK("backlog-conservation",
+                    audit_queued_packets() == backlog_,
+                    "backlog counter diverged from per-flow queue sizes");
     return p;
   }
 
@@ -130,6 +161,10 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
 
   double link_rate_;
   double vtime_ = 0.0;
+  // Real time at which the transmission committed by the latest dequeue
+  // completes; an arrival into an empty scheduler after this instant starts
+  // a new busy period.
+  double busy_until_ = 0.0;
   std::uint64_t epoch_ = 1;
   std::uint64_t arrival_counter_ = 0;
   std::vector<std::deque<std::uint64_t>> arrival_nos_;

@@ -13,11 +13,18 @@
 // implementation is below one tick per packet and the scheduling
 // properties (WFI <= Lmax, delay bounds) are preserved — tested in
 // tests/test_fixed.cc.
+//
+// Tie discipline matches Wf2qPlus: heap keys carry the head packet's global
+// arrival number, so sessions with equal tags are served in packet-arrival
+// (FIFO) order. Keying on the bare tag and relying on heap push order is
+// wrong — waiting→eligible migration re-pushes sessions in start-tag order,
+// which destroys arrival order for equal finish tags.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "sched/flat_base.h"
@@ -30,7 +37,8 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
   static constexpr int kTickShift = 20;
 
   explicit Wf2qPlusFixed(std::uint64_t link_rate_bps)
-      : link_rate_(link_rate_bps) {
+      : link_rate_(link_rate_bps),
+        inv_link_rate_(1.0 / static_cast<double>(link_rate_bps)) {
     HFQ_ASSERT(link_rate_bps > 0);
   }
 
@@ -43,9 +51,18 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
     fx_[id].rate = static_cast<std::uint64_t>(rate_bps);
   }
 
-  bool enqueue(const net::Packet& p, net::Time /*now*/) override {
+  bool enqueue(const net::Packet& p, net::Time now) override {
+    // Eager busy-period boundary detection (mirrors Wf2qPlus): an arrival
+    // into a drained scheduler after the last transmission completed starts
+    // a new busy period even if the link never issued the idle poll.
+    if (backlog_ == 0 && !sched::vt_leq(now, busy_until_)) {
+      vtime_ = 0;
+      ++epoch_;
+    }
     FlowState& f = flow(p.flow);
     if (!f.queue.push(p)) return false;
+    if (p.flow >= arrival_nos_.size()) arrival_nos_.resize(p.flow + 1);
+    arrival_nos_[p.flow].push_back(arrival_counter_++);
     ++backlog_;
     if (f.queue.size() == 1) {
       Fx& x = fx_[p.flow];
@@ -53,12 +70,14 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
       x.start = f_prev > vtime_ ? f_prev : vtime_;
       x.finish = x.start + finish_increment(p.size_bits(), x.rate);
       x.epoch = epoch_;
+      HFQ_AUDIT_CHECK("tag-sanity", x.start < x.finish,
+                      "enqueue stamped start >= finish");
       insert_by_eligibility(p.flow);
     }
     return true;
   }
 
-  std::optional<net::Packet> dequeue(net::Time /*now*/) override {
+  std::optional<net::Packet> dequeue(net::Time now) override {
     if (backlog_ == 0) {
       vtime_ = 0;
       ++epoch_;
@@ -67,32 +86,57 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
     std::uint64_t v_now = vtime_;
     if (eligible_.empty()) {
       HFQ_ASSERT(!waiting_.empty());
-      const std::uint64_t smin = waiting_.top_key();
+      const std::uint64_t smin = waiting_.top_key().tag;
       if (smin > v_now) v_now = smin;
     }
-    while (!waiting_.empty() && waiting_.top_key() <= v_now) {
+    while (!waiting_.empty() && waiting_.top_key().tag <= v_now) {
       const net::FlowId id = waiting_.pop();
       FlowState& f = flow(id);
       f.in_eligible = true;
-      f.handle = eligible_.push(fx_[id].finish, id);
+      f.handle =
+          eligible_.push(FxKey{fx_[id].finish, arrival_nos_[id].front()}, id);
     }
     HFQ_ASSERT(!eligible_.empty());
     const net::FlowId id = eligible_.pop();
     FlowState& f = flow(id);
+    HFQ_AUDIT_CHECK("seff-eligibility", fx_[id].start <= v_now,
+                    "served a session whose start tag " +
+                        std::to_string(fx_[id].start) + " exceeds V " +
+                        std::to_string(v_now));
+    HFQ_AUDIT_CHECK("vtime-monotonic", v_now >= vtime_,
+                    "virtual time moved backwards within a busy period");
+    HFQ_AUDIT_CHECK("tag-epoch", fx_[id].epoch == epoch_,
+                    "served a session carrying tags from a previous epoch");
     f.handle = util::kInvalidHeapHandle;
     net::Packet p = f.queue.pop();
+    arrival_nos_[id].pop_front();
     --backlog_;
     vtime_ = v_now + finish_increment(p.size_bits(), link_rate_);
+    const double tx_end = now + p.size_bits() * inv_link_rate_;
+    if (tx_end > busy_until_) busy_until_ = tx_end;
     if (!f.queue.empty()) {
       Fx& x = fx_[id];
       x.start = x.finish;
       x.finish = x.start + finish_increment(f.queue.front().size_bits(), x.rate);
       insert_by_eligibility(id);
     }
+    HFQ_AUDIT_CHECK("heap-valid", eligible_.validate() && waiting_.validate(),
+                    "eligible/waiting heap order corrupted");
+    HFQ_AUDIT_CHECK("backlog-conservation",
+                    audit_queued_packets() == backlog_,
+                    "backlog counter diverged from per-flow queue sizes");
     return p;
   }
 
   [[nodiscard]] std::uint64_t vtime_ticks() const noexcept { return vtime_; }
+
+  // Head tags in ticks, exposed for tests.
+  [[nodiscard]] std::uint64_t head_start_ticks(net::FlowId id) const {
+    return fx_[id].start;
+  }
+  [[nodiscard]] std::uint64_t head_finish_ticks(net::FlowId id) const {
+    return fx_[id].finish;
+  }
 
  private:
   struct Fx {
@@ -100,6 +144,18 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
     std::uint64_t start = 0;
     std::uint64_t finish = 0;
     std::uint64_t epoch = 0;
+  };
+
+  // Heap key: integer tag, ties broken by global packet arrival number so
+  // equal tags serve in FIFO order (the integer twin of sched::VtKey).
+  struct FxKey {
+    std::uint64_t tag = 0;
+    std::uint64_t arrival_no = 0;
+
+    friend bool operator<(const FxKey& a, const FxKey& b) {
+      if (a.tag != b.tag) return a.tag < b.tag;
+      return a.arrival_no < b.arrival_no;
+    }
   };
 
   // ceil(bits * 2^20 / rate): rounding up means a flow's next start tag is
@@ -114,21 +170,28 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
   void insert_by_eligibility(net::FlowId id) {
     FlowState& f = flow(id);
     const Fx& x = fx_[id];
+    const std::uint64_t no = arrival_nos_[id].front();
     if (x.start <= vtime_) {
       f.in_eligible = true;
-      f.handle = eligible_.push(x.finish, id);
+      f.handle = eligible_.push(FxKey{x.finish, no}, id);
     } else {
       f.in_eligible = false;
-      f.handle = waiting_.push(x.start, id);
+      f.handle = waiting_.push(FxKey{x.start, no}, id);
     }
   }
 
   std::uint64_t link_rate_;
+  double inv_link_rate_;
   std::uint64_t vtime_ = 0;
+  // Real time at which the latest committed transmission completes (seconds,
+  // like the `now` the link passes in); bounds the current busy period.
+  double busy_until_ = 0.0;
   std::uint64_t epoch_ = 1;
+  std::uint64_t arrival_counter_ = 0;
+  std::vector<std::deque<std::uint64_t>> arrival_nos_;
   std::vector<Fx> fx_;
-  util::HandleHeap<std::uint64_t, net::FlowId> eligible_;
-  util::HandleHeap<std::uint64_t, net::FlowId> waiting_;
+  util::HandleHeap<FxKey, net::FlowId> eligible_;  // keyed by finish tag
+  util::HandleHeap<FxKey, net::FlowId> waiting_;   // keyed by start tag
 };
 
 }  // namespace hfq::core

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "audit/invariants.h"
 #include "net/flow.h"
 #include "net/packet.h"
 #include "net/scheduler.h"
@@ -77,6 +78,15 @@ class FlatSchedulerBase : public net::Scheduler {
     double deficit_bits = 0.0;
     bool visited_this_round = false;
   };
+
+  // Backlog conservation: the packet counter must equal the sum of the
+  // per-flow queue lengths at every quiescent point. O(flows); called from
+  // audit hooks only.
+  [[nodiscard]] std::size_t audit_queued_packets() const {
+    std::size_t n = 0;
+    for (const FlowState& f : flows_) n += f.queue.size();
+    return n;
+  }
 
   FlowState& flow(FlowId id) {
     HFQ_ASSERT_MSG(id < flows_.size() && flows_[id].registered,

@@ -3,9 +3,16 @@
 // Section 3.4 notes that maintaining per-packet virtual start/finish times
 // (Eqs. 6–7) "may not be acceptable for networks with small packet sizes"
 // and introduces the per-session form (Eqs. 28–29) used by core::Wf2qPlus.
-// This class implements the *original* per-packet formulation so tests can
-// verify the two produce identical schedules — evidence that the
-// simplification is behaviour-preserving, not an approximation.
+// This class implements the *original* per-packet formulation as a
+// differential reference. The two schedules coincide as long as V never
+// overtakes a backlogged session's newest finish tag (then
+// max(F_prev, V) == F_prev and the stamps agree); under sustained overload
+// V can pass an overdue session's tags — V is only bounded by the maximum
+// finish tag — and the formulations legitimately order later ties
+// differently. Both are valid WF²Q+ schedules: the differential fuzzer
+// (audit/fuzz.cc) checks their per-flow service stays within one maximum
+// packet, and tests/test_differential.cc pins exact equality on moderate
+// loads where the condition holds.
 #pragma once
 
 #include <deque>

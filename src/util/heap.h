@@ -124,11 +124,30 @@ class HandleHeap {
   // subtracting a common offset). Because the transform is monotone, the
   // heap shape stays valid and no re-heapify is needed. Used by long-running
   // schedulers to rebase virtual times before double precision degrades.
+  // A non-monotone transform silently corrupts the heap order, so debug and
+  // audit builds validate the heap property after the transform.
   template <typename Fn>
   void transform_keys(Fn&& fn) {
     for (const HeapHandle h : heap_) {
       nodes_[h].key = fn(nodes_[h].key);
     }
+#if defined(HFQ_AUDIT_ENABLED) || !defined(NDEBUG)
+    HFQ_ASSERT_MSG(validate(),
+                   "transform_keys transform was not order-preserving");
+#endif
+  }
+
+  // Full structural check: min-heap property (including the FIFO seq
+  // tie-break) and position back-pointer consistency. O(n); used by the
+  // audit subsystem and by transform_keys in debug builds.
+  [[nodiscard]] bool validate() const {
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+      if (less(heap_[i], heap_[(i - 1) / 2])) return false;
+    }
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      if (heap_[i] >= nodes_.size() || nodes_[heap_[i]].pos != i) return false;
+    }
+    return true;
   }
 
  private:

@@ -1,0 +1,157 @@
+// Differential scheduler fuzzer CLI.
+//
+// Generates randomized traces (see audit/fuzz.h for the shapes) and runs
+// every scheduler against the fluid references and against alternative
+// formulations of the same algorithm. On failure it minimizes the trace,
+// prints it together with the exact replay command, and exits non-zero.
+//
+//   fuzz_sched_diff --seeds 500          # run seeds 1..500
+//   fuzz_sched_diff --seconds 30         # run as many seeds as fit in 30 s
+//   fuzz_sched_diff --seed 1234567       # replay one seed verbatim
+//   fuzz_sched_diff --start-seed 1000 --seeds 500
+//
+// CI runs this under ASan/UBSan with the audit hooks compiled in, so a run
+// also shakes out memory errors and internal tag-discipline violations.
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "audit/fuzz.h"
+
+namespace {
+
+using hfq::audit::FuzzFailure;
+using hfq::audit::FuzzTrace;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds N] [--start-seed S] [--seed S] "
+               "[--seconds S] [--no-minimize]\n",
+               argv0);
+}
+
+// Strict non-negative integer parse: "-5" must not wrap to 2^64-5 and
+// silently fuzz forever.
+std::uint64_t parse_u64(const char* flag, const char* s) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (s[0] == '-' || end == s || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "%s: expected a non-negative integer, got '%s'\n",
+                 flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+double parse_seconds(const char* flag, const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || v < 0.0) {
+    std::fprintf(stderr, "%s: expected a non-negative number, got '%s'\n",
+                 flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+// Runs one seed; on failure prints a report (optionally minimized) and
+// returns false.
+bool run_seed(std::uint64_t seed, bool do_minimize, const char* argv0) {
+  const FuzzTrace trace = hfq::audit::generate_trace(seed);
+  std::vector<FuzzFailure> failures = hfq::audit::run_checks(trace);
+  if (failures.empty()) return true;
+
+  std::printf("FAIL seed %llu (%s, %zu arrivals):\n",
+              static_cast<unsigned long long>(seed),
+              hfq::audit::shape_name(trace.shape), trace.arrivals.size());
+  for (const FuzzFailure& f : failures) {
+    std::printf("  [%s] %s\n", f.check.c_str(), f.detail.c_str());
+  }
+
+  if (do_minimize) {
+    // Shrink to a minimal arrival subsequence that still trips the *first*
+    // reported check (later checks often disappear once the trace shrinks).
+    const std::string target = failures.front().check;
+    const FuzzTrace small =
+        hfq::audit::minimize(trace, [&target](const FuzzTrace& t) {
+          for (const FuzzFailure& f : hfq::audit::run_checks(t)) {
+            if (f.check == target) return true;
+          }
+          return false;
+        });
+    std::printf("minimized to %zu arrivals for [%s]:\n%s",
+                small.arrivals.size(), target.c_str(),
+                hfq::audit::format_trace(small).c_str());
+  }
+  std::printf("replay: %s --seed %llu\n", argv0,
+              static_cast<unsigned long long>(seed));
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 500;
+  std::uint64_t start_seed = 1;
+  double seconds = 0.0;    // 0 = no time budget, run exactly `seeds`
+  bool single = false;
+  std::uint64_t single_seed = 0;
+  bool do_minimize = true;
+
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--seeds") == 0) {
+      seeds = parse_u64("--seeds", value());
+    } else if (std::strcmp(argv[i], "--start-seed") == 0) {
+      start_seed = parse_u64("--start-seed", value());
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      single = true;
+      single_seed = parse_u64("--seed", value());
+    } else if (std::strcmp(argv[i], "--seconds") == 0) {
+      seconds = parse_seconds("--seconds", value());
+    } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
+      do_minimize = false;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (single) {
+    if (!run_seed(single_seed, do_minimize, argv[0])) return 1;
+    std::printf("seed %llu clean\n",
+                static_cast<unsigned long long>(single_seed));
+    return 0;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t ran = 0;
+  int failures = 0;
+  for (std::uint64_t s = start_seed; s < start_seed + seeds; ++s) {
+    if (seconds > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - t0;
+      if (elapsed.count() > seconds) break;
+    }
+    if (!run_seed(s, do_minimize, argv[0])) ++failures;
+    ++ran;
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  std::printf("%llu seeds, %d failing, %.1f s\n",
+              static_cast<unsigned long long>(ran), failures,
+              elapsed.count());
+  return failures == 0 ? 0 : 1;
+}
