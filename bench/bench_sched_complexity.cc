@@ -7,13 +7,27 @@
 // for the GPS clock — long idle-ish stretches followed by simultaneous
 // re-arrivals — is exercised by the *_Churn variants, where all N sessions
 // drain and refill, forcing O(N) fluid-departure processing per advance.
+//
+// Two entry points share the workload definitions:
+//   (default)    google-benchmark, auto-tuned iteration counts — output
+//                identical to the pre-runner version of this binary.
+//   --campaign   fixed-iteration cells on the experiment runner
+//                (src/runner/shard.h); `--jobs K` fans the (scheduler, N)
+//                grid across K threads and a summary table is printed.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/wf2qplus.h"
 #include "net/scheduler.h"
+#include "runner/shard.h"
 #include "sched/drr.h"
 #include "sched/scfq.h"
 #include "sched/sfq.h"
@@ -133,7 +147,181 @@ BENCHMARK(BM_Drr)->Arg(64)->Arg(512)->Arg(4096)->Arg(32768);
 BENCHMARK(BM_Wf2qPlus_Churn)->Arg(64)->Arg(512)->Arg(4096);
 BENCHMARK(BM_Wfq_Churn)->Arg(64)->Arg(512)->Arg(4096);
 
+// ---- --campaign mode: the same grid as fixed-iteration runner shards ----
+
+// Fixed-iteration timing loops mirroring steady_state()/churn() above;
+// returns the op count so the shard records both a deterministic counter
+// and a wall-clock ns/op gauge.
+template <typename Sched>
+std::uint64_t timed_steady(Sched& s, int n, std::uint64_t iters,
+                           double& ns_per_op) {
+  setup_flows(s, n);
+  const double pkt_time = 8.0 * kBytes / kLinkRate;
+  std::uint64_t id = 0;
+  double now = 0.0;
+  for (int f = 0; f < n; ++f) {
+    s.enqueue(pkt(static_cast<net::FlowId>(f), id++), now);
+    s.enqueue(pkt(static_cast<net::FlowId>(f), id++), now);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    now += pkt_time;
+    auto p = s.dequeue(now);
+    benchmark::DoNotOptimize(p);
+    s.enqueue(pkt(p->flow, id++), now);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  ns_per_op =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()) /
+      static_cast<double>(iters);
+  return iters;
+}
+
+template <typename Sched>
+std::uint64_t timed_churn(Sched& s, int n, std::uint64_t rounds,
+                          double& ns_per_op) {
+  setup_flows(s, n);
+  const double pkt_time = 8.0 * kBytes / kLinkRate;
+  std::uint64_t id = 0;
+  double now = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    for (int f = 0; f < n; ++f) {
+      s.enqueue(pkt(static_cast<net::FlowId>(f), id++), now);
+    }
+    for (int f = 0; f < n; ++f) {
+      now += pkt_time;
+      auto p = s.dequeue(now);
+      benchmark::DoNotOptimize(p);
+    }
+    now += n * pkt_time;  // idle gap: the fluid system fully drains
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t ops = rounds * static_cast<std::uint64_t>(n);
+  ns_per_op =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()) /
+      static_cast<double>(ops);
+  return ops;
+}
+
+struct ComplexityCell {
+  const char* name;
+  int sched_ix;  // 0..5 = WF2Q+ WFQ WF2Q SCFQ SFQ DRR
+  int n;
+  bool churn;
+};
+
+std::vector<ComplexityCell> complexity_cells() {
+  static const char* kNames[] = {"WF2Q+", "WFQ", "WF2Q", "SCFQ", "SFQ", "DRR"};
+  std::vector<ComplexityCell> cells;
+  for (int s = 0; s < 6; ++s) {
+    for (const int n : {64, 512, 4096, 32768}) {
+      cells.push_back({kNames[s], s, n, false});
+    }
+  }
+  for (const int s : {0, 1}) {  // churn: WF2Q+ and WFQ only, as above
+    for (const int n : {64, 512, 4096}) {
+      cells.push_back({kNames[s], s, n, true});
+    }
+  }
+  return cells;
+}
+
+std::uint64_t run_complexity_cell(const ComplexityCell& c, double& ns_per_op) {
+  constexpr std::uint64_t kOps = 1u << 15;
+  const std::uint64_t rounds =
+      std::max<std::uint64_t>(1, kOps / static_cast<std::uint64_t>(c.n));
+  switch (c.sched_ix) {
+    case 0: {
+      core::Wf2qPlus s(kLinkRate);
+      return c.churn ? timed_churn(s, c.n, rounds, ns_per_op)
+                     : timed_steady(s, c.n, kOps, ns_per_op);
+    }
+    case 1: {
+      sched::Wfq s(kLinkRate);
+      return c.churn ? timed_churn(s, c.n, rounds, ns_per_op)
+                     : timed_steady(s, c.n, kOps, ns_per_op);
+    }
+    case 2: {
+      sched::Wf2q s(kLinkRate);
+      return timed_steady(s, c.n, kOps, ns_per_op);
+    }
+    case 3: {
+      sched::Scfq s;
+      return timed_steady(s, c.n, kOps, ns_per_op);
+    }
+    case 4: {
+      sched::StartTimeFq s;
+      return timed_steady(s, c.n, kOps, ns_per_op);
+    }
+    default: {
+      sched::Drr s(kLinkRate, 8.0 * kBytes * static_cast<double>(c.n));
+      return timed_steady(s, c.n, kOps, ns_per_op);
+    }
+  }
+}
+
+int run_campaign_mode(unsigned jobs) {
+  const std::vector<ComplexityCell> cells = complexity_cells();
+  hfq::runner::ThreadPool pool(jobs);
+  std::vector<hfq::runner::ShardRun> shards = hfq::runner::run_shards(
+      /*campaign_seed=*/0, cells.size(), pool,
+      [&](hfq::runner::ShardRun& shard) {
+        double ns_per_op = 0.0;
+        shard.metrics.counter("ops") +=
+            run_complexity_cell(cells[shard.index], ns_per_op);
+        shard.metrics.gauge("timing/ns_per_op") = ns_per_op;
+      });
+
+  Table t({"scheduler", "pattern", "N", "ops", "ns/op"});
+  int failed = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ComplexityCell& c = cells[i];
+    hfq::runner::ShardRun& shard = shards[i];
+    if (!shard.ok()) {
+      std::cerr << "cell " << i << " (" << c.name << ") failed: "
+                << shard.error << '\n';
+      ++failed;
+      continue;
+    }
+    t.row({c.name, c.churn ? "churn" : "steady", std::to_string(c.n),
+           std::to_string(shard.metrics.counter("ops")),
+           fmt(shard.metrics.gauge("timing/ns_per_op"), 1)});
+  }
+  t.print();
+  return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace hfq::bench
 
-BENCHMARK_MAIN();
+// Custom main: `--campaign [--jobs N]` selects the runner-sharded mode; any
+// other invocation is handed to google-benchmark verbatim (identical to
+// BENCHMARK_MAIN()).
+int main(int argc, char** argv) {
+  bool campaign = false;
+  unsigned jobs = 1;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--campaign") == 0) {
+      campaign = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (campaign) return hfq::bench::run_campaign_mode(jobs);
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

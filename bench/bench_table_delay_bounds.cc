@@ -92,7 +92,7 @@ Result run_depth(int depth, std::uint64_t seed) {
   traffic::LeakyBucketShaper shaper(
       sim, [&link](net::Packet p) { return link.submit(p); }, sigma,
       su.r_session);
-  util::Rng rng(seed);
+  util::Rng rng = bench_rng(seed);
   std::uint64_t id = 0;
   double t = 0.0;
   for (int i = 0; i < 80; ++i) {
@@ -117,14 +117,9 @@ Result run_depth(int depth, std::uint64_t seed) {
     for (const CrossFlow& cf : su.cross) {
       const int count =
           static_cast<int>(horizon * cf.rate / kLmax) + 400;
-      for (int k = 0; k < count; ++k) {
-        net::Packet p;
-        p.flow = cf.flow;
-        p.size_bytes = kBytes;
-        p.id = (static_cast<std::uint64_t>(cf.flow) << 32) |
-               static_cast<std::uint64_t>(k);
-        link.submit(p);
-      }
+      preload_backlog([&link](net::Packet p) { link.submit(std::move(p)); },
+                      cf.flow, kBytes, count,
+                      static_cast<std::uint64_t>(cf.flow) << 32);
     }
   });
   sim.run();

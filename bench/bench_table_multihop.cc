@@ -60,7 +60,7 @@ Result run_hops(int hops, std::uint64_t seed) {
         return net.inject(std::move(p));
       },
       sigma, 1e6);
-  util::Rng rng(seed);
+  util::Rng rng = bench_rng(seed);
   double t = 0.0;
   std::uint64_t id = 0;
   for (int i = 0; i < 1500; ++i) {

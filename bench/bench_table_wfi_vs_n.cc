@@ -7,6 +7,14 @@
 // and sends a long back-to-back burst at t=0; N light sessions (share
 // 0.5/N each) are continuously backlogged. The measured quantity is the
 // B-WFI of session 0 (Definition 2), in units of maximum packets.
+//
+// The (N, scheduler) cells run as independent shards on the experiment
+// runner (src/runner/shard.h); `--jobs K` fans them across K threads. The
+// measurement is seedless and cell-local, so the table is identical for
+// every jobs count — and byte-identical to the pre-runner sequential
+// version of this binary.
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -14,6 +22,7 @@
 #include "bench_util.h"
 #include "core/wf2qplus.h"
 #include "net/scheduler.h"
+#include "runner/shard.h"
 #include "sched/drr.h"
 #include "sched/scfq.h"
 #include "sched/sfq.h"
@@ -44,23 +53,11 @@ double measure_bwfi_packets(Sched& s, int n_light) {
     }
   });
   sim.at(0.0, [&] {
-    std::uint64_t id = 0;
+    const auto submit = [&link](net::Packet p) { link.submit(std::move(p)); };
     wfi.backlog_start();
-    for (int k = 0; k < burst; ++k) {
-      net::Packet p;
-      p.flow = 0;
-      p.size_bytes = kBytes;
-      p.id = id++;
-      link.submit(p);
-    }
+    std::uint64_t id = preload_backlog(submit, 0, kBytes, burst, 0);
     for (int j = 1; j <= n_light; ++j) {
-      for (int k = 0; k < 6; ++k) {
-        net::Packet p;
-        p.flow = static_cast<net::FlowId>(j);
-        p.size_bytes = kBytes;
-        p.id = id++;
-        link.submit(p);
-      }
+      id = preload_backlog(submit, static_cast<net::FlowId>(j), kBytes, 6, id);
     }
   });
   sim.run();
@@ -77,30 +74,68 @@ double run_one(Make make, int n_light) {
   return measure_bwfi_packets(*s, n_light);
 }
 
-int run() {
+constexpr int kSchedCount = 6;  // WFQ SCFQ SFQ DRR WF2Q WF2Q+
+
+double run_cell(int sched_ix, int n) {
+  switch (sched_ix) {
+    case 0:
+      return run_one([] { return std::make_unique<sched::Wfq>(kLinkRate); },
+                     n);
+    case 1:
+      return run_one([] { return std::make_unique<sched::Scfq>(); }, n);
+    case 2:
+      return run_one([] { return std::make_unique<sched::StartTimeFq>(); }, n);
+    case 3:
+      return run_one(
+          [] { return std::make_unique<sched::Drr>(kLinkRate, 8 * kPktBits); },
+          n);
+    case 4:
+      return run_one([] { return std::make_unique<sched::Wf2q>(kLinkRate); },
+                     n);
+    default:
+      return run_one(
+          [] { return std::make_unique<core::Wf2qPlus>(kLinkRate); }, n);
+  }
+}
+
+int run(unsigned jobs) {
   std::cout << "== Table: measured B-WFI of the heavy session vs. number of "
                "sessions (in max packets) ==\n";
   const std::vector<int> ns = {4, 8, 16, 32, 64};
+
+  // One shard per (N, scheduler) cell, row-major. The B-WFI measurement is
+  // deterministic (no traffic randomness), so the shard seed is unused.
+  const std::size_t cells = ns.size() * kSchedCount;
+  hfq::runner::ThreadPool pool(jobs);
+  std::vector<hfq::runner::ShardRun> shards = hfq::runner::run_shards(
+      /*campaign_seed=*/0, cells, pool, [&](hfq::runner::ShardRun& shard) {
+        const int n = ns[shard.index / kSchedCount];
+        const int sched_ix = static_cast<int>(shard.index % kSchedCount);
+        shard.metrics.gauge("bwfi_packets") = run_cell(sched_ix, n);
+      });
+  for (const hfq::runner::ShardRun& shard : shards) {
+    if (!shard.ok()) {
+      std::cerr << "cell " << shard.index << " failed: " << shard.error
+                << '\n';
+      return 1;
+    }
+  }
+  auto cell = [&](std::size_t ni, int sched_ix) {
+    return shards[ni * kSchedCount + static_cast<std::size_t>(sched_ix)]
+        .metrics.gauge("bwfi_packets");
+  };
+
   Table t({"N (light sessions)", "WFQ", "SCFQ", "SFQ", "DRR", "WF2Q",
            "WF2Q+", "WF2Q+ bound (Thm 4)"});
   std::vector<double> wfq_series, wf2qp_series;
-  for (const int n : ns) {
-    const double wfq = run_one(
-        [] { return std::make_unique<sched::Wfq>(kLinkRate); }, n);
-    const double scfq = run_one(
-        [] { return std::make_unique<sched::Scfq>(); }, n);
-    const double sfq = run_one(
-        [] { return std::make_unique<sched::StartTimeFq>(); }, n);
-    const double drr = run_one(
-        [] { return std::make_unique<sched::Drr>(kLinkRate, 8 * kPktBits); },
-        n);
-    const double wf2q = run_one(
-        [] { return std::make_unique<sched::Wf2q>(kLinkRate); }, n);
-    const double wf2qp = run_one(
-        [] { return std::make_unique<core::Wf2qPlus>(kLinkRate); }, n);
+  for (std::size_t ni = 0; ni < ns.size(); ++ni) {
+    const int n = ns[ni];
+    const double wfq = cell(ni, 0);
+    const double wf2qp = cell(ni, 5);
     // Theorem 4: alpha = L_i,max + (L_max − L_i,max) r_i/r = 1 packet here.
-    t.row({std::to_string(n), fmt(wfq, 2), fmt(scfq, 2), fmt(sfq, 2),
-           fmt(drr, 2), fmt(wf2q, 2), fmt(wf2qp, 2), "1.00"});
+    t.row({std::to_string(n), fmt(wfq, 2), fmt(cell(ni, 1), 2),
+           fmt(cell(ni, 2), 2), fmt(cell(ni, 3), 2), fmt(cell(ni, 4), 2),
+           fmt(wf2qp, 2), "1.00"});
     wfq_series.push_back(wfq);
     wf2qp_series.push_back(wf2qp);
   }
@@ -121,4 +156,15 @@ int run() {
 }  // namespace
 }  // namespace hfq::bench
 
-int main() { return hfq::bench::run(); }
+int main(int argc, char** argv) {
+  unsigned jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--jobs N]\n";
+      return 2;
+    }
+  }
+  return hfq::bench::run(jobs);
+}

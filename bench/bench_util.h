@@ -1,6 +1,6 @@
-// Output helpers shared by the figure/table reproduction binaries: aligned
-// console tables (the "rows the paper reports") and CSV series dumps for
-// replotting.
+// Helpers shared by the figure/table reproduction binaries: aligned console
+// tables (the "rows the paper reports"), CSV series dumps for replotting,
+// and the seeding/preload/drain boilerplate every experiment repeats.
 #pragma once
 
 #include <cstdio>
@@ -8,9 +8,49 @@
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "net/packet.h"
+#include "runner/splitmix.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
 namespace hfq::bench {
+
+// Canonical bench RNG seeding. Stream 0 is the bench's own seed verbatim —
+// the historical `util::Rng rng(seed)` — so existing outputs stay
+// byte-identical; stream k > 0 derives an independent stream with the
+// runner's SplitMix64 scheme (same contract as campaign shard seeds).
+inline util::Rng bench_rng(std::uint64_t seed, std::uint64_t stream = 0) {
+  return util::Rng(stream == 0 ? seed
+                               : hfq::runner::derive_shard_seed(seed, stream));
+}
+
+// Submits `count` back-to-back packets of `size_bytes` for `flow` through
+// `submit` (the usual way to make a session backlogged at t=0). Ids are
+// first_id, first_id+1, ...; returns the next unused id so callers can
+// chain preloads without id collisions.
+template <typename Submit>
+inline std::uint64_t preload_backlog(Submit&& submit, net::FlowId flow,
+                                     std::uint32_t size_bytes, int count,
+                                     std::uint64_t first_id) {
+  for (int k = 0; k < count; ++k) {
+    net::Packet p;
+    p.flow = flow;
+    p.size_bytes = size_bytes;
+    p.id = first_id++;
+    submit(std::move(p));
+  }
+  return first_id;
+}
+
+// Runs the simulation `margin_s` past the nominal source stop time, so
+// queued backlog drains before measurements are read.
+inline void run_and_drain(sim::Simulator& sim, double duration_s,
+                          double margin_s) {
+  sim.run_until(duration_s + margin_s);
+}
 
 // Minimal fixed-width table printer.
 class Table {

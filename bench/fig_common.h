@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/hierarchy.h"
 #include "core/hpfq.h"
 #include "sim/link.h"
@@ -101,7 +102,7 @@ Fig3Result run_fig3(const Fig3Scenario& sc) {
     return link.submit(std::move(p));
   };
 
-  util::Rng rng(sc.seed);
+  util::Rng rng = bench_rng(sc.seed);
 
   // RT-1: deterministic on/off, 25 ms on / 75 ms off from t=200 ms; peak
   // rate equal to the guaranteed 9 Mbps. The guarantee can then drain the
@@ -163,7 +164,7 @@ Fig3Result run_fig3(const Fig3Scenario& sc) {
     }
   }
 
-  sim.run_until(sc.duration_s + 2.0);  // drain
+  run_and_drain(sim, sc.duration_s, 2.0);
   return out;
 }
 

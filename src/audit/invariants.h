@@ -45,16 +45,21 @@ struct Violation {
   int line = 0;
 };
 
-// Handler invoked on every reported violation. Process-wide.
+// Handler invoked on every reported violation. Thread-local: schedulers are
+// single-threaded objects, so a violation is always reported on the thread
+// driving that scheduler. Keeping the slot per-thread lets sharded runs
+// (fuzz_sched_diff --jobs N, the campaign runner) each install their own
+// collecting handler without a process-wide race; single-threaded callers
+// see the old process-wide behaviour unchanged.
 using Handler = std::function<void(const Violation&)>;
 
 namespace detail {
 inline Handler& handler_slot() {
-  static Handler h;  // empty = default (abort)
+  thread_local Handler h;  // empty = default (abort)
   return h;
 }
 inline std::uint64_t& violation_counter() {
-  static std::uint64_t n = 0;
+  thread_local std::uint64_t n = 0;
   return n;
 }
 }  // namespace detail

@@ -1,0 +1,83 @@
+#include "runner/campaign.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "runner/simulate.h"
+#include "runner/thread_pool.h"
+
+namespace hfq::runner {
+
+CampaignResult run_campaign(const CampaignSpec& spec, unsigned jobs,
+                            std::size_t only_shard) {
+  CampaignResult result;
+  result.spec = spec;
+  result.jobs = jobs == 0 ? ThreadPool::default_jobs() : jobs;
+
+  std::vector<Scenario> grid = spec.expand();
+  if (only_shard != SIZE_MAX) {
+    if (only_shard >= grid.size()) {
+      throw std::runtime_error("campaign: shard index out of range (grid has " +
+                               std::to_string(grid.size()) + " shards)");
+    }
+    grid = {grid[only_shard]};
+  }
+
+  result.shards.resize(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    result.shards[i].scenario = std::move(grid[i]);
+  }
+
+  ThreadPool pool(result.jobs);
+  pool.parallel_for(result.shards.size(), [&](std::size_t i) {
+    CampaignShard& shard = result.shards[i];
+    try {
+      run_scenario(shard.scenario, shard.metrics);
+    } catch (const std::exception& e) {
+      shard.error = e.what();
+    } catch (...) {
+      shard.error = "unknown exception";
+    }
+  });
+
+  // Aggregate strictly in shard-index order after the join, so the merged
+  // registry is independent of the worker interleaving.
+  for (const CampaignShard& shard : result.shards) {
+    if (shard.ok()) result.aggregate.merge(shard.metrics);
+  }
+  return result;
+}
+
+bool campaigns_deterministically_equal(const CampaignResult& a,
+                                       const CampaignResult& b,
+                                       std::string* why) {
+  if (a.shards.size() != b.shards.size()) {
+    if (why) {
+      std::ostringstream os;
+      os << "shard count " << a.shards.size() << " vs " << b.shards.size();
+      *why = os.str();
+    }
+    return false;
+  }
+  for (std::size_t i = 0; i < a.shards.size(); ++i) {
+    const CampaignShard& sa = a.shards[i];
+    const CampaignShard& sb = b.shards[i];
+    if (sa.error != sb.error) {
+      if (why) *why = "shard " + std::to_string(i) + " error state differs";
+      return false;
+    }
+    std::string detail;
+    if (!sa.metrics.deterministic_equals(sb.metrics, &detail)) {
+      if (why) *why = "shard " + std::to_string(i) + ": " + detail;
+      return false;
+    }
+  }
+  std::string detail;
+  if (!a.aggregate.deterministic_equals(b.aggregate, &detail)) {
+    if (why) *why = "aggregate: " + detail;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hfq::runner

@@ -1,0 +1,55 @@
+// Campaign driver: expands a CampaignSpec into its shard grid, fans the
+// shards out over a worker pool, and merges per-shard metrics into a
+// campaign aggregate after the join.
+//
+// Determinism contract (checked by `hfq_sweep --verify` and the CI smoke
+// job): every per-shard deterministic metric, and the aggregate produced by
+// merging in shard-index order, is bit-identical for any --jobs value —
+// parallelism only changes wall-clock ("timing/") metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/metrics.h"
+#include "runner/scenario.h"
+#include "runner/shard.h"
+
+namespace hfq::runner {
+
+struct CampaignShard {
+  Scenario scenario;
+  MetricsRegistry metrics;
+  std::string error;  // empty = ok
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  unsigned jobs = 1;
+  std::vector<CampaignShard> shards;
+  MetricsRegistry aggregate;  // merge of all ok shards, in index order
+
+  [[nodiscard]] bool ok() const {
+    for (const CampaignShard& s : shards) {
+      if (!s.ok()) return false;
+    }
+    return !shards.empty();
+  }
+};
+
+// Runs the whole grid. `only_shard` restricts execution to one shard index
+// (standalone replay; pass SIZE_MAX for all).
+[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
+                                          unsigned jobs,
+                                          std::size_t only_shard = SIZE_MAX);
+
+// Bit-exact comparison of two runs of the same campaign (per-shard
+// deterministic metrics and shard count). On mismatch fills `why`.
+[[nodiscard]] bool campaigns_deterministically_equal(const CampaignResult& a,
+                                                     const CampaignResult& b,
+                                                     std::string* why);
+
+}  // namespace hfq::runner

@@ -1,0 +1,151 @@
+#include "runner/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace hfq::runner {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Minimal JSON string escaping (quotes, backslashes, control chars). Metric
+// and scenario names are ASCII identifiers in practice, but error strings
+// can carry arbitrary exception text.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_metric_objects(std::ostream& os, const MetricsRegistry& m,
+                          const std::string& indent) {
+  const auto flat = m.flatten(/*deterministic_only=*/false);
+  os << indent << "\"metrics\": {";
+  bool first = true;
+  for (const auto& [name, value] : flat) {
+    if (MetricsRegistry::is_timing(name)) continue;
+    os << (first ? "\n" : ",\n") << indent << "  \"" << json_escape(name)
+       << "\": " << fmt_double(value);
+    first = false;
+  }
+  os << (first ? "" : "\n" + indent) << "},\n";
+  os << indent << "\"timing\": {";
+  first = true;
+  for (const auto& [name, value] : flat) {
+    if (!MetricsRegistry::is_timing(name)) continue;
+    os << (first ? "\n" : ",\n") << indent << "  \"" << json_escape(name)
+       << "\": " << fmt_double(value);
+    first = false;
+  }
+  os << (first ? "" : "\n" + indent) << "}";
+}
+
+void write_scenario_fields(std::ostream& os, const Scenario& sc,
+                           const std::string& indent) {
+  os << indent << "\"index\": " << sc.index << ",\n"
+     << indent << "\"seed\": " << sc.seed << ",\n"
+     << indent << "\"scheduler\": \"" << json_escape(sc.scheduler) << "\",\n"
+     << indent << "\"tree\": \"" << json_escape(sc.tree_name) << "\",\n"
+     << indent << "\"load\": " << fmt_double(sc.load) << ",\n"
+     << indent << "\"traffic\": \"" << json_escape(sc.traffic) << "\",\n"
+     << indent << "\"repeat\": " << sc.repeat << ",\n"
+     << indent << "\"duration_s\": " << fmt_double(sc.duration_s) << ",\n"
+     << indent << "\"packet_bytes\": " << sc.packet_bytes << ",\n";
+}
+
+}  // namespace
+
+void write_campaign_json(std::ostream& os, const CampaignResult& result) {
+  os << "{\n";
+  os << "  \"schema\": \"hfq-campaign-v1\",\n";
+  os << "  \"campaign\": \"" << json_escape(result.spec.name) << "\",\n";
+  os << "  \"campaign_seed\": " << result.spec.seed << ",\n";
+  os << "  \"jobs\": " << result.jobs << ",\n";
+  os << "  \"ok\": " << (result.ok() ? "true" : "false") << ",\n";
+  os << "  \"shards\": [\n";
+  for (std::size_t i = 0; i < result.shards.size(); ++i) {
+    const CampaignShard& shard = result.shards[i];
+    os << "    {\n";
+    write_scenario_fields(os, shard.scenario, "      ");
+    os << "      \"error\": \"" << json_escape(shard.error) << "\",\n";
+    write_metric_objects(os, shard.metrics, "      ");
+    os << "\n    }" << (i + 1 < result.shards.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"aggregate\": {\n";
+  write_metric_objects(os, result.aggregate, "    ");
+  os << "\n  }\n";
+  os << "}\n";
+}
+
+void write_campaign_csv(std::ostream& os, const CampaignResult& result) {
+  os << "index,scheduler,tree,load,traffic,repeat,seed,metric,value\n";
+  for (const CampaignShard& shard : result.shards) {
+    const Scenario& sc = shard.scenario;
+    for (const auto& [name, value] : shard.metrics.flatten(false)) {
+      os << sc.index << ',' << sc.scheduler << ',' << sc.tree_name << ','
+         << fmt_double(sc.load) << ',' << sc.traffic << ',' << sc.repeat << ','
+         << sc.seed << ',' << name << ',' << fmt_double(value) << '\n';
+    }
+  }
+}
+
+namespace {
+
+template <typename Writer>
+void write_file(const std::string& path, const CampaignResult& result,
+                Writer writer) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("export: cannot open " + path);
+  writer(f, result);
+  if (!f) throw std::runtime_error("export: write failed for " + path);
+}
+
+}  // namespace
+
+void write_campaign_json_file(const std::string& path,
+                              const CampaignResult& result) {
+  write_file(path, result, write_campaign_json);
+}
+
+void write_campaign_csv_file(const std::string& path,
+                             const CampaignResult& result) {
+  write_file(path, result, write_campaign_csv);
+}
+
+}  // namespace hfq::runner

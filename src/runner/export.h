@@ -1,0 +1,31 @@
+// Campaign result exporters.
+//
+// JSON ("hfq-campaign-v1"): one self-describing perf record per campaign —
+// the spec, per-shard scenario + metrics, and the index-order aggregate.
+// Deterministic metrics and wall-clock "timing/" metrics are kept in
+// separate objects so tooling can diff the former bit-exactly and treat the
+// latter as advisory. Doubles are printed with %.17g (round-trip exact).
+//
+// CSV: long format, one row per (shard, metric) —
+//   index,scheduler,tree,load,traffic,repeat,seed,metric,value
+// which loads directly into pandas/gnuplot without per-campaign schemas.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "runner/campaign.h"
+
+namespace hfq::runner {
+
+void write_campaign_json(std::ostream& os, const CampaignResult& result);
+void write_campaign_csv(std::ostream& os, const CampaignResult& result);
+
+// Convenience wrappers; throw std::runtime_error when the file cannot be
+// opened.
+void write_campaign_json_file(const std::string& path,
+                              const CampaignResult& result);
+void write_campaign_csv_file(const std::string& path,
+                             const CampaignResult& result);
+
+}  // namespace hfq::runner

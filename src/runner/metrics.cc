@@ -1,0 +1,132 @@
+#include "runner/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.h"
+
+namespace hfq::runner {
+
+std::uint64_t& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+double& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+stats::RunningMoments& MetricsRegistry::moments(const std::string& name) {
+  return moments_[name];
+}
+
+stats::P2Quantile& MetricsRegistry::quantile(const std::string& name,
+                                             double q) {
+  auto it = quantiles_.find(name);
+  if (it == quantiles_.end()) {
+    it = quantiles_.emplace(name, Quantile{q, stats::P2Quantile(q)}).first;
+  }
+  HFQ_ASSERT_MSG(it->second.q == q, "quantile re-registered with different q");
+  return it->second.est;
+}
+
+stats::Histogram& MetricsRegistry::histogram(const std::string& name,
+                                             double bin_width,
+                                             std::size_t bin_count) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, Hist{bin_width, bin_count,
+                                 stats::Histogram(bin_width, bin_count)})
+             .first;
+  }
+  HFQ_ASSERT_MSG(
+      it->second.bin_width == bin_width && it->second.bin_count == bin_count,
+      "histogram re-registered with a different layout");
+  return it->second.h;
+}
+
+bool MetricsRegistry::is_timing(const std::string& name) {
+  return name.rfind("timing/", 0) == 0;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, v] : other.gauges_) gauges_[name] += v;
+  for (const auto& [name, m] : other.moments_) moments_[name].merge(m);
+  for (const auto& [name, qm] : other.quantiles_) {
+    quantile(name, qm.q).merge(qm.est);
+  }
+  for (const auto& [name, hm] : other.histograms_) {
+    histogram(name, hm.bin_width, hm.bin_count).merge(hm.h);
+  }
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::flatten(
+    bool deterministic_only) const {
+  std::vector<std::pair<std::string, double>> out;
+  auto keep = [deterministic_only](const std::string& name) {
+    return !(deterministic_only && is_timing(name));
+  };
+  for (const auto& [name, v] : counters_) {
+    if (keep(name)) out.emplace_back(name, static_cast<double>(v));
+  }
+  for (const auto& [name, v] : gauges_) {
+    if (keep(name)) out.emplace_back(name, v);
+  }
+  for (const auto& [name, m] : moments_) {
+    if (!keep(name)) continue;
+    out.emplace_back(name + "/count", static_cast<double>(m.count()));
+    out.emplace_back(name + "/mean", m.mean());
+    out.emplace_back(name + "/min", m.min());
+    out.emplace_back(name + "/max", m.max());
+    out.emplace_back(name + "/stddev", m.stddev());
+  }
+  for (const auto& [name, qm] : quantiles_) {
+    if (!keep(name)) continue;
+    out.emplace_back(name + "/count", static_cast<double>(qm.est.count()));
+    out.emplace_back(name + "/value", qm.est.value());
+  }
+  for (const auto& [name, hm] : histograms_) {
+    if (!keep(name)) continue;
+    for (std::size_t i = 0; i < hm.h.bin_count(); ++i) {
+      if (hm.h.bin(i) != 0) {
+        char key[32];
+        std::snprintf(key, sizeof(key), "/bin%zu", i);
+        out.emplace_back(name + key, static_cast<double>(hm.h.bin(i)));
+      }
+    }
+    out.emplace_back(name + "/overflow", static_cast<double>(hm.h.overflow()));
+    out.emplace_back(name + "/total", static_cast<double>(hm.h.total()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool MetricsRegistry::deterministic_equals(const MetricsRegistry& other,
+                                           std::string* why) const {
+  const auto a = flatten(true);
+  const auto b = other.flatten(true);
+  if (a.size() != b.size()) {
+    if (why != nullptr) *why = "metric sets differ in size";
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].first != b[i].first) {
+      if (why != nullptr) *why = "metric name mismatch: " + a[i].first +
+                                 " vs " + b[i].first;
+      return false;
+    }
+    if (a[i].second != b[i].second) {
+      if (why != nullptr) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), ": %.17g vs %.17g", a[i].second,
+                      b[i].second);
+        *why = a[i].first + buf;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hfq::runner

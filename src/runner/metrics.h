@@ -1,0 +1,89 @@
+// MetricsRegistry — named counters, gauges, and streaming statistics that a
+// simulation shard populates while it runs.
+//
+// Concurrency model: a registry is single-owner. Every worker thread owns
+// the registry of the shard it is executing (no shared mutable state, no
+// locks on the hot path); the campaign driver merges the per-shard
+// registries after the pool joins, in shard-index order, so the aggregate
+// is identical for any --jobs value. Merge semantics per metric kind:
+//   counter    sum (exact)
+//   gauge      last-write on the owner; merge takes the sum (callers that
+//              want per-shard gauges read them from the shard registry)
+//   moments    stats::RunningMoments::merge (Chan) — exact count/min/max,
+//              mean/variance to FP rounding
+//   histogram  stats::Histogram::merge — exact, same bin layout required
+//   quantile   stats::P2Quantile::merge — approximate, documented bound
+//
+// Names are free-form strings; the "timing/" prefix is reserved for
+// wall-clock measurements (throughput, ns per event), which are excluded
+// from determinism comparisons and flagged in exports — everything else
+// must be a pure function of (scenario, seed).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "stats/quantile.h"
+
+namespace hfq::runner {
+
+class MetricsRegistry {
+ public:
+  // Accessors create the metric on first use; later calls must agree on the
+  // configuration (quantile q, histogram layout).
+  std::uint64_t& counter(const std::string& name);
+  double& gauge(const std::string& name);
+  stats::RunningMoments& moments(const std::string& name);
+  stats::P2Quantile& quantile(const std::string& name, double q);
+  stats::Histogram& histogram(const std::string& name, double bin_width,
+                              std::size_t bin_count);
+
+  // True when the "timing/" convention marks `name` as wall-clock-derived
+  // (excluded from determinism comparisons).
+  [[nodiscard]] static bool is_timing(const std::string& name);
+
+  // Folds `other` into this registry (union of names; see the per-kind
+  // semantics above). Metrics present in both must have matching
+  // configurations.
+  void merge(const MetricsRegistry& other);
+
+  // Flattens every metric to (name, value) scalars in lexicographic order:
+  //   counter c          -> "c"
+  //   gauge g            -> "g"
+  //   moments m          -> "m/count", "m/mean", "m/min", "m/max", "m/stddev"
+  //   quantile p         -> "p/count", "p/value"
+  //   histogram h        -> "h/bin<i>" (non-empty bins), "h/overflow",
+  //                         "h/total"
+  // With `deterministic_only`, "timing/" metrics are dropped — the rest is
+  // the shard's determinism fingerprint (compared bit-exactly).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> flatten(
+      bool deterministic_only) const;
+
+  // Bit-exact equality of the deterministic flattening; on mismatch `why`
+  // (if non-null) names the first diverging entry.
+  [[nodiscard]] bool deterministic_equals(const MetricsRegistry& other,
+                                          std::string* why = nullptr) const;
+
+ private:
+  struct Quantile {
+    double q = 0.0;
+    stats::P2Quantile est{0.5};
+  };
+  struct Hist {
+    double bin_width = 0.0;
+    std::size_t bin_count = 0;
+    stats::Histogram h{1.0, 1};
+  };
+
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, stats::RunningMoments> moments_;
+  std::map<std::string, Quantile> quantiles_;
+  std::map<std::string, Hist> histograms_;
+};
+
+}  // namespace hfq::runner

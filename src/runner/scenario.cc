@@ -1,0 +1,270 @@
+#include "runner/scenario.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "runner/splitmix.h"
+
+namespace hfq::runner {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& line) {
+  throw std::runtime_error("campaign: " + what + " in line '" + line + "'");
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream ls(line);
+  std::vector<std::string> toks;
+  std::string t;
+  while (ls >> t) toks.push_back(t);
+  return toks;
+}
+
+// Parses "key=value" off a token; returns false if the key does not match.
+bool attr(const std::string& tok, const std::string& key, std::string& out) {
+  if (tok.rfind(key + "=", 0) != 0) return false;
+  out = tok.substr(key.size() + 1);
+  return true;
+}
+
+double parse_rate(const std::string& tok, const std::string& line) {
+  std::size_t idx = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(tok, &idx);
+  } catch (const std::exception&) {
+    fail("bad rate '" + tok + "'", line);
+  }
+  double mult = 1.0;
+  if (idx + 1 == tok.size()) {
+    switch (tok[idx]) {
+      case 'k':
+      case 'K':
+        mult = 1e3;
+        break;
+      case 'M':
+        mult = 1e6;
+        break;
+      case 'G':
+        mult = 1e9;
+        break;
+      default:
+        fail("bad rate suffix '" + tok + "'", line);
+    }
+  } else if (idx != tok.size()) {
+    fail("bad rate '" + tok + "'", line);
+  }
+  if (v <= 0.0) fail("rate must be positive", line);
+  return v * mult;
+}
+
+void synth_subtree(std::ostringstream& os, int fanout, int levels_left,
+                   double rate, const std::string& prefix, int indent,
+                   int& next_flow) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  char rate_buf[32];
+  std::snprintf(rate_buf, sizeof(rate_buf), "%.17g",
+                rate / static_cast<double>(fanout));
+  for (int c = 0; c < fanout; ++c) {
+    const std::string name = prefix + std::to_string(c);
+    if (levels_left == 1) {
+      os << pad << "s" << name << ' ' << rate_buf << " flow=" << next_flow++
+         << '\n';
+    } else {
+      os << pad << "c" << name << ' ' << rate_buf << " {\n";
+      synth_subtree(os, fanout, levels_left - 1,
+                    rate / static_cast<double>(fanout), name + "_",
+                    indent + 1, next_flow);
+      os << pad << "}\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string Scenario::label() const {
+  std::ostringstream os;
+  os << "sched=" << scheduler << " tree=" << tree_name << " load=" << load
+     << " traffic=" << traffic << " rep=" << repeat;
+  return os.str();
+}
+
+std::vector<Scenario> CampaignSpec::expand() const {
+  if (schedulers.empty()) throw std::runtime_error("campaign: no schedulers");
+  if (trees.empty()) throw std::runtime_error("campaign: no trees");
+  if (repeats < 1) throw std::runtime_error("campaign: repeats < 1");
+  if (duration_s <= 0.0) throw std::runtime_error("campaign: duration <= 0");
+  const std::vector<double> load_axis = loads.empty() ? std::vector<double>{1.0}
+                                                      : loads;
+  const std::vector<std::string> traffic_axis =
+      traffics.empty() ? std::vector<std::string>{"cbr"} : traffics;
+
+  std::vector<Scenario> out;
+  for (const std::string& sched : schedulers) {
+    for (const Tree& tree : trees) {
+      for (const double load : load_axis) {
+        for (const std::string& traffic : traffic_axis) {
+          for (int rep = 0; rep < repeats; ++rep) {
+            Scenario sc;
+            sc.campaign = name;
+            sc.tree_name = tree.name;
+            sc.tree_text = tree.text;
+            sc.scheduler = sched;
+            sc.traffic = traffic;
+            sc.load = load;
+            sc.duration_s = duration_s;
+            sc.packet_bytes = packet_bytes;
+            sc.repeat = rep;
+            sc.index = out.size();
+            sc.seed = derive_shard_seed(seed, sc.index);
+            out.push_back(std::move(sc));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+CampaignSpec parse_campaign(std::istream& in) {
+  CampaignSpec spec;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::vector<std::string> toks = tokenize(line);
+    if (toks.empty()) continue;
+    const std::string& key = toks[0];
+    auto need = [&](std::size_t n) {
+      if (toks.size() < 1 + n) fail("missing value(s)", line);
+    };
+    if (key == "campaign") {
+      need(1);
+      spec.name = toks[1];
+    } else if (key == "seed") {
+      need(1);
+      spec.seed = std::stoull(toks[1]);
+    } else if (key == "duration") {
+      need(1);
+      spec.duration_s = std::stod(toks[1]);
+    } else if (key == "packet-bytes") {
+      need(1);
+      spec.packet_bytes = static_cast<std::uint32_t>(std::stoul(toks[1]));
+    } else if (key == "repeats") {
+      need(1);
+      spec.repeats = std::stoi(toks[1]);
+    } else if (key == "schedulers") {
+      need(1);
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        const auto& known = known_schedulers();
+        if (std::find(known.begin(), known.end(), toks[i]) == known.end()) {
+          fail("unknown scheduler '" + toks[i] + "'", line);
+        }
+        spec.schedulers.push_back(toks[i]);
+      }
+    } else if (key == "loads") {
+      need(1);
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        const double v = std::stod(toks[i]);
+        if (v <= 0.0) fail("load must be positive", line);
+        spec.loads.push_back(v);
+      }
+    } else if (key == "traffic") {
+      need(1);
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        const auto& known = known_traffics();
+        if (std::find(known.begin(), known.end(), toks[i]) == known.end()) {
+          fail("unknown traffic kind '" + toks[i] + "'", line);
+        }
+        spec.traffics.push_back(toks[i]);
+      }
+    } else if (key == "tree") {
+      need(1);
+      CampaignSpec::Tree tree;
+      tree.name = toks[1];
+      const bool inline_tree = !toks.empty() && toks.back() == "{";
+      if (inline_tree) {
+        // Collect verbatim tree_parser text until the opening brace's match.
+        // The '{' that opened the block is not part of the tree text.
+        std::ostringstream body;
+        int depth = 1;
+        std::string tline;
+        while (depth > 0 && std::getline(in, tline)) {
+          std::string scan = tline;
+          const auto h = scan.find('#');
+          if (h != std::string::npos) scan.erase(h);
+          for (const char ch : scan) {
+            if (ch == '{') ++depth;
+            if (ch == '}') --depth;
+          }
+          if (depth == 0) {
+            // Drop the final closing brace (everything before it is body).
+            const auto close = scan.rfind('}');
+            body << scan.substr(0, close) << '\n';
+          } else {
+            body << tline << '\n';
+          }
+        }
+        if (depth != 0) fail("unterminated tree block", line);
+        tree.text = body.str();
+      } else {
+        int fanout = 0, depth = 0;
+        double link_bps = 8e6;
+        for (std::size_t i = 2; i < toks.size(); ++i) {
+          std::string v;
+          if (attr(toks[i], "fanout", v)) {
+            fanout = std::stoi(v);
+          } else if (attr(toks[i], "depth", v)) {
+            depth = std::stoi(v);
+          } else if (attr(toks[i], "link", v)) {
+            link_bps = parse_rate(v, line);
+          } else {
+            fail("unknown tree attribute '" + toks[i] + "'", line);
+          }
+        }
+        if (fanout < 2 || depth < 1) {
+          fail("synthetic tree needs fanout>=2 depth>=1", line);
+        }
+        tree.text = synth_tree(fanout, depth, link_bps);
+      }
+      spec.trees.push_back(std::move(tree));
+    } else {
+      fail("unknown directive '" + key + "'", line);
+    }
+  }
+  return spec;
+}
+
+CampaignSpec parse_campaign_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("campaign: cannot open " + path);
+  return parse_campaign(f);
+}
+
+std::string synth_tree(int fanout, int depth, double link_bps) {
+  std::ostringstream os;
+  char rate_buf[32];
+  std::snprintf(rate_buf, sizeof(rate_buf), "%.17g", link_bps);
+  os << "link " << rate_buf << '\n';
+  int next_flow = 0;
+  synth_subtree(os, fanout, depth, link_bps, "", 0, next_flow);
+  return os.str();
+}
+
+const std::vector<std::string>& known_schedulers() {
+  static const std::vector<std::string> k = {
+      "hwf2q+", "hwfq", "hwf2q", "hscfq", "hsfq", "hdrr", "happrox-wfq"};
+  return k;
+}
+
+const std::vector<std::string>& known_traffics() {
+  static const std::vector<std::string> k = {"cbr", "poisson", "onoff",
+                                             "mixed"};
+  return k;
+}
+
+}  // namespace hfq::runner

@@ -1,0 +1,92 @@
+// Scenario and campaign specifications for the experiment runner.
+//
+// A Scenario is one fully-specified simulation: a link-sharing tree (in the
+// core/tree_parser text format), a scheduler variant, a traffic mix, a
+// duration, and a derived seed. A CampaignSpec is the parameter grid the
+// sweep CLI expands — schedulers × trees × loads × traffic kinds × repeats
+// — into a shard list, one Scenario per shard, in a fixed lexicographic
+// order so shard indices (and therefore derived seeds) are stable across
+// runs and thread counts.
+//
+// Campaign file format (whitespace-tokenized lines, '#' to EOL comments):
+//
+//   campaign <name>
+//   seed <u64>                  # campaign seed (default 1)
+//   duration <seconds>          # per-shard source run time (default 1.0)
+//   packet-bytes <n>            # packet size for all sources (default 1000)
+//   repeats <n>                 # seeds per grid point (default 1)
+//   schedulers <key>...         # hwf2q+ hwfq hwf2q hscfq hsfq hdrr happrox-wfq
+//   loads <x>...                # offered load / guaranteed rate (e.g. 0.9 1.5)
+//   traffic <kind>...           # cbr | poisson | onoff | mixed
+//   tree <name> fanout=<f> depth=<d> [link=<rate>]   # synthetic balanced tree
+//   tree <name> {               # inline core/tree_parser text
+//     link 8M
+//     ...
+//   }
+//
+// Synthetic trees split the link rate equally at every level; each leaf is
+// a session with flow id = leaf ordinal. `depth` counts class levels above
+// the sessions (depth=1: fanout sessions under the link; depth=2: fanout
+// classes × fanout sessions; ...).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hfq::runner {
+
+struct Scenario {
+  std::string campaign;
+  std::string tree_name;
+  std::string tree_text;  // core/tree_parser format
+  std::string scheduler;  // variant key, see known_schedulers()
+  std::string traffic;    // "cbr" | "poisson" | "onoff" | "mixed"
+  double load = 1.0;      // offered rate / guaranteed rate, per leaf
+  double duration_s = 1.0;
+  std::uint32_t packet_bytes = 1000;
+  int repeat = 0;         // repeat ordinal within the grid point
+  std::size_t index = 0;  // shard index in the expanded grid
+  std::uint64_t seed = 0; // derive_shard_seed(campaign seed, index)
+
+  // Stable one-line label for tables and JSON ("sched=... tree=... ...").
+  [[nodiscard]] std::string label() const;
+};
+
+struct CampaignSpec {
+  struct Tree {
+    std::string name;
+    std::string text;
+  };
+
+  std::string name = "campaign";
+  std::uint64_t seed = 1;
+  double duration_s = 1.0;
+  std::uint32_t packet_bytes = 1000;
+  int repeats = 1;
+  std::vector<std::string> schedulers;
+  std::vector<Tree> trees;
+  std::vector<double> loads;
+  std::vector<std::string> traffics;
+
+  // Expands the grid in fixed order: scheduler (outermost) × tree × load ×
+  // traffic × repeat (innermost). Shard seeds are derived from `seed` and
+  // the linear index. Throws std::runtime_error on an empty/invalid grid.
+  [[nodiscard]] std::vector<Scenario> expand() const;
+};
+
+// Parses the campaign file format above. Throws std::runtime_error with the
+// offending line on error.
+[[nodiscard]] CampaignSpec parse_campaign(std::istream& in);
+[[nodiscard]] CampaignSpec parse_campaign_file(const std::string& path);
+
+// Synthetic balanced tree in tree_parser text form (see header comment).
+[[nodiscard]] std::string synth_tree(int fanout, int depth, double link_bps);
+
+// Scheduler variant keys run_scenario() accepts.
+[[nodiscard]] const std::vector<std::string>& known_schedulers();
+// Traffic kinds run_scenario() accepts.
+[[nodiscard]] const std::vector<std::string>& known_traffics();
+
+}  // namespace hfq::runner

@@ -1,0 +1,58 @@
+// Generic sharded fan-out: the layer between the thread pool and the
+// scenario-level campaign driver.
+//
+// A shard is (index, derived seed, its own MetricsRegistry). run_shards()
+// executes `body` once per shard across the pool; exceptions become the
+// shard's error string instead of escaping a worker thread. Because a
+// shard's inputs are exactly (campaign_seed, index) and its outputs live in
+// its own slot, the result vector is identical for every jobs count — the
+// determinism contract `hfq_sweep --verify` checks end to end.
+//
+// Used by run_campaign() for scenario grids, by the ported benches
+// (bench_table_wfi_vs_n, bench_sched_complexity --campaign) for their cell
+// grids, and by fuzz_sched_diff --jobs for seed ranges.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/metrics.h"
+#include "runner/splitmix.h"
+#include "runner/thread_pool.h"
+
+namespace hfq::runner {
+
+struct ShardRun {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;  // derive_shard_seed(campaign_seed, index)
+  MetricsRegistry metrics;
+  std::string error;  // empty = ok
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+inline std::vector<ShardRun> run_shards(
+    std::uint64_t campaign_seed, std::size_t count, const ThreadPool& pool,
+    const std::function<void(ShardRun&)>& body) {
+  std::vector<ShardRun> shards(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards[i].index = i;
+    shards[i].seed = derive_shard_seed(campaign_seed, i);
+  }
+  pool.parallel_for(count, [&](std::size_t i) {
+    try {
+      body(shards[i]);
+    } catch (const std::exception& e) {
+      shards[i].error = e.what();
+    } catch (...) {
+      shards[i].error = "unknown exception";
+    }
+  });
+  return shards;
+}
+
+}  // namespace hfq::runner

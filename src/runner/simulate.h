@@ -1,0 +1,31 @@
+// Executes one Scenario: builds the tree and scheduler variant, attaches a
+// link and traffic sources, runs the discrete-event simulation to drain,
+// and populates the shard's MetricsRegistry.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/scheduler.h"
+#include "runner/metrics.h"
+#include "runner/scenario.h"
+
+namespace hfq::core {
+class Hierarchy;
+}
+
+namespace hfq::runner {
+
+// Instantiates the scheduler variant named by `key` ("hwf2q+", "hwfq", ...)
+// on the given tree. Throws std::runtime_error for an unknown key.
+[[nodiscard]] std::unique_ptr<net::Scheduler> build_scheduler(
+    const std::string& key, const core::Hierarchy& spec);
+
+// Runs the scenario and fills `metrics`. Deterministic metrics (packet
+// counts, delay statistics, per-leaf service) depend only on the scenario
+// fields including the seed; "timing/" metrics are wall-clock throughput
+// measurements. Throws std::runtime_error on configuration errors (bad
+// tree text, unknown scheduler/traffic kind).
+void run_scenario(const Scenario& sc, MetricsRegistry& metrics);
+
+}  // namespace hfq::runner

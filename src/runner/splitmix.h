@@ -1,0 +1,38 @@
+// SplitMix64 — the seed-derivation PRNG for campaign sharding.
+//
+// A campaign has ONE user-visible seed; every shard k derives its own RNG
+// stream as splitmix64(campaign_seed, k). SplitMix64 is a bijective mixing
+// of the 64-bit counter (Steele/Lea/Flood, "Fast splittable pseudorandom
+// number generators"), so distinct shard indices always map to distinct,
+// well-scrambled seeds even for campaign seeds like 0 and 1. The derived
+// value seeds the shard's util::Rng (mt19937_64).
+//
+// This derivation is the determinism contract of the whole runner: a shard's
+// stream depends only on (campaign_seed, shard_index) — never on thread
+// count, scheduling order, or which worker picks the shard up — so any
+// shard replays bit-identically standalone (`hfq_sweep --shard K --jobs 1`).
+#pragma once
+
+#include <cstdint>
+
+namespace hfq::runner {
+
+// One SplitMix64 step: advances `state` by the golden-gamma and returns the
+// mixed output.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Derived seed for shard `index` of a campaign: the (index+1)-th output of
+// the SplitMix64 sequence started at `campaign_seed`, computed directly
+// (the generator's state after k steps is seed + k*gamma).
+constexpr std::uint64_t derive_shard_seed(std::uint64_t campaign_seed,
+                                          std::uint64_t index) {
+  std::uint64_t state = campaign_seed + index * 0x9e3779b97f4a7c15ULL;
+  return splitmix64_next(state);
+}
+
+}  // namespace hfq::runner

@@ -1,0 +1,72 @@
+// Worker thread pool for experiment campaigns.
+//
+// The runner's unit of work is a *shard*: an independent, self-seeded
+// simulation. Shards never share mutable state (each owns its Simulator,
+// scheduler, and MetricsRegistry), so the pool needs no work-item locking
+// beyond one atomic shard cursor — workers claim the next index with
+// fetch_add and write results into their own pre-allocated slot. That is
+// the "lock-free per-worker accumulation, merge-on-join" discipline: all
+// cross-thread communication is the cursor and the join.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace hfq::runner {
+
+class ThreadPool {
+ public:
+  // `jobs` = number of worker threads; 0 picks the hardware concurrency.
+  explicit ThreadPool(unsigned jobs)
+      : jobs_(jobs != 0 ? jobs : default_jobs()) {}
+
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+
+  [[nodiscard]] static unsigned default_jobs() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+  }
+
+  // Runs body(i) for every i in [0, count), fanned out over the workers,
+  // and blocks until all complete. Result placement is the caller's job
+  // (write to slot i); the pool guarantees each index runs exactly once.
+  // `body` must not throw — shard errors are data, not control flow, so
+  // runners catch and record them inside the body (an escaped exception
+  // would tear down the process from a worker thread).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body) const {
+    if (count == 0) return;
+    if (jobs_ == 1) {
+      // Inline fast path: no threads, same index order as the cursor would
+      // produce. Keeps single-job runs trivially debuggable (gdb, perf).
+      for (std::size_t i = 0; i < count; ++i) body(i);
+      return;
+    }
+    std::atomic<std::size_t> cursor{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        body(i);
+      }
+    };
+    const std::size_t n_threads =
+        std::min<std::size_t>(jobs_, count);
+    std::vector<std::thread> threads;
+    threads.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace hfq::runner

@@ -29,6 +29,19 @@ class Histogram {
     ++total_;
   }
 
+  // Merges a histogram with the identical bin layout (same width and
+  // count). Exact: the merged bins equal what a single instance would hold
+  // after ingesting both sample streams — integer counts commute, so
+  // per-worker accumulation + merge-on-join loses nothing.
+  void merge(const Histogram& other) {
+    HFQ_ASSERT_MSG(other.bin_width_ == bin_width_ &&
+                       other.bins_.size() == bins_.size(),
+                   "histogram merge requires an identical bin layout");
+    for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+  }
+
   [[nodiscard]] std::uint64_t bin(std::size_t i) const {
     HFQ_ASSERT(i < bins_.size());
     return bins_[i];

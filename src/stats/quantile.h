@@ -93,7 +93,104 @@ class P2Quantile {
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
 
+  // Merges another estimator of the SAME quantile (per-worker shards of one
+  // sample stream, combined on join).
+  //
+  // P² keeps five markers, not samples, so the merge is approximate: each
+  // marker set is read as a piecewise-linear empirical CDF, the
+  // count-weighted mixture of the two CDFs is inverted at the five P²
+  // marker fractions {0, q/2, q, (1+q)/2, 1}, and the result re-seeds this
+  // estimator's markers. Documented error contract (tested in
+  // tests/test_stats.cc):
+  //   * count() is exact (sum of both counts);
+  //   * the merged estimate lies in [min(mins), max(maxes)];
+  //   * merging adds at most one piecewise-linear interpolation error on
+  //     top of the worse input estimate — for the continuous distributions
+  //     the campaign metrics measure, merged value() tracks
+  //     single-instance ingestion within a few percent of the sample range.
+  // Sides with fewer than five samples still hold raw samples and merge
+  // exactly (replayed through add()).
+  void merge(const P2Quantile& other) {
+    HFQ_ASSERT_MSG(other.q_ == q_, "quantile merge requires the same q");
+    if (other.count_ == 0) return;
+    if (other.count_ < 5) {  // other still holds raw samples: replay them
+      for (std::size_t i = 0; i < other.count_; ++i) add(other.initial_[i]);
+      return;
+    }
+    if (count_ < 5) {  // we hold raw samples: replay ours into a copy
+      P2Quantile merged = other;
+      for (std::size_t i = 0; i < count_; ++i) merged.add(initial_[i]);
+      *this = merged;
+      return;
+    }
+    const double wa = static_cast<double>(count_);
+    const double wb = static_cast<double>(other.count_);
+    // Invert the mixture CDF at the five desired marker fractions by
+    // sweeping the union of both marker heights (the mixture is piecewise
+    // linear with breakpoints exactly there).
+    std::array<double, 10> xs{};
+    for (int i = 0; i < 5; ++i) {
+      xs[static_cast<std::size_t>(i)] = height_[i];
+      xs[static_cast<std::size_t>(5 + i)] = other.height_[i];
+    }
+    std::sort(xs.begin(), xs.end());
+    const std::array<double, 5> frac = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0,
+                                        1.0};
+    std::array<double, 5> merged_h{};
+    for (int m = 0; m < 5; ++m) {
+      const double f = frac[static_cast<std::size_t>(m)];
+      // Find the breakpoint segment whose mixture CDF straddles f.
+      double lo_x = xs[0], lo_f = 0.0;
+      merged_h[static_cast<std::size_t>(m)] = xs[9];
+      for (const double x : xs) {
+        const double fx =
+            (wa * marker_cdf(x) + wb * other.marker_cdf(x)) / (wa + wb);
+        if (fx >= f) {
+          merged_h[static_cast<std::size_t>(m)] =
+              fx > lo_f ? lo_x + (x - lo_x) * (f - lo_f) / (fx - lo_f) : x;
+          break;
+        }
+        lo_x = x;
+        lo_f = fx;
+      }
+    }
+    std::sort(merged_h.begin(), merged_h.end());  // guard FP monotonicity
+    count_ += other.count_;
+    const double n = static_cast<double>(count_);
+    height_ = merged_h;
+    desired_[0] = 1.0;
+    desired_[1] = 1.0 + 2.0 * q_ * (n - 1.0) / 4.0;
+    desired_[2] = 1.0 + q_ * (n - 1.0);
+    desired_[3] = 1.0 + (1.0 + q_) * (n - 1.0) / 2.0;
+    desired_[4] = n;
+    pos_[0] = 1.0;
+    pos_[4] = n;
+    for (int i = 1; i <= 3; ++i) {
+      // Round the desired position, keeping positions strictly increasing
+      // so the marker-adjustment guards stay well-formed.
+      pos_[i] = std::max(pos_[i - 1] + 1.0, std::floor(desired_[i] + 0.5));
+    }
+    for (int i = 3; i >= 1; --i) {
+      if (pos_[i] >= pos_[i + 1]) pos_[i] = pos_[i + 1] - 1.0;
+    }
+  }
+
  private:
+  // Empirical CDF fraction at x implied by the markers: piecewise linear
+  // through (height_[i], (pos_[i]-1)/(count-1)).
+  [[nodiscard]] double marker_cdf(double x) const {
+    const double n1 = static_cast<double>(count_) - 1.0;
+    if (x <= height_[0]) return 0.0;
+    if (x >= height_[4]) return 1.0;
+    int i = 0;
+    while (i < 4 && x >= height_[i + 1]) ++i;
+    const double c0 = (pos_[i] - 1.0) / n1;
+    const double c1 = (pos_[i + 1] - 1.0) / n1;
+    const double span = height_[i + 1] - height_[i];
+    if (span <= 0.0) return c1;
+    return c0 + (c1 - c0) * (x - height_[i]) / span;
+  }
+
   [[nodiscard]] double parabolic_update(int i, int s) const {
     const double d = static_cast<double>(s);
     return height_[i] +
@@ -123,6 +220,27 @@ class RunningMoments {
     m2_ += delta * (x - mean_);
     min_ = n_ == 1 ? x : std::min(min_, x);
     max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  // Merges another instance (Chan et al.'s pairwise update — the classic
+  // parallel-variance formula). count/min/max are exact; mean and variance
+  // equal single-instance ingestion up to floating-point rounding (a few
+  // ULP per merge), which is the documented bound the merge-on-join metric
+  // path relies on.
+  void merge(const RunningMoments& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * na * nb / (na + nb);
+    mean_ += delta * nb / (na + nb);
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    n_ += o.n_;
   }
 
   [[nodiscard]] std::uint64_t count() const noexcept { return n_; }

@@ -1,0 +1,271 @@
+// Runner subsystem: seed derivation, grid expansion, metrics registry
+// semantics, thread-pool coverage, and the end-to-end determinism contract
+// (jobs-invariance and standalone shard replay).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/tree_parser.h"
+#include "runner/campaign.h"
+#include "runner/export.h"
+#include "runner/metrics.h"
+#include "runner/scenario.h"
+#include "runner/shard.h"
+#include "runner/splitmix.h"
+#include "runner/thread_pool.h"
+
+namespace hfq::runner {
+namespace {
+
+// Golden values of the reference SplitMix64 sequence (Steele/Lea/Flood);
+// derive_shard_seed(c, k) must be the (k+1)-th output of the stream seeded
+// with c. 0xe220a8397b1dcdaf is the widely-published first output for
+// seed 0.
+TEST(Splitmix, MatchesReferenceSequence) {
+  EXPECT_EQ(derive_shard_seed(0, 0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(derive_shard_seed(0, 1), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(derive_shard_seed(1, 0), 0x910a2dec89025cc1ULL);
+  EXPECT_EQ(derive_shard_seed(42, 0), 0xbdd732262feb6e95ULL);
+  EXPECT_EQ(derive_shard_seed(42, 1), 0x28efe333b266f103ULL);
+  EXPECT_EQ(derive_shard_seed(42, 2), 0x47526757130f9f52ULL);
+}
+
+TEST(Splitmix, SequentialDerivationAgreesWithStepping) {
+  std::uint64_t state = 42;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(derive_shard_seed(42, k), splitmix64_next(state)) << k;
+  }
+}
+
+TEST(Splitmix, AdjacentSeedsAndIndicesAreDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t c = 0; c < 4; ++c) {
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      seen.insert(derive_shard_seed(c, k));
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u * 64u);
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  for (const unsigned jobs : {1u, 2u, 7u}) {
+    ThreadPool pool(jobs);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ZeroJobsPicksHardwareConcurrency) {
+  EXPECT_GE(ThreadPool(0).jobs(), 1u);
+}
+
+TEST(MetricsRegistryTest, MergeSumsCountersAndGauges) {
+  MetricsRegistry a, b;
+  a.counter("n") = 3;
+  b.counter("n") = 4;
+  b.counter("only_b") = 7;
+  a.gauge("g") = 1.5;
+  b.gauge("g") = 2.5;
+  a.merge(b);
+  EXPECT_EQ(a.counter("n"), 7u);
+  EXPECT_EQ(a.counter("only_b"), 7u);
+  EXPECT_DOUBLE_EQ(a.gauge("g"), 4.0);
+}
+
+TEST(MetricsRegistryTest, FlattenDropsTimingWhenDeterministicOnly) {
+  MetricsRegistry m;
+  m.counter("events") = 1;
+  m.gauge("timing/wall_ns") = 123.0;
+  const auto all = m.flatten(false);
+  const auto det = m.flatten(true);
+  EXPECT_EQ(all.size(), 2u);
+  ASSERT_EQ(det.size(), 1u);
+  EXPECT_EQ(det[0].first, "events");
+}
+
+TEST(MetricsRegistryTest, DeterministicEqualsIgnoresTimingDiffs) {
+  MetricsRegistry a, b;
+  a.counter("n") = 5;
+  b.counter("n") = 5;
+  a.gauge("timing/wall_ns") = 1.0;
+  b.gauge("timing/wall_ns") = 999.0;
+  std::string why;
+  EXPECT_TRUE(a.deterministic_equals(b, &why)) << why;
+  b.counter("n") = 6;
+  EXPECT_FALSE(a.deterministic_equals(b, &why));
+  EXPECT_NE(why.find("n"), std::string::npos);
+}
+
+TEST(ScenarioTest, ExpandOrderAndSeeds) {
+  CampaignSpec spec;
+  spec.seed = 7;
+  spec.repeats = 2;
+  spec.schedulers = {"hwf2q+", "hdrr"};
+  spec.trees = {{"a", "..."}, {"b", "..."}};
+  spec.loads = {0.5, 1.5};
+  spec.traffics = {"cbr"};
+  const auto grid = spec.expand();
+  // scheduler × tree × load × traffic × repeat, repeat innermost.
+  ASSERT_EQ(grid.size(), 2u * 2u * 2u * 1u * 2u);
+  EXPECT_EQ(grid[0].scheduler, "hwf2q+");
+  EXPECT_EQ(grid[0].tree_name, "a");
+  EXPECT_DOUBLE_EQ(grid[0].load, 0.5);
+  EXPECT_EQ(grid[0].repeat, 0);
+  EXPECT_EQ(grid[1].repeat, 1);
+  EXPECT_DOUBLE_EQ(grid[2].load, 1.5);
+  EXPECT_EQ(grid[8].scheduler, "hdrr");
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i].index, i);
+    EXPECT_EQ(grid[i].seed, derive_shard_seed(7, i));
+  }
+}
+
+TEST(ScenarioTest, ParserRejectsUnknownSchedulerAndDirective) {
+  {
+    std::istringstream in("schedulers hwf2q+ nosuch\n");
+    EXPECT_THROW(parse_campaign(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("frobnicate 3\n");
+    EXPECT_THROW(parse_campaign(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("tree t {\nlink 8M\n");  // unterminated block
+    EXPECT_THROW(parse_campaign(in), std::runtime_error);
+  }
+}
+
+TEST(ScenarioTest, ParserReadsInlineAndSyntheticTrees) {
+  std::istringstream in(
+      "campaign demo\n"
+      "seed 9\n"
+      "schedulers hwf2q+\n"
+      "tree flat fanout=4 depth=1\n"
+      "tree two {\n"
+      "  link 8M\n"
+      "  sa 5M flow=0\n"
+      "  sb 3M flow=1\n"
+      "}\n");
+  const CampaignSpec spec = parse_campaign(in);
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.seed, 9u);
+  ASSERT_EQ(spec.trees.size(), 2u);
+  const core::Hierarchy flat = core::parse_hierarchy(spec.trees[0].text);
+  const core::Hierarchy two = core::parse_hierarchy(spec.trees[1].text);
+  EXPECT_DOUBLE_EQ(two.link_rate(), 8e6);
+  std::size_t flat_leaves = 0;
+  for (std::uint32_t i = 1; i < flat.size(); ++i) {
+    if (flat.node(i).leaf) ++flat_leaves;
+  }
+  EXPECT_EQ(flat_leaves, 4u);
+}
+
+TEST(ScenarioTest, SynthTreeLeafCountIsFanoutToDepth) {
+  const core::Hierarchy h = core::parse_hierarchy(synth_tree(3, 2, 9e6));
+  std::size_t leaves = 0;
+  for (std::uint32_t i = 1; i < h.size(); ++i) {
+    if (h.node(i).leaf) ++leaves;
+  }
+  EXPECT_EQ(leaves, 9u);
+  EXPECT_DOUBLE_EQ(h.link_rate(), 9e6);
+}
+
+CampaignSpec small_campaign() {
+  CampaignSpec spec;
+  spec.name = "t";
+  spec.seed = 42;
+  spec.duration_s = 0.05;
+  spec.packet_bytes = 250;
+  spec.schedulers = {"hwf2q+", "hsfq"};
+  spec.trees = {{"flat", synth_tree(4, 1, 4e6)}};
+  spec.loads = {0.9};
+  spec.traffics = {"poisson"};
+  return spec;
+}
+
+TEST(CampaignTest, JobsInvariance) {
+  const CampaignSpec spec = small_campaign();
+  const CampaignResult r1 = run_campaign(spec, 1);
+  const CampaignResult r4 = run_campaign(spec, 4);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r4.ok());
+  std::string why;
+  EXPECT_TRUE(campaigns_deterministically_equal(r1, r4, &why)) << why;
+}
+
+TEST(CampaignTest, ShardReplaysStandalone) {
+  const CampaignSpec spec = small_campaign();
+  const CampaignResult full = run_campaign(spec, 2);
+  ASSERT_TRUE(full.ok());
+  ASSERT_GE(full.shards.size(), 2u);
+  const std::size_t k = full.shards.size() - 1;
+  const CampaignResult solo = run_campaign(spec, 1, k);
+  ASSERT_TRUE(solo.ok());
+  ASSERT_EQ(solo.shards.size(), 1u);
+  EXPECT_EQ(solo.shards[0].scenario.index, k);
+  EXPECT_EQ(solo.shards[0].scenario.seed, full.shards[k].scenario.seed);
+  std::string why;
+  EXPECT_TRUE(solo.shards[0].metrics.deterministic_equals(
+      full.shards[k].metrics, &why))
+      << why;
+}
+
+TEST(CampaignTest, AggregateEqualsIndexOrderMergeOfShards) {
+  const CampaignResult r = run_campaign(small_campaign(), 2);
+  ASSERT_TRUE(r.ok());
+  MetricsRegistry manual;
+  for (const CampaignShard& s : r.shards) manual.merge(s.metrics);
+  std::string why;
+  EXPECT_TRUE(manual.deterministic_equals(r.aggregate, &why)) << why;
+}
+
+TEST(CampaignTest, BadSchedulerBecomesShardError) {
+  CampaignSpec spec = small_campaign();
+  spec.schedulers = {"hwf2q+"};
+  spec.trees[0].text = "not a tree";
+  const CampaignResult r = run_campaign(spec, 2);
+  EXPECT_FALSE(r.ok());
+  for (const CampaignShard& s : r.shards) EXPECT_FALSE(s.error.empty());
+}
+
+TEST(ExportTest, JsonAndCsvContainShardMetrics) {
+  const CampaignResult r = run_campaign(small_campaign(), 1);
+  ASSERT_TRUE(r.ok());
+  std::ostringstream js, cs;
+  write_campaign_json(js, r);
+  write_campaign_csv(cs, r);
+  const std::string j = js.str();
+  EXPECT_NE(j.find("\"schema\": \"hfq-campaign-v1\""), std::string::npos);
+  EXPECT_NE(j.find("\"packets/delivered\""), std::string::npos);
+  EXPECT_NE(j.find("\"aggregate\""), std::string::npos);
+  const std::string c = cs.str();
+  EXPECT_NE(c.find("index,scheduler,tree,load,traffic,repeat,seed,metric,"
+                   "value"),
+            std::string::npos);
+  EXPECT_NE(c.find("packets/delivered"), std::string::npos);
+}
+
+TEST(RunShardsTest, ExceptionsBecomeErrors) {
+  ThreadPool pool(2);
+  const auto shards =
+      run_shards(0, 4, pool, [](ShardRun& s) {
+        if (s.index == 2) throw std::runtime_error("boom");
+        s.metrics.counter("ok") = 1;
+      });
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_TRUE(shards[0].ok());
+  EXPECT_FALSE(shards[2].ok());
+  EXPECT_EQ(shards[2].error, "boom");
+}
+
+}  // namespace
+}  // namespace hfq::runner

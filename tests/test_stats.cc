@@ -253,5 +253,115 @@ TEST(RunningMoments, SingleSample) {
   EXPECT_DOUBLE_EQ(m.max(), 42.0);
 }
 
+// ---- merge semantics: per-worker accumulation + merge-on-join must match
+// ---- single-instance ingestion within each class's documented bound.
+
+TEST(HistogramMerge, ExactlyMatchesSingleInstance) {
+  util::Rng rng(7);
+  Histogram single(0.5, 20);
+  Histogram shards[4] = {{0.5, 20}, {0.5, 20}, {0.5, 20}, {0.5, 20}};
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.uniform(0.0, 12.0);  // some land in overflow
+    single.add(x);
+    shards[i % 4].add(x);
+  }
+  Histogram merged(0.5, 20);
+  for (const Histogram& s : shards) merged.merge(s);
+  for (std::size_t b = 0; b < single.bin_count(); ++b) {
+    EXPECT_EQ(merged.bin(b), single.bin(b)) << "bin " << b;
+  }
+  EXPECT_EQ(merged.overflow(), single.overflow());
+  EXPECT_EQ(merged.total(), single.total());
+}
+
+TEST(RunningMomentsMerge, MatchesSingleInstanceWithinRounding) {
+  util::Rng rng(11);
+  RunningMoments single;
+  RunningMoments shards[4];
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.exponential(3.0) + 100.0;  // nonzero mean offset
+    single.add(x);
+    shards[i % 4].add(x);
+  }
+  RunningMoments merged;
+  for (const RunningMoments& s : shards) merged.merge(s);
+  // count/min/max are exact; mean and variance agree to FP rounding (the
+  // documented bound for Chan's pairwise update).
+  EXPECT_EQ(merged.count(), single.count());
+  EXPECT_DOUBLE_EQ(merged.min(), single.min());
+  EXPECT_DOUBLE_EQ(merged.max(), single.max());
+  EXPECT_NEAR(merged.mean(), single.mean(), 1e-9 * single.mean());
+  EXPECT_NEAR(merged.variance(), single.variance(),
+              1e-9 * single.variance());
+}
+
+TEST(RunningMomentsMerge, EmptySidesAreIdentity) {
+  RunningMoments a, b, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.mean(), 2.0, 1e-12);
+  b.merge(a);  // empty.merge(nonempty) copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.min(), 1.0);
+  EXPECT_DOUBLE_EQ(b.max(), 3.0);
+}
+
+TEST(P2QuantileMerge, ExactWhileBothSidesHoldRawSamples) {
+  // Below 5 samples each side stores raw values, so the merge replays them
+  // and must equal single-instance ingestion exactly.
+  P2Quantile single(0.5);
+  P2Quantile a(0.5), b(0.5);
+  const double xs[] = {5.0, 1.0, 4.0, 2.0};
+  for (int i = 0; i < 4; ++i) {
+    single.add(xs[i]);
+    (i < 2 ? a : b).add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), single.count());
+  EXPECT_DOUBLE_EQ(a.value(), single.value());
+}
+
+TEST(P2QuantileMerge, CountExactAndValueWithinDocumentedBound) {
+  // Sharded uniform stream: the merged P² estimate must land within a few
+  // percent of the true quantile (the documented error contract — one
+  // extra piecewise-linear interpolation step over the worse input).
+  util::Rng rng(13);
+  P2Quantile single(0.9);
+  P2Quantile shards[4] = {P2Quantile(0.9), P2Quantile(0.9), P2Quantile(0.9),
+                          P2Quantile(0.9)};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    single.add(x);
+    shards[i % 4].add(x);
+  }
+  P2Quantile merged = shards[0];
+  for (int s = 1; s < 4; ++s) merged.merge(shards[s]);
+  EXPECT_EQ(merged.count(), static_cast<std::uint64_t>(n));
+  EXPECT_NEAR(merged.value(), 0.9, 0.03);
+  EXPECT_NEAR(merged.value(), single.value(), 0.03);
+}
+
+TEST(P2QuantileMerge, DisjointShardRangesStayBracketed) {
+  // Median of a stream where shard A saw [0,1) and shard B saw [2,3): the
+  // true median sits at the boundary; the merged estimate must stay inside
+  // the combined support (the mixture-CDF inversion cannot extrapolate).
+  util::Rng rng(17);
+  P2Quantile a(0.5), b(0.5);
+  for (int i = 0; i < 5000; ++i) {
+    a.add(rng.uniform(0.0, 1.0));
+    b.add(rng.uniform(2.0, 3.0));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), 10000u);
+  EXPECT_GE(a.value(), 0.0);
+  EXPECT_LE(a.value(), 3.0);
+  // With equal weights the mixture CDF crosses 0.5 in the gap [1, 2].
+  EXPECT_GE(a.value(), 0.9);
+  EXPECT_LE(a.value(), 2.1);
+}
+
 }  // namespace
 }  // namespace hfq::stats

@@ -9,19 +9,30 @@
 //   fuzz_sched_diff --seconds 30         # run as many seeds as fit in 30 s
 //   fuzz_sched_diff --seed 1234567       # replay one seed verbatim
 //   fuzz_sched_diff --start-seed 1000 --seeds 500
+//   fuzz_sched_diff --seeds 4000 --jobs 4   # shard the range over 4 threads
+//
+// With --jobs N > 1 the seed range is sharded across a worker pool (the
+// runner's); workers only record which seeds fail, and every failing seed is
+// then replayed single-threaded through the normal reporting path — so a
+// reported failure is by construction reproducible with `--seed S` alone,
+// and a parallel-only failure (nondeterminism) is flagged explicitly.
 //
 // CI runs this under ASan/UBSan with the audit hooks compiled in, so a run
 // also shakes out memory errors and internal tag-discipline violations.
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "audit/fuzz.h"
+#include "runner/thread_pool.h"
 
 namespace {
 
@@ -31,7 +42,7 @@ using hfq::audit::FuzzTrace;
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--start-seed S] [--seed S] "
-               "[--seconds S] [--no-minimize]\n",
+               "[--seconds S] [--jobs N] [--no-minimize]\n",
                argv0);
 }
 
@@ -100,6 +111,7 @@ int main(int argc, char** argv) {
   std::uint64_t seeds = 500;
   std::uint64_t start_seed = 1;
   double seconds = 0.0;    // 0 = no time budget, run exactly `seeds`
+  std::uint64_t jobs = 1;  // 0 = hardware concurrency
   bool single = false;
   std::uint64_t single_seed = 0;
   bool do_minimize = true;
@@ -121,6 +133,8 @@ int main(int argc, char** argv) {
       single_seed = parse_u64("--seed", value());
     } else if (std::strcmp(argv[i], "--seconds") == 0) {
       seconds = parse_seconds("--seconds", value());
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      jobs = parse_u64("--jobs", value());
     } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
       do_minimize = false;
     } else {
@@ -139,14 +153,57 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t ran = 0;
   int failures = 0;
-  for (std::uint64_t s = start_seed; s < start_seed + seeds; ++s) {
-    if (seconds > 0.0) {
-      const std::chrono::duration<double> elapsed =
-          std::chrono::steady_clock::now() - t0;
-      if (elapsed.count() > seconds) break;
+  if (jobs == 1) {
+    // The single-job path is the original sequential loop, with incremental
+    // failure reports; its output is the reference the parallel path's
+    // replays must match.
+    for (std::uint64_t s = start_seed; s < start_seed + seeds; ++s) {
+      if (seconds > 0.0) {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - t0;
+        if (elapsed.count() > seconds) break;
+      }
+      if (!run_seed(s, do_minimize, argv[0])) ++failures;
+      ++ran;
     }
-    if (!run_seed(s, do_minimize, argv[0])) ++failures;
-    ++ran;
+  } else {
+    // Parallel mode: workers only record which seeds fail (no printing from
+    // worker threads), then each failing seed is replayed single-threaded
+    // through the exact reporting path above. A seed that failed in the
+    // pool but replays clean is itself a bug — the checks must not depend
+    // on thread context — and is counted as a failure.
+    std::atomic<std::uint64_t> ran_atomic{0};
+    std::mutex mu;
+    std::vector<std::uint64_t> failing;
+    hfq::runner::ThreadPool pool(static_cast<unsigned>(jobs));
+    pool.parallel_for(static_cast<std::size_t>(seeds), [&](std::size_t i) {
+      if (seconds > 0.0) {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - t0;
+        if (elapsed.count() > seconds) return;
+      }
+      const std::uint64_t seed = start_seed + i;
+      const FuzzTrace trace = hfq::audit::generate_trace(seed);
+      if (!hfq::audit::run_checks(trace).empty()) {
+        const std::lock_guard<std::mutex> lock(mu);
+        failing.push_back(seed);
+      }
+      ran_atomic.fetch_add(1, std::memory_order_relaxed);
+    });
+    ran = ran_atomic.load();
+    std::sort(failing.begin(), failing.end());
+    for (const std::uint64_t seed : failing) {
+      if (!run_seed(seed, do_minimize, argv[0])) {
+        ++failures;
+      } else {
+        std::printf(
+            "NONDETERMINISM: seed %llu failed under --jobs %llu but "
+            "replayed clean single-threaded\n",
+            static_cast<unsigned long long>(seed),
+            static_cast<unsigned long long>(jobs));
+        ++failures;
+      }
+    }
   }
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - t0;

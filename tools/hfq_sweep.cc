@@ -1,0 +1,153 @@
+// Experiment campaign sweeper.
+//
+// Loads a campaign file (src/runner/scenario.h documents the format),
+// expands the parameter grid into shards, runs them across a worker pool,
+// and writes a BENCH_campaign.json perf record plus an optional long-format
+// CSV. A summary table goes to stdout.
+//
+//   hfq_sweep --scenario scenarios/smoke.scn --jobs 4 --out BENCH_campaign.json
+//   hfq_sweep --scenario f.scn --shard 17          # replay one shard alone
+//   hfq_sweep --scenario f.scn --jobs 8 --verify   # prove jobs-invariance
+//
+// --verify re-runs the whole campaign single-threaded and requires every
+// deterministic metric (everything outside "timing/") to be bit-identical;
+// a mismatch or any shard error exits non-zero. CI runs this as the
+// Release-mode smoke job.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "runner/campaign.h"
+#include "runner/export.h"
+
+namespace {
+
+using hfq::runner::CampaignResult;
+using hfq::runner::CampaignShard;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --scenario FILE [--jobs N] [--out FILE.json]\n"
+               "          [--csv FILE.csv] [--shard K] [--verify]\n",
+               argv0);
+}
+
+double metric_or(const CampaignShard& shard, const char* name, double fallback) {
+  for (const auto& [n, v] : shard.metrics.flatten(false)) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+void print_summary(const CampaignResult& result) {
+  std::printf("campaign %s  seed %llu  %zu shards  jobs %u\n",
+              result.spec.name.c_str(),
+              static_cast<unsigned long long>(result.spec.seed),
+              result.shards.size(), result.jobs);
+  std::printf("%5s  %-12s %-10s %6s  %-8s %3s  %10s  %11s  %11s  %5s\n",
+              "shard", "scheduler", "tree", "load", "traffic", "rep",
+              "delivered", "mean-delay", "p99-delay", "util");
+  for (const CampaignShard& shard : result.shards) {
+    const auto& sc = shard.scenario;
+    if (!shard.ok()) {
+      std::printf("%5zu  %-12s %-10s %6.2f  %-8s %3d  ERROR: %s\n", sc.index,
+                  sc.scheduler.c_str(), sc.tree_name.c_str(), sc.load,
+                  sc.traffic.c_str(), sc.repeat, shard.error.c_str());
+      continue;
+    }
+    std::printf("%5zu  %-12s %-10s %6.2f  %-8s %3d  %10.0f  %9.3fms  %9.3fms  %5.3f\n",
+                sc.index, sc.scheduler.c_str(), sc.tree_name.c_str(), sc.load,
+                sc.traffic.c_str(), sc.repeat,
+                metric_or(shard, "packets/delivered", 0.0),
+                metric_or(shard, "delay/all/mean", 0.0) * 1e3,
+                metric_or(shard, "delay/p99/value", 0.0) * 1e3,
+                metric_or(shard, "link/utilization", 0.0));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_path;
+  std::string out_json;
+  std::string out_csv;
+  unsigned jobs = 0;  // 0 = hardware concurrency
+  std::size_t only_shard = SIZE_MAX;
+  bool verify = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scenario") == 0) {
+      scenario_path = value();
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_json = value();
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      out_csv = value();
+    } else if (std::strcmp(argv[i], "--shard") == 0) {
+      only_shard = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (scenario_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    const hfq::runner::CampaignSpec spec =
+        hfq::runner::parse_campaign_file(scenario_path);
+    const CampaignResult result =
+        hfq::runner::run_campaign(spec, jobs, only_shard);
+    print_summary(result);
+
+    if (!out_json.empty()) {
+      hfq::runner::write_campaign_json_file(out_json, result);
+      std::printf("wrote %s\n", out_json.c_str());
+    }
+    if (!out_csv.empty()) {
+      hfq::runner::write_campaign_csv_file(out_csv, result);
+      std::printf("wrote %s\n", out_csv.c_str());
+    }
+
+    int failed = 0;
+    for (const CampaignShard& shard : result.shards) {
+      if (!shard.ok()) ++failed;
+    }
+    if (failed != 0) {
+      std::fprintf(stderr, "%d shard(s) failed\n", failed);
+      return 1;
+    }
+
+    if (verify) {
+      const CampaignResult replay =
+          hfq::runner::run_campaign(spec, /*jobs=*/1, only_shard);
+      std::string why;
+      if (!hfq::runner::campaigns_deterministically_equal(result, replay,
+                                                          &why)) {
+        std::fprintf(stderr, "verify FAILED: jobs=%u vs jobs=1: %s\n",
+                     result.jobs, why.c_str());
+        return 1;
+      }
+      std::printf("verify OK: %zu shards bit-identical at jobs=%u and jobs=1\n",
+                  result.shards.size(), result.jobs);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
