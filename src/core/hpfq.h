@@ -27,6 +27,7 @@
 #include "net/packet.h"
 #include "net/scheduler.h"
 #include "util/assert.h"
+#include "util/units.h"
 
 namespace hfq::core {
 
@@ -36,11 +37,11 @@ inline constexpr NodeId kNoNode = UINT32_MAX;
 template <typename Policy>
 class HPfq : public net::Scheduler {
  public:
-  explicit HPfq(double link_rate_bps) : link_rate_(link_rate_bps) {
+  explicit HPfq(double link_rate_bps) : link_rate_(RateBps{link_rate_bps}) {
     HFQ_ASSERT(link_rate_bps > 0.0);
     nodes_.emplace_back();  // root
     Node& r = nodes_[0];
-    r.rate = link_rate_bps;
+    r.rate = RateBps{link_rate_bps};
     r.parent = kNoNode;
     r.policy.init(link_rate_bps);
   }
@@ -120,23 +121,27 @@ class HPfq : public net::Scheduler {
   [[nodiscard]] std::size_t queue_length(net::FlowId flow) const {
     return nodes_[leaf_of_flow_[flow]].queue.size();
   }
-  [[nodiscard]] double node_rate(NodeId id) const { return nodes_[id].rate; }
+  [[nodiscard]] double node_rate(NodeId id) const {
+    return nodes_[id].rate.bps();
+  }
   [[nodiscard]] NodeId parent_of(NodeId id) const { return nodes_[id].parent; }
   [[nodiscard]] NodeId leaf_of(net::FlowId flow) const {
     return leaf_of_flow_[flow];
   }
   // Reference time T_n = W_n(0,t)/r_n of a node (Section 4.1).
-  [[nodiscard]] double reference_time(NodeId id) const { return nodes_[id].T; }
+  [[nodiscard]] double reference_time(NodeId id) const {
+    return nodes_[id].T.seconds();
+  }
   [[nodiscard]] const Policy& policy_of(NodeId id) const {
     return nodes_[id].policy;
   }
   // Mutable access for tuning knobs (e.g. rebase thresholds in tests).
   [[nodiscard]] Policy& mutable_policy(NodeId id) { return nodes_[id].policy; }
-  [[nodiscard]] double link_rate() const noexcept { return link_rate_; }
+  [[nodiscard]] double link_rate() const noexcept { return link_rate_.bps(); }
 
  private:
   struct Node {
-    double rate = 0.0;
+    RateBps rate;
     NodeId parent = kNoNode;
     std::vector<NodeId> children;
     std::size_t child_slot = 0;  // index within parent's policy
@@ -145,11 +150,11 @@ class HPfq : public net::Scheduler {
     bool has_logical = false;
     net::Packet logical;  // head packet of this subtree's logical queue
     NodeId active_child = kNoNode;
-    double s = 0.0, f = 0.0;  // tags as a child of the parent node
-    double T = 0.0;           // reference time (seconds of service / rate)
-    net::FlowQueue queue;     // leaves only
+    VirtualTime s, f;      // tags as a child of the parent node
+    WallTime T;            // reference time (seconds of service / rate)
+    net::FlowQueue queue;  // leaves only
     net::FlowId flow = net::kInvalidFlow;
-    Policy policy;            // interior nodes only
+    Policy policy;  // interior nodes only
   };
 
   NodeId add_node(NodeId parent, double rate_bps) {
@@ -159,7 +164,7 @@ class HPfq : public net::Scheduler {
     const NodeId id = static_cast<NodeId>(nodes_.size());
     nodes_.emplace_back();
     Node& n = nodes_[id];
-    n.rate = rate_bps;
+    n.rate = RateBps{rate_bps};
     n.parent = parent;
     n.child_slot = nodes_[parent].children.size();
     nodes_[parent].children.push_back(id);
@@ -172,8 +177,8 @@ class HPfq : public net::Scheduler {
   void stamp_child(NodeId c, bool continuing) {
     Node& n = nodes_[c];
     Node& p = nodes_[n.parent];
-    const VtStamp tags = p.policy.on_head(n.child_slot, n.logical.size_bits(),
-                                          continuing, p.T);
+    const VtStamp tags =
+        p.policy.on_head(n.child_slot, n.logical.bits(), continuing, p.T);
     n.s = tags.start;
     n.f = tags.finish;
   }
@@ -191,7 +196,7 @@ class HPfq : public net::Scheduler {
       n.has_logical = true;
       // Line 13: the node's reference time advances by the service this
       // selection commits to.
-      n.T += n.logical.size_bits() / n.rate;
+      n.T += n.logical.bits() / n.rate;
       if (nid != 0) {
         // Lines 7–10: restamp this node as a child of its parent. The
         // continuing branch applies when the node stayed busy.
@@ -265,7 +270,7 @@ class HPfq : public net::Scheduler {
     return true;
   }
 
-  double link_rate_;
+  RateBps link_rate_;
   std::size_t backlog_ = 0;
   bool pending_reset_ = false;
   std::vector<Node> nodes_;

@@ -35,9 +35,15 @@
 
 namespace hfq::core {
 
+using units::Bits;
+using units::Duration;
+using units::RateBps;
+using units::VirtualTime;
+using units::WallTime;
+
 struct VtStamp {
-  double start = 0.0;
-  double finish = 0.0;
+  VirtualTime start;
+  VirtualTime finish;
 };
 
 // Shared child bookkeeping: rates, head tags, head sizes, registration.
@@ -45,13 +51,13 @@ class NodePolicyBase {
  public:
   void init(double node_rate_bps) {
     HFQ_ASSERT(node_rate_bps > 0.0);
-    node_rate_ = node_rate_bps;
+    node_rate_ = RateBps{node_rate_bps};
   }
 
   void add_child(std::size_t slot, double rate_bps) {
     HFQ_ASSERT(rate_bps > 0.0);
     if (slot >= children_.size()) children_.resize(slot + 1);
-    children_[slot].rate = rate_bps;
+    children_[slot].rate = RateBps{rate_bps};
   }
 
   [[nodiscard]] std::size_t child_count() const noexcept {
@@ -64,10 +70,10 @@ class NodePolicyBase {
 
  protected:
   struct Child {
-    double rate = 0.0;
-    double start = 0.0;
-    double finish = 0.0;
-    double head_bits = 0.0;
+    RateBps rate;
+    VirtualTime start;
+    VirtualTime finish;
+    Bits head_bits;
     util::HeapHandle handle = util::kInvalidHeapHandle;
     bool in_eligible = false;
   };
@@ -78,7 +84,7 @@ class NodePolicyBase {
   }
 
   // Stamps per Eq. 28/29 against virtual time `v`.
-  VtStamp stamp(Child& c, double bits, bool continuing, double v) {
+  VtStamp stamp(Child& c, Bits bits, bool continuing, VirtualTime v) {
     VtStamp st;
     st.start = continuing ? c.finish : (c.finish > v ? c.finish : v);
     st.finish = st.start + bits / c.rate;
@@ -88,17 +94,17 @@ class NodePolicyBase {
     return st;
   }
 
-  double node_rate_ = 0.0;
+  RateBps node_rate_;
   std::vector<Child> children_;
 };
 
 // SEFF + Eq. 27 — the WF²Q+ node server (the paper's pseudocode, Table 1).
 class Wf2qPlusPolicy : public NodePolicyBase {
  public:
-  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+  [[nodiscard]] double vtime() const noexcept { return vtime_.v(); }
 
-  VtStamp on_head(std::size_t slot, double bits, bool continuing,
-                  double /*T_node*/) {
+  VtStamp on_head(std::size_t slot, Bits bits, bool continuing,
+                  WallTime /*T_node*/) {
     Child& c = child(slot);
     const VtStamp st = stamp(c, bits, continuing, vtime_);
     if (sched::vt_leq(c.start, vtime_)) {
@@ -115,10 +121,10 @@ class Wf2qPlusPolicy : public NodePolicyBase {
     return !eligible_.empty() || !waiting_.empty();
   }
 
-  std::size_t select(double /*T_node*/) {
+  std::size_t select(WallTime /*T_node*/) {
     // Lines 1 and 12 of RESTART-NODE: pick the smallest finish tag among
     // E_n = {m : s_m <= max(V, Smin)}, then V <- max(V, Smin) + L/r_n.
-    double v_now = vtime_;
+    VirtualTime v_now = vtime_;
     if (eligible_.empty()) {
       HFQ_ASSERT_MSG(!waiting_.empty(), "select with no selectable children");
       if (waiting_.top_key() > v_now) v_now = waiting_.top_key();
@@ -145,7 +151,7 @@ class Wf2qPlusPolicy : public NodePolicyBase {
   // Test/tuning knob: virtual time at which the node rebases its tags.
   void set_rebase_threshold(double seconds) {
     HFQ_ASSERT(seconds > 0.0);
-    rebase_threshold_ = seconds;
+    rebase_threshold_ = VirtualTime{seconds};
   }
 
   // Structural audit: both heaps ordered, every registered child's tags
@@ -169,32 +175,32 @@ class Wf2qPlusPolicy : public NodePolicyBase {
   // the algorithm.
   void maybe_rebase() {
     if (vtime_ < rebase_threshold_) return;
-    const double off = vtime_;
-    vtime_ = 0.0;
+    const Duration off = vtime_ - VirtualTime{};
+    vtime_ = VirtualTime{};
     for (Child& c : children_) {
       c.start -= off;
       c.finish -= off;
     }
-    eligible_.transform_keys([off](double k) { return k - off; });
-    waiting_.transform_keys([off](double k) { return k - off; });
+    eligible_.transform_keys([off](VirtualTime k) { return k - off; });
+    waiting_.transform_keys([off](VirtualTime k) { return k - off; });
     ++rebases_;
   }
 
-  double vtime_ = 0.0;
-  double rebase_threshold_ = 1e9;
+  VirtualTime vtime_;
+  VirtualTime rebase_threshold_{1e9};
   std::uint64_t rebases_ = 0;
-  util::HandleHeap<double, std::size_t> eligible_;  // keyed by finish tag
-  util::HandleHeap<double, std::size_t> waiting_;   // keyed by start tag
+  util::HandleHeap<VirtualTime, std::size_t> eligible_;  // keyed by finish tag
+  util::HandleHeap<VirtualTime, std::size_t> waiting_;   // keyed by start tag
 };
 
 // SFF + Eq. 27 virtual time: an ablation showing that replacing the GPS
 // virtual time alone does not fix WFQ — the eligibility test does.
 class ApproxWfqPolicy : public NodePolicyBase {
  public:
-  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+  [[nodiscard]] double vtime() const noexcept { return vtime_.v(); }
 
-  VtStamp on_head(std::size_t slot, double bits, bool continuing,
-                  double /*T_node*/) {
+  VtStamp on_head(std::size_t slot, Bits bits, bool continuing,
+                  WallTime /*T_node*/) {
     Child& c = child(slot);
     const VtStamp st = stamp(c, bits, continuing, vtime_);
     c.handle = heads_.push(c.finish, slot);
@@ -203,21 +209,23 @@ class ApproxWfqPolicy : public NodePolicyBase {
 
   [[nodiscard]] bool has_selectable() const noexcept { return !heads_.empty(); }
 
-  std::size_t select(double /*T_node*/) {
+  std::size_t select(WallTime /*T_node*/) {
     HFQ_ASSERT(!heads_.empty());
     // Smin over selectable children — linear scan is fine here: this policy
     // exists only for ablation benchmarks.
-    double smin = 0.0;
+    VirtualTime smin;
     bool first = true;
     for (std::size_t i = 0; i < child_count(); ++i) {
       const Child& c = children_[i];
       if (c.handle == util::kInvalidHeapHandle) continue;
+      // Min-reduction over tags, not an eligibility test — exact compare is
+      // what "minimum" means. hfq-lint: disable(tag-compare)
       if (first || c.start < smin) {
         smin = c.start;
         first = false;
       }
     }
-    double v_now = vtime_;
+    VirtualTime v_now = vtime_;
     if (!first && smin > v_now) v_now = smin;
     const std::size_t slot = heads_.pop();
     Child& c = child(slot);
@@ -227,8 +235,8 @@ class ApproxWfqPolicy : public NodePolicyBase {
   }
 
  private:
-  double vtime_ = 0.0;
-  util::HandleHeap<double, std::size_t> heads_;  // keyed by finish tag (SFF)
+  VirtualTime vtime_;
+  util::HandleHeap<VirtualTime, std::size_t> heads_;  // finish tag (SFF)
 };
 
 // Exact GPS virtual time per node (the node's fluid reference runs in the
@@ -249,18 +257,19 @@ class GpsTrackedPolicy : public NodePolicyBase {
 
   [[nodiscard]] double vtime() const noexcept { return vt_->vtime(); }
 
-  VtStamp on_head(std::size_t slot, double bits, bool /*continuing*/,
-                  double T_node) {
+  VtStamp on_head(std::size_t slot, Bits bits, bool /*continuing*/,
+                  WallTime T_node) {
     Child& c = child(slot);
     // The logical packet "arrives" at the node now; stamp it in the node's
     // fluid GPS system. This subsumes Eq. 28: while the child stays
     // fluid-backlogged the stamp degenerates to S = F_prev.
-    const auto st = vt_->on_arrival(T_node, static_cast<net::FlowId>(slot), bits);
+    const auto st =
+        vt_->on_arrival(T_node, static_cast<net::FlowId>(slot), bits);
     c.start = st.start;
     c.finish = st.finish;
     c.head_bits = bits;
     if constexpr (kUseEligibility) {
-      if (sched::vt_leq(c.start, vt_->vtime())) {
+      if (sched::vt_leq(c.start, vt_->vnow())) {
         c.in_eligible = true;
         c.handle = eligible_.push(c.finish, slot);
       } else {
@@ -277,10 +286,11 @@ class GpsTrackedPolicy : public NodePolicyBase {
     return !eligible_.empty() || !waiting_.empty();
   }
 
-  std::size_t select(double T_node) {
+  std::size_t select(WallTime T_node) {
     vt_->advance_to(T_node);
     if constexpr (kUseEligibility) {
-      while (!waiting_.empty() && sched::vt_leq(waiting_.top_key(), vt_->vtime())) {
+      while (!waiting_.empty() &&
+             sched::vt_leq(waiting_.top_key(), vt_->vnow())) {
         const std::size_t slot = waiting_.pop();
         Child& c = child(slot);
         c.in_eligible = true;
@@ -306,8 +316,8 @@ class GpsTrackedPolicy : public NodePolicyBase {
 
  private:
   std::optional<sched::GpsVirtualTime> vt_;  // constructed in init()
-  util::HandleHeap<double, std::size_t> eligible_;  // keyed by finish tag
-  util::HandleHeap<double, std::size_t> waiting_;   // keyed by start tag
+  util::HandleHeap<VirtualTime, std::size_t> eligible_;  // finish-tag keyed
+  util::HandleHeap<VirtualTime, std::size_t> waiting_;   // start-tag keyed
 };
 
 using GpsSffPolicy = GpsTrackedPolicy<false>;   // H-WFQ node
@@ -316,10 +326,10 @@ using GpsSeffPolicy = GpsTrackedPolicy<true>;   // H-WF²Q node
 // Self-clocked (SCFQ) node: V = finish tag of the child in service; SFF.
 class ScfqPolicy : public NodePolicyBase {
  public:
-  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+  [[nodiscard]] double vtime() const noexcept { return vtime_.v(); }
 
-  VtStamp on_head(std::size_t slot, double bits, bool continuing,
-                  double /*T_node*/) {
+  VtStamp on_head(std::size_t slot, Bits bits, bool continuing,
+                  WallTime /*T_node*/) {
     Child& c = child(slot);
     const VtStamp st = stamp(c, bits, continuing, vtime_);
     c.handle = heads_.push(c.finish, slot);
@@ -328,7 +338,7 @@ class ScfqPolicy : public NodePolicyBase {
 
   [[nodiscard]] bool has_selectable() const noexcept { return !heads_.empty(); }
 
-  std::size_t select(double /*T_node*/) {
+  std::size_t select(WallTime /*T_node*/) {
     HFQ_ASSERT(!heads_.empty());
     const std::size_t slot = heads_.pop();
     Child& c = child(slot);
@@ -338,8 +348,8 @@ class ScfqPolicy : public NodePolicyBase {
   }
 
  private:
-  double vtime_ = 0.0;
-  util::HandleHeap<double, std::size_t> heads_;  // keyed by finish tag
+  VirtualTime vtime_;
+  util::HandleHeap<VirtualTime, std::size_t> heads_;  // keyed by finish tag
 };
 
 // Deficit Round Robin node (→ H-DRR): no virtual times at all — children
@@ -357,8 +367,8 @@ class DrrPolicy : public NodePolicyBase {
 
   [[nodiscard]] double vtime() const noexcept { return 0.0; }
 
-  VtStamp on_head(std::size_t slot, double bits, bool /*continuing*/,
-                  double /*T_node*/) {
+  VtStamp on_head(std::size_t slot, Bits bits, bool /*continuing*/,
+                  WallTime /*T_node*/) {
     Child& c = child(slot);
     c.head_bits = bits;
     if (slot >= state_.size()) state_.resize(slot + 1);
@@ -370,14 +380,14 @@ class DrrPolicy : public NodePolicyBase {
       active_.push_back(slot);
     }
     ++selectable_;
-    return VtStamp{0.0, 0.0};  // tags unused by frame-based nodes
+    return VtStamp{};  // tags unused by frame-based nodes
   }
 
   [[nodiscard]] bool has_selectable() const noexcept {
     return selectable_ > 0;
   }
 
-  std::size_t select(double /*T_node*/) {
+  std::size_t select(WallTime /*T_node*/) {
     HFQ_ASSERT(selectable_ > 0);
     for (;;) {
       HFQ_ASSERT(!active_.empty());
@@ -396,8 +406,8 @@ class DrrPolicy : public NodePolicyBase {
         st.deficit += quantum(slot);
         st.visited = true;
       }
-      if (st.deficit + 1e-9 >= child(slot).head_bits) {
-        st.deficit -= child(slot).head_bits;
+      if (st.deficit + 1e-9 >= child(slot).head_bits.bits()) {
+        st.deficit -= child(slot).head_bits.bits();
         st.has_head = false;  // consumed; re-registered via on_head
         --selectable_;
         return slot;
@@ -417,7 +427,7 @@ class DrrPolicy : public NodePolicyBase {
   };
 
   [[nodiscard]] double quantum(std::size_t slot) const {
-    return frame_bits_ * children_[slot].rate / node_rate_;
+    return frame_bits_ * children_[slot].rate.bps() / node_rate_.bps();
   }
 
   double frame_bits_ = 16000.0;
@@ -429,10 +439,10 @@ class DrrPolicy : public NodePolicyBase {
 // Start-time node: V = start tag of the child in service; pick min start.
 class SfqPolicy : public NodePolicyBase {
  public:
-  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+  [[nodiscard]] double vtime() const noexcept { return vtime_.v(); }
 
-  VtStamp on_head(std::size_t slot, double bits, bool continuing,
-                  double /*T_node*/) {
+  VtStamp on_head(std::size_t slot, Bits bits, bool continuing,
+                  WallTime /*T_node*/) {
     Child& c = child(slot);
     const VtStamp st = stamp(c, bits, continuing, vtime_);
     c.handle = heads_.push(c.start, slot);
@@ -441,7 +451,7 @@ class SfqPolicy : public NodePolicyBase {
 
   [[nodiscard]] bool has_selectable() const noexcept { return !heads_.empty(); }
 
-  std::size_t select(double /*T_node*/) {
+  std::size_t select(WallTime /*T_node*/) {
     HFQ_ASSERT(!heads_.empty());
     const std::size_t slot = heads_.pop();
     Child& c = child(slot);
@@ -451,8 +461,8 @@ class SfqPolicy : public NodePolicyBase {
   }
 
  private:
-  double vtime_ = 0.0;
-  util::HandleHeap<double, std::size_t> heads_;  // keyed by start tag
+  VirtualTime vtime_;
+  util::HandleHeap<VirtualTime, std::size_t> heads_;  // keyed by start tag
 };
 
 }  // namespace hfq::core

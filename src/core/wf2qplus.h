@@ -35,10 +35,16 @@ namespace hfq::core {
 using net::FlowId;
 using net::Packet;
 using net::Time;
+using units::Bits;
+using units::Duration;
+using units::RateBps;
+using units::VirtualTime;
+using units::WallTime;
 
 class Wf2qPlus : public sched::FlatSchedulerBase {
  public:
-  explicit Wf2qPlus(double link_rate_bps) : link_rate_(link_rate_bps) {
+  explicit Wf2qPlus(double link_rate_bps)
+      : link_rate_(RateBps{link_rate_bps}) {
     HFQ_ASSERT(link_rate_bps > 0.0);
   }
 
@@ -48,8 +54,8 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
     // busy period is over even if the link never polled dequeue() again.
     // Without this, a drained-but-unpolled scheduler leaks stale vtime_ and
     // finish tags into the new busy period and inflates start tags.
-    if (backlog_ == 0 && !sched::vt_leq(now, busy_until_)) {
-      vtime_ = 0.0;
+    if (backlog_ == 0 && !sched::wt_leq(WallTime{now}, busy_until_)) {
+      vtime_ = VirtualTime{};
       ++epoch_;
     }
     FlowState& f = flow(p.flow);
@@ -61,9 +67,10 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
       // Eq. 28, empty-queue branch: S = max(F_i, V). Tags from a previous
       // busy period are dropped via the epoch counter (V restarts at 0 each
       // busy period, matching the definition of the virtual time function).
-      const double f_prev = f.epoch == epoch_ ? f.finish : 0.0;
+      const VirtualTime f_prev =
+          f.epoch == epoch_ ? f.finish : VirtualTime{};
       f.start = f_prev > vtime_ ? f_prev : vtime_;
-      f.finish = f.start + p.size_bits() / f.rate;  // Eq. 29
+      f.finish = f.start + p.bits() / f.rate;  // Eq. 29
       f.epoch = epoch_;
       HFQ_AUDIT_CHECK("tag-sanity", f.start < f.finish,
                       "enqueue stamped start >= finish");
@@ -79,17 +86,17 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
       // the previous dequeue was still in service until now). Restart the
       // virtual clock lazily via the epoch counter. (The eager check in
       // enqueue() covers drivers that skip this idle poll.)
-      vtime_ = 0.0;
+      vtime_ = VirtualTime{};
       ++epoch_;
       return std::nullopt;
     }
     // Eq. 27 in service time: V_now = max(V, Smin). If any session is
     // eligible its start is <= V already, so the max only matters when the
     // eligible heap is empty.
-    double v_now = vtime_;
+    VirtualTime v_now = vtime_;
     if (eligible_.empty()) {
       HFQ_ASSERT_MSG(!waiting_.empty(), "backlog without any head tags");
-      const double smin = waiting_.top_key().tag;
+      const VirtualTime smin = waiting_.top_key().tag;
       if (smin > v_now) v_now = smin;
     }
     migrate_eligible(v_now);
@@ -99,8 +106,8 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
     FlowState& f = flow(id);
     HFQ_AUDIT_CHECK("seff-eligibility", sched::vt_leq(f.start, v_now),
                     "served a session whose start tag " +
-                        std::to_string(f.start) + " exceeds V " +
-                        std::to_string(v_now));
+                        std::to_string(f.start.v()) + " exceeds V " +
+                        std::to_string(v_now.v()));
     HFQ_AUDIT_CHECK("vtime-monotonic", v_now >= vtime_,
                     "virtual time moved backwards within a busy period");
     HFQ_AUDIT_CHECK("tag-epoch", f.epoch == epoch_,
@@ -109,17 +116,17 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
     Packet p = f.queue.pop();
     arrival_nos_[id].pop_front();
     --backlog_;
-    const double service_time = p.size_bits() / link_rate_;
+    const Duration service_time = p.bits() / link_rate_;
     vtime_ = v_now + service_time;
     // The transmission this selection commits to occupies the link until
     // now + L/r; the busy period cannot end before then.
-    const double tx_end = now + service_time;
+    const WallTime tx_end = WallTime{now} + service_time;
     if (tx_end > busy_until_) busy_until_ = tx_end;
     if (!f.queue.empty()) {
       // Eq. 28, non-empty branch: the next packet arrived while the queue
       // was backlogged, so S = F.
       f.start = f.finish;
-      f.finish = f.start + f.queue.front().size_bits() / f.rate;
+      f.finish = f.start + f.queue.front().bits() / f.rate;
       insert_by_eligibility(id);
     }
     HFQ_AUDIT_CHECK("heap-valid", eligible_.validate() && waiting_.validate(),
@@ -130,11 +137,15 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
     return p;
   }
 
-  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+  [[nodiscard]] double vtime() const noexcept { return vtime_.v(); }
 
   // Head tags, exposed for tests.
-  [[nodiscard]] double head_start(FlowId id) const { return flow(id).start; }
-  [[nodiscard]] double head_finish(FlowId id) const { return flow(id).finish; }
+  [[nodiscard]] double head_start(FlowId id) const {
+    return flow(id).start.v();
+  }
+  [[nodiscard]] double head_finish(FlowId id) const {
+    return flow(id).finish.v();
+  }
 
  private:
   void insert_by_eligibility(FlowId id) {
@@ -149,7 +160,7 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
     }
   }
 
-  void migrate_eligible(double v_now) {
+  void migrate_eligible(VirtualTime v_now) {
     while (!waiting_.empty() && sched::vt_leq(waiting_.top_key().tag, v_now)) {
       const FlowId id = waiting_.pop();
       FlowState& f = flow(id);
@@ -159,12 +170,12 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
     }
   }
 
-  double link_rate_;
-  double vtime_ = 0.0;
+  RateBps link_rate_;
+  VirtualTime vtime_;
   // Real time at which the transmission committed by the latest dequeue
   // completes; an arrival into an empty scheduler after this instant starts
   // a new busy period.
-  double busy_until_ = 0.0;
+  WallTime busy_until_;
   std::uint64_t epoch_ = 1;
   std::uint64_t arrival_counter_ = 0;
   std::vector<std::deque<std::uint64_t>> arrival_nos_;

@@ -21,6 +21,7 @@
 // which destroys arrival order for equal finish tags.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -30,6 +31,8 @@
 #include "sched/flat_base.h"
 
 namespace hfq::core {
+
+using units::VTicks;
 
 class Wf2qPlusFixed : public sched::FlatSchedulerBase {
  public:
@@ -42,21 +45,23 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
     HFQ_ASSERT(link_rate_bps > 0);
   }
 
-  // Integer rates only (bits/sec).
+  // Integer rates only (bits/sec). Fractional configured rates are rounded
+  // to the nearest integer — truncation would shave up to a full bit/sec off
+  // the guarantee (a 2.9 bps flow used to be quantized to 2 bps, a 31% cut).
   void add_flow(net::FlowId id, double rate_bps,
                 std::size_t capacity_packets = 0) override {
     HFQ_ASSERT_MSG(rate_bps >= 1.0, "fixed-point flows need >= 1 bps");
     FlatSchedulerBase::add_flow(id, rate_bps, capacity_packets);
     if (id >= fx_.size()) fx_.resize(id + 1);
-    fx_[id].rate = static_cast<std::uint64_t>(rate_bps);
+    fx_[id].rate = static_cast<std::uint64_t>(std::llround(rate_bps));
   }
 
   bool enqueue(const net::Packet& p, net::Time now) override {
     // Eager busy-period boundary detection (mirrors Wf2qPlus): an arrival
     // into a drained scheduler after the last transmission completed starts
     // a new busy period even if the link never issued the idle poll.
-    if (backlog_ == 0 && !sched::vt_leq(now, busy_until_)) {
-      vtime_ = 0;
+    if (backlog_ == 0 && !sched::wt_leq(sched::WallTime{now}, busy_until_)) {
+      vtime_ = VTicks{};
       ++epoch_;
     }
     FlowState& f = flow(p.flow);
@@ -66,7 +71,7 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
     ++backlog_;
     if (f.queue.size() == 1) {
       Fx& x = fx_[p.flow];
-      const std::uint64_t f_prev = x.epoch == epoch_ ? x.finish : 0;
+      const VTicks f_prev = x.epoch == epoch_ ? x.finish : VTicks{};
       x.start = f_prev > vtime_ ? f_prev : vtime_;
       x.finish = x.start + finish_increment(p.size_bits(), x.rate);
       x.epoch = epoch_;
@@ -79,16 +84,18 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
 
   std::optional<net::Packet> dequeue(net::Time now) override {
     if (backlog_ == 0) {
-      vtime_ = 0;
+      vtime_ = VTicks{};
       ++epoch_;
       return std::nullopt;
     }
-    std::uint64_t v_now = vtime_;
+    VTicks v_now = vtime_;
     if (eligible_.empty()) {
       HFQ_ASSERT(!waiting_.empty());
-      const std::uint64_t smin = waiting_.top_key().tag;
+      const VTicks smin = waiting_.top_key().tag;
       if (smin > v_now) v_now = smin;
     }
+    // Integer ticks compare exactly; the vt_leq tolerance is a float-only
+    // concern. hfq-lint: disable(tag-compare)
     while (!waiting_.empty() && waiting_.top_key().tag <= v_now) {
       const net::FlowId id = waiting_.pop();
       FlowState& f = flow(id);
@@ -99,10 +106,11 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
     HFQ_ASSERT(!eligible_.empty());
     const net::FlowId id = eligible_.pop();
     FlowState& f = flow(id);
+    // hfq-lint: disable(tag-compare) — exact integer-domain eligibility.
     HFQ_AUDIT_CHECK("seff-eligibility", fx_[id].start <= v_now,
                     "served a session whose start tag " +
-                        std::to_string(fx_[id].start) + " exceeds V " +
-                        std::to_string(v_now));
+                        std::to_string(fx_[id].start.ticks()) + " exceeds V " +
+                        std::to_string(v_now.ticks()));
     HFQ_AUDIT_CHECK("vtime-monotonic", v_now >= vtime_,
                     "virtual time moved backwards within a busy period");
     HFQ_AUDIT_CHECK("tag-epoch", fx_[id].epoch == epoch_,
@@ -112,7 +120,8 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
     arrival_nos_[id].pop_front();
     --backlog_;
     vtime_ = v_now + finish_increment(p.size_bits(), link_rate_);
-    const double tx_end = now + p.size_bits() * inv_link_rate_;
+    const sched::WallTime tx_end =
+        sched::WallTime{now} + sched::Duration{p.size_bits() * inv_link_rate_};
     if (tx_end > busy_until_) busy_until_ = tx_end;
     if (!f.queue.empty()) {
       Fx& x = fx_[id];
@@ -128,28 +137,30 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
     return p;
   }
 
-  [[nodiscard]] std::uint64_t vtime_ticks() const noexcept { return vtime_; }
+  [[nodiscard]] std::uint64_t vtime_ticks() const noexcept {
+    return vtime_.ticks();
+  }
 
   // Head tags in ticks, exposed for tests.
   [[nodiscard]] std::uint64_t head_start_ticks(net::FlowId id) const {
-    return fx_[id].start;
+    return fx_[id].start.ticks();
   }
   [[nodiscard]] std::uint64_t head_finish_ticks(net::FlowId id) const {
-    return fx_[id].finish;
+    return fx_[id].finish.ticks();
   }
 
  private:
   struct Fx {
     std::uint64_t rate = 0;
-    std::uint64_t start = 0;
-    std::uint64_t finish = 0;
+    VTicks start;
+    VTicks finish;
     std::uint64_t epoch = 0;
   };
 
   // Heap key: integer tag, ties broken by global packet arrival number so
   // equal tags serve in FIFO order (the integer twin of sched::VtKey).
   struct FxKey {
-    std::uint64_t tag = 0;
+    VTicks tag;
     std::uint64_t arrival_no = 0;
 
     friend bool operator<(const FxKey& a, const FxKey& b) {
@@ -160,17 +171,18 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
 
   // ceil(bits * 2^20 / rate): rounding up means a flow's next start tag is
   // never early — the conservative direction for guarantees.
-  static std::uint64_t finish_increment(double bits, std::uint64_t rate) {
+  static VTicks finish_increment(double bits, std::uint64_t rate) {
     const auto b = static_cast<std::uint64_t>(bits);
     const unsigned __int128 scaled =
         (static_cast<unsigned __int128>(b) << kTickShift) + rate - 1;
-    return static_cast<std::uint64_t>(scaled / rate);
+    return VTicks{static_cast<std::uint64_t>(scaled / rate)};
   }
 
   void insert_by_eligibility(net::FlowId id) {
     FlowState& f = flow(id);
     const Fx& x = fx_[id];
     const std::uint64_t no = arrival_nos_[id].front();
+    // hfq-lint: disable(tag-compare) — exact integer-domain eligibility.
     if (x.start <= vtime_) {
       f.in_eligible = true;
       f.handle = eligible_.push(FxKey{x.finish, no}, id);
@@ -182,10 +194,10 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
 
   std::uint64_t link_rate_;
   double inv_link_rate_;
-  std::uint64_t vtime_ = 0;
-  // Real time at which the latest committed transmission completes (seconds,
-  // like the `now` the link passes in); bounds the current busy period.
-  double busy_until_ = 0.0;
+  VTicks vtime_;
+  // Real time at which the latest committed transmission completes; bounds
+  // the current busy period.
+  sched::WallTime busy_until_;
   std::uint64_t epoch_ = 1;
   std::uint64_t arrival_counter_ = 0;
   std::vector<std::deque<std::uint64_t>> arrival_nos_;

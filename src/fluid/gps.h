@@ -10,11 +10,13 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "net/packet.h"
 #include "util/assert.h"
 #include "util/rational.h"
+#include "util/units.h"
 
 namespace hfq::fluid {
 
@@ -79,6 +81,20 @@ class GpsServer {
       backlogged_count_ += 1;
       backlogged_rate_sum_ += f.rate;
     }
+  }
+
+  // Unit-typed boundary for the double instantiation: the internals are
+  // numeric-generic (they also run on exact Rational), so the strong types
+  // stop at this interface, like at the packet schedulers'.
+  template <typename N = Num,
+            typename = std::enable_if_t<std::is_same_v<N, double>>>
+  void arrive(units::WallTime time, FlowId id, units::Bits bits) {
+    arrive(time.seconds(), id, bits.bits());
+  }
+  template <typename N = Num,
+            typename = std::enable_if_t<std::is_same_v<N, double>>>
+  void advance_to(units::WallTime t) {
+    advance_to(t.seconds());
   }
 
   // Processes fluid service up to absolute time `t`.

@@ -11,10 +11,12 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "fluid/gps.h"
 #include "util/assert.h"
+#include "util/units.h"
 
 namespace hfq::fluid {
 
@@ -56,6 +58,18 @@ class HgpsServer {
     n.boundaries.push_back(n.arrived_bits + bits);
     n.arrived_bits += bits;
     mark_backlogged(leaf);
+  }
+
+  // Unit-typed boundary for the double instantiation (see fluid/gps.h).
+  template <typename N = Num,
+            typename = std::enable_if_t<std::is_same_v<N, double>>>
+  void arrive(units::WallTime time, NodeId leaf, units::Bits bits) {
+    arrive(time.seconds(), leaf, bits.bits());
+  }
+  template <typename N = Num,
+            typename = std::enable_if_t<std::is_same_v<N, double>>>
+  void advance_to(units::WallTime t) {
+    advance_to(t.seconds());
   }
 
   // Processes fluid service up to absolute time `t`.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/assert.h"
+#include "util/units.h"
 
 namespace hfq::fluid {
 
@@ -45,6 +46,9 @@ class ShareSolver {
     HFQ_ASSERT(demand_bps >= 0.0);
     nodes_[leaf].demand = demand_bps;
   }
+  void set_demand(NodeId leaf, units::RateBps demand) {
+    set_demand(leaf, demand.bps());
+  }
 
   // Computes the allocation for every node given the root capacity.
   // Result is indexed by NodeId (bits/sec).
@@ -71,6 +75,9 @@ class ShareSolver {
       }
     }
     return alloc;
+  }
+  [[nodiscard]] std::vector<double> solve(units::RateBps link_rate) const {
+    return solve(link_rate.bps());
   }
 
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }

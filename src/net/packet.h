@@ -5,6 +5,8 @@
 #include <iosfwd>
 #include <limits>
 
+#include "util/units.h"
+
 namespace hfq::net {
 
 // Identifies a session (the paper's "session"/leaf queue). Dense small
@@ -12,8 +14,13 @@ namespace hfq::net {
 using FlowId = std::uint32_t;
 inline constexpr FlowId kInvalidFlow = std::numeric_limits<FlowId>::max();
 
-// Simulated time in seconds.
+// Simulated wall-clock time in seconds. Kept as a raw double across the
+// sim/net substrate; the unit-safe scheduler layer converts to
+// units::WallTime at its interface boundary (see src/util/units.h and
+// DESIGN.md "Unit safety"). The alias names the intended strong type so the
+// substrate can migrate without touching every call site again.
 using Time = double;
+using WallTime = units::WallTime;
 
 enum class PacketKind : std::uint8_t {
   kData = 0,
@@ -31,6 +38,11 @@ struct Packet {
 
   [[nodiscard]] double size_bits() const noexcept {
     return 8.0 * static_cast<double>(size_bytes);
+  }
+
+  // Unit-typed size for the scheduler layer; same value as size_bits().
+  [[nodiscard]] units::Bits bits() const noexcept {
+    return units::Bits{size_bits()};
   }
 };
 

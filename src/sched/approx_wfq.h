@@ -17,7 +17,8 @@ namespace hfq::sched {
 
 class ApproxWfq : public FlatSchedulerBase {
  public:
-  explicit ApproxWfq(double link_rate_bps) : link_rate_(link_rate_bps) {
+  explicit ApproxWfq(double link_rate_bps)
+      : link_rate_(RateBps{link_rate_bps}) {
     HFQ_ASSERT(link_rate_bps > 0.0);
   }
 
@@ -26,9 +27,10 @@ class ApproxWfq : public FlatSchedulerBase {
     if (!f.queue.push(p)) return false;
     ++backlog_;
     if (f.queue.size() == 1) {
-      const double f_prev = f.epoch == epoch_ ? f.finish : 0.0;
+      const VirtualTime f_prev =
+          f.epoch == epoch_ ? f.finish : VirtualTime{};
       f.start = f_prev > vtime_ ? f_prev : vtime_;
-      f.finish = f.start + p.size_bits() / f.rate;
+      f.finish = f.start + p.bits() / f.rate;
       f.epoch = epoch_;
       f.handle = heads_.push(f.finish, p.flow);
       if (f.start < smin_ || heads_.size() == 1) smin_ = f.start;
@@ -38,8 +40,8 @@ class ApproxWfq : public FlatSchedulerBase {
 
   std::optional<Packet> dequeue(Time /*now*/) override {
     if (heads_.empty()) {
-      vtime_ = 0.0;
-      smin_ = 0.0;
+      vtime_ = VirtualTime{};
+      smin_ = VirtualTime{};
       ++epoch_;
       return std::nullopt;
     }
@@ -50,26 +52,26 @@ class ApproxWfq : public FlatSchedulerBase {
     --backlog_;
     // Eq. 27 update with the smallest start tag tracked conservatively:
     // V <- max(V, Smin) + L/r.
-    double v_now = vtime_;
+    VirtualTime v_now = vtime_;
     if (smin_ > v_now) v_now = smin_;
-    vtime_ = v_now + p.size_bits() / link_rate_;
+    vtime_ = v_now + p.bits() / link_rate_;
     if (!f.queue.empty()) {
       f.start = f.finish;
-      f.finish = f.start + f.queue.front().size_bits() / f.rate;
+      f.finish = f.start + f.queue.front().bits() / f.rate;
       f.handle = heads_.push(f.finish, id);
       if (f.start < smin_) smin_ = f.start;
     }
     return p;
   }
 
-  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+  [[nodiscard]] double vtime() const noexcept { return vtime_.v(); }
 
  private:
-  double link_rate_;
-  double vtime_ = 0.0;
-  double smin_ = 0.0;
+  RateBps link_rate_;
+  VirtualTime vtime_;
+  VirtualTime smin_;
   std::uint64_t epoch_ = 1;
-  util::HandleHeap<double, FlowId> heads_;  // min finish tag (SFF)
+  util::HandleHeap<VirtualTime, FlowId> heads_;  // min finish tag (SFF)
 };
 
 }  // namespace hfq::sched

@@ -28,7 +28,7 @@ class Drr : public FlatSchedulerBase {
     if (!f.queue.push(p)) return false;
     ++backlog_;
     if (f.queue.size() == 1) {
-      f.deficit_bits = 0.0;
+      f.deficit = Bits{};
       f.visited_this_round = false;
       active_.push_back(p.flow);
     }
@@ -40,16 +40,16 @@ class Drr : public FlatSchedulerBase {
       const FlowId id = active_.front();
       FlowState& f = flow(id);
       if (!f.visited_this_round) {
-        f.deficit_bits += quantum(id);
+        f.deficit += Bits{quantum(id)};
         f.visited_this_round = true;
       }
-      const double head_bits = f.queue.front().size_bits();
-      if (f.deficit_bits + 1e-9 >= head_bits) {
-        f.deficit_bits -= head_bits;
+      const Bits head_bits = f.queue.front().bits();
+      if (f.deficit + Bits{1e-9} >= head_bits) {
+        f.deficit -= head_bits;
         Packet p = f.queue.pop();
         --backlog_;
         if (f.queue.empty()) {
-          f.deficit_bits = 0.0;  // deficit does not persist across idle
+          f.deficit = Bits{};  // deficit does not persist across idle
           f.visited_this_round = false;
           active_.pop_front();
         }
@@ -64,7 +64,7 @@ class Drr : public FlatSchedulerBase {
   }
 
   [[nodiscard]] double quantum(FlowId id) const {
-    return frame_bits_ * flow(id).rate / link_rate_;
+    return frame_bits_ * flow(id).rate.bps() / link_rate_;
   }
 
  private:

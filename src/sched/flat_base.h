@@ -1,7 +1,6 @@
 // Shared per-flow state for the one-level (flat) packet schedulers.
 #pragma once
 
-#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -11,12 +10,18 @@
 #include "net/scheduler.h"
 #include "util/assert.h"
 #include "util/heap.h"
+#include "util/units.h"
 
 namespace hfq::sched {
 
 using net::FlowId;
 using net::Packet;
 using net::Time;
+using units::Bits;
+using units::Duration;
+using units::RateBps;
+using units::VirtualTime;
+using units::WallTime;
 
 // Common flow table: registration with guaranteed rate, per-flow FIFO queue
 // with optional capacity, and backlog accounting. Concrete schedulers add
@@ -33,7 +38,7 @@ class FlatSchedulerBase : public net::Scheduler {
     if (id >= flows_.size()) flows_.resize(id + 1);
     HFQ_ASSERT_MSG(!flows_[id].registered, "flow registered twice");
     flows_[id].registered = true;
-    flows_[id].rate = rate_bps;
+    flows_[id].rate = RateBps{rate_bps};
     flows_[id].queue = net::FlowQueue(capacity_packets);
   }
 
@@ -53,7 +58,7 @@ class FlatSchedulerBase : public net::Scheduler {
 
   [[nodiscard]] double rate_of(FlowId id) const {
     HFQ_ASSERT(id < flows_.size() && flows_[id].registered);
-    return flows_[id].rate;
+    return flows_[id].rate.bps();
   }
 
   [[nodiscard]] std::size_t flow_count() const noexcept {
@@ -63,20 +68,22 @@ class FlatSchedulerBase : public net::Scheduler {
  protected:
   struct FlowState {
     bool registered = false;
-    double rate = 0.0;
+    RateBps rate;
     net::FlowQueue queue;
     // Virtual start/finish tags of the head packet (schedulers that use
     // virtual times; Eq. 28/29 per-session form).
-    double start = 0.0;
-    double finish = 0.0;
+    VirtualTime start;
+    VirtualTime finish;
     util::HeapHandle handle = util::kInvalidHeapHandle;
     bool in_eligible = false;  // WF²Q-family: which heap `handle` refers to
     // Busy-period epoch for self-clocked schedulers: tags stamped in an
     // older epoch are treated as zero (O(1) idle reset).
     std::uint64_t epoch = 0;
     // DRR state.
-    double deficit_bits = 0.0;
+    Bits deficit;
     bool visited_this_round = false;
+    // WRR state: packets served from this flow in the current round.
+    double round_served = 0.0;
   };
 
   // Backlog conservation: the packet counter must equal the sum of the
@@ -104,10 +111,16 @@ class FlatSchedulerBase : public net::Scheduler {
 };
 
 // Comparison tolerance for virtual-time eligibility tests: absolute epsilon
-// scaled to the magnitude of the tags involved.
-[[nodiscard]] inline bool vt_leq(double a, double b) {
-  const double mag = std::abs(a) > std::abs(b) ? std::abs(a) : std::abs(b);
-  return a <= b + 1e-9 * (mag > 1.0 ? mag : 1.0);
+// scaled to the magnitude of the tags involved. This is THE sanctioned way
+// to compare tags for eligibility — direct relational operators on tag
+// fields are flagged by tools/hfq_lint (rule tag-compare).
+[[nodiscard]] constexpr bool vt_leq(VirtualTime a, VirtualTime b) {
+  return units::approx_leq(a.v(), b.v());
+}
+
+// Same tolerance for wall-clock instants (busy-period boundary tests).
+[[nodiscard]] constexpr bool wt_leq(WallTime a, WallTime b) {
+  return units::approx_leq(a.seconds(), b.seconds());
 }
 
 // Heap key for virtual-time tags: equal tags are ordered by packet arrival
@@ -116,7 +129,7 @@ class FlatSchedulerBase : public net::Scheduler {
 // tenth packet ties at virtual finish 20 with the ten one-packet sessions
 // and wins because it arrived first).
 struct VtKey {
-  double tag = 0.0;
+  VirtualTime tag;
   std::uint64_t arrival_no = 0;
 
   friend bool operator<(const VtKey& a, const VtKey& b) {

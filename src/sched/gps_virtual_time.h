@@ -3,7 +3,8 @@
 // Tracks the fluid GPS system induced by a stamped arrival stream and
 // answers V(T) at any reference time T. The reference time is real time for
 // a standalone server and the node reference time T_n = W_n(0,t)/r_n for a
-// server node inside a hierarchy (Section 4.1).
+// server node inside a hierarchy (Section 4.1) — either way a WallTime
+// instant, strictly distinct from the VirtualTime axis the stamps live on.
 //
 // Worst-case cost of an advance is O(N) (stepping over fluid departure
 // epochs) — exactly the complexity the paper attributes to WFQ/WF²Q and the
@@ -16,19 +17,26 @@
 #include "net/packet.h"
 #include "util/assert.h"
 #include "util/heap.h"
+#include "util/units.h"
 
 namespace hfq::sched {
 
 using net::FlowId;
+using units::Bits;
+using units::Duration;
+using units::RateBps;
+using units::VirtualTime;
+using units::WallTime;
 
 class GpsVirtualTime {
  public:
   struct Stamp {
-    double start = 0.0;
-    double finish = 0.0;
+    VirtualTime start;
+    VirtualTime finish;
   };
 
-  explicit GpsVirtualTime(double link_rate_bps) : link_rate_(link_rate_bps) {
+  explicit GpsVirtualTime(double link_rate_bps)
+      : link_rate_(RateBps{link_rate_bps}) {
     HFQ_ASSERT(link_rate_bps > 0.0);
   }
 
@@ -39,14 +47,14 @@ class GpsVirtualTime {
     if (id >= flows_.size()) flows_.resize(id + 1);
     HFQ_ASSERT_MSG(!flows_[id].registered, "flow registered twice");
     flows_[id].registered = true;
-    flows_[id].rate = rate_bps;
+    flows_[id].rate = RateBps{rate_bps};
   }
 
   // Stamps a packet arriving at reference time T: S = max(F_prev, V(T)),
   // F = S + bits / r_i. Times must be non-decreasing across calls.
-  Stamp on_arrival(double T, FlowId id, double bits) {
+  Stamp on_arrival(WallTime T, FlowId id, Bits bits) {
     HFQ_ASSERT(id < flows_.size() && flows_[id].registered);
-    HFQ_ASSERT(bits > 0.0);
+    HFQ_ASSERT(bits.bits() > 0.0);
     advance_to(T);
     Flow& f = flows_[id];
     Stamp st;
@@ -63,17 +71,18 @@ class GpsVirtualTime {
   }
 
   // Advances the fluid system to reference time T (>= previous T).
-  void advance_to(double T) {
-    HFQ_ASSERT_MSG(T >= ref_time_ - 1e-9, "reference time went backwards");
+  void advance_to(WallTime T) {
+    HFQ_ASSERT_MSG(T >= ref_time_ - Duration{1e-9},
+                   "reference time went backwards");
     while (ref_time_ < T) {
       if (backlog_.empty()) {
         ref_time_ = T;
         return;
       }
       // Next fluid departure: flow whose backlog empties at V = min lastF.
-      const double v_next = backlog_.top_key();
-      const double dt_needed = (v_next - vtime_) * phi_sum_;
-      const double dt_avail = T - ref_time_;
+      const VirtualTime v_next = backlog_.top_key();
+      const Duration dt_needed = (v_next - vtime_) * phi_sum_;
+      const Duration dt_avail = T - ref_time_;
       if (dt_needed <= dt_avail) {
         vtime_ = v_next;
         ref_time_ += dt_needed;
@@ -85,9 +94,13 @@ class GpsVirtualTime {
     }
   }
 
-  // Current virtual time (valid after advance_to / on_arrival).
-  [[nodiscard]] double vtime() const noexcept { return vtime_; }
-  [[nodiscard]] double ref_time() const noexcept { return ref_time_; }
+  // Current virtual time as a typed instant (valid after advance_to /
+  // on_arrival); the raw-double accessors below serve tests and telemetry.
+  [[nodiscard]] VirtualTime vnow() const noexcept { return vtime_; }
+  [[nodiscard]] double vtime() const noexcept { return vtime_.v(); }
+  [[nodiscard]] double ref_time() const noexcept {
+    return ref_time_.seconds();
+  }
 
   // True if the flow still has fluid backlog (its last finish tag is ahead
   // of the current virtual time).
@@ -99,13 +112,17 @@ class GpsVirtualTime {
  private:
   struct Flow {
     bool registered = false;
-    double rate = 0.0;
-    double last_finish = 0.0;  // largest virtual finish among arrived packets
+    RateBps rate;
+    VirtualTime last_finish;  // largest virtual finish among arrived packets
     util::HeapHandle handle = util::kInvalidHeapHandle;
   };
 
   void pop_departures() {
-    while (!backlog_.empty() && backlog_.top_key() <= vtime_ + 1e-12) {
+    // Drain with an explicit absolute slack, not vt_leq's relative one: a
+    // fluid departure is due when V reaches the finish tag and the 1e-12
+    // absorbs only the accumulated-sum dust. hfq-lint: disable(tag-compare)
+    while (!backlog_.empty() &&
+           backlog_.top_key() <= vtime_ + Duration{1e-12}) {
       const FlowId id = backlog_.pop();
       flows_[id].handle = util::kInvalidHeapHandle;
       phi_sum_ -= flows_[id].rate / link_rate_;
@@ -113,12 +130,12 @@ class GpsVirtualTime {
     if (backlog_.empty()) phi_sum_ = 0.0;
   }
 
-  double link_rate_;
-  double vtime_ = 0.0;
-  double ref_time_ = 0.0;
+  RateBps link_rate_;
+  VirtualTime vtime_;
+  WallTime ref_time_;
   double phi_sum_ = 0.0;  // sum of shares of fluid-backlogged flows
   std::vector<Flow> flows_;
-  util::HandleHeap<double, FlowId> backlog_;  // keyed by last_finish
+  util::HandleHeap<VirtualTime, FlowId> backlog_;  // keyed by last_finish
 };
 
 }  // namespace hfq::sched

@@ -22,9 +22,10 @@ class StartTimeFq : public FlatSchedulerBase {
     if (!f.queue.push(p)) return false;
     ++backlog_;
     if (f.queue.size() == 1) {
-      const double f_prev = f.epoch == epoch_ ? f.finish : 0.0;
+      const VirtualTime f_prev =
+          f.epoch == epoch_ ? f.finish : VirtualTime{};
       f.start = f_prev > vtime_ ? f_prev : vtime_;
-      f.finish = f.start + p.size_bits() / f.rate;
+      f.finish = f.start + p.bits() / f.rate;
       f.epoch = epoch_;
       f.handle = heads_.push(f.start, p.flow);
     }
@@ -35,7 +36,7 @@ class StartTimeFq : public FlatSchedulerBase {
     if (heads_.empty()) {
       // Busy period over (the link polls after the final transmission):
       // restart the clock lazily via the epoch counter.
-      vtime_ = 0.0;
+      vtime_ = VirtualTime{};
       ++epoch_;
       return std::nullopt;
     }
@@ -47,18 +48,18 @@ class StartTimeFq : public FlatSchedulerBase {
     --backlog_;
     if (!f.queue.empty()) {
       f.start = f.finish;
-      f.finish = f.start + f.queue.front().size_bits() / f.rate;
+      f.finish = f.start + f.queue.front().bits() / f.rate;
       f.handle = heads_.push(f.start, id);
     }
     return p;
   }
 
-  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+  [[nodiscard]] double vtime() const noexcept { return vtime_.v(); }
 
  private:
-  double vtime_ = 0.0;
+  VirtualTime vtime_;
   std::uint64_t epoch_ = 1;
-  util::HandleHeap<double, FlowId> heads_;  // min start tag
+  util::HandleHeap<VirtualTime, FlowId> heads_;  // min start tag
 };
 
 }  // namespace hfq::sched

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "sched/flat_base.h"
 
@@ -19,17 +20,27 @@ class VirtualClock : public FlatSchedulerBase {
  public:
   VirtualClock() = default;
 
+  void add_flow(FlowId id, double rate_bps,
+                std::size_t capacity_packets = 0) override {
+    FlatSchedulerBase::add_flow(id, rate_bps, capacity_packets);
+    if (id >= aux_.size()) aux_.resize(id + 1);
+  }
+
   bool enqueue(const Packet& p, Time now) override {
     FlowState& f = flow(p.flow);
     if (!f.queue.push(p)) return false;
     ++backlog_;
     // Stamp every packet at arrival: auxVC = max(now, auxVC) + L/r.
     // Per-session storage suffices because stamps within a flow are
-    // monotone; the head stamp is reconstructed below.
+    // monotone; the head stamp is reconstructed below. Unlike the GPS
+    // family the tags live on the *wall-clock* axis (the aux clock is
+    // lower bounded by real time), hence WallTime rather than VirtualTime.
     if (f.queue.size() == 1) {
-      f.start = f.finish > now ? f.finish : now;
-      f.finish = f.start + p.size_bits() / f.rate;
-      f.handle = heads_.push(f.finish, p.flow);
+      AuxClock& a = aux_[p.flow];
+      const WallTime t{now};
+      a.start = a.finish > t ? a.finish : t;
+      a.finish = a.start + p.bits() / f.rate;
+      f.handle = heads_.push(a.finish, p.flow);
     }
     // Packets queued behind the head chain their stamps at dequeue time.
     return true;
@@ -43,15 +54,25 @@ class VirtualClock : public FlatSchedulerBase {
     Packet p = f.queue.pop();
     --backlog_;
     if (!f.queue.empty()) {
-      f.start = f.finish > now ? f.finish : now;
-      f.finish = f.start + f.queue.front().size_bits() / f.rate;
-      f.handle = heads_.push(f.finish, id);
+      AuxClock& a = aux_[id];
+      const WallTime t{now};
+      a.start = a.finish > t ? a.finish : t;
+      a.finish = a.start + f.queue.front().bits() / f.rate;
+      f.handle = heads_.push(a.finish, id);
     }
     return p;
   }
 
  private:
-  util::HandleHeap<double, FlowId> heads_;  // min auxVC
+  // The per-flow auxiliary clock persists across idle periods — that memory
+  // of past excess service is the defining (mis)feature of Virtual Clock.
+  struct AuxClock {
+    WallTime start;
+    WallTime finish;
+  };
+
+  std::vector<AuxClock> aux_;
+  util::HandleHeap<WallTime, FlowId> heads_;  // min auxVC
 };
 
 }  // namespace hfq::sched

@@ -31,7 +31,7 @@ class Wf2q : public FlatSchedulerBase {
   bool enqueue(const Packet& p, Time now) override {
     FlowState& f = flow(p.flow);
     if (!f.queue.push(p)) return false;
-    const auto st = vt_.on_arrival(now, p.flow, p.size_bits());
+    const auto st = vt_.on_arrival(WallTime{now}, p.flow, p.bits());
     stamps_[p.flow].push_back(Entry{st, arrival_counter_++});
     ++backlog_;
     if (f.queue.size() == 1) set_head(p.flow);
@@ -39,7 +39,7 @@ class Wf2q : public FlatSchedulerBase {
   }
 
   std::optional<Packet> dequeue(Time now) override {
-    vt_.advance_to(now);
+    vt_.advance_to(WallTime{now});
     migrate_eligible();
     FlowId id;
     if (!eligible_.empty()) {
@@ -74,7 +74,7 @@ class Wf2q : public FlatSchedulerBase {
     const Entry& e = stamps_[id].front();
     f.start = e.stamp.start;
     f.finish = e.stamp.finish;
-    if (vt_leq(f.start, vt_.vtime())) {
+    if (vt_leq(f.start, vt_.vnow())) {
       f.in_eligible = true;
       f.handle = eligible_.push(VtKey{f.finish, e.arrival_no}, id);
     } else {
@@ -86,7 +86,7 @@ class Wf2q : public FlatSchedulerBase {
   // Moves flows whose head has started in the fluid system into the
   // eligible heap.
   void migrate_eligible() {
-    while (!waiting_.empty() && vt_leq(waiting_.top_key().tag, vt_.vtime())) {
+    while (!waiting_.empty() && vt_leq(waiting_.top_key().tag, vt_.vnow())) {
       const FlowId id = waiting_.pop();
       FlowState& f = flow(id);
       f.in_eligible = true;

@@ -26,7 +26,7 @@ namespace hfq::sched {
 class Wf2qPlusPerPacket : public FlatSchedulerBase {
  public:
   explicit Wf2qPlusPerPacket(double link_rate_bps)
-      : link_rate_(link_rate_bps) {
+      : link_rate_(RateBps{link_rate_bps}) {
     HFQ_ASSERT(link_rate_bps > 0.0);
   }
 
@@ -42,13 +42,14 @@ class Wf2qPlusPerPacket : public FlatSchedulerBase {
     // Per-packet stamping at ARRIVAL time (Eqs. 6–7 with V_WF2Q+):
     // S^k = max(F^{k-1}, V(a)), F^k = S^k + L/r_i.
     PerFlow& t = tags_[p.flow];
-    const double f_prev =
-        t.epoch == epoch_ && !(t.stamps.empty() && t.last_finish == 0.0)
+    const VirtualTime f_prev =
+        t.epoch == epoch_ &&
+                !(t.stamps.empty() && t.last_finish == VirtualTime{})
             ? t.last_finish
-            : 0.0;
+            : VirtualTime{};
     Stamp st;
     st.start = f_prev > vtime_ ? f_prev : vtime_;
-    st.finish = st.start + p.size_bits() / f.rate;
+    st.finish = st.start + p.bits() / f.rate;
     st.arrival_no = arrival_counter_++;
     t.last_finish = st.finish;
     t.epoch = epoch_;
@@ -60,14 +61,14 @@ class Wf2qPlusPerPacket : public FlatSchedulerBase {
 
   std::optional<Packet> dequeue(Time /*now*/) override {
     if (backlog_ == 0) {
-      vtime_ = 0.0;
+      vtime_ = VirtualTime{};
       ++epoch_;
       return std::nullopt;
     }
-    double v_now = vtime_;
+    VirtualTime v_now = vtime_;
     if (eligible_.empty()) {
       HFQ_ASSERT(!waiting_.empty());
-      const double smin = waiting_.top_key().tag;
+      const VirtualTime smin = waiting_.top_key().tag;
       if (smin > v_now) v_now = smin;
     }
     while (!waiting_.empty() && vt_leq(waiting_.top_key().tag, v_now)) {
@@ -84,22 +85,22 @@ class Wf2qPlusPerPacket : public FlatSchedulerBase {
     Packet p = f.queue.pop();
     tags_[id].stamps.pop_front();
     --backlog_;
-    vtime_ = v_now + p.size_bits() / link_rate_;
+    vtime_ = v_now + p.bits() / link_rate_;
     if (!f.queue.empty()) insert_head(id);
     return p;
   }
 
-  [[nodiscard]] double vtime() const noexcept { return vtime_; }
+  [[nodiscard]] double vtime() const noexcept { return vtime_.v(); }
 
  private:
   struct Stamp {
-    double start = 0.0;
-    double finish = 0.0;
+    VirtualTime start;
+    VirtualTime finish;
     std::uint64_t arrival_no = 0;
   };
   struct PerFlow {
-    std::deque<Stamp> stamps;   // one per queued packet
-    double last_finish = 0.0;   // F of the newest stamped packet
+    std::deque<Stamp> stamps;  // one per queued packet
+    VirtualTime last_finish;   // F of the newest stamped packet
     std::uint64_t epoch = 0;
   };
 
@@ -117,8 +118,8 @@ class Wf2qPlusPerPacket : public FlatSchedulerBase {
     }
   }
 
-  double link_rate_;
-  double vtime_ = 0.0;
+  RateBps link_rate_;
+  VirtualTime vtime_;
   std::uint64_t epoch_ = 1;
   std::uint64_t arrival_counter_ = 0;
   std::vector<PerFlow> tags_;

@@ -33,7 +33,7 @@ class Wfq : public FlatSchedulerBase {
     if (!f.queue.push(p)) return false;
     // Stamp only accepted packets — dropped traffic never enters the
     // reference fluid system.
-    const auto st = vt_.on_arrival(now, p.flow, p.size_bits());
+    const auto st = vt_.on_arrival(WallTime{now}, p.flow, p.bits());
     stamps_[p.flow].push_back(Entry{st, arrival_counter_++});
     ++backlog_;
     if (f.queue.size() == 1) set_head(p.flow);
@@ -41,7 +41,7 @@ class Wfq : public FlatSchedulerBase {
   }
 
   std::optional<Packet> dequeue(Time now) override {
-    vt_.advance_to(now);
+    vt_.advance_to(WallTime{now});
     if (heads_.empty()) return std::nullopt;
     const FlowId id = heads_.pop();
     FlowState& f = flow(id);

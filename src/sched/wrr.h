@@ -26,7 +26,7 @@ class Wrr : public FlatSchedulerBase {
     if (!f.queue.push(p)) return false;
     ++backlog_;
     if (f.queue.size() == 1) {
-      f.deficit_bits = 0.0;  // reused as "packets served this round"
+      f.round_served = 0.0;
       f.visited_this_round = false;
       active_.push_back(p.flow);
     }
@@ -37,18 +37,18 @@ class Wrr : public FlatSchedulerBase {
     while (!active_.empty()) {
       const FlowId id = active_.front();
       FlowState& f = flow(id);
-      if (f.deficit_bits < weight_of(id)) {
-        f.deficit_bits += 1.0;
+      if (f.round_served < weight_of(id)) {
+        f.round_served += 1.0;
         Packet p = f.queue.pop();
         --backlog_;
         if (f.queue.empty()) {
-          f.deficit_bits = 0.0;
+          f.round_served = 0.0;
           active_.pop_front();
         }
         return p;
       }
       // Round quota exhausted: rotate.
-      f.deficit_bits = 0.0;
+      f.round_served = 0.0;
       active_.pop_front();
       active_.push_back(id);
     }
@@ -56,7 +56,7 @@ class Wrr : public FlatSchedulerBase {
   }
 
   [[nodiscard]] double weight_of(FlowId id) const {
-    const double w = flow(id).rate / base_rate_;
+    const double w = flow(id).rate.bps() / base_rate_;
     return w < 1.0 ? 1.0 : static_cast<double>(static_cast<int>(w + 0.5));
   }
 

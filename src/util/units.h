@@ -1,0 +1,375 @@
+// Compile-time unit safety for the quantities the paper's algebra lives in.
+//
+// The correctness argument of H-PFQ/WF²Q+ is carried entirely by the
+// algebra of virtual time (Eq. 27, the SEFF eligibility test, Theorems 1–4),
+// yet wall-clock instants, virtual-time instants, fixed-point ticks, packet
+// bits and service rates are all "just numbers". Mixing them compiles and
+// silently breaks WFI bounds — the PR 1 `busy_until_` leak was exactly a
+// virtual-time value stored in a wall-clock field, caught only by the
+// differential fuzzer. These zero-cost wrappers push the distinction into
+// the type system:
+//
+//   WallTime     — an instant in simulated real time (seconds)
+//   VirtualTime  — an instant of a server's virtual time function V(·)
+//   Duration     — a span of seconds; the only bridge between instants.
+//                  V advances by spans of service time (L/r), so a Duration
+//                  may legally be added to either instant kind — but the
+//                  instants themselves never mix:
+//                  WallTime − VirtualTime does not compile.
+//   Bits         — an amount of traffic
+//   RateBps      — bits per second;  Bits / RateBps → Duration
+//   VTicks       — integer fixed-point virtual time (2^-shift seconds per
+//                  tick), the hardware datapath form used by Wf2qPlusFixed
+//
+// Only the physically meaningful operators exist. Construction from and
+// extraction to raw doubles is always explicit (constructor / named
+// accessor), so every unit boundary is visible at the call site and
+// greppable by tools/hfq_lint. The static_asserts at the bottom are the
+// compile-fail test suite: they prove the meaningless expressions are
+// rejected, and break the build if an operator overload ever widens the
+// algebra by accident. All wrappers are trivially copyable single-scalar
+// types — zero cost at -O1 and above.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace hfq::units {
+
+// ---------------------------------------------------------------- Duration
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(double seconds) : s_(seconds) {}
+
+  [[nodiscard]] constexpr double seconds() const noexcept { return s_; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.s_ + b.s_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.s_ - b.s_};
+  }
+  friend constexpr Duration operator-(Duration a) { return Duration{-a.s_}; }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration{a.s_ * k};
+  }
+  friend constexpr Duration operator*(double k, Duration a) {
+    return Duration{k * a.s_};
+  }
+  friend constexpr Duration operator/(Duration a, double k) {
+    return Duration{a.s_ / k};
+  }
+  friend constexpr double operator/(Duration a, Duration b) {
+    return a.s_ / b.s_;
+  }
+  constexpr Duration& operator+=(Duration d) {
+    s_ += d.s_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration d) {
+    s_ -= d.s_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  double s_ = 0.0;
+};
+
+// ---------------------------------------------------------------- WallTime
+
+class WallTime {
+ public:
+  constexpr WallTime() = default;
+  constexpr explicit WallTime(double seconds) : s_(seconds) {}
+
+  [[nodiscard]] constexpr double seconds() const noexcept { return s_; }
+
+  friend constexpr WallTime operator+(WallTime t, Duration d) {
+    return WallTime{t.s_ + d.seconds()};
+  }
+  friend constexpr WallTime operator-(WallTime t, Duration d) {
+    return WallTime{t.s_ - d.seconds()};
+  }
+  friend constexpr Duration operator-(WallTime a, WallTime b) {
+    return Duration{a.s_ - b.s_};
+  }
+  constexpr WallTime& operator+=(Duration d) {
+    s_ += d.seconds();
+    return *this;
+  }
+  constexpr WallTime& operator-=(Duration d) {
+    s_ -= d.seconds();
+    return *this;
+  }
+  friend constexpr auto operator<=>(WallTime, WallTime) = default;
+
+ private:
+  double s_ = 0.0;
+};
+
+// ------------------------------------------------------------- VirtualTime
+
+class VirtualTime {
+ public:
+  constexpr VirtualTime() = default;
+  constexpr explicit VirtualTime(double v) : v_(v) {}
+
+  // The raw value of V — name the unwrap so it is visible and greppable.
+  [[nodiscard]] constexpr double v() const noexcept { return v_; }
+
+  friend constexpr VirtualTime operator+(VirtualTime t, Duration d) {
+    return VirtualTime{t.v_ + d.seconds()};
+  }
+  friend constexpr VirtualTime operator-(VirtualTime t, Duration d) {
+    return VirtualTime{t.v_ - d.seconds()};
+  }
+  friend constexpr Duration operator-(VirtualTime a, VirtualTime b) {
+    return Duration{a.v_ - b.v_};
+  }
+  constexpr VirtualTime& operator+=(Duration d) {
+    v_ += d.seconds();
+    return *this;
+  }
+  constexpr VirtualTime& operator-=(Duration d) {
+    v_ -= d.seconds();
+    return *this;
+  }
+  friend constexpr auto operator<=>(VirtualTime, VirtualTime) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+// ------------------------------------------------------------ Bits/RateBps
+
+class RateBps;
+
+class Bits {
+ public:
+  constexpr Bits() = default;
+  constexpr explicit Bits(double bits) : b_(bits) {}
+
+  [[nodiscard]] constexpr double bits() const noexcept { return b_; }
+
+  friend constexpr Bits operator+(Bits a, Bits b) { return Bits{a.b_ + b.b_}; }
+  friend constexpr Bits operator-(Bits a, Bits b) { return Bits{a.b_ - b.b_}; }
+  friend constexpr Bits operator*(Bits a, double k) { return Bits{a.b_ * k}; }
+  friend constexpr Bits operator*(double k, Bits a) { return Bits{k * a.b_}; }
+  constexpr Bits& operator+=(Bits b) {
+    b_ += b.b_;
+    return *this;
+  }
+  constexpr Bits& operator-=(Bits b) {
+    b_ -= b.b_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Bits, Bits) = default;
+
+  // Defined after RateBps: Bits / RateBps → Duration, Bits / Duration → RateBps.
+  friend constexpr Duration operator/(Bits b, RateBps r);
+  friend constexpr RateBps operator/(Bits b, Duration d);
+
+ private:
+  double b_ = 0.0;
+};
+
+class RateBps {
+ public:
+  constexpr RateBps() = default;
+  constexpr explicit RateBps(double bps) : r_(bps) {}
+
+  [[nodiscard]] constexpr double bps() const noexcept { return r_; }
+
+  friend constexpr RateBps operator+(RateBps a, RateBps b) {
+    return RateBps{a.r_ + b.r_};
+  }
+  friend constexpr RateBps operator-(RateBps a, RateBps b) {
+    return RateBps{a.r_ - b.r_};
+  }
+  friend constexpr RateBps operator*(RateBps a, double k) {
+    return RateBps{a.r_ * k};
+  }
+  friend constexpr RateBps operator*(double k, RateBps a) {
+    return RateBps{k * a.r_};
+  }
+  // Share of one rate in another (the GPS weight phi_i = r_i / r).
+  friend constexpr double operator/(RateBps a, RateBps b) {
+    return a.r_ / b.r_;
+  }
+  friend constexpr Bits operator*(RateBps r, Duration d) {
+    return Bits{r.r_ * d.seconds()};
+  }
+  friend constexpr Bits operator*(Duration d, RateBps r) {
+    return Bits{d.seconds() * r.r_};
+  }
+  constexpr RateBps& operator+=(RateBps b) {
+    r_ += b.r_;
+    return *this;
+  }
+  constexpr RateBps& operator-=(RateBps b) {
+    r_ -= b.r_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(RateBps, RateBps) = default;
+
+ private:
+  double r_ = 0.0;
+};
+
+constexpr Duration operator/(Bits b, RateBps r) {
+  return Duration{b.b_ / r.bps()};
+}
+constexpr RateBps operator/(Bits b, Duration d) {
+  return RateBps{b.b_ / d.seconds()};
+}
+
+// ------------------------------------------------------------------ VTicks
+
+// Integer virtual time for the fixed-point datapath: a count of 2^-shift
+// second ticks. Pure integer add/compare — the form a hardware implementation
+// carries, kept separate from VirtualTime so a tick count is never mistaken
+// for (or mixed with) the floating-point clock without an explicit
+// quantization step.
+class VTicks {
+ public:
+  constexpr VTicks() = default;
+  constexpr explicit VTicks(std::uint64_t ticks) : t_(ticks) {}
+
+  [[nodiscard]] constexpr std::uint64_t ticks() const noexcept { return t_; }
+
+  // Quantization boundary with the double world, explicit in both
+  // directions. from_seconds_ceil rounds UP: a session is never credited
+  // more service than it is entitled to (the conservative direction for
+  // guarantees — see core/wf2qplus_fixed.h).
+  [[nodiscard]] constexpr double to_seconds(int tick_shift) const noexcept {
+    return static_cast<double>(t_) /
+           static_cast<double>(std::uint64_t{1} << tick_shift);
+  }
+  [[nodiscard]] static constexpr VTicks from_seconds_ceil(double seconds,
+                                                          int tick_shift) {
+    const double scaled =
+        seconds * static_cast<double>(std::uint64_t{1} << tick_shift);
+    const auto floor_ticks = static_cast<std::uint64_t>(scaled);
+    return VTicks{static_cast<double>(floor_ticks) == scaled
+                      ? floor_ticks
+                      : floor_ticks + 1};
+  }
+
+  friend constexpr VTicks operator+(VTicks a, VTicks b) {
+    return VTicks{a.t_ + b.t_};
+  }
+  friend constexpr VTicks operator-(VTicks a, VTicks b) {
+    return VTicks{a.t_ - b.t_};
+  }
+  constexpr VTicks& operator+=(VTicks b) {
+    t_ += b.t_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(VTicks, VTicks) = default;
+
+ private:
+  std::uint64_t t_ = 0;
+};
+
+// -------------------------------------------------- tolerant comparisons
+
+// Floating-point tags accumulate rounding from repeated L/r additions; exact
+// <= would make eligibility flap on ties. Absolute epsilon scaled to the
+// magnitude of the operands (the historic sched::vt_leq semantics).
+[[nodiscard]] constexpr bool approx_leq(double a, double b) noexcept {
+  const double aa = a < 0.0 ? -a : a;
+  const double ab = b < 0.0 ? -b : b;
+  const double mag = aa > ab ? aa : ab;
+  return a <= b + 1e-9 * (mag > 1.0 ? mag : 1.0);
+}
+
+// ------------------------------------- compile-fail tests (the type gate)
+
+namespace unit_detail {
+
+template <typename A, typename B, typename = void>
+struct addable : std::false_type {};
+template <typename A, typename B>
+struct addable<A, B,
+               std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B, typename = void>
+struct subtractable : std::false_type {};
+template <typename A, typename B>
+struct subtractable<
+    A, B, std::void_t<decltype(std::declval<A>() - std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B, typename = void>
+struct dividable : std::false_type {};
+template <typename A, typename B>
+struct dividable<A, B,
+                 std::void_t<decltype(std::declval<A>() / std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B, typename = void>
+struct comparable : std::false_type {};
+template <typename A, typename B>
+struct comparable<A, B,
+                  std::void_t<decltype(std::declval<A>() < std::declval<B>())>>
+    : std::true_type {};
+
+}  // namespace unit_detail
+
+// The physically meaningful algebra exists…
+static_assert(unit_detail::addable<WallTime, Duration>::value);
+static_assert(unit_detail::addable<VirtualTime, Duration>::value);
+static_assert(unit_detail::subtractable<WallTime, WallTime>::value);
+static_assert(unit_detail::subtractable<VirtualTime, VirtualTime>::value);
+static_assert(unit_detail::dividable<Bits, RateBps>::value);
+static_assert(unit_detail::dividable<RateBps, RateBps>::value);
+static_assert(unit_detail::addable<VTicks, VTicks>::value);
+
+// …and the meaningless expressions are rejected at compile time.
+static_assert(!unit_detail::subtractable<WallTime, VirtualTime>::value,
+              "wall-clock and virtual instants must not mix");
+static_assert(!unit_detail::subtractable<VirtualTime, WallTime>::value,
+              "wall-clock and virtual instants must not mix");
+static_assert(!unit_detail::addable<WallTime, VirtualTime>::value,
+              "wall-clock and virtual instants must not mix");
+static_assert(!unit_detail::addable<WallTime, WallTime>::value,
+              "adding two instants is meaningless (use a Duration)");
+static_assert(!unit_detail::addable<VirtualTime, VirtualTime>::value,
+              "adding two instants is meaningless (use a Duration)");
+static_assert(!unit_detail::comparable<WallTime, VirtualTime>::value,
+              "instants of different clocks are not ordered");
+static_assert(!unit_detail::addable<Bits, Duration>::value,
+              "bits and seconds do not add");
+static_assert(!unit_detail::addable<Bits, RateBps>::value,
+              "bits and bits/second do not add");
+static_assert(!unit_detail::addable<VTicks, VirtualTime>::value,
+              "ticks need an explicit quantization step to meet V(t)");
+static_assert(!unit_detail::dividable<RateBps, Bits>::value,
+              "seconds per bit is not a quantity this system uses");
+static_assert(!std::is_convertible_v<double, VirtualTime>,
+              "raw doubles must not silently become virtual time");
+static_assert(!std::is_convertible_v<VirtualTime, double>,
+              "virtual time must not silently decay to a raw double");
+static_assert(!std::is_convertible_v<double, WallTime> &&
+                  !std::is_convertible_v<WallTime, double>,
+              "wall time construction/extraction must be explicit");
+static_assert(!std::is_convertible_v<WallTime, VirtualTime> &&
+                  !std::is_convertible_v<VirtualTime, WallTime>,
+              "no conversion path between the two clocks");
+
+// Zero-cost: plain scalars under the hood.
+static_assert(std::is_trivially_copyable_v<WallTime> &&
+              std::is_trivially_copyable_v<VirtualTime> &&
+              std::is_trivially_copyable_v<Duration> &&
+              std::is_trivially_copyable_v<Bits> &&
+              std::is_trivially_copyable_v<RateBps> &&
+              std::is_trivially_copyable_v<VTicks>);
+static_assert(sizeof(VirtualTime) == sizeof(double) &&
+              sizeof(WallTime) == sizeof(double) &&
+              sizeof(VTicks) == sizeof(std::uint64_t));
+
+}  // namespace hfq::units

@@ -1,0 +1,34 @@
+// Seeded violations for tools/hfq_lint — exactly one per rule, in rule
+// order. This file is never compiled; the `hfq_lint_fixture` ctest runs the
+// linter over this directory and expects a non-zero exit with all five rule
+// ids in the report. If a rule regresses to never firing, that test fails.
+namespace hfq::lint_fixture {
+
+struct Demo {
+  double start = 0.0;
+  double finish = 0.0;
+  double key = 0.0;
+};
+
+double vtime_ = 0.0;  // vtime-raw-double: tags/clocks must use units.h types
+
+inline bool eligible(const Demo& d) {
+  return d.start <= vtime_;  // tag-compare: must go through sched::vt_leq
+}
+
+// assert-precondition: a registration entry point with no HFQ_ASSERT and no
+// delegation to a checked sibling.
+inline void add_flow(int id, double rate_bps) {
+  (void)id;
+  (void)rate_bps;
+}
+
+inline void corrupt(Demo& d) {
+  d.key = 1.0;  // heap-key-mutation: keys change only via the heap API
+}
+
+inline void cross(double now) {
+  vtime_ = now;  // domain-cross-assign: wall clock into virtual time
+}
+
+}  // namespace hfq::lint_fixture

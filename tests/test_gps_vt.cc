@@ -20,9 +20,9 @@ TEST(GpsVirtualTime, SlopeOneWhenFullyBacklogged) {
   GpsVirtualTime vt(100.0);
   vt.add_flow(0, 50.0);
   vt.add_flow(1, 50.0);
-  vt.on_arrival(0.0, 0, 500.0);  // 10 s of fluid work each
-  vt.on_arrival(0.0, 1, 500.0);
-  vt.advance_to(5.0);
+  vt.on_arrival(WallTime{0.0}, 0, Bits{500.0});  // 10 s of fluid work each
+  vt.on_arrival(WallTime{0.0}, 1, Bits{500.0});
+  vt.advance_to(WallTime{5.0});
   EXPECT_NEAR(vt.vtime(), 5.0, 1e-9);  // phi sum = 1 → slope 1
 }
 
@@ -30,49 +30,49 @@ TEST(GpsVirtualTime, SlopeAcceleratesWhenPartiallyBacklogged) {
   GpsVirtualTime vt(100.0);
   vt.add_flow(0, 50.0);
   vt.add_flow(1, 50.0);
-  vt.on_arrival(0.0, 0, 500.0);  // only flow 0 backlogged: phi = 0.5
-  vt.advance_to(4.0);
+  vt.on_arrival(WallTime{0.0}, 0, Bits{500.0});  // only flow 0 backlogged: phi = 0.5
+  vt.advance_to(WallTime{4.0});
   EXPECT_NEAR(vt.vtime(), 8.0, 1e-9);  // slope 2
 }
 
 TEST(GpsVirtualTime, StampsFollowEq6And7) {
   GpsVirtualTime vt(100.0);
   vt.add_flow(0, 25.0);
-  const auto s1 = vt.on_arrival(0.0, 0, 100.0);
-  EXPECT_DOUBLE_EQ(s1.start, 0.0);
-  EXPECT_DOUBLE_EQ(s1.finish, 4.0);  // 100 bits / 25 bps
+  const auto s1 = vt.on_arrival(WallTime{0.0}, 0, Bits{100.0});
+  EXPECT_DOUBLE_EQ(s1.start.v(), 0.0);
+  EXPECT_DOUBLE_EQ(s1.finish.v(), 4.0);  // 100 bits / 25 bps
   // Second packet while still backlogged: S = F_prev.
-  const auto s2 = vt.on_arrival(1.0, 0, 100.0);
-  EXPECT_DOUBLE_EQ(s2.start, 4.0);
-  EXPECT_DOUBLE_EQ(s2.finish, 8.0);
+  const auto s2 = vt.on_arrival(WallTime{1.0}, 0, Bits{100.0});
+  EXPECT_DOUBLE_EQ(s2.start.v(), 4.0);
+  EXPECT_DOUBLE_EQ(s2.finish.v(), 8.0);
 }
 
 TEST(GpsVirtualTime, StampAfterFluidDrainUsesCurrentV) {
   GpsVirtualTime vt(100.0);
   vt.add_flow(0, 25.0);
   vt.add_flow(1, 75.0);
-  vt.on_arrival(0.0, 0, 100.0);  // F = 4 (virtual)
+  vt.on_arrival(WallTime{0.0}, 0, Bits{100.0});  // F = 4 (virtual)
   // Flow 0's fluid drains at V=4 (real t=1, slope 4); arrival at t=2 with
   // fluid idle: V stays 4.
-  vt.advance_to(2.0);
+  vt.advance_to(WallTime{2.0});
   EXPECT_TRUE(!vt.fluid_backlogged(0));
-  const auto st = vt.on_arrival(2.0, 0, 100.0);
-  EXPECT_DOUBLE_EQ(st.start, 4.0);
-  EXPECT_DOUBLE_EQ(st.finish, 8.0);
+  const auto st = vt.on_arrival(WallTime{2.0}, 0, Bits{100.0});
+  EXPECT_DOUBLE_EQ(st.start.v(), 4.0);
+  EXPECT_DOUBLE_EQ(st.finish.v(), 8.0);
 }
 
 TEST(GpsVirtualTime, FluidBackloggedTracksDepartures) {
   GpsVirtualTime vt(100.0);
   vt.add_flow(0, 50.0);
   vt.add_flow(1, 50.0);
-  vt.on_arrival(0.0, 0, 100.0);  // F = 2
-  vt.on_arrival(0.0, 1, 400.0);  // F = 8
+  vt.on_arrival(WallTime{0.0}, 0, Bits{100.0});  // F = 2
+  vt.on_arrival(WallTime{0.0}, 1, Bits{400.0});  // F = 8
   EXPECT_TRUE(vt.fluid_backlogged(0));
   EXPECT_TRUE(vt.fluid_backlogged(1));
-  vt.advance_to(2.0);  // V = 2: flow 0 drains
+  vt.advance_to(WallTime{2.0});  // V = 2: flow 0 drains
   EXPECT_FALSE(vt.fluid_backlogged(0));
   EXPECT_TRUE(vt.fluid_backlogged(1));
-  vt.advance_to(20.0);
+  vt.advance_to(WallTime{20.0});
   EXPECT_FALSE(vt.fluid_backlogged(1));
 }
 
@@ -103,11 +103,11 @@ TEST(GpsVirtualTimeProperty, MatchesFluidGpsDrainTimes) {
                              rng.uniform(10.0, 200.0)});
     }
     for (const auto& a : arrivals) {
-      vt.on_arrival(a.t, a.f, a.bits);
+      vt.on_arrival(WallTime{a.t}, a.f, Bits{a.bits});
       gps.arrive(a.t, a.f, a.bits);
     }
     const double t_end = t + 100.0;
-    vt.advance_to(t_end);
+    vt.advance_to(WallTime{t_end});
     gps.advance_to(t_end);
     for (net::FlowId f = 0; f < n; ++f) {
       EXPECT_EQ(vt.fluid_backlogged(f), gps.backlogged(f))
@@ -125,11 +125,12 @@ TEST(GpsVirtualTimeProperty, MatchesFluidGpsDrainTimes) {
     for (int step = 0; step < 40; ++step) {
       probe += rng.uniform(0.1, 2.0);
       while (next < arrivals.size() && arrivals[next].t <= probe) {
-        vt2.on_arrival(arrivals[next].t, arrivals[next].f, arrivals[next].bits);
+        vt2.on_arrival(WallTime{arrivals[next].t}, arrivals[next].f,
+                       Bits{arrivals[next].bits});
         gps2.arrive(arrivals[next].t, arrivals[next].f, arrivals[next].bits);
         ++next;
       }
-      vt2.advance_to(probe);
+      vt2.advance_to(WallTime{probe});
       gps2.advance_to(probe);
       for (net::FlowId f = 0; f < n; ++f) {
         EXPECT_EQ(vt2.fluid_backlogged(f), gps2.backlogged(f))
@@ -150,15 +151,15 @@ TEST(GpsVirtualTimeProperty, MinimumSlopeWhileBacklogged) {
   // Heavy load: always backlogged.
   for (int i = 0; i < 300; ++i) {
     t += rng.uniform(0.0, 0.3);
-    vt.on_arrival(t, static_cast<net::FlowId>(rng.uniform_int(0, 2)),
-                  rng.uniform(50.0, 150.0));
+    vt.on_arrival(WallTime{t}, static_cast<net::FlowId>(rng.uniform_int(0, 2)),
+                  Bits{rng.uniform(50.0, 150.0)});
     const double dv = vt.vtime() - prev_v;
     EXPECT_GE(dv, -1e-12);
     prev_v = vt.vtime();
   }
   const double v_before = vt.vtime();
   const double t_before = vt.ref_time();
-  vt.advance_to(t + 1.0);
+  vt.advance_to(WallTime{t + 1.0});
   EXPECT_GE(vt.vtime() - v_before, (t + 1.0 - t_before) - 1e-9);
 }
 

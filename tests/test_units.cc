@@ -1,0 +1,186 @@
+// Runtime tests for the unit-safety layer (src/util/units.h).
+//
+// The *rejection* half of the algebra is tested at compile time by the
+// static_asserts in units.h itself (and re-asserted here from outside the
+// header, so a regression cannot hide behind the header's own translation
+// unit). These tests pin the *accepted* half: the arithmetic must be exactly
+// the raw double arithmetic it replaced — bit-identical, not approximately
+// equal — because the strong-type migration is required to change no
+// simulation output.
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace hfq::units {
+namespace {
+
+// --- instants and durations -------------------------------------------------
+
+TEST(Units, DurationArithmeticMatchesRawDoubles) {
+  const Duration a{0.125};
+  const Duration b{0.5};
+  EXPECT_EQ((a + b).seconds(), 0.125 + 0.5);
+  EXPECT_EQ((a - b).seconds(), 0.125 - 0.5);
+  EXPECT_EQ((-a).seconds(), -0.125);
+  EXPECT_EQ((a * 3.0).seconds(), 0.125 * 3.0);
+  EXPECT_EQ((3.0 * a).seconds(), 3.0 * 0.125);
+  EXPECT_EQ((a / 4.0).seconds(), 0.125 / 4.0);
+  EXPECT_EQ(a / b, 0.125 / 0.5);
+  Duration c = a;
+  c += b;
+  EXPECT_EQ(c.seconds(), 0.625);
+  c -= a;
+  EXPECT_EQ(c.seconds(), 0.5);
+}
+
+TEST(Units, InstantsAdvanceByDurationsOnly) {
+  // Both instant kinds advance by spans; instant − instant gives the span.
+  const WallTime t0{1.5};
+  const WallTime t1 = t0 + Duration{0.25};
+  EXPECT_EQ(t1.seconds(), 1.75);
+  EXPECT_EQ((t1 - t0).seconds(), 0.25);
+  EXPECT_EQ((t1 - Duration{0.75}).seconds(), 1.0);
+
+  const VirtualTime v0{2.0};
+  const VirtualTime v1 = v0 + Duration{0.5};
+  EXPECT_EQ(v1.v(), 2.5);
+  EXPECT_EQ((v1 - v0).seconds(), 0.5);
+
+  WallTime t = t0;
+  t += Duration{1.0};
+  t -= Duration{0.5};
+  EXPECT_EQ(t.seconds(), 2.0);
+  VirtualTime v = v0;
+  v += Duration{1.0};
+  v -= Duration{0.5};
+  EXPECT_EQ(v.v(), 2.5);
+}
+
+TEST(Units, InstantOrderingIsTotalWithinOneClock) {
+  EXPECT_LT(WallTime{1.0}, WallTime{2.0});
+  EXPECT_LE(VirtualTime{3.0}, VirtualTime{3.0});
+  EXPECT_GT(VirtualTime{4.0}, VirtualTime{3.0});
+  EXPECT_EQ(WallTime{}, WallTime{0.0});  // default = epoch
+  EXPECT_EQ(VirtualTime{}, VirtualTime{0.0});
+}
+
+// --- traffic and rates ------------------------------------------------------
+
+TEST(Units, BitsOverRateIsTheServiceTime) {
+  // The central quantity of Eq. 27: L / r.
+  const Bits len{8000.0};
+  const RateBps rate{1e6};
+  EXPECT_EQ((len / rate).seconds(), 8000.0 / 1e6);
+  // ...and its inverses round-trip through the same doubles.
+  EXPECT_EQ((len / Duration{0.008}).bps(), 8000.0 / 0.008);
+  EXPECT_EQ((rate * Duration{0.008}).bits(), 1e6 * 0.008);
+  EXPECT_EQ((Duration{0.008} * rate).bits(), 0.008 * 1e6);
+}
+
+TEST(Units, RateRatioIsTheGpsWeight) {
+  // phi_i = r_i / r is dimensionless.
+  const RateBps ri{2.5e5};
+  const RateBps r{1e6};
+  EXPECT_EQ(ri / r, 2.5e5 / 1e6);
+  EXPECT_EQ((ri + r).bps(), 2.5e5 + 1e6);
+  EXPECT_EQ((r - ri).bps(), 1e6 - 2.5e5);
+  RateBps sum{};
+  sum += ri;
+  sum += r;
+  EXPECT_EQ(sum.bps(), 2.5e5 + 1e6);
+  sum -= ri;
+  EXPECT_EQ(sum.bps(), 1e6);
+}
+
+TEST(Units, BitsAccumulateLikeADeficitCounter) {
+  Bits deficit{};
+  deficit += Bits{1500.0 * 8};
+  deficit -= Bits{512.0 * 8};
+  EXPECT_EQ(deficit.bits(), 1500.0 * 8 - 512.0 * 8);
+  EXPECT_EQ((deficit * 2.0).bits(), deficit.bits() * 2.0);
+  EXPECT_LT(Bits{100.0}, Bits{200.0});
+}
+
+// --- fixed-point ticks ------------------------------------------------------
+
+TEST(Units, VTicksQuantizationRoundsUpNeverDown) {
+  constexpr int kShift = 20;  // 2^-20 s/tick, as in core/wf2qplus_fixed.h
+  // Exactly representable: no rounding at all.
+  const VTicks exact = VTicks::from_seconds_ceil(1.0, kShift);
+  EXPECT_EQ(exact.ticks(), std::uint64_t{1} << kShift);
+  EXPECT_EQ(exact.to_seconds(kShift), 1.0);
+  // Not representable: must land on the next tick up, within one tick.
+  const double s = 1e-3;  // 1048.576 ticks
+  const VTicks q = VTicks::from_seconds_ceil(s, kShift);
+  EXPECT_EQ(q.ticks(), 1049u);
+  EXPECT_GE(q.to_seconds(kShift), s);
+  EXPECT_LT(q.to_seconds(kShift) - s, 1.0 / (std::uint64_t{1} << kShift));
+}
+
+TEST(Units, VTicksRoundTripIsExactOnTickMultiples) {
+  constexpr int kShift = 20;
+  for (const std::uint64_t t : {0ull, 1ull, 7ull, 1048576ull, 123456789ull}) {
+    const VTicks v{t};
+    EXPECT_EQ(VTicks::from_seconds_ceil(v.to_seconds(kShift), kShift).ticks(),
+              t);
+  }
+}
+
+TEST(Units, VTicksIntegerArithmeticAndOrdering) {
+  const VTicks a{100};
+  const VTicks b{250};
+  EXPECT_EQ((a + b).ticks(), 350u);
+  EXPECT_EQ((b - a).ticks(), 150u);
+  VTicks c = a;
+  c += b;
+  EXPECT_EQ(c.ticks(), 350u);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(VTicks{}, VTicks{0});
+}
+
+// --- tolerant comparison ----------------------------------------------------
+
+TEST(Units, ApproxLeqAbsorbsAccumulationDustOnly) {
+  EXPECT_TRUE(approx_leq(1.0, 1.0));
+  EXPECT_TRUE(approx_leq(1.0 + 1e-12, 1.0));   // dust-sized overshoot: tie
+  EXPECT_FALSE(approx_leq(1.0 + 1e-6, 1.0));   // real overshoot: not a tie
+  EXPECT_TRUE(approx_leq(0.5, 1.0));
+  EXPECT_FALSE(approx_leq(1.0, 0.5));
+  // The epsilon scales with magnitude so big tags still compare sanely.
+  EXPECT_TRUE(approx_leq(1e12 + 1.0, 1e12));
+  EXPECT_FALSE(approx_leq(1e12 + 1e4, 1e12));
+  // ...but never below the absolute floor near zero.
+  EXPECT_TRUE(approx_leq(1e-10, 0.0));
+}
+
+// --- the compile-time gate, re-checked from outside the header --------------
+
+using unit_detail::addable;
+using unit_detail::comparable;
+using unit_detail::dividable;
+using unit_detail::subtractable;
+
+static_assert(addable<WallTime, Duration>::value);
+static_assert(dividable<Bits, RateBps>::value);
+static_assert(!subtractable<WallTime, VirtualTime>::value);
+static_assert(!addable<WallTime, WallTime>::value);
+static_assert(!comparable<WallTime, VirtualTime>::value);
+static_assert(!addable<VTicks, VirtualTime>::value);
+static_assert(!dividable<RateBps, Bits>::value);
+static_assert(!std::is_convertible_v<double, VirtualTime>);
+static_assert(!std::is_convertible_v<VirtualTime, double>);
+
+TEST(Units, WrappersAreZeroCost) {
+  EXPECT_EQ(sizeof(WallTime), sizeof(double));
+  EXPECT_EQ(sizeof(VirtualTime), sizeof(double));
+  EXPECT_EQ(sizeof(Duration), sizeof(double));
+  EXPECT_EQ(sizeof(Bits), sizeof(double));
+  EXPECT_EQ(sizeof(RateBps), sizeof(double));
+  EXPECT_EQ(sizeof(VTicks), sizeof(std::uint64_t));
+}
+
+}  // namespace
+}  // namespace hfq::units

@@ -1,0 +1,553 @@
+// hfq_lint: domain-specific static checks for the HFQ codebase.
+//
+// clang-tidy and cppcheck catch generic C++ mistakes; this tool checks the
+// *scheduling* discipline that no generic linter knows about — the rules
+// that keep virtual-time arithmetic honest after the strong-type migration
+// (src/util/units.h):
+//
+//   vtime-raw-double      A virtual-time quantity declared as a raw double.
+//                         Tags, clocks, and eligibility bounds must use
+//                         units::VirtualTime / WallTime / VTicks; `double`
+//                         is allowed only in boundary accessors (functions
+//                         returning double) and inside units.h itself.
+//   tag-compare           A start/finish/tag field compared directly against
+//                         a virtual-time value with </<= instead of going
+//                         through sched::vt_leq (which owns the FP tolerance
+//                         policy). Exact integer-domain compares (VTicks) are
+//                         fine but must say so with an inline disable.
+//   assert-precondition   A public registration entry point (add_flow,
+//                         add_child, add_leaf, ...) whose body neither
+//                         contains an HFQ_ASSERT nor delegates to a checked
+//                         sibling. Unvalidated rates/ids corrupt the heaps
+//                         much later, far from the cause.
+//   heap-key-mutation     A write to a heap node's `.key` outside
+//                         util/heap.h. Keys may only change through
+//                         update_key / transform_keys, which re-sift.
+//   domain-cross-assign   A wall-clock value assigned into a virtual-time
+//                         variable or vice versa (e.g. `vtime_ = now`).
+//                         The two domains share no origin; mixing them is
+//                         the bug family the unit types exist to kill.
+//
+// Suppression, in order of preference:
+//   1. `// hfq-lint: disable(rule-a,rule-b)` on the offending line or the
+//      line directly above it — for individually justified exceptions.
+//   2. A suppressions file (--supp), lines of `path-suffix:rule` or
+//      `path-suffix:line:rule` — for policy-level carve-outs such as the
+//      heap implementation writing its own keys.
+//
+// Usage:
+//   hfq_lint [--root DIR] [--supp FILE] [--fix-list] [--list-rules] [PATH...]
+//
+// PATHs are scanned recursively for .h/.hpp/.cc/.cpp files, relative to
+// --root (default: src tools). Exit status: 0 clean, 1 findings, 2 usage.
+// --fix-list replaces the report with machine-readable `file:line:rule`
+// lines for scripted triage.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Rule {
+  const char* id;
+  const char* summary;
+  const char* fix;
+};
+
+const Rule kRules[] = {
+    {"vtime-raw-double",
+     "virtual-time quantity declared as raw double",
+     "use units::VirtualTime / WallTime / VTicks from src/util/units.h"},
+    {"tag-compare",
+     "direct </<= on a start/finish/tag field against a virtual time",
+     "call sched::vt_leq (or add an inline disable for exact integer ticks)"},
+    {"assert-precondition",
+     "registration entry point without HFQ_ASSERT or checked delegation",
+     "validate arguments with HFQ_ASSERT or delegate to a checked overload"},
+    {"heap-key-mutation",
+     "heap key written outside util/heap.h",
+     "use HandleHeap::update_key or transform_keys so the heap re-sifts"},
+    {"domain-cross-assign",
+     "wall-clock value assigned to a virtual-time variable (or vice versa)",
+     "convert explicitly at the boundary; the domains share no origin"},
+};
+
+struct Finding {
+  std::string file;   // path relative to root, '/'-separated
+  std::size_t line;   // 1-based
+  std::string rule;
+  std::string text;   // trimmed source line
+};
+
+struct Suppression {
+  std::string path_suffix;
+  std::size_t line;  // 0 = any line
+  std::string rule;
+};
+
+// --- small string helpers ---------------------------------------------------
+
+bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True if `word` occurs in `s` delimited by non-identifier characters.
+bool contains_word(const std::string& s, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = s.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_word(s[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= s.size() || !is_word(s[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// --- source model -----------------------------------------------------------
+
+// One file, split into raw lines (for disable-comment scanning) and code
+// lines with comments and string/char literals blanked out (for rule
+// matching, so patterns never fire inside a literal or a comment).
+struct SourceFile {
+  std::string rel_path;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+SourceFile load(const fs::path& abs, const std::string& rel) {
+  SourceFile sf;
+  sf.rel_path = rel;
+  std::ifstream in(abs);
+  std::string line;
+  bool in_block = false;  // inside /* ... */
+  while (std::getline(in, line)) {
+    sf.raw.push_back(line);
+    std::string code;
+    code.reserve(line.size());
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block = false;
+          code += "  ";
+          i += 2;
+        } else {
+          code += ' ';
+          i += 1;
+        }
+      } else if (line.compare(i, 2, "//") == 0) {
+        break;  // rest of line is a comment
+      } else if (line.compare(i, 2, "/*") == 0) {
+        in_block = true;
+        code += "  ";
+        i += 2;
+      } else if (line[i] == '"' || line[i] == '\'') {
+        const char q = line[i];
+        code += q;
+        i += 1;
+        while (i < line.size()) {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            code += "  ";
+            i += 2;
+          } else if (line[i] == q) {
+            code += q;
+            i += 1;
+            break;
+          } else {
+            code += ' ';
+            i += 1;
+          }
+        }
+      } else {
+        code += line[i];
+        i += 1;
+      }
+    }
+    sf.code.push_back(code);
+  }
+  return sf;
+}
+
+// A `hfq-lint: disable(a,b)` marker covers its own line and every following
+// line through the end of the next statement — the first subsequent line
+// whose code contains ';', '{' or '}' (inclusive). That lets the marker sit
+// in a comment above a condition that wraps across lines.
+std::vector<std::vector<std::string>> compute_disables(const SourceFile& sf) {
+  static const std::string kMarker = "hfq-lint: disable(";
+  std::vector<std::vector<std::string>> out(sf.raw.size());
+  for (std::size_t l = 0; l < sf.raw.size(); ++l) {
+    std::size_t pos = sf.raw[l].find(kMarker);
+    if (pos == std::string::npos) continue;
+    pos += kMarker.size();
+    const std::size_t close = sf.raw[l].find(')', pos);
+    if (close == std::string::npos) continue;
+    std::vector<std::string> rules;
+    const std::string list = sf.raw[l].substr(pos, close - pos);
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      std::size_t comma = list.find(',', start);
+      if (comma == std::string::npos) comma = list.size();
+      const std::string r = trim(list.substr(start, comma - start));
+      if (!r.empty()) rules.push_back(r);
+      start = comma + 1;
+    }
+    for (std::size_t j = l; j < sf.raw.size(); ++j) {
+      for (const std::string& r : rules) out[j].push_back(r);
+      const std::string& code = sf.code[j];
+      const bool statement_end =
+          j > l && code.find_first_of(";{}") != std::string::npos;
+      if (statement_end) break;
+    }
+  }
+  return out;
+}
+
+bool rule_disabled(const std::vector<std::vector<std::string>>& disables,
+                   std::size_t idx, const std::string& rule) {
+  const std::vector<std::string>& d = disables[idx];
+  return std::find(d.begin(), d.end(), rule) != d.end();
+}
+
+// --- the rules --------------------------------------------------------------
+
+// Identifiers that belong to the virtual-time vocabulary. An accessor
+// `double vtime() const` is fine (the identifier is followed by `(` — that is
+// the sanctioned boundary); a declaration `double vtime_ = ...` is not.
+const std::regex kRawDoubleDecl(
+    R"(\bdouble\s+(vtime|v_now|vnow|smin|busy_until|ref_time)\w*\s*[;={,])");
+
+// A tag member (or heap top_key) on a line with </<= and a virtual-time
+// identifier. `>` is deliberately not matched: the max-idiom
+// `f_prev > vtime_ ? f_prev : vtime_` of Eq. 28 is an exact compare by
+// design and flagging it would drown the signal.
+const std::regex kTagMember(R"(\.(start|finish|tag)\b|top_key\(\))");
+const std::regex kLessCompare(R"([^<]<=?[^<=])");
+const std::regex kVtimeIdent(R"(\b(v_now|vtime_|smin)\b|\bvnow\s*\()");
+
+const std::regex kHeapKeyWrite(R"(\.key\s*=[^=])");
+
+// Entry points whose bodies must validate (or delegate to one that does).
+const std::regex kEntryDef(
+    R"(\b(void|NodeId|FlowId|std::uint32_t|std::size_t|auto)\s+(add_flow|add_child|add_node|add_internal|add_leaf|add_class|add_session|set_demand)\s*\()");
+const std::regex kCheckedCall(
+    R"(\b(HFQ_ASSERT|add|add_flow|add_child|add_node|set_demand|resize_flows)\w*\s*\()");
+
+// LHS vocabularies for cross-domain assignment.
+const std::regex kVirtualLhs(R"(\b(vtime_|v_now)\s*=[^=])");
+const std::regex kWallLhs(R"(\b(busy_until_|ref_time_|now_)\s*=[^=])");
+
+void check_line_rules(const SourceFile& sf,
+                      const std::vector<std::vector<std::string>>& disables,
+                      std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < sf.code.size(); ++i) {
+    const std::string& code = sf.code[i];
+    if (code.empty()) continue;
+    auto report = [&](const char* rule) {
+      if (!rule_disabled(disables, i, rule)) {
+        out.push_back(Finding{sf.rel_path, i + 1, rule, trim(sf.raw[i])});
+      }
+    };
+
+    if (std::regex_search(code, kRawDoubleDecl)) report("vtime-raw-double");
+
+    if (std::regex_search(code, kTagMember) &&
+        std::regex_search(code, kLessCompare) &&
+        std::regex_search(code, kVtimeIdent) &&
+        code.find("vt_leq(") == std::string::npos &&
+        code.find("wt_leq(") == std::string::npos) {
+      report("tag-compare");
+    }
+
+    if (std::regex_search(code, kHeapKeyWrite)) report("heap-key-mutation");
+
+    std::smatch m;
+    if (std::regex_search(code, m, kVirtualLhs)) {
+      const std::string rhs = code.substr(m.position(0) + m.length(0));
+      if (contains_word(rhs, "now") || contains_word(rhs, "now_")) {
+        report("domain-cross-assign");
+      }
+    }
+    if (std::regex_search(code, m, kWallLhs)) {
+      const std::string rhs = code.substr(m.position(0) + m.length(0));
+      if (contains_word(rhs, "vtime_") || contains_word(rhs, "v_now") ||
+          contains_word(rhs, "vtime")) {
+        report("domain-cross-assign");
+      }
+    }
+  }
+}
+
+// Finds function *definitions* among the entry points and checks that the
+// body (up to the matching close brace) asserts or delegates.
+void check_preconditions(const SourceFile& sf,
+                         const std::vector<std::vector<std::string>>& disables,
+                         std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < sf.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(sf.code[i], m, kEntryDef)) continue;
+    // Walk forward to the opening brace; a `;` first means declaration only.
+    int depth = 0;
+    bool found_open = false;
+    bool is_decl = false;
+    std::size_t body_begin = 0, body_begin_col = 0;
+    for (std::size_t j = i; j < sf.code.size() && !found_open && !is_decl;
+         ++j) {
+      const std::string& c = sf.code[j];
+      for (std::size_t k = j == i
+                               ? static_cast<std::size_t>(m.position(0))
+                               : 0;
+           k < c.size(); ++k) {
+        if (c[k] == '(') ++depth;
+        if (c[k] == ')') --depth;
+        if (depth == 0 && c[k] == ';') {
+          is_decl = true;
+          break;
+        }
+        if (depth == 0 && c[k] == '{') {
+          found_open = true;
+          body_begin = j;
+          body_begin_col = k + 1;
+          break;
+        }
+      }
+    }
+    if (is_decl || !found_open) continue;
+    // Scan the body for HFQ_ASSERT or a delegating call.
+    bool ok = false;
+    int braces = 1;
+    std::size_t end_line = body_begin;
+    for (std::size_t j = body_begin; j < sf.code.size() && braces > 0; ++j) {
+      const std::string& c = sf.code[j];
+      std::size_t from = j == body_begin ? body_begin_col : 0;
+      std::size_t to = c.size();
+      for (std::size_t k = from; k < c.size(); ++k) {
+        if (c[k] == '{') ++braces;
+        if (c[k] == '}') {
+          --braces;
+          if (braces == 0) {
+            to = k;
+            break;
+          }
+        }
+      }
+      const std::string body_part = c.substr(from, to - from);
+      if (std::regex_search(body_part, kCheckedCall)) ok = true;
+      end_line = j;
+    }
+    if (!ok && !rule_disabled(disables, i, "assert-precondition")) {
+      out.push_back(Finding{sf.rel_path, i + 1, "assert-precondition",
+                            trim(sf.raw[i])});
+    }
+    (void)end_line;
+  }
+}
+
+// --- suppression file -------------------------------------------------------
+
+std::vector<Suppression> load_suppressions(const std::string& path) {
+  std::vector<Suppression> supps;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "hfq_lint: cannot open suppressions file '%s'\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    // path[:line]:rule — split on the *last* one or two colons so Windows
+    // drive letters or nested paths never confuse the parse.
+    const std::size_t last = t.rfind(':');
+    if (last == std::string::npos) {
+      std::fprintf(stderr, "hfq_lint: bad suppression line '%s'\n", t.c_str());
+      std::exit(2);
+    }
+    Suppression s;
+    s.rule = t.substr(last + 1);
+    std::string rest = t.substr(0, last);
+    const std::size_t prev = rest.rfind(':');
+    s.line = 0;
+    if (prev != std::string::npos) {
+      const std::string maybe_line = rest.substr(prev + 1);
+      if (!maybe_line.empty() &&
+          std::all_of(maybe_line.begin(), maybe_line.end(), [](char c) {
+            return std::isdigit(static_cast<unsigned char>(c)) != 0;
+          })) {
+        s.line = static_cast<std::size_t>(std::stoul(maybe_line));
+        rest = rest.substr(0, prev);
+      }
+    }
+    s.path_suffix = rest;
+    supps.push_back(s);
+  }
+  return supps;
+}
+
+bool suppressed(const Finding& f, const std::vector<Suppression>& supps) {
+  for (const Suppression& s : supps) {
+    if (s.rule != f.rule) continue;
+    if (s.line != 0 && s.line != f.line) continue;
+    if (ends_with(f.file, s.path_suffix)) return true;
+  }
+  return false;
+}
+
+// --- driver -----------------------------------------------------------------
+
+bool known_rule(const std::string& id) {
+  for (const Rule& r : kRules) {
+    if (id == r.id) return true;
+  }
+  return false;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--supp FILE] [--fix-list] "
+               "[--list-rules] [PATH...]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string supp_path;
+  bool fix_list = false;
+  std::vector<std::string> targets;
+
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--root") == 0) {
+      root = value();
+    } else if (std::strcmp(argv[i], "--supp") == 0) {
+      supp_path = value();
+    } else if (std::strcmp(argv[i], "--fix-list") == 0) {
+      fix_list = true;
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const Rule& r : kRules) {
+        std::printf("%-20s %s\n%-20s   fix: %s\n", r.id, r.summary, "", r.fix);
+      }
+      return 0;
+    } else if (argv[i][0] == '-') {
+      usage(argv[0]);
+      return 2;
+    } else {
+      targets.push_back(argv[i]);
+    }
+  }
+  if (targets.empty()) targets = {"src", "tools"};
+
+  std::vector<Suppression> supps;
+  if (!supp_path.empty()) {
+    supps = load_suppressions(supp_path);
+    for (const Suppression& s : supps) {
+      if (!known_rule(s.rule)) {
+        std::fprintf(stderr, "hfq_lint: unknown rule '%s' in %s\n",
+                     s.rule.c_str(), supp_path.c_str());
+        return 2;
+      }
+    }
+  }
+
+  // Collect the file set, stable-sorted for deterministic reports.
+  std::vector<std::pair<fs::path, std::string>> files;  // abs, rel
+  const fs::path root_path(root);
+  for (const std::string& t : targets) {
+    const fs::path base = root_path / t;
+    if (!fs::exists(base)) {
+      std::fprintf(stderr, "hfq_lint: no such path: %s\n",
+                   base.string().c_str());
+      return 2;
+    }
+    auto add_file = [&](const fs::path& p) {
+      const std::string ext = p.extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cc" && ext != ".cpp") {
+        return;
+      }
+      files.emplace_back(p, fs::relative(p, root_path).generic_string());
+    };
+    if (fs::is_regular_file(base)) {
+      add_file(base);
+    } else {
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (entry.is_regular_file()) add_file(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  std::vector<Finding> findings;
+  for (const auto& [abs, rel] : files) {
+    const SourceFile sf = load(abs, rel);
+    const std::vector<std::vector<std::string>> disables =
+        compute_disables(sf);
+    check_line_rules(sf, disables, findings);
+    check_preconditions(sf, disables, findings);
+  }
+
+  findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                [&](const Finding& f) {
+                                  return suppressed(f, supps);
+                                }),
+                 findings.end());
+
+  if (fix_list) {
+    for (const Finding& f : findings) {
+      std::printf("%s:%zu:%s\n", f.file.c_str(), f.line, f.rule.c_str());
+    }
+    return findings.empty() ? 0 : 1;
+  }
+
+  for (const Finding& f : findings) {
+    const Rule* rule = nullptr;
+    for (const Rule& r : kRules) {
+      if (f.rule == r.id) rule = &r;
+    }
+    std::printf("%s:%zu: [%s] %s\n    > %s\n    fix: %s\n", f.file.c_str(),
+                f.line, f.rule.c_str(), rule ? rule->summary : "",
+                f.text.c_str(), rule ? rule->fix : "");
+  }
+
+  if (findings.empty()) {
+    std::printf("hfq_lint: %zu files clean\n", files.size());
+    return 0;
+  }
+  std::map<std::string, std::size_t> by_rule;
+  for (const Finding& f : findings) by_rule[f.rule] += 1;
+  std::printf("hfq_lint: %zu finding(s):", findings.size());
+  for (const auto& [id, n] : by_rule) {
+    std::printf(" %s x%zu", id.c_str(), n);
+  }
+  std::printf("\n");
+  return 1;
+}
