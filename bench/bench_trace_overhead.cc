@@ -1,0 +1,115 @@
+// Flight-recorder overhead budget (DESIGN.md "Observability").
+//
+// Three costs matter, and each build config exposes a different pair:
+//
+//   compiled-out   default build (-DHFQ_TRACE=OFF): HFQ_TRACE_EVENT expands
+//                  to an empty statement, so NoRecorder here must match the
+//                  same scheduler loop in bench_sched_complexity.
+//   idle           -DHFQ_TRACE=ON but no recorder installed on the thread:
+//                  every hook pays one thread_local pointer load + branch.
+//   recording      -DHFQ_TRACE=ON with a RecordScope active: hooks format
+//                  nothing, just stamp a fixed-size Event into the ring.
+//
+// Run the binary from both build trees and compare ns/op; each benchmark
+// labels itself with the compile gate so the two outputs are unambiguous.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "core/wf2qplus.h"
+#include "net/packet.h"
+#include "obs/flight_recorder.h"
+
+namespace hfq::bench {
+namespace {
+
+constexpr double kLinkRate = 1e9;
+constexpr std::uint32_t kBytes = 1000;
+
+net::Packet pkt(net::FlowId f, std::uint64_t id) {
+  net::Packet p;
+  p.flow = f;
+  p.size_bytes = kBytes;
+  p.id = id;
+  return p;
+}
+
+const char* gate_label() {
+  return obs::compiled_in() ? "HFQ_TRACE=ON" : "HFQ_TRACE=OFF";
+}
+
+// Steady-state enqueue+dequeue pairs on N backlogged WF²Q+ sessions — the
+// same loop bench_sched_complexity times, so compiled-out numbers are
+// directly comparable against that baseline.
+void sched_loop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::Wf2qPlus s(kLinkRate);
+  for (int f = 0; f < n; ++f) {
+    s.add_flow(static_cast<net::FlowId>(f), kLinkRate / n);
+  }
+  const double pkt_time = 8.0 * kBytes / kLinkRate;
+  std::uint64_t id = 0;
+  double now = 0.0;
+  for (int f = 0; f < n; ++f) {
+    s.enqueue(pkt(static_cast<net::FlowId>(f), id++), now);
+    s.enqueue(pkt(static_cast<net::FlowId>(f), id++), now);
+  }
+  for (auto _ : state) {
+    now += pkt_time;
+    auto p = s.dequeue(now);
+    benchmark::DoNotOptimize(p);
+    s.enqueue(pkt(p->flow, id++), now);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(gate_label());
+}
+
+// No recorder on the thread: compiled-out cost in the OFF build, idle-hook
+// cost in the ON build.
+void BM_SchedNoRecorder(benchmark::State& state) { sched_loop(state); }
+
+// RecordScope active: every hook stamps an Event into the ring. In the OFF
+// build the scope is installed but hooks don't exist, so this must equal
+// BM_SchedNoRecorder there.
+void BM_SchedRecording(benchmark::State& state) {
+  obs::FlightRecorder recorder(obs::FlightRecorder::kDefaultCapacity);
+  obs::RecordScope scope(recorder);
+  sched_loop(state);
+}
+
+// Raw ring-write cost, isolated from any scheduler work: the marginal price
+// of one additional hook on a hot path.
+void BM_RecordEventRaw(benchmark::State& state) {
+  obs::FlightRecorder recorder(obs::FlightRecorder::kDefaultCapacity);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    recorder.enqueue(obs::kFlatNode, 7, i++, units::WallTime{1.0},
+                     units::VirtualTime{2.0}, 8000.0, 3.0);
+    benchmark::DoNotOptimize(recorder.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(gate_label());
+}
+
+// SpanTimer pair cost (two steady_clock reads + two ring writes when a
+// recorder is installed; a no-op object otherwise).
+void BM_SpanTimer(benchmark::State& state) {
+  obs::FlightRecorder recorder(obs::FlightRecorder::kDefaultCapacity);
+  obs::RecordScope scope(recorder);
+  for (auto _ : state) {
+    obs::SpanTimer span("bench.span", 0.0);
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(gate_label());
+}
+
+BENCHMARK(BM_SchedNoRecorder)->Arg(64)->Arg(4096);
+BENCHMARK(BM_SchedRecording)->Arg(64)->Arg(4096);
+BENCHMARK(BM_RecordEventRaw);
+BENCHMARK(BM_SpanTimer);
+
+}  // namespace
+}  // namespace hfq::bench
+
+BENCHMARK_MAIN();

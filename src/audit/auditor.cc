@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/flight_recorder.h"
+
 namespace hfq::audit {
 
 namespace {
@@ -9,6 +11,19 @@ namespace {
 std::string pkt_str(const net::Packet& p) {
   return "packet id " + std::to_string(p.id) + " flow " +
          std::to_string(p.flow);
+}
+
+// Violation details carry the flight-recorder tail when one is active on
+// this thread (HFQ_TRACE build with a RecordScope installed): the auditor
+// sees the scheduler as a black box, so the event log is the only record of
+// the decision sequence that led here. Empty (and free) otherwise.
+std::string with_flight_log(std::string detail) {
+  const std::string log = obs::last_events_text(32);
+  if (!log.empty()) {
+    detail += '\n';
+    detail += log;
+  }
+  return detail;
 }
 
 }  // namespace
@@ -31,19 +46,23 @@ std::optional<net::Packet> SchedulerAuditor::dequeue(net::Time now) {
   if (!p.has_value()) {
     if (expect_work_conserving_ && accepted_ > delivered_) {
       report("work-conservation", __FILE__, __LINE__,
-             "dequeue reported idle with " +
-                 std::to_string(accepted_ - delivered_) + " packets queued");
+             with_flight_log("dequeue reported idle with " +
+                             std::to_string(accepted_ - delivered_) +
+                             " packets queued"));
     }
     return p;
   }
   if (p->flow >= pending_.size() || pending_[p->flow].empty()) {
     report("conservation", __FILE__, __LINE__,
-           pkt_str(*p) + " delivered but never accepted (duplication or "
-                         "invention)");
+           with_flight_log(pkt_str(*p) +
+                           " delivered but never accepted (duplication or "
+                           "invention)"));
   } else if (pending_[p->flow].front() != p->id) {
     report("flow-fifo", __FILE__, __LINE__,
-           pkt_str(*p) + " delivered ahead of earlier packet id " +
-               std::to_string(pending_[p->flow].front()) + " of the same flow");
+           with_flight_log(pkt_str(*p) +
+                           " delivered ahead of earlier packet id " +
+                           std::to_string(pending_[p->flow].front()) +
+                           " of the same flow"));
     // Resynchronise so one reorder does not cascade into spurious reports:
     // drop the delivered id from wherever it sits in the flow's queue.
     auto& q = pending_[p->flow];
@@ -66,9 +85,10 @@ void SchedulerAuditor::check_conservation(const char* where) {
   const std::size_t actual = inner_.backlog_packets();
   if (actual != expected) {
     report("backlog-conservation", __FILE__, __LINE__,
-           std::string(where) + ": scheduler reports backlog " +
-               std::to_string(actual) + " but accepted - delivered = " +
-               std::to_string(expected));
+           with_flight_log(std::string(where) + ": scheduler reports backlog " +
+                           std::to_string(actual) +
+                           " but accepted - delivered = " +
+                           std::to_string(expected)));
   }
 }
 

@@ -13,6 +13,7 @@
 #include "core/wf2qplus_fixed.h"
 #include "fluid/gps.h"
 #include "fluid/hgps.h"
+#include "obs/flight_recorder.h"
 #include "sched/scfq.h"
 #include "sched/sfq.h"
 #include "sched/wf2q.h"
@@ -394,9 +395,18 @@ GpsTrack run_hierarchy(const FuzzTrace& tr, std::vector<FuzzFailure>* failures,
 
 // ---------------------------------------------------------------- checker
 
-std::vector<FuzzFailure> run_checks(const FuzzTrace& tr) {
+std::vector<FuzzFailure> run_checks(const FuzzTrace& tr,
+                                    obs::FlightRecorder* external_recorder) {
   std::vector<FuzzFailure> failures;
   if (tr.arrivals.empty() || tr.rates.empty()) return failures;
+  // In an HFQ_TRACE build every scheduler run below records into this ring;
+  // if any check fails, the tail of the event log rides along as an extra
+  // pseudo-failure so the mismatch comes with its decision timeline. With
+  // tracing compiled out the recorder stays empty and nothing is appended.
+  obs::FlightRecorder local_recorder(4096);
+  obs::FlightRecorder& recorder =
+      external_recorder != nullptr ? *external_recorder : local_recorder;
+  obs::RecordScope recorder_scope(recorder);
   const double lmax = max_packet_bits(tr);
   const double eps = 1e-6;
 
@@ -551,6 +561,13 @@ std::vector<FuzzFailure> run_checks(const FuzzTrace& tr) {
     run_linked(tr, h, "hscfq", &failures, nullptr);
   }
 
+  if (!failures.empty() && recorder.total_recorded() > 0) {
+    failures.push_back(
+        {"flight-recorder",
+         "last " + std::to_string(recorder.last(64).size()) + " of " +
+             std::to_string(recorder.total_recorded()) + " events:\n" +
+             obs::format_events(recorder.last(64))});
+  }
   return failures;
 }
 

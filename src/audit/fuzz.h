@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "obs/flight_recorder.h"
 
 namespace hfq::audit {
 
@@ -60,7 +61,13 @@ struct FuzzFailure {
 };
 
 // Runs every differential and invariant check on the trace. Empty = clean.
-[[nodiscard]] std::vector<FuzzFailure> run_checks(const FuzzTrace& trace);
+// In an HFQ_TRACE build every scheduler run records into a flight-recorder
+// ring; on failure the tail of the event log is appended as a final
+// pseudo-failure with check == "flight-recorder". Pass `recorder` to record
+// into a caller-owned ring instead (for saving the events to disk —
+// fuzz_sched_diff --trace-dump).
+[[nodiscard]] std::vector<FuzzFailure> run_checks(
+    const FuzzTrace& trace, obs::FlightRecorder* recorder = nullptr);
 
 // Greedy delta debugging: returns a trace whose arrival list is a minimal
 // subsequence of `trace`'s for which `fails` still returns true. `fails`

@@ -26,6 +26,7 @@
 #include "net/flow.h"
 #include "net/packet.h"
 #include "net/scheduler.h"
+#include "obs/flight_recorder.h"
 #include "util/assert.h"
 #include "util/units.h"
 
@@ -73,14 +74,20 @@ class HPfq : public net::Scheduler {
 
   // --- net::Scheduler interface -------------------------------------------
 
-  bool enqueue(const net::Packet& p, net::Time /*now*/) override {
+  bool enqueue(const net::Packet& p, [[maybe_unused]] net::Time now) override {
     HFQ_ASSERT_MSG(p.flow < leaf_of_flow_.size() &&
                        leaf_of_flow_[p.flow] != kNoNode,
                    "packet for unknown flow");
     const NodeId leaf = leaf_of_flow_[p.flow];
     Node& n = nodes_[leaf];
-    if (!n.queue.push(p)) return false;
+    if (!n.queue.push(p)) {
+      HFQ_TRACE_EVENT(
+          drop(leaf, p.flow, p.id, WallTime{now}, p.size_bits()));
+      return false;
+    }
     ++backlog_;
+    HFQ_TRACE_EVENT(enqueue(leaf, p.flow, p.id, WallTime{now}, VirtualTime{},
+                            p.size_bits(), static_cast<double>(backlog_)));
     if (n.queue.size() > 1) return true;  // logical head unchanged
     // ARRIVE: the packet becomes the head of the leaf's logical queue.
     n.logical = p;
@@ -90,13 +97,17 @@ class HPfq : public net::Scheduler {
     return true;
   }
 
-  std::optional<net::Packet> dequeue(net::Time /*now*/) override {
+  std::optional<net::Packet> dequeue([[maybe_unused]] net::Time now) override {
     if (pending_reset_) {
       pending_reset_ = false;
       reset_path(0);
     }
     Node& r = nodes_[0];
     if (!r.has_logical) return std::nullopt;
+    HFQ_TRACE_EVENT(dequeue(root(), r.logical.flow, r.logical.id,
+                            WallTime{now}, VirtualTime{},
+                            r.logical.size_bits(),
+                            static_cast<double>(backlog_ - 1)));
     HFQ_AUDIT_CHECK("hpfq-backlog-conservation",
                     audit_queued_packets() == backlog_,
                     "backlog counter diverged from leaf queue sizes");
@@ -181,6 +192,11 @@ class HPfq : public net::Scheduler {
         p.policy.on_head(n.child_slot, n.logical.bits(), continuing, p.T);
     n.s = tags.start;
     n.f = tags.finish;
+    // The child's new head tags as seen by the parent server; the event's
+    // flow field carries the child *node* id (wall timestamp = parent's
+    // reference time, Section 4.1).
+    HFQ_TRACE_EVENT(
+        eligibility_flip(n.parent, c, p.T, VirtualTime{}, n.s, n.f, true));
   }
 
   // RESTART-NODE(n): select a new head for node `nid` (and cascade upward).
@@ -194,6 +210,10 @@ class HPfq : public net::Scheduler {
       n.active_child = child;
       n.logical = nodes_[child].logical;
       n.has_logical = true;
+      HFQ_TRACE_EVENT(heap_op(nid, child, n.T, "select", nodes_[child].f));
+      if (!n.busy) {
+        HFQ_TRACE_EVENT(busy_start(nid, n.T, VirtualTime{}, 0.0));
+      }
       // Line 13: the node's reference time advances by the service this
       // selection commits to.
       n.T += n.logical.bits() / n.rate;
@@ -204,6 +224,9 @@ class HPfq : public net::Scheduler {
       }
       n.busy = true;
     } else {
+      if (n.busy) {
+        HFQ_TRACE_EVENT(busy_end(nid, n.T, VirtualTime{}, 0.0));
+      }
       n.active_child = kNoNode;
       n.has_logical = false;
       n.busy = false;

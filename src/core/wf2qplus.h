@@ -55,11 +55,16 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
     // Without this, a drained-but-unpolled scheduler leaks stale vtime_ and
     // finish tags into the new busy period and inflates start tags.
     if (backlog_ == 0 && !sched::wt_leq(WallTime{now}, busy_until_)) {
+      HFQ_TRACE_EVENT(busy_start(obs::kFlatNode, WallTime{now}, vtime_,
+                                 static_cast<double>(epoch_)));
       vtime_ = VirtualTime{};
       ++epoch_;
     }
     FlowState& f = flow(p.flow);
-    if (!f.queue.push(p)) return false;
+    if (!f.queue.push(p)) {
+      trace_drop(p.flow, p, now);
+      return false;
+    }
     if (p.flow >= arrival_nos_.size()) arrival_nos_.resize(p.flow + 1);
     arrival_nos_[p.flow].push_back(arrival_counter_++);
     ++backlog_;
@@ -74,8 +79,9 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
       f.epoch = epoch_;
       HFQ_AUDIT_CHECK("tag-sanity", f.start < f.finish,
                       "enqueue stamped start >= finish");
-      insert_by_eligibility(p.flow);
+      insert_by_eligibility(p.flow, now);
     }
+    trace_enqueue(p.flow, p, now, vtime_);
     return true;
   }
 
@@ -86,6 +92,8 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
       // the previous dequeue was still in service until now). Restart the
       // virtual clock lazily via the epoch counter. (The eager check in
       // enqueue() covers drivers that skip this idle poll.)
+      HFQ_TRACE_EVENT(busy_end(obs::kFlatNode, WallTime{now}, vtime_,
+                               static_cast<double>(epoch_)));
       vtime_ = VirtualTime{};
       ++epoch_;
       return std::nullopt;
@@ -99,11 +107,13 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
       const VirtualTime smin = waiting_.top_key().tag;
       if (smin > v_now) v_now = smin;
     }
-    migrate_eligible(v_now);
+    migrate_eligible(v_now, now);
     HFQ_ASSERT_MSG(!eligible_.empty(),
                    "SEFF must always find an eligible session");
     const FlowId id = eligible_.pop();
     FlowState& f = flow(id);
+    HFQ_TRACE_EVENT(
+        heap_op(obs::kFlatNode, id, WallTime{now}, "select", f.finish));
     HFQ_AUDIT_CHECK("seff-eligibility", sched::vt_leq(f.start, v_now),
                     "served a session whose start tag " +
                         std::to_string(f.start.v()) + " exceeds V " +
@@ -117,6 +127,8 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
     arrival_nos_[id].pop_front();
     --backlog_;
     const Duration service_time = p.bits() / link_rate_;
+    HFQ_TRACE_EVENT(vtime_update(obs::kFlatNode, WallTime{now}, vtime_,
+                                 v_now + service_time));
     vtime_ = v_now + service_time;
     // The transmission this selection commits to occupies the link until
     // now + L/r; the busy period cannot end before then.
@@ -127,13 +139,14 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
       // was backlogged, so S = F.
       f.start = f.finish;
       f.finish = f.start + f.queue.front().bits() / f.rate;
-      insert_by_eligibility(id);
+      insert_by_eligibility(id, now);
     }
     HFQ_AUDIT_CHECK("heap-valid", eligible_.validate() && waiting_.validate(),
                     "eligible/waiting heap order corrupted");
     HFQ_AUDIT_CHECK("backlog-conservation",
                     audit_queued_packets() == backlog_,
                     "backlog counter diverged from per-flow queue sizes");
+    trace_dequeue(id, p, now, vtime_);
     return p;
   }
 
@@ -148,7 +161,7 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
   }
 
  private:
-  void insert_by_eligibility(FlowId id) {
+  void insert_by_eligibility(FlowId id, Time now) {
     FlowState& f = flow(id);
     const std::uint64_t no = arrival_nos_[id].front();
     if (sched::vt_leq(f.start, vtime_)) {
@@ -158,15 +171,17 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
       f.in_eligible = false;
       f.handle = waiting_.push(sched::VtKey{f.start, no}, id);
     }
+    trace_flip(id, now, vtime_, f.in_eligible);
   }
 
-  void migrate_eligible(VirtualTime v_now) {
+  void migrate_eligible(VirtualTime v_now, Time now) {
     while (!waiting_.empty() && sched::vt_leq(waiting_.top_key().tag, v_now)) {
       const FlowId id = waiting_.pop();
       FlowState& f = flow(id);
       f.in_eligible = true;
       f.handle =
           eligible_.push(sched::VtKey{f.finish, arrival_nos_[id].front()}, id);
+      trace_flip(id, now, v_now, true);
     }
   }
 

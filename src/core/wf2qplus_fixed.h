@@ -61,11 +61,16 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
     // into a drained scheduler after the last transmission completed starts
     // a new busy period even if the link never issued the idle poll.
     if (backlog_ == 0 && !sched::wt_leq(sched::WallTime{now}, busy_until_)) {
+      HFQ_TRACE_EVENT(busy_start(obs::kFlatNode, sched::WallTime{now},
+                                 vt(vtime_), static_cast<double>(epoch_)));
       vtime_ = VTicks{};
       ++epoch_;
     }
     FlowState& f = flow(p.flow);
-    if (!f.queue.push(p)) return false;
+    if (!f.queue.push(p)) {
+      trace_drop(p.flow, p, now);
+      return false;
+    }
     if (p.flow >= arrival_nos_.size()) arrival_nos_.resize(p.flow + 1);
     arrival_nos_[p.flow].push_back(arrival_counter_++);
     ++backlog_;
@@ -77,13 +82,16 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
       x.epoch = epoch_;
       HFQ_AUDIT_CHECK("tag-sanity", x.start < x.finish,
                       "enqueue stamped start >= finish");
-      insert_by_eligibility(p.flow);
+      insert_by_eligibility(p.flow, now);
     }
+    trace_enqueue(p.flow, p, now, vt(vtime_));
     return true;
   }
 
   std::optional<net::Packet> dequeue(net::Time now) override {
     if (backlog_ == 0) {
+      HFQ_TRACE_EVENT(busy_end(obs::kFlatNode, sched::WallTime{now},
+                               vt(vtime_), static_cast<double>(epoch_)));
       vtime_ = VTicks{};
       ++epoch_;
       return std::nullopt;
@@ -102,10 +110,16 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
       f.in_eligible = true;
       f.handle =
           eligible_.push(FxKey{fx_[id].finish, arrival_nos_[id].front()}, id);
+      HFQ_TRACE_EVENT(eligibility_flip(obs::kFlatNode, id,
+                                       sched::WallTime{now}, vt(v_now),
+                                       vt(fx_[id].start), vt(fx_[id].finish),
+                                       true));
     }
     HFQ_ASSERT(!eligible_.empty());
     const net::FlowId id = eligible_.pop();
     FlowState& f = flow(id);
+    HFQ_TRACE_EVENT(heap_op(obs::kFlatNode, id, sched::WallTime{now}, "select",
+                            vt(fx_[id].finish)));
     // hfq-lint: disable(tag-compare) — exact integer-domain eligibility.
     HFQ_AUDIT_CHECK("seff-eligibility", fx_[id].start <= v_now,
                     "served a session whose start tag " +
@@ -119,6 +133,9 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
     net::Packet p = f.queue.pop();
     arrival_nos_[id].pop_front();
     --backlog_;
+    HFQ_TRACE_EVENT(
+        vtime_update(obs::kFlatNode, sched::WallTime{now}, vt(vtime_),
+                     vt(v_now + finish_increment(p.size_bits(), link_rate_))));
     vtime_ = v_now + finish_increment(p.size_bits(), link_rate_);
     const sched::WallTime tx_end =
         sched::WallTime{now} + sched::Duration{p.size_bits() * inv_link_rate_};
@@ -127,13 +144,14 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
       Fx& x = fx_[id];
       x.start = x.finish;
       x.finish = x.start + finish_increment(f.queue.front().size_bits(), x.rate);
-      insert_by_eligibility(id);
+      insert_by_eligibility(id, now);
     }
     HFQ_AUDIT_CHECK("heap-valid", eligible_.validate() && waiting_.validate(),
                     "eligible/waiting heap order corrupted");
     HFQ_AUDIT_CHECK("backlog-conservation",
                     audit_queued_packets() == backlog_,
                     "backlog counter diverged from per-flow queue sizes");
+    trace_dequeue(id, p, now, vt(vtime_));
     return p;
   }
 
@@ -178,7 +196,12 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
     return VTicks{static_cast<std::uint64_t>(scaled / rate)};
   }
 
-  void insert_by_eligibility(net::FlowId id) {
+  // Tick tags rendered as event-payload virtual time (seconds).
+  static constexpr units::VirtualTime vt(VTicks x) noexcept {
+    return units::VirtualTime{x.to_seconds(kTickShift)};
+  }
+
+  void insert_by_eligibility(net::FlowId id, [[maybe_unused]] net::Time now) {
     FlowState& f = flow(id);
     const Fx& x = fx_[id];
     const std::uint64_t no = arrival_nos_[id].front();
@@ -190,6 +213,9 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
       f.in_eligible = false;
       f.handle = waiting_.push(FxKey{x.start, no}, id);
     }
+    HFQ_TRACE_EVENT(eligibility_flip(obs::kFlatNode, id, sched::WallTime{now},
+                                     vt(vtime_), vt(x.start), vt(x.finish),
+                                     f.in_eligible));
   }
 
   std::uint64_t link_rate_;

@@ -1,0 +1,277 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <istream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hfq::obs {
+namespace {
+
+std::string fmt_double(double x) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  return std::string(buf);
+}
+
+// Events recorded outside any node (span timers) share one overflow track so
+// the viewer doesn't render a 4-billion-id thread.
+constexpr std::uint32_t kJsonNoNodeTid = 999999;
+
+std::uint32_t json_tid(std::uint32_t node) {
+  return node == kNoTraceNode ? kJsonNoNodeTid : node;
+}
+
+// Stable storage for detail strings parsed out of CSV files: Event::detail
+// is a const char* that must outlive the events, so parsed strings are
+// interned in a node-based container with a process lifetime.
+const char* intern_detail(const std::string& s) {
+  if (s.empty()) return "";
+  static std::mutex mu;
+  static std::set<std::string> pool;
+  std::lock_guard<std::mutex> lk(mu);
+  return pool.insert(s).first->c_str();
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_json(std::ostream& os, const std::vector<Event>& events,
+                       const ExportOptions& opt) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const std::string& obj) {
+    if (!first) os << ",\n";
+    first = false;
+    os << obj;
+  };
+
+  // Metadata: process name + one named track per node seen in the stream.
+  emit("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{"
+       "\"name\":\"" +
+       json_escape(opt.process_name) + "\"}}");
+  std::set<std::uint32_t> nodes;
+  bool any_no_node = false;
+  for (const Event& e : events) {
+    if (e.node == kNoTraceNode) {
+      any_no_node = true;
+    } else {
+      nodes.insert(e.node);
+    }
+  }
+  for (std::uint32_t n : nodes) {
+    std::string name;
+    auto it = opt.node_names.find(n);
+    if (it != opt.node_names.end()) {
+      name = it->second;
+    } else {
+      name = "node " + std::to_string(n);
+    }
+    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(json_tid(n)) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+         json_escape(name) + "\"}}");
+  }
+  if (any_no_node) {
+    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(kJsonNoNodeTid) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"driver\"}}");
+  }
+
+  for (const Event& e : events) {
+    // Simulated seconds -> trace microseconds.
+    const std::string ts = fmt_double(e.wall.seconds() * 1e6);
+    const std::string tid = std::to_string(json_tid(e.node));
+    if (e.kind == EventKind::kSpanBegin) {
+      // The matching kSpanEnd carries the duration; a lone begin adds
+      // nothing the complete slice doesn't.
+      continue;
+    }
+    if (e.kind == EventKind::kSpanEnd) {
+      emit("{\"ph\":\"X\",\"pid\":1,\"tid\":" + tid + ",\"ts\":" + ts +
+           ",\"dur\":" + fmt_double(e.a / 1000.0) + ",\"name\":\"" +
+           json_escape(e.detail) + "\",\"args\":{\"host_ns\":" +
+           fmt_double(e.a) + ",\"seq\":" + std::to_string(e.seq) + "}}");
+      continue;
+    }
+    std::string name = kind_name(e.kind);
+    if (e.detail[0] != '\0') {
+      name += ":";
+      name += e.detail;
+    }
+    std::string args = "{\"seq\":" + std::to_string(e.seq);
+    if (e.flow != kNoTraceFlow) args += ",\"flow\":" + std::to_string(e.flow);
+    if (e.packet != 0) args += ",\"packet\":" + std::to_string(e.packet);
+    args += ",\"vtime\":" + fmt_double(e.vtime.v());
+    args += ",\"a\":" + fmt_double(e.a);
+    args += ",\"b\":" + fmt_double(e.b);
+    args += "}";
+    emit("{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" + tid +
+         ",\"ts\":" + ts + ",\"name\":\"" + json_escape(name) +
+         "\",\"args\":" + args + "}");
+  }
+  os << "\n]}\n";
+}
+
+void write_csv(std::ostream& os, const std::vector<Event>& events) {
+  os << "seq,kind,node,flow,packet,wall_s,vtime,a,b,detail\n";
+  for (const Event& e : events) {
+    os << e.seq << ',' << kind_name(e.kind) << ',' << e.node << ',' << e.flow
+       << ',' << e.packet << ',' << fmt_double(e.wall.seconds()) << ','
+       << fmt_double(e.vtime.v()) << ',' << fmt_double(e.a) << ','
+       << fmt_double(e.b) << ',' << e.detail << '\n';
+  }
+}
+
+std::vector<Event> read_csv(std::istream& is) {
+  std::vector<Event> out;
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("trace csv: empty input");
+  }
+  if (line.rfind("seq,kind,", 0) != 0) {
+    throw std::runtime_error("trace csv: missing header, got: " + line);
+  }
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<std::string> f = split_csv_line(line);
+    if (f.size() != 10) {
+      throw std::runtime_error("trace csv line " + std::to_string(lineno) +
+                               ": expected 10 fields, got " +
+                               std::to_string(f.size()));
+    }
+    Event e;
+    try {
+      e.seq = std::stoull(f[0]);
+      if (!kind_from_name(f[1], &e.kind)) {
+        throw std::runtime_error("unknown event kind '" + f[1] + "'");
+      }
+      e.node = static_cast<std::uint32_t>(std::stoul(f[2]));
+      e.flow = static_cast<std::uint32_t>(std::stoul(f[3]));
+      e.packet = std::stoull(f[4]);
+      const double wall = std::stod(f[5]);
+      const double vraw = std::stod(f[6]);
+      if (!std::isfinite(wall)) {
+        throw std::runtime_error("non-finite wall timestamp");
+      }
+      e.wall = units::WallTime{wall};
+      e.vtime = units::VirtualTime{vraw};
+      e.a = std::stod(f[7]);
+      e.b = std::stod(f[8]);
+      e.detail = intern_detail(f[9]);
+    } catch (const std::exception& ex) {
+      throw std::runtime_error("trace csv line " + std::to_string(lineno) +
+                               ": " + ex.what());
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Event> filter_events(const std::vector<Event>& in,
+                                 const EventFilter& f) {
+  std::vector<Event> out;
+  for (const Event& e : in) {
+    if (f.matches(e)) out.push_back(e);
+  }
+  return out;
+}
+
+namespace {
+
+// Name of the first field that differs, or "" if equal. Span host-ns (the
+// `a` payload of SpanEnd) is excluded: it is a host wall-clock measurement.
+std::string first_diff_field(const Event& x, const Event& y) {
+  if (x.kind != y.kind) return "kind";
+  if (x.node != y.node) return "node";
+  if (x.flow != y.flow) return "flow";
+  if (std::string(x.detail) != y.detail) return "detail";
+  if (x.kind == EventKind::kSpanBegin || x.kind == EventKind::kSpanEnd) {
+    if (x.wall != y.wall) return "wall";
+    return "";
+  }
+  if (x.packet != y.packet) return "packet";
+  if (x.wall != y.wall) return "wall";
+  if (x.vtime != y.vtime) return "vtime";
+  if (x.a != y.a) return "a";  // hfq-lint: disable(tag-compare)
+  if (x.b != y.b) return "b";  // hfq-lint: disable(tag-compare)
+  return "";
+}
+
+}  // namespace
+
+std::vector<EventDiff> diff_events(const std::vector<Event>& a,
+                                   const std::vector<Event>& b,
+                                   std::size_t max_diffs) {
+  std::vector<EventDiff> out;
+  const std::size_t n = a.size() > b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n && out.size() < max_diffs; ++i) {
+    if (i >= a.size() || i >= b.size()) {
+      out.push_back({i, i < a.size() ? format_event(a[i]) : std::string(),
+                     i < b.size() ? format_event(b[i]) : std::string(),
+                     "missing"});
+      continue;
+    }
+    const std::string field = first_diff_field(a[i], b[i]);
+    if (!field.empty()) {
+      out.push_back({i, format_event(a[i]), format_event(b[i]), field});
+    }
+  }
+  return out;
+}
+
+}  // namespace hfq::obs

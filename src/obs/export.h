@@ -1,0 +1,81 @@
+// Exporters for FlightRecorder event streams.
+//
+//  * Chrome trace-event JSON — loadable in Perfetto / chrome://tracing. Each
+//    hierarchy node becomes its own track (tid = node id, named via
+//    ExportOptions::node_names metadata); scheduling events are instants,
+//    SpanEnd events become complete ("X") slices with their measured host
+//    duration.
+//  * Compact CSV — one event per line, round-trippable through read_csv so
+//    `hfq_trace print/diff` can operate on saved recordings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace hfq::obs {
+
+struct ExportOptions {
+  // Human-readable names for node tracks in the Chrome JSON (e.g. "root",
+  // "leaf:A1"). Nodes without an entry are named "node <id>".
+  std::map<std::uint32_t, std::string> node_names;
+  // Process name shown in the trace viewer.
+  std::string process_name = "hfq";
+};
+
+// Escapes a string for embedding in a JSON string literal (quotes,
+// backslashes, control characters).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+// Writes the events as a Chrome trace-event JSON document.
+void write_chrome_json(std::ostream& os, const std::vector<Event>& events,
+                       const ExportOptions& opt = {});
+
+// Writes the events as CSV (header + one line per event).
+void write_csv(std::ostream& os, const std::vector<Event>& events);
+
+// Parses a CSV produced by write_csv. Throws std::runtime_error on malformed
+// input. Detail strings are interned (stable for the process lifetime) so
+// Event::detail keeps its static-storage contract.
+[[nodiscard]] std::vector<Event> read_csv(std::istream& is);
+
+// Predicate bundle for `hfq_trace print` filters; unset fields match all.
+struct EventFilter {
+  std::optional<std::uint32_t> node;
+  std::optional<std::uint32_t> flow;
+  std::optional<EventKind> kind;
+  std::optional<double> since;  // wall seconds, inclusive
+
+  [[nodiscard]] bool matches(const Event& e) const {
+    if (node && e.node != *node) return false;
+    if (flow && e.flow != *flow) return false;
+    if (kind && e.kind != *kind) return false;
+    if (since && e.wall.seconds() < *since) return false;
+    return true;
+  }
+};
+
+[[nodiscard]] std::vector<Event> filter_events(const std::vector<Event>& in,
+                                               const EventFilter& f);
+
+// One divergence found by diff_events.
+struct EventDiff {
+  std::size_t index;    // position in the event sequence
+  std::string lhs;      // formatted event from a ("" past the end)
+  std::string rhs;      // formatted event from b ("" past the end)
+  std::string field;    // first differing field, or "missing"
+};
+
+// Compares two recordings event-by-event. Span events are compared by kind
+// and name only — the SpanEnd host-ns payload is wall-clock measurement and
+// legitimately differs between runs. Returns at most `max_diffs` entries.
+[[nodiscard]] std::vector<EventDiff> diff_events(
+    const std::vector<Event>& a, const std::vector<Event>& b,
+    std::size_t max_diffs = 32);
+
+}  // namespace hfq::obs

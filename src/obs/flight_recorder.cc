@@ -1,0 +1,135 @@
+#include "obs/flight_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace hfq::obs {
+
+const char* kind_name(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kEnqueue:
+      return "enqueue";
+    case EventKind::kDequeue:
+      return "dequeue";
+    case EventKind::kVtimeUpdate:
+      return "vtime_update";
+    case EventKind::kEligibilityFlip:
+      return "eligibility_flip";
+    case EventKind::kHeapOp:
+      return "heap_op";
+    case EventKind::kDrop:
+      return "drop";
+    case EventKind::kBusyPeriodStart:
+      return "busy_start";
+    case EventKind::kBusyPeriodEnd:
+      return "busy_end";
+    case EventKind::kSpanBegin:
+      return "span_begin";
+    case EventKind::kSpanEnd:
+      return "span_end";
+    case EventKind::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+bool kind_from_name(const std::string& name, EventKind* out) {
+  for (std::uint8_t i = 0; i < static_cast<std::uint8_t>(EventKind::kCount);
+       ++i) {
+    const auto k = static_cast<EventKind>(i);
+    if (name == kind_name(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string format_event(const Event& e) {
+  char buf[256];
+  char ids[64] = "";
+  if (e.node != kNoTraceNode && e.flow != kNoTraceFlow) {
+    std::snprintf(ids, sizeof(ids), " node=%" PRIu32 " flow=%" PRIu32, e.node,
+                  e.flow);
+  } else if (e.node != kNoTraceNode) {
+    std::snprintf(ids, sizeof(ids), " node=%" PRIu32, e.node);
+  } else if (e.flow != kNoTraceFlow) {
+    std::snprintf(ids, sizeof(ids), " flow=%" PRIu32, e.flow);
+  }
+  switch (e.kind) {
+    case EventKind::kEnqueue:
+    case EventKind::kDequeue:
+      std::snprintf(buf, sizeof(buf),
+                    "#%" PRIu64 " t=%.9g %s%s pkt=%" PRIu64
+                    " V=%.9g bits=%g backlog=%g",
+                    e.seq, e.wall.seconds(), kind_name(e.kind), ids, e.packet,
+                    e.vtime.v(), e.a, e.b);
+      break;
+    case EventKind::kVtimeUpdate:
+      std::snprintf(buf, sizeof(buf), "#%" PRIu64 " t=%.9g %s%s V %.9g -> %.9g",
+                    e.seq, e.wall.seconds(), kind_name(e.kind), ids, e.a,
+                    e.vtime.v());
+      break;
+    case EventKind::kEligibilityFlip:
+      std::snprintf(buf, sizeof(buf),
+                    "#%" PRIu64 " t=%.9g %s%s -> %s S=%.9g F=%.9g V=%.9g",
+                    e.seq, e.wall.seconds(), kind_name(e.kind), ids, e.detail,
+                    e.a, e.b, e.vtime.v());
+      break;
+    case EventKind::kHeapOp:
+      std::snprintf(buf, sizeof(buf), "#%" PRIu64 " t=%.9g %s%s %s key=%.9g",
+                    e.seq, e.wall.seconds(), kind_name(e.kind), ids, e.detail,
+                    e.a);
+      break;
+    case EventKind::kDrop:
+      std::snprintf(buf, sizeof(buf),
+                    "#%" PRIu64 " t=%.9g %s%s pkt=%" PRIu64 " bits=%g", e.seq,
+                    e.wall.seconds(), kind_name(e.kind), ids, e.packet, e.a);
+      break;
+    case EventKind::kBusyPeriodStart:
+    case EventKind::kBusyPeriodEnd:
+      std::snprintf(buf, sizeof(buf),
+                    "#%" PRIu64 " t=%.9g %s%s V=%.9g epoch=%g", e.seq,
+                    e.wall.seconds(), kind_name(e.kind), ids, e.vtime.v(),
+                    e.a);
+      break;
+    case EventKind::kSpanBegin:
+      std::snprintf(buf, sizeof(buf), "#%" PRIu64 " t=%.9g %s %s", e.seq,
+                    e.wall.seconds(), kind_name(e.kind), e.detail);
+      break;
+    case EventKind::kSpanEnd:
+      std::snprintf(buf, sizeof(buf), "#%" PRIu64 " t=%.9g %s %s host_ns=%g",
+                    e.seq, e.wall.seconds(), kind_name(e.kind), e.detail, e.a);
+      break;
+    case EventKind::kCount:
+      std::snprintf(buf, sizeof(buf), "#%" PRIu64 " t=%.9g unknown", e.seq,
+                    e.wall.seconds());
+      break;
+  }
+  return std::string(buf);
+}
+
+std::string format_events(const std::vector<Event>& events) {
+  std::string out;
+  for (const Event& e : events) {
+    out += format_event(e);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string last_events_text(std::size_t n) {
+  const FlightRecorder* rec = current();
+  if (rec == nullptr || rec->total_recorded() == 0) return "";
+  std::string out = "flight recorder (last ";
+  std::vector<Event> events = rec->last(n);
+  out += std::to_string(events.size());
+  out += " of ";
+  out += std::to_string(rec->total_recorded());
+  out += " events):\n";
+  out += format_events(events);
+  return out;
+}
+
+}  // namespace hfq::obs

@@ -1,0 +1,395 @@
+// Scheduler flight recorder: a fixed-capacity, single-writer ring buffer of
+// typed scheduling events, threaded through the scheduler hot paths.
+//
+// The paper's claims are per-packet claims — which eligible session SEFF
+// picks, how the Eq. 27 virtual time jumps at busy-period boundaries, when a
+// session's eligibility flips — and when the differential fuzzer or the
+// SchedulerAuditor flags a divergence, aggregate outputs cannot explain it.
+// The flight recorder keeps the last-N decision events so every failure is a
+// replayable, inspectable timeline (exporters in obs/export.h render it as
+// Chrome trace-event JSON for Perfetto and as a compact CSV).
+//
+// Cost model (mirrors audit/invariants.h):
+//  * The scheduler hooks expand only when the build defines
+//    HFQ_TRACE_ENABLED (CMake option -DHFQ_TRACE=ON; global, because the
+//    schedulers are header-only templates and per-target definitions would
+//    create ODR-violating mixed instantiations). When OFF,
+//    HFQ_TRACE_EVENT(...) compiles to nothing — arguments are not even
+//    evaluated — and SpanTimer is an empty type.
+//  * When ON, a hook still costs only a thread_local pointer test unless a
+//    recorder is installed. Recording never changes a scheduling decision,
+//    so sim outputs are byte-identical with tracing off, idle, or active.
+//  * A recorder is single-writer by construction: schedulers are
+//    single-threaded objects, and installation is thread_local (RecordScope)
+//    so every campaign shard / fuzz worker records into its own buffer with
+//    no locks and no shared mutable state (the same model as the audit
+//    handler and MetricsRegistry).
+//
+// The ring, the exporters and the CLI are compiled unconditionally — only
+// the hot-path hooks are gated — so tests of the buffer/export layers run in
+// every build type.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace hfq::obs {
+
+// True when the scheduler hot-path hooks are compiled in.
+[[nodiscard]] constexpr bool compiled_in() noexcept {
+#ifdef HFQ_TRACE_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+// Node id for flat (one-level) schedulers; hierarchical schedulers use their
+// own NodeId values (root = 0 in HPfq, so flat schedulers share track 0).
+inline constexpr std::uint32_t kFlatNode = 0;
+// "No node" marker for events outside any scheduler node.
+inline constexpr std::uint32_t kNoTraceNode = 0xffffffffu;
+inline constexpr std::uint32_t kNoTraceFlow = 0xffffffffu;
+
+enum class EventKind : std::uint8_t {
+  kEnqueue = 0,       // packet accepted into a session queue
+  kDequeue,           // packet selected for transmission
+  kVtimeUpdate,       // Eq. 27 advance: V <- max(V, Smin) + L/r
+  kEligibilityFlip,   // session moved between waiting and eligible sets
+  kHeapOp,            // heap push/pop/select (detail names the operation)
+  kDrop,              // packet rejected (finite session buffer)
+  kBusyPeriodStart,   // arrival into a drained server started a busy period
+  kBusyPeriodEnd,     // idle poll on a drained server ended the busy period
+  kSpanBegin,         // RAII span entry (detail = span name)
+  kSpanEnd,           // RAII span exit (a = elapsed host nanoseconds)
+  kCount
+};
+
+[[nodiscard]] const char* kind_name(EventKind k) noexcept;
+// Parses a kind from its kind_name; returns false on unknown names.
+[[nodiscard]] bool kind_from_name(const std::string& name, EventKind* out);
+
+// One recorded event. Fixed-size and trivially copyable so the ring is a
+// flat array; `detail` must point at a string with static storage duration
+// (heap-op names, span names) — recording never allocates.
+//
+// Field use by kind (unused fields are zero):
+//   kEnqueue / kDequeue   flow, packet, wall, vtime (V at/after the op),
+//                         a = packet bits, b = backlog after the op
+//   kVtimeUpdate          wall, a = old V, vtime = new V
+//   kEligibilityFlip      flow, wall, vtime = V, a = start tag,
+//                         b = finish tag, detail = "eligible" | "waiting"
+//   kHeapOp               flow, wall, a/b = heap key(s),
+//                         detail = operation name
+//   kDrop                 flow, packet, wall, a = packet bits
+//   kBusyPeriodStart/End  wall, vtime = V before the reset, a = epoch
+//   kSpanBegin/End        wall, detail = span name, a = host ns (end only)
+struct Event {
+  std::uint64_t seq = 0;  // per-recorder monotone sequence number
+  EventKind kind = EventKind::kEnqueue;
+  std::uint32_t node = kNoTraceNode;
+  std::uint32_t flow = kNoTraceFlow;
+  std::uint64_t packet = 0;
+  units::WallTime wall;
+  units::VirtualTime vtime;
+  double a = 0.0;
+  double b = 0.0;
+  const char* detail = "";
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 14;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity)
+      : buf_(capacity == 0 ? 1 : capacity) {}
+
+  // Appends `e` (stamping its sequence number), overwriting the oldest event
+  // once the ring is full. Single-writer; no locks, no allocation.
+  void record(Event e) noexcept {
+    e.seq = next_seq_++;
+    buf_[head_] = e;
+    head_ = head_ + 1 == buf_.size() ? 0 : head_ + 1;
+    if (size_ < buf_.size()) {
+      ++size_;
+    } else {
+      ++overwritten_;
+    }
+  }
+
+  // --- typed emitters (the vocabulary the HFQ_TRACE_EVENT hooks use) ------
+
+  void enqueue(std::uint32_t node, std::uint32_t flow, std::uint64_t packet,
+               units::WallTime t, units::VirtualTime v, double bits,
+               double backlog_after) noexcept {
+    Event e;
+    e.kind = EventKind::kEnqueue;
+    e.node = node;
+    e.flow = flow;
+    e.packet = packet;
+    e.wall = t;
+    e.vtime = v;
+    e.a = bits;
+    e.b = backlog_after;
+    record(e);
+  }
+
+  void dequeue(std::uint32_t node, std::uint32_t flow, std::uint64_t packet,
+               units::WallTime t, units::VirtualTime v, double bits,
+               double backlog_after) noexcept {
+    Event e;
+    e.kind = EventKind::kDequeue;
+    e.node = node;
+    e.flow = flow;
+    e.packet = packet;
+    e.wall = t;
+    e.vtime = v;
+    e.a = bits;
+    e.b = backlog_after;
+    record(e);
+  }
+
+  void vtime_update(std::uint32_t node, units::WallTime t,
+                    units::VirtualTime from, units::VirtualTime to) noexcept {
+    Event e;
+    e.kind = EventKind::kVtimeUpdate;
+    e.node = node;
+    e.wall = t;
+    e.vtime = to;
+    e.a = from.v();
+    record(e);
+  }
+
+  void eligibility_flip(std::uint32_t node, std::uint32_t flow,
+                        units::WallTime t, units::VirtualTime v,
+                        units::VirtualTime start, units::VirtualTime finish,
+                        bool now_eligible) noexcept {
+    Event e;
+    e.kind = EventKind::kEligibilityFlip;
+    e.node = node;
+    e.flow = flow;
+    e.wall = t;
+    e.vtime = v;
+    e.a = start.v();
+    e.b = finish.v();
+    e.detail = now_eligible ? "eligible" : "waiting";
+    record(e);
+  }
+
+  // `op` must be a static string (e.g. "push-eligible", "pop-waiting",
+  // "select").
+  void heap_op(std::uint32_t node, std::uint32_t flow, units::WallTime t,
+               const char* op, units::VirtualTime key,
+               units::VirtualTime key2 = units::VirtualTime{}) noexcept {
+    Event e;
+    e.kind = EventKind::kHeapOp;
+    e.node = node;
+    e.flow = flow;
+    e.wall = t;
+    e.a = key.v();
+    e.b = key2.v();
+    e.detail = op;
+    record(e);
+  }
+
+  void drop(std::uint32_t node, std::uint32_t flow, std::uint64_t packet,
+            units::WallTime t, double bits) noexcept {
+    Event e;
+    e.kind = EventKind::kDrop;
+    e.node = node;
+    e.flow = flow;
+    e.packet = packet;
+    e.wall = t;
+    e.a = bits;
+    record(e);
+  }
+
+  void busy_start(std::uint32_t node, units::WallTime t, units::VirtualTime v,
+                  double epoch) noexcept {
+    Event e;
+    e.kind = EventKind::kBusyPeriodStart;
+    e.node = node;
+    e.wall = t;
+    e.vtime = v;
+    e.a = epoch;
+    record(e);
+  }
+
+  void busy_end(std::uint32_t node, units::WallTime t, units::VirtualTime v,
+                double epoch) noexcept {
+    Event e;
+    e.kind = EventKind::kBusyPeriodEnd;
+    e.node = node;
+    e.wall = t;
+    e.vtime = v;
+    e.a = epoch;
+    record(e);
+  }
+
+  void span_begin(const char* name, units::WallTime t) noexcept {
+    Event e;
+    e.kind = EventKind::kSpanBegin;
+    e.wall = t;
+    e.detail = name;
+    record(e);
+  }
+
+  void span_end(const char* name, units::WallTime t, double host_ns) noexcept {
+    Event e;
+    e.kind = EventKind::kSpanEnd;
+    e.wall = t;
+    e.a = host_ns;
+    e.detail = name;
+    record(e);
+  }
+
+  // --- inspection ---------------------------------------------------------
+
+  // Events currently held, oldest to newest.
+  [[nodiscard]] std::vector<Event> snapshot() const {
+    std::vector<Event> out;
+    out.reserve(size_);
+    const std::size_t cap = buf_.size();
+    const std::size_t first = size_ < cap ? 0 : head_;
+    for (std::size_t i = 0; i < size_; ++i) {
+      out.push_back(buf_[(first + i) % cap]);
+    }
+    return out;
+  }
+
+  // The newest `n` events, oldest first.
+  [[nodiscard]] std::vector<Event> last(std::size_t n) const {
+    std::vector<Event> all = snapshot();
+    if (n < all.size()) all.erase(all.begin(), all.end() - static_cast<std::ptrdiff_t>(n));
+    return all;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  // Events pushed out of the ring since the last clear().
+  [[nodiscard]] std::uint64_t overwritten() const noexcept {
+    return overwritten_;
+  }
+  // Total events ever recorded (size() + overwritten()).
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    return next_seq_;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+    next_seq_ = 0;
+    overwritten_ = 0;
+  }
+
+ private:
+  std::vector<Event> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t overwritten_ = 0;
+};
+
+// --- thread-local installation ---------------------------------------------
+
+namespace detail {
+inline FlightRecorder*& slot() noexcept {
+  thread_local FlightRecorder* r = nullptr;
+  return r;
+}
+}  // namespace detail
+
+// The recorder installed on this thread, or nullptr (recording disabled).
+[[nodiscard]] inline FlightRecorder* current() noexcept {
+  return detail::slot();
+}
+
+// RAII installation of a recorder into the thread-local slot; restores the
+// previous recorder on destruction (scopes nest).
+class RecordScope {
+ public:
+  explicit RecordScope(FlightRecorder& r) noexcept : prev_(detail::slot()) {
+    detail::slot() = &r;
+  }
+  ~RecordScope() { detail::slot() = prev_; }
+  RecordScope(const RecordScope&) = delete;
+  RecordScope& operator=(const RecordScope&) = delete;
+
+ private:
+  FlightRecorder* prev_;
+};
+
+// --- text formatting (failure dumps) ----------------------------------------
+
+// One-line human-readable rendering of an event.
+[[nodiscard]] std::string format_event(const Event& e);
+// One event per line.
+[[nodiscard]] std::string format_events(const std::vector<Event>& events);
+// The newest `n` events of the recorder installed on this thread, formatted
+// for a failure report — empty string when no recorder is installed or
+// nothing was recorded (so appending it is always safe).
+[[nodiscard]] std::string last_events_text(std::size_t n);
+
+// --- hot-path hooks ---------------------------------------------------------
+
+// HFQ_TRACE_EVENT(enqueue(node, flow, ...)) calls the named FlightRecorder
+// emitter on the thread's recorder. With HFQ_TRACE off the whole statement
+// (argument evaluation included) vanishes.
+#ifdef HFQ_TRACE_ENABLED
+#define HFQ_TRACE_EVENT(call)                                             \
+  do {                                                                    \
+    if (::hfq::obs::FlightRecorder* hfq_rec_ = ::hfq::obs::current()) {   \
+      hfq_rec_->call;                                                     \
+    }                                                                     \
+  } while (false)
+#else
+#define HFQ_TRACE_EVENT(call) \
+  do {                        \
+  } while (false)
+#endif
+
+// RAII span timer for self-profiling a scheduler call from the driver side
+// (sim::Link wraps enqueue/dequeue in one). Records a kSpanBegin on entry
+// and a kSpanEnd carrying the elapsed *host* nanoseconds on exit — the only
+// non-deterministic payload in the event stream (exporters and `hfq_trace
+// diff` treat it accordingly). An empty type when tracing is compiled out.
+#ifdef HFQ_TRACE_ENABLED
+class SpanTimer {
+ public:
+  SpanTimer(const char* name, double sim_now) noexcept
+      : rec_(current()), name_(name), wall_(units::WallTime{sim_now}) {
+    if (rec_ != nullptr) {
+      rec_->span_begin(name_, wall_);
+      t0_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~SpanTimer() {
+    if (rec_ != nullptr) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0_)
+                          .count();
+      rec_->span_end(name_, wall_, static_cast<double>(ns));
+    }
+  }
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  FlightRecorder* rec_;
+  const char* name_;
+  units::WallTime wall_;
+  std::chrono::steady_clock::time_point t0_;
+};
+#else
+class SpanTimer {
+ public:
+  SpanTimer(const char*, double) noexcept {}
+};
+#endif
+
+}  // namespace hfq::obs

@@ -1,15 +1,21 @@
 #include "runner/campaign.h"
 
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "runner/simulate.h"
 #include "runner/thread_pool.h"
 
 namespace hfq::runner {
 
 CampaignResult run_campaign(const CampaignSpec& spec, unsigned jobs,
-                            std::size_t only_shard) {
+                            std::size_t only_shard,
+                            const std::string& trace_dir) {
   CampaignResult result;
   result.spec = spec;
   result.jobs = jobs == 0 ? ThreadPool::default_jobs() : jobs;
@@ -28,11 +34,41 @@ CampaignResult run_campaign(const CampaignSpec& spec, unsigned jobs,
     result.shards[i].scenario = std::move(grid[i]);
   }
 
+  if (!trace_dir.empty()) std::filesystem::create_directories(trace_dir);
+
   ThreadPool pool(result.jobs);
   pool.parallel_for(result.shards.size(), [&](std::size_t i) {
     CampaignShard& shard = result.shards[i];
     try {
-      run_scenario(shard.scenario, shard.metrics);
+      if (trace_dir.empty()) {
+        run_scenario(shard.scenario, shard.metrics);
+      } else {
+        // Per-shard recorder: installation is thread-local, so concurrent
+        // workers record into disjoint rings with no synchronization. The
+        // export cost is measured and filed under the wall-clock "timing/"
+        // prefix, which the determinism check (--verify) already excludes.
+        obs::FlightRecorder recorder(1 << 16);
+        {
+          obs::RecordScope scope(recorder);
+          run_scenario(shard.scenario, shard.metrics);
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        if (recorder.total_recorded() > 0) {
+          const std::string base =
+              trace_dir + "/shard_" + std::to_string(i);
+          std::ofstream json(base + ".json");
+          obs::write_chrome_json(json, recorder.snapshot());
+          std::ofstream csv(base + ".csv");
+          obs::write_csv(csv, recorder.snapshot());
+        }
+        const std::chrono::duration<double, std::nano> export_ns =
+            std::chrono::steady_clock::now() - t0;
+        shard.metrics.gauge("timing/trace/events") =
+            static_cast<double>(recorder.total_recorded());
+        shard.metrics.gauge("timing/trace/overwritten") =
+            static_cast<double>(recorder.overwritten());
+        shard.metrics.gauge("timing/trace/export_ns") = export_ns.count();
+      }
     } catch (const std::exception& e) {
       shard.error = e.what();
     } catch (...) {

@@ -41,10 +41,17 @@ struct CampaignResult {
 };
 
 // Runs the whole grid. `only_shard` restricts execution to one shard index
-// (standalone replay; pass SIZE_MAX for all).
+// (standalone replay; pass SIZE_MAX for all). With `trace_dir` non-empty a
+// per-shard flight recorder is installed around each run (worker threads
+// record independently — the recorder slot is thread-local) and each shard's
+// events are written to <trace_dir>/shard_<i>.json (Chrome trace-event) and
+// .csv; recording cost lands in the shard's "timing/trace/*" gauges, which
+// the determinism contract already excludes. Useful only in an HFQ_TRACE
+// build — otherwise the recorders stay empty and no files are written.
 [[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
                                           unsigned jobs,
-                                          std::size_t only_shard = SIZE_MAX);
+                                          std::size_t only_shard = SIZE_MAX,
+                                          const std::string& trace_dir = "");
 
 // Bit-exact comparison of two runs of the same campaign (per-shard
 // deterministic metrics and shard count). On mismatch fills `why`.

@@ -8,6 +8,7 @@
 #include "net/flow.h"
 #include "net/packet.h"
 #include "net/scheduler.h"
+#include "obs/flight_recorder.h"
 #include "util/assert.h"
 #include "util/heap.h"
 #include "util/units.h"
@@ -93,6 +94,39 @@ class FlatSchedulerBase : public net::Scheduler {
     std::size_t n = 0;
     for (const FlowState& f : flows_) n += f.queue.size();
     return n;
+  }
+
+  // Flight-recorder hooks (obs/flight_recorder.h), shared by the concrete
+  // schedulers so each hot-path call site stays one line. No-ops unless the
+  // build compiles the hooks in (HFQ_TRACE) AND a recorder is installed on
+  // this thread; the [[maybe_unused]] markers cover the compiled-out build.
+  // `v` is the scheduler's virtual time after the operation (schedulers
+  // without one pass VirtualTime{}).
+  void trace_enqueue([[maybe_unused]] FlowId id,
+                     [[maybe_unused]] const Packet& p,
+                     [[maybe_unused]] Time now,
+                     [[maybe_unused]] VirtualTime v) const {
+    HFQ_TRACE_EVENT(enqueue(obs::kFlatNode, id, p.id, WallTime{now}, v,
+                            p.size_bits(), static_cast<double>(backlog_)));
+  }
+  void trace_dequeue([[maybe_unused]] FlowId id,
+                     [[maybe_unused]] const Packet& p,
+                     [[maybe_unused]] Time now,
+                     [[maybe_unused]] VirtualTime v) const {
+    HFQ_TRACE_EVENT(dequeue(obs::kFlatNode, id, p.id, WallTime{now}, v,
+                            p.size_bits(), static_cast<double>(backlog_)));
+  }
+  void trace_drop([[maybe_unused]] FlowId id, [[maybe_unused]] const Packet& p,
+                  [[maybe_unused]] Time now) const {
+    HFQ_TRACE_EVENT(
+        drop(obs::kFlatNode, id, p.id, WallTime{now}, p.size_bits()));
+  }
+  void trace_flip([[maybe_unused]] FlowId id, [[maybe_unused]] Time now,
+                  [[maybe_unused]] VirtualTime v,
+                  [[maybe_unused]] bool now_eligible) const {
+    HFQ_TRACE_EVENT(eligibility_flip(obs::kFlatNode, id, WallTime{now}, v,
+                                     flows_[id].start, flows_[id].finish,
+                                     now_eligible));
   }
 
   FlowState& flow(FlowId id) {

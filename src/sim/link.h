@@ -4,10 +4,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <utility>
 
 #include "net/packet.h"
 #include "net/scheduler.h"
+#include "obs/flight_recorder.h"
 #include "sim/simulator.h"
 
 namespace hfq::sim {
@@ -31,7 +33,13 @@ class Link {
   // the scheduler and starts transmitting if idle. Returns false on drop.
   bool submit(net::Packet p) {
     p.arrival = sim_.now();
-    const bool accepted = sched_.enqueue(p, sim_.now());
+    bool accepted = false;
+    {
+      // Self-profiling span around the scheduler call (obs flight recorder;
+      // an empty object unless HFQ_TRACE is compiled in).
+      obs::SpanTimer span("link.enqueue", sim_.now());
+      accepted = sched_.enqueue(p, sim_.now());
+    }
     if (accepted) kick();
     return accepted;
   }
@@ -55,7 +63,11 @@ class Link {
   // Starts the next transmission if the link is idle and work is queued.
   void kick() {
     if (busy_) return;
-    auto p = sched_.dequeue(sim_.now());
+    std::optional<net::Packet> p;
+    {
+      obs::SpanTimer span("link.dequeue", sim_.now());
+      p = sched_.dequeue(sim_.now());
+    }
     if (!p.has_value()) return;
     busy_ = true;
     const double tx_seconds = p->size_bits() / rate_bps_;

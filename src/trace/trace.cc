@@ -1,5 +1,6 @@
 #include "trace/trace.h"
 
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -25,7 +26,10 @@ std::vector<Record> read(std::istream& in) {
       throw std::runtime_error("trace: malformed line " +
                                std::to_string(lineno) + ": " + line);
     }
-    if (r.time < 0.0 || r.size_bytes == 0) {
+    // NaN fails every relational test, so `time < 0.0` alone lets NaN (and
+    // +inf) through — both would corrupt the link's busy-period accounting
+    // downstream. Reject anything non-finite explicitly.
+    if (!std::isfinite(r.time) || r.time < 0.0 || r.size_bytes == 0) {
       throw std::runtime_error("trace: invalid record at line " +
                                std::to_string(lineno));
     }

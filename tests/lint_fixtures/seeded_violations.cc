@@ -1,6 +1,6 @@
 // Seeded violations for tools/hfq_lint — exactly one per rule, in rule
 // order. This file is never compiled; the `hfq_lint_fixture` ctest runs the
-// linter over this directory and expects a non-zero exit with all five rule
+// linter over this directory and expects a non-zero exit with all six rule
 // ids in the report. If a rule regresses to never firing, that test fails.
 namespace hfq::lint_fixture {
 
@@ -29,6 +29,13 @@ inline void corrupt(Demo& d) {
 
 inline void cross(double now) {
   vtime_ = now;  // domain-cross-assign: wall clock into virtual time
+}
+
+// trace-in-hot-loop: formatting on the per-packet path; events belong in
+// the flight recorder (src/obs/), not on a stream.
+inline bool enqueue(int packet) {
+  std::printf("enqueue %d\n", packet);
+  return true;
 }
 
 }  // namespace hfq::lint_fixture

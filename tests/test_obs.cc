@@ -1,0 +1,374 @@
+// Tests for the flight-recorder observability layer (src/obs/): ring
+// wraparound, thread-local installation (including ordering isolation under
+// run_shards), the exporters (Chrome JSON escaping, CSV round trip),
+// filtering and diffing, and the compile gate on the scheduler hooks.
+//
+// Everything except the gated-hook tests drives FlightRecorder::record()
+// directly, which is compiled in every build type — only the scheduler-side
+// HFQ_TRACE_EVENT hooks depend on -DHFQ_TRACE=ON.
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/wf2qplus.h"
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "runner/shard.h"
+#include "runner/thread_pool.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+
+namespace hfq::obs {
+namespace {
+
+using units::VirtualTime;
+using units::WallTime;
+
+Event make_event(std::uint32_t flow, double t) {
+  Event e;
+  e.kind = EventKind::kEnqueue;
+  e.node = kFlatNode;
+  e.flow = flow;
+  e.wall = WallTime{t};
+  return e;
+}
+
+TEST(FlightRecorder, RecordsInOrder) {
+  FlightRecorder rec(8);
+  for (std::uint32_t i = 0; i < 5; ++i) rec.record(make_event(i, i * 1.0));
+  EXPECT_EQ(rec.size(), 5u);
+  EXPECT_EQ(rec.overwritten(), 0u);
+  EXPECT_EQ(rec.total_recorded(), 5u);
+  const std::vector<Event> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    EXPECT_EQ(events[i].flow, i);
+  }
+}
+
+TEST(FlightRecorder, RingWraparoundKeepsNewest) {
+  FlightRecorder rec(4);
+  for (std::uint32_t i = 0; i < 10; ++i) rec.record(make_event(i, i * 1.0));
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.overwritten(), 6u);
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  const std::vector<Event> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-to-newest, and exactly the last four records.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);
+    EXPECT_EQ(events[i].flow, 6u + i);
+  }
+}
+
+TEST(FlightRecorder, LastReturnsNewestSuffix) {
+  FlightRecorder rec(8);
+  for (std::uint32_t i = 0; i < 6; ++i) rec.record(make_event(i, 0.0));
+  const std::vector<Event> tail = rec.last(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].flow, 4u);
+  EXPECT_EQ(tail[1].flow, 5u);
+  EXPECT_EQ(rec.last(100).size(), 6u);
+}
+
+TEST(FlightRecorder, ClearResets) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i) rec.record(make_event(0, 0.0));
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.overwritten(), 0u);
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  rec.record(make_event(7, 0.0));
+  EXPECT_EQ(rec.snapshot().at(0).seq, 0u);
+}
+
+TEST(FlightRecorder, ZeroCapacityClampsToOne) {
+  FlightRecorder rec(0);
+  EXPECT_EQ(rec.capacity(), 1u);
+  rec.record(make_event(1, 0.0));
+  rec.record(make_event(2, 0.0));
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec.snapshot().at(0).flow, 2u);
+}
+
+TEST(RecordScope, InstallsAndRestores) {
+  EXPECT_EQ(current(), nullptr);
+  FlightRecorder outer(8);
+  {
+    RecordScope a(outer);
+    EXPECT_EQ(current(), &outer);
+    FlightRecorder inner(8);
+    {
+      RecordScope b(inner);
+      EXPECT_EQ(current(), &inner);
+    }
+    EXPECT_EQ(current(), &outer);
+  }
+  EXPECT_EQ(current(), nullptr);
+}
+
+TEST(RecordScope, LastEventsTextEmptyWithoutRecorder) {
+  EXPECT_EQ(last_events_text(10), "");
+  FlightRecorder rec(8);
+  RecordScope scope(rec);
+  EXPECT_EQ(last_events_text(10), "");  // installed but nothing recorded
+  rec.record(make_event(3, 1.0));
+  const std::string text = last_events_text(10);
+  EXPECT_NE(text.find("enqueue"), std::string::npos);
+  EXPECT_NE(text.find("flow=3"), std::string::npos);
+}
+
+// Each run_shards worker installs its own thread-local recorder; events from
+// concurrent shards must land in their own rings, in their own order, with
+// per-recorder contiguous sequence numbers — regardless of the jobs count.
+TEST(RecordScope, ShardLocalRecordingIsIsolated) {
+  constexpr std::size_t kShards = 8;
+  constexpr std::uint32_t kEventsPerShard = 100;
+  std::vector<std::vector<Event>> captured(kShards);
+  runner::ThreadPool pool(4);
+  const auto shards = runner::run_shards(
+      1, kShards, pool, [&](runner::ShardRun& shard) {
+        FlightRecorder rec(256);
+        RecordScope scope(rec);
+        for (std::uint32_t i = 0; i < kEventsPerShard; ++i) {
+          // Record through the thread-local slot, as instrumented code does.
+          current()->record(
+              make_event(static_cast<std::uint32_t>(shard.index), i * 1.0));
+        }
+        captured[shard.index] = rec.snapshot();
+      });
+  for (const auto& shard : shards) EXPECT_TRUE(shard.ok());
+  for (std::size_t s = 0; s < kShards; ++s) {
+    ASSERT_EQ(captured[s].size(), kEventsPerShard);
+    for (std::uint32_t i = 0; i < kEventsPerShard; ++i) {
+      EXPECT_EQ(captured[s][i].seq, i);  // contiguous: no cross-shard bleed
+      EXPECT_EQ(captured[s][i].flow, s);
+      EXPECT_DOUBLE_EQ(captured[s][i].wall.seconds(), i * 1.0);
+    }
+  }
+  EXPECT_EQ(current(), nullptr);
+}
+
+TEST(Export, JsonEscaping) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Export, ChromeJsonEscapesNodeNames) {
+  FlightRecorder rec(8);
+  rec.enqueue(0, 1, 42, WallTime{0.5}, VirtualTime{0.25}, 8.0, 1.0);
+  ExportOptions opt;
+  opt.node_names[0] = "leaf \"A\\B\"\nnewline";
+  opt.process_name = "proc \"x\"";
+  std::ostringstream os;
+  write_chrome_json(os, rec.snapshot(), opt);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("leaf \\\"A\\\\B\\\"\\nnewline"), std::string::npos);
+  EXPECT_NE(json.find("proc \\\"x\\\""), std::string::npos);
+  // The raw (unescaped) name must not appear.
+  EXPECT_EQ(json.find("leaf \"A\\B\"\nnewline"), std::string::npos);
+}
+
+TEST(Export, ChromeJsonHasTrackPerNode) {
+  FlightRecorder rec(16);
+  rec.enqueue(0, 1, 1, WallTime{0.0}, VirtualTime{}, 8.0, 1.0);
+  rec.enqueue(3, 1, 2, WallTime{0.0}, VirtualTime{}, 8.0, 2.0);
+  rec.span_end("link.enqueue", WallTime{0.0}, 1200.0);
+  std::ostringstream os;
+  write_chrome_json(os, rec.snapshot(), {});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"node 3\""), std::string::npos);
+  // Spans become complete slices with the measured duration in µs.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1.2"), std::string::npos);
+}
+
+TEST(Export, CsvRoundTrip) {
+  FlightRecorder rec(32);
+  rec.enqueue(0, 1, 42, WallTime{0.5}, VirtualTime{0.25}, 64.0, 3.0);
+  rec.vtime_update(0, WallTime{1.0}, VirtualTime{0.25}, VirtualTime{0.5});
+  rec.eligibility_flip(0, 2, WallTime{1.5}, VirtualTime{0.5},
+                       VirtualTime{0.4}, VirtualTime{0.9}, true);
+  rec.heap_op(1, 2, WallTime{2.0}, "select", VirtualTime{0.9});
+  rec.drop(0, 3, 99, WallTime{2.5}, 128.0);
+  rec.busy_end(0, WallTime{3.0}, VirtualTime{1.5}, 4.0);
+  const std::vector<Event> written = rec.snapshot();
+
+  std::stringstream ss;
+  write_csv(ss, written);
+  const std::vector<Event> back = read_csv(ss);
+  ASSERT_EQ(back.size(), written.size());
+  for (std::size_t i = 0; i < written.size(); ++i) {
+    EXPECT_EQ(back[i].seq, written[i].seq);
+    EXPECT_EQ(back[i].kind, written[i].kind);
+    EXPECT_EQ(back[i].node, written[i].node);
+    EXPECT_EQ(back[i].flow, written[i].flow);
+    EXPECT_EQ(back[i].packet, written[i].packet);
+    EXPECT_DOUBLE_EQ(back[i].wall.seconds(), written[i].wall.seconds());
+    EXPECT_DOUBLE_EQ(back[i].vtime.v(), written[i].vtime.v());
+    EXPECT_DOUBLE_EQ(back[i].a, written[i].a);
+    EXPECT_DOUBLE_EQ(back[i].b, written[i].b);
+    EXPECT_STREQ(back[i].detail, written[i].detail);
+  }
+  // Diff agrees they are identical.
+  EXPECT_TRUE(diff_events(written, back).empty());
+}
+
+TEST(Export, ReadCsvRejectsMalformed) {
+  {
+    std::stringstream ss("");
+    EXPECT_THROW(read_csv(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("not,a,trace,header\n");
+    EXPECT_THROW(read_csv(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("seq,kind,node,flow,packet,wall_s,vtime,a,b,detail\n"
+                         "0,enqueue,0,1\n");
+    EXPECT_THROW(read_csv(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("seq,kind,node,flow,packet,wall_s,vtime,a,b,detail\n"
+                         "0,bogus_kind,0,1,2,0.5,0.25,8,1,\n");
+    EXPECT_THROW(read_csv(ss), std::runtime_error);
+  }
+  {
+    // Non-finite wall timestamp.
+    std::stringstream ss("seq,kind,node,flow,packet,wall_s,vtime,a,b,detail\n"
+                         "0,enqueue,0,1,2,nan,0.25,8,1,\n");
+    EXPECT_THROW(read_csv(ss), std::runtime_error);
+  }
+}
+
+TEST(Export, FilterMatchesFields) {
+  FlightRecorder rec(32);
+  rec.enqueue(0, 1, 1, WallTime{0.0}, VirtualTime{}, 8.0, 1.0);
+  rec.enqueue(2, 1, 2, WallTime{1.0}, VirtualTime{}, 8.0, 2.0);
+  rec.dequeue(2, 5, 3, WallTime{2.0}, VirtualTime{}, 8.0, 1.0);
+  const std::vector<Event> all = rec.snapshot();
+
+  EventFilter by_node;
+  by_node.node = 2;
+  EXPECT_EQ(filter_events(all, by_node).size(), 2u);
+  EventFilter by_flow;
+  by_flow.flow = 5;
+  EXPECT_EQ(filter_events(all, by_flow).size(), 1u);
+  EventFilter by_kind;
+  by_kind.kind = EventKind::kDequeue;
+  EXPECT_EQ(filter_events(all, by_kind).size(), 1u);
+  EventFilter by_since;
+  by_since.since = 1.0;
+  EXPECT_EQ(filter_events(all, by_since).size(), 2u);
+  EventFilter combined;
+  combined.node = 2;
+  combined.kind = EventKind::kEnqueue;
+  EXPECT_EQ(filter_events(all, combined).size(), 1u);
+}
+
+TEST(Export, DiffFindsDivergenceAndLengthMismatch) {
+  FlightRecorder a(8);
+  a.enqueue(0, 1, 1, WallTime{0.0}, VirtualTime{}, 8.0, 1.0);
+  a.enqueue(0, 2, 2, WallTime{1.0}, VirtualTime{}, 8.0, 2.0);
+  FlightRecorder b(8);
+  b.enqueue(0, 1, 1, WallTime{0.0}, VirtualTime{}, 8.0, 1.0);
+  b.enqueue(0, 3, 2, WallTime{1.0}, VirtualTime{}, 8.0, 2.0);
+  b.drop(0, 3, 9, WallTime{2.0}, 8.0);
+
+  const std::vector<EventDiff> diffs =
+      diff_events(a.snapshot(), b.snapshot());
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_EQ(diffs[0].index, 1u);
+  EXPECT_EQ(diffs[0].field, "flow");
+  EXPECT_EQ(diffs[1].index, 2u);
+  EXPECT_EQ(diffs[1].field, "missing");
+  EXPECT_TRUE(diffs[1].lhs.empty());
+}
+
+// Span host-ns payloads are wall-clock measurements; two recordings of the
+// same run must still diff clean.
+TEST(Export, DiffIgnoresSpanHostNs) {
+  FlightRecorder a(8);
+  a.span_begin("link.enqueue", WallTime{0.0});
+  a.span_end("link.enqueue", WallTime{0.0}, 1234.0);
+  FlightRecorder b(8);
+  b.span_begin("link.enqueue", WallTime{0.0});
+  b.span_end("link.enqueue", WallTime{0.0}, 9876.0);
+  EXPECT_TRUE(diff_events(a.snapshot(), b.snapshot()).empty());
+
+  // ...but a different span name is a real divergence.
+  FlightRecorder c(8);
+  c.span_begin("link.dequeue", WallTime{0.0});
+  c.span_end("link.dequeue", WallTime{0.0}, 1234.0);
+  EXPECT_FALSE(diff_events(a.snapshot(), c.snapshot()).empty());
+}
+
+// The compile gate: with HFQ_TRACE off the scheduler hooks must record
+// nothing (they do not even evaluate their arguments); with it on, a full
+// fig-2-style run must produce the expected event mix.
+TEST(Hooks, SchedulerEventsFollowCompileGate) {
+  FlightRecorder rec(1 << 12);
+  {
+    RecordScope scope(rec);
+    core::Wf2qPlus s(8.0);
+    s.add_flow(0, 4.0);
+    for (net::FlowId j = 1; j <= 10; ++j) s.add_flow(j, 0.4);
+    sim::Simulator sim;
+    sim::Link link(sim, s, 8.0);
+    sim.at(0.0, [&link] {
+      std::uint64_t id = 0;
+      for (int k = 0; k < 11; ++k) {
+        net::Packet p;
+        p.flow = 0;
+        p.size_bytes = 1;
+        p.id = id++;
+        link.submit(p);
+      }
+      for (net::FlowId j = 1; j <= 10; ++j) {
+        net::Packet p;
+        p.flow = j;
+        p.size_bytes = 1;
+        p.id = id++;
+        link.submit(p);
+      }
+    });
+    sim.run();
+  }
+  if (!compiled_in()) {
+    EXPECT_EQ(rec.total_recorded(), 0u)
+        << "HFQ_TRACE is off: hooks must be zero-cost no-ops";
+    return;
+  }
+  const std::vector<Event> events = rec.snapshot();
+  std::set<EventKind> kinds;
+  std::size_t enq = 0, deq = 0;
+  for (const Event& e : events) {
+    kinds.insert(e.kind);
+    if (e.kind == EventKind::kEnqueue) ++enq;
+    if (e.kind == EventKind::kDequeue) ++deq;
+  }
+  EXPECT_EQ(enq, 21u);  // 11 + 10 packets accepted
+  EXPECT_EQ(deq, 21u);  // all of them served
+  EXPECT_TRUE(kinds.count(EventKind::kVtimeUpdate));
+  EXPECT_TRUE(kinds.count(EventKind::kEligibilityFlip));
+  EXPECT_TRUE(kinds.count(EventKind::kHeapOp));
+  EXPECT_TRUE(kinds.count(EventKind::kSpanBegin));
+  EXPECT_TRUE(kinds.count(EventKind::kSpanEnd));
+  // Sequence numbers are strictly increasing in snapshot order.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+}
+
+}  // namespace
+}  // namespace hfq::obs

@@ -50,6 +50,23 @@ TEST(Trace, ReadRejectsZeroSize) {
   EXPECT_THROW(read(ss), std::runtime_error);
 }
 
+// NaN fails every relational comparison, so a bare `time < 0.0` check lets
+// it through; the reader must reject non-finite timestamps explicitly.
+TEST(Trace, ReadRejectsNaNTime) {
+  std::stringstream ss("nan,1,100\n");
+  EXPECT_THROW(read(ss), std::runtime_error);
+}
+
+TEST(Trace, ReadRejectsInfiniteTime) {
+  std::stringstream ss("inf,1,100\n");
+  EXPECT_THROW(read(ss), std::runtime_error);
+}
+
+TEST(Trace, ReadRejectsNegativeTime) {
+  std::stringstream ss("-1.0,1,100\n");
+  EXPECT_THROW(read(ss), std::runtime_error);
+}
+
 TEST(Trace, FileRoundTrip) {
   const std::vector<Record> records = {{0.25, 4, 64}, {0.75, 4, 64}};
   const std::string path = ::testing::TempDir() + "/hfq_trace_test.csv";

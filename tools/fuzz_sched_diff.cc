@@ -27,11 +27,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "audit/fuzz.h"
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "runner/thread_pool.h"
 
 namespace {
@@ -42,7 +46,7 @@ using hfq::audit::FuzzTrace;
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--start-seed S] [--seed S] "
-               "[--seconds S] [--jobs N] [--no-minimize]\n",
+               "[--seconds S] [--jobs N] [--no-minimize] [--trace-dump DIR]\n",
                argv0);
 }
 
@@ -71,11 +75,14 @@ double parse_seconds(const char* flag, const char* s) {
   return v;
 }
 
-// Runs one seed; on failure prints a report (optionally minimized) and
-// returns false.
-bool run_seed(std::uint64_t seed, bool do_minimize, const char* argv0) {
+// Runs one seed; on failure prints a report (optionally minimized), dumps
+// the flight-recorder events to `trace_dump` if set, and returns false.
+bool run_seed(std::uint64_t seed, bool do_minimize, const char* argv0,
+              const std::string& trace_dump) {
   const FuzzTrace trace = hfq::audit::generate_trace(seed);
-  std::vector<FuzzFailure> failures = hfq::audit::run_checks(trace);
+  hfq::obs::FlightRecorder recorder(1 << 16);
+  std::vector<FuzzFailure> failures = hfq::audit::run_checks(
+      trace, trace_dump.empty() ? nullptr : &recorder);
   if (failures.empty()) return true;
 
   std::printf("FAIL seed %llu (%s, %zu arrivals):\n",
@@ -83,6 +90,22 @@ bool run_seed(std::uint64_t seed, bool do_minimize, const char* argv0) {
               hfq::audit::shape_name(trace.shape), trace.arrivals.size());
   for (const FuzzFailure& f : failures) {
     std::printf("  [%s] %s\n", f.check.c_str(), f.detail.c_str());
+  }
+
+  if (!trace_dump.empty() && recorder.total_recorded() > 0) {
+    std::filesystem::create_directories(trace_dump);
+    const std::string base = trace_dump + "/seed_" + std::to_string(seed);
+    {
+      std::ofstream out(base + ".csv");
+      hfq::obs::write_csv(out, recorder.snapshot());
+    }
+    {
+      std::ofstream out(base + ".json");
+      hfq::obs::write_chrome_json(out, recorder.snapshot());
+    }
+    std::printf("flight-recorder dump: %s.csv / %s.json (%llu events)\n",
+                base.c_str(), base.c_str(),
+                static_cast<unsigned long long>(recorder.total_recorded()));
   }
 
   if (do_minimize) {
@@ -112,6 +135,7 @@ int main(int argc, char** argv) {
   std::uint64_t start_seed = 1;
   double seconds = 0.0;    // 0 = no time budget, run exactly `seeds`
   std::uint64_t jobs = 1;  // 0 = hardware concurrency
+  std::string trace_dump;  // empty = no flight-recorder dumps
   bool single = false;
   std::uint64_t single_seed = 0;
   bool do_minimize = true;
@@ -137,6 +161,8 @@ int main(int argc, char** argv) {
       jobs = parse_u64("--jobs", value());
     } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
       do_minimize = false;
+    } else if (std::strcmp(argv[i], "--trace-dump") == 0) {
+      trace_dump = value();
     } else {
       usage(argv[0]);
       return 2;
@@ -144,7 +170,7 @@ int main(int argc, char** argv) {
   }
 
   if (single) {
-    if (!run_seed(single_seed, do_minimize, argv[0])) return 1;
+    if (!run_seed(single_seed, do_minimize, argv[0], trace_dump)) return 1;
     std::printf("seed %llu clean\n",
                 static_cast<unsigned long long>(single_seed));
     return 0;
@@ -163,7 +189,7 @@ int main(int argc, char** argv) {
             std::chrono::steady_clock::now() - t0;
         if (elapsed.count() > seconds) break;
       }
-      if (!run_seed(s, do_minimize, argv[0])) ++failures;
+      if (!run_seed(s, do_minimize, argv[0], trace_dump)) ++failures;
       ++ran;
     }
   } else {
@@ -193,7 +219,7 @@ int main(int argc, char** argv) {
     ran = ran_atomic.load();
     std::sort(failing.begin(), failing.end());
     for (const std::uint64_t seed : failing) {
-      if (!run_seed(seed, do_minimize, argv[0])) {
+      if (!run_seed(seed, do_minimize, argv[0], trace_dump)) {
         ++failures;
       } else {
         std::printf(

@@ -79,6 +79,10 @@ const Rule kRules[] = {
     {"domain-cross-assign",
      "wall-clock value assigned to a virtual-time variable (or vice versa)",
      "convert explicitly at the boundary; the domains share no origin"},
+    {"trace-in-hot-loop",
+     "direct stream/printf write inside a scheduler enqueue/dequeue body",
+     "emit through the flight recorder (HFQ_TRACE_EVENT, src/obs/) — never "
+     "format or flush on the per-packet path"},
 };
 
 struct Finding {
@@ -257,6 +261,17 @@ const std::regex kCheckedCall(
 const std::regex kVirtualLhs(R"(\b(vtime_|v_now)\s*=[^=])");
 const std::regex kWallLhs(R"(\b(busy_until_|ref_time_|now_)\s*=[^=])");
 
+// Scheduler hot-path definitions: a return type (optionally a qualified
+// member definition) followed by enqueue/dequeue. Call sites like
+// `sched_.enqueue(p, now)` carry no type word and never match.
+const std::regex kHotPathDef(
+    R"(\b(bool|void|auto|std::optional<net::Packet>|std::optional<Packet>)\s+(\w+(<[^>]*>)?::)?(enqueue|dequeue)\s*\()");
+// Formatting/flushing I/O vocabulary that must never appear on the
+// per-packet path — events go through the flight recorder's fixed-size ring
+// (src/obs/flight_recorder.h), which exporters drain off the hot path.
+const std::regex kIoWrite(
+    R"(\b(std::)?(cout|cerr|clog|ofstream|ostream|printf|fprintf|puts|fputs)\b)");
+
 void check_line_rules(const SourceFile& sf,
                       const std::vector<std::vector<std::string>>& disables,
                       std::vector<Finding>& out) {
@@ -360,6 +375,68 @@ void check_preconditions(const SourceFile& sf,
                             trim(sf.raw[i])});
     }
     (void)end_line;
+  }
+}
+
+// Finds scheduler enqueue/dequeue *definitions* and flags any direct stream
+// or printf-family write inside the body (same body-walking scheme as
+// check_preconditions). Each offending line is reported individually so an
+// inline disable can cover exactly one write.
+void check_hot_loop_io(const SourceFile& sf,
+                       const std::vector<std::vector<std::string>>& disables,
+                       std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < sf.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(sf.code[i], m, kHotPathDef)) continue;
+    // Walk forward to the opening brace; a `;` first means declaration only.
+    int depth = 0;
+    bool found_open = false;
+    bool is_decl = false;
+    std::size_t body_begin = 0, body_begin_col = 0;
+    for (std::size_t j = i; j < sf.code.size() && !found_open && !is_decl;
+         ++j) {
+      const std::string& c = sf.code[j];
+      for (std::size_t k = j == i
+                               ? static_cast<std::size_t>(m.position(0))
+                               : 0;
+           k < c.size(); ++k) {
+        if (c[k] == '(') ++depth;
+        if (c[k] == ')') --depth;
+        if (depth == 0 && c[k] == ';') {
+          is_decl = true;
+          break;
+        }
+        if (depth == 0 && c[k] == '{') {
+          found_open = true;
+          body_begin = j;
+          body_begin_col = k + 1;
+          break;
+        }
+      }
+    }
+    if (is_decl || !found_open) continue;
+    int braces = 1;
+    for (std::size_t j = body_begin; j < sf.code.size() && braces > 0; ++j) {
+      const std::string& c = sf.code[j];
+      std::size_t from = j == body_begin ? body_begin_col : 0;
+      std::size_t to = c.size();
+      for (std::size_t k = from; k < c.size(); ++k) {
+        if (c[k] == '{') ++braces;
+        if (c[k] == '}') {
+          --braces;
+          if (braces == 0) {
+            to = k;
+            break;
+          }
+        }
+      }
+      const std::string body_part = c.substr(from, to - from);
+      if (std::regex_search(body_part, kIoWrite) &&
+          !rule_disabled(disables, j, "trace-in-hot-loop")) {
+        out.push_back(
+            Finding{sf.rel_path, j + 1, "trace-in-hot-loop", trim(sf.raw[j])});
+      }
+    }
   }
 }
 
@@ -513,6 +590,7 @@ int main(int argc, char** argv) {
         compute_disables(sf);
     check_line_rules(sf, disables, findings);
     check_preconditions(sf, disables, findings);
+    check_hot_loop_io(sf, disables, findings);
   }
 
   findings.erase(std::remove_if(findings.begin(), findings.end(),

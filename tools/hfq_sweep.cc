@@ -19,6 +19,7 @@
 #include <exception>
 #include <string>
 
+#include "obs/flight_recorder.h"
 #include "runner/campaign.h"
 #include "runner/export.h"
 
@@ -30,7 +31,8 @@ using hfq::runner::CampaignShard;
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --scenario FILE [--jobs N] [--out FILE.json]\n"
-               "          [--csv FILE.csv] [--shard K] [--verify]\n",
+               "          [--csv FILE.csv] [--shard K] [--verify]\n"
+               "          [--trace-dir DIR]\n",
                argv0);
 }
 
@@ -75,6 +77,7 @@ int main(int argc, char** argv) {
   std::string out_csv;
   unsigned jobs = 0;  // 0 = hardware concurrency
   std::size_t only_shard = SIZE_MAX;
+  std::string trace_dir;
   bool verify = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -95,6 +98,8 @@ int main(int argc, char** argv) {
       out_csv = value();
     } else if (std::strcmp(argv[i], "--shard") == 0) {
       only_shard = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--trace-dir") == 0) {
+      trace_dir = value();
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       verify = true;
     } else {
@@ -110,8 +115,13 @@ int main(int argc, char** argv) {
   try {
     const hfq::runner::CampaignSpec spec =
         hfq::runner::parse_campaign_file(scenario_path);
+    if (!trace_dir.empty() && !hfq::obs::compiled_in()) {
+      std::fprintf(stderr,
+                   "warning: --trace-dir set but this binary was built "
+                   "without -DHFQ_TRACE=ON; traces will be empty\n");
+    }
     const CampaignResult result =
-        hfq::runner::run_campaign(spec, jobs, only_shard);
+        hfq::runner::run_campaign(spec, jobs, only_shard, trace_dir);
     print_summary(result);
 
     if (!out_json.empty()) {

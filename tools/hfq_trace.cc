@@ -1,0 +1,307 @@
+// hfq_trace — record, inspect and compare scheduler flight-recorder traces.
+//
+// Subcommands:
+//   record  --fig2 [--sched wf2qplus|fixed|hpfq] [--csv F] [--json F]
+//           Runs the paper's Figure 2 scenario (11 sessions, session 1 with
+//           half the link) under a flight recorder and writes the recording.
+//           With --sched hpfq the same sessions run as leaves of an
+//           H-WF²Q+ tree so the Chrome JSON shows one track per node.
+//   print   FILE.csv [--node N] [--flow F] [--event KIND] [--since T]
+//           Pretty-prints a recording, optionally filtered.
+//   export  FILE.csv --json OUT.json
+//           Converts a CSV recording to Chrome trace-event JSON
+//           (open in Perfetto / chrome://tracing).
+//   diff    A.csv B.csv [--max N]
+//           Compares two recordings event-by-event (span host-ns payloads
+//           are ignored — they are wall-clock measurements). Exit 1 on any
+//           divergence.
+//
+// Recording requires a build with -DHFQ_TRACE=ON; `record` warns and
+// produces an empty trace otherwise (print/export/diff work in any build).
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/hpfq.h"
+#include "core/wf2qplus.h"
+#include "core/wf2qplus_fixed.h"
+#include "net/packet.h"
+#include "net/scheduler.h"
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+
+namespace hfq::tools {
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  hfq_trace record --fig2 [--sched wf2qplus|fixed|hpfq]\n"
+         "                   [--csv FILE] [--json FILE] [--last N]\n"
+         "  hfq_trace print FILE.csv [--node N] [--flow F] [--event KIND]\n"
+         "                  [--since T]\n"
+         "  hfq_trace export FILE.csv --json OUT.json\n"
+         "  hfq_trace diff A.csv B.csv [--max N]\n";
+  return 2;
+}
+
+std::vector<obs::Event> load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return obs::read_csv(in);
+}
+
+// The Figure 2 workload (bench_fig2_service_order.cc): a unit link at 8 bps
+// with 1-byte packets, session 1 at half the link rate sending 11
+// back-to-back packets at t=0, ten sessions at 0.05 sending one each.
+constexpr double kFig2Rate = 8.0;
+
+void submit_fig2(sim::Simulator& sim, sim::Link& link) {
+  sim.at(0.0, [&link] {
+    std::uint64_t id = 0;
+    for (int k = 0; k < 11; ++k) {
+      net::Packet p;
+      p.flow = 0;
+      p.size_bytes = 1;
+      p.id = id++;
+      link.submit(p);
+    }
+    for (net::FlowId j = 1; j <= 10; ++j) {
+      net::Packet p;
+      p.flow = j;
+      p.size_bytes = 1;
+      p.id = id++;
+      link.submit(p);
+    }
+  });
+  sim.run();
+}
+
+// Runs the fig-2 scenario against `sched` with a recorder installed and
+// returns the recording.
+std::vector<obs::Event> record_fig2_with(net::Scheduler& sched,
+                                         obs::ExportOptions* opt) {
+  obs::FlightRecorder rec(1 << 16);
+  obs::RecordScope scope(rec);
+  sim::Simulator sim;
+  sim::Link link(sim, sched, kFig2Rate);
+  submit_fig2(sim, link);
+  if (opt->node_names.empty()) {
+    opt->node_names[obs::kFlatNode] = "server";
+  }
+  return rec.snapshot();
+}
+
+std::vector<obs::Event> record_fig2(const std::string& sched_name,
+                                    obs::ExportOptions* opt) {
+  if (sched_name == "wf2qplus") {
+    core::Wf2qPlus s(kFig2Rate);
+    s.add_flow(0, 4.0);
+    for (net::FlowId j = 1; j <= 10; ++j) s.add_flow(j, 0.4);
+    opt->process_name = "hfq fig2 wf2qplus";
+    return record_fig2_with(s, opt);
+  }
+  if (sched_name == "fixed") {
+    core::Wf2qPlusFixed s(8);
+    s.add_flow(0, 4.0);
+    for (net::FlowId j = 1; j <= 10; ++j) s.add_flow(j, 1.0);
+    opt->process_name = "hfq fig2 wf2qplus-fixed";
+    return record_fig2_with(s, opt);
+  }
+  if (sched_name == "hpfq") {
+    // The same 11 sessions as leaves of a two-class H-WF²Q+ tree: session 1
+    // alone under class A (half the link), the ten small sessions under
+    // class B — exercising one Chrome track per hierarchy node.
+    core::HWf2qPlus s(kFig2Rate);
+    const core::NodeId a = s.add_internal(s.root(), 4.0);
+    const core::NodeId b = s.add_internal(s.root(), 4.0);
+    opt->node_names[s.root()] = "root";
+    opt->node_names[a] = "class A";
+    opt->node_names[b] = "class B";
+    opt->node_names[s.add_leaf(a, 4.0, 0)] = "session 1";
+    for (net::FlowId j = 1; j <= 10; ++j) {
+      opt->node_names[s.add_leaf(b, 0.4, j)] =
+          "session " + std::to_string(j + 1);
+    }
+    opt->process_name = "hfq fig2 h-wf2qplus";
+    return record_fig2_with(s, opt);
+  }
+  throw std::runtime_error("unknown --sched '" + sched_name +
+                           "' (wf2qplus|fixed|hpfq)");
+}
+
+int cmd_record(const std::vector<std::string>& args) {
+  bool fig2 = false;
+  std::string sched = "wf2qplus";
+  std::string csv_path;
+  std::string json_path;
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::runtime_error(args[i] + " needs a value");
+      }
+      return args[++i];
+    };
+    if (args[i] == "--fig2") {
+      fig2 = true;
+    } else if (args[i] == "--sched") {
+      sched = value();
+    } else if (args[i] == "--csv") {
+      csv_path = value();
+    } else if (args[i] == "--json") {
+      json_path = value();
+    } else if (args[i] == "--last") {
+      last = std::stoul(value());
+    } else {
+      throw std::runtime_error("unknown record flag " + args[i]);
+    }
+  }
+  if (!fig2) {
+    std::cerr << "record: --fig2 is the only scenario\n";
+    return 2;
+  }
+  if (!obs::compiled_in()) {
+    std::cerr << "warning: this binary was built without -DHFQ_TRACE=ON; "
+                 "the recording will be empty\n";
+  }
+  obs::ExportOptions opt;
+  std::vector<obs::Event> events = record_fig2(sched, &opt);
+  if (last != 0 && last < events.size()) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(last));
+  }
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) throw std::runtime_error("cannot write " + csv_path);
+    obs::write_csv(out, events);
+    std::cout << csv_path << ": " << events.size() << " events\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) throw std::runtime_error("cannot write " + json_path);
+    obs::write_chrome_json(out, events, opt);
+    std::cout << json_path << ": " << events.size()
+              << " events (Chrome trace-event JSON)\n";
+  }
+  if (csv_path.empty() && json_path.empty()) {
+    std::cout << obs::format_events(events);
+  }
+  return 0;
+}
+
+int cmd_print(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  obs::EventFilter filter;
+  const std::string& path = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::runtime_error(args[i] + " needs a value");
+      }
+      return args[++i];
+    };
+    if (args[i] == "--node") {
+      filter.node = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (args[i] == "--flow") {
+      filter.flow = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (args[i] == "--event") {
+      obs::EventKind k{};
+      if (!obs::kind_from_name(value(), &k)) {
+        throw std::runtime_error("unknown event kind (try enqueue, dequeue, "
+                                 "vtime_update, eligibility_flip, heap_op, "
+                                 "drop, busy_start, busy_end, span_begin, "
+                                 "span_end)");
+      }
+      filter.kind = k;
+    } else if (args[i] == "--since") {
+      filter.since = std::stod(value());
+    } else {
+      throw std::runtime_error("unknown print flag " + args[i]);
+    }
+  }
+  const std::vector<obs::Event> events =
+      obs::filter_events(load_csv(path), filter);
+  std::cout << obs::format_events(events);
+  std::cerr << events.size() << " events\n";
+  return 0;
+}
+
+int cmd_export(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string& path = args[0];
+  std::string json_path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      json_path = args[++i];
+    } else {
+      throw std::runtime_error("unknown export flag " + args[i]);
+    }
+  }
+  if (json_path.empty()) {
+    std::cerr << "export: --json OUT.json is required\n";
+    return 2;
+  }
+  const std::vector<obs::Event> events = load_csv(path);
+  std::ofstream out(json_path);
+  if (!out) throw std::runtime_error("cannot write " + json_path);
+  obs::write_chrome_json(out, events);
+  std::cout << json_path << ": " << events.size() << " events\n";
+  return 0;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  std::size_t max_diffs = 32;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--max" && i + 1 < args.size()) {
+      max_diffs = std::stoul(args[++i]);
+    } else {
+      throw std::runtime_error("unknown diff flag " + args[i]);
+    }
+  }
+  const std::vector<obs::Event> a = load_csv(args[0]);
+  const std::vector<obs::Event> b = load_csv(args[1]);
+  const std::vector<obs::EventDiff> diffs = obs::diff_events(a, b, max_diffs);
+  if (diffs.empty()) {
+    std::cout << "identical: " << a.size() << " events\n";
+    return 0;
+  }
+  for (const obs::EventDiff& d : diffs) {
+    std::cout << "event " << d.index << " differs (" << d.field << "):\n"
+              << "  < " << (d.lhs.empty() ? "(missing)" : d.lhs) << '\n'
+              << "  > " << (d.rhs.empty() ? "(missing)" : d.rhs) << '\n';
+  }
+  std::cout << diffs.size() << (diffs.size() == max_diffs ? "+" : "")
+            << " divergences\n";
+  return 1;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "record") return cmd_record(args);
+    if (cmd == "print") return cmd_print(args);
+    if (cmd == "export") return cmd_export(args);
+    if (cmd == "diff") return cmd_diff(args);
+  } catch (const std::exception& ex) {
+    std::cerr << "hfq_trace " << cmd << ": " << ex.what() << '\n';
+    return 2;
+  }
+  return usage();
+}
+
+}  // namespace
+}  // namespace hfq::tools
+
+int main(int argc, char** argv) { return hfq::tools::run(argc, argv); }
