@@ -14,16 +14,23 @@
 //   --campaign   fixed-iteration cells on the experiment runner
 //                (src/runner/shard.h); `--jobs K` fans the (scheduler, N)
 //                grid across K threads and a summary table is printed.
+//   --datapath   before/after cells for the datapath rewrite: the verbatim
+//                deque-era WF²Q+ (audit::Wf2qPlusLegacy) against the arena +
+//                flat-heap core::Wf2qPlus at N ∈ {1e4, 1e5, 1e6}; writes
+//                BENCH_datapath.json (override with --out PATH).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <vector>
 
+#include "audit/wf2qplus_legacy.h"
 #include "bench_util.h"
 #include "core/wf2qplus.h"
 #include "net/scheduler.h"
@@ -296,6 +303,182 @@ int run_campaign_mode(unsigned jobs) {
   return failed == 0 ? 0 : 1;
 }
 
+// ---- --datapath mode: legacy vs rewritten hot path, BENCH_datapath.json ----
+
+// One packet per flow into an idle scheduler — the arrival-path cost (queue
+// growth, tag stamping, heap insert) with no state warm. This is the cell the
+// datapath rewrite targets directly: the legacy layout pays a deque node
+// allocation plus a potential vector resize per packet here.
+template <typename Sched>
+std::uint64_t timed_setup_enqueue(Sched& s, int n, double& ns_per_op) {
+  setup_flows(s, n);
+  std::uint64_t id = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int f = 0; f < n; ++f) {
+    s.enqueue(pkt(static_cast<net::FlowId>(f), id++), 0.0);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  ns_per_op =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()) /
+      static_cast<double>(n);
+  return static_cast<std::uint64_t>(n);
+}
+
+// Steady state through the burst API: dequeue_burst a run of 64, re-offer the
+// same flows via enqueue_burst. Legacy schedulers take the base-class
+// per-packet fallback loop, so this cell shows the amortization headroom of
+// the batched interface itself.
+template <typename Sched>
+std::uint64_t timed_burst(Sched& s, int n, std::uint64_t iters,
+                          double& ns_per_op) {
+  constexpr std::size_t kBurst = 64;
+  setup_flows(s, n);
+  const double pkt_time = 8.0 * kBytes / kLinkRate;
+  const double inf = std::numeric_limits<double>::infinity();
+  std::uint64_t id = 0;
+  double now = 0.0;
+  for (int f = 0; f < n; ++f) {
+    s.enqueue(pkt(static_cast<net::FlowId>(f), id++), now);
+    s.enqueue(pkt(static_cast<net::FlowId>(f), id++), now);
+  }
+  std::vector<net::Packet> out;
+  std::vector<net::Packet> refill;
+  out.reserve(kBurst);
+  refill.reserve(kBurst);
+  std::uint64_t done = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (done < iters) {
+    out.clear();
+    const std::size_t got = s.dequeue_burst(out, kBurst, now, kLinkRate, inf);
+    now += static_cast<double>(got) * pkt_time;
+    refill.clear();
+    for (const net::Packet& p : out) refill.push_back(pkt(p.flow, id++));
+    s.enqueue_burst(refill, now);
+    done += got;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  ns_per_op =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()) /
+      static_cast<double>(done);
+  return done;
+}
+
+struct DatapathCell {
+  const char* impl;     // "legacy" | "new"
+  const char* pattern;  // setup_enqueue | steady | churn | burst
+  int n;
+};
+
+template <typename Sched>
+std::uint64_t run_datapath_pattern(Sched& s, const char* pattern, int n,
+                                   double& ns_per_op) {
+  constexpr std::uint64_t kOps = 1u << 17;
+  if (std::strcmp(pattern, "setup_enqueue") == 0) {
+    return timed_setup_enqueue(s, n, ns_per_op);
+  }
+  if (std::strcmp(pattern, "steady") == 0) {
+    return timed_steady(s, n, kOps, ns_per_op);
+  }
+  if (std::strcmp(pattern, "churn") == 0) {
+    const std::uint64_t rounds =
+        std::max<std::uint64_t>(1, kOps / static_cast<std::uint64_t>(n));
+    return timed_churn(s, n, rounds, ns_per_op);
+  }
+  return timed_burst(s, n, kOps, ns_per_op);
+}
+
+int run_datapath_mode(const std::string& out_path) {
+  static const char* kPatterns[] = {"setup_enqueue", "steady", "churn",
+                                    "burst"};
+  std::vector<DatapathCell> cells;
+  for (const char* impl : {"legacy", "new"}) {
+    for (const char* pattern : kPatterns) {
+      for (const int n : {10000, 100000, 1000000}) {
+        cells.push_back({impl, pattern, n});
+      }
+    }
+  }
+
+  struct Result {
+    std::uint64_t ops = 0;
+    double ns_per_op = 0.0;
+  };
+  std::vector<Result> results(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const DatapathCell& c = cells[i];
+    Result& r = results[i];
+    if (std::strcmp(c.impl, "legacy") == 0) {
+      audit::Wf2qPlusLegacy s(kLinkRate);
+      r.ops = run_datapath_pattern(s, c.pattern, c.n, r.ns_per_op);
+    } else {
+      core::Wf2qPlus s(kLinkRate);
+      r.ops = run_datapath_pattern(s, c.pattern, c.n, r.ns_per_op);
+    }
+    std::cerr << c.impl << ' ' << c.pattern << " N=" << c.n << ": "
+              << fmt(r.ns_per_op, 1) << " ns/op\n";
+  }
+
+  Table t({"impl", "pattern", "N", "ops", "ns/op", "pkts/s"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const DatapathCell& c = cells[i];
+    const Result& r = results[i];
+    t.row({c.impl, c.pattern, std::to_string(c.n), std::to_string(r.ops),
+           fmt(r.ns_per_op, 1), fmt(1e9 / r.ns_per_op, 0)});
+  }
+  t.print();
+
+  // Cell lookup for the speedup summary (legacy ns / new ns per grid point).
+  auto find = [&](const char* impl, const char* pattern, int n) -> double {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (std::strcmp(cells[i].impl, impl) == 0 &&
+          std::strcmp(cells[i].pattern, pattern) == 0 && cells[i].n == n) {
+        return results[i].ns_per_op;
+      }
+    }
+    return 0.0;
+  };
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"datapath\",\n"
+      << "  \"link_rate_bps\": " << fmt(kLinkRate, 0) << ",\n"
+      << "  \"packet_bytes\": " << kBytes << ",\n"
+      << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const DatapathCell& c = cells[i];
+    const Result& r = results[i];
+    out << "    {\"impl\": \"" << c.impl << "\", \"pattern\": \"" << c.pattern
+        << "\", \"n\": " << c.n << ", \"ops\": " << r.ops
+        << ", \"ns_per_op\": " << fmt(r.ns_per_op, 1)
+        << ", \"packets_per_sec\": " << fmt(1e9 / r.ns_per_op, 0) << "}"
+        << (i + 1 < cells.size() ? "," : "") << '\n';
+  }
+  out << "  ],\n  \"speedup_legacy_over_new\": [\n";
+  bool first = true;
+  for (const char* pattern : kPatterns) {
+    for (const int n : {10000, 100000, 1000000}) {
+      const double legacy_ns = find("legacy", pattern, n);
+      const double new_ns = find("new", pattern, n);
+      if (new_ns <= 0.0) continue;
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"pattern\": \"" << pattern << "\", \"n\": " << n
+          << ", \"x\": " << fmt(legacy_ns / new_ns, 2) << "}";
+    }
+  }
+  out << "\n  ]\n}\n";
+  std::cerr << "wrote " << out_path << '\n';
+  return 0;
+}
+
 }  // namespace
 }  // namespace hfq::bench
 
@@ -304,17 +487,24 @@ int run_campaign_mode(unsigned jobs) {
 // BENCHMARK_MAIN()).
 int main(int argc, char** argv) {
   bool campaign = false;
+  bool datapath = false;
+  std::string out_path = "BENCH_datapath.json";
   unsigned jobs = 1;
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--campaign") == 0) {
       campaign = true;
+    } else if (std::strcmp(argv[i], "--datapath") == 0) {
+      datapath = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       passthrough.push_back(argv[i]);
     }
   }
+  if (datapath) return hfq::bench::run_datapath_mode(out_path);
   if (campaign) return hfq::bench::run_campaign_mode(jobs);
   int pargc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pargc, passthrough.data());

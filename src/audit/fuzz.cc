@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
 
 #include "audit/auditor.h"
 #include "audit/invariants.h"
+#include "audit/wf2qplus_legacy.h"
 #include "core/hpfq.h"
 #include "core/wf2qplus.h"
 #include "core/wf2qplus_fixed.h"
@@ -252,6 +254,87 @@ std::vector<Departure> run_unpolled(const FuzzTrace& tr,
       }
       if (sched.backlog_packets() > 0) {
         if (!transmit(next_free)) break;
+      } else {
+        idle = true;  // the Link would poll dequeue() empty here; we don't
+      }
+    }
+  }
+  return out;
+}
+
+// Drives the scheduler through the batched APIs (enqueue_burst /
+// dequeue_burst) with seed-derived randomized batching, mirroring
+// run_unpolled's timing exactly. A correct burst implementation must
+// produce the identical schedule — ids and departure times — for every
+// coalescing pattern:
+//  * arrivals sharing one instant are randomly merged into enqueue_burst
+//    calls (only in the busy window; an idle link serves the first arrival
+//    of an instant before later ones are offered, as run_unpolled does);
+//  * each transmission opportunity commits a dequeue_burst of randomized
+//    max size, bounded by the next not-yet-submitted arrival time — the
+//    same horizon a batched sim::Link computes from its event queue.
+std::vector<Departure> run_burst(const FuzzTrace& tr, net::Scheduler& sched) {
+  util::Rng rng(tr.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<Departure> out;
+  std::size_t i = 0;
+  double next_free = 0.0;
+  bool idle = true;
+  std::vector<net::Packet> burst_in, burst_out;
+  auto packet_at = [&](const FuzzArrival& a) {
+    net::Packet p = make_packet(a);
+    p.arrival = a.time;
+    return p;
+  };
+  // Enqueues every arrival with time <= upto; runs of identical arrival
+  // instants are coalesced into one enqueue_burst with probability 1/2.
+  auto submit_pending = [&](double upto) {
+    while (i < tr.arrivals.size() && tr.arrivals[i].time <= upto) {
+      const double t0 = tr.arrivals[i].time;
+      burst_in.clear();
+      burst_in.push_back(packet_at(tr.arrivals[i++]));
+      if (rng.uniform_int(0, 1) == 1) {
+        while (i < tr.arrivals.size() && tr.arrivals[i].time == t0 &&
+               tr.arrivals[i].time <= upto) {
+          burst_in.push_back(packet_at(tr.arrivals[i++]));
+        }
+      }
+      if (burst_in.size() == 1) {
+        sched.enqueue(burst_in[0], t0);
+      } else {
+        sched.enqueue_burst(burst_in, t0);
+      }
+    }
+  };
+  auto transmit_burst = [&](double start) {
+    const double horizon = i < tr.arrivals.size()
+                               ? tr.arrivals[i].time
+                               : std::numeric_limits<double>::infinity();
+    const auto max_burst =
+        static_cast<std::size_t>(rng.uniform_int(1, 4));
+    burst_out.clear();
+    const std::size_t n =
+        sched.dequeue_burst(burst_out, max_burst, start, tr.link_rate, horizon);
+    if (n == 0) return false;  // work-conservation bug; auditor's job
+    double t = start;
+    for (std::size_t k = 0; k < n; ++k) {
+      t += burst_out[k].size_bits() / tr.link_rate;
+      out.push_back({burst_out[k], t});
+    }
+    next_free = t;
+    idle = false;
+    return true;
+  };
+  for (;;) {
+    if (idle) {
+      if (i >= tr.arrivals.size()) break;
+      const double start = std::max(next_free, tr.arrivals[i].time);
+      net::Packet p = packet_at(tr.arrivals[i++]);
+      sched.enqueue(p, p.arrival);
+      if (!transmit_burst(start)) break;
+    } else {
+      submit_pending(next_free);
+      if (sched.backlog_packets() > 0) {
+        if (!transmit_burst(next_free)) break;
       } else {
         idle = true;  // the Link would poll dequeue() empty here; we don't
       }
@@ -509,14 +592,34 @@ std::vector<FuzzFailure> run_checks(const FuzzTrace& tr,
     }
   }
 
+  // The deque-era datapath, preserved verbatim (audit/wf2qplus_legacy.h):
+  // the arena/SoA rewrite must reproduce its schedule exactly — packet ids
+  // AND departure times — on every trace. This is the old-vs-new
+  // differential for the million-flow rewrite.
+  {
+    Wf2qPlusLegacy s(tr.link_rate);
+    add_flows(s);
+    const auto d = run_linked(tr, s, "wf2qplus-legacy", &failures, nullptr);
+    check_same_schedule(&failures, "wf2qplus-legacy-equivalence", d_plus, d,
+                        /*compare_times=*/true);
+  }
+
   // Busy-period discipline: an unpolled direct driver (never dequeues from
   // an empty scheduler) must see the exact schedule the polled Link driver
-  // sees. Stale vtime/tags leaking across an idle gap diverge here.
+  // sees. Stale vtime/tags leaking across an idle gap diverge here. The
+  // batched driver additionally exercises enqueue_burst/dequeue_burst with
+  // randomized coalescing — the burst APIs must hold to the per-packet
+  // schedule exactly.
   {
     core::Wf2qPlus s(tr.link_rate);
     add_flows(s);
     const auto d = run_unpolled(tr, s);
     check_same_schedule(&failures, "wf2qplus-unpolled-equivalence", d_plus, d,
+                        /*compare_times=*/true);
+    core::Wf2qPlus sb(tr.link_rate);
+    add_flows(sb);
+    const auto db = run_burst(tr, sb);
+    check_same_schedule(&failures, "wf2qplus-burst-equivalence", d, db,
                         /*compare_times=*/true);
   }
   {
@@ -528,6 +631,11 @@ std::vector<FuzzFailure> run_checks(const FuzzTrace& tr,
                                nullptr);
     const auto du = run_unpolled(tr, unpolled);
     check_same_schedule(&failures, "fixed-unpolled-equivalence", dp, du,
+                        /*compare_times=*/true);
+    core::Wf2qPlusFixed burst(static_cast<std::uint64_t>(tr.link_rate));
+    add_flows(burst);
+    const auto db = run_burst(tr, burst);
+    check_same_schedule(&failures, "fixed-burst-equivalence", du, db,
                         /*compare_times=*/true);
   }
 

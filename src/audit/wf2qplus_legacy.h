@@ -1,0 +1,204 @@
+// The pre-rewrite WF²Q+ datapath, preserved as a differential twin.
+//
+// This is the deque-based implementation the arena/SoA datapath
+// (src/core/wf2qplus.h) replaced: per-flow std::deque packet queues inside
+// FlatSchedulerBase plus a *parallel* vector of std::deque<uint64_t>
+// arrival-number queues for the FIFO tie-break. It is kept — verbatim apart
+// from the additions below — for three consumers:
+//
+//  * fuzz_sched_diff's "wf2qplus-legacy-equivalence" check replays every
+//    trace through both datapaths and requires the identical dequeue
+//    sequence (ids AND times) — the schedule-equivalence proof for the
+//    rewrite;
+//  * bench_sched_complexity --datapath measures it as the "before" side of
+//    BENCH_datapath.json;
+//  * the "arrival-seq-sync" HFQ_AUDIT invariant added here demonstrates the
+//    bug class the rewrite closes structurally: this layout keeps queue
+//    membership and sequence bookkeeping in two containers that a partial
+//    failure can desynchronize (tests/test_datapath.cc induces the desync
+//    and watches the invariant fire). The arena datapath stores the arrival
+//    number inside the queued packet's own slot, so the state this invariant
+//    guards does not exist there.
+//
+// Known flaws preserved on purpose (fixed in the live datapath):
+//  * enqueue resizes arrival_nos_ to flow+1 — O(max id) allocation per
+//    first-contact id (the live path validates ids at the Scheduler
+//    boundary and never resizes on the packet path);
+//  * arrival_counter_ wraps at 2^64 (the live path saturates).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/flat_base.h"
+
+namespace hfq::audit {
+
+using net::FlowId;
+using net::Packet;
+using net::Time;
+using units::Duration;
+using units::RateBps;
+using units::VirtualTime;
+using units::WallTime;
+
+class Wf2qPlusLegacy : public sched::FlatSchedulerBase {
+ public:
+  explicit Wf2qPlusLegacy(double link_rate_bps)
+      : link_rate_(RateBps{link_rate_bps}) {
+    HFQ_ASSERT(link_rate_bps > 0.0);
+  }
+
+  bool enqueue(const Packet& p, Time now) override {
+    // Eager busy-period boundary detection: if the scheduler drained and the
+    // link finished its last transmission strictly before this arrival, the
+    // busy period is over even if the link never polled dequeue() again.
+    if (backlog_ == 0 && !sched::wt_leq(WallTime{now}, busy_until_)) {
+      HFQ_TRACE_EVENT(busy_start(obs::kFlatNode, WallTime{now}, vtime_,
+                                 static_cast<double>(epoch_)));
+      vtime_ = VirtualTime{};
+      ++epoch_;
+    }
+    FlowState& f = flow(p.flow);
+    if (!f.queue.push(p)) {
+      trace_drop(p.flow, p, now);
+      return false;
+    }
+    // hfq-lint: disable(alloc-in-hot-path) — the legacy layout's per-packet
+    // deque bookkeeping is the exact pattern the rule exists to forbid.
+    if (p.flow >= arrival_nos_.size()) arrival_nos_.resize(p.flow + 1);
+    // hfq-lint: disable(alloc-in-hot-path) — ditto: deque node per packet.
+    arrival_nos_[p.flow].push_back(arrival_counter_++);
+    ++backlog_;
+    HFQ_AUDIT_CHECK("arrival-seq-sync",
+                    arrival_nos_[p.flow].size() == f.queue.size(),
+                    "arrival-number deque diverged from packet queue: " +
+                        std::to_string(arrival_nos_[p.flow].size()) + " vs " +
+                        std::to_string(f.queue.size()));
+    if (f.queue.size() == 1) {
+      // Eq. 28, empty-queue branch: S = max(F_i, V). Tags from a previous
+      // busy period are dropped via the epoch counter.
+      const VirtualTime f_prev =
+          f.epoch == epoch_ ? f.finish : VirtualTime{};
+      f.start = f_prev > vtime_ ? f_prev : vtime_;
+      f.finish = f.start + p.bits() / f.rate;  // Eq. 29
+      f.epoch = epoch_;
+      HFQ_AUDIT_CHECK("tag-sanity", f.start < f.finish,
+                      "enqueue stamped start >= finish");
+      insert_by_eligibility(p.flow, now);
+    }
+    trace_enqueue(p.flow, p, now, vtime_);
+    return true;
+  }
+
+  std::optional<Packet> dequeue(Time now) override {
+    if (backlog_ == 0) {
+      HFQ_TRACE_EVENT(busy_end(obs::kFlatNode, WallTime{now}, vtime_,
+                               static_cast<double>(epoch_)));
+      vtime_ = VirtualTime{};
+      ++epoch_;
+      return std::nullopt;
+    }
+    // Eq. 27 in service time: V_now = max(V, Smin).
+    VirtualTime v_now = vtime_;
+    if (eligible_.empty()) {
+      HFQ_ASSERT_MSG(!waiting_.empty(), "backlog without any head tags");
+      const VirtualTime smin = waiting_.top_key().tag;
+      if (smin > v_now) v_now = smin;
+    }
+    migrate_eligible(v_now, now);
+    HFQ_ASSERT_MSG(!eligible_.empty(),
+                   "SEFF must always find an eligible session");
+    const FlowId id = eligible_.pop();
+    FlowState& f = flow(id);
+    HFQ_TRACE_EVENT(
+        heap_op(obs::kFlatNode, id, WallTime{now}, "select", f.finish));
+    HFQ_AUDIT_CHECK("seff-eligibility", sched::vt_leq(f.start, v_now),
+                    "served a session whose start tag " +
+                        std::to_string(f.start.v()) + " exceeds V " +
+                        std::to_string(v_now.v()));
+    HFQ_AUDIT_CHECK("vtime-monotonic", v_now >= vtime_,
+                    "virtual time moved backwards within a busy period");
+    HFQ_AUDIT_CHECK("tag-epoch", f.epoch == epoch_,
+                    "served a session carrying tags from a previous epoch");
+    HFQ_AUDIT_CHECK("arrival-seq-sync",
+                    arrival_nos_[id].size() == f.queue.size(),
+                    "arrival-number deque diverged from packet queue: " +
+                        std::to_string(arrival_nos_[id].size()) + " vs " +
+                        std::to_string(f.queue.size()));
+    f.handle = util::kInvalidHeapHandle;
+    Packet p = f.queue.pop();
+    arrival_nos_[id].pop_front();
+    --backlog_;
+    const Duration service_time = p.bits() / link_rate_;
+    HFQ_TRACE_EVENT(vtime_update(obs::kFlatNode, WallTime{now}, vtime_,
+                                 v_now + service_time));
+    vtime_ = v_now + service_time;
+    const WallTime tx_end = WallTime{now} + service_time;
+    if (tx_end > busy_until_) busy_until_ = tx_end;
+    if (!f.queue.empty()) {
+      // Eq. 28, non-empty branch: S = F.
+      f.start = f.finish;
+      f.finish = f.start + f.queue.front().bits() / f.rate;
+      insert_by_eligibility(id, now);
+    }
+    HFQ_AUDIT_CHECK("heap-valid", eligible_.validate() && waiting_.validate(),
+                    "eligible/waiting heap order corrupted");
+    HFQ_AUDIT_CHECK("backlog-conservation",
+                    audit_queued_packets() == backlog_,
+                    "backlog counter diverged from per-flow queue sizes");
+    trace_dequeue(id, p, now, vtime_);
+    return p;
+  }
+
+  [[nodiscard]] double vtime() const noexcept { return vtime_.v(); }
+
+  // Head tags, exposed for tests.
+  [[nodiscard]] double head_start(FlowId id) const {
+    return flow(id).start.v();
+  }
+  [[nodiscard]] double head_finish(FlowId id) const {
+    return flow(id).finish.v();
+  }
+
+ protected:
+  void insert_by_eligibility(FlowId id, Time now) {
+    FlowState& f = flow(id);
+    const std::uint64_t no = arrival_nos_[id].front();
+    if (sched::vt_leq(f.start, vtime_)) {
+      f.in_eligible = true;
+      f.handle = eligible_.push(sched::VtKey{f.finish, no}, id);
+    } else {
+      f.in_eligible = false;
+      f.handle = waiting_.push(sched::VtKey{f.start, no}, id);
+    }
+    trace_flip(id, now, vtime_, f.in_eligible);
+  }
+
+  void migrate_eligible(VirtualTime v_now, Time now) {
+    while (!waiting_.empty() && sched::vt_leq(waiting_.top_key().tag, v_now)) {
+      const FlowId id = waiting_.pop();
+      FlowState& f = flow(id);
+      f.in_eligible = true;
+      f.handle =
+          eligible_.push(sched::VtKey{f.finish, arrival_nos_[id].front()}, id);
+      trace_flip(id, now, v_now, true);
+    }
+  }
+
+  RateBps link_rate_;
+  VirtualTime vtime_;
+  WallTime busy_until_;
+  std::uint64_t epoch_ = 1;
+  std::uint64_t arrival_counter_ = 0;
+  // The two containers the "arrival-seq-sync" invariant keeps honest:
+  // per-flow packet queues live in FlatSchedulerBase::flows_, the matching
+  // arrival numbers here. Protected so tests can induce the desync.
+  std::vector<std::deque<std::uint64_t>> arrival_nos_;
+  util::HandleHeap<sched::VtKey, FlowId> eligible_;  // keyed by virtual finish
+  util::HandleHeap<sched::VtKey, FlowId> waiting_;   // keyed by virtual start
+};
+
+}  // namespace hfq::audit

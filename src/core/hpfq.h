@@ -23,8 +23,8 @@
 
 #include "audit/invariants.h"
 #include "core/node_policy.h"
-#include "net/flow.h"
 #include "net/packet.h"
+#include "net/packet_arena.h"
 #include "net/scheduler.h"
 #include "obs/flight_recorder.h"
 #include "util/assert.h"
@@ -61,11 +61,13 @@ class HPfq : public net::Scheduler {
   // (0 = unlimited).
   NodeId add_leaf(NodeId parent, double rate_bps, net::FlowId flow,
                   std::size_t capacity_packets = 0) {
+    HFQ_ASSERT_MSG(capacity_packets < UINT32_MAX,
+                   "per-leaf capacity exceeds 2^32-1 packets");
     const NodeId id = add_node(parent, rate_bps);
     Node& n = nodes_[id];
     n.is_leaf = true;
     n.flow = flow;
-    n.queue = net::FlowQueue(capacity_packets);
+    n.queue = net::ArenaFifo(static_cast<std::uint32_t>(capacity_packets));
     if (flow >= leaf_of_flow_.size()) leaf_of_flow_.resize(flow + 1, kNoNode);
     HFQ_ASSERT_MSG(leaf_of_flow_[flow] == kNoNode, "flow bound to two leaves");
     leaf_of_flow_[flow] = id;
@@ -80,11 +82,15 @@ class HPfq : public net::Scheduler {
                    "packet for unknown flow");
     const NodeId leaf = leaf_of_flow_[p.flow];
     Node& n = nodes_[leaf];
-    if (!n.queue.push(p)) {
+    if (!n.queue.push(arena_, p, arrival_counter_)) {
       HFQ_TRACE_EVENT(
           drop(leaf, p.flow, p.id, WallTime{now}, p.size_bits()));
       return false;
     }
+    // Tie-break sequence numbers are a flat-scheduler concern (HPfq orders
+    // by per-node policy tags), but the arena slot carries one anyway;
+    // saturate for the same reason as Wf2qPlus::enqueue_one.
+    if (arrival_counter_ != UINT64_MAX) ++arrival_counter_;
     ++backlog_;
     HFQ_TRACE_EVENT(enqueue(leaf, p.flow, p.id, WallTime{now}, VirtualTime{},
                             p.size_bits(), static_cast<double>(backlog_)));
@@ -163,7 +169,7 @@ class HPfq : public net::Scheduler {
     NodeId active_child = kNoNode;
     VirtualTime s, f;      // tags as a child of the parent node
     WallTime T;            // reference time (seconds of service / rate)
-    net::FlowQueue queue;  // leaves only
+    net::ArenaFifo queue;  // leaves only; packets live in the shared arena
     net::FlowId flow = net::kInvalidFlow;
     Policy policy;  // interior nodes only
   };
@@ -242,9 +248,9 @@ class HPfq : public net::Scheduler {
     Node& n = nodes_[nid];
     n.has_logical = false;
     if (n.is_leaf) {
-      n.queue.pop();  // the transmitted packet leaves the real queue
+      n.queue.pop(arena_);  // the transmitted packet leaves the real queue
       if (!n.queue.empty()) {
-        n.logical = n.queue.front();
+        n.logical = n.queue.front(arena_);
         n.has_logical = true;
         stamp_child(nid, /*continuing=*/true);
       }
@@ -283,7 +289,7 @@ class HPfq : public net::Scheduler {
     }
     const Node& leaf = nodes_[id];
     return leaf.has_logical && !leaf.queue.empty() &&
-           leaf.queue.front().id == leaf.logical.id;
+           leaf.queue.front(arena_).id == leaf.logical.id;
   }
 
   [[nodiscard]] bool audit_policies() const {
@@ -296,6 +302,8 @@ class HPfq : public net::Scheduler {
   RateBps link_rate_;
   std::size_t backlog_ = 0;
   bool pending_reset_ = false;
+  std::uint64_t arrival_counter_ = 0;
+  net::PacketArena arena_;  // shared by every leaf FIFO
   std::vector<Node> nodes_;
   std::vector<NodeId> leaf_of_flow_;
 };

@@ -16,19 +16,28 @@
 //    which is the form the paper's own pseudocode (Section 4.2) uses and
 //    needs no fluid-system tracking.
 //
-// The eligible set is maintained with two handle-based heaps: sessions whose
-// head has not started in virtual time wait in a start-time heap; eligible
-// sessions sit in a finish-time heap. Advancing V migrates sessions between
-// them, so every operation is O(log N) — the complexity claim measured by
-// bench/bench_sched_complexity.
+// The eligible set is maintained with two flat 4-ary heaps: sessions
+// whose head has not started in virtual time wait in a start-time heap;
+// eligible sessions sit in a finish-time heap. Advancing V migrates sessions
+// between them, so every operation is O(log N) — the complexity claim
+// measured by bench/bench_sched_complexity.
+//
+// Datapath (million-flow rewrite; see DESIGN.md "Datapath"): queued packets
+// live in a flat arena with the per-flow FIFO threaded through the slots and
+// the arrival sequence number stored in the slot itself; per-flow state is
+// split into flat arrays (sched/soa_base.h) plus the packed tag record
+// below. The arithmetic is bit-for-bit the deque-era implementation's —
+// audit::Wf2qPlusLegacy preserves that implementation and fuzz_sched_diff
+// proves schedule equivalence (identical dequeue order AND times) on every
+// seed.
 #pragma once
 
-#include <deque>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "sched/flat_base.h"
+#include "sched/soa_base.h"
 
 namespace hfq::core {
 
@@ -41,11 +50,26 @@ using units::RateBps;
 using units::VirtualTime;
 using units::WallTime;
 
-class Wf2qPlus : public sched::FlatSchedulerBase {
+class Wf2qPlus : public sched::SoaSchedulerBase {
  public:
   explicit Wf2qPlus(double link_rate_bps)
       : link_rate_(RateBps{link_rate_bps}) {
     HFQ_ASSERT(link_rate_bps > 0.0);
+  }
+
+  void add_flow(FlowId id, double rate_bps,
+                std::size_t capacity_packets = 0) override {
+    SoaSchedulerBase::add_flow(id, rate_bps, capacity_packets);
+    if (id >= tags_.size()) tags_.resize(static_cast<std::size_t>(id) + 1);
+    tags_[id].rate = RateBps{rate_bps};
+  }
+
+  // Pre-sizes every flow-indexed array plus the packet arena.
+  void reserve(std::size_t flows, std::size_t packets) {
+    SoaSchedulerBase::reserve(flows, packets);
+    tags_.reserve(flows);
+    eligible_.reserve(flows);
+    waiting_.reserve(flows);
   }
 
   bool enqueue(const Packet& p, Time now) override {
@@ -60,24 +84,118 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
       vtime_ = VirtualTime{};
       ++epoch_;
     }
-    FlowState& f = flow(p.flow);
-    if (!f.queue.push(p)) {
+    return enqueue_one(p, now);
+  }
+
+  // Burst arrival: every packet in `packets` arrives at the instant `now`.
+  // The busy-period boundary check is hoisted out of the loop — after the
+  // first accepted packet backlog_ > 0 makes the per-packet check a no-op,
+  // and repeated evaluations at one instant are idempotent on the schedule
+  // (only the internal epoch counter, which is compared for equality, could
+  // tick differently across an all-drop prefix), so one up-front check is
+  // exactly equivalent to the per-packet loop.
+  std::size_t enqueue_burst(const std::vector<Packet>& packets,
+                            Time now) override {
+    if (packets.empty()) return 0;
+    if (backlog_ == 0 && !sched::wt_leq(WallTime{now}, busy_until_)) {
+      HFQ_TRACE_EVENT(busy_start(obs::kFlatNode, WallTime{now}, vtime_,
+                                 static_cast<double>(epoch_)));
+      vtime_ = VirtualTime{};
+      ++epoch_;
+    }
+    std::size_t accepted = 0;
+    for (const Packet& p : packets) {
+      if (enqueue_one(p, now)) ++accepted;
+    }
+    return accepted;
+  }
+
+  std::optional<Packet> dequeue(Time now) override { return dequeue_one(now); }
+
+  // Burst service: back-to-back transmissions on a link of `rate_bps`
+  // starting at `now`, stopping before a packet whose start would reach
+  // `horizon` (the caller's next arrival). Same per-packet selection and
+  // Eq.-27 updates as N dequeue() calls — the loop only strips the
+  // per-packet virtual dispatch and re-entry overhead; fuzz_sched_diff's
+  // burst-equivalence check holds it to the per-packet schedule exactly.
+  std::size_t dequeue_burst(std::vector<Packet>& out, std::size_t max_packets,
+                            Time now, double rate_bps,
+                            Time horizon) override {
+    std::size_t n = 0;
+    Time t = now;
+    while (n < max_packets) {
+      if (n > 0 && !(t < horizon)) break;
+      std::optional<Packet> p = dequeue_one(t);
+      if (!p.has_value()) break;
+      t += p->size_bits() / rate_bps;
+      out.push_back(*p);
+      ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] double vtime() const noexcept { return vtime_.v(); }
+
+  // Head tags, exposed for tests.
+  [[nodiscard]] double head_start(FlowId id) const {
+    return tags_[id].start.v();
+  }
+  [[nodiscard]] double head_finish(FlowId id) const {
+    return tags_[id].finish.v();
+  }
+
+  // Test hooks for the arrival-counter saturation contract (FIFO tie-break
+  // bookkeeping; see the comment at arrival_counter_).
+  void set_arrival_counter_for_test(std::uint64_t v) noexcept {
+    arrival_counter_ = v;
+  }
+  [[nodiscard]] std::uint64_t arrival_counter_for_test() const noexcept {
+    return arrival_counter_;
+  }
+
+ private:
+  // Per-flow tag record, packed so a stamp touches one 32-byte half-line:
+  // the guaranteed rate (duplicated from the base array for locality),
+  // Eq. 28/29 start/finish tags of the head packet, and the busy-period
+  // epoch the tags were stamped in.
+  struct Tag {
+    RateBps rate;
+    VirtualTime start;
+    VirtualTime finish;
+    std::uint64_t epoch = 0;
+  };
+  static_assert(sizeof(Tag) == 32, "Tag must stay half a cache line");
+
+  // Shared body of enqueue()/enqueue_burst(): everything except the eager
+  // busy-boundary check.
+  bool enqueue_one(const Packet& p, Time now) {
+    if (!accept_flow(p.flow)) {
       trace_drop(p.flow, p, now);
       return false;
     }
-    if (p.flow >= arrival_nos_.size()) arrival_nos_.resize(p.flow + 1);
-    arrival_nos_[p.flow].push_back(arrival_counter_++);
+    net::ArenaFifo& q = fifo_[p.flow];
+    if (!q.push(arena_, p, arrival_counter_)) {
+      trace_drop(p.flow, p, now);
+      return false;
+    }
+    // The arrival number feeds VtKey tie-breaks (FIFO service for equal
+    // tags). Saturate instead of wrapping: a wrapped counter would make the
+    // newest packet in a tie win over every older one — the PR-1 bug class
+    // reintroduced silently after 2^64 packets. Saturation degrades ties to
+    // heap-insertion order only at the (unreachable in practice) ceiling,
+    // and tests/test_datapath.cc pins the behavior.
+    if (arrival_counter_ != UINT64_MAX) ++arrival_counter_;
     ++backlog_;
-    if (f.queue.size() == 1) {
+    if (q.size() == 1) {
       // Eq. 28, empty-queue branch: S = max(F_i, V). Tags from a previous
       // busy period are dropped via the epoch counter (V restarts at 0 each
       // busy period, matching the definition of the virtual time function).
-      const VirtualTime f_prev =
-          f.epoch == epoch_ ? f.finish : VirtualTime{};
-      f.start = f_prev > vtime_ ? f_prev : vtime_;
-      f.finish = f.start + p.bits() / f.rate;  // Eq. 29
-      f.epoch = epoch_;
-      HFQ_AUDIT_CHECK("tag-sanity", f.start < f.finish,
+      Tag& t = tags_[p.flow];
+      const VirtualTime f_prev = t.epoch == epoch_ ? t.finish : VirtualTime{};
+      t.start = f_prev > vtime_ ? f_prev : vtime_;
+      t.finish = t.start + p.bits() / t.rate;  // Eq. 29
+      t.epoch = epoch_;
+      HFQ_AUDIT_CHECK("tag-sanity", t.start < t.finish,
                       "enqueue stamped start >= finish");
       insert_by_eligibility(p.flow, now);
     }
@@ -85,7 +203,9 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
     return true;
   }
 
-  std::optional<Packet> dequeue(Time now) override {
+  // Shared body of dequeue()/dequeue_burst(); non-virtual so the burst loop
+  // inlines it.
+  std::optional<Packet> dequeue_one(Time now) {
     if (backlog_ == 0) {
       // The link polls once more after the final transmission completes;
       // only then is the busy period really over (a packet handed out by
@@ -111,20 +231,19 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
     HFQ_ASSERT_MSG(!eligible_.empty(),
                    "SEFF must always find an eligible session");
     const FlowId id = eligible_.pop();
-    FlowState& f = flow(id);
+    Tag& t = tags_[id];
     HFQ_TRACE_EVENT(
-        heap_op(obs::kFlatNode, id, WallTime{now}, "select", f.finish));
-    HFQ_AUDIT_CHECK("seff-eligibility", sched::vt_leq(f.start, v_now),
+        heap_op(obs::kFlatNode, id, WallTime{now}, "select", t.finish));
+    HFQ_AUDIT_CHECK("seff-eligibility", sched::vt_leq(t.start, v_now),
                     "served a session whose start tag " +
-                        std::to_string(f.start.v()) + " exceeds V " +
+                        std::to_string(t.start.v()) + " exceeds V " +
                         std::to_string(v_now.v()));
     HFQ_AUDIT_CHECK("vtime-monotonic", v_now >= vtime_,
                     "virtual time moved backwards within a busy period");
-    HFQ_AUDIT_CHECK("tag-epoch", f.epoch == epoch_,
+    HFQ_AUDIT_CHECK("tag-epoch", t.epoch == epoch_,
                     "served a session carrying tags from a previous epoch");
-    f.handle = util::kInvalidHeapHandle;
-    Packet p = f.queue.pop();
-    arrival_nos_[id].pop_front();
+    net::ArenaFifo& q = fifo_[id];
+    Packet p = q.pop(arena_);
     --backlog_;
     const Duration service_time = p.bits() / link_rate_;
     HFQ_TRACE_EVENT(vtime_update(obs::kFlatNode, WallTime{now}, vtime_,
@@ -134,11 +253,11 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
     // now + L/r; the busy period cannot end before then.
     const WallTime tx_end = WallTime{now} + service_time;
     if (tx_end > busy_until_) busy_until_ = tx_end;
-    if (!f.queue.empty()) {
+    if (!q.empty()) {
       // Eq. 28, non-empty branch: the next packet arrived while the queue
       // was backlogged, so S = F.
-      f.start = f.finish;
-      f.finish = f.start + f.queue.front().bits() / f.rate;
+      t.start = t.finish;
+      t.finish = t.start + q.front(arena_).bits() / t.rate;
       insert_by_eligibility(id, now);
     }
     HFQ_AUDIT_CHECK("heap-valid", eligible_.validate() && waiting_.validate(),
@@ -150,38 +269,28 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
     return p;
   }
 
-  [[nodiscard]] double vtime() const noexcept { return vtime_.v(); }
-
-  // Head tags, exposed for tests.
-  [[nodiscard]] double head_start(FlowId id) const {
-    return flow(id).start.v();
-  }
-  [[nodiscard]] double head_finish(FlowId id) const {
-    return flow(id).finish.v();
-  }
-
- private:
   void insert_by_eligibility(FlowId id, Time now) {
-    FlowState& f = flow(id);
-    const std::uint64_t no = arrival_nos_[id].front();
-    if (sched::vt_leq(f.start, vtime_)) {
-      f.in_eligible = true;
-      f.handle = eligible_.push(sched::VtKey{f.finish, no}, id);
+    Tag& t = tags_[id];
+    Meta& m = meta_[id];
+    const std::uint64_t no = fifo_[id].front_arrival_no(arena_);
+    if (sched::vt_leq(t.start, vtime_)) {
+      m.in_eligible = 1;
+      eligible_.push(sched::VtKey{t.finish, no}, id);
     } else {
-      f.in_eligible = false;
-      f.handle = waiting_.push(sched::VtKey{f.start, no}, id);
+      m.in_eligible = 0;
+      waiting_.push(sched::VtKey{t.start, no}, id);
     }
-    trace_flip(id, now, vtime_, f.in_eligible);
+    trace_flip(id, now, vtime_, t.start, t.finish, m.in_eligible != 0);
   }
 
   void migrate_eligible(VirtualTime v_now, Time now) {
     while (!waiting_.empty() && sched::vt_leq(waiting_.top_key().tag, v_now)) {
       const FlowId id = waiting_.pop();
-      FlowState& f = flow(id);
-      f.in_eligible = true;
-      f.handle =
-          eligible_.push(sched::VtKey{f.finish, arrival_nos_[id].front()}, id);
-      trace_flip(id, now, v_now, true);
+      Tag& t = tags_[id];
+      meta_[id].in_eligible = 1;
+      eligible_.push(
+          sched::VtKey{t.finish, fifo_[id].front_arrival_no(arena_)}, id);
+      trace_flip(id, now, v_now, t.start, t.finish, true);
     }
   }
 
@@ -192,10 +301,14 @@ class Wf2qPlus : public sched::FlatSchedulerBase {
   // a new busy period.
   WallTime busy_until_;
   std::uint64_t epoch_ = 1;
+  // Global FIFO sequence for tie-breaks; saturating (see enqueue_one).
   std::uint64_t arrival_counter_ = 0;
-  std::vector<std::deque<std::uint64_t>> arrival_nos_;
-  util::HandleHeap<sched::VtKey, FlowId> eligible_;  // keyed by virtual finish
-  util::HandleHeap<sched::VtKey, FlowId> waiting_;   // keyed by virtual start
+  std::vector<Tag> tags_;
+  // InlineHeap, not HandleHeap: the datapath never cancels below the root,
+  // and dropping the handle table removes one random store per slot moved in
+  // a sift — the difference between ~2.5x and ~4x at N=1M.
+  util::InlineHeap<sched::VtKey, FlowId> eligible_;  // keyed by virtual finish
+  util::InlineHeap<sched::VtKey, FlowId> waiting_;   // keyed by virtual start
 };
 
 }  // namespace hfq::core

@@ -19,22 +19,27 @@
 // (FIFO) order. Keying on the bare tag and relying on heap push order is
 // wrong — waiting→eligible migration re-pushes sessions in start-tag order,
 // which destroys arrival order for equal finish tags.
+//
+// Datapath: same arena/SoA layout as Wf2qPlus (sched/soa_base.h,
+// DESIGN.md "Datapath") — queued packets live in a flat arena with the
+// per-flow FIFO threaded through the slots, the arrival number rides in the
+// slot, and the integer tag record below packs one flow's stamping state
+// into half a cache line.
 #pragma once
 
 #include <cmath>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "sched/flat_base.h"
+#include "sched/soa_base.h"
 
 namespace hfq::core {
 
 using units::VTicks;
 
-class Wf2qPlusFixed : public sched::FlatSchedulerBase {
+class Wf2qPlusFixed : public sched::SoaSchedulerBase {
  public:
   // Virtual time resolution: 2^-20 seconds per tick.
   static constexpr int kTickShift = 20;
@@ -51,9 +56,17 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
   void add_flow(net::FlowId id, double rate_bps,
                 std::size_t capacity_packets = 0) override {
     HFQ_ASSERT_MSG(rate_bps >= 1.0, "fixed-point flows need >= 1 bps");
-    FlatSchedulerBase::add_flow(id, rate_bps, capacity_packets);
-    if (id >= fx_.size()) fx_.resize(id + 1);
+    SoaSchedulerBase::add_flow(id, rate_bps, capacity_packets);
+    if (id >= fx_.size()) fx_.resize(static_cast<std::size_t>(id) + 1);
     fx_[id].rate = static_cast<std::uint64_t>(std::llround(rate_bps));
+  }
+
+  // Pre-sizes every flow-indexed array plus the packet arena.
+  void reserve(std::size_t flows, std::size_t packets) {
+    SoaSchedulerBase::reserve(flows, packets);
+    fx_.reserve(flows);
+    eligible_.reserve(flows);
+    waiting_.reserve(flows);
   }
 
   bool enqueue(const net::Packet& p, net::Time now) override {
@@ -66,93 +79,45 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
       vtime_ = VTicks{};
       ++epoch_;
     }
-    FlowState& f = flow(p.flow);
-    if (!f.queue.push(p)) {
-      trace_drop(p.flow, p, now);
-      return false;
+    return enqueue_one(p, now);
+  }
+
+  // Burst arrival at one instant; the boundary check hoists exactly as in
+  // Wf2qPlus::enqueue_burst (see the equivalence argument there).
+  std::size_t enqueue_burst(const std::vector<net::Packet>& packets,
+                            net::Time now) override {
+    if (packets.empty()) return 0;
+    if (backlog_ == 0 && !sched::wt_leq(sched::WallTime{now}, busy_until_)) {
+      HFQ_TRACE_EVENT(busy_start(obs::kFlatNode, sched::WallTime{now},
+                                 vt(vtime_), static_cast<double>(epoch_)));
+      vtime_ = VTicks{};
+      ++epoch_;
     }
-    if (p.flow >= arrival_nos_.size()) arrival_nos_.resize(p.flow + 1);
-    arrival_nos_[p.flow].push_back(arrival_counter_++);
-    ++backlog_;
-    if (f.queue.size() == 1) {
-      Fx& x = fx_[p.flow];
-      const VTicks f_prev = x.epoch == epoch_ ? x.finish : VTicks{};
-      x.start = f_prev > vtime_ ? f_prev : vtime_;
-      x.finish = x.start + finish_increment(p.size_bits(), x.rate);
-      x.epoch = epoch_;
-      HFQ_AUDIT_CHECK("tag-sanity", x.start < x.finish,
-                      "enqueue stamped start >= finish");
-      insert_by_eligibility(p.flow, now);
+    std::size_t accepted = 0;
+    for (const net::Packet& p : packets) {
+      if (enqueue_one(p, now)) ++accepted;
     }
-    trace_enqueue(p.flow, p, now, vt(vtime_));
-    return true;
+    return accepted;
   }
 
   std::optional<net::Packet> dequeue(net::Time now) override {
-    if (backlog_ == 0) {
-      HFQ_TRACE_EVENT(busy_end(obs::kFlatNode, sched::WallTime{now},
-                               vt(vtime_), static_cast<double>(epoch_)));
-      vtime_ = VTicks{};
-      ++epoch_;
-      return std::nullopt;
+    return dequeue_one(now);
+  }
+
+  std::size_t dequeue_burst(std::vector<net::Packet>& out,
+                            std::size_t max_packets, net::Time now,
+                            double rate_bps, net::Time horizon) override {
+    std::size_t n = 0;
+    net::Time t = now;
+    while (n < max_packets) {
+      if (n > 0 && !(t < horizon)) break;
+      std::optional<net::Packet> p = dequeue_one(t);
+      if (!p.has_value()) break;
+      t += p->size_bits() / rate_bps;
+      out.push_back(*p);
+      ++n;
     }
-    VTicks v_now = vtime_;
-    if (eligible_.empty()) {
-      HFQ_ASSERT(!waiting_.empty());
-      const VTicks smin = waiting_.top_key().tag;
-      if (smin > v_now) v_now = smin;
-    }
-    // Integer ticks compare exactly; the vt_leq tolerance is a float-only
-    // concern. hfq-lint: disable(tag-compare)
-    while (!waiting_.empty() && waiting_.top_key().tag <= v_now) {
-      const net::FlowId id = waiting_.pop();
-      FlowState& f = flow(id);
-      f.in_eligible = true;
-      f.handle =
-          eligible_.push(FxKey{fx_[id].finish, arrival_nos_[id].front()}, id);
-      HFQ_TRACE_EVENT(eligibility_flip(obs::kFlatNode, id,
-                                       sched::WallTime{now}, vt(v_now),
-                                       vt(fx_[id].start), vt(fx_[id].finish),
-                                       true));
-    }
-    HFQ_ASSERT(!eligible_.empty());
-    const net::FlowId id = eligible_.pop();
-    FlowState& f = flow(id);
-    HFQ_TRACE_EVENT(heap_op(obs::kFlatNode, id, sched::WallTime{now}, "select",
-                            vt(fx_[id].finish)));
-    // hfq-lint: disable(tag-compare) — exact integer-domain eligibility.
-    HFQ_AUDIT_CHECK("seff-eligibility", fx_[id].start <= v_now,
-                    "served a session whose start tag " +
-                        std::to_string(fx_[id].start.ticks()) + " exceeds V " +
-                        std::to_string(v_now.ticks()));
-    HFQ_AUDIT_CHECK("vtime-monotonic", v_now >= vtime_,
-                    "virtual time moved backwards within a busy period");
-    HFQ_AUDIT_CHECK("tag-epoch", fx_[id].epoch == epoch_,
-                    "served a session carrying tags from a previous epoch");
-    f.handle = util::kInvalidHeapHandle;
-    net::Packet p = f.queue.pop();
-    arrival_nos_[id].pop_front();
-    --backlog_;
-    HFQ_TRACE_EVENT(
-        vtime_update(obs::kFlatNode, sched::WallTime{now}, vt(vtime_),
-                     vt(v_now + finish_increment(p.size_bits(), link_rate_))));
-    vtime_ = v_now + finish_increment(p.size_bits(), link_rate_);
-    const sched::WallTime tx_end =
-        sched::WallTime{now} + sched::Duration{p.size_bits() * inv_link_rate_};
-    if (tx_end > busy_until_) busy_until_ = tx_end;
-    if (!f.queue.empty()) {
-      Fx& x = fx_[id];
-      x.start = x.finish;
-      x.finish = x.start + finish_increment(f.queue.front().size_bits(), x.rate);
-      insert_by_eligibility(id, now);
-    }
-    HFQ_AUDIT_CHECK("heap-valid", eligible_.validate() && waiting_.validate(),
-                    "eligible/waiting heap order corrupted");
-    HFQ_AUDIT_CHECK("backlog-conservation",
-                    audit_queued_packets() == backlog_,
-                    "backlog counter diverged from per-flow queue sizes");
-    trace_dequeue(id, p, now, vt(vtime_));
-    return p;
+    return n;
   }
 
   [[nodiscard]] std::uint64_t vtime_ticks() const noexcept {
@@ -168,12 +133,15 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
   }
 
  private:
+  // Per-flow integer tag record — the fixed-point twin of Wf2qPlus::Tag,
+  // packed to half a cache line so a stamp touches one 32-byte block.
   struct Fx {
     std::uint64_t rate = 0;
     VTicks start;
     VTicks finish;
     std::uint64_t epoch = 0;
   };
+  static_assert(sizeof(Fx) == 32, "Fx must stay half a cache line");
 
   // Heap key: integer tag, ties broken by global packet arrival number so
   // equal tags serve in FIFO order (the integer twin of sched::VtKey).
@@ -201,21 +169,114 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
     return units::VirtualTime{x.to_seconds(kTickShift)};
   }
 
+  bool enqueue_one(const net::Packet& p, net::Time now) {
+    if (!accept_flow(p.flow)) {
+      trace_drop(p.flow, p, now);
+      return false;
+    }
+    net::ArenaFifo& q = fifo_[p.flow];
+    if (!q.push(arena_, p, arrival_counter_)) {
+      trace_drop(p.flow, p, now);
+      return false;
+    }
+    // Saturating, as in Wf2qPlus::enqueue_one: a wrapped tie-break counter
+    // would re-open the PR-1 FIFO-order bug after 2^64 packets.
+    if (arrival_counter_ != UINT64_MAX) ++arrival_counter_;
+    ++backlog_;
+    if (q.size() == 1) {
+      Fx& x = fx_[p.flow];
+      const VTicks f_prev = x.epoch == epoch_ ? x.finish : VTicks{};
+      x.start = f_prev > vtime_ ? f_prev : vtime_;
+      x.finish = x.start + finish_increment(p.size_bits(), x.rate);
+      x.epoch = epoch_;
+      HFQ_AUDIT_CHECK("tag-sanity", x.start < x.finish,
+                      "enqueue stamped start >= finish");
+      insert_by_eligibility(p.flow, now);
+    }
+    trace_enqueue(p.flow, p, now, vt(vtime_));
+    return true;
+  }
+
+  std::optional<net::Packet> dequeue_one(net::Time now) {
+    if (backlog_ == 0) {
+      HFQ_TRACE_EVENT(busy_end(obs::kFlatNode, sched::WallTime{now},
+                               vt(vtime_), static_cast<double>(epoch_)));
+      vtime_ = VTicks{};
+      ++epoch_;
+      return std::nullopt;
+    }
+    VTicks v_now = vtime_;
+    if (eligible_.empty()) {
+      HFQ_ASSERT(!waiting_.empty());
+      const VTicks smin = waiting_.top_key().tag;
+      if (smin > v_now) v_now = smin;
+    }
+    // Integer ticks compare exactly; the vt_leq tolerance is a float-only
+    // concern. hfq-lint: disable(tag-compare)
+    while (!waiting_.empty() && waiting_.top_key().tag <= v_now) {
+      const net::FlowId id = waiting_.pop();
+      meta_[id].in_eligible = 1;
+      eligible_.push(
+          FxKey{fx_[id].finish, fifo_[id].front_arrival_no(arena_)}, id);
+      HFQ_TRACE_EVENT(eligibility_flip(obs::kFlatNode, id,
+                                       sched::WallTime{now}, vt(v_now),
+                                       vt(fx_[id].start), vt(fx_[id].finish),
+                                       true));
+    }
+    HFQ_ASSERT(!eligible_.empty());
+    const net::FlowId id = eligible_.pop();
+    Fx& x = fx_[id];
+    HFQ_TRACE_EVENT(heap_op(obs::kFlatNode, id, sched::WallTime{now}, "select",
+                            vt(x.finish)));
+    // hfq-lint: disable(tag-compare) — exact integer-domain eligibility.
+    HFQ_AUDIT_CHECK("seff-eligibility", x.start <= v_now,
+                    "served a session whose start tag " +
+                        std::to_string(x.start.ticks()) + " exceeds V " +
+                        std::to_string(v_now.ticks()));
+    HFQ_AUDIT_CHECK("vtime-monotonic", v_now >= vtime_,
+                    "virtual time moved backwards within a busy period");
+    HFQ_AUDIT_CHECK("tag-epoch", x.epoch == epoch_,
+                    "served a session carrying tags from a previous epoch");
+    net::ArenaFifo& q = fifo_[id];
+    net::Packet p = q.pop(arena_);
+    --backlog_;
+    HFQ_TRACE_EVENT(
+        vtime_update(obs::kFlatNode, sched::WallTime{now}, vt(vtime_),
+                     vt(v_now + finish_increment(p.size_bits(), link_rate_))));
+    vtime_ = v_now + finish_increment(p.size_bits(), link_rate_);
+    const sched::WallTime tx_end =
+        sched::WallTime{now} + sched::Duration{p.size_bits() * inv_link_rate_};
+    if (tx_end > busy_until_) busy_until_ = tx_end;
+    if (!q.empty()) {
+      x.start = x.finish;
+      x.finish =
+          x.start + finish_increment(q.front(arena_).size_bits(), x.rate);
+      insert_by_eligibility(id, now);
+    }
+    HFQ_AUDIT_CHECK("heap-valid", eligible_.validate() && waiting_.validate(),
+                    "eligible/waiting heap order corrupted");
+    HFQ_AUDIT_CHECK("backlog-conservation",
+                    audit_queued_packets() == backlog_,
+                    "backlog counter diverged from per-flow queue sizes");
+    trace_dequeue(id, p, now, vt(vtime_));
+    return p;
+  }
+
   void insert_by_eligibility(net::FlowId id, [[maybe_unused]] net::Time now) {
-    FlowState& f = flow(id);
     const Fx& x = fx_[id];
-    const std::uint64_t no = arrival_nos_[id].front();
+    Meta& m = meta_[id];
+    const std::uint64_t no = fifo_[id].front_arrival_no(arena_);
     // hfq-lint: disable(tag-compare) — exact integer-domain eligibility.
     if (x.start <= vtime_) {
-      f.in_eligible = true;
-      f.handle = eligible_.push(FxKey{x.finish, no}, id);
+      m.in_eligible = 1;
+      eligible_.push(FxKey{x.finish, no}, id);
     } else {
-      f.in_eligible = false;
-      f.handle = waiting_.push(FxKey{x.start, no}, id);
+      m.in_eligible = 0;
+      waiting_.push(FxKey{x.start, no}, id);
     }
     HFQ_TRACE_EVENT(eligibility_flip(obs::kFlatNode, id, sched::WallTime{now},
                                      vt(vtime_), vt(x.start), vt(x.finish),
-                                     f.in_eligible));
+                                     m.in_eligible != 0));
   }
 
   std::uint64_t link_rate_;
@@ -225,11 +286,11 @@ class Wf2qPlusFixed : public sched::FlatSchedulerBase {
   // the current busy period.
   sched::WallTime busy_until_;
   std::uint64_t epoch_ = 1;
+  // Global FIFO sequence for tie-breaks; saturating (see enqueue_one).
   std::uint64_t arrival_counter_ = 0;
-  std::vector<std::deque<std::uint64_t>> arrival_nos_;
   std::vector<Fx> fx_;
-  util::HandleHeap<FxKey, net::FlowId> eligible_;  // keyed by finish tag
-  util::HandleHeap<FxKey, net::FlowId> waiting_;   // keyed by start tag
+  util::InlineHeap<FxKey, net::FlowId> eligible_;  // keyed by finish tag
+  util::InlineHeap<FxKey, net::FlowId> waiting_;   // keyed by start tag
 };
 
 }  // namespace hfq::core

@@ -1,0 +1,2 @@
+// PacketArena/ArenaFifo are header-only; this TU anchors the library target.
+#include "net/packet_arena.h"

@@ -9,10 +9,24 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "net/packet.h"
 
 namespace hfq::net {
+
+// Upper bound on flow ids a scheduler will size tables for. Flow tables are
+// indexed by id (O(max id) memory), so an unchecked hostile id is a
+// one-packet out-of-memory: the previous datapath resized a
+// per-flow-deque vector to `flow + 1` inside enqueue. Registration above
+// the bound is rejected at add_flow; a packet carrying an id that was never
+// registered is dropped (counted, see unknown_flow_drops) instead of
+// touching any table.
+inline constexpr FlowId kMaxFlows = 1u << 26;  // 67M flows ≈ a few GB of table
+
+[[nodiscard]] constexpr bool flow_id_in_bounds(FlowId id) noexcept {
+  return id < kMaxFlows;
+}
 
 class Scheduler {
  public:
@@ -24,7 +38,7 @@ class Scheduler {
 
   // Offers a packet to the session queue. `now` is the arrival time (used by
   // virtual-time bookkeeping). Returns false iff the packet was dropped
-  // (finite session buffer).
+  // (finite session buffer, or an out-of-bounds/unregistered flow id).
   virtual bool enqueue(const Packet& p, Time now) = 0;
 
   // Picks the next packet to transmit, or nullopt if idle. `now` is the time
@@ -36,6 +50,50 @@ class Scheduler {
   [[nodiscard]] virtual std::size_t backlog_packets() const = 0;
 
   [[nodiscard]] bool empty() const { return backlog_packets() == 0; }
+
+  // --- Batched datapath -----------------------------------------------------
+  //
+  // The burst API amortizes per-call overhead (virtual dispatch, busy-period
+  // boundary checks, Eq.-27 bookkeeping re-entry) across a run of packets.
+  // Semantics are DEFINED by the per-packet loop below: a scheduler override
+  // must produce exactly the same packet sequence, tags, and internal state
+  // as N calls through the per-packet API — fuzz_sched_diff's
+  // burst-equivalence check enforces this bit-for-bit.
+
+  // Enqueues `packets`, all arriving at the same instant `now`, in order.
+  // Returns the number accepted (drops are counted per flow as usual).
+  virtual std::size_t enqueue_burst(const std::vector<Packet>& packets,
+                                    Time now) {
+    std::size_t accepted = 0;
+    for (const Packet& p : packets) {
+      if (enqueue(p, now)) ++accepted;
+    }
+    return accepted;
+  }
+
+  // Dequeues up to `max_packets` packets for back-to-back transmission on a
+  // link of `rate_bps`, appending them to `out`. The first packet starts at
+  // `now`; packet k+1 starts when packet k finishes. The burst stops before
+  // a packet whose start time would be >= `horizon` (the caller's next
+  // external event — an arrival the selection must see). The first dequeue
+  // is unconditional, mirroring a link that polls once when it goes idle;
+  // in particular an empty scheduler still observes the idle poll (lazy
+  // busy-period reset). Returns the number of packets appended.
+  virtual std::size_t dequeue_burst(std::vector<Packet>& out,
+                                    std::size_t max_packets, Time now,
+                                    double rate_bps, Time horizon) {
+    std::size_t n = 0;
+    Time t = now;
+    while (n < max_packets) {
+      if (n > 0 && !(t < horizon)) break;
+      std::optional<Packet> p = dequeue(t);
+      if (!p.has_value()) break;
+      t += p->size_bits() / rate_bps;
+      out.push_back(*p);
+      ++n;
+    }
+    return n;
+  }
 };
 
 }  // namespace hfq::net

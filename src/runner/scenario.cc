@@ -90,6 +90,7 @@ std::string Scenario::label() const {
   std::ostringstream os;
   os << "sched=" << scheduler << " tree=" << tree_name << " load=" << load
      << " traffic=" << traffic << " rep=" << repeat;
+  if (batched_link) os << " batched=1";
   return os.str();
 }
 
@@ -118,6 +119,7 @@ std::vector<Scenario> CampaignSpec::expand() const {
             sc.load = load;
             sc.duration_s = duration_s;
             sc.packet_bytes = packet_bytes;
+            sc.batched_link = batched_link;
             sc.repeat = rep;
             sc.index = out.size();
             sc.seed = derive_shard_seed(seed, sc.index);
@@ -157,6 +159,12 @@ CampaignSpec parse_campaign(std::istream& in) {
     } else if (key == "repeats") {
       need(1);
       spec.repeats = std::stoi(toks[1]);
+    } else if (key == "batched-link") {
+      need(1);
+      if (toks[1] != "0" && toks[1] != "1") {
+        fail("batched-link takes 0 or 1", line);
+      }
+      spec.batched_link = toks[1] == "1";
     } else if (key == "schedulers") {
       need(1);
       for (std::size_t i = 1; i < toks.size(); ++i) {

@@ -46,6 +46,11 @@ struct Scenario {
   double load = 1.0;      // offered rate / guaranteed rate, per leaf
   double duration_s = 1.0;
   std::uint32_t packet_bytes = 1000;
+  // Drain the link in bursts (sim::Link::set_batched) — safe because every
+  // runner source is open-loop. Changes tie ordering at shared instants, so
+  // deterministic metrics are only comparable within one setting; off by
+  // default to keep existing campaign outputs stable.
+  bool batched_link = false;
   int repeat = 0;         // repeat ordinal within the grid point
   std::size_t index = 0;  // shard index in the expanded grid
   std::uint64_t seed = 0; // derive_shard_seed(campaign seed, index)
@@ -65,6 +70,7 @@ struct CampaignSpec {
   double duration_s = 1.0;
   std::uint32_t packet_bytes = 1000;
   int repeats = 1;
+  bool batched_link = false;  // `batched-link 1` directive
   std::vector<std::string> schedulers;
   std::vector<Tree> trees;
   std::vector<double> loads;

@@ -65,6 +65,9 @@ void run_scenario(const Scenario& sc, MetricsRegistry& m) {
   auto sched = build_scheduler(sc.scheduler, spec);
   sim::Simulator sim;
   sim::Link link(sim, *sched, spec.link_rate());
+  // Every runner source (cbr/poisson/onoff) is open-loop, satisfying the
+  // batched drain's requirement that deliveries never inject traffic.
+  if (sc.batched_link) link.set_batched(true);
 
   // Delay metrics in seconds; histogram bins of one link packet time cover
   // delays up to 512 packet times, beyond which the overflow bucket counts.

@@ -9,6 +9,7 @@
 #include "net/packet.h"
 #include "net/scheduler.h"
 #include "obs/flight_recorder.h"
+#include "sched/tags.h"
 #include "util/assert.h"
 #include "util/heap.h"
 #include "util/units.h"
@@ -142,34 +143,6 @@ class FlatSchedulerBase : public net::Scheduler {
 
   std::vector<FlowState> flows_;
   std::size_t backlog_ = 0;
-};
-
-// Comparison tolerance for virtual-time eligibility tests: absolute epsilon
-// scaled to the magnitude of the tags involved. This is THE sanctioned way
-// to compare tags for eligibility — direct relational operators on tag
-// fields are flagged by tools/hfq_lint (rule tag-compare).
-[[nodiscard]] constexpr bool vt_leq(VirtualTime a, VirtualTime b) {
-  return units::approx_leq(a.v(), b.v());
-}
-
-// Same tolerance for wall-clock instants (busy-period boundary tests).
-[[nodiscard]] constexpr bool wt_leq(WallTime a, WallTime b) {
-  return units::approx_leq(a.seconds(), b.seconds());
-}
-
-// Heap key for virtual-time tags: equal tags are ordered by packet arrival
-// sequence, reproducing the classic "global packet priority queue" tie
-// semantics of WFQ (the paper's Fig. 2 timeline depends on this: session 1's
-// tenth packet ties at virtual finish 20 with the ten one-packet sessions
-// and wins because it arrived first).
-struct VtKey {
-  VirtualTime tag;
-  std::uint64_t arrival_no = 0;
-
-  friend bool operator<(const VtKey& a, const VtKey& b) {
-    if (a.tag != b.tag) return a.tag < b.tag;
-    return a.arrival_no < b.arrival_no;
-  }
 };
 
 }  // namespace hfq::sched

@@ -1,0 +1,40 @@
+// Tag-comparison policy and heap key shared by every scheduler generation
+// (the AoS FlatSchedulerBase zoo and the SoA million-flow datapath).
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace hfq::sched {
+
+// Comparison tolerance for virtual-time eligibility tests: absolute epsilon
+// scaled to the magnitude of the tags involved. This is THE sanctioned way
+// to compare tags for eligibility — direct relational operators on tag
+// fields are flagged by tools/hfq_lint (rule tag-compare).
+[[nodiscard]] constexpr bool vt_leq(units::VirtualTime a,
+                                    units::VirtualTime b) {
+  return units::approx_leq(a.v(), b.v());
+}
+
+// Same tolerance for wall-clock instants (busy-period boundary tests).
+[[nodiscard]] constexpr bool wt_leq(units::WallTime a, units::WallTime b) {
+  return units::approx_leq(a.seconds(), b.seconds());
+}
+
+// Heap key for virtual-time tags: equal tags are ordered by packet arrival
+// sequence, reproducing the classic "global packet priority queue" tie
+// semantics of WFQ (the paper's Fig. 2 timeline depends on this: session 1's
+// tenth packet ties at virtual finish 20 with the ten one-packet sessions
+// and wins because it arrived first).
+struct VtKey {
+  units::VirtualTime tag;
+  std::uint64_t arrival_no = 0;
+
+  friend bool operator<(const VtKey& a, const VtKey& b) {
+    if (a.tag != b.tag) return a.tag < b.tag;
+    return a.arrival_no < b.arrival_no;
+  }
+};
+
+}  // namespace hfq::sched

@@ -1,16 +1,34 @@
 // An output link: serves one packet at a time from a Scheduler at a fixed
 // bit rate, delivering each departed packet to a callback.
+//
+// Two drain modes:
+//  * per-packet (default): every transmission is one simulator event, the
+//    scheduler is consulted once per packet. This is the reference timing
+//    model; every figure and test runs on it.
+//  * batched (set_batched): the link commits a run of back-to-back
+//    transmissions in one scheduler call (net::Scheduler::dequeue_burst),
+//    bounded by the simulator's next pending event, and schedules their
+//    completions in bulk. Per-packet delivery times are preserved exactly;
+//    what changes is tie ordering at shared instants — the drain is deferred
+//    to a same-time event so all simultaneous arrivals enqueue before the
+//    link selects, whereas per-packet mode serves the first arrival of an
+//    instant before later ones are offered. OPEN-LOOP ONLY: delivery
+//    callbacks must not inject traffic (a closed loop — e.g. traffic::Tcp —
+//    reacts to each delivery, and a committed burst cannot be preempted).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "net/packet.h"
 #include "net/scheduler.h"
 #include "obs/flight_recorder.h"
 #include "sim/simulator.h"
+#include "util/assert.h"
 
 namespace hfq::sim {
 
@@ -28,6 +46,17 @@ class Link {
   Link& operator=(const Link&) = delete;
 
   void set_delivery(DeliveryFn fn) { deliver_ = std::move(fn); }
+
+  // Switches to the batched drain (see the header comment for semantics and
+  // the open-loop requirement). `max_burst` caps transmissions committed per
+  // scheduler call. Must not be toggled while a transmission is in flight.
+  void set_batched(bool on, std::size_t max_burst = 64) {
+    HFQ_ASSERT_MSG(!busy_, "cannot switch drain mode mid-transmission");
+    HFQ_ASSERT(max_burst > 0);
+    batched_ = on;
+    max_burst_ = max_burst;
+  }
+  [[nodiscard]] bool batched() const noexcept { return batched_; }
 
   // Entry point for traffic: stamps the arrival time, offers the packet to
   // the scheduler and starts transmitting if idle. Returns false on drop.
@@ -63,6 +92,17 @@ class Link {
   // Starts the next transmission if the link is idle and work is queued.
   void kick() {
     if (busy_) return;
+    if (batched_) {
+      // Defer the drain to a fresh same-time event: it runs after every
+      // event already scheduled for this instant, so all simultaneous
+      // arrivals are enqueued — and the emitting source has scheduled its
+      // next arrival, making the horizon below exact.
+      if (!drain_pending_) {
+        drain_pending_ = true;
+        sim_.at(sim_.now(), [this] { drain(); });
+      }
+      return;
+    }
     std::optional<net::Packet> p;
     {
       obs::SpanTimer span("link.dequeue", sim_.now());
@@ -82,11 +122,55 @@ class Link {
     kick();
   }
 
+  // Batched mode: commit up to max_burst_ back-to-back transmissions,
+  // bounded by the next pending arrival (a packet whose start would fall at
+  // or past it must wait — it may not be the scheduler's choice once that
+  // arrival lands).
+  void drain() {
+    drain_pending_ = false;
+    if (busy_) return;
+    const Time now = sim_.now();
+    const Time horizon = sim_.has_pending_events()
+                             ? sim_.next_event_time()
+                             : std::numeric_limits<Time>::infinity();
+    burst_.clear();
+    std::size_t n;
+    {
+      obs::SpanTimer span("link.dequeue", now);
+      n = sched_.dequeue_burst(burst_, max_burst_, now, rate_bps_, horizon);
+    }
+    if (n == 0) return;
+    busy_ = true;
+    // Completion times accumulate exactly as dequeue_burst's internal clock
+    // does, so each packet departs at the instant per-packet mode would
+    // deliver it.
+    Time t = now;
+    for (std::size_t i = 0; i < n; ++i) {
+      t += burst_[i].size_bits() / rate_bps_;
+      const bool last = i + 1 == n;
+      sim_.at(t, [this, pkt = burst_[i], last] { complete_batched(pkt, last); });
+    }
+  }
+
+  void complete_batched(const net::Packet& p, bool last) {
+    ++sent_;
+    bits_sent_ += p.size_bits();
+    if (deliver_) deliver_(p, sim_.now());
+    if (last) {
+      busy_ = false;
+      kick();
+    }
+  }
+
   Simulator& sim_;
   net::Scheduler& sched_;
   double rate_bps_;
   DeliveryFn deliver_;
   bool busy_ = false;
+  bool batched_ = false;
+  bool drain_pending_ = false;
+  std::size_t max_burst_ = 64;
+  std::vector<net::Packet> burst_;  // reused across drains
   std::uint64_t sent_ = 0;
   double bits_sent_ = 0.0;
 };

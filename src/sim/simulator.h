@@ -54,6 +54,13 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
   [[nodiscard]] std::size_t events_pending() const noexcept { return events_.size(); }
 
+  // Earliest pending event — the horizon a batched link may commit
+  // transmissions up to (sim/link.h). Only valid when events are pending.
+  [[nodiscard]] bool has_pending_events() const noexcept {
+    return !events_.empty();
+  }
+  [[nodiscard]] Time next_event_time() const { return events_.next_time(); }
+
  private:
   EventQueue events_;
   Time now_ = 0.0;

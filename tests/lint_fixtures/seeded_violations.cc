@@ -1,6 +1,6 @@
 // Seeded violations for tools/hfq_lint — exactly one per rule, in rule
 // order. This file is never compiled; the `hfq_lint_fixture` ctest runs the
-// linter over this directory and expects a non-zero exit with all six rule
+// linter over this directory and expects a non-zero exit with all seven rule
 // ids in the report. If a rule regresses to never firing, that test fails.
 namespace hfq::lint_fixture {
 
@@ -35,6 +35,14 @@ inline void cross(double now) {
 // the flight recorder (src/obs/), not on a stream.
 inline bool enqueue(int packet) {
   std::printf("enqueue %d\n", packet);
+  return true;
+}
+
+// alloc-in-hot-path: heap allocation per packet; slots come from the arena
+// (src/net/packet_arena.h) and tables grow at add_flow, never here.
+inline bool enqueue(int packet, double now) {
+  queue_.push_back(packet);
+  (void)now;
   return true;
 }
 

@@ -1,0 +1,450 @@
+// Tests for the million-flow datapath: the packet arena and intrusive
+// per-flow FIFOs (net/packet_arena.h), the flat d-ary heaps (util/heap.h),
+// the SoA scheduler base's flow-id boundary validation (sched/soa_base.h),
+// the arrival-counter saturation contract, the batched enqueue/dequeue
+// APIs, the batched link drain (sim/link.h), and the legacy datapath's
+// "arrival-seq-sync" audit invariant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit/invariants.h"
+#include "audit/wf2qplus_legacy.h"
+#include "core/wf2qplus.h"
+#include "core/wf2qplus_fixed.h"
+#include "harness.h"
+#include "net/packet_arena.h"
+#include "net/scheduler.h"
+#include "runner/scenario.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "util/heap.h"
+#include "util/rng.h"
+
+namespace hfq {
+namespace {
+
+using net::ArenaFifo;
+using net::FlowId;
+using net::Packet;
+using net::PacketArena;
+using net::PacketRef;
+using testing::packet;
+
+// ---------------------------------------------------------------------------
+// PacketArena: slot lifecycle and LIFO free-list reuse.
+
+TEST(PacketArena, AllocWriteReadRelease) {
+  PacketArena arena;
+  const PacketRef r = arena.alloc(packet(3, 100, 42), 7);
+  EXPECT_EQ(arena.live(), 1u);
+  EXPECT_EQ(arena[r].pkt.id, 42u);
+  EXPECT_EQ(arena[r].pkt.flow, 3u);
+  EXPECT_EQ(arena[r].arrival_no, 7u);
+  EXPECT_EQ(arena[r].next, net::kNullPacketRef);
+  arena.release(r);
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(PacketArena, FreeListIsLifoAndCapacityIsHighWaterMark) {
+  PacketArena arena;
+  const PacketRef a = arena.alloc(packet(0, 1, 0), 0);
+  const PacketRef b = arena.alloc(packet(0, 1, 1), 1);
+  EXPECT_EQ(arena.capacity(), 2u);
+  arena.release(a);
+  arena.release(b);
+  // LIFO: the most recently released slot is handed out first, and no new
+  // slab growth happens while free slots exist.
+  EXPECT_EQ(arena.alloc(packet(0, 1, 2), 2), b);
+  EXPECT_EQ(arena.alloc(packet(0, 1, 3), 3), a);
+  EXPECT_EQ(arena.capacity(), 2u);
+  EXPECT_EQ(arena.live(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// ArenaFifo: FIFO order, byte accounting, drop-tail capacity.
+
+TEST(ArenaFifo, FifoOrderAndByteAccounting) {
+  PacketArena arena;
+  ArenaFifo q;
+  EXPECT_TRUE(q.empty());
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.push(arena, packet(0, 10 + static_cast<std::uint32_t>(i), i),
+                       100 + i));
+  }
+  EXPECT_EQ(q.size(), 5u);
+  EXPECT_EQ(q.bytes(), 10u + 11 + 12 + 13 + 14);
+  EXPECT_EQ(q.front(arena).id, 0u);
+  EXPECT_EQ(q.front_arrival_no(arena), 100u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.pop(arena).id, i);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.bytes(), 0u);
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(ArenaFifo, DropTailAtCapacity) {
+  PacketArena arena;
+  ArenaFifo q(2);
+  EXPECT_TRUE(q.push(arena, packet(0, 1, 0), 0));
+  EXPECT_TRUE(q.push(arena, packet(0, 1, 1), 1));
+  EXPECT_FALSE(q.push(arena, packet(0, 1, 2), 2));
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(arena.live(), 2u);  // the dropped packet never took a slot
+  q.pop(arena);
+  EXPECT_TRUE(q.push(arena, packet(0, 1, 3), 3));
+}
+
+TEST(ArenaFifo, InterleavedQueuesShareOneArena) {
+  PacketArena arena;
+  ArenaFifo a, b;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE((i % 2 == 0 ? a : b).push(arena, packet(0, 1, i), i));
+  }
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ((i % 2 == 0 ? a : b).pop(arena).id, i);
+  }
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Heap interchangeability: HandleHeap and InlineHeap at any arity pop the
+// identical sequence, because (key, insertion-seq) is a total order — the
+// property that makes the heap layout a pure performance choice.
+
+TEST(HeapEquivalence, AllVariantsPopTheSameSequence) {
+  util::Rng rng(2024);
+  std::vector<int> keys;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back(static_cast<int>(rng.uniform_int(0, 40)));  // heavy ties
+  }
+  util::HandleHeap<int, int, 2> h2;
+  util::HandleHeap<int, int, 3> h3;
+  util::HandleHeap<int, int, 4> h4;
+  util::InlineHeap<int, int, 4> i4;
+  util::InlineHeap<int, int, 8> i8;
+  for (int i = 0; i < static_cast<int>(keys.size()); ++i) {
+    h2.push(keys[static_cast<std::size_t>(i)], i);
+    h3.push(keys[static_cast<std::size_t>(i)], i);
+    h4.push(keys[static_cast<std::size_t>(i)], i);
+    i4.push(keys[static_cast<std::size_t>(i)], i);
+    i8.push(keys[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_TRUE(h4.validate());
+  EXPECT_TRUE(i4.validate());
+  while (!h2.empty()) {
+    const int want = h2.pop();
+    EXPECT_EQ(h3.pop(), want);
+    EXPECT_EQ(h4.pop(), want);
+    EXPECT_EQ(i4.pop(), want);
+    EXPECT_EQ(i8.pop(), want);
+  }
+  EXPECT_TRUE(i8.empty());
+}
+
+TEST(InlineHeap, PushPopInterleavedMatchesHandleHeap) {
+  util::Rng rng(77);
+  util::HandleHeap<double, int> a;
+  util::InlineHeap<double, int> b;
+  int next = 0;
+  for (int round = 0; round < 2000; ++round) {
+    if (a.empty() || rng.uniform_int(0, 2) != 0) {
+      const double k = static_cast<double>(rng.uniform_int(0, 50));
+      a.push(k, next);
+      b.push(k, next);
+      ++next;
+    } else {
+      ASSERT_EQ(a.top_key(), b.top_key());
+      ASSERT_EQ(a.pop(), b.pop());
+    }
+  }
+  while (!a.empty()) {
+    ASSERT_EQ(a.pop(), b.pop());
+  }
+  EXPECT_TRUE(b.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Flow-id boundary validation (the hostile-flow-id OOM regression).
+//
+// The legacy datapath resized a per-flow vector to p.flow + 1 on the packet
+// path, so a single packet with flow id 2^32-2 attempted a multi-gigabyte
+// allocation. The SoA base never sizes anything by a packet's flow id: an
+// unregistered id is dropped and counted at the boundary.
+
+TEST(FlowIdBounds, UnregisteredHugeFlowIdIsDroppedNotAllocated) {
+  core::Wf2qPlus s(8000.0);
+  s.add_flow(0, 8000.0);
+  const std::size_t flows_before = s.flow_count();
+  Packet hostile = packet(0xFFFFFFFEu, 100, 1);  // would be a ~100 GB resize
+  EXPECT_FALSE(s.enqueue(hostile, 0.0));
+  EXPECT_EQ(s.flow_count(), flows_before);  // no table grew
+  EXPECT_EQ(s.unknown_flow_drops(), 1u);
+  EXPECT_EQ(s.backlog_packets(), 0u);
+  // The scheduler keeps working for registered flows.
+  EXPECT_TRUE(s.enqueue(packet(0, 100, 2), 0.0));
+  EXPECT_EQ(s.dequeue(0.0)->id, 2u);
+}
+
+TEST(FlowIdBounds, UnregisteredInRangeFlowIdIsDroppedAndCounted) {
+  core::Wf2qPlusFixed s(8000);
+  s.add_flow(3, 4000.0);
+  // Id 2 is below the table size implied by id 3 but was never registered.
+  EXPECT_FALSE(s.enqueue(packet(2, 100, 1), 0.0));
+  // Id 7 is past the table entirely.
+  EXPECT_FALSE(s.enqueue(packet(7, 100, 2), 0.0));
+  EXPECT_EQ(s.unknown_flow_drops(), 2u);
+  EXPECT_EQ(s.backlog_packets(), 0u);
+}
+
+TEST(FlowIdBoundsDeathTest, RegistrationBeyondMaxFlowsAsserts) {
+  core::Wf2qPlus s(8000.0);
+  EXPECT_DEATH(s.add_flow(net::kMaxFlows, 1.0), "kMaxFlows");
+}
+
+// ---------------------------------------------------------------------------
+// Arrival-counter saturation (FIFO tie-break bookkeeping).
+//
+// The counter feeds VtKey tie-breaks. Wrapping would hand the newest packet
+// arrival number 0 — beating every older packet in a tie. The datapath
+// saturates instead: ties degrade to heap-insertion order only at the
+// (practically unreachable) ceiling, and the counter is pinned, never wraps.
+
+TEST(ArrivalCounter, SaturatesAtUint64MaxInsteadOfWrapping) {
+  core::Wf2qPlus s(16.0);
+  s.add_flow(0, 8.0);
+  s.add_flow(1, 8.0);
+  s.set_arrival_counter_for_test(std::numeric_limits<std::uint64_t>::max() -
+                                 2);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(s.enqueue(packet(i % 2 ? 1u : 0u, 1, i), 0.0));
+  }
+  EXPECT_EQ(s.arrival_counter_for_test(),
+            std::numeric_limits<std::uint64_t>::max());
+  // The schedule stays complete and deterministic: all six packets drain,
+  // each flow in its own FIFO order.
+  std::vector<std::uint64_t> f0, f1;
+  for (double now = 0.0;; now += 0.5) {
+    auto p = s.dequeue(now);
+    if (!p.has_value()) break;
+    (p->flow == 0 ? f0 : f1).push_back(p->id);
+  }
+  EXPECT_EQ(f0, (std::vector<std::uint64_t>{0, 2, 4}));
+  EXPECT_EQ(f1, (std::vector<std::uint64_t>{1, 3, 5}));
+}
+
+// ---------------------------------------------------------------------------
+// Burst APIs: enqueue_burst/dequeue_burst must reproduce the per-packet
+// schedule exactly (spot check; audit/fuzz.cc holds this across every seed).
+
+TEST(BurstApi, BurstMatchesPerPacketScheduleExactly) {
+  const double link = 8000.0;
+  util::Rng rng(11);
+  std::vector<Packet> burst;
+  std::uint64_t id = 0;
+  for (int k = 0; k < 40; ++k) {
+    burst.push_back(packet(static_cast<FlowId>(rng.uniform_int(0, 2)),
+                           static_cast<std::uint32_t>(rng.uniform_int(8, 200)),
+                           id++));
+  }
+
+  auto make = [&] {
+    auto s = std::make_unique<core::Wf2qPlus>(link);
+    s->add_flow(0, 4000.0);
+    s->add_flow(1, 2000.0);
+    s->add_flow(2, 2000.0);
+    return s;
+  };
+
+  // Reference: per-packet loop, all arrivals at t=0, serve to empty.
+  auto ref = make();
+  for (const Packet& p : burst) ref->enqueue(p, 0.0);
+  std::vector<std::uint64_t> ref_ids;
+  std::vector<double> ref_times;
+  double t = 0.0;
+  while (auto p = ref->dequeue(t)) {
+    t += p->size_bits() / link;
+    ref_ids.push_back(p->id);
+    ref_times.push_back(t);
+  }
+
+  // Batched: one enqueue_burst, then dequeue_burst in random chunks.
+  auto b = make();
+  EXPECT_EQ(b->enqueue_burst(burst, 0.0), burst.size());
+  std::vector<std::uint64_t> got_ids;
+  std::vector<double> got_times;
+  double tb = 0.0;
+  std::vector<Packet> out;
+  for (;;) {
+    out.clear();
+    const auto n = b->dequeue_burst(
+        out, static_cast<std::size_t>(rng.uniform_int(1, 5)), tb, link,
+        std::numeric_limits<double>::infinity());
+    if (n == 0) break;
+    for (const Packet& p : out) {
+      tb += p.size_bits() / link;
+      got_ids.push_back(p.id);
+      got_times.push_back(tb);
+    }
+  }
+  EXPECT_EQ(got_ids, ref_ids);
+  ASSERT_EQ(got_times.size(), ref_times.size());
+  for (std::size_t i = 0; i < ref_times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got_times[i], ref_times[i]) << "departure " << i;
+  }
+}
+
+TEST(BurstApi, DequeueBurstStopsBeforeHorizon) {
+  core::Wf2qPlus s(8.0);  // 1-byte packet = 1 s transmission
+  s.add_flow(0, 8.0);
+  for (std::uint64_t i = 0; i < 4; ++i) s.enqueue(packet(0, 1, i), 0.0);
+  std::vector<Packet> out;
+  // Horizon 2.0: the first packet is unconditional, the second starts at
+  // t=1.0 < 2.0, the third would start at t=2.0 — not strictly before.
+  EXPECT_EQ(s.dequeue_burst(out, 100, 0.0, 8.0, 2.0), 2u);
+  EXPECT_EQ(s.backlog_packets(), 2u);
+}
+
+TEST(BurstApi, EnqueueBurstRunsEagerBusyBoundaryOnce) {
+  core::Wf2qPlus s(8.0);
+  s.add_flow(0, 8.0);
+  s.enqueue(packet(0, 1, 0), 0.0);
+  ASSERT_TRUE(s.dequeue(0.0).has_value());  // busy until t=1
+  // Burst arrival long after the drain: new busy period, fresh clock.
+  std::vector<Packet> burst{packet(0, 1, 1), packet(0, 1, 2)};
+  EXPECT_EQ(s.enqueue_burst(burst, 5.0), 2u);
+  EXPECT_DOUBLE_EQ(s.head_start(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.vtime(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Batched link drain: with unique arrival instants (no ties for the batched
+// drain to coalesce) the delivered schedule — ids and times — is identical
+// to the per-packet link.
+
+TEST(BatchedLink, OpenLoopScheduleMatchesPerPacketLink) {
+  util::Rng rng(5);
+  std::vector<testing::TimedArrival> arrivals;
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    t += rng.exponential(0.02);
+    arrivals.push_back(
+        {t, packet(static_cast<FlowId>(i % 3),
+                   static_cast<std::uint32_t>(rng.uniform_int(8, 200)), i)});
+  }
+
+  auto run = [&](bool batched) {
+    core::Wf2qPlus s(8000.0);
+    s.add_flow(0, 4000.0);
+    s.add_flow(1, 2000.0);
+    s.add_flow(2, 2000.0);
+    sim::Simulator sim;
+    sim::Link link(sim, s, 8000.0);
+    if (batched) link.set_batched(true, 8);
+    std::vector<testing::Departure> out;
+    link.set_delivery([&](const Packet& p, net::Time now) {
+      out.push_back({p, now});
+    });
+    for (auto& a : arrivals) {
+      sim.at(a.time, [&link, pkt = a.pkt] { link.submit(pkt); });
+    }
+    sim.run();
+    return out;
+  };
+
+  const auto per_packet = run(false);
+  const auto batched = run(true);
+  ASSERT_EQ(per_packet.size(), batched.size());
+  ASSERT_EQ(per_packet.size(), arrivals.size());
+  for (std::size_t i = 0; i < per_packet.size(); ++i) {
+    EXPECT_EQ(per_packet[i].pkt.id, batched[i].pkt.id) << "departure " << i;
+    EXPECT_NEAR(per_packet[i].time, batched[i].time, 1e-9);
+  }
+}
+
+TEST(BatchedLink, CampaignDirectiveParsesAndRidesTheGrid) {
+  std::istringstream in(
+      "campaign c\nbatched-link 1\nschedulers hwf2q+\n"
+      "tree t fanout=2 depth=1\n");
+  const runner::CampaignSpec spec = runner::parse_campaign(in);
+  EXPECT_TRUE(spec.batched_link);
+  const auto scenarios = spec.expand();
+  ASSERT_EQ(scenarios.size(), 1u);
+  EXPECT_TRUE(scenarios[0].batched_link);
+  EXPECT_NE(scenarios[0].label().find("batched=1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy datapath: the "arrival-seq-sync" invariant exists precisely because
+// the deque-era layout lets queue membership and sequence bookkeeping
+// diverge. Induce the desync and watch it fire; the arena datapath has no
+// second container to desynchronize.
+
+#ifdef HFQ_AUDIT_ENABLED
+class DesyncedLegacy : public audit::Wf2qPlusLegacy {
+ public:
+  using audit::Wf2qPlusLegacy::Wf2qPlusLegacy;
+  // Simulates the partial-failure bug class: the arrival-number deque loses
+  // an entry while the packet queue keeps its packet.
+  void corrupt(FlowId id) { arrival_nos_[id].pop_front(); }
+};
+
+TEST(LegacyAudit, ArrivalSeqSyncInvariantFiresOnInducedDesync) {
+  std::vector<std::string> seen;
+  audit::CollectScope scope([&seen](const audit::Violation& v) {
+    seen.push_back(v.invariant);
+  });
+  DesyncedLegacy s(8000.0);
+  s.add_flow(0, 8000.0);
+  s.enqueue(packet(0, 100, 0), 0.0);
+  s.enqueue(packet(0, 100, 1), 0.0);
+  ASSERT_TRUE(seen.empty()) << "clean run must not report";
+  s.corrupt(0);
+  s.enqueue(packet(0, 100, 2), 0.0);
+  EXPECT_TRUE(std::find(seen.begin(), seen.end(), "arrival-seq-sync") !=
+              seen.end());
+}
+#endif  // HFQ_AUDIT_ENABLED
+
+// The legacy twin must itself produce the canonical schedule (it backs the
+// fuzz differential and the benchmark's "before" side).
+TEST(LegacyTwin, MatchesRewrittenDatapathOnSpotTrace) {
+  util::Rng rng(99);
+  std::vector<testing::TimedArrival> arrivals;
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < 120; ++i) {
+    t += rng.exponential(0.03);
+    arrivals.push_back(
+        {t, packet(static_cast<FlowId>(rng.uniform_int(0, 3)),
+                   static_cast<std::uint32_t>(rng.uniform_int(8, 250)), i)});
+  }
+  auto add_flows = [](auto& s) {
+    s.add_flow(0, 3000.0);
+    s.add_flow(1, 3000.0);
+    s.add_flow(2, 1000.0);
+    s.add_flow(3, 1000.0);
+  };
+  core::Wf2qPlus now_impl(8000.0);
+  audit::Wf2qPlusLegacy then_impl(8000.0);
+  add_flows(now_impl);
+  add_flows(then_impl);
+  const auto a = testing::run_trace(now_impl, 8000.0, arrivals);
+  const auto b = testing::run_trace(then_impl, 8000.0, arrivals);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pkt.id, b[i].pkt.id) << "departure " << i;
+    EXPECT_DOUBLE_EQ(a[i].time, b[i].time);
+  }
+}
+
+}  // namespace
+}  // namespace hfq

@@ -147,7 +147,7 @@ TEST(PaperClaims, Theorem4WfiBoundMixedPacketSizes) {
     const std::uint32_t sizes[3] = {100, 200, 50};  // flow's own max size
     // add_flow is a concrete-class API (it registers policy-specific
     // state), so register before erasing the type.
-    std::unique_ptr<sched::FlatSchedulerBase> s;
+    std::unique_ptr<net::Scheduler> s;
     if (which == 0) {
       auto w = std::make_unique<sched::Wf2q>(link);
       for (FlowId f = 0; f < 3; ++f) w->add_flow(f, rates[f]);

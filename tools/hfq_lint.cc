@@ -83,6 +83,11 @@ const Rule kRules[] = {
      "direct stream/printf write inside a scheduler enqueue/dequeue body",
      "emit through the flight recorder (HFQ_TRACE_EVENT, src/obs/) — never "
      "format or flush on the per-packet path"},
+    {"alloc-in-hot-path",
+     "heap allocation inside a scheduler enqueue/dequeue body",
+     "preallocate at registration — packets live in arena slots "
+     "(src/net/packet_arena.h) and flow tables grow in add_flow; the "
+     "per-packet path must be allocation-free"},
 };
 
 struct Finding {
@@ -271,6 +276,15 @@ const std::regex kHotPathDef(
 // (src/obs/flight_recorder.h), which exporters drain off the hot path.
 const std::regex kIoWrite(
     R"(\b(std::)?(cout|cerr|clog|ofstream|ostream|printf|fprintf|puts|fputs)\b)");
+// Allocation vocabulary forbidden on the per-packet path: the million-flow
+// regime turns a per-packet malloc (deque node, vector growth) into the
+// dominant cost, and the legacy `resize(flow + 1)` inside enqueue was a
+// one-packet out-of-memory. The batched entry points are intentionally NOT
+// covered — kHotPathDef requires `(` right after enqueue/dequeue, so
+// `dequeue_burst(` never matches; appending to the caller's reserved output
+// vector is that interface's contract.
+const std::regex kAlloc(
+    R"(\bnew\b|\bmake_unique\s*<|\bmake_shared\s*<|\.(push_back|emplace_back|emplace|resize)\s*\()");
 
 void check_line_rules(const SourceFile& sf,
                       const std::vector<std::vector<std::string>>& disables,
@@ -378,10 +392,11 @@ void check_preconditions(const SourceFile& sf,
   }
 }
 
-// Finds scheduler enqueue/dequeue *definitions* and flags any direct stream
-// or printf-family write inside the body (same body-walking scheme as
+// Finds scheduler enqueue/dequeue *definitions* and flags, line by line, any
+// direct stream/printf write (trace-in-hot-loop) or heap-allocating call
+// (alloc-in-hot-path) inside the body (same body-walking scheme as
 // check_preconditions). Each offending line is reported individually so an
-// inline disable can cover exactly one write.
+// inline disable can cover exactly one site.
 void check_hot_loop_io(const SourceFile& sf,
                        const std::vector<std::vector<std::string>>& disables,
                        std::vector<Finding>& out) {
@@ -435,6 +450,11 @@ void check_hot_loop_io(const SourceFile& sf,
           !rule_disabled(disables, j, "trace-in-hot-loop")) {
         out.push_back(
             Finding{sf.rel_path, j + 1, "trace-in-hot-loop", trim(sf.raw[j])});
+      }
+      if (std::regex_search(body_part, kAlloc) &&
+          !rule_disabled(disables, j, "alloc-in-hot-path")) {
+        out.push_back(
+            Finding{sf.rel_path, j + 1, "alloc-in-hot-path", trim(sf.raw[j])});
       }
     }
   }
