@@ -23,6 +23,7 @@
 #include "sched/wfq.h"
 #include "sim/link.h"
 #include "sim/simulator.h"
+#include "traffic/tcp.h"
 #include "util/rng.h"
 
 namespace hfq::audit {
@@ -343,6 +344,51 @@ std::vector<Departure> run_burst(const FuzzTrace& tr, net::Scheduler& sched) {
   return out;
 }
 
+// Closed-loop (TCP Reno) scenario derived from the trace: greedy ack-clocked
+// senders over the link under test, loss only by drop-tail overflow of the
+// leaf queues. Runs either the per-packet link or the batched link with the
+// declared feedback fence D = feedback_delay_s; auditor and link-contract
+// violations are collected into `failures` under `name`.
+std::vector<Departure> run_tcp(const FuzzTrace& tr, bool batched,
+                               double feedback_delay_s, double owd,
+                               std::vector<FuzzFailure>* failures,
+                               const std::string& name) {
+  core::Wf2qPlus sched(tr.link_rate);
+  const auto n =
+      static_cast<net::FlowId>(std::min<std::size_t>(tr.rates.size(), 4));
+  for (net::FlowId f = 0; f < n; ++f) {
+    sched.add_flow(f, tr.rates[f], /*capacity_packets=*/8);
+  }
+  SchedulerAuditor audited(sched);
+  CollectScope collect([&](const Violation& v) {
+    failures->push_back({name + "/" + v.invariant, v.detail});
+  });
+
+  sim::Simulator sim;
+  sim::Link link(sim, audited, tr.link_rate);
+  if (batched) link.set_batched(true, 64, feedback_delay_s);
+
+  traffic::TcpConfig cfg;
+  cfg.one_way_delay_s = owd;
+  std::vector<std::unique_ptr<traffic::TcpSource>> sources;
+  for (net::FlowId f = 0; f < n; ++f) {
+    sources.push_back(std::make_unique<traffic::TcpSource>(
+        sim, [&link](net::Packet p) { return link.submit(p); }, f,
+        /*packet_bytes=*/125, cfg));
+  }
+  std::vector<Departure> out;
+  link.set_delivery([&](const net::Packet& p, net::Time now) {
+    out.push_back({p, now});
+    if (p.flow < sources.size()) sources[p.flow]->on_packet_delivered(p);
+  });
+  for (net::FlowId f = 0; f < n; ++f) {
+    // Staggered starts: distinct instants, so idle-link kicks never tie.
+    sources[f]->start(0.001 * static_cast<double>(f + 1));
+  }
+  sim.run_until(30.0);
+  return out;
+}
+
 double max_packet_bits(const FuzzTrace& tr) {
   double lmax = 0.0;
   for (const FuzzArrival& a : tr.arrivals) {
@@ -636,6 +682,24 @@ std::vector<FuzzFailure> run_checks(const FuzzTrace& tr,
     add_flows(burst);
     const auto db = run_burst(tr, burst);
     check_same_schedule(&failures, "fixed-burst-equivalence", du, db,
+                        /*compare_times=*/true);
+  }
+
+  // Closed-loop safety of the batched link (the feedback fence, see
+  // sim/link.h): a TCP Reno scenario derived from the seed — ack-clocked
+  // senders reacting to this link's own deliveries after 2*owd — must
+  // produce the identical schedule (ids AND departure times) through the
+  // per-packet link and the batched link fencing at D = 2*owd. Any
+  // undeclared preemption would also fire the link's runtime contract
+  // check, which the CollectScope above surfaces as a failure. This is the
+  // fuzz confirmation behind removing the old "open-loop only" caveat.
+  {
+    const double owd = 0.005 + 0.005 * static_cast<double>(tr.seed % 8);
+    const auto dp = run_tcp(tr, /*batched=*/false, 0.0, owd, &failures,
+                            "tcp-perpacket");
+    const auto db = run_tcp(tr, /*batched=*/true, 2.0 * owd, owd, &failures,
+                            "tcp-batched");
+    check_same_schedule(&failures, "tcp-batched-equivalence", dp, db,
                         /*compare_times=*/true);
   }
 

@@ -32,6 +32,7 @@
 // seed.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -132,6 +133,118 @@ class Wf2qPlus : public sched::SoaSchedulerBase {
       ++n;
     }
     return n;
+  }
+
+  // --- Live reconfiguration (net::Scheduler overrides) ----------------------
+  //
+  // The serve control plane applies a batch of live_* edits between two
+  // scheduling decisions, then commit_live_edits() makes them visible. An
+  // edit that touches a backlogged session invalidates heap keys (the finish
+  // tag is a function of the rate; removal orphans a heap entry), and
+  // InlineHeap deliberately has no erase — so commit rebuilds both heaps
+  // from the surviving head tags. VtKey carries the head arrival number, so
+  // the rebuild reproduces the exact FIFO tie-break order of the original
+  // inserts; cost is O(backlogged flows), independent of table size.
+
+  [[nodiscard]] bool supports_live_edits() const override { return true; }
+
+  bool live_add_flow(FlowId id, double rate_bps,
+                     std::size_t capacity_packets) override {
+    if (!net::flow_id_in_bounds(id) || known_flow(id) || !(rate_bps > 0.0) ||
+        capacity_packets >= UINT32_MAX) {
+      return false;
+    }
+    add_flow(id, rate_bps, capacity_packets);
+    return true;
+  }
+
+  bool live_set_rate(FlowId id, double rate_bps) override {
+    if (!known_flow(id) || !(rate_bps > 0.0)) return false;
+    rate_[id] = RateBps{rate_bps};
+    Tag& t = tags_[id];
+    t.rate = RateBps{rate_bps};
+    if (!fifo_[id].empty() && t.epoch == epoch_) {
+      // Eq. 29 re-stamp at the new rate. The start tag is the virtual
+      // instant the head's service became due — history the edit does not
+      // rewrite — so only the finish tag moves; packets behind the head are
+      // stamped at the new rate when they reach it, as usual.
+      t.finish = t.start + fifo_[id].front(arena_).bits() / t.rate;
+      needs_rebuild_ = true;
+    }
+    return true;
+  }
+
+  bool live_remove_flow(FlowId id, std::uint64_t* dropped) override {
+    if (!known_flow(id)) return false;
+    net::ArenaFifo& q = fifo_[id];
+    const bool was_backlogged = !q.empty();
+    std::uint64_t n = 0;
+    while (!q.empty()) {
+      q.pop(arena_);
+      ++n;
+    }
+    backlog_ -= static_cast<std::size_t>(n);
+    if (dropped != nullptr) *dropped += n;
+    meta_[id] = Meta{};
+    fifo_[id] = net::ArenaFifo{};
+    tags_[id] = Tag{};
+    if (was_backlogged) needs_rebuild_ = true;
+    return true;
+  }
+
+  void commit_live_edits() override {
+    if (!needs_rebuild_) return;
+    rebuild_heaps();
+    needs_rebuild_ = false;
+  }
+
+  // Post-splice audit: every virtual-time invariant a batch of live edits
+  // could have broken, checkable from outside a scheduling decision.
+  [[nodiscard]] bool validate_splice(std::string* why) override {
+    const auto fail = [why](std::string msg) {
+      if (why != nullptr) *why = std::move(msg);
+      return false;
+    };
+    if (needs_rebuild_) {
+      return fail("validate_splice called before commit_live_edits");
+    }
+    if (audit_queued_packets() != backlog_) {
+      return fail("backlog counter diverged from per-flow queue sizes");
+    }
+    std::size_t backlogged = 0;
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      const FlowId id = static_cast<FlowId>(i);
+      if (!known_flow(id)) {
+        if (!fifo_[i].empty()) {
+          return fail("unregistered flow " + std::to_string(id) +
+                      " still holds packets");
+        }
+        continue;
+      }
+      if (fifo_[i].empty()) continue;
+      ++backlogged;
+      const Tag& t = tags_[i];
+      if (!std::isfinite(t.start.v()) || !std::isfinite(t.finish.v())) {
+        return fail("flow " + std::to_string(id) + ": non-finite tag");
+      }
+      if (!(t.start < t.finish)) {
+        return fail("flow " + std::to_string(id) + ": start >= finish");
+      }
+      if (t.epoch > epoch_) {
+        return fail("flow " + std::to_string(id) +
+                    ": tag epoch from the future");
+      }
+    }
+    if (eligible_.size() + waiting_.size() != backlogged) {
+      return fail("heap membership (" +
+                  std::to_string(eligible_.size() + waiting_.size()) +
+                  ") != backlogged flow count (" + std::to_string(backlogged) +
+                  ")");
+    }
+    if (!eligible_.validate() || !waiting_.validate()) {
+      return fail("eligible/waiting heap order corrupted");
+    }
+    return true;
   }
 
   [[nodiscard]] double vtime() const noexcept { return vtime_.v(); }
@@ -283,6 +396,21 @@ class Wf2qPlus : public sched::SoaSchedulerBase {
     trace_flip(id, now, vtime_, t.start, t.finish, m.in_eligible != 0);
   }
 
+  // Rebuilds both heaps from scratch after a live-edit batch invalidated
+  // keys. Classification (eligible vs waiting) and tie-break order are
+  // exactly what a fresh sequence of insert_by_eligibility calls produces,
+  // because the keys are pure functions of the surviving tags and head
+  // arrival numbers. The wall-clock argument only feeds trace timestamps.
+  void rebuild_heaps() {
+    eligible_.clear();
+    waiting_.clear();
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      const FlowId id = static_cast<FlowId>(i);
+      if (meta_[i].registered == 0 || fifo_[i].empty()) continue;
+      insert_by_eligibility(id, Time{0});
+    }
+  }
+
   void migrate_eligible(VirtualTime v_now, Time now) {
     while (!waiting_.empty() && sched::vt_leq(waiting_.top_key().tag, v_now)) {
       const FlowId id = waiting_.pop();
@@ -303,6 +431,9 @@ class Wf2qPlus : public sched::SoaSchedulerBase {
   std::uint64_t epoch_ = 1;
   // Global FIFO sequence for tie-breaks; saturating (see enqueue_one).
   std::uint64_t arrival_counter_ = 0;
+  // Set by live_* edits that invalidated heap keys; cleared by
+  // commit_live_edits() after the rebuild.
+  bool needs_rebuild_ = false;
   std::vector<Tag> tags_;
   // InlineHeap, not HandleHeap: the datapath never cancels below the root,
   // and dropping the handle table removes one random store per slot moved in

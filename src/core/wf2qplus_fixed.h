@@ -120,6 +120,108 @@ class Wf2qPlusFixed : public sched::SoaSchedulerBase {
     return n;
   }
 
+  // --- Live reconfiguration (net::Scheduler overrides) ----------------------
+  //
+  // Integer twin of the Wf2qPlus live-edit block (see the commentary
+  // there): edits invalidate heap keys, commit rebuilds both heaps, FxKey's
+  // arrival number reproduces the FIFO tie-break order exactly.
+
+  [[nodiscard]] bool supports_live_edits() const override { return true; }
+
+  bool live_add_flow(net::FlowId id, double rate_bps,
+                     std::size_t capacity_packets) override {
+    if (!net::flow_id_in_bounds(id) || known_flow(id) || !(rate_bps >= 1.0) ||
+        capacity_packets >= UINT32_MAX) {
+      return false;
+    }
+    add_flow(id, rate_bps, capacity_packets);
+    return true;
+  }
+
+  bool live_set_rate(net::FlowId id, double rate_bps) override {
+    if (!known_flow(id) || !(rate_bps >= 1.0)) return false;
+    rate_[id] = sched::RateBps{rate_bps};
+    Fx& x = fx_[id];
+    x.rate = static_cast<std::uint64_t>(std::llround(rate_bps));
+    if (!fifo_[id].empty() && x.epoch == epoch_) {
+      // Eq. 29 re-stamp at the new rate from the unchanged start tag.
+      x.finish =
+          x.start + finish_increment(fifo_[id].front(arena_).size_bits(),
+                                     x.rate);
+      needs_rebuild_ = true;
+    }
+    return true;
+  }
+
+  bool live_remove_flow(net::FlowId id, std::uint64_t* dropped) override {
+    if (!known_flow(id)) return false;
+    net::ArenaFifo& q = fifo_[id];
+    const bool was_backlogged = !q.empty();
+    std::uint64_t n = 0;
+    while (!q.empty()) {
+      q.pop(arena_);
+      ++n;
+    }
+    backlog_ -= static_cast<std::size_t>(n);
+    if (dropped != nullptr) *dropped += n;
+    meta_[id] = Meta{};
+    fifo_[id] = net::ArenaFifo{};
+    fx_[id] = Fx{};
+    if (was_backlogged) needs_rebuild_ = true;
+    return true;
+  }
+
+  void commit_live_edits() override {
+    if (!needs_rebuild_) return;
+    rebuild_heaps();
+    needs_rebuild_ = false;
+  }
+
+  [[nodiscard]] bool validate_splice(std::string* why) override {
+    const auto fail = [why](std::string msg) {
+      if (why != nullptr) *why = std::move(msg);
+      return false;
+    };
+    if (needs_rebuild_) {
+      return fail("validate_splice called before commit_live_edits");
+    }
+    if (audit_queued_packets() != backlog_) {
+      return fail("backlog counter diverged from per-flow queue sizes");
+    }
+    std::size_t backlogged = 0;
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      const net::FlowId id = static_cast<net::FlowId>(i);
+      if (!known_flow(id)) {
+        if (!fifo_[i].empty()) {
+          return fail("unregistered flow " + std::to_string(id) +
+                      " still holds packets");
+        }
+        continue;
+      }
+      if (fifo_[i].empty()) continue;
+      ++backlogged;
+      const Fx& x = fx_[i];
+      // hfq-lint: disable(tag-compare) — exact integer-domain check.
+      if (!(x.start < x.finish)) {
+        return fail("flow " + std::to_string(id) + ": start >= finish");
+      }
+      if (x.epoch > epoch_) {
+        return fail("flow " + std::to_string(id) +
+                    ": tag epoch from the future");
+      }
+    }
+    if (eligible_.size() + waiting_.size() != backlogged) {
+      return fail("heap membership (" +
+                  std::to_string(eligible_.size() + waiting_.size()) +
+                  ") != backlogged flow count (" + std::to_string(backlogged) +
+                  ")");
+    }
+    if (!eligible_.validate() || !waiting_.validate()) {
+      return fail("eligible/waiting heap order corrupted");
+    }
+    return true;
+  }
+
   [[nodiscard]] std::uint64_t vtime_ticks() const noexcept {
     return vtime_.ticks();
   }
@@ -279,6 +381,18 @@ class Wf2qPlusFixed : public sched::SoaSchedulerBase {
                                      m.in_eligible != 0));
   }
 
+  // Rebuilds both heaps after a live-edit batch (integer twin of
+  // Wf2qPlus::rebuild_heaps; same exact-order argument).
+  void rebuild_heaps() {
+    eligible_.clear();
+    waiting_.clear();
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      const net::FlowId id = static_cast<net::FlowId>(i);
+      if (meta_[i].registered == 0 || fifo_[i].empty()) continue;
+      insert_by_eligibility(id, net::Time{0});
+    }
+  }
+
   std::uint64_t link_rate_;
   double inv_link_rate_;
   VTicks vtime_;
@@ -288,6 +402,9 @@ class Wf2qPlusFixed : public sched::SoaSchedulerBase {
   std::uint64_t epoch_ = 1;
   // Global FIFO sequence for tie-breaks; saturating (see enqueue_one).
   std::uint64_t arrival_counter_ = 0;
+  // Set by live_* edits that invalidated heap keys; cleared by
+  // commit_live_edits() after the rebuild.
+  bool needs_rebuild_ = false;
   std::vector<Fx> fx_;
   util::InlineHeap<FxKey, net::FlowId> eligible_;  // keyed by finish tag
   util::InlineHeap<FxKey, net::FlowId> waiting_;   // keyed by start tag

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "net/packet.h"
@@ -93,6 +94,56 @@ class Scheduler {
       ++n;
     }
     return n;
+  }
+
+  // --- Live reconfiguration ---------------------------------------------------
+  //
+  // A long-running service (src/serve/) edits the class hierarchy while
+  // packets keep flowing: add a session, change a session's guaranteed rate,
+  // or remove a session — all between two scheduling decisions, never
+  // mid-decision. The protocol is: any number of live_* calls, then exactly
+  // one commit_live_edits() before the next enqueue/dequeue. A scheduler that
+  // cannot splice its state without draining leaves the defaults in place
+  // (supports_live_edits() == false) and the service refuses the edit up
+  // front instead of corrupting virtual time.
+
+  [[nodiscard]] virtual bool supports_live_edits() const { return false; }
+
+  // Registers a new session with a guaranteed rate (bits/s) and an optional
+  // per-session buffer cap (0 = unlimited). Returns false if unsupported,
+  // the id is out of bounds, or the id is already registered.
+  virtual bool live_add_flow(FlowId /*id*/, double /*rate_bps*/,
+                             std::size_t /*capacity_packets*/ = 0) {
+    return false;
+  }
+
+  // Changes a registered session's guaranteed rate. If the session is
+  // backlogged, its head packet's finish tag is re-stamped from the
+  // unchanged start tag at the new rate (Eq. 29); queued packets behind the
+  // head are re-tagged as they reach the head, as usual. Returns false if
+  // unsupported or the session is unknown / the rate non-positive.
+  virtual bool live_set_rate(FlowId /*id*/, double /*rate_bps*/) {
+    return false;
+  }
+
+  // Unregisters a session. Queued packets are dropped and counted into
+  // `*dropped` (if non-null). Returns false if unsupported or unknown.
+  virtual bool live_remove_flow(FlowId /*id*/,
+                                std::uint64_t* /*dropped*/ = nullptr) {
+    return false;
+  }
+
+  // Makes a batch of live_* edits visible to the next scheduling decision
+  // (e.g. rebuilds eligibility structures). Must be called after any live_*
+  // call returned true, before the next enqueue/dequeue.
+  virtual void commit_live_edits() {}
+
+  // Post-splice audit: verifies the virtual-time invariants survived the
+  // edit batch (heap shape, tag sanity, backlog accounting). Returns true
+  // when consistent; on failure fills `*why` (if non-null) with a
+  // diagnostic. Schedulers without live-edit support trivially pass.
+  [[nodiscard]] virtual bool validate_splice(std::string* /*why*/ = nullptr) {
+    return true;
   }
 };
 

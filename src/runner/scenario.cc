@@ -62,6 +62,32 @@ double parse_rate(const std::string& tok, const std::string& line) {
   return v * mult;
 }
 
+// Collects the body of a `{ ... }` block verbatim, the opening '{' having
+// already been consumed on `line`. Braces inside '#' comments don't count.
+std::string collect_block(std::istream& in, const std::string& line) {
+  std::ostringstream body;
+  int depth = 1;
+  std::string tline;
+  while (depth > 0 && std::getline(in, tline)) {
+    std::string scan = tline;
+    const auto h = scan.find('#');
+    if (h != std::string::npos) scan.erase(h);
+    for (const char ch : scan) {
+      if (ch == '{') ++depth;
+      if (ch == '}') --depth;
+    }
+    if (depth == 0) {
+      // Drop the final closing brace (everything before it is body).
+      const auto close = scan.rfind('}');
+      body << scan.substr(0, close) << '\n';
+    } else {
+      body << tline << '\n';
+    }
+  }
+  if (depth != 0) fail("unterminated block", line);
+  return body.str();
+}
+
 void synth_subtree(std::ostringstream& os, int fanout, int levels_left,
                    double rate, const std::string& prefix, int indent,
                    int& next_flow) {
@@ -198,27 +224,7 @@ CampaignSpec parse_campaign(std::istream& in) {
       if (inline_tree) {
         // Collect verbatim tree_parser text until the opening brace's match.
         // The '{' that opened the block is not part of the tree text.
-        std::ostringstream body;
-        int depth = 1;
-        std::string tline;
-        while (depth > 0 && std::getline(in, tline)) {
-          std::string scan = tline;
-          const auto h = scan.find('#');
-          if (h != std::string::npos) scan.erase(h);
-          for (const char ch : scan) {
-            if (ch == '{') ++depth;
-            if (ch == '}') --depth;
-          }
-          if (depth == 0) {
-            // Drop the final closing brace (everything before it is body).
-            const auto close = scan.rfind('}');
-            body << scan.substr(0, close) << '\n';
-          } else {
-            body << tline << '\n';
-          }
-        }
-        if (depth != 0) fail("unterminated tree block", line);
-        tree.text = body.str();
+        tree.text = collect_block(in, line);
       } else {
         int fanout = 0, depth = 0;
         double link_bps = 8e6;
@@ -240,10 +246,45 @@ CampaignSpec parse_campaign(std::istream& in) {
         tree.text = synth_tree(fanout, depth, link_bps);
       }
       spec.trees.push_back(std::move(tree));
+    } else if (key == "serve-shards") {
+      need(1);
+      spec.serve.shards = std::stoul(toks[1]);
+    } else if (key == "serve-producers") {
+      need(1);
+      spec.serve.producers = std::stoul(toks[1]);
+      if (spec.serve.producers == 0) fail("serve-producers must be >= 1", line);
+    } else if (key == "serve-ring-bits") {
+      need(1);
+      const int bits = std::stoi(toks[1]);
+      if (bits < 1 || bits > 30) fail("serve-ring-bits takes 1..30", line);
+      spec.serve.ring_capacity = std::size_t{1} << bits;
+    } else if (key == "serve-paced") {
+      need(1);
+      if (toks[1] != "0" && toks[1] != "1") fail("serve-paced takes 0 or 1",
+                                                 line);
+      spec.serve.paced = toks[1] == "1";
+    } else if (key == "serve-horizon-us") {
+      need(1);
+      spec.serve.horizon_us = std::stod(toks[1]);
+      if (spec.serve.horizon_us <= 0.0) {
+        fail("serve-horizon-us must be positive", line);
+      }
+    } else if (key == "serve-edit") {
+      need(1);
+      if (toks.back() != "{") fail("serve-edit needs '<at_s> {'", line);
+      ServeSpec::Edit edit;
+      edit.at_s = std::stod(toks[1]);
+      if (edit.at_s < 0.0) fail("serve-edit time must be >= 0", line);
+      edit.text = collect_block(in, line);
+      spec.serve.edits.push_back(std::move(edit));
     } else {
       fail("unknown directive '" + key + "'", line);
     }
   }
+  std::stable_sort(spec.serve.edits.begin(), spec.serve.edits.end(),
+                   [](const ServeSpec::Edit& a, const ServeSpec::Edit& b) {
+                     return a.at_s < b.at_s;
+                   });
   return spec;
 }
 
@@ -265,7 +306,8 @@ std::string synth_tree(int fanout, int depth, double link_bps) {
 
 const std::vector<std::string>& known_schedulers() {
   static const std::vector<std::string> k = {
-      "hwf2q+", "hwfq", "hwf2q", "hscfq", "hsfq", "hdrr", "happrox-wfq"};
+      "hwf2q+", "hwfq",  "hwf2q",       "hscfq", "hsfq",
+      "hdrr",   "happrox-wfq", "wf2q+", "wf2q+fixed"};
   return k;
 }
 

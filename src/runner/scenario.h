@@ -15,13 +15,27 @@
 //   duration <seconds>          # per-shard source run time (default 1.0)
 //   packet-bytes <n>            # packet size for all sources (default 1000)
 //   repeats <n>                 # seeds per grid point (default 1)
-//   schedulers <key>...         # hwf2q+ hwfq hwf2q hscfq hsfq hdrr happrox-wfq
+//   schedulers <key>...         # hwf2q+ hwfq ... | wf2q+ wf2q+fixed (flat SoA)
 //   loads <x>...                # offered load / guaranteed rate (e.g. 0.9 1.5)
 //   traffic <kind>...           # cbr | poisson | onoff | mixed
 //   tree <name> fanout=<f> depth=<d> [link=<rate>]   # synthetic balanced tree
 //   tree <name> {               # inline core/tree_parser text
 //     link 8M
 //     ...
+//   }
+//
+// Service-mode directives (consumed by `hfq_sweep --serve`, which runs the
+// campaign grid through the live multi-core service instead of the
+// discrete-event simulation; ignored by plain `hfq_sweep`):
+//
+//   serve-shards <n>            # shard threads (default 4)
+//   serve-producers <n>         # load-generator threads (default 2)
+//   serve-ring-bits <b>         # per-shard ingress ring = 2^b slots (default 16)
+//   serve-paced <0|1>           # 1: wall-clock pacing; 0: blast/bench (default 1)
+//   serve-horizon-us <x>        # paced-mode commit window (default 100)
+//   serve-edit <at_s> {         # live hierarchy edit batch at t=<at_s> seconds
+//     s0 4M                     #   (serve/edits.h grammar: re-weight / add /
+//     remove s1                 #    remove, applied without draining)
 //   }
 //
 // Synthetic trees split the link rate equally at every level; each leaf is
@@ -59,6 +73,22 @@ struct Scenario {
   [[nodiscard]] std::string label() const;
 };
 
+// Service-mode parameters (see header comment). Shared by every scenario of
+// the campaign; only `hfq_sweep --serve` reads them.
+struct ServeSpec {
+  std::size_t shards = 4;
+  std::size_t producers = 2;
+  std::size_t ring_capacity = 1 << 16;
+  bool paced = true;
+  double horizon_us = 100.0;
+
+  struct Edit {
+    double at_s = 0.0;   // service-clock time to apply the batch
+    std::string text;    // serve/edits.h batch grammar
+  };
+  std::vector<Edit> edits;  // kept sorted by at_s by the parser
+};
+
 struct CampaignSpec {
   struct Tree {
     std::string name;
@@ -75,6 +105,7 @@ struct CampaignSpec {
   std::vector<Tree> trees;
   std::vector<double> loads;
   std::vector<std::string> traffics;
+  ServeSpec serve;
 
   // Expands the grid in fixed order: scheduler (outermost) × tree × load ×
   // traffic × repeat (innermost). Shard seeds are derived from `seed` and

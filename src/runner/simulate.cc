@@ -9,6 +9,8 @@
 #include "core/hierarchy.h"
 #include "core/hpfq.h"
 #include "core/tree_parser.h"
+#include "core/wf2qplus.h"
+#include "core/wf2qplus_fixed.h"
 #include "sim/link.h"
 #include "sim/simulator.h"
 #include "traffic/cbr.h"
@@ -41,6 +43,26 @@ std::vector<Leaf> leaves_of(const core::Hierarchy& spec) {
   return out;
 }
 
+// Instantiates a flat (depth-1) SoA scheduler: every non-root node must be a
+// session directly under the link. The flat variants are the datapath-
+// optimized schedulers the serve/ shards run, and the only ones with
+// live-edit support.
+template <typename Sched, typename LinkRate>
+std::unique_ptr<net::Scheduler> build_flat(const std::string& key,
+                                           const core::Hierarchy& spec) {
+  auto sched = std::make_unique<Sched>(static_cast<LinkRate>(spec.link_rate()));
+  for (std::uint32_t i = 1; i < spec.size(); ++i) {
+    const auto& n = spec.node(i);
+    if (!n.leaf || n.parent != 0) {
+      throw std::runtime_error("runner: scheduler '" + key +
+                               "' is flat; node '" + n.name +
+                               "' must be a session directly under the link");
+    }
+    sched->add_flow(n.flow, n.rate_bps, n.capacity_packets);
+  }
+  return sched;
+}
+
 }  // namespace
 
 std::unique_ptr<net::Scheduler> build_scheduler(const std::string& key,
@@ -52,6 +74,10 @@ std::unique_ptr<net::Scheduler> build_scheduler(const std::string& key,
   if (key == "hsfq") return spec.build_packet<core::SfqPolicy>();
   if (key == "hdrr") return spec.build_packet<core::DrrPolicy>();
   if (key == "happrox-wfq") return spec.build_packet<core::ApproxWfqPolicy>();
+  if (key == "wf2q+") return build_flat<core::Wf2qPlus, double>(key, spec);
+  if (key == "wf2q+fixed") {
+    return build_flat<core::Wf2qPlusFixed, std::uint64_t>(key, spec);
+  }
   throw std::runtime_error("runner: unknown scheduler variant '" + key + "'");
 }
 

@@ -1,0 +1,106 @@
+#include "serve/edits.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace hfq::serve {
+
+namespace {
+
+// Tree-parser rate grammar: a positive decimal with an optional k/M/G
+// suffix (powers of ten, bits/sec).
+double parse_rate(const std::string& tok, const std::string& line) {
+  double mult = 1.0;
+  std::string num = tok;
+  if (!num.empty()) {
+    switch (num.back()) {
+      case 'k': case 'K': mult = 1e3; num.pop_back(); break;
+      case 'M':           mult = 1e6; num.pop_back(); break;
+      case 'G':           mult = 1e9; num.pop_back(); break;
+      default: break;
+    }
+  }
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(num, &used);
+  } catch (const std::exception&) {
+    throw std::runtime_error("serve edit: bad rate '" + tok + "' in: " + line);
+  }
+  if (used != num.size() || !(v > 0.0)) {
+    throw std::runtime_error("serve edit: bad rate '" + tok + "' in: " + line);
+  }
+  return v * mult;
+}
+
+std::uint64_t parse_uint(const std::string& tok, const std::string& line) {
+  std::size_t used = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(tok, &used);
+  } catch (const std::exception&) {
+    throw std::runtime_error("serve edit: bad integer '" + tok +
+                             "' in: " + line);
+  }
+  if (used != tok.size()) {
+    throw std::runtime_error("serve edit: bad integer '" + tok +
+                             "' in: " + line);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<EditOp> parse_edits(const std::string& text) {
+  std::vector<EditOp> ops;
+  std::istringstream lines(text);
+  std::string raw;
+  while (std::getline(lines, raw)) {
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream ls(raw);
+    std::vector<std::string> toks;
+    for (std::string t; ls >> t;) toks.push_back(t);
+    if (toks.empty()) continue;
+
+    EditOp op;
+    if (toks[0] == "remove") {
+      if (toks.size() != 2) {
+        throw std::runtime_error("serve edit: expected 'remove <name>' in: " +
+                                 raw);
+      }
+      op.kind = EditOp::Kind::kRemove;
+      op.name = toks[1];
+      ops.push_back(std::move(op));
+      continue;
+    }
+
+    // Upsert: <name> <rate> [flow=<id>] [cap=<packets>]
+    if (toks.size() < 2) {
+      throw std::runtime_error(
+          "serve edit: expected '<name> <rate> [flow=..] [cap=..]' in: " +
+          raw);
+    }
+    op.kind = EditOp::Kind::kUpsert;
+    op.name = toks[0];
+    op.rate_bps = parse_rate(toks[1], raw);
+    for (std::size_t i = 2; i < toks.size(); ++i) {
+      const std::string& t = toks[i];
+      if (t.rfind("flow=", 0) == 0) {
+        op.has_flow = true;
+        op.flow = static_cast<net::FlowId>(parse_uint(t.substr(5), raw));
+      } else if (t.rfind("cap=", 0) == 0) {
+        op.capacity_packets =
+            static_cast<std::size_t>(parse_uint(t.substr(4), raw));
+      } else {
+        throw std::runtime_error("serve edit: unknown attribute '" + t +
+                                 "' in: " + raw);
+      }
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+}  // namespace hfq::serve

@@ -1,0 +1,52 @@
+// Live hierarchy edits for the scheduler service (DESIGN.md "Service",
+// epoch-edit protocol).
+//
+// An edit batch is text in the tree-parser session-line grammar
+// (core/tree_parser.h), one statement per line, '#' comments to EOL:
+//
+//   <name> <rate> [flow=<id>] [cap=<packets>]   # upsert
+//   remove <name>                               # drop the session
+//
+// An upsert of a name the service already knows is a RE-WEIGHT (the rate
+// changes, the flow binding must not); an upsert of a new name is an ADD
+// and must carry flow=. Rates accept the tree parser's k/M/G suffixes
+// (powers of ten, bits/sec).
+//
+// Parsing is name-level only: the service resolves names against its own
+// directory and dispatches resolved flow-id operations to the owning shard,
+// which applies them at an epoch boundary (serve/shard.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace hfq::serve {
+
+// One parsed statement (names not yet resolved to flows/shards).
+struct EditOp {
+  enum class Kind { kUpsert, kRemove };
+  Kind kind = Kind::kUpsert;
+  std::string name;
+  double rate_bps = 0.0;                   // kUpsert
+  bool has_flow = false;                   // kUpsert: flow= present
+  net::FlowId flow = 0;                    // valid iff has_flow
+  std::size_t capacity_packets = 0;        // kUpsert: cap= (0 = unlimited)
+};
+
+// A flow-level operation after name resolution, ready for one shard.
+struct ResolvedEdit {
+  enum class Kind { kAdd, kSetRate, kRemove };
+  Kind kind = Kind::kAdd;
+  net::FlowId flow = 0;
+  double rate_bps = 0.0;            // kAdd / kSetRate
+  std::size_t capacity_packets = 0; // kAdd
+};
+
+// Parses an edit batch. Throws std::runtime_error with the offending line
+// on any syntax error (unknown verb, missing rate, malformed attribute).
+[[nodiscard]] std::vector<EditOp> parse_edits(const std::string& text);
+
+}  // namespace hfq::serve

@@ -1,0 +1,137 @@
+#include "serve/harness.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "core/tree_parser.h"
+#include "serve/load_gen.h"
+#include "serve/service.h"
+#include "serve/stats_export.h"
+
+namespace hfq::serve {
+
+std::string ServeRunResult::summary() const {
+  std::ostringstream os;
+  os << "offered=" << offered << " delivered=" << delivered
+     << " backlog=" << backlog << " sched_drops=" << sched_drops
+     << " edit_drops=" << edit_drops << " ring_drops=" << ring_drops
+     << " edits=" << edit_batches << " wall=" << wall_s << "s conservation="
+     << (conservation_ok ? "OK" : "VIOLATED");
+  if (audit_violations > 0) os << " AUDIT=" << audit_violations;
+  if (splice_failures > 0) os << " SPLICE=" << splice_failures;
+  if (faulted_shards > 0) os << " FAULTED=" << faulted_shards;
+  return os.str();
+}
+
+ServeRunResult run_serve_scenario(const runner::Scenario& sc,
+                                  const runner::ServeSpec& serve,
+                                  std::ostream* stats_sink,
+                                  const std::string& spill_dir) {
+  const core::Hierarchy tree = core::parse_hierarchy(sc.tree_text);
+
+  ServiceConfig cfg;
+  cfg.num_shards = serve.shards;
+  cfg.scheduler = sc.scheduler;
+  cfg.ring_capacity = serve.ring_capacity;
+  cfg.paced = serve.paced;
+  cfg.horizon_s = serve.horizon_us * 1e-6;
+  cfg.spill_dir = spill_dir;
+  Service svc(tree, cfg);
+
+  std::unique_ptr<StatsExporter> exporter;
+  if (stats_sink != nullptr) {
+    exporter = std::make_unique<StatsExporter>(svc, *stats_sink, 0.5);
+  }
+
+  svc.start();
+  if (exporter) exporter->start();
+
+  // Control thread: fire each edit batch at its service-clock time. Edits
+  // are sorted by at_s; apply_edit_text blocks until every shard applied the
+  // batch at an epoch boundary, so batches land in order. Errors (bad edit
+  // text against this tree) are rethrown on join.
+  std::thread editor;
+  std::atomic<bool> edit_stop{false};
+  std::exception_ptr edit_error;
+  if (!serve.edits.empty()) {
+    editor = std::thread([&] {
+      try {
+        for (const runner::ServeSpec::Edit& e : serve.edits) {
+          while (!edit_stop.load(std::memory_order_acquire) &&
+                 svc.clock_s() < e.at_s) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          if (edit_stop.load(std::memory_order_acquire)) return;
+          svc.apply_edit_text(e.text);
+        }
+      } catch (...) {
+        edit_error = std::current_exception();
+      }
+    });
+  }
+
+  LoadGenConfig lg;
+  lg.producers = serve.producers;
+  lg.duration_s = sc.duration_s;
+  lg.packet_bytes = sc.packet_bytes;
+  lg.load = sc.load;
+  lg.traffic = sc.traffic;
+  lg.seed = sc.seed;
+  lg.paced = serve.paced;
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  const LoadGenTotals gen = run_load(svc, tree, lg);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+
+  if (editor.joinable()) {
+    edit_stop.store(true, std::memory_order_release);
+    editor.join();
+  }
+
+  // Give the shards a moment to work the rings down before the shutdown
+  // drain snapshots the backlog; purely cosmetic for paced runs (the fence
+  // keeps delivery near real time), it shortens the backlog tail in bench
+  // runs. Residue left anyway is accounted, not lost.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  svc.stop();
+  if (exporter) exporter->stop();
+  if (edit_error) std::rethrow_exception(edit_error);
+
+  const Service::Totals t = svc.totals();
+  ServeRunResult r;
+  r.offered = gen.offered;
+  r.rejected = gen.rejected;
+  r.delivered = t.delivered;
+  r.backlog = t.backlog;
+  r.sched_drops = t.sched_drops;
+  r.edit_drops = t.edit_drops;
+  r.ring_drops = t.ring_drops;
+  r.edit_batches = svc.edit_batches();
+  r.audit_violations = t.audit_violations;
+  r.splice_failures = t.splice_failures;
+  r.faulted_shards = t.faulted_shards;
+  r.conservation_ok =
+      r.offered == r.delivered + r.backlog + r.sched_drops + r.edit_drops +
+                       r.ring_drops;
+  r.wall_s = wall_s;
+  r.shards = svc.num_shards();
+  r.shard_mpps.reserve(r.shards);
+  r.shard_delivered.reserve(r.shards);
+  r.shard_busy_ns.reserve(r.shards);
+  for (std::size_t i = 0; i < r.shards; ++i) {
+    const ShardStats& st = svc.shard(i).stats();
+    const std::uint64_t n = st.delivered.load(std::memory_order_relaxed);
+    r.shard_mpps.push_back(
+        wall_s > 0.0 ? static_cast<double>(n) / wall_s / 1e6 : 0.0);
+    r.shard_delivered.push_back(n);
+    r.shard_busy_ns.push_back(st.busy_ns.load(std::memory_order_relaxed));
+  }
+  return r;
+}
+
+}  // namespace hfq::serve

@@ -1,0 +1,61 @@
+// End-to-end service run for one runner::Scenario — the engine behind
+// `hfq_sweep --serve`.
+//
+// Builds the Service from the scenario's tree and scheduler key, starts the
+// stats exporter (newline-JSON to `stats_sink`, when given), drives the
+// load generator, fires the campaign's `serve-edit` batches at their
+// service-clock times from a control thread (the edits apply at shard epoch
+// boundaries — no draining), then stops everything and closes the books:
+//
+//   conservation_ok :=
+//     offered == delivered + backlog + sched_drops + edit_drops + ring_drops
+//
+// The identity is exact (not approximate) because Shard::stop() drains ring
+// residue into the scheduler before the final counter reads and every
+// producer-side rejection is mirrored by a ring drop count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.h"
+
+namespace hfq::serve {
+
+struct ServeRunResult {
+  std::uint64_t offered = 0;
+  std::uint64_t rejected = 0;        // producer-side ring-full count
+  std::uint64_t delivered = 0;
+  std::uint64_t backlog = 0;
+  std::uint64_t sched_drops = 0;
+  std::uint64_t edit_drops = 0;
+  std::uint64_t ring_drops = 0;
+  std::uint64_t edit_batches = 0;    // batches acknowledged by all shards
+  std::uint64_t audit_violations = 0;
+  std::uint64_t splice_failures = 0;
+  std::uint64_t faulted_shards = 0;
+  bool conservation_ok = false;
+  double wall_s = 0.0;               // load-generation wall time
+  std::size_t shards = 0;
+  std::vector<double> shard_mpps;    // per-shard delivered rate, Mpkts/s wall
+  std::vector<std::uint64_t> shard_delivered;
+  // Bench (unpaced) runs only: per-shard nanoseconds spent in working loop
+  // iterations — `busy_ns / delivered` is scheduler-bound ns/op even when
+  // producers time-share cores with the shards. Zero on paced runs.
+  std::vector<std::uint64_t> shard_busy_ns;
+
+  [[nodiscard]] std::string summary() const;  // one line for the CLI
+};
+
+// Runs the scenario through the live service. `stats_sink`, when non-null,
+// receives the newline-JSON stats stream (one object per shard per tick).
+// Throws std::runtime_error on configuration errors (bad tree text, unknown
+// scheduler key, invalid shard count, malformed edit batch).
+ServeRunResult run_serve_scenario(const runner::Scenario& sc,
+                                  const runner::ServeSpec& serve,
+                                  std::ostream* stats_sink,
+                                  const std::string& spill_dir = "");
+
+}  // namespace hfq::serve

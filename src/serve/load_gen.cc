@@ -1,0 +1,178 @@
+#include "serve/load_gen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <queue>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "serve/service.h"
+#include "util/assert.h"
+
+namespace hfq::serve {
+
+namespace {
+
+enum class Model : std::uint8_t { kCbr, kPoisson, kOnOff };
+
+// On/off shape matches the runner's source model: 4x the mean rate for 25ms
+// of every 100ms period (25% duty), so the long-run mean equals `load` x
+// the session's guaranteed rate.
+constexpr double kPeakFactor = 4.0;
+constexpr double kOnS = 0.025;
+constexpr double kPeriodS = 0.1;
+
+struct SessionGen {
+  net::FlowId flow = 0;
+  Model model = Model::kCbr;
+  double mean_interval_s = 0.0;  // at the offered (load-scaled) rate
+  double next_t = 0.0;
+};
+
+struct Later {
+  const std::vector<SessionGen>* gens;
+  bool operator()(std::size_t a, std::size_t b) const {
+    return (*gens)[a].next_t > (*gens)[b].next_t;
+  }
+};
+
+Model model_for(const std::string& traffic, std::size_t idx) {
+  if (traffic == "cbr") return Model::kCbr;
+  if (traffic == "poisson") return Model::kPoisson;
+  if (traffic == "onoff") return Model::kOnOff;
+  if (traffic == "mixed") {
+    switch (idx % 3) {
+      case 0: return Model::kCbr;
+      case 1: return Model::kPoisson;
+      default: return Model::kOnOff;
+    }
+  }
+  throw std::runtime_error("serve load: unknown traffic kind '" + traffic +
+                           "' (cbr|poisson|onoff|mixed)");
+}
+
+// Advances one session's calendar entry past an emission at g.next_t.
+void advance(SessionGen& g, std::mt19937_64& rng) {
+  switch (g.model) {
+    case Model::kCbr:
+      g.next_t += g.mean_interval_s;
+      break;
+    case Model::kPoisson: {
+      std::exponential_distribution<double> exp(1.0 / g.mean_interval_s);
+      g.next_t += exp(rng);
+      break;
+    }
+    case Model::kOnOff: {
+      g.next_t += g.mean_interval_s / kPeakFactor;
+      const double phase = std::fmod(g.next_t, kPeriodS);
+      if (phase >= kOnS) {
+        // Off window: jump to the start of the next on-period.
+        g.next_t += kPeriodS - phase;
+      }
+      break;
+    }
+  }
+}
+
+void producer_main(Service& svc, const LoadGenConfig& cfg,
+                   std::vector<SessionGen> gens, std::size_t producer,
+                   std::atomic<std::uint64_t>* offered,
+                   std::atomic<std::uint64_t>* rejected) {
+  std::mt19937_64 rng(cfg.seed * 0x9e3779b97f4a7c15ULL + producer + 1);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  // Stagger starting phases so CBR sessions don't emit in lockstep.
+  for (SessionGen& g : gens) {
+    g.next_t = uni(rng) * g.mean_interval_s;
+    if (g.model == Model::kOnOff) {
+      const double phase = std::fmod(g.next_t, kPeriodS);
+      if (phase >= kOnS) g.next_t += kPeriodS - phase;
+    }
+  }
+
+  std::priority_queue<std::size_t, std::vector<std::size_t>, Later> calendar(
+      Later{&gens});
+  for (std::size_t i = 0; i < gens.size(); ++i) {
+    if (gens[i].next_t < cfg.duration_s) calendar.push(i);
+  }
+
+  std::uint64_t counter = 0;
+  std::uint64_t local_offered = 0;
+  std::uint64_t local_rejected = 0;
+  const std::uint64_t id_base = (static_cast<std::uint64_t>(producer) + 1)
+                                << 48;
+  while (!calendar.empty()) {
+    const std::size_t i = calendar.top();
+    calendar.pop();
+    SessionGen& g = gens[i];
+    if (cfg.paced) {
+      // Hold the emission until the service clock reaches its calendar
+      // time; sleep while far out, spin-yield inside the last 200us.
+      for (;;) {
+        const double lag = g.next_t - svc.clock_s();
+        if (lag <= 0.0) break;
+        if (lag > 200e-6) {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+    net::Packet p;
+    p.id = id_base | ++counter;
+    p.flow = g.flow;
+    p.size_bytes = cfg.packet_bytes;
+    p.created = g.next_t;
+    p.arrival = g.next_t;
+    ++local_offered;
+    if (!svc.submit(p)) ++local_rejected;
+    advance(g, rng);
+    if (g.next_t < cfg.duration_s) calendar.push(i);
+  }
+  offered->fetch_add(local_offered, std::memory_order_relaxed);
+  rejected->fetch_add(local_rejected, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+LoadGenTotals run_load(Service& svc, const core::Hierarchy& tree,
+                       const LoadGenConfig& cfg) {
+  HFQ_ASSERT_MSG(cfg.producers > 0, "need at least one producer");
+  HFQ_ASSERT_MSG(cfg.duration_s > 0.0 && cfg.load > 0.0 &&
+                     cfg.packet_bytes > 0,
+                 "load generator config out of range");
+  (void)model_for(cfg.traffic, 0);  // validate before spawning threads
+
+  const double bits = 8.0 * static_cast<double>(cfg.packet_bytes);
+  std::vector<std::vector<SessionGen>> stripes(cfg.producers);
+  std::size_t leaf_idx = 0;
+  for (std::uint32_t i = 1; i < tree.size(); ++i) {
+    const core::Hierarchy::NodeSpec& n = tree.node(i);
+    if (!n.leaf) continue;
+    SessionGen g;
+    g.flow = n.flow;
+    g.model = model_for(cfg.traffic, leaf_idx);
+    g.mean_interval_s = bits / (cfg.load * n.rate_bps);
+    stripes[leaf_idx % cfg.producers].push_back(g);
+    ++leaf_idx;
+  }
+  HFQ_ASSERT_MSG(leaf_idx > 0, "hierarchy has no session leaves");
+
+  std::atomic<std::uint64_t> offered{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.producers);
+  for (std::size_t p = 0; p < cfg.producers; ++p) {
+    threads.emplace_back(producer_main, std::ref(svc), std::cref(cfg),
+                         std::move(stripes[p]), p, &offered, &rejected);
+  }
+  for (std::thread& t : threads) t.join();
+  return LoadGenTotals{offered.load(), rejected.load()};
+}
+
+}  // namespace hfq::serve

@@ -1,0 +1,52 @@
+// Multi-threaded load generator for the scheduler service (the producer
+// side of `hfq_sweep --serve`).
+//
+// Each producer thread owns a stripe of the tree's sessions (leaf index mod
+// producer count) and runs a calendar (min-heap of next-emission times): per
+// session the offered rate is `load` x its guaranteed rate, shaped by the
+// configured traffic model. Packets are stamped with the session's flow id
+// and a per-producer unique id, then pushed through Service::submit() —
+// lock-free into the owning shard's ring, with a full ring counted as a
+// rejection on both sides (producer `rejected`, shard `ring_drops`), so the
+// conservation identity closes exactly:
+//
+//   offered == delivered + backlog + sched_drops + edit_drops + ring_drops
+//
+// Paced mode holds each emission until the service clock reaches its
+// calendar time (sleep when far, spin-yield when close); bench mode blasts
+// the calendar as fast as the rings accept it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hfq::core {
+class Hierarchy;
+}
+
+namespace hfq::serve {
+
+class Service;
+
+struct LoadGenConfig {
+  std::size_t producers = 2;
+  double duration_s = 5.0;      // virtual span of the generated schedule
+  std::uint32_t packet_bytes = 1000;
+  double load = 0.9;            // offered rate / guaranteed rate, per session
+  std::string traffic = "poisson";  // cbr | poisson | onoff | mixed
+  std::uint64_t seed = 1;
+  bool paced = true;            // false: blast (bench mode)
+};
+
+struct LoadGenTotals {
+  std::uint64_t offered = 0;    // Service::submit() calls
+  std::uint64_t rejected = 0;   // submit() == false (ring full)
+};
+
+// Runs the generator to completion (all producers joined). The tree must be
+// the same hierarchy the service was built from. Throws std::runtime_error
+// on an unknown traffic kind.
+LoadGenTotals run_load(Service& svc, const core::Hierarchy& tree,
+                       const LoadGenConfig& cfg);
+
+}  // namespace hfq::serve

@@ -1,0 +1,3 @@
+// TU anchor for serve/mpsc_ring.h (header-only; keeps the header compiling
+// standalone under the library's warning flags).
+#include "serve/mpsc_ring.h"

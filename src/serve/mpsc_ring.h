@@ -1,0 +1,133 @@
+// Bounded lock-free multi-producer / single-consumer packet ring — the
+// ingress queue in front of each scheduler shard (DESIGN.md "Service").
+//
+// Vyukov's bounded MPMC queue restricted to one consumer: each slot carries
+// a sequence word that encodes, relative to the producers' claim counter,
+// whether the slot is free (seq == pos: claimable), already written
+// (seq == pos + 1: readable by the consumer), or still occupied from
+// `capacity` positions ago (seq < pos: the ring is FULL). Producers claim a
+// position with one CAS and publish with one release store; the consumer
+// needs no atomics on its own index at all. A full ring DROPS the packet and
+// counts it (drops()) — backpressure is the producer's problem, the shard
+// loop must never block (the backpressure policy in DESIGN.md).
+//
+// Ordering: positions are claimed in CAS order, so packets from one producer
+// thread dequeue in that producer's submission order (per-producer FIFO).
+// The service maps each flow to exactly one shard (consistent hashing) and
+// the load generator emits each flow from exactly one producer thread, so
+// per-flow packet order is preserved end to end — asserted by
+// tests/test_serve.cc under TSan.
+//
+// Layout: every slot is one cache line (64 B: an 8-byte seq + the 48-byte
+// net::Packet), and the producer-shared claim counter, the consumer index
+// and the drop counter each get their own line, so producers and the
+// consumer never false-share.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/assert.h"
+
+namespace hfq::serve {
+
+class MpscRing {
+ public:
+  // `capacity` must be a power of two (the index mask trick), >= 2.
+  explicit MpscRing(std::size_t capacity)
+      : capacity_(capacity), mask_(capacity - 1),
+        slots_(std::make_unique<Slot[]>(capacity)) {
+    HFQ_ASSERT_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                   "ring capacity must be a power of two >= 2");
+    for (std::size_t i = 0; i < capacity; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  // Producer side (any thread): claims a slot and publishes the packet.
+  // Returns false — and counts a drop — when the ring is full.
+  bool try_push(const net::Packet& p) {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& s = slots_[pos & mask_];
+      const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
+      const auto dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          s.pkt = p;
+          s.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS lost: `pos` was reloaded by compare_exchange; retry there.
+      } else if (dif < 0) {
+        // The slot still holds the entry from one lap ago: ring full.
+        drops_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      } else {
+        // Another producer claimed this position; chase the head.
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Consumer side (ONE thread only): drains up to `max` packets into `out`
+  // (appended). Returns the number popped.
+  std::size_t pop_burst(std::vector<net::Packet>& out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max) {
+      Slot& s = slots_[tail_ & mask_];
+      const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
+      if (seq != tail_ + 1) break;  // next slot not yet published
+      out.push_back(s.pkt);
+      // Release the slot for the producers' next lap.
+      s.seq.store(tail_ + capacity_, std::memory_order_release);
+      ++tail_;
+      ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  // Packets rejected because the ring was full (producer-side counter).
+  [[nodiscard]] std::uint64_t drops() const noexcept {
+    return drops_.load(std::memory_order_relaxed);
+  }
+
+  // Entries currently in flight, as seen from the consumer thread
+  // (approximate while producers are pushing).
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    return head >= tail_ ? static_cast<std::size_t>(head - tail_) : 0;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> seq{0};
+    net::Packet pkt;
+  };
+  static_assert(sizeof(net::Packet) <= 56,
+                "Packet must fit a cache-line slot next to the 8-byte seq");
+  static_assert(alignof(Slot) == 64 && sizeof(Slot) == 64,
+                "one slot per cache line");
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  // Producer-shared claim counter, consumer index and drop counter on their
+  // own cache lines: producers CAS head_ constantly, the consumer owns
+  // tail_ exclusively, and drops_ is only touched on overflow.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::uint64_t tail_ = 0;
+  alignas(64) std::atomic<std::uint64_t> drops_{0};
+};
+
+}  // namespace hfq::serve

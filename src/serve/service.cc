@@ -1,0 +1,190 @@
+#include "serve/service.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "runner/simulate.h"
+
+namespace hfq::serve {
+
+Service::Service(const core::Hierarchy& tree, const ServiceConfig& cfg) {
+  validate_shard_count(cfg.num_shards);
+  num_shards_ = cfg.num_shards;
+
+  // Build the directory from the tree's leaves; every leaf is a session the
+  // control plane may later re-weight or remove by name.
+  for (std::uint32_t i = 1; i < tree.size(); ++i) {
+    const core::Hierarchy::NodeSpec& n = tree.node(i);
+    if (!n.leaf) continue;
+    if (directory_.count(n.name) != 0) {
+      throw std::runtime_error("serve: duplicate session name '" + n.name +
+                               "' in hierarchy");
+    }
+    if (flow_names_.count(n.flow) != 0) {
+      throw std::runtime_error("serve: flow " + std::to_string(n.flow) +
+                               " bound to two sessions ('" +
+                               flow_names_[n.flow] + "', '" + n.name + "')");
+    }
+    directory_[n.name] = DirEntry{n.flow, n.rate_bps};
+    flow_names_[n.flow] = n.name;
+  }
+  if (directory_.empty()) {
+    throw std::runtime_error("serve: hierarchy has no session leaves");
+  }
+
+  // Uniform 1/N scaling: same tree shape and node order (so node indices
+  // match the input), every rate divided by the shard count. Ratios — and
+  // therefore the schedule — are preserved; each shard runs the full tree
+  // at 1/N speed.
+  const double inv = 1.0 / static_cast<double>(num_shards_);
+  core::Hierarchy scaled(tree.link_rate() * inv, tree.node(0).name);
+  for (std::uint32_t i = 1; i < tree.size(); ++i) {
+    const core::Hierarchy::NodeSpec& n = tree.node(i);
+    const auto parent = static_cast<std::uint32_t>(n.parent);
+    if (n.leaf) {
+      scaled.add_session(parent, n.name, n.rate_bps * inv, n.flow,
+                         n.capacity_packets);
+    } else {
+      scaled.add_class(parent, n.name, n.rate_bps * inv);
+    }
+  }
+
+  shards_.reserve(num_shards_);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    ShardConfig sc;
+    sc.index = static_cast<std::uint32_t>(s);
+    sc.link_rate_bps = scaled.link_rate();
+    sc.ring_capacity = cfg.ring_capacity;
+    sc.ingest_burst = cfg.ingest_burst;
+    sc.service_burst = cfg.service_burst;
+    sc.paced = cfg.paced;
+    sc.horizon_s = cfg.horizon_s;
+    sc.spill_dir = cfg.spill_dir;
+    shards_.push_back(std::make_unique<Shard>(
+        sc, runner::build_scheduler(cfg.scheduler, scaled)));
+  }
+}
+
+Service::~Service() { stop(); }
+
+void Service::start() {
+  if (started_) return;
+  started_ = true;
+  const Shard::Clock::time_point t0 = Shard::Clock::now();
+  for (auto& s : shards_) s->start(t0);
+}
+
+void Service::stop() {
+  if (!started_) return;
+  for (auto& s : shards_) s->stop();
+  started_ = false;
+}
+
+void Service::apply_edit_text(const std::string& text) {
+  if (!supports_live_edits()) {
+    throw std::runtime_error(
+        "serve: scheduler does not support live edits (flat \"wf2q+\" and "
+        "\"wf2q+fixed\" do)");
+  }
+  const std::vector<EditOp> parsed = parse_edits(text);
+  if (parsed.empty()) return;
+
+  // Resolve names against the directory. Per-shard rates are the session
+  // rate scaled by 1/N, matching the construction-time scaling.
+  const double inv = 1.0 / static_cast<double>(num_shards_);
+  std::vector<ResolvedEdit> ops;
+  ops.reserve(parsed.size());
+  for (const EditOp& op : parsed) {
+    ResolvedEdit r;
+    if (op.kind == EditOp::Kind::kRemove) {
+      auto it = directory_.find(op.name);
+      if (it == directory_.end()) {
+        throw std::runtime_error("serve edit: unknown session '" + op.name +
+                                 "' in remove");
+      }
+      r.kind = ResolvedEdit::Kind::kRemove;
+      r.flow = it->second.flow;
+      flow_names_.erase(it->second.flow);
+      directory_.erase(it);
+      ops.push_back(r);
+      continue;
+    }
+    auto it = directory_.find(op.name);
+    if (it != directory_.end()) {
+      // Known name: a re-weight. The flow binding is part of the session's
+      // identity and must not change underneath queued packets.
+      if (op.has_flow && op.flow != it->second.flow) {
+        throw std::runtime_error(
+            "serve edit: session '" + op.name + "' is bound to flow " +
+            std::to_string(it->second.flow) + ", not flow " +
+            std::to_string(op.flow));
+      }
+      r.kind = ResolvedEdit::Kind::kSetRate;
+      r.flow = it->second.flow;
+      r.rate_bps = op.rate_bps * inv;
+      it->second.rate_bps = op.rate_bps;
+    } else {
+      if (!op.has_flow) {
+        throw std::runtime_error("serve edit: new session '" + op.name +
+                                 "' needs an explicit flow=<id>");
+      }
+      if (flow_names_.count(op.flow) != 0) {
+        throw std::runtime_error(
+            "serve edit: flow " + std::to_string(op.flow) +
+            " is already bound to session '" + flow_names_[op.flow] + "'");
+      }
+      r.kind = ResolvedEdit::Kind::kAdd;
+      r.flow = op.flow;
+      r.rate_bps = op.rate_bps * inv;
+      r.capacity_packets = op.capacity_packets;
+      directory_[op.name] = DirEntry{op.flow, op.rate_bps};
+      flow_names_[op.flow] = op.name;
+    }
+    ops.push_back(r);
+  }
+
+  // Every shard carries the full (scaled) flow table, so the batch goes to
+  // all of them; only the owning shard ever has queued packets for a flow,
+  // so removal drop counts stay correct. Dispatch first, then wait, so the
+  // shards splice concurrently.
+  std::vector<std::uint64_t> tickets(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    tickets[s] = shards_[s]->submit_edits(ops);
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!shards_[s]->wait_for_edits(tickets[s])) {
+      throw std::runtime_error("serve edit: shard " + std::to_string(s) +
+                               " stopped before applying the batch");
+    }
+  }
+  ++edit_batches_;
+}
+
+Service::Totals Service::totals() const {
+  Totals t;
+  for (const auto& s : shards_) {
+    const ShardStats& st = s->stats();
+    t.ingested += st.ingested.load(std::memory_order_relaxed);
+    t.accepted += st.accepted.load(std::memory_order_relaxed);
+    t.delivered += st.delivered.load(std::memory_order_relaxed);
+    t.backlog += st.backlog.load(std::memory_order_relaxed);
+    t.edit_drops += st.edit_drops.load(std::memory_order_relaxed);
+    t.audit_violations += st.audit_violations.load(std::memory_order_relaxed);
+    t.splice_failures += st.splice_failures.load(std::memory_order_relaxed);
+    t.ring_drops += s->ring_drops();
+    if (s->faulted()) ++t.faulted_shards;
+  }
+  t.sched_drops = t.ingested - t.accepted;
+  return t;
+}
+
+std::vector<Service::Session> Service::sessions() const {
+  std::vector<Session> out;
+  out.reserve(directory_.size());
+  for (const auto& [name, e] : directory_) {
+    out.push_back(Session{name, e.flow, e.rate_bps});
+  }
+  return out;
+}
+
+}  // namespace hfq::serve

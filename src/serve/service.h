@@ -1,0 +1,130 @@
+// The long-lived multi-core scheduler service (DESIGN.md "Service").
+//
+// Owns N shards, each wrapping one scheduler built from the configured
+// hierarchy with every rate scaled by 1/N (uniform scaling preserves all
+// rate ratios, so each shard's schedule is the full tree's schedule at 1/N
+// speed; the consistent-hash flow spread makes per-shard offered load match
+// the scaled capacity in expectation). Producers call submit(), which maps
+// the packet's flow to its shard (serve/shard_map.h) and pushes onto that
+// shard's MPSC ring — wait-free for the producer, drop-with-counter on
+// overflow.
+//
+// Control plane: apply_edit_text() parses a batch in the tree-parser
+// session-line grammar (serve/edits.h), resolves names against the
+// service's session directory, dispatches the resolved flow operations to
+// EVERY shard (all shards carry the full scaled flow table; only the owner
+// shard ever queues a given flow's packets), and blocks until each shard
+// acknowledged applying the batch at an epoch boundary. No draining, no
+// pause: packets keep flowing through the edit.
+//
+// Conservation identity (asserted by the hfq_sweep --serve harness after
+// stop()):  offered = delivered + backlog + sched_drops + edit_drops +
+// ring_drops, where offered is the producers' own count of submit() calls.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "net/packet.h"
+#include "serve/shard.h"
+#include "serve/shard_map.h"
+
+namespace hfq::serve {
+
+struct ServiceConfig {
+  std::size_t num_shards = 4;
+  // Scheduler key, as in campaign files: "wf2q+" (SoA double), "wf2q+fixed"
+  // (SoA integer), or any hierarchical key runner::build_scheduler accepts
+  // ("hwf2q+", ... — these refuse live edits).
+  std::string scheduler = "wf2q+";
+  std::size_t ring_capacity = 1 << 16;
+  std::size_t ingest_burst = 256;
+  std::size_t service_burst = 256;
+  bool paced = true;
+  double horizon_s = 100e-6;
+  std::string spill_dir;
+};
+
+class Service {
+ public:
+  // Validates the configuration (shard count, scheduler key, tree shape)
+  // and builds all shards; throws std::invalid_argument /
+  // std::runtime_error with a clear message on a bad config.
+  Service(const core::Hierarchy& tree, const ServiceConfig& cfg);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  void start();
+  void stop();
+
+  // Producer API (any thread): routes by flow and pushes onto the owning
+  // shard's ring. Returns false when that ring is full (counted there).
+  bool submit(const net::Packet& p) {
+    return shards_[shard_of(p.flow, shards_.size())]->ring().try_push(p);
+  }
+
+  [[nodiscard]] std::uint32_t shard_index_of(net::FlowId flow) const {
+    return shard_of(flow, shards_.size());
+  }
+
+  // Control plane (one thread at a time): applies a live edit batch.
+  // Throws on parse errors, unknown names, flow-binding conflicts, or a
+  // scheduler without live-edit support; blocks until every shard applied
+  // the batch.
+  void apply_edit_text(const std::string& text);
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] const Shard& shard(std::size_t i) const { return *shards_[i]; }
+  [[nodiscard]] double clock_s() const { return shards_[0]->clock_s(); }
+  [[nodiscard]] bool supports_live_edits() const {
+    return shards_[0]->supports_live_edits();
+  }
+  [[nodiscard]] std::uint64_t edit_batches() const noexcept {
+    return edit_batches_;
+  }
+
+  struct Totals {
+    std::uint64_t ingested = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t backlog = 0;
+    std::uint64_t sched_drops = 0;  // ingested - accepted
+    std::uint64_t edit_drops = 0;
+    std::uint64_t ring_drops = 0;
+    std::uint64_t audit_violations = 0;
+    std::uint64_t splice_failures = 0;
+    std::uint64_t faulted_shards = 0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+  // One session known to the directory (for tests and the load generator).
+  struct Session {
+    std::string name;
+    net::FlowId flow = 0;
+    double rate_bps = 0.0;  // unscaled (full-tree) rate
+  };
+  [[nodiscard]] std::vector<Session> sessions() const;
+
+ private:
+  struct DirEntry {
+    net::FlowId flow = 0;
+    double rate_bps = 0.0;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unordered_map<std::string, DirEntry> directory_;  // name -> session
+  std::unordered_map<net::FlowId, std::string> flow_names_;
+  std::size_t num_shards_ = 0;
+  bool started_ = false;
+  std::uint64_t edit_batches_ = 0;
+};
+
+}  // namespace hfq::serve

@@ -1,0 +1,239 @@
+#include "serve/shard.h"
+
+#include <exception>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "audit/invariants.h"
+#include "obs/export.h"
+#include "util/assert.h"
+
+namespace hfq::serve {
+
+Shard::Shard(const ShardConfig& cfg, std::unique_ptr<net::Scheduler> sched)
+    : cfg_(cfg), sched_(std::move(sched)),
+      ring_(std::make_unique<MpscRing>(cfg.ring_capacity)) {
+  HFQ_ASSERT_MSG(cfg_.link_rate_bps > 0.0, "shard link rate must be positive");
+  HFQ_ASSERT(cfg_.ingest_burst > 0 && cfg_.service_burst > 0);
+  ingest_buf_.reserve(cfg_.ingest_burst);
+  service_buf_.reserve(cfg_.service_burst);
+}
+
+Shard::~Shard() {
+  stop();
+  delete pending_edits_.exchange(nullptr);
+}
+
+void Shard::start(Clock::time_point t0) {
+  HFQ_ASSERT_MSG(!thread_.joinable(), "shard started twice");
+  t0_ = t0;
+  stop_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void Shard::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+}
+
+std::uint64_t Shard::submit_edits(std::vector<ResolvedEdit> ops) {
+  auto* batch = new EditBatch{std::move(ops)};
+  EditBatch* expected = nullptr;
+  while (!pending_edits_.compare_exchange_weak(expected, batch,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed)) {
+    // A previous batch is still waiting for its epoch boundary; the control
+    // plane (unlike the shard loop) is allowed to wait its turn.
+    expected = nullptr;
+    if (!running_.load(std::memory_order_acquire)) {
+      delete batch;
+      return edit_batches_submitted_.load(std::memory_order_relaxed);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  return edit_batches_submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+bool Shard::wait_for_edits(std::uint64_t ticket) const {
+  for (;;) {
+    if (edit_batches_applied_.load(std::memory_order_acquire) >= ticket) {
+      return true;
+    }
+    if (!running_.load(std::memory_order_acquire) ||
+        faulted_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void Shard::thread_main() {
+  // A long-running shard must not take the whole process down on an audit
+  // violation (the default handler aborts): record it, spill forensics,
+  // and keep the counters honest. Exceptions park the shard (faulted).
+  audit::Handler prev =
+      audit::set_handler([this](const audit::Violation& v) {
+        stats_.audit_violations.fetch_add(1, std::memory_order_relaxed);
+        spill_forensics(std::string(v.invariant) + ": " + v.detail);
+      });
+  obs::RecordScope record(recorder_);
+  try {
+    while (!stop_.load(std::memory_order_acquire)) {
+      if (!run_once()) std::this_thread::yield();
+    }
+    // Shutdown: pull ring residue into the scheduler so nothing in flight
+    // escapes the conservation identity (in = out + queued + dropped).
+    while (drain_ingress() > 0) {
+    }
+    stats_.backlog.store(sched_->backlog_packets(), std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    faulted_.store(true, std::memory_order_release);
+    spill_forensics(std::string("exception: ") + e.what());
+  } catch (...) {
+    faulted_.store(true, std::memory_order_release);
+    spill_forensics("unknown exception");
+  }
+  publish_latency();
+  running_.store(false, std::memory_order_release);
+  audit::set_handler(std::move(prev));
+}
+
+bool Shard::run_once() {
+  apply_pending_edits();
+  if (!cfg_.paced) {
+    // Bench mode: meter the working iterations so BENCH_serve.json can
+    // report scheduler-bound ns/op independent of producer interleaving.
+    const Clock::time_point a = Clock::now();
+    const std::size_t in = drain_ingress();
+    const std::size_t out = service_link();
+    if (in + out == 0) return false;
+    stats_.busy_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - a)
+                .count()),
+        std::memory_order_relaxed);
+    return true;
+  }
+  const std::size_t in = drain_ingress();
+  const std::size_t out = service_link();
+  return in + out > 0;
+}
+
+std::size_t Shard::drain_ingress() {
+  ingest_buf_.clear();
+  const std::size_t n = ring_->pop_burst(ingest_buf_, cfg_.ingest_burst);
+  if (n == 0) return 0;
+  const double now = cfg_.paced ? clock_s() : link_free_at_;
+  const std::size_t ok = sched_->enqueue_burst(ingest_buf_, now);
+  stats_.ingested.fetch_add(n, std::memory_order_relaxed);
+  stats_.accepted.fetch_add(ok, std::memory_order_relaxed);
+  stats_.backlog.store(sched_->backlog_packets(), std::memory_order_relaxed);
+  return n;
+}
+
+std::size_t Shard::service_link() {
+  double t0;
+  double fence;
+  if (cfg_.paced) {
+    // Closed-loop drain window: commit transmissions at most horizon_s
+    // ahead of the wall clock — an arrival can still influence everything
+    // past the fence (sim::Link's feedback fence, realized in real time).
+    const double now = clock_s();
+    fence = now + cfg_.horizon_s;
+    if (link_free_at_ >= fence) return 0;  // link busy through the window
+    t0 = link_free_at_ > now ? link_free_at_ : now;
+  } else {
+    // Bench mode: pure virtual time, no fence — scheduler-bound throughput.
+    t0 = link_free_at_;
+    fence = std::numeric_limits<double>::infinity();
+  }
+  if (sched_->backlog_packets() == 0) return 0;
+  service_buf_.clear();
+  const std::size_t n = sched_->dequeue_burst(
+      service_buf_, cfg_.service_burst, t0, cfg_.link_rate_bps, fence);
+  if (n == 0) return 0;
+  double t = t0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += service_buf_[i].size_bits() / cfg_.link_rate_bps;
+    // Service latency (arrival -> departure on the virtual link), sampled
+    // every 8th packet to keep the P^2 updates off the common path.
+    if ((++delivered_local_ & 7u) == 0) {
+      const double d = t - service_buf_[i].created;
+      lat_p50_.add(d);
+      lat_p99_.add(d);
+    }
+  }
+  link_free_at_ = t;
+  stats_.delivered.fetch_add(n, std::memory_order_relaxed);
+  stats_.backlog.store(sched_->backlog_packets(), std::memory_order_relaxed);
+  if ((delivered_local_ & 1023u) < n) publish_latency();
+  return n;
+}
+
+void Shard::apply_pending_edits() {
+  EditBatch* batch = pending_edits_.exchange(nullptr,
+                                             std::memory_order_acquire);
+  if (batch == nullptr) return;
+  std::unique_ptr<EditBatch> own(batch);
+  std::uint64_t dropped = 0;
+  for (const ResolvedEdit& e : own->ops) {
+    bool ok = true;
+    switch (e.kind) {
+      case ResolvedEdit::Kind::kAdd:
+        ok = sched_->live_add_flow(e.flow, e.rate_bps, e.capacity_packets);
+        break;
+      case ResolvedEdit::Kind::kSetRate:
+        ok = sched_->live_set_rate(e.flow, e.rate_bps);
+        break;
+      case ResolvedEdit::Kind::kRemove:
+        ok = sched_->live_remove_flow(e.flow, &dropped);
+        break;
+    }
+    if (!ok) {
+      // The service resolves names against its directory before dispatch,
+      // so a rejection here means directory/scheduler state diverged.
+      audit::report("live-edit-rejected", __FILE__, __LINE__,
+                    "shard " + std::to_string(cfg_.index) +
+                        ": scheduler rejected edit for flow " +
+                        std::to_string(e.flow));
+    }
+  }
+  sched_->commit_live_edits();
+  std::string why;
+  if (!sched_->validate_splice(&why)) {
+    stats_.splice_failures.fetch_add(1, std::memory_order_relaxed);
+    audit::report("splice-invariants", __FILE__, __LINE__,
+                  "shard " + std::to_string(cfg_.index) + ": " + why);
+  }
+  if (dropped > 0) {
+    stats_.edit_drops.fetch_add(dropped, std::memory_order_relaxed);
+    stats_.backlog.store(sched_->backlog_packets(),
+                         std::memory_order_relaxed);
+  }
+  stats_.epoch.fetch_add(1, std::memory_order_relaxed);
+  edit_batches_applied_.fetch_add(1, std::memory_order_release);
+}
+
+void Shard::publish_latency() {
+  stats_.p50_s.store(lat_p50_.value(), std::memory_order_relaxed);
+  stats_.p99_s.store(lat_p99_.value(), std::memory_order_relaxed);
+}
+
+void Shard::spill_forensics(const std::string& reason) {
+  if (spilled_ || cfg_.spill_dir.empty()) return;
+  spilled_ = true;
+  const std::vector<obs::Event> events = recorder_.snapshot();
+  if (events.empty() && !obs::compiled_in()) return;
+  const std::string path =
+      cfg_.spill_dir + "/shard" + std::to_string(cfg_.index) + ".csv";
+  std::ofstream os(path);
+  if (!os) return;
+  os << "# shard " << cfg_.index << " fault: " << reason << "\n";
+  obs::write_csv(os, events);
+}
+
+}  // namespace hfq::serve

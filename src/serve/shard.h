@@ -1,0 +1,172 @@
+// One scheduler shard of the long-lived service: a thread that owns a
+// net::Scheduler outright and drives it through three lock-free phases per
+// loop iteration (DESIGN.md "Service"):
+//
+//   run_once():
+//     apply_pending_edits()  — epoch boundary: adopt a control-plane edit
+//                              batch (atomic slot exchange), commit, audit
+//                              the splice;
+//     drain_ingress()        — pop a burst from the MPSC ring, enqueue_burst
+//                              into the scheduler;
+//     service_link()         — dequeue_burst against the shard's virtual
+//                              link, bounded by the closed-loop drain window
+//                              (paced mode) or run flat out (bench mode).
+//
+// The loop body acquires NO mutex or condition variable — enforced by the
+// hfq_lint rule `lock-in-shard-loop` on the function names above. All
+// cross-thread communication is the ingress ring, the atomic edit slot and
+// the padded stats counters. Idle iterations yield.
+//
+// Virtual link model: `link_free_at_` is the instant the last committed
+// transmission ends. Paced mode measures `now` on the service's wall clock
+// and commits transmissions no further than `now + horizon_s` ahead — the
+// same closed-loop fence as sim::Link's batched drain (an arrival can
+// preempt anything not yet committed, so the commit window bounds the
+// schedule's divergence from an oracle that saw the arrival). Bench mode
+// sets now = link_free_at_ and no fence: pure virtual time, scheduler-bound
+// throughput.
+//
+// Fault policy: an exception out of the loop, or an audit violation
+// reported by the scheduler (splice check, HFQ_AUDIT hooks), spills the
+// shard's flight recorder to <spill_dir>/shard<i>.csv (when tracing is
+// compiled in), stamps the fault counters, and — for exceptions — parks the
+// shard. The service stays up; conservation accounting makes the loss
+// visible.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/scheduler.h"
+#include "obs/flight_recorder.h"
+#include "serve/edits.h"
+#include "serve/mpsc_ring.h"
+#include "stats/quantile.h"
+
+namespace hfq::serve {
+
+struct ShardConfig {
+  std::uint32_t index = 0;
+  double link_rate_bps = 0.0;        // this shard's virtual link rate
+  std::size_t ring_capacity = 1 << 16;
+  std::size_t ingest_burst = 256;    // max ring pops per drain_ingress
+  std::size_t service_burst = 256;   // max transmissions per dequeue_burst
+  bool paced = true;                 // false = bench mode (virtual time)
+  double horizon_s = 100e-6;         // closed-loop commit window (paced)
+  std::string spill_dir;             // flight-recorder spill on fault ("" = off)
+};
+
+// Runtime counters published by the shard thread (relaxed atomics; the
+// stats exporter reads them without synchronizing with the loop).
+struct ShardStats {
+  std::atomic<std::uint64_t> ingested{0};    // popped from the ring
+  std::atomic<std::uint64_t> accepted{0};    // accepted by the scheduler
+  std::atomic<std::uint64_t> delivered{0};   // departed the virtual link
+  std::atomic<std::uint64_t> edit_drops{0};  // dropped by live_remove_flow
+  std::atomic<std::uint64_t> epoch{0};       // edit batches applied
+  std::atomic<std::uint64_t> backlog{0};     // gauge: scheduler queue depth
+  std::atomic<std::uint64_t> audit_violations{0};
+  std::atomic<std::uint64_t> splice_failures{0};
+  // Bench mode only: wall nanoseconds the shard thread spent inside working
+  // run_once() iterations. `busy_ns / delivered` is the scheduler-bound
+  // per-packet cost even when producers share cores with the shard (wall
+  // time would double-count their interleaving).
+  std::atomic<std::uint64_t> busy_ns{0};
+  std::atomic<double> p50_s{0.0};            // service latency quantiles
+  std::atomic<double> p99_s{0.0};
+};
+
+class Shard {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // The shard takes sole ownership of the scheduler; after start() only the
+  // shard thread touches it (live edits go through submit_edits).
+  Shard(const ShardConfig& cfg, std::unique_ptr<net::Scheduler> sched);
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  // Starts the shard thread. `t0` is the service-wide clock origin (packet
+  // `created` stamps and the pacing clock share it).
+  void start(Clock::time_point t0);
+
+  // Requests stop, joins, and drains ring residue into the scheduler so the
+  // conservation identity holds at shutdown (nothing is lost in the ring).
+  void stop();
+
+  [[nodiscard]] MpscRing& ring() noexcept { return *ring_; }
+  [[nodiscard]] const ShardStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t ring_drops() const noexcept {
+    return ring_->drops();
+  }
+  [[nodiscard]] bool running() const noexcept { return running_.load(); }
+  [[nodiscard]] bool faulted() const noexcept { return faulted_.load(); }
+  [[nodiscard]] const ShardConfig& config() const noexcept { return cfg_; }
+
+  // Scheduler capability probe — const and thread-safe (pure virtual
+  // lookup); everything stateful goes through submit_edits.
+  [[nodiscard]] bool supports_live_edits() const {
+    return sched_->supports_live_edits();
+  }
+
+  // Control plane: hands an edit batch to the shard thread, to be applied
+  // at the next epoch boundary WITHOUT draining. Returns a ticket;
+  // wait_for_edits(ticket) blocks until the batch was applied (true) or the
+  // shard stopped/faulted first (false). May briefly sleep when a previous
+  // batch is still pending — the control plane is allowed to wait, the
+  // shard loop never does.
+  std::uint64_t submit_edits(std::vector<ResolvedEdit> ops);
+  bool wait_for_edits(std::uint64_t ticket) const;
+
+  // Seconds since the service clock origin.
+  [[nodiscard]] double clock_s() const {
+    return std::chrono::duration<double>(Clock::now() - t0_).count();
+  }
+
+ private:
+  struct EditBatch {
+    std::vector<ResolvedEdit> ops;
+  };
+
+  void thread_main();
+  bool run_once();
+  std::size_t drain_ingress();
+  std::size_t service_link();
+  void apply_pending_edits();
+  void publish_latency();
+  void spill_forensics(const std::string& reason);
+
+  ShardConfig cfg_;
+  std::unique_ptr<net::Scheduler> sched_;
+  std::unique_ptr<MpscRing> ring_;
+  ShardStats stats_;
+
+  std::thread thread_;
+  Clock::time_point t0_{};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> faulted_{false};
+  std::atomic<EditBatch*> pending_edits_{nullptr};
+  std::atomic<std::uint64_t> edit_batches_submitted_{0};
+  std::atomic<std::uint64_t> edit_batches_applied_{0};
+
+  // Shard-thread-only state below (no padding needed: one writer).
+  std::vector<net::Packet> ingest_buf_;
+  std::vector<net::Packet> service_buf_;
+  double link_free_at_ = 0.0;  // virtual-link cursor, seconds since t0_
+  stats::P2Quantile lat_p50_{0.5};
+  stats::P2Quantile lat_p99_{0.99};
+  std::uint64_t delivered_local_ = 0;  // latency sampling stride counter
+  obs::FlightRecorder recorder_{8192};
+  bool spilled_ = false;
+};
+
+}  // namespace hfq::serve

@@ -1,0 +1,74 @@
+// Flow → shard mapping for the scheduler service: Lamping & Veach's jump
+// consistent hash over a SplitMix64-mixed flow id.
+//
+// Why jump hash: it is stateless and deterministic — the mapping is a pure
+// function of (flow, num_shards) — so a restart with the same shard count
+// maps every flow to the same shard (no remap across restarts, no
+// ring-state file to persist), and changing the shard count from n to n+1
+// moves only ~1/(n+1) of the flows (the consistent-hash property), keeping
+// reconfiguration cheap. The SplitMix64 pre-mix matters because flow ids
+// are small dense integers: jump hash treats its key as an LCG seed, and
+// adjacent seeds are correlated enough to skew the shard histogram.
+//
+// Per-flow packet order: a flow maps to exactly one shard, so all its
+// packets traverse one MPSC ring and one scheduler — order is preserved as
+// long as each producer thread emits a given flow's packets itself (see
+// serve/mpsc_ring.h).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "net/packet.h"
+#include "net/scheduler.h"
+
+namespace hfq::serve {
+
+namespace detail {
+// SplitMix64 finalizer — decorrelates dense flow ids before the jump LCG.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace detail
+
+// Rejects shard counts the mapping (and the service) cannot support: zero
+// shards is a divide-by-nothing, and more shards than representable flows
+// can never all be used — both are configuration errors, reported with a
+// clear message at startup instead of propagating as UB.
+inline void validate_shard_count(std::size_t num_shards) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("serve: shard count must be >= 1");
+  }
+  if (num_shards > net::kMaxFlows) {
+    throw std::invalid_argument(
+        "serve: shard count " + std::to_string(num_shards) +
+        " exceeds net::kMaxFlows (" + std::to_string(net::kMaxFlows) +
+        ") — more shards than addressable flows");
+  }
+}
+
+// The shard serving `flow` out of `num_shards`. Pure and deterministic:
+// same inputs, same shard, on every run of every build (pinned values are
+// asserted in tests/test_serve.cc). Precondition: num_shards was accepted
+// by validate_shard_count.
+[[nodiscard]] inline std::uint32_t shard_of(net::FlowId flow,
+                                            std::size_t num_shards) noexcept {
+  std::uint64_t key = detail::mix64(flow);
+  std::int64_t b = -1;
+  std::int64_t j = 0;
+  while (j < static_cast<std::int64_t>(num_shards)) {
+    b = j;
+    key = key * 2862933555777941757ULL + 1;
+    j = static_cast<std::int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(1LL << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<std::uint32_t>(b);
+}
+
+}  // namespace hfq::serve

@@ -1,0 +1,86 @@
+#include "serve/stats_export.h"
+
+#include <chrono>
+#include <iomanip>
+
+#include "serve/service.h"
+#include "util/assert.h"
+
+namespace hfq::serve {
+
+StatsExporter::StatsExporter(const Service& svc, std::ostream& sink,
+                             double period_s)
+    : svc_(svc), sink_(sink), period_s_(period_s),
+      last_delivered_(svc.num_shards(), 0),
+      last_t_(svc.num_shards(), 0.0) {
+  HFQ_ASSERT_MSG(period_s_ > 0.0, "stats period must be positive");
+}
+
+StatsExporter::~StatsExporter() { stop(); }
+
+void StatsExporter::start() {
+  HFQ_ASSERT_MSG(!thread_.joinable(), "stats exporter started twice");
+  stop_ = false;
+  thread_ = std::thread([this] { run_once(); });
+}
+
+void StatsExporter::stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  write_tick();  // final snapshot with current totals
+}
+
+void StatsExporter::run_once() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    const auto period =
+        std::chrono::duration<double>(period_s_);
+    if (cv_.wait_for(lk, period, [this] { return stop_; })) return;
+    lk.unlock();
+    write_tick();
+    lk.lock();
+  }
+}
+
+void StatsExporter::write_tick() {
+  const double now = svc_.clock_s();
+  sink_ << std::setprecision(9);
+  for (std::size_t i = 0; i < svc_.num_shards(); ++i) {
+    const Shard& sh = svc_.shard(i);
+    const ShardStats& st = sh.stats();
+    const std::uint64_t ingested =
+        st.ingested.load(std::memory_order_relaxed);
+    const std::uint64_t accepted =
+        st.accepted.load(std::memory_order_relaxed);
+    const std::uint64_t delivered =
+        st.delivered.load(std::memory_order_relaxed);
+    const double dt = now - last_t_[i];
+    const double pps =
+        dt > 0.0
+            ? static_cast<double>(delivered - last_delivered_[i]) / dt
+            : 0.0;
+    last_delivered_[i] = delivered;
+    last_t_[i] = now;
+    sink_ << "{\"t\":" << now << ",\"shard\":" << i << ",\"epoch\":"
+          << st.epoch.load(std::memory_order_relaxed)
+          << ",\"ingested\":" << ingested << ",\"accepted\":" << accepted
+          << ",\"delivered\":" << delivered
+          << ",\"sched_drops\":" << (ingested - accepted)
+          << ",\"edit_drops\":" << st.edit_drops.load(std::memory_order_relaxed)
+          << ",\"ring_drops\":" << sh.ring_drops()
+          << ",\"backlog\":" << st.backlog.load(std::memory_order_relaxed)
+          << ",\"p50_s\":" << st.p50_s.load(std::memory_order_relaxed)
+          << ",\"p99_s\":" << st.p99_s.load(std::memory_order_relaxed)
+          << ",\"pps\":" << pps << ",\"faulted\":" << (sh.faulted() ? 1 : 0)
+          << "}\n";
+  }
+  sink_.flush();
+  ++ticks_;
+}
+
+}  // namespace hfq::serve

@@ -1,0 +1,62 @@
+// Newline-JSON runtime stats export for the scheduler service.
+//
+// A control-plane thread wakes every `period_s` and writes one JSON object
+// per shard per tick to the sink stream: throughput (pps from the delivered
+// delta), queue depth, drop/overflow counters, edit epoch, and the P^2
+// latency quantiles the shard publishes. One object per line, flushed per
+// tick, so `tail -f` and line-oriented tooling consume it directly:
+//
+//   {"t":1.504,"shard":0,"epoch":2,"ingested":812345,...,"pps":541200.0}
+//
+// This is control-plane code: it reads the shards' padded atomic counters
+// and never touches a scheduler, a ring, or a shard loop. Its sleep uses a
+// condition variable so stop() interrupts a tick immediately — the
+// `lock-in-shard-loop` lint flags the wait by name pattern and is
+// suppressed by policy in hfq_lint.supp (see DESIGN.md "Service").
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+namespace hfq::serve {
+
+class Service;
+
+class StatsExporter {
+ public:
+  StatsExporter(const Service& svc, std::ostream& sink, double period_s = 0.5);
+  ~StatsExporter();
+
+  StatsExporter(const StatsExporter&) = delete;
+  StatsExporter& operator=(const StatsExporter&) = delete;
+
+  void start();
+  void stop();
+
+  // Writes one tick's worth of lines immediately (also used by stop() for a
+  // final snapshot, so the stream always ends with current totals).
+  void write_tick();
+
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
+
+ private:
+  void run_once();  // the exporter loop (control plane; may block)
+
+  const Service& svc_;
+  std::ostream& sink_;
+  double period_s_;
+  std::vector<std::uint64_t> last_delivered_;
+  std::vector<double> last_t_;
+  std::uint64_t ticks_ = 0;
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace hfq::serve

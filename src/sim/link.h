@@ -6,24 +6,52 @@
 //    scheduler is consulted once per packet. This is the reference timing
 //    model; every figure and test runs on it.
 //  * batched (set_batched): the link commits a run of back-to-back
-//    transmissions in one scheduler call (net::Scheduler::dequeue_burst),
-//    bounded by the simulator's next pending event, and schedules their
-//    completions in bulk. Per-packet delivery times are preserved exactly;
-//    what changes is tie ordering at shared instants — the drain is deferred
-//    to a same-time event so all simultaneous arrivals enqueue before the
-//    link selects, whereas per-packet mode serves the first arrival of an
-//    instant before later ones are offered. OPEN-LOOP ONLY: delivery
-//    callbacks must not inject traffic (a closed loop — e.g. traffic::Tcp —
-//    reacts to each delivery, and a committed burst cannot be preempted).
+//    transmissions in one scheduler call (net::Scheduler::dequeue_burst) and
+//    schedules their completions in bulk. Per-packet delivery times are
+//    preserved exactly; what changes is tie ordering at shared instants —
+//    the drain is deferred to a same-time event so all simultaneous arrivals
+//    enqueue before the link selects, whereas per-packet mode serves the
+//    first arrival of an instant before later ones are offered.
+//
+// Closed-loop safety (the feedback fence). A committed burst cannot be
+// preempted, so a burst is only exact if no arrival the scheduler should
+// have seen lands before a committed packet's start. Arrivals come from two
+// places: events already pending when the drain runs (the drain is deferred
+// to a same-time event, so every source has its next emission scheduled —
+// the simulator's next-event time bounds those exactly), and *reactions to
+// this burst's own deliveries* (a closed loop such as traffic::Tcp). The
+// latter are invisible to the event horizon at commit time. The caller
+// therefore declares the loop's minimum feedback delay D via
+// set_batched(on, max_burst, feedback_delay_s): a reaction to a delivery at
+// t >= now cannot re-enter the scheduler before t + D, so fencing the burst
+// at now + D (in addition to the pending-event horizon) makes the committed
+// schedule identical to per-packet mode — any reaction lands at or after
+// the fence, which no committed packet's start reaches. The fence is
+// conservative by at most one packet (it uses now + D, not first-delivery +
+// D). D defaults to kOpenLoopFeedback (infinity): open-loop traffic never
+// reacts, so the event horizon alone is exact — the pre-existing behavior.
+// For TCP Reno, D = 2 * one_way_delay_s (delivery -> receiver after one
+// owd -> ACK -> sender after another owd). D = 0 degenerates to one packet
+// per commit, which is per-packet-exact for any loop.
+//
+// The declaration is verified at runtime: if a packet is submitted (or the
+// scheduler poked) while a burst is in flight, at an instant strictly
+// earlier than the start of the burst's last committed packet, the declared
+// D was too large and the schedule may diverge from per-packet mode — the
+// link reports "batched-feedback-contract" through audit::report (once per
+// burst). An arrival exactly at a committed start is the benign tie case
+// already covered by the tie-ordering note above.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "audit/invariants.h"
 #include "net/packet.h"
 #include "net/scheduler.h"
 #include "obs/flight_recorder.h"
@@ -37,6 +65,11 @@ class Link {
   // Called when a packet finishes transmission; `now` is the departure time.
   using DeliveryFn = std::function<void(const net::Packet&, Time now)>;
 
+  // Default feedback delay: infinity, i.e. "this traffic never reacts to
+  // deliveries" — correct for all open-loop sources (CBR/Poisson/on-off).
+  static constexpr double kOpenLoopFeedback =
+      std::numeric_limits<double>::infinity();
+
   Link(Simulator& sim, net::Scheduler& sched, double rate_bps)
       : sim_(sim), sched_(sched), rate_bps_(rate_bps) {
     HFQ_ASSERT_MSG(rate_bps > 0.0, "link rate must be positive");
@@ -48,19 +81,30 @@ class Link {
   void set_delivery(DeliveryFn fn) { deliver_ = std::move(fn); }
 
   // Switches to the batched drain (see the header comment for semantics and
-  // the open-loop requirement). `max_burst` caps transmissions committed per
-  // scheduler call. Must not be toggled while a transmission is in flight.
-  void set_batched(bool on, std::size_t max_burst = 64) {
+  // the feedback fence). `max_burst` caps transmissions committed per
+  // scheduler call; `feedback_delay_s` declares the minimum delay between a
+  // delivery and any traffic it can cause to re-enter this scheduler
+  // (kOpenLoopFeedback for traffic that never reacts). Must not be toggled
+  // while a transmission is in flight.
+  void set_batched(bool on, std::size_t max_burst = 64,
+                   double feedback_delay_s = kOpenLoopFeedback) {
     HFQ_ASSERT_MSG(!busy_, "cannot switch drain mode mid-transmission");
     HFQ_ASSERT(max_burst > 0);
+    HFQ_ASSERT_MSG(feedback_delay_s >= 0.0,
+                   "feedback delay must be non-negative");
     batched_ = on;
     max_burst_ = max_burst;
+    feedback_delay_s_ = feedback_delay_s;
   }
   [[nodiscard]] bool batched() const noexcept { return batched_; }
+  [[nodiscard]] double feedback_delay_s() const noexcept {
+    return feedback_delay_s_;
+  }
 
   // Entry point for traffic: stamps the arrival time, offers the packet to
   // the scheduler and starts transmitting if idle. Returns false on drop.
   bool submit(net::Packet p) {
+    check_feedback_contract();
     p.arrival = sim_.now();
     bool accepted = false;
     {
@@ -76,12 +120,22 @@ class Link {
   // Re-checks the scheduler for work. Needed by components that insert
   // packets into the scheduler outside submit() (e.g. qos::ShapedScheduler
   // releasing shaped packets on a timer).
-  void poke() { kick(); }
+  void poke() {
+    check_feedback_contract();
+    kick();
+  }
 
   [[nodiscard]] double rate_bps() const noexcept { return rate_bps_; }
   [[nodiscard]] bool busy() const noexcept { return busy_; }
   [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
   [[nodiscard]] double bits_sent() const noexcept { return bits_sent_; }
+
+  // Times the declared feedback contract was observed broken (an arrival
+  // landed strictly before a committed packet's start; counted once per
+  // burst, also reported via audit::report).
+  [[nodiscard]] std::uint64_t feedback_contract_violations() const noexcept {
+    return feedback_violations_;
+  }
 
   // Fraction of [0, now] the link spent transmitting.
   [[nodiscard]] double utilization(Time now) const {
@@ -96,7 +150,7 @@ class Link {
       // Defer the drain to a fresh same-time event: it runs after every
       // event already scheduled for this instant, so all simultaneous
       // arrivals are enqueued — and the emitting source has scheduled its
-      // next arrival, making the horizon below exact.
+      // next arrival, making the pending-event horizon below exact.
       if (!drain_pending_) {
         drain_pending_ = true;
         sim_.at(sim_.now(), [this] { drain(); });
@@ -123,16 +177,18 @@ class Link {
   }
 
   // Batched mode: commit up to max_burst_ back-to-back transmissions,
-  // bounded by the next pending arrival (a packet whose start would fall at
-  // or past it must wait — it may not be the scheduler's choice once that
-  // arrival lands).
+  // bounded by the earlier of the next pending arrival and the feedback
+  // fence now + D (a packet whose start would fall at or past either must
+  // wait — it may not be the scheduler's choice once that arrival lands).
   void drain() {
     drain_pending_ = false;
     if (busy_) return;
     const Time now = sim_.now();
-    const Time horizon = sim_.has_pending_events()
-                             ? sim_.next_event_time()
-                             : std::numeric_limits<Time>::infinity();
+    Time horizon = sim_.has_pending_events()
+                       ? sim_.next_event_time()
+                       : std::numeric_limits<Time>::infinity();
+    const Time fence = now + feedback_delay_s_;
+    if (fence < horizon) horizon = fence;
     burst_.clear();
     std::size_t n;
     {
@@ -141,11 +197,13 @@ class Link {
     }
     if (n == 0) return;
     busy_ = true;
+    burst_violation_reported_ = false;
     // Completion times accumulate exactly as dequeue_burst's internal clock
     // does, so each packet departs at the instant per-packet mode would
     // deliver it.
     Time t = now;
     for (std::size_t i = 0; i < n; ++i) {
+      if (i + 1 == n) burst_last_start_ = t;
       t += burst_[i].size_bits() / rate_bps_;
       const bool last = i + 1 == n;
       sim_.at(t, [this, pkt = burst_[i], last] { complete_batched(pkt, last); });
@@ -162,6 +220,24 @@ class Link {
     }
   }
 
+  // Runtime verification of the declared feedback delay: an arrival while a
+  // burst is in flight, strictly before the start of the burst's last
+  // committed packet, means a committed selection could have been different
+  // in per-packet mode — the declared D overstated the loop's true delay.
+  void check_feedback_contract() {
+    if (!batched_ || !busy_ || burst_violation_reported_) return;
+    if (sim_.now() < burst_last_start_) {
+      burst_violation_reported_ = true;
+      ++feedback_violations_;
+      audit::report("batched-feedback-contract", __FILE__, __LINE__,
+                    "arrival at t=" + std::to_string(sim_.now()) +
+                        " preempts a committed burst (last start " +
+                        std::to_string(burst_last_start_) +
+                        "); declared feedback_delay_s=" +
+                        std::to_string(feedback_delay_s_) + " is too large");
+    }
+  }
+
   Simulator& sim_;
   net::Scheduler& sched_;
   double rate_bps_;
@@ -170,7 +246,12 @@ class Link {
   bool batched_ = false;
   bool drain_pending_ = false;
   std::size_t max_burst_ = 64;
+  double feedback_delay_s_ = kOpenLoopFeedback;
   std::vector<net::Packet> burst_;  // reused across drains
+  // Start time of the last packet of the in-flight burst (contract check).
+  Time burst_last_start_ = 0.0;
+  bool burst_violation_reported_ = false;
+  std::uint64_t feedback_violations_ = 0;
   std::uint64_t sent_ = 0;
   double bits_sent_ = 0.0;
 };

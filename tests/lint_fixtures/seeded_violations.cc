@@ -1,6 +1,6 @@
 // Seeded violations for tools/hfq_lint — exactly one per rule, in rule
 // order. This file is never compiled; the `hfq_lint_fixture` ctest runs the
-// linter over this directory and expects a non-zero exit with all seven rule
+// linter over this directory and expects a non-zero exit with all eight rule
 // ids in the report. If a rule regresses to never firing, that test fails.
 namespace hfq::lint_fixture {
 
@@ -43,6 +43,14 @@ inline bool enqueue(int packet) {
 inline bool enqueue(int packet, double now) {
   queue_.push_back(packet);
   (void)now;
+  return true;
+}
+
+// lock-in-shard-loop: blocking synchronization inside a shard loop phase;
+// the service loop communicates only through the MPSC ring, the atomic edit
+// slot and padded counters (src/serve/shard.h).
+inline bool run_once() {
+  std::lock_guard<std::mutex> guard(mu_);
   return true;
 }
 

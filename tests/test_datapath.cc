@@ -25,6 +25,7 @@
 #include "runner/scenario.h"
 #include "sim/link.h"
 #include "sim/simulator.h"
+#include "traffic/tcp.h"
 #include "util/heap.h"
 #include "util/rng.h"
 
@@ -369,6 +370,102 @@ TEST(BatchedLink, OpenLoopScheduleMatchesPerPacketLink) {
     EXPECT_EQ(per_packet[i].pkt.id, batched[i].pkt.id) << "departure " << i;
     EXPECT_NEAR(per_packet[i].time, batched[i].time, 1e-9);
   }
+}
+
+// Closed-loop (TCP Reno) equivalence: with the feedback-delay fence set to
+// the protocol's true minimum reaction time (2 x one-way delay), the batched
+// drain never commits a transmission a reaction could have preempted, so the
+// schedule is identical to the per-packet link. This is the property that
+// retired the "open-loop only" caveat (DESIGN.md "Batched link drain").
+TEST(BatchedLink, ClosedLoopTcpScheduleMatchesPerPacketLink) {
+  constexpr double kOwd = 0.005;
+  auto run = [&](bool batched) {
+    core::Wf2qPlus s(64000.0);
+    s.add_flow(0, 40000.0, /*capacity_packets=*/8);
+    s.add_flow(1, 24000.0, /*capacity_packets=*/8);
+    sim::Simulator sim;
+    sim::Link link(sim, s, 64000.0);
+    if (batched) link.set_batched(true, 8, 2.0 * kOwd);
+    std::vector<std::unique_ptr<traffic::TcpSource>> sources;
+    for (FlowId f = 0; f < 2; ++f) {
+      traffic::TcpConfig cfg;
+      cfg.one_way_delay_s = kOwd;
+      sources.push_back(std::make_unique<traffic::TcpSource>(
+          sim, [&link](Packet p) { return link.submit(p); }, f, 125, cfg));
+    }
+    std::vector<testing::Departure> out;
+    link.set_delivery([&](const Packet& p, net::Time now) {
+      out.push_back({p, now});
+      sources[p.flow]->on_packet_delivered(p);
+    });
+    sources[0]->start(0.001);
+    sources[1]->start(0.002);
+    sim.run_until(5.0);
+    return out;
+  };
+
+  const auto per_packet = run(false);
+  const auto batched = run(true);
+  ASSERT_GT(per_packet.size(), 100u);
+  ASSERT_EQ(per_packet.size(), batched.size());
+  for (std::size_t i = 0; i < per_packet.size(); ++i) {
+    EXPECT_EQ(per_packet[i].pkt.id, batched[i].pkt.id) << "departure " << i;
+    EXPECT_NEAR(per_packet[i].time, batched[i].time, 1e-9) << "departure " << i;
+  }
+}
+
+// A LYING feedback-delay declaration is detected at runtime: reactions
+// arriving before the last committed transmission start trip the
+// "batched-feedback-contract" audit and the violation counter.
+TEST(BatchedLink, UnderdeclaredFeedbackDelayTripsContractCheck) {
+  constexpr double kOwd = 0.005;
+  core::Wf2qPlus s(64000.0);
+  s.add_flow(0, 40000.0, /*capacity_packets=*/8);
+  s.add_flow(1, 24000.0, /*capacity_packets=*/8);
+  sim::Simulator sim;
+  sim::Link link(sim, s, 64000.0);
+  // TCP reacts after 2*owd = 10ms, but the link is told feedback can't come
+  // back for 10 seconds — so it commits bursts far past real reactions.
+  link.set_batched(true, 64, 10.0);
+  std::vector<std::unique_ptr<traffic::TcpSource>> sources;
+  for (FlowId f = 0; f < 2; ++f) {
+    traffic::TcpConfig cfg;
+    cfg.one_way_delay_s = kOwd;
+    sources.push_back(std::make_unique<traffic::TcpSource>(
+        sim, [&link](Packet p) { return link.submit(p); }, f, 125, cfg));
+  }
+  link.set_delivery([&](const Packet& p, net::Time) {
+    sources[p.flow]->on_packet_delivered(p);
+  });
+  std::vector<std::string> reported;
+  audit::CollectScope audits(
+      [&](const audit::Violation& v) { reported.push_back(v.invariant); });
+  sources[0]->start(0.001);
+  sources[1]->start(0.002);
+  sim.run_until(5.0);
+  EXPECT_GT(link.feedback_contract_violations(), 0u);
+  EXPECT_NE(std::find(reported.begin(), reported.end(),
+                      "batched-feedback-contract"),
+            reported.end());
+}
+
+// The honest declaration keeps the contract check silent.
+TEST(BatchedLink, HonestFeedbackDelayIsViolationFree) {
+  constexpr double kOwd = 0.005;
+  core::Wf2qPlus s(64000.0);
+  s.add_flow(0, 64000.0, /*capacity_packets=*/8);
+  sim::Simulator sim;
+  sim::Link link(sim, s, 64000.0);
+  link.set_batched(true, 64, 2.0 * kOwd);
+  traffic::TcpConfig cfg;
+  cfg.one_way_delay_s = kOwd;
+  traffic::TcpSource src(
+      sim, [&link](Packet p) { return link.submit(p); }, 0, 125, cfg);
+  link.set_delivery(
+      [&](const Packet& p, net::Time) { src.on_packet_delivered(p); });
+  src.start(0.001);
+  sim.run_until(5.0);
+  EXPECT_EQ(link.feedback_contract_violations(), 0u);
 }
 
 TEST(BatchedLink, CampaignDirectiveParsesAndRidesTheGrid) {

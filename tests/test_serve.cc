@@ -1,0 +1,454 @@
+// Tests for the long-lived scheduler service (src/serve/): the lock-free
+// MPSC ingress ring (wraparound, full-ring drop accounting, multi-producer
+// ordering — run under TSan in CI), consistent-hash shard mapping (restart
+// stability, bounded remap on resize, startup rejection of bad shard
+// counts), the live-edit batch grammar, live re-weights on the SoA WF²Q+
+// schedulers (splice validation + post-edit WFI within the per-node bound),
+// and the service end-to-end (conservation identity across live edits).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tree_parser.h"
+#include "core/wf2qplus.h"
+#include "core/wf2qplus_fixed.h"
+#include "net/packet.h"
+#include "runner/scenario.h"
+#include "serve/edits.h"
+#include "serve/harness.h"
+#include "serve/load_gen.h"
+#include "serve/mpsc_ring.h"
+#include "serve/service.h"
+#include "serve/shard_map.h"
+#include "stats/wfi_estimator.h"
+#include "harness.h"
+
+namespace hfq {
+namespace {
+
+using net::FlowId;
+using net::Packet;
+using testing::packet;
+
+// ---------------------------------------------------------------------------
+// MpscRing: single-consumer FIFO with wraparound and drop accounting.
+
+TEST(MpscRing, FifoAcrossManyWraparounds) {
+  serve::MpscRing ring(8);
+  std::vector<Packet> out;
+  std::uint64_t next_id = 0;
+  std::uint64_t expect = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(ring.try_push(packet(0, 100, next_id++)));
+    }
+    out.clear();
+    ASSERT_EQ(ring.pop_burst(out, 16), 5u);
+    for (const Packet& p : out) EXPECT_EQ(p.id, expect++);
+  }
+  EXPECT_EQ(ring.drops(), 0u);
+}
+
+TEST(MpscRing, FullRingDropsAreCountedAndOrderSurvives) {
+  serve::MpscRing ring(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_push(packet(0, 100, i)));
+  }
+  // Ring full: pushes fail and are counted, contents are untouched.
+  EXPECT_FALSE(ring.try_push(packet(0, 100, 99)));
+  EXPECT_FALSE(ring.try_push(packet(0, 100, 100)));
+  EXPECT_EQ(ring.drops(), 2u);
+  std::vector<Packet> out;
+  EXPECT_EQ(ring.pop_burst(out, 16), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(out[i].id, i);
+  // Freed capacity is usable again.
+  EXPECT_TRUE(ring.try_push(packet(0, 100, 4)));
+  out.clear();
+  EXPECT_EQ(ring.pop_burst(out, 16), 1u);
+  EXPECT_EQ(out[0].id, 4u);
+  EXPECT_EQ(ring.drops(), 2u);
+}
+
+// Multi-producer / single-consumer stress: per-producer ids must arrive in
+// their emission order at the consumer, and every packet is either popped
+// or counted as a drop. TSan CI runs this test to certify the ring's
+// synchronization.
+TEST(MpscRing, PerProducerOrderUnderConcurrencyAndEverythingAccounted) {
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 20000;
+  serve::MpscRing ring(1 << 10);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> pushed{0};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::uint64_t ok = 0;
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        // flow = producer, id = emission sequence within the producer.
+        if (ring.try_push(packet(static_cast<FlowId>(p), 64, i))) ++ok;
+      }
+      pushed.fetch_add(ok);
+    });
+  }
+
+  std::vector<std::vector<std::uint64_t>> seen(kProducers);
+  std::uint64_t popped = 0;
+  std::vector<Packet> buf;
+  std::thread consumer([&] {
+    for (;;) {
+      buf.clear();
+      const std::size_t n = ring.pop_burst(buf, 256);
+      for (std::size_t i = 0; i < n; ++i) {
+        seen[buf[i].flow].push_back(buf[i].id);
+      }
+      popped += n;
+      if (n == 0) {
+        if (done.load(std::memory_order_acquire)) {
+          buf.clear();
+          popped += ring.pop_burst(buf, 1 << 10);
+          for (const Packet& p : buf) seen[p.flow].push_back(p.id);
+          if (ring.approx_size() == 0) return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+  });
+  for (std::thread& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  EXPECT_EQ(popped, pushed.load());
+  EXPECT_EQ(pushed.load() + ring.drops(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_TRUE(std::is_sorted(seen[p].begin(), seen[p].end()))
+        << "producer " << p << " order violated";
+    EXPECT_TRUE(std::adjacent_find(seen[p].begin(), seen[p].end()) ==
+                seen[p].end())
+        << "producer " << p << " duplicated a packet";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Consistent-hash shard map.
+
+TEST(ShardMap, DeterministicAcrossRestartsAndInRange) {
+  // Stateless jump hash: the mapping is a pure function of (flow, shards),
+  // so a service restart with the same shard count remaps nothing.
+  for (FlowId f = 0; f < 5000; ++f) {
+    const std::uint32_t s = serve::shard_of(f, 7);
+    EXPECT_LT(s, 7u);
+    EXPECT_EQ(s, serve::shard_of(f, 7)) << "flow " << f;
+  }
+}
+
+TEST(ShardMap, ResizeMovesOnlyTheConsistentHashFraction) {
+  // Growing from S to S+1 shards should move ~1/(S+1) of flows; a modulo
+  // hash would move ~S/(S+1). Assert well under the modulo level.
+  constexpr int kFlows = 20000;
+  int moved = 0;
+  for (FlowId f = 0; f < kFlows; ++f) {
+    if (serve::shard_of(f, 4) != serve::shard_of(f, 5)) ++moved;
+  }
+  const double frac = static_cast<double>(moved) / kFlows;
+  EXPECT_GT(frac, 0.10);  // some flows must move to use the new shard
+  EXPECT_LT(frac, 0.30);  // expected 0.20; modulo would be 0.80
+}
+
+TEST(ShardMap, SpreadsFlowsRoughlyEvenly) {
+  constexpr int kFlows = 40000;
+  constexpr std::size_t kShards = 8;
+  std::vector<int> count(kShards, 0);
+  for (FlowId f = 0; f < kFlows; ++f) ++count[serve::shard_of(f, kShards)];
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(count[s], kFlows / kShards / 2) << "shard " << s;
+    EXPECT_LT(count[s], kFlows / kShards * 2) << "shard " << s;
+  }
+}
+
+TEST(ShardMap, RejectsZeroAndOverLargeShardCounts) {
+  EXPECT_THROW(serve::validate_shard_count(0), std::invalid_argument);
+  EXPECT_THROW(serve::validate_shard_count(
+                   static_cast<std::size_t>(net::kMaxFlows) + 1),
+               std::invalid_argument);
+  EXPECT_NO_THROW(serve::validate_shard_count(1));
+  EXPECT_NO_THROW(serve::validate_shard_count(64));
+}
+
+TEST(ShardMap, ServiceConstructorRejectsBadShardCount) {
+  const core::Hierarchy tree =
+      core::parse_hierarchy("link 8M\ns0 4M flow=0\ns1 4M flow=1\n");
+  serve::ServiceConfig cfg;
+  cfg.num_shards = 0;
+  EXPECT_THROW(serve::Service(tree, cfg), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Edit-batch grammar.
+
+TEST(ParseEdits, UpsertRemoveCommentsAndAttributes) {
+  const auto ops = serve::parse_edits(
+      "# re-weight and add\n"
+      "s0 4M            # known name -> re-weight\n"
+      "snew 500k flow=9 cap=32\n"
+      "remove s1\n");
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].kind, serve::EditOp::Kind::kUpsert);
+  EXPECT_EQ(ops[0].name, "s0");
+  EXPECT_DOUBLE_EQ(ops[0].rate_bps, 4e6);
+  EXPECT_FALSE(ops[0].has_flow);
+  EXPECT_EQ(ops[1].kind, serve::EditOp::Kind::kUpsert);
+  EXPECT_TRUE(ops[1].has_flow);
+  EXPECT_EQ(ops[1].flow, 9u);
+  EXPECT_EQ(ops[1].capacity_packets, 32u);
+  EXPECT_DOUBLE_EQ(ops[1].rate_bps, 5e5);
+  EXPECT_EQ(ops[2].kind, serve::EditOp::Kind::kRemove);
+  EXPECT_EQ(ops[2].name, "s1");
+}
+
+TEST(ParseEdits, RejectsMalformedLines) {
+  EXPECT_THROW(serve::parse_edits("s0\n"), std::runtime_error);
+  EXPECT_THROW(serve::parse_edits("s0 -4M\n"), std::runtime_error);
+  EXPECT_THROW(serve::parse_edits("remove\n"), std::runtime_error);
+  EXPECT_THROW(serve::parse_edits("s0 4M bogus=1\n"), std::runtime_error);
+  EXPECT_THROW(serve::parse_edits("s0 4Q\n"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Live edits on the SoA schedulers: splice validation and the fairness
+// bound after a mid-backlog re-weight.
+
+template <typename Sched>
+void reweight_splice_holds() {
+  Sched s(8000);
+  s.add_flow(0, 6000.0);
+  s.add_flow(1, 2000.0);
+  ASSERT_TRUE(s.supports_live_edits());
+
+  // Backlog both flows, serve a few packets, then swap the weights.
+  double now = 0.0;
+  std::uint64_t id = 0;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(s.enqueue(packet(0, 100, id++), now));
+    ASSERT_TRUE(s.enqueue(packet(1, 100, id++), now));
+  }
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(s.dequeue(now).has_value());
+
+  ASSERT_TRUE(s.live_set_rate(0, 2000.0));
+  ASSERT_TRUE(s.live_set_rate(1, 6000.0));
+  s.commit_live_edits();
+  std::string why;
+  EXPECT_TRUE(s.validate_splice(&why)) << why;
+
+  // Every queued packet still comes out, per-flow FIFO intact.
+  std::map<FlowId, std::uint64_t> last;
+  std::size_t remaining = 0;
+  while (auto p = s.dequeue(now)) {
+    auto it = last.find(p->flow);
+    if (it != last.end()) EXPECT_GT(p->id, it->second);
+    last[p->flow] = p->id;
+    ++remaining;
+  }
+  EXPECT_EQ(remaining, 32u);
+  EXPECT_EQ(s.backlog_packets(), 0u);
+}
+
+TEST(LiveEdits, ReweightSpliceHoldsFloat) {
+  reweight_splice_holds<core::Wf2qPlus>();
+}
+TEST(LiveEdits, ReweightSpliceHoldsFixed) {
+  reweight_splice_holds<core::Wf2qPlusFixed>();
+}
+
+TEST(LiveEdits, AddAndRemoveFlowsMidStream) {
+  core::Wf2qPlus s(8000.0);
+  s.add_flow(0, 4000.0);
+  s.add_flow(1, 4000.0);
+  std::uint64_t id = 0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(s.enqueue(packet(0, 100, id++), 0.0));
+    ASSERT_TRUE(s.enqueue(packet(1, 100, id++), 0.0));
+  }
+  // Remove a backlogged flow: its queue drains into the drop counter.
+  std::uint64_t dropped = 0;
+  ASSERT_TRUE(s.live_remove_flow(1, &dropped));
+  // Add a new flow in the same batch.
+  ASSERT_TRUE(s.live_add_flow(7, 4000.0, 0));
+  s.commit_live_edits();
+  std::string why;
+  EXPECT_TRUE(s.validate_splice(&why)) << why;
+  EXPECT_EQ(dropped, 10u);
+  EXPECT_EQ(s.backlog_packets(), 10u);
+  ASSERT_TRUE(s.enqueue(packet(7, 100, id++), 0.0));
+  std::set<FlowId> served;
+  while (auto p = s.dequeue(0.0)) served.insert(p->flow);
+  EXPECT_TRUE(served.count(0));
+  EXPECT_TRUE(served.count(7));
+  EXPECT_FALSE(served.count(1));
+  // Double-commit and edits on unknown flows are rejected, not fatal.
+  EXPECT_FALSE(s.live_set_rate(1, 1000.0));
+  EXPECT_FALSE(s.live_remove_flow(42, &dropped));
+}
+
+// After a live re-weight the scheduler must honor the NEW share at the
+// WF²Q+ per-node fairness bound: B-WFI <= L_max for the re-weighted flow,
+// measured from the splice onward (the paper's Definition 2, measured by
+// the same estimator src/audit-style checks use).
+TEST(LiveEdits, PostEditWfiWithinPerNodeBound) {
+  constexpr double kLinkBps = 8000.0;
+  constexpr std::uint32_t kBytes = 100;  // L_max = 800 bits
+  core::Wf2qPlus s(kLinkBps);
+  s.add_flow(0, 6000.0);
+  s.add_flow(1, 2000.0);
+  std::uint64_t id = 0;
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(s.enqueue(packet(0, kBytes, id++), 0.0));
+    ASSERT_TRUE(s.enqueue(packet(1, kBytes, id++), 0.0));
+  }
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(s.dequeue(0.0).has_value());
+
+  // Swap the weights: flow 1 now owns 6/8 of the link.
+  ASSERT_TRUE(s.live_set_rate(0, 2000.0));
+  ASSERT_TRUE(s.live_set_rate(1, 6000.0));
+  s.commit_live_edits();
+  std::string why;
+  ASSERT_TRUE(s.validate_splice(&why)) << why;
+
+  stats::WfiEstimator wfi(6000.0 / kLinkBps);
+  wfi.backlog_start();
+  while (auto p = s.dequeue(0.0)) {
+    const double bits = p->size_bits();
+    wfi.on_server_departure(bits, p->flow == 1 ? bits : 0.0);
+    if (s.queue_length(1) == 0) break;  // flow 1's backlogged period ends
+  }
+  wfi.backlog_end();
+  EXPECT_LE(wfi.bwfi_bits(), 8.0 * kBytes + 1e-6);
+  EXPECT_GT(wfi.bwfi_bits(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Service end-to-end: conservation across live edits.
+
+TEST(Service, RoutesByConsistentHashAndAggregatesTotals) {
+  const core::Hierarchy tree = core::parse_hierarchy(
+      "link 80M\ns0 20M flow=0\ns1 20M flow=1\ns2 20M flow=2\ns3 20M flow=3\n");
+  serve::ServiceConfig cfg;
+  cfg.num_shards = 2;
+  cfg.paced = false;  // bench mode: no wall-clock pacing in unit tests
+  serve::Service svc(tree, cfg);
+  EXPECT_TRUE(svc.supports_live_edits());
+  EXPECT_EQ(svc.sessions().size(), 4u);
+
+  svc.start();
+  std::uint64_t offered = 0;
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    const Packet p = packet(static_cast<FlowId>(i % 4), 1000, i);
+    (void)svc.submit(p);  // a full ring is a counted drop, not a loss
+    ++offered;
+  }
+  svc.stop();
+  const serve::Service::Totals t = svc.totals();
+  EXPECT_EQ(offered, t.delivered + t.backlog + t.sched_drops + t.edit_drops +
+                         t.ring_drops);
+  EXPECT_EQ(t.faulted_shards, 0u);
+  EXPECT_EQ(t.audit_violations, 0u);
+}
+
+TEST(Service, ConservationHoldsAcrossLiveEdits) {
+  std::ostringstream tree_text;
+  tree_text << "link 100M\n";
+  for (int f = 0; f < 64; ++f) {
+    tree_text << "s" << f << " " << (100e6 / 64) << " flow=" << f << "\n";
+  }
+  runner::Scenario sc;
+  sc.tree_text = tree_text.str();
+  sc.scheduler = "wf2q+";
+  sc.traffic = "poisson";
+  sc.load = 0.8;
+  sc.duration_s = 0.4;
+  sc.packet_bytes = 400;
+  sc.seed = 11;
+
+  runner::ServeSpec serve_spec;
+  serve_spec.shards = 4;
+  serve_spec.producers = 2;
+  serve_spec.ring_capacity = 1 << 12;
+  serve_spec.paced = true;
+  serve_spec.edits.push_back({0.1, "s0 3M\ns1 500k\n"});
+  serve_spec.edits.push_back({0.2, "remove s2\nsx 2M flow=200\n"});
+
+  const serve::ServeRunResult r =
+      serve::run_serve_scenario(sc, serve_spec, nullptr);
+  EXPECT_TRUE(r.conservation_ok) << r.summary();
+  EXPECT_EQ(r.edit_batches, 2u);
+  EXPECT_EQ(r.faulted_shards, 0u);
+  EXPECT_EQ(r.splice_failures, 0u);
+  EXPECT_GT(r.delivered, 0u);
+}
+
+TEST(Service, EditTextErrorsAreReported) {
+  const core::Hierarchy tree =
+      core::parse_hierarchy("link 8M\ns0 4M flow=0\ns1 4M flow=1\n");
+  serve::ServiceConfig cfg;
+  cfg.num_shards = 2;
+  cfg.paced = false;
+  serve::Service svc(tree, cfg);
+  svc.start();
+  // Unknown name without flow= cannot be an add.
+  EXPECT_THROW(svc.apply_edit_text("nosuch 1M\n"), std::runtime_error);
+  // Re-binding a known session to a different flow id is refused.
+  EXPECT_THROW(svc.apply_edit_text("s0 1M flow=5\n"), std::runtime_error);
+  // Removing an unknown session is refused.
+  EXPECT_THROW(svc.apply_edit_text("remove ghost\n"), std::runtime_error);
+  // A valid re-weight still works after the failures.
+  EXPECT_NO_THROW(svc.apply_edit_text("s0 6M\ns1 2M\n"));
+  svc.stop();
+}
+
+TEST(Service, HierarchicalSchedulersRefuseLiveEdits) {
+  const core::Hierarchy tree =
+      core::parse_hierarchy("link 8M\ns0 4M flow=0\ns1 4M flow=1\n");
+  serve::ServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.scheduler = "hwf2q+";
+  cfg.paced = false;
+  serve::Service svc(tree, cfg);
+  EXPECT_FALSE(svc.supports_live_edits());
+  svc.start();
+  EXPECT_THROW(svc.apply_edit_text("s0 6M\n"), std::runtime_error);
+  svc.stop();
+}
+
+// Campaign-file round trip for the serve-* directives.
+TEST(ServeSpec, DirectivesParseAndEditsSortByTime) {
+  std::istringstream in(
+      "campaign c\nschedulers wf2q+\ntree t fanout=4 depth=1\n"
+      "serve-shards 8\nserve-producers 3\nserve-ring-bits 10\n"
+      "serve-paced 0\nserve-horizon-us 250\n"
+      "serve-edit 2.0 {\n  s0 9M\n}\n"
+      "serve-edit 1.0 {\n  s1 1M\n}\n");
+  const runner::CampaignSpec spec = runner::parse_campaign(in);
+  EXPECT_EQ(spec.serve.shards, 8u);
+  EXPECT_EQ(spec.serve.producers, 3u);
+  EXPECT_EQ(spec.serve.ring_capacity, 1u << 10);
+  EXPECT_FALSE(spec.serve.paced);
+  EXPECT_DOUBLE_EQ(spec.serve.horizon_us, 250.0);
+  ASSERT_EQ(spec.serve.edits.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.serve.edits[0].at_s, 1.0);
+  EXPECT_NE(spec.serve.edits[0].text.find("s1 1M"), std::string::npos);
+  EXPECT_DOUBLE_EQ(spec.serve.edits[1].at_s, 2.0);
+}
+
+}  // namespace
+}  // namespace hfq

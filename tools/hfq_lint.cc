@@ -88,6 +88,12 @@ const Rule kRules[] = {
      "preallocate at registration — packets live in arena slots "
      "(src/net/packet_arena.h) and flow tables grow in add_flow; the "
      "per-packet path must be allocation-free"},
+    {"lock-in-shard-loop",
+     "mutex/condition-variable use inside a shard drain/service loop body",
+     "the shard loop (run_once/drain_ingress/service_link) communicates only "
+     "through the MPSC ring, the atomic edit slot and padded counters "
+     "(src/serve/); blocking belongs on control-plane threads, which are "
+     "suppressed by policy in tools/hfq_lint.supp"},
 };
 
 struct Finding {
@@ -286,6 +292,16 @@ const std::regex kIoWrite(
 const std::regex kAlloc(
     R"(\bnew\b|\bmake_unique\s*<|\bmake_shared\s*<|\.(push_back|emplace_back|emplace|resize)\s*\()");
 
+// Shard-loop definitions (the long-lived service's per-iteration phases,
+// src/serve/shard.h). The loop must stay lock-free: a mutex wait inside it
+// stalls every flow hashed to the shard. Control-plane code is free to use
+// the same function names and block — those files get a policy suppression.
+const std::regex kShardLoopDef(
+    R"(\b(bool|void|auto|std::size_t|size_t|int)\s+(\w+(<[^>]*>)?::)?(run_once|drain_ingress|service_link|shard_loop)\s*\()");
+// Blocking-synchronization vocabulary forbidden inside those bodies.
+const std::regex kLockVocab(
+    R"(\b(std::)?(mutex|timed_mutex|recursive_mutex|shared_mutex|condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|shared_lock)\b|\.\s*(lock|try_lock|unlock|wait|wait_for|wait_until)\s*\()");
+
 void check_line_rules(const SourceFile& sf,
                       const std::vector<std::vector<std::string>>& disables,
                       std::vector<Finding>& out) {
@@ -460,6 +476,68 @@ void check_hot_loop_io(const SourceFile& sf,
   }
 }
 
+// Finds shard-loop phase *definitions* (run_once / drain_ingress /
+// service_link / shard_loop) and flags any blocking-synchronization use
+// inside the body, line by line — same body-walking scheme as
+// check_hot_loop_io.
+void check_shard_loop(const SourceFile& sf,
+                      const std::vector<std::vector<std::string>>& disables,
+                      std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < sf.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(sf.code[i], m, kShardLoopDef)) continue;
+    // Walk forward to the opening brace; a `;` first means declaration only.
+    int depth = 0;
+    bool found_open = false;
+    bool is_decl = false;
+    std::size_t body_begin = 0, body_begin_col = 0;
+    for (std::size_t j = i; j < sf.code.size() && !found_open && !is_decl;
+         ++j) {
+      const std::string& c = sf.code[j];
+      for (std::size_t k = j == i
+                               ? static_cast<std::size_t>(m.position(0))
+                               : 0;
+           k < c.size(); ++k) {
+        if (c[k] == '(') ++depth;
+        if (c[k] == ')') --depth;
+        if (depth == 0 && c[k] == ';') {
+          is_decl = true;
+          break;
+        }
+        if (depth == 0 && c[k] == '{') {
+          found_open = true;
+          body_begin = j;
+          body_begin_col = k + 1;
+          break;
+        }
+      }
+    }
+    if (is_decl || !found_open) continue;
+    int braces = 1;
+    for (std::size_t j = body_begin; j < sf.code.size() && braces > 0; ++j) {
+      const std::string& c = sf.code[j];
+      std::size_t from = j == body_begin ? body_begin_col : 0;
+      std::size_t to = c.size();
+      for (std::size_t k = from; k < c.size(); ++k) {
+        if (c[k] == '{') ++braces;
+        if (c[k] == '}') {
+          --braces;
+          if (braces == 0) {
+            to = k;
+            break;
+          }
+        }
+      }
+      const std::string body_part = c.substr(from, to - from);
+      if (std::regex_search(body_part, kLockVocab) &&
+          !rule_disabled(disables, j, "lock-in-shard-loop")) {
+        out.push_back(Finding{sf.rel_path, j + 1, "lock-in-shard-loop",
+                              trim(sf.raw[j])});
+      }
+    }
+  }
+}
+
 // --- suppression file -------------------------------------------------------
 
 std::vector<Suppression> load_suppressions(const std::string& path) {
@@ -611,6 +689,7 @@ int main(int argc, char** argv) {
     check_line_rules(sf, disables, findings);
     check_preconditions(sf, disables, findings);
     check_hot_loop_io(sf, disables, findings);
+    check_shard_loop(sf, disables, findings);
   }
 
   findings.erase(std::remove_if(findings.begin(), findings.end(),

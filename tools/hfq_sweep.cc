@@ -13,15 +13,31 @@
 // deterministic metric (everything outside "timing/") to be bit-identical;
 // a mismatch or any shard error exits non-zero. CI runs this as the
 // Release-mode smoke job.
+//
+// --serve switches to load-generator mode: each scenario runs through the
+// live multi-core scheduler service (src/serve/) instead of the
+// discrete-event simulation — shards, producers, ring sizes and live-edit
+// batches come from the campaign's serve-* directives. The run fails
+// (non-zero exit) on any conservation violation, faulted shard, or splice
+// failure:
+//
+//   hfq_sweep --scenario scenarios/serve_soak.scn --serve
+//             --serve-out stats.jsonl --bench-out BENCH_serve.json
+//
+// --serve-flows N replaces every tree in the campaign with a flat N-session
+// tree (link 1G); --serve-duration overrides the campaign duration — both
+// exist so CI sanitizer legs can shrink the soak without a second .scn file.
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <string>
 
 #include "obs/flight_recorder.h"
 #include "runner/campaign.h"
 #include "runner/export.h"
+#include "serve/harness.h"
 
 namespace {
 
@@ -32,7 +48,9 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --scenario FILE [--jobs N] [--out FILE.json]\n"
                "          [--csv FILE.csv] [--shard K] [--verify]\n"
-               "          [--trace-dir DIR]\n",
+               "          [--trace-dir DIR]\n"
+               "          [--serve] [--serve-duration S] [--serve-flows N]\n"
+               "          [--serve-out FILE.jsonl] [--bench-out FILE.json]\n",
                argv0);
 }
 
@@ -69,6 +87,102 @@ void print_summary(const CampaignResult& result) {
   }
 }
 
+// Runs the campaign grid through the live service (one scenario at a time —
+// the service itself is the multi-threaded part). Returns a process exit
+// code: non-zero on any conservation violation, faulted shard, splice
+// failure, or scenario error.
+int run_serve_mode(hfq::runner::CampaignSpec spec, double serve_duration,
+                   int serve_flows, const std::string& serve_out,
+                   const std::string& bench_out, const std::string& trace_dir) {
+  if (serve_duration > 0.0) spec.duration_s = serve_duration;
+  if (serve_flows > 0) {
+    // CI-friendly override: one flat tree with serve_flows sessions.
+    spec.trees.clear();
+    spec.trees.push_back(hfq::runner::CampaignSpec::Tree{
+        "flat" + std::to_string(serve_flows),
+        hfq::runner::synth_tree(serve_flows, 1, 1e9)});
+  }
+  const auto scenarios = spec.expand();
+
+  std::ofstream stats_file;
+  std::ostream* stats_sink = nullptr;
+  if (!serve_out.empty()) {
+    stats_file.open(serve_out);
+    if (!stats_file) {
+      std::fprintf(stderr, "error: cannot open %s\n", serve_out.c_str());
+      return 1;
+    }
+    stats_sink = &stats_file;
+  }
+
+  std::ofstream bench;
+  if (!bench_out.empty()) {
+    bench.open(bench_out);
+    if (!bench) {
+      std::fprintf(stderr, "error: cannot open %s\n", bench_out.c_str());
+      return 1;
+    }
+    bench << "{\n  \"benchmark\": \"serve\",\n  \"shards\": "
+          << spec.serve.shards << ",\n  \"paced\": "
+          << (spec.serve.paced ? "true" : "false") << ",\n  \"cells\": [\n";
+  }
+
+  std::printf("serve mode: %zu scenario(s), %zu shard(s), %zu producer(s)%s\n",
+              scenarios.size(), spec.serve.shards, spec.serve.producers,
+              spec.serve.paced ? "" : " [bench/unpaced]");
+  int failed = 0;
+  bool first_cell = true;
+  for (const auto& sc : scenarios) {
+    try {
+      const hfq::serve::ServeRunResult r =
+          hfq::serve::run_serve_scenario(sc, spec.serve, stats_sink,
+                                         trace_dir);
+      std::printf("%5zu  %-36s %s\n", sc.index, sc.label().c_str(),
+                  r.summary().c_str());
+      if (!r.conservation_ok || r.faulted_shards > 0 ||
+          r.splice_failures > 0) {
+        ++failed;
+      }
+      if (bench.is_open()) {
+        for (std::size_t s = 0; s < r.shard_mpps.size(); ++s) {
+          const unsigned long long n = r.shard_delivered[s];
+          // Unpaced runs meter the shard loop directly (busy_ns); that is
+          // the scheduler-bound per-packet cost even when producer threads
+          // time-share cores with the shard. Paced runs are load-bound by
+          // design, so wall-based pps is the honest number there.
+          const double busy_ns = static_cast<double>(r.shard_busy_ns[s]);
+          const double ns_per_op =
+              busy_ns > 0.0 && n > 0
+                  ? busy_ns / static_cast<double>(n)
+                  : (r.shard_mpps[s] > 0.0 ? 1e3 / r.shard_mpps[s] : 0.0);
+          if (!first_cell) bench << ",\n";
+          first_cell = false;
+          bench << "    {\"scenario\": \"" << sc.label() << "\", \"shard\": "
+                << s << ", \"delivered\": " << n
+                << ", \"wall_s\": " << r.wall_s << ", \"busy_s\": "
+                << busy_ns / 1e9 << ", \"ns_per_op\": " << ns_per_op
+                << ", \"packets_per_sec\": "
+                << (ns_per_op > 0.0 ? 1e9 / ns_per_op : 0.0) << "}";
+        }
+      }
+    } catch (const std::exception& e) {
+      std::printf("%5zu  %-36s ERROR: %s\n", sc.index, sc.label().c_str(),
+                  e.what());
+      ++failed;
+    }
+  }
+  if (bench.is_open()) {
+    bench << "\n  ]\n}\n";
+    std::printf("wrote %s\n", bench_out.c_str());
+  }
+  if (stats_sink != nullptr) std::printf("wrote %s\n", serve_out.c_str());
+  if (failed != 0) {
+    std::fprintf(stderr, "%d serve scenario(s) failed\n", failed);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,6 +193,11 @@ int main(int argc, char** argv) {
   std::size_t only_shard = SIZE_MAX;
   std::string trace_dir;
   bool verify = false;
+  bool serve = false;
+  double serve_duration = 0.0;  // 0 = campaign duration
+  int serve_flows = 0;          // 0 = campaign trees
+  std::string serve_out;
+  std::string bench_out;
 
   for (int i = 1; i < argc; ++i) {
     auto value = [&]() -> const char* {
@@ -102,6 +221,16 @@ int main(int argc, char** argv) {
       trace_dir = value();
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       verify = true;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+    } else if (std::strcmp(argv[i], "--serve-duration") == 0) {
+      serve_duration = std::strtod(value(), nullptr);
+    } else if (std::strcmp(argv[i], "--serve-flows") == 0) {
+      serve_flows = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--serve-out") == 0) {
+      serve_out = value();
+    } else if (std::strcmp(argv[i], "--bench-out") == 0) {
+      bench_out = value();
     } else {
       usage(argv[0]);
       return 2;
@@ -119,6 +248,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "warning: --trace-dir set but this binary was built "
                    "without -DHFQ_TRACE=ON; traces will be empty\n");
+    }
+    if (serve) {
+      return run_serve_mode(spec, serve_duration, serve_flows, serve_out,
+                            bench_out, trace_dir);
     }
     const CampaignResult result =
         hfq::runner::run_campaign(spec, jobs, only_shard, trace_dir);
