@@ -12,12 +12,28 @@
 // The table shows that the RT-1 delay collapses only for the SEFF policies:
 // the eligibility test, not the virtual time function, removes the
 // pathology — which is DESIGN.md's stated design-choice experiment.
+//
+// Second section — eligible-set ENGINE ablation (sched/calendar.h): for the
+// flat WF²Q+ datapath, heap sifts against the TagCalendar at a sweep of
+// bucket widths (width_factor multiplies the derived sigma), in both exact
+// (sorted-bucket) and approximate (unsorted) modes. Each cell reports
+// steady-state dequeue ns/op and the worst per-flow service divergence from
+// the exact heap schedule — the WFI-vs-speed tradeoff of the quantization.
+// `--csv PATH` exports the engine grid for plotting.
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/node_policy.h"
+#include "core/wf2qplus.h"
 #include "fig_common.h"
+#include "util/rng.h"
 
 namespace hfq::bench {
 namespace {
@@ -30,7 +46,168 @@ void add_row(Table& t, const char* name, const Fig3Scenario& sc) {
          fmt_ms(r.rt_delay.percentile(99.0))});
 }
 
-int run() {
+// ---- engine ablation -------------------------------------------------------
+
+constexpr double kLinkRate = 1e10;
+constexpr std::uint32_t kBytes = 250;
+
+net::Packet pkt(net::FlowId f, std::uint64_t id) {
+  net::Packet p;
+  p.id = id;
+  p.flow = f;
+  p.size_bytes = kBytes;
+  return p;
+}
+
+core::Wf2qPlus make_engine(const char* engine, double width_factor,
+                           bool approx) {
+  if (std::strcmp(engine, "heap") == 0) {
+    return core::Wf2qPlus(kLinkRate, sched::EligEngine::kHeap);
+  }
+  sched::CalendarTuning t;
+  t.width_factor = width_factor;
+  t.approximate = approx;
+  return core::Wf2qPlus(kLinkRate, sched::EligEngine::kCalendar, t);
+}
+
+// Steady-state dequeue+enqueue cost, the datapath hot loop.
+double engine_ns_per_op(const char* engine, double width_factor, bool approx,
+                        int n_flows) {
+  core::Wf2qPlus s = make_engine(engine, width_factor, approx);
+  for (int f = 0; f < n_flows; ++f) {
+    s.add_flow(static_cast<net::FlowId>(f), kLinkRate / n_flows);
+  }
+  const double pkt_time = 8.0 * kBytes / kLinkRate;
+  std::uint64_t id = 0;
+  double now = 0.0;
+  for (int f = 0; f < n_flows; ++f) {
+    s.enqueue(pkt(static_cast<net::FlowId>(f), id++), now);
+    s.enqueue(pkt(static_cast<net::FlowId>(f), id++), now);
+  }
+  const std::uint64_t iters = 1u << 16;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    now += pkt_time;
+    auto p = s.dequeue(now);
+    if (!p) break;
+    s.enqueue(pkt(p->flow, id++), now);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                 .count()) /
+         static_cast<double>(iters);
+}
+
+// Worst per-flow cumulative-service divergence (bits) from the exact heap
+// schedule on a fixed random trace — zero for exact engines, bounded by the
+// bucket width for approximate ones.
+double engine_divergence_bits(const char* engine, double width_factor,
+                              bool approx) {
+  constexpr int kFlows = 48;
+  constexpr int kPackets = 6000;
+  auto run = [&](core::Wf2qPlus s) {
+    for (int f = 0; f < kFlows; ++f) {
+      s.add_flow(static_cast<net::FlowId>(f),
+                 kLinkRate / kFlows * (f % 3 == 0 ? 2.0 : 0.6));
+    }
+    util::Rng rng(4242);
+    const double pkt_time = 8.0 * kBytes / kLinkRate;
+    std::uint64_t id = 0;
+    double now = 0.0;
+    std::vector<std::vector<double>> service;  // per-departure running sums
+    std::vector<double> acc(kFlows, 0.0);
+    for (int i = 0; i < kPackets; ++i) {
+      const auto f =
+          static_cast<net::FlowId>(rng.uniform_int(0, kFlows - 1));
+      s.enqueue(pkt(f, id++), now);
+      if (i % 2 == 0) {
+        if (auto p = s.dequeue(now)) {
+          acc[p->flow] += p->size_bits();
+          service.push_back(acc);
+          now += pkt_time;
+        }
+      }
+    }
+    while (auto p = s.dequeue(now)) {
+      acc[p->flow] += p->size_bits();
+      service.push_back(acc);
+      now += pkt_time;
+    }
+    return service;
+  };
+  const auto ref = run(make_engine("heap", 1.0, false));
+  const auto got = run(make_engine(engine, width_factor, approx));
+  double worst = 0.0;
+  const std::size_t n = std::min(ref.size(), got.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int f = 0; f < kFlows; ++f) {
+      worst = std::max(worst, std::abs(ref[i][f] - got[i][f]));
+    }
+  }
+  return worst;
+}
+
+struct EngineCell {
+  std::string label;
+  const char* engine;
+  double width_factor;
+  bool approx;
+  double ns_per_op = 0.0;
+  double divergence_bits = 0.0;
+};
+
+int run_engine_ablation(const std::string& csv_path) {
+  std::cout << "== Eligible-set engine: heap vs calendar (flat WF2Q+, "
+               "steady dequeue at 64k flows) ==\n";
+  std::vector<EngineCell> cells;
+  cells.push_back({"heap", "heap", 0.0, false});
+  for (const double factor : {0.25, 1.0, 4.0, 16.0, 64.0}) {
+    cells.push_back({"calendar exact  f=" + fmt(factor, 2), "cal", factor,
+                     false});
+  }
+  for (const double factor : {0.25, 1.0, 4.0, 16.0, 64.0}) {
+    cells.push_back({"calendar approx f=" + fmt(factor, 2), "cal", factor,
+                     true});
+  }
+  for (EngineCell& c : cells) {
+    c.ns_per_op = engine_ns_per_op(c.engine, c.width_factor, c.approx,
+                                   1 << 16);
+    c.divergence_bits = engine_divergence_bits(c.engine, c.width_factor,
+                                               c.approx);
+  }
+  Table t({"engine", "ns/op", "worst service div (bits)"});
+  for (const EngineCell& c : cells) {
+    t.row({c.label, fmt(c.ns_per_op, 1), fmt(c.divergence_bits, 0)});
+  }
+  t.print();
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::cerr << "cannot open " << csv_path << " for writing\n";
+      return 1;
+    }
+    out << "engine,width_factor,approximate,ns_per_op,divergence_bits\n";
+    for (const EngineCell& c : cells) {
+      out << c.engine << ',' << fmt(c.width_factor, 2) << ','
+          << (c.approx ? 1 : 0) << ',' << fmt(c.ns_per_op, 2) << ','
+          << fmt(c.divergence_bits, 1) << '\n';
+    }
+    std::cerr << "wrote " << csv_path << '\n';
+  }
+
+  // Shape: every exact engine reproduces the heap schedule bit-for-bit.
+  bool ok = true;
+  for (const EngineCell& c : cells) {
+    if (!c.approx && c.divergence_bits != 0.0) ok = false;
+  }
+  std::cout << "shape check (exact calendar cells diverge by 0 bits): "
+            << (ok ? "OK" : "FAILED") << "\n\n";
+  return ok ? 0 : 1;
+}
+
+int run(const std::string& csv_path) {
   std::cout << "== Ablation: virtual time function vs. SEFF eligibility "
                "(Figure 4 scenario) ==\n";
   Fig3Scenario sc;  // scenario 1
@@ -43,24 +220,43 @@ int run() {
   add_row<core::DrrPolicy>(t, "frame-based      (H-DRR)", sc);
   add_row<core::GpsSeffPolicy>(t, "SEFF + V_GPS     (H-WF2Q)", sc);
   add_row<core::Wf2qPlusPolicy>(t, "SEFF + V_WF2Q+   (H-WF2Q+)", sc);
+  add_row<core::Wf2qPlusCalPolicy>(t, "SEFF + V_WF2Q+   (calendar)", sc);
   t.print();
 
-  // Shape: both SEFF policies beat every SFF policy on max delay.
+  // Shape: both SEFF policies beat every SFF policy on max delay, and the
+  // calendar-backed node policy reproduces H-WF²Q+ exactly.
   const auto wfq = run_fig3<core::GpsSffPolicy>(sc);
   const auto approx = run_fig3<core::ApproxWfqPolicy>(sc);
   const auto wf2q = run_fig3<core::GpsSeffPolicy>(sc);
   const auto wf2qp = run_fig3<core::Wf2qPlusPolicy>(sc);
+  const auto wf2qpc = run_fig3<core::Wf2qPlusCalPolicy>(sc);
   const double seff_worst =
       std::max(wf2q.rt_delay.max_delay(), wf2qp.rt_delay.max_delay());
-  const bool ok = seff_worst < wfq.rt_delay.max_delay() &&
-                  seff_worst < approx.rt_delay.max_delay();
+  bool ok = seff_worst < wfq.rt_delay.max_delay() &&
+            seff_worst < approx.rt_delay.max_delay();
   std::cout << "shape check (SEFF policies strictly better than SFF "
                "policies; clock swap alone does not help): "
-            << (ok ? "OK" : "FAILED") << "\n\n";
-  return ok ? 0 : 1;
+            << (ok ? "OK" : "FAILED") << "\n";
+  const bool cal_exact =
+      wf2qpc.rt_delay.max_delay() == wf2qp.rt_delay.max_delay() &&
+      wf2qpc.rt_delay.mean_delay() == wf2qp.rt_delay.mean_delay();
+  std::cout << "shape check (calendar node policy == heap node policy): "
+            << (cal_exact ? "OK" : "FAILED") << "\n\n";
+  ok = ok && cal_exact;
+
+  const int engine_rc = run_engine_ablation(csv_path);
+  return ok && engine_rc == 0 ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace hfq::bench
 
-int main() { return hfq::bench::run(); }
+int main(int argc, char** argv) {
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    }
+  }
+  return hfq::bench::run(csv_path);
+}

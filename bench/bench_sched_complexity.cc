@@ -16,8 +16,10 @@
 //                grid across K threads and a summary table is printed.
 //   --datapath   before/after cells for the datapath rewrite: the verbatim
 //                deque-era WF²Q+ (audit::Wf2qPlusLegacy) against the arena +
-//                flat-heap core::Wf2qPlus at N ∈ {1e4, 1e5, 1e6}; writes
-//                BENCH_datapath.json (override with --out PATH).
+//                flat-heap core::Wf2qPlus ("new") and its TagCalendar
+//                eligible-set build ("cal", sched/calendar.h) at
+//                N ∈ {1e4, 1e5, 1e6}; writes BENCH_datapath.json
+//                (override with --out PATH).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -170,20 +172,25 @@ std::uint64_t timed_steady(Sched& s, int n, std::uint64_t iters,
     s.enqueue(pkt(static_cast<net::FlowId>(f), id++), now);
     s.enqueue(pkt(static_cast<net::FlowId>(f), id++), now);
   }
+  std::uint64_t delivered = 0;
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < iters; ++i) {
     now += pkt_time;
     auto p = s.dequeue(now);
     benchmark::DoNotOptimize(p);
+    if (!p) break;  // drained: report what was actually delivered
+    ++delivered;
     s.enqueue(pkt(p->flow, id++), now);
   }
   const auto t1 = std::chrono::steady_clock::now();
   ns_per_op =
-      static_cast<double>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-              .count()) /
-      static_cast<double>(iters);
-  return iters;
+      delivered == 0
+          ? 0.0
+          : static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()) /
+                static_cast<double>(delivered);
+  return delivered;
 }
 
 template <typename Sched>
@@ -352,6 +359,7 @@ std::uint64_t timed_burst(Sched& s, int n, std::uint64_t iters,
   while (done < iters) {
     out.clear();
     const std::size_t got = s.dequeue_burst(out, kBurst, now, kLinkRate, inf);
+    if (got == 0) break;  // drained: don't spin on an empty scheduler
     now += static_cast<double>(got) * pkt_time;
     refill.clear();
     for (const net::Packet& p : out) refill.push_back(pkt(p.flow, id++));
@@ -360,15 +368,17 @@ std::uint64_t timed_burst(Sched& s, int n, std::uint64_t iters,
   }
   const auto t1 = std::chrono::steady_clock::now();
   ns_per_op =
-      static_cast<double>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-              .count()) /
-      static_cast<double>(done);
+      done == 0
+          ? 0.0
+          : static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()) /
+                static_cast<double>(done);
   return done;
 }
 
 struct DatapathCell {
-  const char* impl;     // "legacy" | "new"
+  const char* impl;     // "legacy" | "new" | "cal"
   const char* pattern;  // setup_enqueue | steady | churn | burst
   int n;
 };
@@ -395,7 +405,7 @@ int run_datapath_mode(const std::string& out_path) {
   static const char* kPatterns[] = {"setup_enqueue", "steady", "churn",
                                     "burst"};
   std::vector<DatapathCell> cells;
-  for (const char* impl : {"legacy", "new"}) {
+  for (const char* impl : {"legacy", "new", "cal"}) {
     for (const char* pattern : kPatterns) {
       for (const int n : {10000, 100000, 1000000}) {
         cells.push_back({impl, pattern, n});
@@ -414,8 +424,11 @@ int run_datapath_mode(const std::string& out_path) {
     if (std::strcmp(c.impl, "legacy") == 0) {
       audit::Wf2qPlusLegacy s(kLinkRate);
       r.ops = run_datapath_pattern(s, c.pattern, c.n, r.ns_per_op);
+    } else if (std::strcmp(c.impl, "cal") == 0) {
+      core::Wf2qPlus s(kLinkRate, sched::EligEngine::kCalendar);
+      r.ops = run_datapath_pattern(s, c.pattern, c.n, r.ns_per_op);
     } else {
-      core::Wf2qPlus s(kLinkRate);
+      core::Wf2qPlus s(kLinkRate, sched::EligEngine::kHeap);
       r.ops = run_datapath_pattern(s, c.pattern, c.n, r.ns_per_op);
     }
     std::cerr << c.impl << ' ' << c.pattern << " N=" << c.n << ": "
@@ -472,6 +485,19 @@ int run_datapath_mode(const std::string& out_path) {
       first = false;
       out << "    {\"pattern\": \"" << pattern << "\", \"n\": " << n
           << ", \"x\": " << fmt(legacy_ns / new_ns, 2) << "}";
+    }
+  }
+  out << "\n  ],\n  \"speedup_new_over_cal\": [\n";
+  first = true;
+  for (const char* pattern : kPatterns) {
+    for (const int n : {10000, 100000, 1000000}) {
+      const double new_ns = find("new", pattern, n);
+      const double cal_ns = find("cal", pattern, n);
+      if (cal_ns <= 0.0) continue;
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"pattern\": \"" << pattern << "\", \"n\": " << n
+          << ", \"x\": " << fmt(new_ns / cal_ns, 2) << "}";
     }
   }
   out << "\n  ]\n}\n";

@@ -621,11 +621,12 @@ std::vector<FuzzFailure> run_checks(const FuzzTrace& tr,
   // slack), per-flow service within a couple of max packets of the double
   // version, and — on tie-heavy traces, where all arithmetic is exact in
   // both — the *identical* schedule, pinning the FIFO tie-break discipline.
+  std::vector<Departure> d_fixed;
   {
     core::Wf2qPlusFixed s(static_cast<std::uint64_t>(tr.link_rate));
     add_flows(s);
     GpsTrack t;
-    const auto d = run_linked(tr, s, "wf2qplus-fixed", &failures, &t);
+    const auto& d = d_fixed = run_linked(tr, s, "wf2qplus-fixed", &failures, &t);
     check_bound(&failures, "fixed-gps-ahead", t.worst_ahead,
                 2.0 * lmax + eps);
     check_bound(&failures, "fixed-gps-behind", t.worst_behind,
@@ -648,6 +649,76 @@ std::vector<FuzzFailure> run_checks(const FuzzTrace& tr,
     const auto d = run_linked(tr, s, "wf2qplus-legacy", &failures, nullptr);
     check_same_schedule(&failures, "wf2qplus-legacy-equivalence", d_plus, d,
                         /*compare_times=*/true);
+  }
+
+  // Calendar eligible-set engine (sched/calendar.h): in exact mode the
+  // TagCalendar build of every WF²Q+ variant must reproduce its heap
+  // twin's schedule bit-for-bit — packet ids AND departure times — on
+  // every trace. This is the engine-swap differential behind the
+  // HFQ_ELIGIBLE=calendar default.
+  {
+    core::Wf2qPlus s(tr.link_rate, sched::EligEngine::kCalendar);
+    add_flows(s);
+    const auto d = run_linked(tr, s, "wf2qplus-cal", &failures, nullptr);
+    check_same_schedule(&failures, "wf2qplus-cal-equivalence", d_plus, d,
+                        /*compare_times=*/true);
+  }
+  {
+    core::Wf2qPlusFixed s(static_cast<std::uint64_t>(tr.link_rate),
+                          sched::EligEngine::kCalendar);
+    add_flows(s);
+    const auto d = run_linked(tr, s, "wf2qplus-fixedcal", &failures, nullptr);
+    check_same_schedule(&failures, "fixed-cal-equivalence", d_fixed, d,
+                        /*compare_times=*/true);
+  }
+
+  // Approximate (unsorted-bucket) calendar: picks may trail the true
+  // minimum by one bucket width sigma, so the schedule is not identical —
+  // but per-flow service must track the exact schedule within the
+  // quantization budget sigma * r_link plus the usual packet slack.
+  {
+    double rmin = tr.rates[0];
+    for (const double r : tr.rates) rmin = std::min(rmin, r);
+    sched::CalendarTuning tuning;
+    tuning.approximate = true;
+    if (lmax > 0.0) tuning.max_packet_bits = lmax;
+    const sched::CalendarGeometry g =
+        sched::derive_geometry(tr.rates.size(), rmin, tuning);
+    core::Wf2qPlus s(tr.link_rate, sched::EligEngine::kCalendar, tuning);
+    add_flows(s);
+    const auto d = run_linked(tr, s, "wf2qplus-approxcal", &failures, nullptr);
+    check_service_tracking(&failures, "approxcal-service-tracking", d_plus, d,
+                           g.width_vt * tr.link_rate + 3.0 * lmax + eps);
+  }
+
+  // Hierarchical calendar engine: HPfq<Wf2qPlusCalPolicy> must reproduce
+  // HPfq<Wf2qPlusPolicy> exactly on the same two-class split.
+  {
+    const std::size_t n = tr.rates.size();
+    const std::size_t half = n / 2 > 0 ? n / 2 : 1;
+    double rate_a = 0.0, rate_b = 0.0;
+    for (std::size_t f = 0; f < n; ++f) {
+      (f < half ? rate_a : rate_b) += tr.rates[f];
+    }
+    if (rate_a > 0.0 && rate_b > 0.0) {
+      auto build = [&](auto& h) {
+        const core::NodeId ca = h.add_internal(h.root(), rate_a);
+        const core::NodeId cb = h.add_internal(h.root(), rate_b);
+        for (std::size_t f = 0; f < n; ++f) {
+          h.add_leaf(f < half ? ca : cb, tr.rates[f],
+                     static_cast<net::FlowId>(f));
+        }
+      };
+      core::HWf2qPlus heap(tr.link_rate);
+      core::HWf2qPlusCal cal(tr.link_rate);
+      build(heap);
+      build(cal);
+      const auto dh =
+          run_linked(tr, heap, "hwf2qplus-heapref", &failures, nullptr);
+      const auto dc = run_linked(tr, cal, "hwf2qplus-cal", &failures, nullptr);
+      check_same_schedule(&failures, "hwf2qplus-cal-equivalence", dh, dc,
+                          /*compare_times=*/true);
+    }
   }
 
   // Busy-period discipline: an unpolled direct driver (never dequeues from

@@ -114,7 +114,7 @@ class Wf2qPlusLegacy : public sched::FlatSchedulerBase {
     const FlowId id = eligible_.pop();
     FlowState& f = flow(id);
     HFQ_TRACE_EVENT(
-        heap_op(obs::kFlatNode, id, WallTime{now}, "select", f.finish));
+        eligset_op(obs::kFlatNode, id, WallTime{now}, "select", f.finish));
     HFQ_AUDIT_CHECK("seff-eligibility", sched::vt_leq(f.start, v_now),
                     "served a session whose start tag " +
                         std::to_string(f.start.v()) + " exceeds V " +

@@ -216,7 +216,7 @@ class HPfq : public net::Scheduler {
       n.active_child = child;
       n.logical = nodes_[child].logical;
       n.has_logical = true;
-      HFQ_TRACE_EVENT(heap_op(nid, child, n.T, "select", nodes_[child].f));
+      HFQ_TRACE_EVENT(eligset_op(nid, child, n.T, "select", nodes_[child].f));
       if (!n.busy) {
         HFQ_TRACE_EVENT(busy_start(nid, n.T, VirtualTime{}, 0.0));
       }
@@ -310,6 +310,7 @@ class HPfq : public net::Scheduler {
 
 // The paper's H-WF²Q+ server and the baseline hierarchies.
 using HWf2qPlus = HPfq<Wf2qPlusPolicy>;
+using HWf2qPlusCal = HPfq<Wf2qPlusCalPolicy>;  // calendar eligible sets
 using HWfq = HPfq<GpsSffPolicy>;
 using HWf2q = HPfq<GpsSeffPolicy>;
 using HScfq = HPfq<ScfqPolicy>;

@@ -14,6 +14,7 @@
 //
 // Provided policies:
 //   Wf2qPlusPolicy   — SEFF + Eq. 27 virtual time      → H-WF²Q+  (the paper)
+//   Wf2qPlusCalPolicy— same, calendar-backed eligible sets (sched/calendar.h)
 //   GpsSffPolicy     — SFF  + exact GPS virtual time   → H-WFQ    (baseline)
 //   GpsSeffPolicy    — SEFF + exact GPS virtual time   → H-WF²Q   (baseline)
 //   ScfqPolicy       — SFF  + self-clocked V           → H-SCFQ   (baseline)
@@ -28,6 +29,7 @@
 #include <optional>
 #include <vector>
 
+#include "sched/calendar.h"
 #include "sched/flat_base.h"
 #include "sched/gps_virtual_time.h"
 #include "util/assert.h"
@@ -191,6 +193,158 @@ class Wf2qPlusPolicy : public NodePolicyBase {
   std::uint64_t rebases_ = 0;
   util::HandleHeap<VirtualTime, std::size_t> eligible_;  // keyed by finish tag
   util::HandleHeap<VirtualTime, std::size_t> waiting_;   // keyed by start tag
+};
+
+// SEFF + Eq. 27 with calendar-backed eligible sets: the same schedule as
+// Wf2qPlusPolicy (the per-insert sequence numbers reproduce HandleHeap's
+// push-order tie-break, and sorted buckets pick the exact (tag, seq)
+// minimum), but select() finds the minimum with ctz bitmap walks instead of
+// heap sifts — so interior nodes at any depth benefit from the PR-8 engine.
+// Rebase rebuilds the wheels with the stored sequence numbers, which is
+// order-equivalent to HandleHeap::transform_keys (both preserve (key, seq)
+// order under a common offset).
+class Wf2qPlusCalPolicy : public NodePolicyBase {
+ public:
+  void set_tuning(const sched::CalendarTuning& t) {
+    tuning_ = t;
+    cal_ready_ = false;
+  }
+
+  [[nodiscard]] double vtime() const noexcept { return vtime_.v(); }
+
+  VtStamp on_head(std::size_t slot, Bits bits, bool continuing,
+                  WallTime /*T_node*/) {
+    Child& c = child(slot);
+    const VtStamp st = stamp(c, bits, continuing, vtime_);
+    if (!cal_ready_) {
+      build_calendars();
+    } else if (queued_.size() < children_.size()) {
+      // Children added after the first packet: grow the id arrays. The
+      // geometry stays as derived at build time — out-of-window tags ride
+      // the overflow list, so this is a perf concern only, not correctness.
+      eligible_.ensure_ids(children_.size());
+      waiting_.ensure_ids(children_.size());
+      queued_.resize(children_.size(), 0);
+      seq_of_.resize(children_.size(), 0);
+    }
+    const auto id = static_cast<std::uint32_t>(slot);
+    queued_[slot] = 1;
+    seq_of_[slot] = seq_++;
+    if (sched::vt_leq(c.start, vtime_)) {
+      c.in_eligible = true;
+      eligible_.insert(id, c.finish.v(), seq_of_[slot]);
+    } else {
+      c.in_eligible = false;
+      waiting_.insert(id, c.start.v(), seq_of_[slot]);
+    }
+    return st;
+  }
+
+  [[nodiscard]] bool has_selectable() const noexcept {
+    return !eligible_.empty() || !waiting_.empty();
+  }
+
+  std::size_t select(WallTime /*T_node*/) {
+    VirtualTime v_now = vtime_;
+    if (eligible_.empty()) {
+      HFQ_ASSERT_MSG(!waiting_.empty(), "select with no selectable children");
+      const VirtualTime smin{waiting_.peek_min().tag};
+      if (smin > v_now) v_now = smin;
+    }
+    waiting_.drain_leq(
+        [v_now](double s) { return sched::vt_leq(VirtualTime{s}, v_now); },
+        [this](std::uint32_t id, double, std::uint64_t) {
+          Child& c = child(id);
+          c.in_eligible = true;
+          seq_of_[id] = seq_++;
+          eligible_.insert(id, c.finish.v(), seq_of_[id]);
+        });
+    HFQ_ASSERT(!eligible_.empty());
+    const std::size_t slot = eligible_.pop_min();
+    Child& c = child(slot);
+    queued_[slot] = 0;
+    vtime_ = v_now + c.head_bits / node_rate_;
+    maybe_rebase();
+    return slot;
+  }
+
+  [[nodiscard]] std::uint64_t rebase_count() const noexcept {
+    return rebases_;
+  }
+
+  void set_rebase_threshold(double seconds) {
+    HFQ_ASSERT(seconds > 0.0);
+    rebase_threshold_ = VirtualTime{seconds};
+  }
+
+  [[nodiscard]] bool audit_valid() const {
+    if (!eligible_.validate() || !waiting_.validate()) return false;
+    std::size_t queued = 0;
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (i < queued_.size() && queued_[i] != 0) {
+        ++queued;
+        if (children_[i].finish < children_[i].start) return false;
+      }
+    }
+    return eligible_.size() + waiting_.size() == queued;
+  }
+
+ private:
+  void build_calendars() {
+    double rmin = 0.0;
+    for (const Child& c : children_) {
+      const double r = c.rate.bps();
+      if (r > 0.0 && (rmin == 0.0 || r < rmin)) rmin = r;
+    }
+    const sched::CalendarGeometry g = sched::derive_geometry(
+        children_.size(), rmin > 0.0 ? rmin : 1.0, tuning_);
+    sched::CalendarQuant<double> q;
+    q.inv_width = 1.0 / g.width_vt;
+    eligible_.configure(q, g.log2_buckets, tuning_.approximate);
+    waiting_.configure(q, g.log2_buckets, tuning_.approximate);
+    eligible_.ensure_ids(children_.size());
+    waiting_.ensure_ids(children_.size());
+    queued_.assign(children_.size(), 0);
+    seq_of_.assign(children_.size(), 0);
+    cal_ready_ = true;
+  }
+
+  // Same offset-subtraction rebase as Wf2qPlusPolicy; the wheels are
+  // rebuilt from the shifted tags with the stored sequence numbers, which
+  // preserves the (key, seq) total order exactly.
+  void maybe_rebase() {
+    if (vtime_ < rebase_threshold_) return;
+    const Duration off = vtime_ - VirtualTime{};
+    vtime_ = VirtualTime{};
+    for (Child& c : children_) {
+      c.start -= off;
+      c.finish -= off;
+    }
+    eligible_.clear();
+    waiting_.clear();
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (i >= queued_.size() || queued_[i] == 0) continue;
+      const Child& c = children_[i];
+      const auto id = static_cast<std::uint32_t>(i);
+      if (c.in_eligible) {
+        eligible_.insert(id, c.finish.v(), seq_of_[i]);
+      } else {
+        waiting_.insert(id, c.start.v(), seq_of_[i]);
+      }
+    }
+    ++rebases_;
+  }
+
+  VirtualTime vtime_;
+  VirtualTime rebase_threshold_{1e9};
+  std::uint64_t rebases_ = 0;
+  std::uint64_t seq_ = 0;
+  bool cal_ready_ = false;
+  sched::CalendarTuning tuning_;
+  std::vector<std::uint8_t> queued_;
+  std::vector<std::uint64_t> seq_of_;
+  sched::TagCalendar<double> eligible_;  // keyed by finish tag
+  sched::TagCalendar<double> waiting_;   // keyed by start tag
 };
 
 // SFF + Eq. 27 virtual time: an ablation showing that replacing the GPS

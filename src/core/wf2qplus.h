@@ -16,11 +16,16 @@
 //    which is the form the paper's own pseudocode (Section 4.2) uses and
 //    needs no fluid-system tracking.
 //
-// The eligible set is maintained with two flat 4-ary heaps: sessions
-// whose head has not started in virtual time wait in a start-time heap;
-// eligible sessions sit in a finish-time heap. Advancing V migrates sessions
-// between them, so every operation is O(log N) — the complexity claim
-// measured by bench/bench_sched_complexity.
+// The eligible set is maintained by one of two engines behind a ctor/compile
+// switch (sched/calendar.h, HFQ_ELIGIBLE=heap|calendar): two flat 4-ary
+// heaps (sessions whose head has not started in virtual time wait in a
+// start-time heap; eligible sessions sit in a finish-time heap; advancing V
+// migrates between them, O(log N) per op — the complexity claim measured by
+// bench/bench_sched_complexity), or two hierarchical-bitmap calendar wheels
+// over the same (tag, arrival_no) keys with O(1) ctz-based find-min. The
+// calendar's sorted-bucket default reproduces the heap schedule bit for bit
+// (fuzzed per seed); its approximate mode trades a <= one-bucket WFI
+// penalty for unsorted O(1) inserts.
 //
 // Datapath (million-flow rewrite; see DESIGN.md "Datapath"): queued packets
 // live in a flat arena with the per-flow FIFO threaded through the slots and
@@ -38,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "sched/calendar.h"
 #include "sched/soa_base.h"
 
 namespace hfq::core {
@@ -53,8 +59,12 @@ using units::WallTime;
 
 class Wf2qPlus : public sched::SoaSchedulerBase {
  public:
-  explicit Wf2qPlus(double link_rate_bps)
-      : link_rate_(RateBps{link_rate_bps}) {
+  explicit Wf2qPlus(double link_rate_bps,
+                    sched::EligEngine engine = sched::default_elig_engine(),
+                    sched::CalendarTuning tuning = {})
+      : link_rate_(RateBps{link_rate_bps}),
+        use_calendar_(engine == sched::EligEngine::kCalendar),
+        cal_tuning_(tuning) {
     HFQ_ASSERT(link_rate_bps > 0.0);
   }
 
@@ -63,6 +73,10 @@ class Wf2qPlus : public sched::SoaSchedulerBase {
     SoaSchedulerBase::add_flow(id, rate_bps, capacity_packets);
     if (id >= tags_.size()) tags_.resize(static_cast<std::size_t>(id) + 1);
     tags_[id].rate = RateBps{rate_bps};
+    if (use_calendar_) {
+      cal_eligible_.ensure_ids(meta_.size());
+      cal_waiting_.ensure_ids(meta_.size());
+    }
   }
 
   // Pre-sizes every flow-indexed array plus the packet arena.
@@ -194,7 +208,7 @@ class Wf2qPlus : public sched::SoaSchedulerBase {
 
   void commit_live_edits() override {
     if (!needs_rebuild_) return;
-    rebuild_heaps();
+    rebuild_eligible_sets();
     needs_rebuild_ = false;
   }
 
@@ -235,16 +249,22 @@ class Wf2qPlus : public sched::SoaSchedulerBase {
                     ": tag epoch from the future");
       }
     }
-    if (eligible_.size() + waiting_.size() != backlogged) {
-      return fail("heap membership (" +
-                  std::to_string(eligible_.size() + waiting_.size()) +
+    if (eligible_set_size() != backlogged) {
+      return fail("eligible-set membership (" +
+                  std::to_string(eligible_set_size()) +
                   ") != backlogged flow count (" + std::to_string(backlogged) +
                   ")");
     }
-    if (!eligible_.validate() || !waiting_.validate()) {
-      return fail("eligible/waiting heap order corrupted");
+    if (!eligible_sets_valid()) {
+      return fail("eligible/waiting set order corrupted");
     }
     return true;
+  }
+
+  // Which eligible-set engine this instance runs (test/bench introspection).
+  [[nodiscard]] bool uses_calendar() const noexcept { return use_calendar_; }
+  [[nodiscard]] const sched::CalendarStats& calendar_stats() const noexcept {
+    return cal_eligible_.stats();
   }
 
   [[nodiscard]] double vtime() const noexcept { return vtime_.v(); }
@@ -333,20 +353,23 @@ class Wf2qPlus : public sched::SoaSchedulerBase {
     }
     // Eq. 27 in service time: V_now = max(V, Smin). If any session is
     // eligible its start is <= V already, so the max only matters when the
-    // eligible heap is empty.
+    // eligible set is empty. All eligible-set operations go through the
+    // engine dispatch helpers below — never a direct heap sift in this body
+    // (lint rule sift-in-hot-loop).
     VirtualTime v_now = vtime_;
-    if (eligible_.empty()) {
-      HFQ_ASSERT_MSG(!waiting_.empty(), "backlog without any head tags");
-      const VirtualTime smin = waiting_.top_key().tag;
+    if (eligible_set_empty()) {
+      HFQ_ASSERT_MSG(eligible_set_size() != 0,
+                     "backlog without any head tags");
+      const VirtualTime smin = waiting_smin();
       if (smin > v_now) v_now = smin;
     }
     migrate_eligible(v_now, now);
-    HFQ_ASSERT_MSG(!eligible_.empty(),
+    HFQ_ASSERT_MSG(!eligible_set_empty(),
                    "SEFF must always find an eligible session");
-    const FlowId id = eligible_.pop();
+    const FlowId id = pop_min_eligible();
     Tag& t = tags_[id];
     HFQ_TRACE_EVENT(
-        heap_op(obs::kFlatNode, id, WallTime{now}, "select", t.finish));
+        eligset_op(obs::kFlatNode, id, WallTime{now}, "select", t.finish));
     HFQ_AUDIT_CHECK("seff-eligibility", sched::vt_leq(t.start, v_now),
                     "served a session whose start tag " +
                         std::to_string(t.start.v()) + " exceeds V " +
@@ -373,8 +396,8 @@ class Wf2qPlus : public sched::SoaSchedulerBase {
       t.finish = t.start + q.front(arena_).bits() / t.rate;
       insert_by_eligibility(id, now);
     }
-    HFQ_AUDIT_CHECK("heap-valid", eligible_.validate() && waiting_.validate(),
-                    "eligible/waiting heap order corrupted");
+    HFQ_AUDIT_CHECK("eligset-valid", eligible_sets_valid(),
+                    "eligible/waiting set order corrupted");
     HFQ_AUDIT_CHECK("backlog-conservation",
                     audit_queued_packets() == backlog_,
                     "backlog counter diverged from per-flow queue sizes");
@@ -382,28 +405,99 @@ class Wf2qPlus : public sched::SoaSchedulerBase {
     return p;
   }
 
+  // --- Eligible-set engine dispatch -----------------------------------------
+  //
+  // Heap engine: the PR-5 InlineHeaps keyed by (tag, arrival_no).
+  // Calendar engine: TagCalendar over the same keys (sched/calendar.h) —
+  // sorted buckets by default, so pop order is bit-identical to the heaps
+  // (fuzzed per seed in audit::run_checks). The use_calendar_ branch is
+  // set once at construction and perfectly predicted.
+
+  [[nodiscard]] bool eligible_set_empty() const {
+    return use_calendar_ ? cal_eligible_.empty() : eligible_.empty();
+  }
+  [[nodiscard]] std::size_t eligible_set_size() const {
+    return use_calendar_ ? cal_eligible_.size() + cal_waiting_.size()
+                         : eligible_.size() + waiting_.size();
+  }
+  [[nodiscard]] bool eligible_sets_valid() {
+    return use_calendar_ ? cal_eligible_.validate() && cal_waiting_.validate()
+                         : eligible_.validate() && waiting_.validate();
+  }
+  [[nodiscard]] VirtualTime waiting_smin() {
+    if (use_calendar_) {
+      HFQ_ASSERT(!cal_waiting_.empty());
+      return VirtualTime{cal_waiting_.peek_min().tag};
+    }
+    HFQ_ASSERT(!waiting_.empty());
+    return waiting_.top_key().tag;
+  }
+  [[nodiscard]] FlowId pop_min_eligible() {
+    if (use_calendar_) return static_cast<FlowId>(cal_eligible_.pop_min());
+    return eligible_.pop();
+  }
+
+  // Derives the calendar geometry from the registered flows and builds both
+  // wheels; deferred to the first insert so every add_flow (and the minimum
+  // rate) is known. Rebuilds re-derive by resetting cal_ready_.
+  void build_calendars() {
+    double rmin = 0.0;
+    std::size_t flows = 0;
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      if (meta_[i].registered == 0) continue;
+      ++flows;
+      const double r = rate_[i].bps();
+      if (rmin == 0.0 || r < rmin) rmin = r;
+    }
+    const sched::CalendarGeometry g =
+        sched::derive_geometry(flows, rmin > 0.0 ? rmin : 1.0, cal_tuning_);
+    sched::CalendarQuant<double> q;
+    q.inv_width = 1.0 / g.width_vt;
+    cal_eligible_.configure(q, g.log2_buckets, cal_tuning_.approximate);
+    cal_waiting_.configure(q, g.log2_buckets, cal_tuning_.approximate);
+    cal_eligible_.ensure_ids(meta_.size());
+    cal_waiting_.ensure_ids(meta_.size());
+    cal_ready_ = true;
+  }
+
   void insert_by_eligibility(FlowId id, Time now) {
     Tag& t = tags_[id];
     Meta& m = meta_[id];
     const std::uint64_t no = fifo_[id].front_arrival_no(arena_);
+    if (use_calendar_ && !cal_ready_) build_calendars();
     if (sched::vt_leq(t.start, vtime_)) {
       m.in_eligible = 1;
-      eligible_.push(sched::VtKey{t.finish, no}, id);
+      if (use_calendar_) {
+        cal_eligible_.insert(id, t.finish.v(), no);
+      } else {
+        eligible_.push(sched::VtKey{t.finish, no}, id);
+      }
     } else {
       m.in_eligible = 0;
-      waiting_.push(sched::VtKey{t.start, no}, id);
+      if (use_calendar_) {
+        cal_waiting_.insert(id, t.start.v(), no);
+      } else {
+        waiting_.push(sched::VtKey{t.start, no}, id);
+      }
     }
     trace_flip(id, now, vtime_, t.start, t.finish, m.in_eligible != 0);
   }
 
-  // Rebuilds both heaps from scratch after a live-edit batch invalidated
-  // keys. Classification (eligible vs waiting) and tie-break order are
-  // exactly what a fresh sequence of insert_by_eligibility calls produces,
-  // because the keys are pure functions of the surviving tags and head
-  // arrival numbers. The wall-clock argument only feeds trace timestamps.
-  void rebuild_heaps() {
+  // Rebuilds both eligible sets from scratch after a live-edit batch
+  // invalidated keys. Classification (eligible vs waiting) and tie-break
+  // order are exactly what a fresh sequence of insert_by_eligibility calls
+  // produces, because the keys are pure functions of the surviving tags and
+  // head arrival numbers. The calendar additionally re-derives its geometry
+  // (an edit may have changed the minimum rate or flow count). The
+  // wall-clock argument only feeds trace timestamps.
+  void rebuild_eligible_sets() {
     eligible_.clear();
     waiting_.clear();
+    if (use_calendar_) {
+      cal_eligible_.clear();
+      cal_waiting_.clear();
+      cal_ready_ = false;  // re-derive geometry + configure on next insert
+    }
     for (std::size_t i = 0; i < meta_.size(); ++i) {
       const FlowId id = static_cast<FlowId>(i);
       if (meta_[i].registered == 0 || fifo_[i].empty()) continue;
@@ -412,6 +506,20 @@ class Wf2qPlus : public sched::SoaSchedulerBase {
   }
 
   void migrate_eligible(VirtualTime v_now, Time now) {
+    if (use_calendar_) {
+      cal_waiting_.drain_leq(
+          [v_now](double s) {
+            return sched::vt_leq(VirtualTime{s}, v_now);
+          },
+          [this, v_now, now](std::uint32_t id, double, std::uint64_t no) {
+            Tag& t = tags_[id];
+            meta_[id].in_eligible = 1;
+            cal_eligible_.insert(id, t.finish.v(), no);
+            const auto fid = static_cast<FlowId>(id);
+            trace_flip(fid, now, v_now, t.start, t.finish, true);
+          });
+      return;
+    }
     while (!waiting_.empty() && sched::vt_leq(waiting_.top_key().tag, v_now)) {
       const FlowId id = waiting_.pop();
       Tag& t = tags_[id];
@@ -435,11 +543,17 @@ class Wf2qPlus : public sched::SoaSchedulerBase {
   // commit_live_edits() after the rebuild.
   bool needs_rebuild_ = false;
   std::vector<Tag> tags_;
-  // InlineHeap, not HandleHeap: the datapath never cancels below the root,
-  // and dropping the handle table removes one random store per slot moved in
-  // a sift — the difference between ~2.5x and ~4x at N=1M.
+  // Heap engine — InlineHeap, not HandleHeap: the datapath never cancels
+  // below the root, and dropping the handle table removes one random store
+  // per slot moved in a sift — the difference between ~2.5x and ~4x at N=1M.
   util::InlineHeap<sched::VtKey, FlowId> eligible_;  // keyed by virtual finish
   util::InlineHeap<sched::VtKey, FlowId> waiting_;   // keyed by virtual start
+  // Calendar engine — hierarchical-bitmap wheels over the same keys.
+  bool use_calendar_ = false;
+  bool cal_ready_ = false;
+  sched::CalendarTuning cal_tuning_;
+  sched::TagCalendar<double> cal_eligible_;
+  sched::TagCalendar<double> cal_waiting_;
 };
 
 }  // namespace hfq::core

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "sched/calendar.h"
 #include "sched/soa_base.h"
 
 namespace hfq::core {
@@ -44,9 +45,14 @@ class Wf2qPlusFixed : public sched::SoaSchedulerBase {
   // Virtual time resolution: 2^-20 seconds per tick.
   static constexpr int kTickShift = 20;
 
-  explicit Wf2qPlusFixed(std::uint64_t link_rate_bps)
+  explicit Wf2qPlusFixed(
+      std::uint64_t link_rate_bps,
+      sched::EligEngine engine = sched::default_elig_engine(),
+      sched::CalendarTuning tuning = {})
       : link_rate_(link_rate_bps),
-        inv_link_rate_(1.0 / static_cast<double>(link_rate_bps)) {
+        inv_link_rate_(1.0 / static_cast<double>(link_rate_bps)),
+        use_calendar_(engine == sched::EligEngine::kCalendar),
+        cal_tuning_(tuning) {
     HFQ_ASSERT(link_rate_bps > 0);
   }
 
@@ -59,6 +65,10 @@ class Wf2qPlusFixed : public sched::SoaSchedulerBase {
     SoaSchedulerBase::add_flow(id, rate_bps, capacity_packets);
     if (id >= fx_.size()) fx_.resize(static_cast<std::size_t>(id) + 1);
     fx_[id].rate = static_cast<std::uint64_t>(std::llround(rate_bps));
+    if (use_calendar_) {
+      cal_eligible_.ensure_ids(meta_.size());
+      cal_waiting_.ensure_ids(meta_.size());
+    }
   }
 
   // Pre-sizes every flow-indexed array plus the packet arena.
@@ -173,7 +183,7 @@ class Wf2qPlusFixed : public sched::SoaSchedulerBase {
 
   void commit_live_edits() override {
     if (!needs_rebuild_) return;
-    rebuild_heaps();
+    rebuild_eligible_sets();
     needs_rebuild_ = false;
   }
 
@@ -210,17 +220,20 @@ class Wf2qPlusFixed : public sched::SoaSchedulerBase {
                     ": tag epoch from the future");
       }
     }
-    if (eligible_.size() + waiting_.size() != backlogged) {
-      return fail("heap membership (" +
-                  std::to_string(eligible_.size() + waiting_.size()) +
+    if (eligible_set_size() != backlogged) {
+      return fail("eligible-set membership (" +
+                  std::to_string(eligible_set_size()) +
                   ") != backlogged flow count (" + std::to_string(backlogged) +
                   ")");
     }
-    if (!eligible_.validate() || !waiting_.validate()) {
-      return fail("eligible/waiting heap order corrupted");
+    if (!eligible_sets_valid()) {
+      return fail("eligible/waiting set order corrupted");
     }
     return true;
   }
+
+  // Which eligible-set engine this instance runs (test/bench introspection).
+  [[nodiscard]] bool uses_calendar() const noexcept { return use_calendar_; }
 
   [[nodiscard]] std::uint64_t vtime_ticks() const noexcept {
     return vtime_.ticks();
@@ -307,29 +320,20 @@ class Wf2qPlusFixed : public sched::SoaSchedulerBase {
       ++epoch_;
       return std::nullopt;
     }
+    // Eligible-set operations go through the engine dispatch helpers —
+    // never a direct heap sift in this body (lint rule sift-in-hot-loop).
     VTicks v_now = vtime_;
-    if (eligible_.empty()) {
-      HFQ_ASSERT(!waiting_.empty());
-      const VTicks smin = waiting_.top_key().tag;
+    if (eligible_set_empty()) {
+      HFQ_ASSERT(eligible_set_size() != 0);
+      const VTicks smin = waiting_smin();
       if (smin > v_now) v_now = smin;
     }
-    // Integer ticks compare exactly; the vt_leq tolerance is a float-only
-    // concern. hfq-lint: disable(tag-compare)
-    while (!waiting_.empty() && waiting_.top_key().tag <= v_now) {
-      const net::FlowId id = waiting_.pop();
-      meta_[id].in_eligible = 1;
-      eligible_.push(
-          FxKey{fx_[id].finish, fifo_[id].front_arrival_no(arena_)}, id);
-      HFQ_TRACE_EVENT(eligibility_flip(obs::kFlatNode, id,
-                                       sched::WallTime{now}, vt(v_now),
-                                       vt(fx_[id].start), vt(fx_[id].finish),
-                                       true));
-    }
-    HFQ_ASSERT(!eligible_.empty());
-    const net::FlowId id = eligible_.pop();
+    migrate_eligible(v_now, now);
+    HFQ_ASSERT(!eligible_set_empty());
+    const net::FlowId id = pop_min_eligible();
     Fx& x = fx_[id];
-    HFQ_TRACE_EVENT(heap_op(obs::kFlatNode, id, sched::WallTime{now}, "select",
-                            vt(x.finish)));
+    HFQ_TRACE_EVENT(eligset_op(obs::kFlatNode, id, sched::WallTime{now},
+                               "select", vt(x.finish)));
     // hfq-lint: disable(tag-compare) — exact integer-domain eligibility.
     HFQ_AUDIT_CHECK("seff-eligibility", x.start <= v_now,
                     "served a session whose start tag " +
@@ -355,8 +359,8 @@ class Wf2qPlusFixed : public sched::SoaSchedulerBase {
           x.start + finish_increment(q.front(arena_).size_bits(), x.rate);
       insert_by_eligibility(id, now);
     }
-    HFQ_AUDIT_CHECK("heap-valid", eligible_.validate() && waiting_.validate(),
-                    "eligible/waiting heap order corrupted");
+    HFQ_AUDIT_CHECK("eligset-valid", eligible_sets_valid(),
+                    "eligible/waiting set order corrupted");
     HFQ_AUDIT_CHECK("backlog-conservation",
                     audit_queued_packets() == backlog_,
                     "backlog counter diverged from per-flow queue sizes");
@@ -364,28 +368,132 @@ class Wf2qPlusFixed : public sched::SoaSchedulerBase {
     return p;
   }
 
+  // --- Eligible-set engine dispatch (integer twin of Wf2qPlus's) ------------
+
+  [[nodiscard]] bool eligible_set_empty() const {
+    return use_calendar_ ? cal_eligible_.empty() : eligible_.empty();
+  }
+  [[nodiscard]] std::size_t eligible_set_size() const {
+    return use_calendar_ ? cal_eligible_.size() + cal_waiting_.size()
+                         : eligible_.size() + waiting_.size();
+  }
+  [[nodiscard]] bool eligible_sets_valid() {
+    return use_calendar_ ? cal_eligible_.validate() && cal_waiting_.validate()
+                         : eligible_.validate() && waiting_.validate();
+  }
+  [[nodiscard]] VTicks waiting_smin() {
+    if (use_calendar_) {
+      HFQ_ASSERT(!cal_waiting_.empty());
+      return VTicks{cal_waiting_.peek_min().tag};
+    }
+    HFQ_ASSERT(!waiting_.empty());
+    return waiting_.top_key().tag;
+  }
+  [[nodiscard]] net::FlowId pop_min_eligible() {
+    if (use_calendar_) {
+      return static_cast<net::FlowId>(cal_eligible_.pop_min());
+    }
+    return eligible_.pop();
+  }
+
+  void migrate_eligible(VTicks v_now, [[maybe_unused]] net::Time now) {
+    if (use_calendar_) {
+      const std::uint64_t bound = v_now.ticks();
+      cal_waiting_.drain_leq(
+          // Integer ticks compare exactly; the vt_leq tolerance is a
+          // float-only concern. hfq-lint: disable(tag-compare)
+          [bound](std::uint64_t s) { return s <= bound; },
+          [this, v_now, now](std::uint32_t id, std::uint64_t,
+                             std::uint64_t no) {
+            meta_[id].in_eligible = 1;
+            cal_eligible_.insert(id, fx_[id].finish.ticks(), no);
+            HFQ_TRACE_EVENT(eligibility_flip(
+                obs::kFlatNode, static_cast<net::FlowId>(id),
+                sched::WallTime{now}, vt(v_now), vt(fx_[id].start),
+                vt(fx_[id].finish), true));
+          });
+      return;
+    }
+    // Integer ticks compare exactly; the vt_leq tolerance is a float-only
+    // concern. hfq-lint: disable(tag-compare)
+    while (!waiting_.empty() && waiting_.top_key().tag <= v_now) {
+      const net::FlowId id = waiting_.pop();
+      meta_[id].in_eligible = 1;
+      eligible_.push(
+          FxKey{fx_[id].finish, fifo_[id].front_arrival_no(arena_)}, id);
+      HFQ_TRACE_EVENT(eligibility_flip(obs::kFlatNode, id,
+                                       sched::WallTime{now}, vt(v_now),
+                                       vt(fx_[id].start), vt(fx_[id].finish),
+                                       true));
+    }
+  }
+
+  // Derives the tick-domain geometry: the shared width derivation gives a
+  // bucket width in virtual seconds; the integer wheel rounds it down to a
+  // power-of-two tick count so quantization is a shift.
+  void build_calendars() {
+    double rmin = 0.0;
+    std::size_t flows = 0;
+    for (std::size_t i = 0; i < fx_.size(); ++i) {
+      if (meta_[i].registered == 0) continue;
+      ++flows;
+      const double r = static_cast<double>(fx_[i].rate);
+      if (rmin == 0.0 || (r > 0.0 && r < rmin)) rmin = r;
+    }
+    const sched::CalendarGeometry g =
+        sched::derive_geometry(flows, rmin > 0.0 ? rmin : 1.0, cal_tuning_);
+    const double width_ticks =
+        g.width_vt * static_cast<double>(std::uint64_t{1} << kTickShift);
+    unsigned shift = 0;
+    while (shift < 40 && (2.0 * static_cast<double>(std::uint64_t{1} << shift)) <=
+                             width_ticks) {
+      ++shift;
+    }
+    sched::CalendarQuant<std::uint64_t> q;
+    q.shift = shift;
+    cal_eligible_.configure(q, g.log2_buckets, cal_tuning_.approximate);
+    cal_waiting_.configure(q, g.log2_buckets, cal_tuning_.approximate);
+    cal_eligible_.ensure_ids(meta_.size());
+    cal_waiting_.ensure_ids(meta_.size());
+    cal_ready_ = true;
+  }
+
   void insert_by_eligibility(net::FlowId id, [[maybe_unused]] net::Time now) {
     const Fx& x = fx_[id];
     Meta& m = meta_[id];
     const std::uint64_t no = fifo_[id].front_arrival_no(arena_);
+    if (use_calendar_ && !cal_ready_) build_calendars();
     // hfq-lint: disable(tag-compare) — exact integer-domain eligibility.
     if (x.start <= vtime_) {
       m.in_eligible = 1;
-      eligible_.push(FxKey{x.finish, no}, id);
+      if (use_calendar_) {
+        cal_eligible_.insert(id, x.finish.ticks(), no);
+      } else {
+        eligible_.push(FxKey{x.finish, no}, id);
+      }
     } else {
       m.in_eligible = 0;
-      waiting_.push(FxKey{x.start, no}, id);
+      if (use_calendar_) {
+        cal_waiting_.insert(id, x.start.ticks(), no);
+      } else {
+        waiting_.push(FxKey{x.start, no}, id);
+      }
     }
     HFQ_TRACE_EVENT(eligibility_flip(obs::kFlatNode, id, sched::WallTime{now},
                                      vt(vtime_), vt(x.start), vt(x.finish),
                                      m.in_eligible != 0));
   }
 
-  // Rebuilds both heaps after a live-edit batch (integer twin of
-  // Wf2qPlus::rebuild_heaps; same exact-order argument).
-  void rebuild_heaps() {
+  // Rebuilds both eligible sets after a live-edit batch (integer twin of
+  // Wf2qPlus::rebuild_eligible_sets; same exact-order argument).
+  void rebuild_eligible_sets() {
     eligible_.clear();
     waiting_.clear();
+    if (use_calendar_) {
+      cal_eligible_.clear();
+      cal_waiting_.clear();
+      cal_ready_ = false;
+    }
     for (std::size_t i = 0; i < meta_.size(); ++i) {
       const net::FlowId id = static_cast<net::FlowId>(i);
       if (meta_[i].registered == 0 || fifo_[i].empty()) continue;
@@ -406,8 +514,15 @@ class Wf2qPlusFixed : public sched::SoaSchedulerBase {
   // commit_live_edits() after the rebuild.
   bool needs_rebuild_ = false;
   std::vector<Fx> fx_;
+  // Heap engine.
   util::InlineHeap<FxKey, net::FlowId> eligible_;  // keyed by finish tag
   util::InlineHeap<FxKey, net::FlowId> waiting_;   // keyed by start tag
+  // Calendar engine — tick-domain wheels (shift quantizer).
+  bool use_calendar_ = false;
+  bool cal_ready_ = false;
+  sched::CalendarTuning cal_tuning_;
+  sched::TagCalendar<std::uint64_t> cal_eligible_;
+  sched::TagCalendar<std::uint64_t> cal_waiting_;
 };
 
 }  // namespace hfq::core

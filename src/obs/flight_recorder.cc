@@ -16,8 +16,8 @@ const char* kind_name(EventKind k) noexcept {
       return "vtime_update";
     case EventKind::kEligibilityFlip:
       return "eligibility_flip";
-    case EventKind::kHeapOp:
-      return "heap_op";
+    case EventKind::kEligsetOp:
+      return "eligset_op";
     case EventKind::kDrop:
       return "drop";
     case EventKind::kBusyPeriodStart:
@@ -77,7 +77,7 @@ std::string format_event(const Event& e) {
                     e.seq, e.wall.seconds(), kind_name(e.kind), ids, e.detail,
                     e.a, e.b, e.vtime.v());
       break;
-    case EventKind::kHeapOp:
+    case EventKind::kEligsetOp:
       std::snprintf(buf, sizeof(buf), "#%" PRIu64 " t=%.9g %s%s %s key=%.9g",
                     e.seq, e.wall.seconds(), kind_name(e.kind), ids, e.detail,
                     e.a);

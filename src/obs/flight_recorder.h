@@ -61,7 +61,7 @@ enum class EventKind : std::uint8_t {
   kDequeue,           // packet selected for transmission
   kVtimeUpdate,       // Eq. 27 advance: V <- max(V, Smin) + L/r
   kEligibilityFlip,   // session moved between waiting and eligible sets
-  kHeapOp,            // heap push/pop/select (detail names the operation)
+  kEligsetOp,         // eligible-set op: heap or calendar select (see detail)
   kDrop,              // packet rejected (finite session buffer)
   kBusyPeriodStart,   // arrival into a drained server started a busy period
   kBusyPeriodEnd,     // idle poll on a drained server ended the busy period
@@ -84,7 +84,7 @@ enum class EventKind : std::uint8_t {
 //   kVtimeUpdate          wall, a = old V, vtime = new V
 //   kEligibilityFlip      flow, wall, vtime = V, a = start tag,
 //                         b = finish tag, detail = "eligible" | "waiting"
-//   kHeapOp               flow, wall, a/b = heap key(s),
+//   kEligsetOp            flow, wall, a/b = eligible-set key(s),
 //                         detail = operation name
 //   kDrop                 flow, packet, wall, a = packet bits
 //   kBusyPeriodStart/End  wall, vtime = V before the reset, a = epoch
@@ -183,11 +183,11 @@ class FlightRecorder {
 
   // `op` must be a static string (e.g. "push-eligible", "pop-waiting",
   // "select").
-  void heap_op(std::uint32_t node, std::uint32_t flow, units::WallTime t,
+  void eligset_op(std::uint32_t node, std::uint32_t flow, units::WallTime t,
                const char* op, units::VirtualTime key,
                units::VirtualTime key2 = units::VirtualTime{}) noexcept {
     Event e;
-    e.kind = EventKind::kHeapOp;
+    e.kind = EventKind::kEligsetOp;
     e.node = node;
     e.flow = flow;
     e.wall = t;

@@ -306,8 +306,9 @@ std::string synth_tree(int fanout, int depth, double link_bps) {
 
 const std::vector<std::string>& known_schedulers() {
   static const std::vector<std::string> k = {
-      "hwf2q+", "hwfq",  "hwf2q",       "hscfq", "hsfq",
-      "hdrr",   "happrox-wfq", "wf2q+", "wf2q+fixed"};
+      "hwf2q+",      "hwfq",  "hwf2q",      "hscfq",    "hsfq",
+      "hdrr",        "happrox-wfq", "wf2q+", "wf2q+fixed",
+      "hwf2q+cal",   "wf2q+cal",    "wf2q+fixedcal"};
   return k;
 }
 

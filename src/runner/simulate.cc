@@ -48,9 +48,11 @@ std::vector<Leaf> leaves_of(const core::Hierarchy& spec) {
 // optimized schedulers the serve/ shards run, and the only ones with
 // live-edit support.
 template <typename Sched, typename LinkRate>
-std::unique_ptr<net::Scheduler> build_flat(const std::string& key,
-                                           const core::Hierarchy& spec) {
-  auto sched = std::make_unique<Sched>(static_cast<LinkRate>(spec.link_rate()));
+std::unique_ptr<net::Scheduler> build_flat(
+    const std::string& key, const core::Hierarchy& spec,
+    sched::EligEngine engine = sched::default_elig_engine()) {
+  auto sched = std::make_unique<Sched>(static_cast<LinkRate>(spec.link_rate()),
+                                       engine);
   for (std::uint32_t i = 1; i < spec.size(); ++i) {
     const auto& n = spec.node(i);
     if (!n.leaf || n.parent != 0) {
@@ -77,6 +79,17 @@ std::unique_ptr<net::Scheduler> build_scheduler(const std::string& key,
   if (key == "wf2q+") return build_flat<core::Wf2qPlus, double>(key, spec);
   if (key == "wf2q+fixed") {
     return build_flat<core::Wf2qPlusFixed, std::uint64_t>(key, spec);
+  }
+  // Explicit calendar-engine variants: same algorithms, TagCalendar eligible
+  // sets (sched/calendar.h). Schedules are bit-identical to the heap keys.
+  if (key == "hwf2q+cal") return spec.build_packet<core::Wf2qPlusCalPolicy>();
+  if (key == "wf2q+cal") {
+    return build_flat<core::Wf2qPlus, double>(key, spec,
+                                              sched::EligEngine::kCalendar);
+  }
+  if (key == "wf2q+fixedcal") {
+    return build_flat<core::Wf2qPlusFixed, std::uint64_t>(
+        key, spec, sched::EligEngine::kCalendar);
   }
   throw std::runtime_error("runner: unknown scheduler variant '" + key + "'");
 }

@@ -1,0 +1,556 @@
+// TagCalendar — hierarchical-bitmap calendar queue over quantized
+// virtual-time tags: the cache-aware eligible-set engine (ROADMAP item 1
+// follow-up; DESIGN.md "Eligible-set structures").
+//
+// The heap-backed eligible/waiting sets cost O(log N) comparisons per
+// operation, and at N=1M the sift path is memory-bound: every level touched
+// is a cache miss. This structure is the QFQ-style answer (Checconi &
+// Rizzo's approximated groups; in spirit Luangsomboon & Liebeherr's
+// constant-time hierarchical scheduler): quantize tags into buckets of
+// width sigma, keep per-bucket intrusive flow lists in flat arrays, track
+// bucket occupancy in a tower of uint64 bitmaps (one summary bit per 64
+// buckets per level), and find the minimum with a handful of ctz
+// instructions instead of a sift.
+//
+// Geometry (see derive_geometry): the live tag window of WF2Q+ spans at
+// most 2*Lmax/rmin virtual seconds above the anchor (waiting starts are
+// <= V + Lmax/rmin, finishes one increment further), so
+//
+//   sigma = width_factor * (2*Lmax/rmin) / B,     B = ~2x flow count
+//
+// covers the window with ~1 flow per bucket at width_factor = 1. Because
+// width_factor <= B/2 is enforced, sigma <= Lmax/rmin always: the
+// quantization penalty of the approximate mode is bounded by one bucket
+// width, i.e. at most one per-node L_max/r term — exactly the slack the
+// paper's hierarchical WFI bounds already budget per level.
+//
+// Exact vs approximate pick:
+//   * sorted buckets (default): each bucket's intrusive list is kept
+//     sorted by (tag, arrival_no), so the head of the first occupied
+//     bucket IS the global minimum in the same total order the heaps use —
+//     schedules are bit-identical to the heap build. Chains are doubly
+//     linked: insert is O(1) for append (monotone arrivals), O(1) for
+//     prepend, and otherwise walks backward from the tail — so a dense
+//     equal-tag bucket with mostly-monotone `no` arrivals (plus the odd
+//     straggler already at the tail) still inserts in O(1) amortized;
+//     the true worst case remains O(bucket population).
+//   * unsorted buckets (approximate): append-at-tail, pop-at-head. Pops can
+//     be off by < sigma in tag — a WFI penalty of at most sigma * r_i
+//     service, asserted against the WFI estimator in the fuzzer/ablation.
+//
+// Wraparound / rotation: bucket numbers are absolute (ab = quantize(tag));
+// the wheel maps ab onto slot ab & (B-1). The anchor base_ab_ is advanced
+// lazily to the first occupied bucket on every find — "rotation" is just
+// that anchor move, no bucket is ever copied. Tags beyond the wheel window
+// [base, base+B) wait on an overflow list and are migrated in when the
+// anchor catches up; tags below the window (tolerance slack, hierarchy
+// rebase) are clamped into the anchor bucket, which is order-exact because
+// the in-bucket pick compares exact tags. A busy-period vtime reset always
+// finds the calendar empty (no backlog, no tags), so the anchor simply
+// re-seeds at the next insert.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace hfq::sched {
+
+// Which eligible-set engine a scheduler instance runs. The compile default
+// is heap unless the build sets -DHFQ_ELIGIBLE_CALENDAR (CMake
+// -DHFQ_ELIGIBLE=calendar); a ctor argument overrides per instance.
+enum class EligEngine : std::uint8_t { kHeap, kCalendar };
+
+[[nodiscard]] constexpr EligEngine default_elig_engine() noexcept {
+#if defined(HFQ_ELIGIBLE_CALENDAR)
+  return EligEngine::kCalendar;
+#else
+  return EligEngine::kHeap;
+#endif
+}
+
+// Knobs for the calendar build. Defaults give the exact engine with ~1
+// flow per bucket; width_factor is the ablation sweep's knob
+// (bench_ablation_eligibility) and `approximate` selects the
+// unsorted-bucket WFI-bounded pick.
+struct CalendarTuning {
+  double max_packet_bits = 12000.0;  // Lmax for the width derivation (1500B)
+  double width_factor = 1.0;         // sigma multiplier, clamped to [2^-10, B/2]
+  bool approximate = false;          // unsorted buckets + head pick
+  int min_log2_buckets = 6;
+  int max_log2_buckets = 21;
+};
+
+// Derived geometry: bucket count (power of two) from the flow count,
+// bucket width in virtual seconds from min-rate/max-packet.
+struct CalendarGeometry {
+  int log2_buckets = 6;
+  double width_vt = 1.0;  // sigma, virtual seconds per bucket
+};
+
+[[nodiscard]] inline CalendarGeometry derive_geometry(
+    std::size_t flows, double min_rate_bps, const CalendarTuning& t) {
+  HFQ_ASSERT(min_rate_bps > 0.0);
+  CalendarGeometry g;
+  int lg = t.min_log2_buckets;
+  while (lg < t.max_log2_buckets &&
+         (std::size_t{1} << lg) < 2 * (flows > 0 ? flows : 1)) {
+    ++lg;
+  }
+  g.log2_buckets = lg;
+  const double span = 2.0 * t.max_packet_bits / min_rate_bps;
+  double factor = t.width_factor;
+  const double factor_cap = static_cast<double>(std::size_t{1} << (lg - 1));
+  if (factor > factor_cap) factor = factor_cap;
+  if (factor < 1.0 / 1024.0) factor = 1.0 / 1024.0;
+  g.width_vt = factor * span / static_cast<double>(std::size_t{1} << lg);
+  return g;
+}
+
+// Counters for the ablation bench and tests; cheap enough to stay on.
+struct CalendarStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t sorted_steps = 0;        // in-bucket walk steps on insert
+  std::uint64_t pops = 0;
+  std::uint64_t bucket_advances = 0;     // anchor rotations
+  std::uint64_t overflow_inserts = 0;
+  std::uint64_t overflow_migrations = 0; // entries moved overflow -> wheel
+};
+
+// Tag -> absolute bucket number. Specialized per tag scalar so the double
+// build multiplies by 1/sigma and the tick build shifts.
+template <typename K>
+struct CalendarQuant;
+
+template <>
+struct CalendarQuant<double> {
+  double inv_width = 1.0;  // 1/sigma
+  [[nodiscard]] std::uint64_t operator()(double tag) const noexcept {
+    const double x = tag * inv_width;
+    if (x <= 0.0) return 0;
+    // Finite tags at any sane magnitude stay far below 2^62; guard the
+    // cast anyway so a corrupt tag cannot invoke UB.
+    if (x >= 4.6e18) return std::uint64_t{1} << 62;
+    return static_cast<std::uint64_t>(x);
+  }
+};
+
+template <>
+struct CalendarQuant<std::uint64_t> {
+  unsigned shift = 0;  // sigma = 2^shift ticks
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t tag) const noexcept {
+    return tag >> shift;
+  }
+};
+
+// The calendar itself. K is the raw tag scalar (double virtual seconds or
+// integer ticks); entries are (id, tag, arrival_no) with id < ensure_ids().
+// Each id may be present at most once per calendar instance.
+template <typename K>
+class TagCalendar {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct MinRef {
+    std::uint32_t id = kNil;
+    K tag{};
+    std::uint64_t no = 0;
+  };
+
+  [[nodiscard]] bool configured() const noexcept { return !bucket_.empty(); }
+
+  // (Re)builds the wheel. Discards any current content — callers rebuild
+  // membership afterwards (live-edit commit, hierarchy rebase).
+  void configure(CalendarQuant<K> q, int log2_buckets, bool approximate) {
+    HFQ_ASSERT(log2_buckets >= 1 && log2_buckets <= 26);
+    quant_ = q;
+    log2_buckets_ = log2_buckets;
+    mask_ = (std::uint64_t{1} << log2_buckets) - 1;
+    sorted_ = !approximate;
+    bucket_.assign(std::size_t{1} << log2_buckets, Bucket{kNil, kNil});
+    levels_ = 0;
+    std::size_t bits = std::size_t{1} << log2_buckets;
+    while (true) {
+      const std::size_t words = (bits + 63) / 64;
+      bits_[levels_].assign(words, 0);
+      ++levels_;
+      if (words == 1) break;
+      bits = words;
+    }
+    size_ = 0;
+    of_head_ = kNil;
+    of_count_ = 0;
+    of_min_ab_ = 0;
+    base_ab_ = 0;
+  }
+
+  // Grows the per-id arrays (cold path: add_flow / add_child).
+  void ensure_ids(std::size_t n) {
+    if (n > entry_.size()) entry_.resize(n);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] const CalendarStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] int log2_buckets() const noexcept { return log2_buckets_; }
+  [[nodiscard]] std::uint64_t base_bucket() const noexcept { return base_ab_; }
+  [[nodiscard]] std::size_t overflow_count() const noexcept {
+    return of_count_;
+  }
+  [[nodiscard]] K width_probe(K tag) const noexcept {  // test hook
+    return tag;
+  }
+  [[nodiscard]] std::uint64_t bucket_of(K tag) const noexcept {
+    return quant_(tag);
+  }
+
+  void insert(std::uint32_t id, K tag, std::uint64_t no) {
+    HFQ_ASSERT(configured());
+    HFQ_ASSERT(id < entry_.size());
+    Entry& e = entry_[id];
+    e.tag = tag;
+    e.no = no;
+    e.next = kNil;
+    ++stats_.inserts;
+    std::uint64_t ab = quant_(tag);
+    bool clamped = false;
+    if (size_ == 0) {
+      base_ab_ = ab;  // fresh anchor: first entry defines the window
+    } else if (ab >= base_ab_ + wheel_size_buckets()) {
+      overflow_push(id, ab);
+      ++size_;
+      return;
+    } else if (ab < base_ab_) {
+      ab = base_ab_;  // below-window clamp (order-exact: picks compare tags)
+      clamped = true;
+    }
+    bucket_insert(slot_of(ab), id, clamped);
+    ++size_;
+  }
+
+  // The minimum entry under (tag, no) order — exact when sorted, within one
+  // bucket width otherwise. Non-const: reconciles overflow and advances the
+  // anchor. Precondition: !empty().
+  [[nodiscard]] MinRef peek_min() {
+    const std::size_t slot = locate_first();
+    const std::uint32_t id = bucket_[slot].head;
+    return MinRef{id, entry_[id].tag, entry_[id].no};
+  }
+
+  // Removes and returns the minimum entry's id. Precondition: !empty().
+  std::uint32_t pop_min() {
+    const std::size_t slot = locate_first();
+    ++stats_.pops;
+    return pop_head(slot);
+  }
+
+  // Pops entries in (tag, no) order while `pred(tag)` holds, calling
+  // `fn(id, tag, no)` for each. With sorted buckets the popped set and
+  // order equal the heap's migration loop exactly; with unsorted buckets
+  // the stop is approximate (late entries lag by < sigma).
+  template <typename Pred, typename Fn>
+  void drain_leq(Pred&& pred, Fn&& fn) {
+    while (size_ != 0) {
+      const std::size_t slot = locate_first();
+      const std::uint32_t id = bucket_[slot].head;
+      const K tag = entry_[id].tag;
+      if (!pred(tag)) break;
+      const std::uint64_t no = entry_[id].no;
+      pop_head(slot);
+      ++stats_.pops;
+      fn(id, tag, no);
+    }
+  }
+
+  void clear() {
+    for (std::size_t l = 0; l < levels_; ++l) {
+      std::fill(bits_[l].begin(), bits_[l].end(), std::uint64_t{0});
+    }
+    size_ = 0;
+    of_head_ = kNil;
+    of_count_ = 0;
+    of_min_ab_ = 0;
+    base_ab_ = 0;
+  }
+
+  // Structural audit (O(B/64 + n)): bitmap tower consistent with bucket
+  // occupancy, chain counts sum to size, sorted order per bucket, every
+  // wheel entry inside the window, overflow min exact.
+  [[nodiscard]] bool validate() const {
+    if (!configured()) return size_ == 0;
+    std::size_t counted = 0;
+    const std::size_t nb = bucket_.size();
+    for (std::size_t s = 0; s < nb; ++s) {
+      const bool occ = (bits_[0][s >> 6] >> (s & 63)) & 1u;
+      if (!occ) continue;
+      std::uint32_t id = bucket_[s].head;
+      if (id == kNil) return false;
+      std::uint32_t prev = kNil;
+      std::size_t chain = 0;
+      while (id != kNil) {
+        if (++chain > size_) return false;  // cycle guard
+        const Entry& e = entry_[id];
+        if (e.prev != prev) return false;  // doubly-linked consistency
+        if (quant_(e.tag) >= base_ab_ + wheel_size_buckets()) return false;
+        if (sorted_ && prev != kNil && entry_less(e, entry_[prev])) {
+          return false;
+        }
+        prev = id;
+        id = e.next;
+      }
+      if (bucket_[s].tail != prev) return false;
+      counted += chain;
+    }
+    // Summary levels: bit set iff the word below is non-zero.
+    for (std::size_t l = 1; l < levels_; ++l) {
+      for (std::size_t w = 0; w < bits_[l].size(); ++w) {
+        for (int b = 0; b < 64; ++b) {
+          const std::size_t below = w * 64 + static_cast<std::size_t>(b);
+          if (below >= bits_[l - 1].size()) break;
+          const bool summary = (bits_[l][w] >> b) & 1u;
+          if (summary != (bits_[l - 1][below] != 0)) return false;
+        }
+      }
+    }
+    std::size_t of_n = 0;
+    std::uint64_t of_min = ~std::uint64_t{0};
+    for (std::uint32_t id = of_head_; id != kNil; id = entry_[id].next) {
+      if (++of_n > size_) return false;
+      const std::uint64_t ab = quant_(entry_[id].tag);
+      if (ab < of_min) of_min = ab;
+    }
+    if (of_n != of_count_) return false;
+    if (of_n != 0 && of_min != of_min_ab_) return false;
+    return counted + of_n == size_;
+  }
+
+ private:
+  struct Entry {
+    K tag{};
+    std::uint64_t no = 0;
+    std::uint32_t next = kNil;
+    std::uint32_t prev = kNil;  // doubly-linked: sorted insert walks backward
+  };
+  struct Bucket {
+    std::uint32_t head;
+    std::uint32_t tail;
+  };
+
+  [[nodiscard]] std::uint64_t wheel_size_buckets() const noexcept {
+    return mask_ + 1;
+  }
+  [[nodiscard]] std::size_t slot_of(std::uint64_t ab) const noexcept {
+    return static_cast<std::size_t>(ab & mask_);
+  }
+  [[nodiscard]] std::size_t wheel_count() const noexcept {
+    return size_ - of_count_;
+  }
+
+  [[nodiscard]] static bool entry_less(const Entry& a,
+                                       const Entry& b) noexcept {
+    // hfq-lint: disable(tag-compare) — exact total order (tag, arrival_no),
+    // identical to the heap key comparison.
+    if (a.tag != b.tag) return a.tag < b.tag;
+    return a.no < b.no;
+  }
+
+  void set_bits(std::size_t slot) {
+    std::size_t idx = slot;
+    for (std::size_t l = 0; l < levels_; ++l) {
+      bits_[l][idx >> 6] |= std::uint64_t{1} << (idx & 63);
+      idx >>= 6;
+    }
+  }
+
+  void clear_bit(std::size_t slot) {
+    std::size_t idx = slot;
+    for (std::size_t l = 0; l < levels_; ++l) {
+      std::uint64_t& w = bits_[l][idx >> 6];
+      w &= ~(std::uint64_t{1} << (idx & 63));
+      if (w != 0) break;  // word still occupied: summaries stay set
+      idx >>= 6;
+    }
+  }
+
+  // First set level-0 bit >= pos, or npos. Classic tower walk: mask the
+  // partial word at each level on the way up, descend with ctz.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t find_ge(std::size_t pos) const {
+    std::size_t idx = pos;
+    std::size_t l = 0;
+    for (; l < levels_; ++l) {
+      const std::size_t w = idx >> 6;
+      if (w >= bits_[l].size()) return npos;
+      const std::uint64_t word = bits_[l][w] & (~std::uint64_t{0} << (idx & 63));
+      if (word != 0) {
+        std::size_t bit = (w << 6) +
+                          static_cast<std::size_t>(__builtin_ctzll(word));
+        // Descend back to level 0.
+        while (l > 0) {
+          --l;
+          const std::uint64_t below = bits_[l][bit];
+          HFQ_ASSERT(below != 0);
+          bit = (bit << 6) + static_cast<std::size_t>(__builtin_ctzll(below));
+        }
+        return bit;
+      }
+      idx = w + 1;  // continue one level up, one word to the right
+    }
+    return npos;
+  }
+
+  // Slot of the first occupied bucket in ring order from the anchor, after
+  // reconciling the overflow list; advances the anchor to it (the lazy
+  // rotation). Precondition: size_ != 0.
+  [[nodiscard]] std::size_t locate_first() {
+    for (;;) {
+      if (wheel_count() == 0) {
+        migrate_overflow(of_min_ab_);
+        continue;
+      }
+      const std::size_t base_slot = slot_of(base_ab_);
+      std::size_t s = find_ge(base_slot);
+      if (s == npos) s = find_ge(0);
+      HFQ_ASSERT(s != npos);
+      const std::uint64_t ab =
+          base_ab_ + ((s - base_slot) & mask_);
+      if (of_count_ != 0 && of_min_ab_ <= ab) {
+        migrate_overflow(base_ab_);
+        continue;
+      }
+      if (ab != base_ab_) {
+        base_ab_ = ab;
+        ++stats_.bucket_advances;
+      }
+      return s;
+    }
+  }
+
+  std::uint32_t pop_head(std::size_t slot) {
+    Bucket& b = bucket_[slot];
+    const std::uint32_t id = b.head;
+    HFQ_ASSERT(id != kNil);
+    b.head = entry_[id].next;
+    if (b.head == kNil) {
+      b.tail = kNil;
+      clear_bit(slot);
+    } else {
+      entry_[b.head].prev = kNil;
+    }
+    --size_;
+    return id;
+  }
+
+  void bucket_insert(std::size_t slot, std::uint32_t id,
+                     bool clamped = false) {
+    Bucket& b = bucket_[slot];
+    const bool occupied = ((bits_[0][slot >> 6] >> (slot & 63)) & 1u) != 0;
+    Entry& e = entry_[id];
+    if (!occupied) {
+      e.prev = kNil;
+      b.head = b.tail = id;
+      set_bits(slot);
+      return;
+    }
+    if (!sorted_ && clamped) {
+      // Unsorted buckets keep no in-bucket order, but a clamped entry's tag
+      // is below the whole window — head placement keeps the one-bucket
+      // error bound instead of burying it behind larger tags.
+      e.prev = kNil;
+      e.next = b.head;
+      entry_[b.head].prev = id;
+      b.head = id;
+      return;
+    }
+    if (!sorted_ || !entry_less(e, entry_[b.tail])) {
+      e.prev = b.tail;  // append (the common monotone case)
+      entry_[b.tail].next = id;
+      b.tail = id;
+      return;
+    }
+    if (entry_less(e, entry_[b.head])) {
+      e.prev = kNil;  // prepend (descending runs, below-window clamps)
+      e.next = b.head;
+      entry_[b.head].prev = id;
+      b.head = id;
+      return;
+    }
+    // Sorted walk BACKWARD from the tail. Dense equal-tag buckets arise
+    // when many flows share a finish tag; arrivals are then mostly
+    // monotone in `no` with the occasional straggler already parked at the
+    // tail, so the insertion point sits a step or two back from the tail —
+    // a head-forward walk would pay O(chain) per insert in that regime.
+    std::uint32_t cur = b.tail;
+    while (entry_less(e, entry_[cur])) {
+      ++stats_.sorted_steps;
+      cur = entry_[cur].prev;
+      HFQ_ASSERT(cur != kNil);  // head case handled by the prepend fast path
+    }
+    e.prev = cur;
+    e.next = entry_[cur].next;
+    entry_[e.next].prev = id;  // e < tail entry, so a successor exists
+    entry_[cur].next = id;
+  }
+
+  void overflow_push(std::uint32_t id, std::uint64_t ab) {
+    entry_[id].next = of_head_;
+    of_head_ = id;
+    if (of_count_ == 0 || ab < of_min_ab_) of_min_ab_ = ab;
+    ++of_count_;
+    ++stats_.overflow_inserts;
+  }
+
+  // Moves overflow entries that now fit the window [new_base, new_base+B)
+  // into the wheel. When the wheel is empty the anchor jumps to new_base
+  // (the overflow minimum), so at least one entry always lands.
+  void migrate_overflow(std::uint64_t new_base) {
+    HFQ_ASSERT(of_count_ != 0);
+    if (wheel_count() == 0) base_ab_ = new_base;
+    std::uint32_t id = of_head_;
+    of_head_ = kNil;
+    std::size_t kept = 0;
+    std::uint64_t kept_min = ~std::uint64_t{0};
+    while (id != kNil) {
+      const std::uint32_t next = entry_[id].next;
+      std::uint64_t ab = quant_(entry_[id].tag);
+      if (ab < base_ab_ + wheel_size_buckets()) {
+        if (ab < base_ab_) ab = base_ab_;
+        entry_[id].next = kNil;
+        bucket_insert(slot_of(ab), id);
+        --of_count_;
+        ++stats_.overflow_migrations;
+      } else {
+        entry_[id].next = of_head_;
+        of_head_ = id;
+        ++kept;
+        if (ab < kept_min) kept_min = ab;
+      }
+      id = next;
+    }
+    HFQ_ASSERT(of_count_ == kept);
+    of_min_ab_ = kept_min;
+  }
+
+  CalendarQuant<K> quant_{};
+  int log2_buckets_ = 0;
+  std::uint64_t mask_ = 0;
+  bool sorted_ = true;
+  std::size_t levels_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t base_ab_ = 0;      // absolute bucket of the window anchor
+  std::uint32_t of_head_ = kNil;   // overflow: tags beyond the window
+  std::size_t of_count_ = 0;
+  std::uint64_t of_min_ab_ = 0;
+  CalendarStats stats_{};
+  std::vector<Bucket> bucket_;
+  std::vector<Entry> entry_;       // per-id tag/no/next (intrusive lists)
+  // Bitmap tower: bits_[0] has one bit per bucket, each higher level one
+  // bit per word below; 26 levels of headroom is 6*5 > 26 buckets.
+  std::vector<std::uint64_t> bits_[5];
+};
+
+}  // namespace hfq::sched

@@ -38,8 +38,10 @@ namespace hfq::serve {
 struct ServiceConfig {
   std::size_t num_shards = 4;
   // Scheduler key, as in campaign files: "wf2q+" (SoA double), "wf2q+fixed"
-  // (SoA integer), or any hierarchical key runner::build_scheduler accepts
-  // ("hwf2q+", ... — these refuse live edits).
+  // (SoA integer), their calendar-engine twins "wf2q+cal"/"wf2q+fixedcal"
+  // (TagCalendar eligible sets, same schedules), or any hierarchical key
+  // runner::build_scheduler accepts ("hwf2q+", ... — these refuse live
+  // edits).
   std::string scheduler = "wf2q+";
   std::size_t ring_capacity = 1 << 16;
   std::size_t ingest_burst = 256;

@@ -1,6 +1,6 @@
 // Seeded violations for tools/hfq_lint — exactly one per rule, in rule
 // order. This file is never compiled; the `hfq_lint_fixture` ctest runs the
-// linter over this directory and expects a non-zero exit with all eight rule
+// linter over this directory and expects a non-zero exit with all nine rule
 // ids in the report. If a rule regresses to never firing, that test fails.
 namespace hfq::lint_fixture {
 
@@ -44,6 +44,14 @@ inline bool enqueue(int packet, double now) {
   queue_.push_back(packet);
   (void)now;
   return true;
+}
+
+// sift-in-hot-loop: a direct heap operation on the eligible set inside a
+// dequeue body — an O(log N) sift on the per-packet path; the calendar
+// engine (sched/calendar.h) pops the minimum with a handful of ctz steps.
+inline bool dequeue(double now) {
+  (void)now;
+  return eligible_.pop() >= 0;
 }
 
 // lock-in-shard-loop: blocking synchronization inside a shard loop phase;

@@ -1,0 +1,465 @@
+// Tests for the hierarchical-bitmap tag calendar (sched/calendar.h): the
+// geometry derivation, exact (tag, no) pop order including ties and dense
+// buckets, ring wraparound with anchor rotation and overflow migration,
+// drain_leq set/order, the approximate-mode one-bucket error bound, and
+// schedule equivalence of the calendar-backed WF²Q+ engines (flat double,
+// flat fixed-point, hierarchical) against their heap-backed twins —
+// including across live-edit rebuilds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/hpfq.h"
+#include "core/wf2qplus.h"
+#include "core/wf2qplus_fixed.h"
+#include "harness.h"
+#include "sched/calendar.h"
+#include "util/rng.h"
+
+namespace hfq {
+namespace {
+
+using net::FlowId;
+using sched::CalendarGeometry;
+using sched::CalendarQuant;
+using sched::CalendarTuning;
+using sched::TagCalendar;
+using testing::Departure;
+using testing::packet;
+using testing::run_trace;
+using testing::TimedArrival;
+
+TagCalendar<double> make_cal(double width, int log2_buckets,
+                             std::size_t ids, bool approximate = false) {
+  TagCalendar<double> c;
+  CalendarQuant<double> q;
+  q.inv_width = 1.0 / width;
+  c.configure(q, log2_buckets, approximate);
+  c.ensure_ids(ids);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Geometry: bucket count tracks the flow count, and the bucket width sigma
+// never exceeds Lmax/rmin (the WFI-penalty budget) for any width_factor.
+
+TEST(CalendarGeometry_, BucketCountCoversFlowsAndIsCapped) {
+  CalendarTuning t;
+  EXPECT_EQ(sched::derive_geometry(1, 1e6, t).log2_buckets, 6);
+  EXPECT_EQ(sched::derive_geometry(100, 1e6, t).log2_buckets, 8);
+  EXPECT_EQ(sched::derive_geometry(1u << 20, 1e6, t).log2_buckets, 21);
+  EXPECT_EQ(sched::derive_geometry(1u << 25, 1e6, t).log2_buckets, 21);
+}
+
+TEST(CalendarGeometry_, WidthStaysWithinWfiBudget) {
+  CalendarTuning t;
+  for (double factor : {0.001, 0.25, 1.0, 64.0, 1e9}) {
+    t.width_factor = factor;
+    for (std::size_t flows : {std::size_t{1}, std::size_t{1000},
+                              std::size_t{1} << 20}) {
+      const CalendarGeometry g = sched::derive_geometry(flows, 1e6, t);
+      // sigma <= Lmax/rmin: factor is clamped to B/2, so
+      // factor * 2*Lmax/rmin / B <= Lmax/rmin.
+      EXPECT_LE(g.width_vt, t.max_packet_bits / 1e6 * (1.0 + 1e-12))
+          << "factor=" << factor << " flows=" << flows;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exact pop order: (tag, arrival_no), ties broken by insertion number, even
+// when every tag lands in the same bucket.
+
+TEST(TagCalendar_, PopsInTagOrderWithArrivalNoTieBreak) {
+  auto c = make_cal(1.0, 6, 8);
+  c.insert(0, 5.0, 10);
+  c.insert(1, 3.0, 11);
+  c.insert(2, 5.0, 9);   // same bucket+tag as id 0, earlier arrival
+  c.insert(3, 3.25, 12); // same bucket as id 1, larger tag
+  ASSERT_TRUE(c.validate());
+  EXPECT_EQ(c.pop_min(), 1u);
+  EXPECT_EQ(c.pop_min(), 3u);
+  EXPECT_EQ(c.pop_min(), 2u);
+  EXPECT_EQ(c.pop_min(), 0u);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(TagCalendar_, DenseTagsInOneBucketStaySorted) {
+  const std::size_t n = 64;
+  auto c = make_cal(1000.0, 6, n);  // huge sigma: everything in one bucket
+  util::Rng rng(7);
+  std::vector<std::pair<double, std::uint64_t>> ref;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double tag = rng.uniform(0.0, 900.0);
+    c.insert(static_cast<std::uint32_t>(i), tag, i);
+    ref.push_back({tag, i});
+  }
+  ASSERT_TRUE(c.validate());
+  std::sort(ref.begin(), ref.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto m = c.peek_min();
+    EXPECT_DOUBLE_EQ(m.tag, ref[i].first);
+    EXPECT_EQ(c.pop_min(), static_cast<std::uint32_t>(ref[i].second));
+  }
+  EXPECT_TRUE(c.empty());
+  EXPECT_GT(c.stats().sorted_steps, 0u);  // the dense case exercised the walk
+}
+
+TEST(TagCalendar_, SingleEntryDegenerateReanchorsAcrossWindows) {
+  auto c = make_cal(1.0, 3, 1);  // 8 buckets only
+  double tag = 0.0;
+  for (int round = 0; round < 100; ++round) {
+    c.insert(0, tag, static_cast<std::uint64_t>(round));
+    ASSERT_TRUE(c.validate());
+    const auto m = c.peek_min();
+    EXPECT_EQ(m.id, 0u);
+    EXPECT_DOUBLE_EQ(m.tag, tag);
+    EXPECT_EQ(c.pop_min(), 0u);
+    EXPECT_TRUE(c.empty());
+    tag += 100.0;  // far outside the previous window: fresh anchor each time
+  }
+  EXPECT_EQ(c.stats().overflow_inserts, 0u);  // empty wheel re-anchors instead
+}
+
+// ---------------------------------------------------------------------------
+// Wraparound: a tiny wheel forces both anchor rotation (lazy "bucket copy")
+// and overflow spill + migration, while the pop order stays exact.
+
+TEST(TagCalendar_, WraparoundRotationAndOverflowKeepExactOrder) {
+  const std::size_t n = 64;
+  auto c = make_cal(1.0, 3, n);  // 8 buckets for 64 live tags
+  util::Rng rng(11);
+  std::vector<std::pair<double, std::uint64_t>> ref;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double tag = rng.uniform(0.0, 200.0);  // spans 200 buckets >> 8
+    c.insert(static_cast<std::uint32_t>(i), tag, i);
+    ASSERT_TRUE(c.validate()) << "after insert " << i;
+    ref.push_back({tag, i});
+  }
+  EXPECT_GT(c.overflow_count(), 0u);
+  std::sort(ref.begin(), ref.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(c.pop_min(), static_cast<std::uint32_t>(ref[i].second))
+        << "pop " << i;
+    ASSERT_TRUE(c.validate()) << "after pop " << i;
+  }
+  EXPECT_TRUE(c.empty());
+  EXPECT_GT(c.stats().overflow_inserts, 0u);
+  EXPECT_GT(c.stats().overflow_migrations, 0u);
+  EXPECT_GT(c.stats().bucket_advances, 0u);
+}
+
+TEST(TagCalendar_, BelowWindowInsertClampsButPopsExactly) {
+  auto c = make_cal(1.0, 4, 4);
+  c.insert(0, 100.0, 0);  // anchors the window at bucket 100
+  c.insert(1, 104.5, 1);
+  // Below-window tags (a hierarchy rebase or vt_leq slack would produce
+  // these) clamp into the anchor bucket but still pop first — the in-bucket
+  // order compares exact tags.
+  c.insert(2, 97.0, 2);
+  c.insert(3, 99.5, 3);
+  ASSERT_TRUE(c.validate());
+  EXPECT_EQ(c.pop_min(), 2u);
+  EXPECT_EQ(c.pop_min(), 3u);
+  EXPECT_EQ(c.pop_min(), 0u);
+  EXPECT_EQ(c.pop_min(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// drain_leq: pops exactly the <=-bound prefix, in order — the migration
+// loop's contract.
+
+TEST(TagCalendar_, DrainLeqPopsExactPrefixInOrder) {
+  const std::size_t n = 48;
+  auto c = make_cal(0.5, 5, n);
+  util::Rng rng(23);
+  std::vector<std::pair<double, std::uint64_t>> ref;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double tag = rng.uniform(0.0, 30.0);
+    c.insert(static_cast<std::uint32_t>(i), tag, i);
+    ref.push_back({tag, i});
+  }
+  std::sort(ref.begin(), ref.end());
+  const double bound = 15.0;
+  std::vector<std::uint32_t> drained;
+  c.drain_leq([bound](double t) { return t <= bound; },
+              [&drained](std::uint32_t id, double, std::uint64_t) {
+                drained.push_back(id);
+              });
+  std::vector<std::uint32_t> expect;
+  for (const auto& [tag, no] : ref) {
+    if (tag <= bound) expect.push_back(static_cast<std::uint32_t>(no));
+  }
+  EXPECT_EQ(drained, expect);
+  EXPECT_EQ(c.size(), n - expect.size());
+  EXPECT_TRUE(c.validate());
+}
+
+TEST(TagCalendar_, ClearResetsAndWheelIsReusable) {
+  auto c = make_cal(1.0, 4, 8);
+  for (std::uint32_t i = 0; i < 8; ++i) c.insert(i, 1000.0 + i, i);
+  c.clear();
+  EXPECT_TRUE(c.empty());
+  EXPECT_TRUE(c.validate());
+  c.insert(3, 2.0, 0);  // fresh anchor far from the old one
+  c.insert(5, 1.0, 1);
+  EXPECT_EQ(c.pop_min(), 5u);
+  EXPECT_EQ(c.pop_min(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Approximate mode: pops may be out of order, but never by more than one
+// bucket width sigma.
+
+TEST(TagCalendar_, ApproximateModePopsWithinOneBucketWidth) {
+  const std::size_t n = 128;
+  const double sigma = 2.0;
+  auto c = make_cal(sigma, 5, n, /*approximate=*/true);
+  util::Rng rng(31);
+  // Scheduler-like workload: the first insert is the window minimum (the
+  // anchor tracks the minimum live tag), the rest land above it in any
+  // order. Only then is the one-bucket error bound claimed.
+  c.insert(0, 0.0, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    c.insert(static_cast<std::uint32_t>(i), rng.uniform(0.0, 50.0), i);
+  }
+  double max_seen = -1e300;
+  while (!c.empty()) {
+    const auto m = c.peek_min();
+    // A later pop can only undercut an earlier one by < sigma.
+    EXPECT_GE(m.tag, max_seen - sigma * (1.0 + 1e-12));
+    max_seen = std::max(max_seen, m.tag);
+    c.pop_min();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized stress vs a reference multiset: interleaved insert/pop with
+// structural validation along the way.
+
+TEST(TagCalendar_, RandomizedMixedOpsMatchReference) {
+  const std::size_t ids = 256;
+  auto c = make_cal(0.25, 6, ids);  // small wheel: rotation + overflow exercised
+  util::Rng rng(1234);
+  std::vector<std::pair<double, std::uint64_t>> live;  // (tag, no) sorted lazily
+  std::map<std::uint64_t, std::uint32_t> id_of_no;
+  std::vector<bool> in_cal(ids, false);
+  std::uint64_t no = 0;
+  double vt = 0.0;
+  for (int op = 0; op < 5000; ++op) {
+    const bool do_insert =
+        live.size() < ids && (live.empty() || rng.uniform() < 0.55);
+    if (do_insert) {
+      std::uint32_t id = static_cast<std::uint32_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ids) - 1));
+      while (in_cal[id]) id = (id + 1) % ids;
+      const double tag = vt + rng.uniform(0.0, 40.0);
+      c.insert(id, tag, no);
+      live.push_back({tag, no});
+      id_of_no[no] = id;
+      in_cal[id] = true;
+      ++no;
+    } else {
+      auto it = std::min_element(live.begin(), live.end());
+      const std::uint32_t want = id_of_no[it->second];
+      const auto m = c.peek_min();
+      ASSERT_EQ(m.id, want) << "op " << op;
+      ASSERT_EQ(c.pop_min(), want);
+      in_cal[want] = false;
+      vt = std::max(vt, it->first);  // tags trend upward like virtual time
+      id_of_no.erase(it->second);
+      live.erase(it);
+    }
+    if (op % 97 == 0) {
+      ASSERT_TRUE(c.validate()) << "op " << op;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine equivalence: the calendar build of every WF²Q+ variant must emit
+// the exact same schedule as the heap build.
+
+std::vector<TimedArrival> random_arrivals(std::uint64_t seed, int flows,
+                                          int packets) {
+  util::Rng rng(seed);
+  std::vector<TimedArrival> arr;
+  std::uint64_t id = 0;
+  double t = 0.0;
+  for (int i = 0; i < packets; ++i) {
+    t += rng.uniform(0.0, 0.4);
+    const auto flow = static_cast<FlowId>(
+        rng.uniform_int(0, flows - 1));
+    const auto bytes =
+        static_cast<std::uint32_t>(rng.uniform_int(1, 12));
+    arr.push_back(TimedArrival{t, packet(flow, bytes, id++)});
+  }
+  return arr;
+}
+
+void expect_same_schedule(const std::vector<Departure>& a,
+                          const std::vector<Departure>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pkt.id, b[i].pkt.id) << "departure " << i;
+    EXPECT_DOUBLE_EQ(a[i].time, b[i].time) << "departure " << i;
+  }
+}
+
+TEST(CalendarEquivalence, FlatDoubleMatchesHeapSchedule) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    core::Wf2qPlus heap(64.0, sched::EligEngine::kHeap);
+    core::Wf2qPlus cal(64.0, sched::EligEngine::kCalendar);
+    EXPECT_FALSE(heap.uses_calendar());
+    EXPECT_TRUE(cal.uses_calendar());
+    const int flows = 24;
+    for (FlowId f = 0; f < flows; ++f) {
+      const double r = 64.0 / flows * (f % 3 == 0 ? 2.0 : 0.7);
+      heap.add_flow(f, r);
+      cal.add_flow(f, r);
+    }
+    const auto arr = random_arrivals(seed, flows, 600);
+    const auto dh = run_trace(heap, 64.0, arr);
+    const auto dc = run_trace(cal, 64.0, arr);
+    expect_same_schedule(dh, dc);
+    EXPECT_GT(cal.calendar_stats().pops, 0u);
+  }
+}
+
+TEST(CalendarEquivalence, FlatFixedMatchesHeapSchedule) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    core::Wf2qPlusFixed heap(64, sched::EligEngine::kHeap);
+    core::Wf2qPlusFixed cal(64, sched::EligEngine::kCalendar);
+    EXPECT_TRUE(cal.uses_calendar());
+    const int flows = 24;
+    for (FlowId f = 0; f < flows; ++f) {
+      heap.add_flow(f, f % 3 == 0 ? 5.0 : 2.0);
+      cal.add_flow(f, f % 3 == 0 ? 5.0 : 2.0);
+    }
+    const auto arr = random_arrivals(seed, flows, 600);
+    expect_same_schedule(run_trace(heap, 64.0, arr),
+                         run_trace(cal, 64.0, arr));
+  }
+}
+
+// Tight bucket widths force in-bucket collisions, wide ones force clamping —
+// the schedule must not depend on the geometry at all in exact mode.
+TEST(CalendarEquivalence, FlatScheduleIndependentOfBucketWidth) {
+  const int flows = 16;
+  const auto arr = random_arrivals(99, flows, 500);
+  core::Wf2qPlus heap(64.0, sched::EligEngine::kHeap);
+  for (FlowId f = 0; f < flows; ++f) heap.add_flow(f, 4.0);
+  const auto dh = run_trace(heap, 64.0, arr);
+  for (double factor : {0.01, 0.5, 8.0, 512.0}) {
+    sched::CalendarTuning t;
+    t.width_factor = factor;
+    core::Wf2qPlus cal(64.0, sched::EligEngine::kCalendar, t);
+    for (FlowId f = 0; f < flows; ++f) cal.add_flow(f, 4.0);
+    const auto dc = run_trace(cal, 64.0, arr);
+    expect_same_schedule(dh, dc);
+  }
+}
+
+TEST(CalendarEquivalence, HierarchyMatchesHeapSchedule) {
+  auto build = [](auto& h) {
+    const auto a = h.add_internal(h.root(), 40.0);
+    const auto b = h.add_internal(h.root(), 24.0);
+    const auto a1 = h.add_internal(a, 24.0);
+    h.add_leaf(a1, 16.0, 0);
+    h.add_leaf(a1, 8.0, 1);
+    h.add_leaf(a, 16.0, 2);
+    h.add_leaf(b, 12.0, 3);
+    h.add_leaf(b, 12.0, 4);
+  };
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    core::HWf2qPlus heap(64.0);
+    core::HWf2qPlusCal cal(64.0);
+    build(heap);
+    build(cal);
+    const auto arr = random_arrivals(seed, 5, 800);
+    expect_same_schedule(run_trace(heap, 64.0, arr),
+                         run_trace(cal, 64.0, arr));
+  }
+}
+
+// Hierarchy equivalence must also survive tag rebases (the calendar rebuild
+// path preserves the (key, seq) order the heaps keep via transform_keys).
+TEST(CalendarEquivalence, HierarchySurvivesRebase) {
+  auto build = [](auto& h) {
+    const auto a = h.add_internal(h.root(), 32.0);
+    h.add_leaf(a, 16.0, 0);
+    h.add_leaf(a, 16.0, 1);
+    h.add_leaf(h.root(), 32.0, 2);
+    h.mutable_policy(a).set_rebase_threshold(4.0);
+    h.mutable_policy(h.root()).set_rebase_threshold(4.0);
+  };
+  core::HWf2qPlus heap(64.0);
+  core::HWf2qPlusCal cal(64.0);
+  build(heap);
+  build(cal);
+  const auto arr = random_arrivals(77, 3, 1500);
+  expect_same_schedule(run_trace(heap, 64.0, arr), run_trace(cal, 64.0, arr));
+  EXPECT_GT(heap.mutable_policy(1).rebase_count(), 0u);
+  EXPECT_GT(cal.mutable_policy(1).rebase_count(), 0u);
+}
+
+// Live-edit rebuild: both engines rebuild their eligible sets on commit, and
+// the schedules must stay identical afterwards (the calendar's re-bucketing
+// under a changed rate is satellite coverage for serve epoch boundaries).
+TEST(CalendarEquivalence, LiveSetRateRebucketingMatchesHeap) {
+  core::Wf2qPlus heap(64.0, sched::EligEngine::kHeap);
+  core::Wf2qPlus cal(64.0, sched::EligEngine::kCalendar);
+  const int flows = 12;
+  for (FlowId f = 0; f < flows; ++f) {
+    heap.add_flow(f, 4.0);
+    cal.add_flow(f, 4.0);
+  }
+  util::Rng rng(5150);
+  double now = 0.0;
+  std::uint64_t id = 0;
+  std::vector<net::Packet> hd, cd;
+  auto drain_some = [&](int k) {
+    for (int i = 0; i < k; ++i) {
+      auto ph = heap.dequeue(now);
+      auto pc = cal.dequeue(now);
+      ASSERT_EQ(ph.has_value(), pc.has_value());
+      if (!ph) break;
+      hd.push_back(*ph);
+      cd.push_back(*pc);
+      now += ph->size_bits() / 64.0;
+    }
+  };
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 80; ++i) {
+      const auto f = static_cast<FlowId>(rng.uniform_int(0, flows - 1));
+      const net::Packet p = packet(f, 8, id++);
+      heap.enqueue(p, now);
+      cal.enqueue(p, now);
+    }
+    drain_some(30);
+    // Epoch boundary: change rates on backlogged flows, then commit. Both
+    // engines must rebuild and agree on everything that follows.
+    const auto f = static_cast<FlowId>(rng.uniform_int(0, flows - 1));
+    const double r = rng.uniform(1.0, 16.0);
+    ASSERT_TRUE(heap.live_set_rate(f, r));
+    ASSERT_TRUE(cal.live_set_rate(f, r));
+    heap.commit_live_edits();
+    cal.commit_live_edits();
+    std::string why;
+    ASSERT_TRUE(heap.validate_splice(&why)) << why;
+    ASSERT_TRUE(cal.validate_splice(&why)) << why;
+    drain_some(40);
+  }
+  drain_some(1 << 20);  // run both dry
+  ASSERT_EQ(hd.size(), cd.size());
+  for (std::size_t i = 0; i < hd.size(); ++i) {
+    EXPECT_EQ(hd[i].id, cd[i].id) << "departure " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hfq

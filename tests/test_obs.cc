@@ -199,7 +199,7 @@ TEST(Export, CsvRoundTrip) {
   rec.vtime_update(0, WallTime{1.0}, VirtualTime{0.25}, VirtualTime{0.5});
   rec.eligibility_flip(0, 2, WallTime{1.5}, VirtualTime{0.5},
                        VirtualTime{0.4}, VirtualTime{0.9}, true);
-  rec.heap_op(1, 2, WallTime{2.0}, "select", VirtualTime{0.9});
+  rec.eligset_op(1, 2, WallTime{2.0}, "select", VirtualTime{0.9});
   rec.drop(0, 3, 99, WallTime{2.5}, 128.0);
   rec.busy_end(0, WallTime{3.0}, VirtualTime{1.5}, 4.0);
   const std::vector<Event> written = rec.snapshot();
@@ -361,7 +361,7 @@ TEST(Hooks, SchedulerEventsFollowCompileGate) {
   EXPECT_EQ(deq, 21u);  // all of them served
   EXPECT_TRUE(kinds.count(EventKind::kVtimeUpdate));
   EXPECT_TRUE(kinds.count(EventKind::kEligibilityFlip));
-  EXPECT_TRUE(kinds.count(EventKind::kHeapOp));
+  EXPECT_TRUE(kinds.count(EventKind::kEligsetOp));
   EXPECT_TRUE(kinds.count(EventKind::kSpanBegin));
   EXPECT_TRUE(kinds.count(EventKind::kSpanEnd));
   // Sequence numbers are strictly increasing in snapshot order.

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Per-cell perf-regression guard over BENCH_datapath.json records.
+
+Compares a freshly recorded datapath benchmark against the committed
+baseline, cell by cell — cells match on (impl, pattern, n) — and fails
+(exit 1) if any cell's ns_per_op regressed by more than the tolerance
+(default 15%). Cells present in only one record are reported but do not
+fail the run (new impls / retired impls land through the baseline commit).
+
+    tools/check_bench_regression.py BENCH_datapath.json \
+        --baseline <committed BENCH_datapath.json> [--tolerance 0.15]
+
+CI runs this in the datapath-bench job right after recording; the committed
+baseline at the repo root holds reference-box numbers (EXPERIMENTS.md), so
+a same-box re-record inside the tolerance stays green while an algorithmic
+regression — the sorted-insert blowup kind, which is 100x not 15% — fails
+loudly even on a noisy shared runner.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path):
+    with open(path) as f:
+        record = json.load(f)
+    cells = {}
+    for cell in record.get("cells", []):
+        key = (cell["impl"], cell["pattern"], cell["n"])
+        if key in cells:
+            raise SystemExit(f"{path}: duplicate cell {key}")
+        cells[key] = cell
+    if not cells:
+        raise SystemExit(f"{path}: no cells")
+    return cells
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("record", help="freshly recorded BENCH_datapath.json")
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline BENCH_datapath.json")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional ns/op regression per cell "
+                         "(default 0.15)")
+    args = ap.parse_args()
+
+    new = load_cells(args.record)
+    base = load_cells(args.baseline)
+
+    failures = []
+    for key in sorted(base.keys() | new.keys()):
+        impl, pattern, n = key
+        if key not in base:
+            print(f"  NEW       {impl:8s} {pattern:14s} n={n:<8d} "
+                  f"{new[key]['ns_per_op']:10.1f} ns/op (no baseline)")
+            continue
+        if key not in new:
+            print(f"  RETIRED   {impl:8s} {pattern:14s} n={n:<8d} "
+                  f"(baseline only)")
+            continue
+        b = base[key]["ns_per_op"]
+        v = new[key]["ns_per_op"]
+        ratio = v / b if b > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + args.tolerance:
+            status = "REGRESSED"
+            failures.append((key, b, v, ratio))
+        print(f"  {status:9s} {impl:8s} {pattern:14s} n={n:<8d} "
+              f"{b:10.1f} -> {v:10.1f} ns/op  ({ratio:5.2f}x)")
+
+    if failures:
+        print(f"\n{len(failures)} cell(s) regressed beyond "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for (impl, pattern, n), b, v, ratio in failures:
+            print(f"  {impl}/{pattern}/n={n}: {b:.1f} -> {v:.1f} ns/op "
+                  f"({ratio:.2f}x)", file=sys.stderr)
+        return 1
+    print(f"\nall matched cells within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,6 +88,12 @@ const Rule kRules[] = {
      "preallocate at registration — packets live in arena slots "
      "(src/net/packet_arena.h) and flow tables grow in add_flow; the "
      "per-packet path must be allocation-free"},
+    {"sift-in-hot-loop",
+     "direct eligible_/waiting_ heap operation inside a scheduler dequeue "
+     "body",
+     "route the dequeue path through the eligible-set engine switch "
+     "(sched/calendar.h pop_min/drain_leq are O(1) finds); heap sifts in "
+     "the hot loop are the baseline build's cost model, not the datapath's"},
     {"lock-in-shard-loop",
      "mutex/condition-variable use inside a shard drain/service loop body",
      "the shard loop (run_once/drain_ingress/service_link) communicates only "
@@ -292,6 +298,14 @@ const std::regex kIoWrite(
 const std::regex kAlloc(
     R"(\bnew\b|\bmake_unique\s*<|\bmake_shared\s*<|\.(push_back|emplace_back|emplace|resize)\s*\()");
 
+// Direct heap-set operations on the canonical eligible/waiting members.
+// Inside a dequeue body these are O(log N) sifts on the per-packet path —
+// the calendar engine exists to replace them; the heap branch of the engine
+// switch documents itself with an inline disable, and the paper-era
+// baselines are suppressed by policy in tools/hfq_lint.supp.
+const std::regex kSiftVocab(
+    R"(\b(eligible_|waiting_)\s*\.\s*(push|pop|top_key|top_value|update_key)\s*\()");
+
 // Shard-loop definitions (the long-lived service's per-iteration phases,
 // src/serve/shard.h). The loop must stay lock-free: a mutex wait inside it
 // stalls every flow hashed to the shard. Control-plane code is free to use
@@ -419,6 +433,7 @@ void check_hot_loop_io(const SourceFile& sf,
   for (std::size_t i = 0; i < sf.code.size(); ++i) {
     std::smatch m;
     if (!std::regex_search(sf.code[i], m, kHotPathDef)) continue;
+    const bool is_dequeue = m[4].str() == "dequeue";
     // Walk forward to the opening brace; a `;` first means declaration only.
     int depth = 0;
     bool found_open = false;
@@ -471,6 +486,11 @@ void check_hot_loop_io(const SourceFile& sf,
           !rule_disabled(disables, j, "alloc-in-hot-path")) {
         out.push_back(
             Finding{sf.rel_path, j + 1, "alloc-in-hot-path", trim(sf.raw[j])});
+      }
+      if (is_dequeue && std::regex_search(body_part, kSiftVocab) &&
+          !rule_disabled(disables, j, "sift-in-hot-loop")) {
+        out.push_back(
+            Finding{sf.rel_path, j + 1, "sift-in-hot-loop", trim(sf.raw[j])});
       }
     }
   }

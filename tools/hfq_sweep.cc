@@ -27,6 +27,15 @@
 // --serve-flows N replaces every tree in the campaign with a flat N-session
 // tree (link 1G); --serve-duration overrides the campaign duration — both
 // exist so CI sanitizer legs can shrink the soak without a second .scn file.
+//
+// --serve-grid replaces the campaign's single serve configuration with the
+// recorded scaling grid: {1,2,4} shards x {unpaced,paced} x {100k,1M}
+// sessions (live-edit batches are dropped; this measures the datapath, not
+// the control plane). Every cell lands in one --bench-out JSON with
+// per-cell shards_total/paced/tree fields — the committed BENCH_serve.json:
+//
+//   hfq_sweep --scenario scenarios/serve_bench.scn --serve --serve-grid \
+//             --serve-duration 2 --bench-out BENCH_serve.json
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -50,6 +59,7 @@ void usage(const char* argv0) {
                "          [--csv FILE.csv] [--shard K] [--verify]\n"
                "          [--trace-dir DIR]\n"
                "          [--serve] [--serve-duration S] [--serve-flows N]\n"
+               "          [--serve-grid]\n"
                "          [--serve-out FILE.jsonl] [--bench-out FILE.json]\n",
                argv0);
 }
@@ -92,17 +102,40 @@ void print_summary(const CampaignResult& result) {
 // code: non-zero on any conservation violation, faulted shard, splice
 // failure, or scenario error.
 int run_serve_mode(hfq::runner::CampaignSpec spec, double serve_duration,
-                   int serve_flows, const std::string& serve_out,
+                   int serve_flows, bool serve_grid,
+                   const std::string& serve_out,
                    const std::string& bench_out, const std::string& trace_dir) {
   if (serve_duration > 0.0) spec.duration_s = serve_duration;
-  if (serve_flows > 0) {
+  if (serve_flows > 0 && !serve_grid) {
     // CI-friendly override: one flat tree with serve_flows sessions.
     spec.trees.clear();
     spec.trees.push_back(hfq::runner::CampaignSpec::Tree{
         "flat" + std::to_string(serve_flows),
         hfq::runner::synth_tree(serve_flows, 1, 1e9)});
   }
-  const auto scenarios = spec.expand();
+
+  // One campaign per grid cell; the non-grid path is a one-element grid.
+  std::vector<hfq::runner::CampaignSpec> specs;
+  if (serve_grid) {
+    for (const int flows : {100000, 1000000}) {
+      for (const std::size_t shards :
+           {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        for (const bool paced : {false, true}) {
+          hfq::runner::CampaignSpec cell = spec;
+          cell.serve.shards = shards;
+          cell.serve.paced = paced;
+          cell.serve.edits.clear();  // datapath scaling, not control plane
+          cell.trees.clear();
+          cell.trees.push_back(hfq::runner::CampaignSpec::Tree{
+              "flat" + std::to_string(flows),
+              hfq::runner::synth_tree(flows, 1, 1e9)});
+          specs.push_back(std::move(cell));
+        }
+      }
+    }
+  } else {
+    specs.push_back(std::move(spec));
+  }
 
   std::ofstream stats_file;
   std::ostream* stats_sink = nullptr;
@@ -122,53 +155,70 @@ int run_serve_mode(hfq::runner::CampaignSpec spec, double serve_duration,
       std::fprintf(stderr, "error: cannot open %s\n", bench_out.c_str());
       return 1;
     }
-    bench << "{\n  \"benchmark\": \"serve\",\n  \"shards\": "
-          << spec.serve.shards << ",\n  \"paced\": "
-          << (spec.serve.paced ? "true" : "false") << ",\n  \"cells\": [\n";
+    if (serve_grid) {
+      bench << "{\n  \"benchmark\": \"serve\",\n  \"grid\": true,"
+               "\n  \"cells\": [\n";
+    } else {
+      bench << "{\n  \"benchmark\": \"serve\",\n  \"shards\": "
+            << specs.front().serve.shards << ",\n  \"paced\": "
+            << (specs.front().serve.paced ? "true" : "false")
+            << ",\n  \"cells\": [\n";
+    }
   }
 
-  std::printf("serve mode: %zu scenario(s), %zu shard(s), %zu producer(s)%s\n",
-              scenarios.size(), spec.serve.shards, spec.serve.producers,
-              spec.serve.paced ? "" : " [bench/unpaced]");
   int failed = 0;
   bool first_cell = true;
-  for (const auto& sc : scenarios) {
-    try {
-      const hfq::serve::ServeRunResult r =
-          hfq::serve::run_serve_scenario(sc, spec.serve, stats_sink,
-                                         trace_dir);
-      std::printf("%5zu  %-36s %s\n", sc.index, sc.label().c_str(),
-                  r.summary().c_str());
-      if (!r.conservation_ok || r.faulted_shards > 0 ||
-          r.splice_failures > 0) {
+  for (const auto& cell_spec : specs) {
+    const auto scenarios = cell_spec.expand();
+    std::printf(
+        "serve mode: %zu scenario(s), %zu shard(s), %zu producer(s)%s\n",
+        scenarios.size(), cell_spec.serve.shards, cell_spec.serve.producers,
+        cell_spec.serve.paced ? "" : " [bench/unpaced]");
+    for (const auto& sc : scenarios) {
+      try {
+        const hfq::serve::ServeRunResult r =
+            hfq::serve::run_serve_scenario(sc, cell_spec.serve, stats_sink,
+                                           trace_dir);
+        std::printf("%5zu  %-36s %s\n", sc.index, sc.label().c_str(),
+                    r.summary().c_str());
+        if (!r.conservation_ok || r.faulted_shards > 0 ||
+            r.splice_failures > 0) {
+          ++failed;
+        }
+        if (bench.is_open()) {
+          for (std::size_t s = 0; s < r.shard_mpps.size(); ++s) {
+            const unsigned long long n = r.shard_delivered[s];
+            // Unpaced runs meter the shard loop directly (busy_ns); that is
+            // the scheduler-bound per-packet cost even when producer threads
+            // time-share cores with the shard. Paced runs are load-bound by
+            // design, so wall-based pps is the honest number there.
+            const double busy_ns = static_cast<double>(r.shard_busy_ns[s]);
+            const double ns_per_op =
+                busy_ns > 0.0 && n > 0
+                    ? busy_ns / static_cast<double>(n)
+                    : (r.shard_mpps[s] > 0.0 ? 1e3 / r.shard_mpps[s] : 0.0);
+            if (!first_cell) bench << ",\n";
+            first_cell = false;
+            bench << "    {\"scenario\": \"" << sc.label() << "\", ";
+            if (serve_grid) {
+              bench << "\"shards_total\": " << cell_spec.serve.shards
+                    << ", \"paced\": "
+                    << (cell_spec.serve.paced ? "true" : "false")
+                    << ", \"tree\": \"" << cell_spec.trees.front().name
+                    << "\", ";
+            }
+            bench << "\"shard\": " << s << ", \"delivered\": " << n
+                  << ", \"wall_s\": " << r.wall_s << ", \"busy_s\": "
+                  << busy_ns / 1e9 << ", \"ns_per_op\": " << ns_per_op
+                  << ", \"packets_per_sec\": "
+                  << (ns_per_op > 0.0 ? 1e9 / ns_per_op : 0.0) << "}";
+          }
+        }
+      } catch (const std::exception& e) {
+        std::printf("%5zu  %-36s ERROR: %s\n", sc.index, sc.label().c_str(),
+                    e.what());
         ++failed;
       }
-      if (bench.is_open()) {
-        for (std::size_t s = 0; s < r.shard_mpps.size(); ++s) {
-          const unsigned long long n = r.shard_delivered[s];
-          // Unpaced runs meter the shard loop directly (busy_ns); that is
-          // the scheduler-bound per-packet cost even when producer threads
-          // time-share cores with the shard. Paced runs are load-bound by
-          // design, so wall-based pps is the honest number there.
-          const double busy_ns = static_cast<double>(r.shard_busy_ns[s]);
-          const double ns_per_op =
-              busy_ns > 0.0 && n > 0
-                  ? busy_ns / static_cast<double>(n)
-                  : (r.shard_mpps[s] > 0.0 ? 1e3 / r.shard_mpps[s] : 0.0);
-          if (!first_cell) bench << ",\n";
-          first_cell = false;
-          bench << "    {\"scenario\": \"" << sc.label() << "\", \"shard\": "
-                << s << ", \"delivered\": " << n
-                << ", \"wall_s\": " << r.wall_s << ", \"busy_s\": "
-                << busy_ns / 1e9 << ", \"ns_per_op\": " << ns_per_op
-                << ", \"packets_per_sec\": "
-                << (ns_per_op > 0.0 ? 1e9 / ns_per_op : 0.0) << "}";
-        }
-      }
-    } catch (const std::exception& e) {
-      std::printf("%5zu  %-36s ERROR: %s\n", sc.index, sc.label().c_str(),
-                  e.what());
-      ++failed;
     }
   }
   if (bench.is_open()) {
@@ -194,6 +244,7 @@ int main(int argc, char** argv) {
   std::string trace_dir;
   bool verify = false;
   bool serve = false;
+  bool serve_grid = false;
   double serve_duration = 0.0;  // 0 = campaign duration
   int serve_flows = 0;          // 0 = campaign trees
   std::string serve_out;
@@ -227,6 +278,8 @@ int main(int argc, char** argv) {
       serve_duration = std::strtod(value(), nullptr);
     } else if (std::strcmp(argv[i], "--serve-flows") == 0) {
       serve_flows = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--serve-grid") == 0) {
+      serve_grid = true;
     } else if (std::strcmp(argv[i], "--serve-out") == 0) {
       serve_out = value();
     } else if (std::strcmp(argv[i], "--bench-out") == 0) {
@@ -250,8 +303,8 @@ int main(int argc, char** argv) {
                    "without -DHFQ_TRACE=ON; traces will be empty\n");
     }
     if (serve) {
-      return run_serve_mode(spec, serve_duration, serve_flows, serve_out,
-                            bench_out, trace_dir);
+      return run_serve_mode(spec, serve_duration, serve_flows, serve_grid,
+                            serve_out, bench_out, trace_dir);
     }
     const CampaignResult result =
         hfq::runner::run_campaign(spec, jobs, only_shard, trace_dir);

@@ -217,7 +217,7 @@ int cmd_print(const std::vector<std::string>& args) {
       obs::EventKind k{};
       if (!obs::kind_from_name(value(), &k)) {
         throw std::runtime_error("unknown event kind (try enqueue, dequeue, "
-                                 "vtime_update, eligibility_flip, heap_op, "
+                                 "vtime_update, eligibility_flip, eligset_op, "
                                  "drop, busy_start, busy_end, span_begin, "
                                  "span_end)");
       }
