@@ -52,6 +52,10 @@ class ThreadPool {
     std::atomic<std::size_t> cursor{0};
     auto worker = [&] {
       for (;;) {
+        // verify: relaxed — RMW atomicity alone guarantees each index is
+        // claimed exactly once; result visibility to the caller rides on
+        // thread::join below, not on this counter. Proven by the
+        // `pool-cursor` model-check scenario (hfq_verify).
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
         body(i);

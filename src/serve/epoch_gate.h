@@ -1,0 +1,140 @@
+// Epoch-boundary edit handoff: the single-slot ticket/ack protocol between
+// the control plane and a shard loop (DESIGN.md "Service", live edits).
+//
+// Extracted from Shard so the protocol is (a) reusable and (b) checkable:
+// like BasicMpscRing, the class is templated over the atomic implementation
+// and the wait-loop backoff, so the *same source* runs in production on
+// std::atomic + a sleeping backoff and under the model checker
+// (src/verify/) on verify::atomic + a cooperative yield. The `epoch-gate`
+// scenario in hfq_verify exhaustively checks the linearizability contract
+// below; the memory_order annotations carry `// verify:` justifications per
+// the atomic-ordering lint rule.
+//
+// Protocol:
+//   control plane           shard loop (per epoch boundary)
+//   ------------------      -------------------------------
+//   submit(batch):          take():
+//     CAS slot nullptr->b     exchange slot -> b (acquire)
+//       (release)           ...apply b to the scheduler...
+//     ticket = ++submitted  ack():
+//   wait_for(ticket):         ++applied (release)
+//     applied >= ticket?
+//       (acquire)
+//
+// Contract (ack => visible): wait_for(t) returning true happens-after the
+// shard's ack of batch t, and the ack's release pairs with wait_for's
+// acquire — so every scheduler mutation the epoch applied is visible to the
+// control plane. The slot CAS/exchange pair likewise publishes the batch
+// contents to the shard. Only ONE consumer may call take()/ack().
+//
+// Liveness: submit spins when a previous batch is still waiting for its
+// epoch boundary — the control plane is allowed to wait, the shard loop
+// never does. Both wait loops poll an `alive` predicate so a stopped or
+// faulted shard cannot strand the control plane.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+namespace hfq::serve {
+
+// Production backoff for the control-plane wait loops.
+struct SleepBackoff {
+  static void pause() {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+};
+
+template <class Batch, template <class> class AtomicT = std::atomic,
+          class Backoff = SleepBackoff>
+class EpochGate {
+ public:
+  EpochGate() = default;
+  EpochGate(const EpochGate&) = delete;
+  EpochGate& operator=(const EpochGate&) = delete;
+
+  ~EpochGate() {
+    // verify: acquire — teardown runs after the consumer thread is joined;
+    // the acquire covers the (edge) case of a batch submitted but never
+    // taken, so its contents are visible to the deleting thread.
+    delete pending_.exchange(nullptr, std::memory_order_acquire);
+  }
+
+  // Control plane: hands `batch` to the consumer, to be applied at its
+  // next epoch boundary. Returns the ticket to pass to wait_for(), or —
+  // when `alive()` goes false while a previous batch still occupies the
+  // slot — frees the batch and returns the current submission count
+  // (wait_for on it then reports whether those earlier batches landed).
+  template <class AliveFn>
+  std::uint64_t submit(std::unique_ptr<Batch> batch, AliveFn&& alive) {
+    Batch* raw = batch.release();
+    Batch* expected = nullptr;
+    // verify: release on success — publishes the batch contents to the
+    // consumer's acquire exchange in take(); relaxed on failure — the
+    // retry only needs the observed pointer, which CAS reloads anyway.
+    while (!pending_.compare_exchange_weak(expected, raw,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+      expected = nullptr;
+      if (!alive()) {
+        delete raw;
+        // verify: relaxed — monotone counter read; the caller only
+        // compares tickets, no payload is accessed off this value.
+        return submitted_.load(std::memory_order_relaxed);
+      }
+      Backoff::pause();
+    }
+    // verify: relaxed — ticket arithmetic only; the applied_/wait_for
+    // acquire-release pair carries all cross-thread ordering.
+    return submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  // Control plane: blocks until batch `ticket` was acked (true) or
+  // `alive()` went false first (false). On true, everything the consumer
+  // did before ack() is visible to the caller.
+  template <class AliveFn>
+  bool wait_for(std::uint64_t ticket, AliveFn&& alive) const {
+    for (;;) {
+      // verify: acquire — pairs with ack()'s release fetch_add; seeing
+      // applied >= ticket makes the epoch's scheduler mutations visible.
+      if (applied_.load(std::memory_order_acquire) >= ticket) return true;
+      if (!alive()) return false;
+      Backoff::pause();
+    }
+  }
+
+  // Consumer (ONE thread): claims the pending batch, or nullptr. The
+  // caller applies it, then calls ack() exactly once per non-null take().
+  std::unique_ptr<Batch> take() {
+    // verify: acquire — pairs with submit()'s release CAS; the batch
+    // contents are visible before the consumer walks them.
+    return std::unique_ptr<Batch>(
+        pending_.exchange(nullptr, std::memory_order_acquire));
+  }
+
+  // Consumer: publishes the applied epoch to wait_for().
+  void ack() {
+    // verify: release — pairs with wait_for()'s acquire load; everything
+    // the epoch applied happens-before the control plane's wakeup.
+    applied_.fetch_add(1, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::uint64_t submitted() const noexcept {
+    // verify: relaxed — monitoring counter.
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t applied() const noexcept {
+    // verify: relaxed — monitoring counter.
+    return applied_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  AtomicT<Batch*> pending_{nullptr};
+  AtomicT<std::uint64_t> submitted_{0};
+  AtomicT<std::uint64_t> applied_{0};
+};
+
+}  // namespace hfq::serve

@@ -60,6 +60,10 @@ ServeRunResult run_serve_scenario(const runner::Scenario& sc,
     editor = std::thread([&] {
       try {
         for (const runner::ServeSpec::Edit& e : serve.edits) {
+          // verify: acquire — pairs with the release store of edit_stop
+          // below so the editor observes everything the main thread did
+          // before requesting shutdown (same shape as the `shard-stop`
+          // model-check scenario).
           while (!edit_stop.load(std::memory_order_acquire) &&
                  svc.clock_s() < e.at_s) {
             std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -89,6 +93,8 @@ ServeRunResult run_serve_scenario(const runner::Scenario& sc,
           .count();
 
   if (editor.joinable()) {
+    // verify: release — publishes the completed run to the editor's
+    // acquire loads before it returns.
     edit_stop.store(true, std::memory_order_release);
     editor.join();
   }
@@ -125,6 +131,9 @@ ServeRunResult run_serve_scenario(const runner::Scenario& sc,
   r.shard_busy_ns.reserve(r.shards);
   for (std::size_t i = 0; i < r.shards; ++i) {
     const ShardStats& st = svc.shard(i).stats();
+    // verify: relaxed — monitoring snapshot after the run; exactness is
+    // guaranteed by the service stop/join that precedes this, not by
+    // ordering on the counter reads.
     const std::uint64_t n = st.delivered.load(std::memory_order_relaxed);
     r.shard_mpps.push_back(
         wall_s > 0.0 ? static_cast<double>(n) / wall_s / 1e6 : 0.0);

@@ -134,6 +134,9 @@ void producer_main(Service& svc, const LoadGenConfig& cfg,
     advance(g, rng);
     if (g.next_t < cfg.duration_s) calendar.push(i);
   }
+  // verify: relaxed — one accumulation per producer lifetime; the caller
+  // reads only after join(), which carries the visibility (the same
+  // claim-then-join pattern the `pool-cursor` model-check scenario proves).
   offered->fetch_add(local_offered, std::memory_order_relaxed);
   rejected->fetch_add(local_rejected, std::memory_order_relaxed);
 }
@@ -172,7 +175,11 @@ LoadGenTotals run_load(Service& svc, const core::Hierarchy& tree,
                          std::move(stripes[p]), p, &offered, &rejected);
   }
   for (std::thread& t : threads) t.join();
-  return LoadGenTotals{offered.load(), rejected.load()};
+  // verify: relaxed — every producer joined above; join() synchronizes-with
+  // thread exit, so these reads need no ordering of their own (downgraded
+  // from the seq_cst default, proven by the `pool-cursor` scenario).
+  return LoadGenTotals{offered.load(std::memory_order_relaxed),
+                       rejected.load(std::memory_order_relaxed)};
 }
 
 }  // namespace hfq::serve

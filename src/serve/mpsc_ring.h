@@ -18,15 +18,27 @@
 // per-flow packet order is preserved end to end — asserted by
 // tests/test_serve.cc under TSan.
 //
-// Layout: every slot is one cache line (64 B: an 8-byte seq + the 48-byte
-// net::Packet), and the producer-shared claim counter, the consumer index
-// and the drop counter each get their own line, so producers and the
-// consumer never false-share.
+// The class is a template over the atomic implementation and the slot
+// payload cell so the *same source* runs under the concurrency model
+// checker (src/verify/): `BasicMpscRing<>` is the production ring on
+// std::atomic and a bare net::Packet payload (byte-identical to the
+// pre-template class), while the checker instantiates
+// `BasicMpscRing<verify::atomic, verify::var<net::Packet>>` to schedule
+// every access and race-check the payload. The memory_order protocol below
+// is verified by `hfq_verify --exhaustive` (scenario `ring`), and the
+// mutation harness proves the checker refutes every single-site weakening
+// of it (`hfq_verify --mutate`).
+//
+// Layout: every production slot is one cache line (64 B: an 8-byte seq +
+// the 48-byte net::Packet), and the producer-shared claim counter, the
+// consumer index and the drop counter each get their own line, so producers
+// and the consumer never false-share.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "net/packet.h"
@@ -34,45 +46,69 @@
 
 namespace hfq::serve {
 
-class MpscRing {
+template <template <class> class AtomicT = std::atomic,
+          class Cell = net::Packet>
+class BasicMpscRing {
  public:
   // `capacity` must be a power of two (the index mask trick), >= 2.
-  explicit MpscRing(std::size_t capacity)
+  // `start_seq` offsets every index (head, tail, slot sequence numbers) so
+  // tests can start the counters next to an integer-overflow boundary; the
+  // protocol only ever compares small differences, so operation is
+  // identical at any origin (verified across UINT64_MAX by
+  // tests/test_serve.cc and the `ring-wrap` model-check scenario).
+  explicit BasicMpscRing(std::size_t capacity, std::uint64_t start_seq = 0)
       : capacity_(capacity), mask_(capacity - 1),
-        slots_(std::make_unique<Slot[]>(capacity)) {
+        slots_(std::make_unique<Slot[]>(capacity)), tail_(start_seq) {
     HFQ_ASSERT_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
                    "ring capacity must be a power of two >= 2");
     for (std::size_t i = 0; i < capacity; ++i) {
-      slots_[i].seq.store(i, std::memory_order_relaxed);
+      // verify: relaxed — pre-publication; start() / thread creation
+      // happens-before any producer or consumer access.
+      slots_[(start_seq + i) & mask_].seq.store(start_seq + i,
+                                                std::memory_order_relaxed);
     }
+    head_.store(start_seq, std::memory_order_relaxed);
   }
 
-  MpscRing(const MpscRing&) = delete;
-  MpscRing& operator=(const MpscRing&) = delete;
+  BasicMpscRing(const BasicMpscRing&) = delete;
+  BasicMpscRing& operator=(const BasicMpscRing&) = delete;
 
   // Producer side (any thread): claims a slot and publishes the packet.
   // Returns false — and counts a drop — when the ring is full.
   bool try_push(const net::Packet& p) {
+    // verify: relaxed — a stale head only costs a retry through the CAS,
+    // which re-reads it; no data is accessed off this value.
     std::uint64_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
       Slot& s = slots_[pos & mask_];
+      // verify: acquire — pairs with the consumer's release in pop_burst:
+      // seeing seq == pos proves the consumer's read of the PREVIOUS
+      // occupant completed, so overwriting s.pkt below cannot race it.
       const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
       const auto dif =
-          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+          static_cast<std::int64_t>(seq - pos);
       if (dif == 0) {
+        // verify: relaxed — the CAS only arbitrates position ownership
+        // among producers; publication ordering is carried entirely by
+        // the release store of seq below.
         if (head_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           s.pkt = p;
+          // verify: release — publishes s.pkt; pairs with the consumer's
+          // acquire load of seq (packet write cannot sink below this).
           s.seq.store(pos + 1, std::memory_order_release);
           return true;
         }
         // CAS lost: `pos` was reloaded by compare_exchange; retry there.
       } else if (dif < 0) {
         // The slot still holds the entry from one lap ago: ring full.
+        // verify: relaxed — statistics counter; read via drops() after
+        // the producers are joined.
         drops_.fetch_add(1, std::memory_order_relaxed);
         return false;
       } else {
         // Another producer claimed this position; chase the head.
+        // verify: relaxed — same retry argument as the first load.
         pos = head_.load(std::memory_order_relaxed);
       }
     }
@@ -84,10 +120,16 @@ class MpscRing {
     std::size_t n = 0;
     while (n < max) {
       Slot& s = slots_[tail_ & mask_];
+      // verify: acquire — pairs with the producer's release store: seeing
+      // seq == tail+1 makes the producer's s.pkt write visible before the
+      // read below.
       const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
       if (seq != tail_ + 1) break;  // next slot not yet published
       out.push_back(s.pkt);
       // Release the slot for the producers' next lap.
+      // verify: release — pairs with the producer's acquire load of seq;
+      // the s.pkt read above cannot sink below this, so the next lap's
+      // overwrite cannot race it.
       s.seq.store(tail_ + capacity_, std::memory_order_release);
       ++tail_;
       ++n;
@@ -99,24 +141,35 @@ class MpscRing {
 
   // Packets rejected because the ring was full (producer-side counter).
   [[nodiscard]] std::uint64_t drops() const noexcept {
+    // verify: relaxed — monitoring counter; exact only once producers are
+    // joined (load_gen reads it after join).
     return drops_.load(std::memory_order_relaxed);
   }
 
   // Entries currently in flight, as seen from the consumer thread
   // (approximate while producers are pushing).
   [[nodiscard]] std::size_t approx_size() const noexcept {
+    // verify: relaxed — gauge; a stale head only under-reports.
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
-    return head >= tail_ ? static_cast<std::size_t>(head - tail_) : 0;
+    // Modular difference: head and tail may sit on opposite sides of the
+    // uint64 overflow boundary when the ring was started near UINT64_MAX.
+    return static_cast<std::size_t>(head - tail_);
   }
 
  private:
   struct alignas(64) Slot {
-    std::atomic<std::uint64_t> seq{0};
-    net::Packet pkt;
+    AtomicT<std::uint64_t> seq{0};
+    Cell pkt;
   };
-  static_assert(sizeof(net::Packet) <= 56,
+  // Layout contract for the production instantiation only — the checker's
+  // instrumented cells are bigger by design.
+  static constexpr bool kProductionLayout =
+      std::is_same_v<AtomicT<std::uint64_t>, std::atomic<std::uint64_t>> &&
+      std::is_same_v<Cell, net::Packet>;
+  static_assert(!kProductionLayout || sizeof(net::Packet) <= 56,
                 "Packet must fit a cache-line slot next to the 8-byte seq");
-  static_assert(alignof(Slot) == 64 && sizeof(Slot) == 64,
+  static_assert(!kProductionLayout ||
+                    (alignof(Slot) == 64 && sizeof(Slot) == 64),
                 "one slot per cache line");
 
   const std::size_t capacity_;
@@ -125,9 +178,12 @@ class MpscRing {
   // Producer-shared claim counter, consumer index and drop counter on their
   // own cache lines: producers CAS head_ constantly, the consumer owns
   // tail_ exclusively, and drops_ is only touched on overflow.
-  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) AtomicT<std::uint64_t> head_{0};
   alignas(64) std::uint64_t tail_ = 0;
-  alignas(64) std::atomic<std::uint64_t> drops_{0};
+  alignas(64) AtomicT<std::uint64_t> drops_{0};
 };
+
+// The production ring: std::atomic, bare packet payload.
+using MpscRing = BasicMpscRing<>;
 
 }  // namespace hfq::serve

@@ -164,6 +164,9 @@ Service::Totals Service::totals() const {
   Totals t;
   for (const auto& s : shards_) {
     const ShardStats& st = s->stats();
+    // verify: relaxed — live monitoring totals; each counter is written by
+    // exactly one shard thread and a torn multi-counter snapshot is
+    // acceptable (the conservation identity is asserted only after stop()).
     t.ingested += st.ingested.load(std::memory_order_relaxed);
     t.accepted += st.accepted.load(std::memory_order_relaxed);
     t.delivered += st.delivered.load(std::memory_order_relaxed);

@@ -20,54 +20,47 @@ Shard::Shard(const ShardConfig& cfg, std::unique_ptr<net::Scheduler> sched)
   service_buf_.reserve(cfg_.service_burst);
 }
 
-Shard::~Shard() {
-  stop();
-  delete pending_edits_.exchange(nullptr);
-}
+Shard::~Shard() { stop(); }
 
 void Shard::start(Clock::time_point t0) {
   HFQ_ASSERT_MSG(!thread_.joinable(), "shard started twice");
   t0_ = t0;
+  // verify: relaxed — thread creation below happens-before everything the
+  // shard thread does; no other thread observes stop_ between these lines.
   stop_.store(false, std::memory_order_relaxed);
+  // verify: release — running() readers (acquire) sequence after the
+  // shard's configuration writes above.
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { thread_main(); });
 }
 
 void Shard::stop() {
   if (!thread_.joinable()) return;
+  // verify: release — the loop's acquire load of stop_ orders the caller's
+  // final pushes before shutdown drain (join() would synchronize too, but
+  // the loop reads stop_ while still running).
   stop_.store(true, std::memory_order_release);
   thread_.join();
 }
 
 std::uint64_t Shard::submit_edits(std::vector<ResolvedEdit> ops) {
-  auto* batch = new EditBatch{std::move(ops)};
-  EditBatch* expected = nullptr;
-  while (!pending_edits_.compare_exchange_weak(expected, batch,
-                                               std::memory_order_release,
-                                               std::memory_order_relaxed)) {
-    // A previous batch is still waiting for its epoch boundary; the control
-    // plane (unlike the shard loop) is allowed to wait its turn.
-    expected = nullptr;
-    if (!running_.load(std::memory_order_acquire)) {
-      delete batch;
-      return edit_batches_submitted_.load(std::memory_order_relaxed);
-    }
-    std::this_thread::sleep_for(std::chrono::microseconds(50));
-  }
-  return edit_batches_submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // A previous batch may still be waiting for its epoch boundary; the gate
+  // spins the control plane (never the shard loop) and bails out if the
+  // shard stops first.
+  return edit_gate_.submit(
+      std::make_unique<EditBatch>(EditBatch{std::move(ops)}), [this] {
+        // verify: acquire — see running().
+        return running_.load(std::memory_order_acquire);
+      });
 }
 
 bool Shard::wait_for_edits(std::uint64_t ticket) const {
-  for (;;) {
-    if (edit_batches_applied_.load(std::memory_order_acquire) >= ticket) {
-      return true;
-    }
-    if (!running_.load(std::memory_order_acquire) ||
-        faulted_.load(std::memory_order_acquire)) {
-      return false;
-    }
-    std::this_thread::sleep_for(std::chrono::microseconds(50));
-  }
+  return edit_gate_.wait_for(ticket, [this] {
+    // verify: acquire — see running()/faulted(); a false return must
+    // sequence after the shard's shutdown or fault bookkeeping.
+    return running_.load(std::memory_order_acquire) &&
+           !faulted_.load(std::memory_order_acquire);
+  });
 }
 
 void Shard::thread_main() {
@@ -81,6 +74,8 @@ void Shard::thread_main() {
       });
   obs::RecordScope record(recorder_);
   try {
+    // verify: acquire — pairs with stop()'s release store; shutdown drain
+    // below must see every packet pushed before stop was requested.
     while (!stop_.load(std::memory_order_acquire)) {
       if (!run_once()) std::this_thread::yield();
     }
@@ -90,13 +85,18 @@ void Shard::thread_main() {
     }
     stats_.backlog.store(sched_->backlog_packets(), std::memory_order_relaxed);
   } catch (const std::exception& e) {
+    // verify: release — pairs with faulted()'s acquire; fault state is
+    // published before observers can see the flag.
     faulted_.store(true, std::memory_order_release);
     spill_forensics(std::string("exception: ") + e.what());
   } catch (...) {
+    // verify: release — same pairing as above.
     faulted_.store(true, std::memory_order_release);
     spill_forensics("unknown exception");
   }
   publish_latency();
+  // verify: release — pairs with running()'s acquire; final counters and
+  // the shutdown drain happen-before anyone observes the shard as down.
   running_.store(false, std::memory_order_release);
   audit::set_handler(std::move(prev));
 }
@@ -175,10 +175,8 @@ std::size_t Shard::service_link() {
 }
 
 void Shard::apply_pending_edits() {
-  EditBatch* batch = pending_edits_.exchange(nullptr,
-                                             std::memory_order_acquire);
-  if (batch == nullptr) return;
-  std::unique_ptr<EditBatch> own(batch);
+  std::unique_ptr<EditBatch> own = edit_gate_.take();
+  if (own == nullptr) return;
   std::uint64_t dropped = 0;
   for (const ResolvedEdit& e : own->ops) {
     bool ok = true;
@@ -214,8 +212,11 @@ void Shard::apply_pending_edits() {
     stats_.backlog.store(sched_->backlog_packets(),
                          std::memory_order_relaxed);
   }
+  // verify: relaxed — monitoring counter (stats export).
   stats_.epoch.fetch_add(1, std::memory_order_relaxed);
-  edit_batches_applied_.fetch_add(1, std::memory_order_release);
+  // ack => visible: everything this epoch applied happens-before
+  // wait_for_edits() returning true (release inside).
+  edit_gate_.ack();
 }
 
 void Shard::publish_latency() {

@@ -46,6 +46,7 @@
 #include "net/scheduler.h"
 #include "obs/flight_recorder.h"
 #include "serve/edits.h"
+#include "serve/epoch_gate.h"
 #include "serve/mpsc_ring.h"
 #include "stats/quantile.h"
 
@@ -64,6 +65,10 @@ struct ShardConfig {
 
 // Runtime counters published by the shard thread (relaxed atomics; the
 // stats exporter reads them without synchronizing with the loop).
+// verify: every counter here is written by exactly one shard thread and
+// read by monitoring/reporting paths, so ALL accesses are relaxed — a
+// reader that needs an exact snapshot (the post-run conservation identity)
+// synchronizes through Shard::stop()/join instead of counter ordering.
 struct ShardStats {
   std::atomic<std::uint64_t> ingested{0};    // popped from the ring
   std::atomic<std::uint64_t> accepted{0};    // accepted by the scheduler
@@ -107,8 +112,16 @@ class Shard {
   [[nodiscard]] std::uint64_t ring_drops() const noexcept {
     return ring_->drops();
   }
-  [[nodiscard]] bool running() const noexcept { return running_.load(); }
-  [[nodiscard]] bool faulted() const noexcept { return faulted_.load(); }
+  [[nodiscard]] bool running() const noexcept {
+    // verify: acquire — callers poll this to sequence after shutdown
+    // (thread_main's release store); seq_cst bought nothing extra here.
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool faulted() const noexcept {
+    // verify: acquire — pairs with the release store in the fault path so
+    // a true reading sequences after the fault bookkeeping.
+    return faulted_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] const ShardConfig& config() const noexcept { return cfg_; }
 
   // Scheduler capability probe — const and thread-safe (pure virtual
@@ -154,9 +167,9 @@ class Shard {
   std::atomic<bool> stop_{false};
   std::atomic<bool> running_{false};
   std::atomic<bool> faulted_{false};
-  std::atomic<EditBatch*> pending_edits_{nullptr};
-  std::atomic<std::uint64_t> edit_batches_submitted_{0};
-  std::atomic<std::uint64_t> edit_batches_applied_{0};
+  // Ticket/ack handoff for live edits; the protocol itself lives in
+  // epoch_gate.h where the model checker can instantiate it.
+  EpochGate<EditBatch> edit_gate_;
 
   // Shard-thread-only state below (no padding needed: one writer).
   std::vector<net::Packet> ingest_buf_;

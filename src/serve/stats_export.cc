@@ -53,6 +53,9 @@ void StatsExporter::write_tick() {
   for (std::size_t i = 0; i < svc_.num_shards(); ++i) {
     const Shard& sh = svc_.shard(i);
     const ShardStats& st = sh.stats();
+    // verify: relaxed — periodic monitoring export; values may lag the
+    // shard thread by a tick, which the derived-rate math tolerates, so
+    // no ordering is needed on any read below.
     const std::uint64_t ingested =
         st.ingested.load(std::memory_order_relaxed);
     const std::uint64_t accepted =

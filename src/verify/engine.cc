@@ -1,0 +1,1165 @@
+// Model-checker engine: cooperative scheduler + vector-clock memory model.
+// See engine.h for the overall design. Execution model in one paragraph:
+// every model thread runs on a dedicated OS worker that is parked on a
+// per-thread Gate except for the window between "controller resumed it"
+// and "it posted its next shared-memory op" — so exactly one model thread
+// makes progress at any instant and the controller owns all shared engine
+// state whenever a worker is parked. The handshake atomics carry
+// acquire/release, which also keeps the host-level execution TSan/ASan
+// clean.
+#include "verify/engine.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace hfq::verify {
+namespace {
+
+// Thrown into a worker to unwind user code when the engine tears an
+// execution down; caught at the worker loop, never escapes.
+struct AbortExec {};
+// Thrown by verify::check() on a model thread.
+struct VerifyFailEx {
+  std::string msg;
+};
+
+thread_local int tls_tid = -1;
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  // Fall back to a compiler barrier; the spin is bounded anyway.
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// One-shot ping-pong gate. Strict alternation between controller and
+// worker means at most one signal is ever outstanding.
+class Gate {
+ public:
+  void signal() {
+    flag_.store(1, std::memory_order_release);
+    flag_.notify_one();
+  }
+  void wait() {
+    // Spinning only helps when the signalling thread can run concurrently;
+    // on a single hardware thread it burns the whole timeslice the peer
+    // needs, so go straight to the futex there.
+    static const int kSpins =
+        std::thread::hardware_concurrency() > 1 ? 4096 : 0;
+    for (int i = 0; i < kSpins; ++i) {
+      if (flag_.load(std::memory_order_relaxed) != 0) break;
+      cpu_pause();
+    }
+    while (flag_.exchange(0, std::memory_order_acquire) == 0) {
+      flag_.wait(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::atomic<std::uint32_t> flag_{0};
+};
+
+constexpr int kMoRelaxed = static_cast<int>(std::memory_order_relaxed);
+constexpr int kMoConsume = static_cast<int>(std::memory_order_consume);
+constexpr int kMoAcquire = static_cast<int>(std::memory_order_acquire);
+constexpr int kMoRelease = static_cast<int>(std::memory_order_release);
+constexpr int kMoAcqRel = static_cast<int>(std::memory_order_acq_rel);
+constexpr int kMoSeqCst = static_cast<int>(std::memory_order_seq_cst);
+
+inline bool mo_acquires(int mo) {
+  return mo == kMoConsume || mo == kMoAcquire || mo == kMoAcqRel ||
+         mo == kMoSeqCst;
+}
+inline bool mo_releases(int mo) {
+  return mo == kMoRelease || mo == kMoAcqRel || mo == kMoSeqCst;
+}
+
+const char* mo_str(int mo) {
+  if (mo == kMoRelaxed) return "rlx";
+  if (mo == kMoConsume) return "csm";
+  if (mo == kMoAcquire) return "acq";
+  if (mo == kMoRelease) return "rel";
+  if (mo == kMoAcqRel) return "a/r";
+  return "sc";
+}
+
+const char* kind_str(Op::Kind k) {
+  switch (k) {
+    case Op::Kind::kStart: return "start";
+    case Op::Kind::kLoad: return "load";
+    case Op::Kind::kStore: return "store";
+    case Op::Kind::kFetchAdd: return "faa";
+    case Op::Kind::kCas: return "cas";
+    case Op::Kind::kExchange: return "xchg";
+    case Op::Kind::kPlainRead: return "read";
+    case Op::Kind::kPlainWrite: return "write";
+    case Op::Kind::kYield: return "yield";
+    case Op::Kind::kJoin: return "join";
+  }
+  return "?";
+}
+
+inline bool is_atomic_op(Op::Kind k) {
+  return k == Op::Kind::kLoad || k == Op::Kind::kStore ||
+         k == Op::Kind::kFetchAdd || k == Op::Kind::kCas ||
+         k == Op::Kind::kExchange;
+}
+inline bool is_atomic_write(Op::Kind k) {
+  return k == Op::Kind::kStore || k == Op::Kind::kFetchAdd ||
+         k == Op::Kind::kCas || k == Op::Kind::kExchange;
+}
+
+inline std::uint64_t splitmix64(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// One entry in an atomic object's modification order.
+struct StoreRec {
+  std::uint64_t value = 0;
+  int writer = -1;
+  int site = -1;
+  ClockVec cw;            // writer's clock at the store (coherence floor)
+  ClockVec release_view;  // view an acquire load of this store obtains
+  bool is_release = false;
+};
+
+struct AtomicObj {
+  std::vector<StoreRec> history;  // modification order, append-only
+  std::array<int, kMaxThreads> obs{};  // newest index each thread has seen
+  // Consecutive stale picks per thread; capped by Options::stale_streak to
+  // model finite store-propagation time (without the cap, a spin loop
+  // whose peer keeps writing unrelated state can legally read the same
+  // stale flag forever and every such execution is infinite).
+  std::array<int, kMaxThreads> stale_streak{};
+  int last_sc = 0;  // index of newest seq_cst store (floor for sc loads)
+};
+
+// FastTrack-style epochs for a plain (non-atomic) cell.
+struct PlainObj {
+  int w_tid = -1;
+  std::uint32_t w_epoch = 0;
+  int w_site = -1;
+  std::array<std::uint32_t, kMaxThreads> r_epoch{};
+  std::array<int, kMaxThreads> r_site{};
+};
+
+struct ThreadState {
+  std::function<void()> fn;
+  Gate resume;
+  std::thread os;
+  bool active = false;
+  bool finished = false;
+  bool has_pending = false;
+  Op pending;
+  ClockVec clock;
+};
+
+// A decision point in the DFS stack. `list` is the candidate set in the
+// order alternatives are tried; `cur` indexes the alternative taken on
+// the current execution. Explored siblings list[0..cur-1] enter the
+// sleep set of the subtree under list[cur].
+struct Node {
+  bool thread_choice = true;
+  std::vector<int> list;
+  std::size_t cur = 0;
+};
+
+enum class Mode { kDfs, kRandom, kReplay };
+
+class Engine {
+ public:
+  static Engine& instance() {
+    static Engine e;
+    return e;
+  }
+
+  ~Engine() {
+    if (!workers_started_) return;
+    shutdown_.store(true, std::memory_order_release);
+    for (auto& ts : threads_) ts.resume.signal();
+    for (auto& ts : threads_) {
+      if (ts.os.joinable()) ts.os.join();
+    }
+  }
+
+  Result explore(const Options& o, const std::function<void()>& body) {
+    std::lock_guard<std::mutex> g(api_mu_);
+    begin_session(o, Mode::kDfs);
+    Result res;
+    for (;;) {
+      run_one(body);
+      res.stats.executions += 1;
+      if (failed_exec_) {
+        res.ok = false;
+        res.failure = failure_;
+        break;
+      }
+      if (!advance_stack()) break;  // DFS frontier exhausted: done
+      if (o.max_executions != 0 && res.stats.executions >= o.max_executions) {
+        res.ok = false;
+        res.failure.kind = "budget";
+        res.failure.message =
+            "execution budget exhausted before the search space was covered";
+        break;
+      }
+    }
+    finish_session(res);
+    return res;
+  }
+
+  Result explore_random(const Options& o, const std::function<void()>& body,
+                        std::uint64_t schedules, std::uint64_t seed) {
+    std::lock_guard<std::mutex> g(api_mu_);
+    begin_session(o, Mode::kRandom);
+    Result res;
+    for (std::uint64_t i = 0; i < schedules; ++i) {
+      rng_ = seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+      run_one(body);
+      res.stats.executions += 1;
+      if (failed_exec_) {
+        res.ok = false;
+        res.failure = failure_;
+        break;
+      }
+    }
+    finish_session(res);
+    return res;
+  }
+
+  Result replay(const Options& o, const std::function<void()>& body,
+                const std::string& schedule) {
+    std::lock_guard<std::mutex> g(api_mu_);
+    Options forced = o;
+    forced.collect_trace = true;
+    begin_session(forced, Mode::kReplay);
+    replay_decisions_.clear();
+    replay_pos_ = 0;
+    if (!parse_schedule(schedule, replay_decisions_)) {
+      Result bad;
+      bad.ok = false;
+      bad.failure.kind = "bad-schedule";
+      bad.failure.message = "unparseable schedule string: " + schedule;
+      return bad;
+    }
+    Result res;
+    run_one(body);
+    res.stats.executions = 1;
+    if (failed_exec_) {
+      res.ok = false;
+      res.failure = failure_;
+    }
+    res.trace.assign(trace_.begin(), trace_.end());
+    finish_session(res);
+    return res;
+  }
+
+  // ---- shim entry points (called from model-thread workers) ----
+
+  bool model_active() const noexcept {
+    return exec_active_ && tls_tid >= 0 && !aborting_;
+  }
+  bool aborting() const noexcept { return aborting_; }
+  std::uint32_t generation() const noexcept { return exec_gen_; }
+
+  int register_atomic(std::uint64_t init) {
+    atomics_.emplace_back();
+    AtomicObj& a = atomics_.back();
+    StoreRec s;
+    s.value = init;
+    // The constructing thread's clock orders initialization before any
+    // access reachable from it (thread creation joins clocks).
+    if (tls_tid >= 0) {
+      s.writer = tls_tid;
+      s.cw = threads_[static_cast<std::size_t>(tls_tid)].clock;
+      s.release_view = s.cw;
+    }
+    s.is_release = true;
+    a.history.push_back(s);
+    return static_cast<int>(atomics_.size()) - 1;
+  }
+
+  int register_plain() {
+    plains_.emplace_back();
+    return static_cast<int>(plains_.size()) - 1;
+  }
+
+  Op perform_scheduled(Op op) {
+    ThreadState& ts = threads_[static_cast<std::size_t>(tls_tid)];
+    ts.pending = op;
+    ts.has_pending = true;
+    ctrl_gate_.signal();
+    ts.resume.wait();
+    if (aborting_) throw AbortExec{};
+    return ts.pending;
+  }
+
+  // Teardown / out-of-schedule path: apply against the store history
+  // without clocks, decisions, or race checks. Only the unwinding worker
+  // runs at this point (abort resumes workers one at a time), so this is
+  // single-threaded.
+  Op perform_direct(Op op) {
+    if (op.obj < 0) return op;
+    if (is_atomic_op(op.kind)) {
+      AtomicObj& a = atomics_[static_cast<std::size_t>(op.obj)];
+      StoreRec& last = a.history.back();
+      switch (op.kind) {
+        case Op::Kind::kLoad:
+          op.result = last.value;
+          break;
+        case Op::Kind::kStore: {
+          StoreRec s;
+          s.value = op.value;
+          a.history.push_back(s);
+          break;
+        }
+        case Op::Kind::kFetchAdd: {
+          op.result = last.value;
+          StoreRec s;
+          s.value = last.value + op.value;
+          a.history.push_back(s);
+          break;
+        }
+        case Op::Kind::kExchange: {
+          op.result = last.value;
+          StoreRec s;
+          s.value = op.value;
+          a.history.push_back(s);
+          break;
+        }
+        case Op::Kind::kCas: {
+          op.result = last.value;
+          op.cas_ok = last.value == op.expected;
+          if (op.cas_ok) {
+            StoreRec s;
+            s.value = op.value;
+            a.history.push_back(s);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    return op;
+  }
+
+  std::uint64_t write_counter() const noexcept { return write_counter_; }
+
+  int spawn(std::function<void()> fn) {
+    if (num_threads_ >= kMaxThreads) {
+      throw VerifyFailEx{"scenario spawns more than kMaxThreads threads"};
+    }
+    int tid = num_threads_++;
+    ThreadState& ts = threads_[static_cast<std::size_t>(tid)];
+    ts.fn = std::move(fn);
+    ts.active = true;
+    ts.finished = false;
+    // Child inherits the parent's view: spawn happens-before the child's
+    // first step.
+    ts.clock = threads_[static_cast<std::size_t>(tls_tid)].clock;
+    ts.pending = Op{};
+    ts.pending.kind = Op::Kind::kStart;
+    ts.has_pending = true;
+    return tid;
+  }
+
+  void fail_from_worker(const char* kind, std::string msg) {
+    // Controller is blocked on ctrl_gate_ while this worker runs, so the
+    // write is exclusive.
+    if (!failed_exec_) {
+      failed_exec_ = true;
+      failure_.kind = kind;
+      failure_.message = std::move(msg);
+      failure_.schedule = make_schedule();
+      failure_.trace.assign(trace_.begin(), trace_.end());
+    }
+  }
+
+  void worker_finished() {
+    threads_[static_cast<std::size_t>(tls_tid)].finished = true;
+    ctrl_gate_.signal();
+  }
+
+  void ensure_workers() {
+    if (workers_started_) return;
+    workers_started_ = true;
+    for (int i = 0; i < kMaxThreads; ++i) {
+      threads_[static_cast<std::size_t>(i)].os =
+          std::thread([this, i] { worker_main(i); });
+    }
+  }
+
+  bool shutting_down() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+  Gate& resume_gate(int tid) {
+    return threads_[static_cast<std::size_t>(tid)].resume;
+  }
+  std::function<void()>& fn_of(int tid) {
+    return threads_[static_cast<std::size_t>(tid)].fn;
+  }
+
+ private:
+  void worker_main(int tid) {
+    tls_tid = tid;
+    ThreadState& ts = threads_[static_cast<std::size_t>(tid)];
+    for (;;) {
+      ts.resume.wait();
+      if (shutdown_.load(std::memory_order_acquire)) return;
+      if (aborting_) {
+        // Spawned this execution but torn down before its kStart ran.
+        ts.finished = true;
+        ctrl_gate_.signal();
+        continue;
+      }
+      try {
+        ts.fn();
+      } catch (const AbortExec&) {
+        // unwound by teardown; nothing to record
+      } catch (const VerifyFailEx& e) {
+        fail_from_worker("assert", e.msg);
+      } catch (const std::exception& e) {
+        fail_from_worker("exception",
+                         std::string("model thread threw: ") + e.what());
+      } catch (...) {
+        fail_from_worker("exception", "model thread threw a non-std exception");
+      }
+      ts.finished = true;
+      ctrl_gate_.signal();
+    }
+  }
+
+  void begin_session(const Options& o, Mode m) {
+    ensure_workers();
+    opts_ = o;
+    mode_ = m;
+    stack_.clear();
+    cum_steps_ = 0;
+    cum_decisions_ = 0;
+    cum_pruned_ = 0;
+    max_depth_ = 0;
+  }
+
+  void finish_session(Result& res) {
+    res.stats.steps = cum_steps_;
+    res.stats.decisions = cum_decisions_;
+    res.stats.sleep_pruned = cum_pruned_;
+    res.stats.max_depth = max_depth_;
+    exec_active_ = false;
+  }
+
+  bool runnable(const ThreadState& ts) const {
+    if (!ts.active || ts.finished || !ts.has_pending) return false;
+    if (ts.pending.kind == Op::Kind::kJoin) {
+      return threads_[static_cast<std::size_t>(ts.pending.join_target)]
+          .finished;
+    }
+    if (ts.pending.kind == Op::Kind::kYield) {
+      // Parked until some write lands after the yield was posted; the
+      // snapshot in `value` closes the lost-wakeup window (no other
+      // thread can run between the spinner's last load and its yield
+      // being posted, so any write it could miss bumps the counter
+      // before the yield is applied). Quiescent wakeups arrive as
+      // virtual-flush bumps of write_counter_ (see run_one), so a woken
+      // spinner that makes no progress parks again instead of staying
+      // schedulable forever.
+      return write_counter_ > ts.pending.value;
+    }
+    return true;
+  }
+
+  std::string make_schedule() const {
+    std::ostringstream os;
+    os << "hfqv1:";
+    for (std::size_t i = 0; i < decision_log_.size(); ++i) {
+      if (i != 0) os << '.';
+      os << decision_log_[i];
+    }
+    return os.str();
+  }
+
+  static bool parse_schedule(const std::string& s, std::vector<int>& out) {
+    const std::string tag = "hfqv1:";
+    if (s.rfind(tag, 0) != 0) return false;
+    std::size_t i = tag.size();
+    while (i < s.size()) {
+      int v = 0;
+      bool any = false;
+      while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+        v = v * 10 + (s[i] - '0');
+        any = true;
+        ++i;
+      }
+      if (!any) return false;
+      out.push_back(v);
+      if (i < s.size()) {
+        if (s[i] != '.') return false;
+        ++i;
+      }
+    }
+    return true;
+  }
+
+  void record_trace(int tid, const Op& op, const char* extra) {
+    // Formatting every applied op costs more than applying it; exhaustive
+    // runs cover millions of steps, so the rolling log only exists when a
+    // trace was asked for. Counterexamples still carry their schedule
+    // string, and --replay (which forces collect_trace) rebuilds the full
+    // trace deterministically.
+    if (!opts_.collect_trace) return;
+    std::ostringstream os;
+    os << 't' << tid << ' ' << kind_str(op.kind);
+    if (is_atomic_op(op.kind)) {
+      os << " a" << op.obj << ' ' << mo_str(op.mo);
+      if (op.kind == Op::Kind::kStore || op.kind == Op::Kind::kExchange ||
+          op.kind == Op::Kind::kCas) {
+        os << " v=" << op.value;
+      }
+      if (op.kind == Op::Kind::kFetchAdd) os << " +" << op.value;
+      if (op.kind != Op::Kind::kStore) os << " -> " << op.result;
+      if (op.kind == Op::Kind::kCas) os << (op.cas_ok ? " ok" : " fail");
+    } else if (op.kind == Op::Kind::kPlainRead ||
+               op.kind == Op::Kind::kPlainWrite) {
+      os << " p" << op.obj;
+    } else if (op.kind == Op::Kind::kJoin) {
+      os << " t" << op.join_target;
+    }
+    if (op.site >= 0) os << " @" << SiteTable::instance().label(op.site);
+    if (extra != nullptr) os << ' ' << extra;
+    trace_.push_back(os.str());
+  }
+
+  int decide(bool thread_choice, const std::vector<int>& list) {
+    if (list.size() == 1) return list[0];
+    cum_decisions_ += 1;
+    int chosen = list[0];
+    switch (mode_) {
+      case Mode::kDfs: {
+        if (depth_ < stack_.size()) {
+          Node& n = stack_[depth_];
+          chosen = n.list[n.cur];
+          if (thread_choice && opts_.sleep_sets) {
+            for (std::size_t i = 0; i < n.cur; ++i) {
+              cur_sleep_ |= 1u << static_cast<unsigned>(n.list[i]);
+            }
+          }
+        } else {
+          Node n;
+          n.thread_choice = thread_choice;
+          n.list = list;
+          stack_.push_back(std::move(n));
+        }
+        depth_ += 1;
+        if (depth_ > max_depth_) max_depth_ = depth_;
+        break;
+      }
+      case Mode::kRandom:
+        chosen = list[splitmix64(rng_) % list.size()];
+        break;
+      case Mode::kReplay: {
+        if (replay_pos_ < replay_decisions_.size()) {
+          int want = replay_decisions_[replay_pos_++];
+          bool found = false;
+          for (int v : list) {
+            if (v == want) {
+              found = true;
+              break;
+            }
+          }
+          // A stale schedule (code changed since it was printed) falls
+          // back to the first candidate rather than crashing; the trace
+          // will show the divergence point.
+          chosen = found ? want : list[0];
+        }
+        break;
+      }
+    }
+    decision_log_.push_back(chosen);
+    return chosen;
+  }
+
+  bool dependent(const Op& a, const Op& b) const {
+    if (a.kind == Op::Kind::kStart || b.kind == Op::Kind::kStart ||
+        a.kind == Op::Kind::kJoin || b.kind == Op::Kind::kJoin) {
+      // Start touches no shared state. Join only becomes pending-enabled
+      // once its target has finished (a sleeping thread was enabled when
+      // explored), and then merely merges the target's final clock — a
+      // commutative join no other live op can change. Both commute with
+      // every op, and sleep-set theory needs only next-op commutativity.
+      return false;
+    }
+    // A parked yield's enabledness flips on any write.
+    bool a_write = is_atomic_write(a.kind) || a.kind == Op::Kind::kPlainWrite;
+    bool b_write = is_atomic_write(b.kind) || b.kind == Op::Kind::kPlainWrite;
+    if (a.kind == Op::Kind::kYield) return b_write;
+    if (b.kind == Op::Kind::kYield) return a_write;
+    // seq_cst ops interact through the global SC clock regardless of obj.
+    if (is_atomic_op(a.kind) && is_atomic_op(b.kind) && a.mo == kMoSeqCst &&
+        b.mo == kMoSeqCst) {
+      return true;
+    }
+    bool a_plain =
+        a.kind == Op::Kind::kPlainRead || a.kind == Op::Kind::kPlainWrite;
+    bool b_plain =
+        b.kind == Op::Kind::kPlainRead || b.kind == Op::Kind::kPlainWrite;
+    if (a_plain != b_plain) return false;  // distinct object namespaces
+    if (a.obj != b.obj) return false;
+    return a_write || b_write;
+  }
+
+  void fail_from_controller(const char* kind, std::string msg) {
+    if (failed_exec_) return;
+    failed_exec_ = true;
+    failure_.kind = kind;
+    failure_.message = std::move(msg);
+    failure_.schedule = make_schedule();
+    failure_.trace.assign(trace_.begin(), trace_.end());
+  }
+
+  // Apply thread t's pending op against the memory model. May consume a
+  // visibility decision (relaxed-mode loads) and may record a failure
+  // (plain-cell race).
+  void apply_op(int t) {
+    ThreadState& ts = threads_[static_cast<std::size_t>(t)];
+    Op& op = ts.pending;
+    ClockVec& c = ts.clock;
+    c.tick(t);
+    const int mo = SiteTable::instance().effective(op.site, op.mo);
+    op.mo = mo;  // trace shows the effective (possibly mutated) order
+    if (op.site >= 0) SiteTable::instance().note_hit(op.site);
+    switch (op.kind) {
+      case Op::Kind::kStart:
+      case Op::Kind::kYield:
+        break;
+      case Op::Kind::kJoin:
+        c.join(threads_[static_cast<std::size_t>(op.join_target)].clock);
+        break;
+      case Op::Kind::kLoad: {
+        AtomicObj& a = atomics_[static_cast<std::size_t>(op.obj)];
+        const int n = static_cast<int>(a.history.size());
+        int floor = a.obs[static_cast<std::size_t>(t)];
+        for (int j = n - 1; j > floor; --j) {
+          if (a.history[static_cast<std::size_t>(j)].cw.leq(c)) {
+            floor = j;  // newest store that happens-before this load
+            break;
+          }
+        }
+        if (mo == kMoSeqCst && a.last_sc > floor) floor = a.last_sc;
+        int pick = n - 1;
+        int& streak = a.stale_streak[static_cast<std::size_t>(t)];
+        if (opts_.relaxed_memory && !force_fresh_ && floor < n - 1 &&
+            streak < opts_.stale_streak) {
+          // Bounded staleness: enumerate at most stale_choices readable
+          // stores — always the stalest legal one (most adversarial) and
+          // the newest, then intermediates newest-first if the budget
+          // allows. Intermediate picks multiply the search space but
+          // almost never expose bugs the two extremes don't.
+          std::vector<int> choices;
+          const int budget = opts_.stale_choices < 2 ? 2 : opts_.stale_choices;
+          choices.push_back(floor);
+          const int lo = floor + 1 > n - budget + 1 ? floor + 1
+                                                    : n - budget + 1;
+          for (int j = lo; j < n; ++j) choices.push_back(j);
+          pick = decide(false, choices);
+        }
+        streak = pick < n - 1 ? streak + 1 : 0;
+        StoreRec& s = a.history[static_cast<std::size_t>(pick)];
+        a.obs[static_cast<std::size_t>(t)] = pick;
+        op.result = s.value;
+        if (mo_acquires(mo) && s.is_release) c.join(s.release_view);
+        if (mo == kMoSeqCst) {
+          c.join(sc_clock_);
+          sc_clock_.join(c);
+        }
+        break;
+      }
+      case Op::Kind::kStore: {
+        AtomicObj& a = atomics_[static_cast<std::size_t>(op.obj)];
+        if (mo == kMoSeqCst) {
+          c.join(sc_clock_);
+          sc_clock_.join(c);
+        }
+        StoreRec s;
+        s.value = op.value;
+        s.writer = t;
+        s.site = op.site;
+        s.cw = c;
+        if (mo_releases(mo)) {
+          s.is_release = true;
+          s.release_view = c;
+        }
+        a.history.push_back(std::move(s));
+        const int idx = static_cast<int>(a.history.size()) - 1;
+        a.obs[static_cast<std::size_t>(t)] = idx;
+        if (mo == kMoSeqCst) a.last_sc = idx;
+        write_counter_ += 1;
+        break;
+      }
+      case Op::Kind::kFetchAdd:
+      case Op::Kind::kExchange:
+      case Op::Kind::kCas: {
+        AtomicObj& a = atomics_[static_cast<std::size_t>(op.obj)];
+        // An RMW always reads the newest store in modification order.
+        StoreRec& last = a.history.back();
+        op.result = last.value;
+        const bool success =
+            op.kind != Op::Kind::kCas || last.value == op.expected;
+        if (!success) {
+          // Failed CAS is a load of `last` with the failure order.
+          const int fmo = op.mo_fail;
+          op.cas_ok = false;
+          a.obs[static_cast<std::size_t>(t)] =
+              static_cast<int>(a.history.size()) - 1;
+          if (mo_acquires(fmo) && last.is_release) c.join(last.release_view);
+          if (fmo == kMoSeqCst) {
+            c.join(sc_clock_);
+            sc_clock_.join(c);
+          }
+          break;
+        }
+        if (mo == kMoSeqCst) {
+          c.join(sc_clock_);
+          sc_clock_.join(c);
+        }
+        if (mo_acquires(mo) && last.is_release) c.join(last.release_view);
+        StoreRec s;
+        s.writer = t;
+        s.site = op.site;
+        if (op.kind == Op::Kind::kFetchAdd) {
+          s.value = last.value + op.value;
+        } else {
+          s.value = op.value;
+        }
+        // Release-sequence approximation: an RMW extends the sequence, so
+        // an acquire load of this store still synchronizes with the head.
+        s.is_release = last.is_release || mo_releases(mo);
+        if (last.is_release) s.release_view = last.release_view;
+        if (mo_releases(mo)) s.release_view.join(c);
+        s.cw = c;
+        a.history.push_back(std::move(s));
+        const int idx = static_cast<int>(a.history.size()) - 1;
+        a.obs[static_cast<std::size_t>(t)] = idx;
+        if (mo == kMoSeqCst) a.last_sc = idx;
+        op.cas_ok = true;
+        write_counter_ += 1;
+        break;
+      }
+      case Op::Kind::kPlainRead: {
+        PlainObj& p = plains_[static_cast<std::size_t>(op.obj)];
+        if (p.w_tid >= 0 &&
+            p.w_epoch > c.v[static_cast<std::size_t>(p.w_tid)]) {
+          race_failure(op.obj, "write", p.w_site, "read", op.site);
+          return;
+        }
+        p.r_epoch[static_cast<std::size_t>(t)] =
+            c.v[static_cast<std::size_t>(t)];
+        p.r_site[static_cast<std::size_t>(t)] = op.site;
+        break;
+      }
+      case Op::Kind::kPlainWrite: {
+        PlainObj& p = plains_[static_cast<std::size_t>(op.obj)];
+        if (p.w_tid >= 0 &&
+            p.w_epoch > c.v[static_cast<std::size_t>(p.w_tid)]) {
+          race_failure(op.obj, "write", p.w_site, "write", op.site);
+          return;
+        }
+        for (int u = 0; u < kMaxThreads; ++u) {
+          if (u == t) continue;
+          if (p.r_epoch[static_cast<std::size_t>(u)] >
+              c.v[static_cast<std::size_t>(u)]) {
+            race_failure(op.obj, "read", p.r_site[static_cast<std::size_t>(u)],
+                         "write", op.site);
+            return;
+          }
+        }
+        p.w_tid = t;
+        p.w_epoch = c.v[static_cast<std::size_t>(t)];
+        p.w_site = op.site;
+        // A race-free write happens-after every recorded read; reset the
+        // read epochs so stale entries don't trip later writes.
+        p.r_epoch.fill(0);
+        break;
+      }
+    }
+    record_trace(t, op, nullptr);
+  }
+
+  void race_failure(int obj, const char* k1, int site1, const char* k2,
+                    int site2) {
+    std::ostringstream os;
+    os << "data race on plain cell p" << obj << ": " << k1 << " @"
+       << SiteTable::instance().label(site1) << " unordered with " << k2
+       << " @" << SiteTable::instance().label(site2);
+    fail_from_controller("race", os.str());
+  }
+
+  // Resume every unfinished worker, one at a time, letting each unwind
+  // via AbortExec (or observe aborting_ at its loop top).
+  void abort_all() {
+    aborting_ = true;
+    for (int t = 0; t < kMaxThreads; ++t) {
+      ThreadState& ts = threads_[static_cast<std::size_t>(t)];
+      if (!ts.active || ts.finished) continue;
+      ts.resume.signal();
+      ctrl_gate_.wait();
+    }
+    aborting_ = false;
+  }
+
+  bool advance_stack() {
+    while (!stack_.empty()) {
+      Node& n = stack_.back();
+      if (n.cur + 1 < n.list.size()) {
+        n.cur += 1;
+        return true;
+      }
+      stack_.pop_back();
+    }
+    return false;
+  }
+
+  void run_one(const std::function<void()>& body) {
+    exec_gen_ += 1;
+    atomics_.clear();
+    plains_.clear();
+    sc_clock_ = ClockVec{};
+    write_counter_ = 0;
+    force_fresh_ = false;
+    writes_at_last_flush_ = ~std::uint64_t{0};
+    cur_sleep_ = 0;
+    depth_ = 0;
+    preemptions_ = 0;
+    last_run_ = -1;
+    decision_log_.clear();
+    trace_.clear();
+    failed_exec_ = false;
+    aborting_ = false;
+    for (auto& ts : threads_) {
+      ts.active = false;
+      ts.finished = false;
+      ts.has_pending = false;
+      ts.clock = ClockVec{};
+      ts.fn = nullptr;
+    }
+    num_threads_ = 1;
+    ThreadState& t0 = threads_[0];
+    t0.active = true;
+    t0.fn = body;
+    t0.pending = Op{};
+    t0.pending.kind = Op::Kind::kStart;
+    t0.has_pending = true;
+    exec_active_ = true;
+
+    std::uint64_t steps = 0;
+    bool need_abort = false;
+    for (;;) {
+      std::vector<int> enabled;
+      bool any_unfinished = false;
+      for (int t = 0; t < num_threads_; ++t) {
+        const ThreadState& ts = threads_[static_cast<std::size_t>(t)];
+        if (!ts.active || ts.finished) continue;
+        any_unfinished = true;
+        if (runnable(ts)) enabled.push_back(t);
+      }
+      if (!any_unfinished) break;  // normal completion
+      if (enabled.empty()) {
+        // Eventual visibility: hardware propagates stores in finite time,
+        // so a quiescent spin-waiter cannot legally read a stale flag
+        // forever. When nothing can run but a yield-parked spinner
+        // exists, issue a virtual flush: pin all further loads to the
+        // newest store (sound — newest is always a legal visibility
+        // choice) and bump write_counter_ once so every parked spinner
+        // wakes, re-reads fresh state, and either progresses or parks
+        // again. A second quiescence with no real write in between means
+        // the spinners saw the final state and still spun: genuine
+        // deadlock, reported below.
+        bool any_spinner = false;
+        for (int t = 0; t < num_threads_; ++t) {
+          const ThreadState& ts = threads_[static_cast<std::size_t>(t)];
+          if (ts.active && !ts.finished && ts.has_pending &&
+              ts.pending.kind == Op::Kind::kYield) {
+            any_spinner = true;
+            break;
+          }
+        }
+        if (any_spinner && write_counter_ != writes_at_last_flush_) {
+          force_fresh_ = true;
+          write_counter_ += 1;
+          writes_at_last_flush_ = write_counter_;
+          continue;
+        }
+      }
+      if (enabled.empty()) {
+        std::ostringstream os;
+        os << "no runnable thread; blocked:";
+        for (int t = 0; t < num_threads_; ++t) {
+          const ThreadState& ts = threads_[static_cast<std::size_t>(t)];
+          if (ts.active && !ts.finished) {
+            os << " t" << t << '(' << kind_str(ts.pending.kind) << ')';
+          }
+        }
+        fail_from_controller("deadlock", os.str());
+        need_abort = true;
+        break;
+      }
+      std::vector<int> cands;
+      const bool bound_hit = opts_.preemption_bound >= 0 &&
+                             preemptions_ >= opts_.preemption_bound;
+      bool last_enabled = false;
+      for (int t : enabled) {
+        if (t == last_run_) last_enabled = true;
+      }
+      if (bound_hit && last_enabled) {
+        // Out of preemption budget: must keep running the current thread
+        // until it blocks or finishes (CHESS).
+        cands.push_back(last_run_);
+      } else {
+        for (int t : enabled) {
+          if (opts_.sleep_sets && mode_ == Mode::kDfs &&
+              ((cur_sleep_ >> static_cast<unsigned>(t)) & 1u) != 0) {
+            continue;
+          }
+          cands.push_back(t);
+        }
+        if (cands.empty()) {
+          // Every enabled thread is asleep: this continuation is a
+          // reordering of an already-explored one.
+          cum_pruned_ += 1;
+          need_abort = true;
+          break;
+        }
+      }
+      const int t = decide(true, cands);
+      if (last_run_ >= 0 && t != last_run_ && last_enabled) preemptions_ += 1;
+      apply_op(t);
+      steps += 1;
+      cum_steps_ += 1;
+      if (failed_exec_) {
+        need_abort = true;
+        break;
+      }
+      if (steps > opts_.max_steps) {
+        fail_from_controller(
+            "livelock", "per-execution step budget exceeded (max_steps)");
+        need_abort = true;
+        break;
+      }
+      if (opts_.sleep_sets && mode_ == Mode::kDfs && cur_sleep_ != 0) {
+        const Op applied = threads_[static_cast<std::size_t>(t)].pending;
+        for (int u = 0; u < num_threads_; ++u) {
+          if (((cur_sleep_ >> static_cast<unsigned>(u)) & 1u) == 0) continue;
+          const ThreadState& us = threads_[static_cast<std::size_t>(u)];
+          if (us.has_pending && dependent(applied, us.pending)) {
+            cur_sleep_ &= ~(1u << static_cast<unsigned>(u));
+          }
+        }
+      }
+      last_run_ = t;
+      ThreadState& ts = threads_[static_cast<std::size_t>(t)];
+      ts.has_pending = false;
+      ts.resume.signal();
+      ctrl_gate_.wait();
+      if (failed_exec_) {
+        need_abort = true;
+        break;
+      }
+    }
+    if (need_abort) abort_all();
+    exec_active_ = false;
+  }
+
+  friend Result explore(const Options&, const std::function<void()>&);
+
+ public:
+  // Shared with the detail:: free functions below.
+  std::array<ThreadState, kMaxThreads> threads_;
+  Gate ctrl_gate_;
+  std::mutex api_mu_;
+  std::atomic<bool> shutdown_{false};
+  bool workers_started_ = false;
+
+  Options opts_;
+  Mode mode_ = Mode::kDfs;
+  bool exec_active_ = false;
+  bool aborting_ = false;
+  bool failed_exec_ = false;
+  Failure failure_;
+  std::uint32_t exec_gen_ = 0;
+  int num_threads_ = 0;
+
+  std::vector<AtomicObj> atomics_;
+  std::vector<PlainObj> plains_;
+  ClockVec sc_clock_;
+  std::uint64_t write_counter_ = 0;
+  bool force_fresh_ = false;  // quiescent eventual-visibility mode
+  // write_counter_ value right after the last virtual flush; equality at
+  // the next quiescence means no real write happened since — deadlock.
+  std::uint64_t writes_at_last_flush_ = ~std::uint64_t{0};
+
+  std::vector<Node> stack_;
+  std::size_t depth_ = 0;
+  std::uint32_t cur_sleep_ = 0;
+  int preemptions_ = 0;
+  int last_run_ = -1;
+  std::vector<int> decision_log_;
+  std::vector<std::string> trace_;
+  std::vector<int> replay_decisions_;
+  std::size_t replay_pos_ = 0;
+  std::uint64_t rng_ = 0;
+
+  std::uint64_t cum_steps_ = 0;
+  std::uint64_t cum_decisions_ = 0;
+  std::uint64_t cum_pruned_ = 0;
+  std::uint64_t max_depth_ = 0;
+};
+
+}  // namespace
+
+// ---- SiteTable -------------------------------------------------------------
+
+SiteTable& SiteTable::instance() {
+  static SiteTable t;
+  return t;
+}
+
+int SiteTable::intern(const char* file, unsigned line, Op::Kind kind,
+                      int declared_mo) {
+  auto key = std::make_tuple(std::string(file), line, static_cast<int>(kind));
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  SiteInfo info;
+  info.file = file;
+  info.line = line;
+  info.kind = kind;
+  info.declared_mo = declared_mo;
+  sites_.push_back(std::move(info));
+  const int id = static_cast<int>(sites_.size()) - 1;
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+std::string SiteTable::label(int site) const {
+  if (site < 0 || site >= static_cast<int>(sites_.size())) return "<?>";
+  const SiteInfo& s = sites_[static_cast<std::size_t>(site)];
+  // Strip the directory: scenario output should be stable across build
+  // trees.
+  std::size_t slash = s.file.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? s.file : s.file.substr(slash + 1);
+  std::ostringstream os;
+  os << base << ':' << s.line << ' ' << kind_str(s.kind);
+  return os.str();
+}
+
+void SiteTable::set_override(int site, int mo) { overrides_[site] = mo; }
+void SiteTable::clear_overrides() { overrides_.clear(); }
+
+int SiteTable::effective(int site, int declared_mo) const {
+  auto it = overrides_.find(site);
+  return it == overrides_.end() ? declared_mo : it->second;
+}
+
+void SiteTable::note_hit(int site) {
+  if (site >= 0 && site < static_cast<int>(sites_.size())) {
+    sites_[static_cast<std::size_t>(site)].hits += 1;
+  }
+}
+
+void SiteTable::reset() {
+  sites_.clear();
+  index_.clear();
+  overrides_.clear();
+}
+
+// ---- public entry points ---------------------------------------------------
+
+Result explore(const Options& opts, const std::function<void()>& body) {
+  return Engine::instance().explore(opts, body);
+}
+
+Result explore_random(const Options& opts, const std::function<void()>& body,
+                      std::uint64_t schedules, std::uint64_t seed) {
+  return Engine::instance().explore_random(opts, body, schedules, seed);
+}
+
+Result replay(const Options& opts, const std::function<void()>& body,
+              const std::string& schedule) {
+  return Engine::instance().replay(opts, body, schedule);
+}
+
+void check(bool cond, const char* msg) {
+  if (cond) return;
+  Engine& e = Engine::instance();
+  if (e.model_active()) throw VerifyFailEx{msg};
+  if (!e.aborting()) throw std::runtime_error(std::string("verify: ") + msg);
+}
+
+bool aborting() noexcept { return Engine::instance().aborting(); }
+
+// ---- shim support (detail) -------------------------------------------------
+
+namespace detail {
+
+bool model_active() noexcept { return Engine::instance().model_active(); }
+std::uint32_t exec_generation() noexcept {
+  return Engine::instance().generation();
+}
+
+int register_atomic(std::uint64_t init) {
+  Engine& e = Engine::instance();
+  if (!e.model_active()) return -1;
+  return e.register_atomic(init);
+}
+
+int register_plain() {
+  Engine& e = Engine::instance();
+  if (!e.model_active()) return -1;
+  return e.register_plain();
+}
+
+Op perform(Op op) {
+  Engine& e = Engine::instance();
+  if (!e.model_active()) return e.perform_direct(op);
+  return e.perform_scheduled(op);
+}
+
+int intern_site(const char* file, unsigned line, Op::Kind k, int declared_mo) {
+  return SiteTable::instance().intern(file, line, k, declared_mo);
+}
+
+int spawn(std::function<void()> fn) {
+  Engine& e = Engine::instance();
+  check(e.model_active(), "verify::thread spawned outside a model execution");
+  return e.spawn(std::move(fn));
+}
+
+void join(int tid, int site) {
+  Engine& e = Engine::instance();
+  if (!e.model_active()) return;  // teardown: target is unwound by abort_all
+  Op op;
+  op.kind = Op::Kind::kJoin;
+  op.join_target = tid;
+  op.site = site;
+  e.perform_scheduled(op);
+}
+
+void yield_point(int site) {
+  Engine& e = Engine::instance();
+  if (!e.model_active()) return;
+  Op op;
+  op.kind = Op::Kind::kYield;
+  op.site = site;
+  op.value = e.write_counter();  // lost-wakeup guard, see runnable()
+  e.perform_scheduled(op);
+}
+
+}  // namespace detail
+}  // namespace hfq::verify

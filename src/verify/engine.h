@@ -1,0 +1,243 @@
+// Deterministic concurrency model checker for the lock-free service layer
+// (DESIGN.md "Concurrency verification").
+//
+// The service's correctness argument (src/serve/: Vyukov MPSC ring, epoch
+// ticket/ack edits, shard loop) rests on ~65 memory_order annotations that a
+// TSan soak only samples. This engine *schedules* those annotations: checked
+// code is compiled against verify::atomic<T> / verify::var<T>
+// (src/verify/shim.h), every shared-memory access becomes a scheduling
+// point, and the Engine enumerates interleavings —
+//
+//   - exhaustively, depth-first over scheduling decisions with iterative
+//     context (preemption) bounding in the CHESS style and sleep-set
+//     pruning, for small configurations (2-3 threads, capacity-4 ring);
+//   - randomly, SplitMix64-seeded, for larger ones;
+//   - or replaying one printed schedule string, for counterexample triage.
+//
+// Memory is modelled operationally with vector clocks (one lane per model
+// thread):
+//
+//   - every atomic object keeps its full modification-order store history;
+//     a load may read any store not superseded for the loading thread
+//     (coherence floor = later of: last store this thread observed, newest
+//     store that happens-before the load). In relaxed-memory mode the pick
+//     among visible stores is itself a recorded decision, which simulates
+//     weaker-than-x86 reordering: a missing release/acquire pair produces a
+//     stale read here even though x86's strong loads would hide it.
+//   - release stores capture the writer's clock; acquire loads that read
+//     them join it (RMWs propagate the release view, approximating release
+//     sequences). seq_cst ops additionally join through a global SC clock,
+//     which orders them pairwise (Dekker-style store/load cases included).
+//   - verify::var<T> (plain, non-atomic data such as the ring slot payload)
+//     performs FastTrack-style race detection against those clocks: any
+//     unordered read/write pair is reported as a race with both source
+//     sites. This is what makes ordering mutations observable — weakening a
+//     publish store from release to relaxed severs the happens-before edge
+//     and the payload access races deterministically.
+//
+// Checked code is *unmodified*: the serve templates accept the atomic
+// template as a parameter, and every shim operation records its call site
+// via std::source_location, so the mutation harness (verify/mutate.h) can
+// weaken one annotation at a time without touching the source.
+//
+// Failures (assertion, race, deadlock, livelock) carry a schedule string
+// ("hfqv1:3.0.1...") that replays the exact execution deterministically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace hfq::verify {
+
+// Model-thread limit. Clocks are fixed arrays sized by this, and schedule
+// strings encode thread ids directly; the service scenarios need at most
+// 1 consumer + 2-3 producers + 1 control thread.
+inline constexpr int kMaxThreads = 8;
+
+// Vector clock over model threads. Lane t counts thread t's scheduled
+// steps; happens-before is the pointwise order.
+struct ClockVec {
+  std::array<std::uint32_t, kMaxThreads> v{};
+
+  void tick(int tid) noexcept { v[static_cast<std::size_t>(tid)] += 1; }
+  void join(const ClockVec& o) noexcept {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (o.v[i] > v[i]) v[i] = o.v[i];
+    }
+  }
+  [[nodiscard]] bool leq(const ClockVec& o) const noexcept {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] > o.v[i]) return false;
+    }
+    return true;
+  }
+};
+
+// One scheduled operation. Registered by the shim *before* it executes, so
+// the scheduler knows every paused thread's imminent access (that is what
+// makes sleep-set independence checks and preemption decisions exact).
+struct Op {
+  enum class Kind : std::uint8_t {
+    kStart,     // thread's first step: run user code to the first access
+    kLoad,
+    kStore,
+    kFetchAdd,
+    kCas,       // compare_exchange (modelled without spurious failure)
+    kExchange,
+    kPlainRead,   // verify::var<T> access — race-checked, never reordered
+    kPlainWrite,
+    kYield,     // cooperative backoff: parked until another thread steps
+    kJoin,      // blocked until the target thread finishes
+  };
+  Kind kind = Kind::kStart;
+  int obj = -1;                // atomic id (kLoad..kExchange) or plain id
+  std::uint64_t value = 0;     // store value / desired / add delta
+  std::uint64_t expected = 0;  // CAS comparand
+  int mo = 0;                  // declared std::memory_order (int-cast)
+  int mo_fail = 0;             // CAS failure order
+  int site = -1;               // SiteTable id of the call site
+  int join_target = -1;
+  // Results, filled by the engine when the op is applied.
+  std::uint64_t result = 0;
+  bool cas_ok = false;
+};
+
+// --- call-site registry + memory_order mutation -----------------------------
+
+// Every shim operation is keyed by (file, line, op kind) captured with
+// std::source_location. The table records the declared memory_order the
+// first time a site executes and lets the mutation harness substitute a
+// weaker one at apply time — the checked source is never edited.
+struct SiteInfo {
+  std::string file;            // as spelled by source_location
+  unsigned line = 0;
+  Op::Kind kind = Op::Kind::kLoad;
+  int declared_mo = 0;         // std::memory_order as int
+  std::uint64_t hits = 0;      // ops applied through this site
+};
+
+class SiteTable {
+ public:
+  static SiteTable& instance();
+
+  int intern(const char* file, unsigned line, Op::Kind kind, int declared_mo);
+  [[nodiscard]] const std::vector<SiteInfo>& sites() const { return sites_; }
+  [[nodiscard]] std::string label(int site) const;  // "mpsc_ring.h:66 store"
+
+  void set_override(int site, int mo);
+  void clear_overrides();
+  [[nodiscard]] int effective(int site, int declared_mo) const;
+  void note_hit(int site);
+
+  // Drops all sites and overrides; the mutation harness resets between
+  // discovery and injection phases so hit counts are per-phase.
+  void reset();
+
+ private:
+  std::vector<SiteInfo> sites_;
+  std::map<std::tuple<std::string, unsigned, int>, int> index_;
+  std::map<int, int> overrides_;
+};
+
+// --- exploration interface ---------------------------------------------------
+
+struct Options {
+  // Simulate weaker-than-x86 visibility: loads may read any
+  // coherence-permitted stale store (each pick is a recorded decision).
+  // When false, loads read the newest store — pure interleaving semantics —
+  // but vector-clock race detection stays on either way.
+  bool relaxed_memory = true;
+  // CHESS-style preemption bound; < 0 = unbounded. Context switches at
+  // blocking/parked points are always free.
+  int preemption_bound = -1;
+  // Sleep-set partial-order reduction (sound here because *every* shared
+  // access, plain included, is its own scheduling point).
+  bool sleep_sets = true;
+  // Per-execution scheduled-step budget; exceeding it is reported as a
+  // livelock (cooperative backoff makes honest spin loops finite).
+  std::uint64_t max_steps = 100000;
+  // Exhaustive-mode execution budget; 0 = unlimited. A run that trips this
+  // reports failure kind "budget" so CI never silently under-explores.
+  std::uint64_t max_executions = 0;
+  // Max readable-store candidates per relaxed load: the stalest legal
+  // store plus the (stale_choices - 1) newest. 2 keeps the adversarial
+  // extremes while holding the branching factor down; raise it to also
+  // explore intermediate-staleness reads.
+  int stale_choices = 2;
+  // Max consecutive stale reads of one atomic by one thread before the
+  // next read is pinned to the newest store. Models finite propagation
+  // delay (eventual visibility): without it, a spinner whose peers keep
+  // writing elsewhere could legally read the same stale flag forever and
+  // the checker would report those infinite executions as livelocks.
+  int stale_streak = 3;
+  // Keep a rolling log of applied ops for failure reports / --replay.
+  bool collect_trace = false;
+};
+
+struct Failure {
+  std::string kind;      // "assert" | "race" | "deadlock" | "livelock" | ...
+  std::string message;
+  std::string schedule;  // replayable: "hfqv1:<d0>.<d1>..."
+  std::vector<std::string> trace;  // most recent applied ops, oldest first
+};
+
+struct Stats {
+  std::uint64_t executions = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t sleep_pruned = 0;  // executions cut short by sleep blocking
+  std::uint64_t max_depth = 0;
+};
+
+struct Result {
+  bool ok = true;
+  Failure failure;
+  Stats stats;
+  // Applied-op log of the (single) execution; filled by replay() even on
+  // success so counterexample triage can read the path.
+  std::vector<std::string> trace;
+};
+
+// Exhaustive DFS over scheduling (and, in relaxed mode, load-visibility)
+// decisions. `body` is re-executed once per schedule and must be
+// self-contained and deterministic apart from the decisions.
+Result explore(const Options& opts, const std::function<void()>& body);
+
+// `schedules` random executions; decisions drawn from SplitMix64(seed + i).
+Result explore_random(const Options& opts, const std::function<void()>& body,
+                      std::uint64_t schedules, std::uint64_t seed);
+
+// Re-runs the single execution encoded by `schedule` (a Failure::schedule
+// string), with the op trace collected regardless of opts.collect_trace.
+Result replay(const Options& opts, const std::function<void()>& body,
+              const std::string& schedule);
+
+// Scenario-side assertion: throws (and poisons the current execution) when
+// `cond` is false, recording `msg` and the failing schedule. Must be called
+// from a model thread.
+void check(bool cond, const char* msg);
+
+// True while the engine is tearing an execution down; verify::thread::join
+// and scenario cleanup consult it so unwinding never re-enters the
+// scheduler.
+[[nodiscard]] bool aborting() noexcept;
+
+// Internal surface used by the shim (verify/shim.h). Not for scenarios.
+namespace detail {
+[[nodiscard]] bool model_active() noexcept;
+[[nodiscard]] std::uint32_t exec_generation() noexcept;
+int register_atomic(std::uint64_t init);
+int register_plain();
+Op perform(Op op);
+int intern_site(const char* file, unsigned line, Op::Kind k, int declared_mo);
+int spawn(std::function<void()> fn);
+void join(int tid, int site);
+void yield_point(int site);
+}  // namespace detail
+
+}  // namespace hfq::verify

@@ -1,0 +1,136 @@
+#include "verify/mutate.h"
+
+#include <atomic>
+
+#include "verify/scenarios.h"
+
+namespace hfq::verify {
+namespace {
+
+constexpr int kRelaxed = static_cast<int>(std::memory_order_relaxed);
+constexpr int kConsume = static_cast<int>(std::memory_order_consume);
+constexpr int kAcquire = static_cast<int>(std::memory_order_acquire);
+constexpr int kRelease = static_cast<int>(std::memory_order_release);
+constexpr int kAcqRel = static_cast<int>(std::memory_order_acq_rel);
+constexpr int kSeqCst = static_cast<int>(std::memory_order_seq_cst);
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// The detectors that must refute a ring mutation. ring-wrap leads: its
+// capacity-2 slot reuse arms the payload races that acquire-side
+// weakenings in try_push/pop_burst need; plain `ring` covers the
+// no-reuse publication races with a smaller search space.
+const std::vector<std::string> kDefaultDetectors = {"ring-wrap", "ring"};
+
+}  // namespace
+
+int weaken_one_step(Op::Kind k, int declared) {
+  const bool is_load = k == Op::Kind::kLoad;
+  const bool is_store = k == Op::Kind::kStore;
+  switch (declared) {
+    case kSeqCst:
+      if (is_load) return kAcquire;
+      if (is_store) return kRelease;
+      return kAcqRel;  // RMW
+    case kAcqRel:
+      return kAcquire;
+    case kAcquire:
+    case kConsume:
+    case kRelease:
+      return kRelaxed;
+    default:
+      return declared;  // relaxed: bottom of the ladder
+  }
+}
+
+MutationReport run_mutation_campaign(
+    const std::string& file_suffix,
+    const std::vector<std::string>& scenario_names) {
+  MutationReport report;
+  const std::vector<std::string>& names =
+      scenario_names.empty() ? kDefaultDetectors : scenario_names;
+  std::vector<const Scenario*> detectors;
+  for (const std::string& n : names) {
+    const Scenario* s = find_scenario(n);
+    if (s == nullptr) {
+      report.baseline_failure = "unknown detector scenario: " + n;
+      return report;
+    }
+    detectors.push_back(s);
+  }
+
+  SiteTable& table = SiteTable::instance();
+  table.reset();
+
+  // Phase 1 — baseline + site discovery: the detectors must pass on the
+  // unmutated code, and running them populates the SiteTable with every
+  // ordering site the scenarios actually execute.
+  report.baseline_ok = true;
+  for (const Scenario* s : detectors) {
+    Result r = explore(s->exhaustive_opts, s->body);
+    if (!r.ok) {
+      report.baseline_ok = false;
+      report.baseline_failure = s->name + ": " + r.failure.kind + " — " +
+                                r.failure.message +
+                                " sched=" + r.failure.schedule;
+      return report;
+    }
+  }
+
+  // Phase 2 — snapshot the weakenable sites of the target file. (Snapshot
+  // first: phase-3 runs intern no new sites for these scenarios, but the
+  // table reference must not be walked while overrides mutate it.)
+  struct Target {
+    int site;
+    Op::Kind kind;
+    int declared;
+  };
+  std::vector<Target> targets;
+  {
+    const std::vector<SiteInfo>& sites = table.sites();
+    for (int id = 0; id < static_cast<int>(sites.size()); ++id) {
+      const SiteInfo& info = sites[static_cast<std::size_t>(id)];
+      if (!ends_with(info.file, file_suffix)) continue;
+      if (info.kind == Op::Kind::kYield || info.kind == Op::Kind::kJoin ||
+          info.kind == Op::Kind::kPlainRead ||
+          info.kind == Op::Kind::kPlainWrite) {
+        continue;  // no ordering to weaken
+      }
+      const int weaker = weaken_one_step(info.kind, info.declared_mo);
+      if (weaker == info.declared_mo) continue;  // already relaxed
+      targets.push_back({id, info.kind, info.declared_mo});
+    }
+  }
+  report.weakenable = targets.size();
+
+  // Phase 3 — inject each weakening alone and demand a refutation.
+  for (const Target& t : targets) {
+    MutationOutcome out;
+    out.site = t.site;
+    out.label = table.label(t.site);
+    out.from_mo = t.declared;
+    out.to_mo = weaken_one_step(t.kind, t.declared);
+    table.clear_overrides();
+    table.set_override(t.site, out.to_mo);
+    for (const Scenario* s : detectors) {
+      Result r = explore(s->exhaustive_opts, s->body);
+      out.executions += r.stats.executions;
+      if (!r.ok) {
+        out.caught = true;
+        out.caught_by = s->name;
+        out.failure_kind = r.failure.kind;
+        out.schedule = r.failure.schedule;
+        break;
+      }
+    }
+    if (out.caught) report.caught += 1;
+    report.outcomes.push_back(std::move(out));
+  }
+  table.clear_overrides();
+  return report;
+}
+
+}  // namespace hfq::verify

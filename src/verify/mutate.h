@@ -1,0 +1,59 @@
+// memory_order mutation self-validation: proves the checker is SENSITIVE,
+// not just quiet. For every ordering annotation in a target file (keyed by
+// the SiteTable call-site registry — the source is never edited), weaken it
+// one step on the mutation ladder
+//
+//   load:  seq_cst -> acquire -> relaxed        (consume -> relaxed)
+//   store: seq_cst -> release -> relaxed
+//   RMW:   seq_cst -> acq_rel -> acquire/release -> relaxed
+//
+// and re-run the detector scenarios exhaustively. A weakening the checker
+// does NOT refute means the model has a blind spot (or the annotation was
+// never load-bearing) — either way CI must fail loudly. Acceptance gate:
+// 100% of single-site weakenings in serve/mpsc_ring.h are caught.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/engine.h"
+
+namespace hfq::verify {
+
+struct MutationOutcome {
+  int site = -1;
+  std::string label;        // "mpsc_ring.h:66 store"
+  int from_mo = 0;          // declared order (std::memory_order as int)
+  int to_mo = 0;            // injected weaker order
+  bool caught = false;      // some detector scenario failed under the bug
+  std::string caught_by;    // scenario name that refuted it
+  std::string failure_kind; // "race" / "assert" / "deadlock" / ...
+  std::string schedule;     // replayable counterexample
+  std::uint64_t executions = 0;  // explored before refutation (or total)
+};
+
+struct MutationReport {
+  std::vector<MutationOutcome> outcomes;
+  std::uint64_t weakenable = 0;
+  std::uint64_t caught = 0;
+  bool baseline_ok = false;  // unmutated code passed the same scenarios
+  std::string baseline_failure;
+  [[nodiscard]] bool all_caught() const {
+    return baseline_ok && caught == weakenable;
+  }
+};
+
+// Runs the mutation campaign against every weakenable ordering site whose
+// source file ends with `file_suffix` (e.g. "mpsc_ring.h"), using the
+// named detector scenarios (empty = the default ring detectors). Resets
+// the SiteTable first; leaves no overrides behind.
+MutationReport run_mutation_campaign(
+    const std::string& file_suffix,
+    const std::vector<std::string>& scenario_names = {});
+
+// One-step weakening for `declared` at an op of kind `k`; returns
+// `declared` itself when it is already at the bottom of the ladder
+// (relaxed — nothing to inject).
+int weaken_one_step(Op::Kind k, int declared);
+
+}  // namespace hfq::verify

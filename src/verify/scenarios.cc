@@ -1,0 +1,332 @@
+#include "verify/scenarios.h"
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "serve/epoch_gate.h"
+#include "serve/mpsc_ring.h"
+#include "serve/shard_map.h"
+#include "verify/shim.h"
+
+namespace hfq::verify {
+namespace {
+
+// The checked instantiations: unmodified serve templates on shim types.
+using RingT = serve::BasicMpscRing<atomic, var<net::Packet>>;
+struct EditBatch {
+  std::uint64_t value = 0;
+};
+using GateT = serve::EpochGate<EditBatch, atomic, Backoff>;
+
+net::Packet mk(std::uint64_t id, std::uint32_t flow) {
+  net::Packet p{};
+  p.id = id;
+  p.flow = flow;
+  p.size_bytes = 100;
+  return p;
+}
+
+// Shared post-join assertions for the ring scenarios: exactly the packets
+// {base(f) + 0 .. base(f) + per - 1} for each producer flow, each once, in
+// per-producer submission order. Packets reach `got` only through the
+// race-checked slot cells, so a torn or stale payload also fails earlier.
+void check_ring_contents(const std::vector<net::Packet>& got,
+                         std::size_t producers, std::size_t per) {
+  check(got.size() == producers * per, "ring delivered wrong packet count");
+  std::vector<std::uint64_t> next(producers, 0);
+  for (const net::Packet& p : got) {
+    check(p.flow >= 1 && p.flow <= producers, "ring delivered foreign flow");
+    const std::size_t f = p.flow - 1;
+    const std::uint64_t base = 100 * (f + 1);
+    check(p.id == base + next[f],
+          "per-producer FIFO violated (lost, duplicated or reordered)");
+    next[f] += 1;
+  }
+  for (std::size_t f = 0; f < producers; ++f) {
+    check(next[f] == per, "ring lost packets from one producer");
+  }
+}
+
+// --- ring: the acceptance config (2 producers / 1 consumer / capacity 4) ---
+void ring_body() {
+  RingT ring(4);
+  std::vector<net::Packet> got;
+  thread consumer([&] {
+    while (got.size() < 4) {
+      if (ring.pop_burst(got, 4) == 0) yield();
+    }
+  });
+  auto producer = [&ring](std::uint32_t flow) {
+    for (std::uint64_t k = 0; k < 2; ++k) {
+      // 4 pushes never overlap a lap of a capacity-4 ring: full is a bug.
+      check(ring.try_push(mk(100 * flow + k, flow)),
+            "capacity-4 ring rejected one of 4 total pushes");
+    }
+  };
+  thread p1([&] { producer(1); });
+  thread p2([&] { producer(2); });
+  p1.join();
+  p2.join();
+  consumer.join();
+  check_ring_contents(got, 2, 2);
+}
+
+// --- ring-wrap: slot reuse + sequence counters across UINT64_MAX ----------
+void ring_wrap_body() {
+  // Counters start 2 claims short of overflow: the 3 pushes wrap head_,
+  // tail_ and a slot seq mid-run, and 3 pushes through 2 slots force one
+  // slot to be reused — which is also what arms the payload races the
+  // mutation harness must detect. (3 pushes, not 4: the full-ring retry
+  // loops multiply the interleaving space faster than any other scenario,
+  // and one reuse already exercises every wraparound path.)
+  RingT ring(2, ~std::uint64_t{0} - 1);
+  std::vector<net::Packet> got;
+  thread consumer([&] {
+    while (got.size() < 3) {
+      if (ring.pop_burst(got, 3) == 0) yield();
+    }
+  });
+  auto push_one = [&ring](net::Packet p) {
+    while (!ring.try_push(p)) yield();  // full: wait for the consumer
+  };
+  thread p1([&] {
+    push_one(mk(100, 1));
+    push_one(mk(101, 1));
+  });
+  thread p2([&] { push_one(mk(200, 2)); });
+  p1.join();
+  p2.join();
+  consumer.join();
+  // Per-producer FIFO + conservation, with asymmetric per-flow counts.
+  check(got.size() == 3, "ring delivered wrong packet count");
+  std::uint64_t next1 = 100;
+  std::uint64_t seen2 = 0;
+  for (const net::Packet& p : got) {
+    if (p.flow == 1) {
+      check(p.id == next1, "per-producer FIFO violated for flow 1");
+      next1 += 1;
+    } else {
+      check(p.flow == 2 && p.id == 200, "ring delivered foreign packet");
+      seen2 += 1;
+    }
+  }
+  check(next1 == 102 && seen2 == 1, "ring lost or duplicated packets");
+}
+
+// --- ring-full: drop accounting when producers outrun the consumer --------
+void ring_full_body() {
+  RingT ring(2);
+  std::array<var<std::uint64_t>, 2> ok{};
+  auto producer = [&](std::size_t slot, std::uint32_t flow) {
+    std::uint64_t n = 0;
+    for (std::uint64_t k = 0; k < 2; ++k) {
+      if (ring.try_push(mk(100 * flow + k, flow))) n += 1;
+    }
+    ok[slot].set(n);
+  };
+  thread p1([&] { producer(0, 1); });
+  thread p2([&] { producer(1, 2); });
+  p1.join();
+  p2.join();
+  // join gives happens-before: the main thread now drains as the consumer.
+  std::vector<net::Packet> got;
+  while (ring.pop_burst(got, 4) > 0) {
+  }
+  const std::uint64_t accepted = ok[0].get() + ok[1].get();
+  check(accepted >= 2, "capacity-2 ring accepted fewer than capacity");
+  check(accepted + ring.drops() == 4,
+        "accepted + dropped must equal attempted");
+  check(got.size() == accepted, "drained count != accepted count");
+}
+
+// --- epoch-gate: ticket/ack linearizability -------------------------------
+void epoch_gate_body() {
+  GateT gate;
+  var<std::uint64_t> state{0};
+  atomic<bool> running{true};
+  thread consumer([&] {
+    // The shard loop: poll the gate each "epoch", apply, ack.
+    // verify: acquire — pairs with the control plane's release store of
+    // running below (the shutdown handshake under test).
+    while (running.load(std::memory_order_acquire)) {
+      std::unique_ptr<EditBatch> b = gate.take();
+      if (b != nullptr) {
+        state.set(b->value);
+        gate.ack();
+      } else {
+        yield();
+      }
+    }
+    // Epoch-boundary shutdown drain, as in Shard::thread_main.
+    std::unique_ptr<EditBatch> b = gate.take();
+    if (b != nullptr) {
+      state.set(b->value);
+      gate.ack();
+    }
+  });
+  const auto alive = [] { return true; };
+  for (std::uint64_t v : {std::uint64_t{42}, std::uint64_t{7}}) {
+    auto batch = std::make_unique<EditBatch>();
+    batch->value = v;
+    const std::uint64_t ticket = gate.submit(std::move(batch), alive);
+    check(gate.wait_for(ticket, alive), "wait_for with alive control plane");
+    // THE contract: ack => the edit is visible to the control plane. A
+    // weakened ack/wait pairing makes this read race (or go stale).
+    check(state.get() == v, "acked edit not visible after wait_for");
+  }
+  // verify: release — orders the last wait_for results before shutdown.
+  running.store(false, std::memory_order_release);
+  consumer.join();
+}
+
+// --- shard-stop: the stop_ handshake's conservation guarantee -------------
+void shard_stop_body() {
+  RingT ring(4);
+  atomic<bool> stop{false};
+  var<std::uint64_t> delivered{0};
+  thread shard([&] {
+    std::vector<net::Packet> out;
+    // verify: acquire — pairs with the release store below; the shutdown
+    // drain must see every packet pushed before stop was requested.
+    while (!stop.load(std::memory_order_acquire)) {
+      if (ring.pop_burst(out, 4) == 0) yield();
+    }
+    while (ring.pop_burst(out, 4) > 0) {
+    }
+    delivered.set(out.size());
+  });
+  check(ring.try_push(mk(1, 1)), "push 1");
+  check(ring.try_push(mk(2, 1)), "push 2");
+  // verify: release — publishes the pushes above to the shard's acquire
+  // load of stop; weakening either side loses packets at shutdown.
+  stop.store(true, std::memory_order_release);
+  shard.join();
+  check(delivered.get() == 2,
+        "packet pushed before stop() lost by the shutdown drain");
+}
+
+// --- shard-map: remap stability under a concurrent shard-count bump -------
+void shard_map_body() {
+  // dir[i] models shard i's initialized state; reading it through a stale
+  // or unpublished shard count is a race by construction.
+  std::array<var<std::uint64_t>, 3> dir{};
+  dir[0].set(0);
+  dir[1].set(1);
+  atomic<std::uint32_t> nshards{2};
+  thread control([&] {
+    dir[2].set(2);  // bring the new shard up...
+    // verify: release — ...then publish the count; pairs with the
+    // reader's acquire so a reader that routes to shard 2 finds it
+    // initialized.
+    nshards.store(3, std::memory_order_release);
+  });
+  thread reader([&] {
+    for (int round = 0; round < 2; ++round) {
+      // verify: acquire — see the release above.
+      const std::uint32_t n = nshards.load(std::memory_order_acquire);
+      for (net::FlowId flow : {7u, 11u, 13u}) {
+        const std::uint32_t s = serve::shard_of(flow, n);
+        check(s < n, "shard_of routed outside the published count");
+        check(dir[s].get() == s, "routed to an uninitialized shard");
+        // Jump-hash stability: growing 2 -> 3 may move a flow only ONTO
+        // the new shard — per-flow order survives the remap everywhere
+        // else.
+        check(serve::shard_of(flow, 3) == serve::shard_of(flow, 2) ||
+                  serve::shard_of(flow, 3) == 2,
+              "jump hash moved a flow between pre-existing shards");
+      }
+    }
+  });
+  control.join();
+  reader.join();
+}
+
+// --- pool-cursor: ThreadPool's relaxed claim loop -------------------------
+void pool_cursor_body() {
+  atomic<std::uint64_t> cursor{0};
+  std::array<var<std::uint64_t>, 4> cells{};
+  auto worker = [&] {
+    for (;;) {
+      // Deliberately relaxed — this scenario is the proof the production
+      // claim loop (runner/thread_pool.h) needs nothing stronger: RMW
+      // atomicity makes claims unique, join makes results visible.
+      const std::uint64_t i =
+          cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells.size()) return;
+      cells[i].set(i + 1);
+    }
+  };
+  thread a(worker);
+  thread b(worker);
+  a.join();
+  b.join();
+  for (std::uint64_t i = 0; i < cells.size(); ++i) {
+    check(cells[i].get() == i + 1, "pool index not claimed exactly once");
+  }
+}
+
+Options opts(int bound, bool relaxed, std::uint64_t max_steps = 20000) {
+  Options o;
+  o.preemption_bound = bound;
+  o.relaxed_memory = relaxed;
+  o.sleep_sets = true;
+  o.max_steps = max_steps;
+  return o;
+}
+
+std::vector<Scenario> build() {
+  std::vector<Scenario> v;
+  // ring runs under SC scheduling: the payload lives in race-checked
+  // plain cells, and races are judged by happens-before computed from the
+  // DECLARED orders, so every ordering weakening is still refuted — while
+  // the relaxed-visibility decisions that multiply this (largest) search
+  // space ~250x are left to ring-wrap, which explores them on the same
+  // protocol at a size that stays tractable.
+  v.push_back({"ring",
+               "MpscRing 2 producers x 2 / 1 consumer, capacity 4: FIFO per "
+               "producer, no lost/duplicated slots",
+               opts(3, false), ring_body});
+  v.push_back({"ring-wrap",
+               "capacity-2 MpscRing with counters wrapping UINT64_MAX: slot "
+               "reuse + overflow arithmetic, relaxed memory",
+               opts(2, true), ring_wrap_body});
+  v.push_back({"ring-full",
+               "full-ring drop accounting: accepted + dropped == attempted",
+               opts(3, true), ring_full_body});
+  v.push_back({"epoch-gate",
+               "EpochGate ticket/ack linearizability: ack => edit visible "
+               "to wait_for",
+               opts(3, true), epoch_gate_body});
+  v.push_back({"shard-stop",
+               "stop_ release/acquire handshake: conservation across the "
+               "shutdown drain",
+               opts(3, true), shard_stop_body});
+  v.push_back({"shard-map",
+               "jump-hash remap stability under a concurrent shard-count "
+               "bump",
+               opts(3, true), shard_map_body});
+  v.push_back({"pool-cursor",
+               "ThreadPool relaxed fetch_add claim loop: each index exactly "
+               "once",
+               opts(3, true), pool_cursor_body});
+  return v;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& all_scenarios() {
+  static const std::vector<Scenario> v = build();
+  return v;
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& s : all_scenarios()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace hfq::verify

@@ -1,0 +1,51 @@
+// Model-check scenarios: the lock-free service-layer protocols compiled
+// against verify::atomic / verify::var and driven by the engine. Each
+// scenario is a self-contained body (re-executed once per explored
+// schedule) plus Options tuned so exhaustive DFS terminates in CI time.
+//
+//   ring        MpscRing, 2 producers x 2 packets / 1 consumer, capacity 4
+//               (the acceptance config): per-producer FIFO, no lost or
+//               duplicated packets.
+//   ring-wrap   capacity-2 ring started with its counters at
+//               UINT64_MAX - 2, so slots are reused AND the sequence
+//               arithmetic crosses the integer-overflow boundary mid-run.
+//               The slot-reuse races are what the mutation harness needs:
+//               every single-site memory_order weakening in mpsc_ring.h
+//               fails here.
+//   ring-full   overflow accounting: pushes into a full ring drop and
+//               count; accepted + dropped == attempted, drained == accepted.
+//   epoch-gate  EpochGate ticket/ack linearizability: wait_for(ticket)
+//               returning true implies the batch's edit is visible.
+//   shard-stop  the stop_ release/acquire handshake: every packet pushed
+//               before stop() is requested survives the shutdown drain
+//               (conservation) — proves stop_'s orderings are load-bearing.
+//   shard-map   jump-hash remap stability under a concurrent shard-count
+//               bump: readers route only to published, initialized shards,
+//               and growing n -> n+1 moves flows only onto the new shard.
+//   pool-cursor ThreadPool's relaxed fetch_add claim loop: each index is
+//               claimed exactly once and results are visible after join —
+//               the proof that relaxed is sufficient there.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/engine.h"
+
+namespace hfq::verify {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  // Tuned for full DFS under --exhaustive (bound, memory mode, budgets).
+  Options exhaustive_opts;
+  std::function<void()> body;
+};
+
+// All registered scenarios, stable order (CLI --list order).
+const std::vector<Scenario>& all_scenarios();
+
+// nullptr when `name` is unknown.
+const Scenario* find_scenario(const std::string& name);
+
+}  // namespace hfq::verify

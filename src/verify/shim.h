@@ -1,0 +1,308 @@
+// Interposition layer: drop-in atomics/threads the checked code compiles
+// against under the model checker (engine.h). The serve templates take the
+// atomic template as a parameter (`BasicMpscRing<verify::atomic>`,
+// `EpochGate<Batch, verify::atomic, verify::Backoff>`), so the *unmodified*
+// production source runs with every shared access turned into a scheduling
+// point.
+//
+// Each operation captures its call site with std::source_location trailing
+// default arguments — zero changes to checked code — which is what lets the
+// mutation harness (verify/mutate.h) weaken one memory_order annotation at
+// a time by site id instead of by editing source.
+//
+// Outside an active model execution (plain unit tests, teardown) every type
+// degrades to ordinary single-threaded behavior on a local fallback value.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <source_location>
+#include <type_traits>
+#include <utility>
+
+#include "verify/engine.h"
+
+namespace hfq::verify {
+
+namespace detail {
+
+template <class T>
+std::uint64_t to_u64(T v) {
+  static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>,
+                "verify::atomic supports trivially-copyable T up to 8 bytes");
+  std::uint64_t r = 0;
+  std::memcpy(&r, &v, sizeof(T));
+  return r;
+}
+
+template <class T>
+T from_u64(std::uint64_t r) {
+  T v{};
+  std::memcpy(&v, &r, sizeof(T));
+  return v;
+}
+
+inline int site_of(const std::source_location& loc, Op::Kind k, int mo) {
+  return intern_site(loc.file_name(), loc.line(), k, mo);
+}
+
+// C++ standard mapping from a single-order CAS to its failure order.
+inline std::memory_order cas_fail_order(std::memory_order mo) {
+  switch (mo) {
+    case std::memory_order_acq_rel:
+      return std::memory_order_acquire;
+    case std::memory_order_release:
+      return std::memory_order_relaxed;
+    default:
+      return mo;
+  }
+}
+
+}  // namespace detail
+
+// Schedulable stand-in for std::atomic<T>. Registered with the engine when
+// constructed on a model thread; generation-checked so an object that
+// outlives its execution degrades to the fallback instead of touching a
+// recycled id.
+template <class T>
+class atomic {
+ public:
+  atomic() noexcept : atomic(T{}) {}
+  explicit atomic(T init) noexcept : fallback_(init) {
+    if (detail::model_active()) {
+      id_ = detail::register_atomic(detail::to_u64(init));
+      gen_ = detail::exec_generation();
+    }
+  }
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst,
+         std::source_location loc = std::source_location::current()) const {
+    if (!live()) return fallback_;
+    Op op;
+    op.kind = Op::Kind::kLoad;
+    op.obj = id_;
+    op.mo = static_cast<int>(mo);
+    op.site = detail::site_of(loc, Op::Kind::kLoad, op.mo);
+    op = detail::perform(op);
+    return detail::from_u64<T>(op.result);
+  }
+
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst,
+             std::source_location loc = std::source_location::current()) {
+    if (!live()) {
+      fallback_ = v;
+      return;
+    }
+    Op op;
+    op.kind = Op::Kind::kStore;
+    op.obj = id_;
+    op.value = detail::to_u64(v);
+    op.mo = static_cast<int>(mo);
+    op.site = detail::site_of(loc, Op::Kind::kStore, op.mo);
+    detail::perform(op);
+  }
+
+  T fetch_add(T delta, std::memory_order mo = std::memory_order_seq_cst,
+              std::source_location loc = std::source_location::current()) {
+    static_assert(std::is_unsigned_v<T>,
+                  "verify::atomic::fetch_add models unsigned wraparound only");
+    if (!live()) {
+      T old = fallback_;
+      fallback_ = static_cast<T>(fallback_ + delta);
+      return old;
+    }
+    Op op;
+    op.kind = Op::Kind::kFetchAdd;
+    op.obj = id_;
+    op.value = detail::to_u64(delta);
+    op.mo = static_cast<int>(mo);
+    op.site = detail::site_of(loc, Op::Kind::kFetchAdd, op.mo);
+    op = detail::perform(op);
+    return detail::from_u64<T>(op.result);
+  }
+
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst,
+             std::source_location loc = std::source_location::current()) {
+    if (!live()) {
+      T old = fallback_;
+      fallback_ = v;
+      return old;
+    }
+    Op op;
+    op.kind = Op::Kind::kExchange;
+    op.obj = id_;
+    op.value = detail::to_u64(v);
+    op.mo = static_cast<int>(mo);
+    op.site = detail::site_of(loc, Op::Kind::kExchange, op.mo);
+    op = detail::perform(op);
+    return detail::from_u64<T>(op.result);
+  }
+
+  bool compare_exchange_weak(
+      T& expected, T desired, std::memory_order mo_succ,
+      std::memory_order mo_fail,
+      std::source_location loc = std::source_location::current()) {
+    if (!live()) {
+      if (fallback_ == expected) {
+        fallback_ = desired;
+        return true;
+      }
+      expected = fallback_;
+      return false;
+    }
+    Op op;
+    op.kind = Op::Kind::kCas;
+    op.obj = id_;
+    op.expected = detail::to_u64(expected);
+    op.value = detail::to_u64(desired);
+    op.mo = static_cast<int>(mo_succ);
+    op.mo_fail = static_cast<int>(mo_fail);
+    op.site = detail::site_of(loc, Op::Kind::kCas, op.mo);
+    op = detail::perform(op);
+    if (!op.cas_ok) expected = detail::from_u64<T>(op.result);
+    return op.cas_ok;
+  }
+
+  bool compare_exchange_weak(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst,
+      std::source_location loc = std::source_location::current()) {
+    return compare_exchange_weak(expected, desired, mo,
+                                 detail::cas_fail_order(mo), loc);
+  }
+
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst,
+      std::source_location loc = std::source_location::current()) {
+    // The model never fails spuriously, so weak == strong here.
+    return compare_exchange_weak(expected, desired, mo,
+                                 detail::cas_fail_order(mo), loc);
+  }
+
+ private:
+  [[nodiscard]] bool live() const noexcept {
+    return id_ >= 0 && gen_ == detail::exec_generation();
+  }
+
+  int id_ = -1;
+  std::uint32_t gen_ = 0;
+  // Mutable so const load() can serve the fallback path symmetrically.
+  mutable T fallback_;
+};
+
+// A plain (non-atomic) cell the checker race-checks: any pair of accesses
+// not ordered by happens-before fails the execution. This is the primary
+// detector for weakened release/acquire annotations — the protocol value
+// may still look right, but the payload access it was supposed to order
+// races. Conversion and assignment operators let unmodified code like
+// `slot.pkt = p` / `out.push_back(slot.pkt)` compile unchanged.
+template <class T>
+class var {
+ public:
+  var() noexcept : var(T{}) {}
+  explicit var(T init) noexcept : value_(std::move(init)) {
+    if (detail::model_active()) {
+      id_ = detail::register_plain();
+      gen_ = detail::exec_generation();
+    }
+  }
+  var(const var&) = delete;
+  var& operator=(const var&) = delete;
+
+  // operator= cannot take a source_location parameter, so writes through
+  // it intern under this header's line; use set() where the exact checked
+  // call site matters to a counterexample.
+  var& operator=(const T& v) {
+    touch(Op::Kind::kPlainWrite, std::source_location::current());
+    value_ = v;
+    return *this;
+  }
+
+  void set(const T& v,
+           std::source_location loc = std::source_location::current()) {
+    touch(Op::Kind::kPlainWrite, loc);
+    value_ = v;
+  }
+
+  operator T() const {  // NOLINT(google-explicit-constructor)
+    touch(Op::Kind::kPlainRead, std::source_location::current());
+    return value_;
+  }
+
+  T get(std::source_location loc = std::source_location::current()) const {
+    touch(Op::Kind::kPlainRead, loc);
+    return value_;
+  }
+
+ private:
+  void touch(Op::Kind k, const std::source_location& loc) const {
+    if (id_ < 0 || gen_ != detail::exec_generation()) return;
+    Op op;
+    op.kind = k;
+    op.obj = id_;
+    op.site = detail::site_of(loc, k, 0);
+    detail::perform(op);
+  }
+
+  int id_ = -1;
+  std::uint32_t gen_ = 0;
+  T value_;
+};
+
+// Model thread handle with std::jthread-style auto-join: joining is a
+// scheduling point (kJoin) that blocks until the target finishes and joins
+// its clock. During engine teardown join degrades to a no-op so unwinding
+// destructors never re-enter the scheduler.
+class thread {
+ public:
+  thread() noexcept = default;
+  template <class F>
+  explicit thread(F&& f) : tid_(detail::spawn(std::function<void()>(
+                               std::forward<F>(f)))) {}
+  thread(thread&& o) noexcept : tid_(o.tid_) { o.tid_ = -1; }
+  thread& operator=(thread&& o) noexcept {
+    if (this != &o) {
+      join();
+      tid_ = o.tid_;
+      o.tid_ = -1;
+    }
+    return *this;
+  }
+  thread(const thread&) = delete;
+  thread& operator=(const thread&) = delete;
+  ~thread() { join(); }
+
+  [[nodiscard]] bool joinable() const noexcept { return tid_ >= 0; }
+
+  void join(std::source_location loc = std::source_location::current()) {
+    if (tid_ < 0) return;
+    detail::join(tid_,
+                 detail::site_of(loc, Op::Kind::kJoin, 0));
+    tid_ = -1;
+  }
+
+ private:
+  int tid_ = -1;
+};
+
+// Cooperative stand-in for a spin-loop backoff (sleep_for / pause). The
+// yielding thread parks until another thread performs a write, which keeps
+// honest retry loops finite under exhaustive exploration.
+inline void yield(std::source_location loc = std::source_location::current()) {
+  detail::yield_point(detail::site_of(loc, Op::Kind::kYield, 0));
+}
+
+// Backoff policy for templated spin loops (EpochGate's wait paths take
+// this as a template parameter; production uses a sleeping policy).
+struct Backoff {
+  static void pause(
+      std::source_location loc = std::source_location::current()) {
+    detail::yield_point(detail::site_of(loc, Op::Kind::kYield, 0));
+  }
+};
+
+}  // namespace hfq::verify

@@ -1,7 +1,7 @@
-// Seeded violations for tools/hfq_lint — exactly one per rule, in rule
+// Seeded violations for tools/hfq_lint — at least one per rule, in rule
 // order. This file is never compiled; the `hfq_lint_fixture` ctest runs the
-// linter over this directory and expects a non-zero exit with all nine rule
-// ids in the report. If a rule regresses to never firing, that test fails.
+// linter over this directory and expects a non-zero exit with every rule id
+// in the report. If a rule regresses to never firing, that test fails.
 namespace hfq::lint_fixture {
 
 struct Demo {
@@ -59,6 +59,18 @@ inline bool dequeue(double now) {
 // slot and padded counters (src/serve/shard.h).
 inline bool run_once() {
   std::lock_guard<std::mutex> guard(mu_);
+  return true;
+}
+
+// atomic-ordering (x2): a bare .load() silently defaults to seq_cst — an
+// undecided ordering and a full fence on the per-packet path — and a
+// relaxed load with no `// verify:` justification hides whatever pairing
+// (or absence of one) makes it safe. Both must spell the order; relaxed
+// loads cite their proof (src/serve/mpsc_ring.h is the template).
+inline bool try_push(int packet) {
+  const unsigned long pos = head_.load();
+  if (tail_.load(std::memory_order_relaxed) > pos) return false;
+  (void)packet;
   return true;
 }
 

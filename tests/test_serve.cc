@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -75,6 +76,37 @@ TEST(MpscRing, FullRingDropsAreCountedAndOrderSurvives) {
   EXPECT_EQ(ring.pop_burst(out, 16), 1u);
   EXPECT_EQ(out[0].id, 4u);
   EXPECT_EQ(ring.drops(), 2u);
+}
+
+// The sequence counters are unsigned and every comparison is a modular
+// difference, so operation must be identical when head/tail/slot sequences
+// straddle UINT64_MAX. Mirrors the `ring-wrap` model-check scenario
+// (hfq_verify) as a plain unit test: counters start 3 claims short of
+// overflow and keep going well past it.
+TEST(MpscRing, SeqCountersWrapAtUint64Max) {
+  serve::MpscRing ring(4, ~std::uint64_t{0} - 2);
+  std::vector<Packet> out;
+  std::uint64_t next_id = 0;
+  std::uint64_t expect = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(ring.try_push(packet(0, 100, next_id++)));
+    }
+    EXPECT_EQ(ring.approx_size(), 3u) << "approx_size broken across wrap";
+    out.clear();
+    ASSERT_EQ(ring.pop_burst(out, 16), 3u);
+    for (const Packet& p : out) EXPECT_EQ(p.id, expect++);
+  }
+  // Full-ring detection (the dif < 0 branch) also works mid-wrap.
+  serve::MpscRing full(4, ~std::uint64_t{0} - 1);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(full.try_push(packet(0, 100, i)));
+  }
+  EXPECT_FALSE(full.try_push(packet(0, 100, 99)));
+  EXPECT_EQ(full.drops(), 1u);
+  out.clear();
+  EXPECT_EQ(full.pop_burst(out, 16), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(out[i].id, i);
 }
 
 // Multi-producer / single-consumer stress: per-producer ids must arrive in
@@ -175,6 +207,53 @@ TEST(ShardMap, SpreadsFlowsRoughlyEvenly) {
     EXPECT_GT(count[s], kFlows / kShards / 2) << "shard " << s;
     EXPECT_LT(count[s], kFlows / kShards * 2) << "shard " << s;
   }
+}
+
+// Remap stability while a shard-count bump is published concurrently:
+// mirrors the `shard-map` model-check scenario (hfq_verify) with real
+// threads. The control thread initializes a new shard's directory slot and
+// release-publishes the grown count; readers acquire-load the count and
+// must (a) always route inside it, (b) always land on an initialized
+// directory slot, and (c) never see a flow move between PRE-EXISTING
+// shards — jump hashing moves flows only onto the new shard.
+TEST(ShardMap, RemapStaysStableUnderConcurrentLookupDuringEpochEdit) {
+  constexpr std::uint32_t kFrom = 4;
+  constexpr std::uint32_t kTo = 5;
+  constexpr FlowId kFlows = 512;
+  std::array<std::atomic<std::uint32_t>, kTo> dir{};
+  for (std::uint32_t s = 0; s < kFrom; ++s) dir[s].store(s + 1);
+  std::atomic<std::uint32_t> nshards{kFrom};
+  std::atomic<bool> go{false};
+  std::atomic<int> violations{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int round = 0; round < 2000; ++round) {
+        const std::uint32_t n = nshards.load(std::memory_order_acquire);
+        for (FlowId f = 0; f < kFlows; f += 37) {
+          const std::uint32_t s = serve::shard_of(f, n);
+          if (s >= n) violations.fetch_add(1);
+          if (dir[s].load(std::memory_order_relaxed) != s + 1) {
+            violations.fetch_add(1);  // routed to an uninitialized shard
+          }
+          const std::uint32_t before = serve::shard_of(f, kFrom);
+          const std::uint32_t after = serve::shard_of(f, kTo);
+          if (after != before && after != kTo - 1) violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread control([&] {
+    go.store(true, std::memory_order_release);
+    std::this_thread::yield();
+    dir[kTo - 1].store(kTo, std::memory_order_relaxed);
+    nshards.store(kTo, std::memory_order_release);
+  });
+  control.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0);
 }
 
 TEST(ShardMap, RejectsZeroAndOverLargeShardCounts) {

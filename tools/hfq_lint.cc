@@ -100,6 +100,14 @@ const Rule kRules[] = {
      "through the MPSC ring, the atomic edit slot and padded counters "
      "(src/serve/); blocking belongs on control-plane threads, which are "
      "suppressed by policy in tools/hfq_lint.supp"},
+    {"atomic-ordering",
+     "atomic op defaulting to seq_cst (or an unjustified relaxed load) "
+     "inside a lock-free hot body",
+     "spell the memory_order explicitly — a defaulted seq_cst is either an "
+     "undecided ordering or a silent full fence on the per-packet path — "
+     "and justify every relaxed load with a `// verify:` comment naming the "
+     "pairing or why no ordering is needed (see src/serve/mpsc_ring.h); the "
+     "model checker proves the protocol (hfq_verify --exhaustive, --mutate)"},
 };
 
 struct Finding {
@@ -315,6 +323,29 @@ const std::regex kShardLoopDef(
 // Blocking-synchronization vocabulary forbidden inside those bodies.
 const std::regex kLockVocab(
     R"(\b(std::)?(mutex|timed_mutex|recursive_mutex|shared_mutex|condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|shared_lock)\b|\.\s*(lock|try_lock|unlock|wait|wait_for|wait_until)\s*\()");
+
+// Concurrency-hot definitions for the atomic-ordering rule: the lock-free
+// datapath and the handoff protocols around it (src/serve/mpsc_ring.h,
+// epoch_gate.h, shard.cc, runner/thread_pool.h). Inside these bodies an
+// atomic op that defaults its memory_order is either an undecided ordering
+// or a silent seq_cst fence on the per-packet path, and a relaxed load is
+// only safe for a documented reason — the model checker (src/verify/) is
+// the proof tool, the `// verify:` comment is the citation.
+const std::regex kAtomicHotDef(
+    R"(\b(bool|void|auto|int|std::size_t|size_t|std::uint64_t|std::uint32_t|std::unique_ptr<[^>]*>)\s+(\w+(<[^>]*>)?::)?(enqueue|dequeue|try_push|pop_burst|run_once|drain_ingress|service_link|shard_loop|submit|submit_edits|apply_pending_edits|take|ack|wait_for|wait_for_edits|parallel_for)\s*\()");
+// A complete atomic operation call on one line (argument list closed, one
+// paren-nesting level allowed); flagged when its arguments never name a
+// memory_order. Calls that wrap across lines always spell the order in this
+// tree (the long memory_order token is *why* they wrap), so the single-line
+// restriction only costs pathological false negatives, never false
+// positives.
+const std::regex kAtomicOpCall(
+    R"(\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\(([^()]|\([^()]*\))*\))");
+// A relaxed load — the one order whose correctness is invisible at the use
+// site; it must carry a `// verify:` justification on its own line or
+// within the three raw lines above.
+const std::regex kRelaxedLoad(
+    R"(\.\s*load\s*\(\s*(std::)?memory_order_relaxed\b)");
 
 void check_line_rules(const SourceFile& sf,
                       const std::vector<std::vector<std::string>>& disables,
@@ -558,6 +589,85 @@ void check_shard_loop(const SourceFile& sf,
   }
 }
 
+// Finds concurrency-hot *definitions* (kAtomicHotDef) and flags, line by
+// line, any atomic op that defaults its memory_order and any
+// memory_order_relaxed load without a `// verify:` justification nearby —
+// same body-walking scheme as check_hot_loop_io. The verify-comment scan
+// reads sf.raw (comments are blanked out of sf.code by design).
+void check_atomic_ordering(const SourceFile& sf,
+                           const std::vector<std::vector<std::string>>& disables,
+                           std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < sf.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(sf.code[i], m, kAtomicHotDef)) continue;
+    // Walk forward to the opening brace; a `;` first means declaration only.
+    int depth = 0;
+    bool found_open = false;
+    bool is_decl = false;
+    std::size_t body_begin = 0, body_begin_col = 0;
+    for (std::size_t j = i; j < sf.code.size() && !found_open && !is_decl;
+         ++j) {
+      const std::string& c = sf.code[j];
+      for (std::size_t k = j == i
+                               ? static_cast<std::size_t>(m.position(0))
+                               : 0;
+           k < c.size(); ++k) {
+        if (c[k] == '(') ++depth;
+        if (c[k] == ')') --depth;
+        if (depth == 0 && c[k] == ';') {
+          is_decl = true;
+          break;
+        }
+        if (depth == 0 && c[k] == '{') {
+          found_open = true;
+          body_begin = j;
+          body_begin_col = k + 1;
+          break;
+        }
+      }
+    }
+    if (is_decl || !found_open) continue;
+    int braces = 1;
+    for (std::size_t j = body_begin; j < sf.code.size() && braces > 0; ++j) {
+      const std::string& c = sf.code[j];
+      std::size_t from = j == body_begin ? body_begin_col : 0;
+      std::size_t to = c.size();
+      for (std::size_t k = from; k < c.size(); ++k) {
+        if (c[k] == '{') ++braces;
+        if (c[k] == '}') {
+          --braces;
+          if (braces == 0) {
+            to = k;
+            break;
+          }
+        }
+      }
+      const std::string body_part = c.substr(from, to - from);
+      bool bad = false;
+      std::string rest = body_part;
+      std::smatch op;
+      while (std::regex_search(rest, op, kAtomicOpCall)) {
+        if (op.str(0).find("memory_order") == std::string::npos) {
+          bad = true;  // complete call, order defaulted
+          break;
+        }
+        rest = op.suffix();
+      }
+      if (!bad && std::regex_search(body_part, kRelaxedLoad)) {
+        bool justified = false;
+        for (std::size_t b = j >= 3 ? j - 3 : 0; b <= j && !justified; ++b) {
+          justified = sf.raw[b].find("verify:") != std::string::npos;
+        }
+        bad = !justified;
+      }
+      if (bad && !rule_disabled(disables, j, "atomic-ordering")) {
+        out.push_back(
+            Finding{sf.rel_path, j + 1, "atomic-ordering", trim(sf.raw[j])});
+      }
+    }
+  }
+}
+
 // --- suppression file -------------------------------------------------------
 
 std::vector<Suppression> load_suppressions(const std::string& path) {
@@ -710,6 +820,7 @@ int main(int argc, char** argv) {
     check_preconditions(sf, disables, findings);
     check_hot_loop_io(sf, disables, findings);
     check_shard_loop(sf, disables, findings);
+    check_atomic_ordering(sf, disables, findings);
   }
 
   findings.erase(std::remove_if(findings.begin(), findings.end(),

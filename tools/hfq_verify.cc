@@ -1,0 +1,290 @@
+// hfq_verify — CLI for the deterministic concurrency model checker
+// (src/verify/): runs the service-layer scenarios exhaustively or under
+// random schedules, replays counterexample schedule strings, and drives
+// the memory_order mutation self-validation campaign.
+//
+//   hfq_verify --list
+//   hfq_verify --exhaustive [scenario|all] [--bound N] [--mem sc|relaxed]
+//   hfq_verify --schedules N [scenario|all] [--seed S]
+//   hfq_verify --replay '<hfqv1:...>' --scenario <name>
+//   hfq_verify --mutate [file-suffix]      (default: mpsc_ring.h)
+//
+// Exit status: 0 = all checks passed, 1 = counterexample / missed
+// mutation, 2 = usage error. On failure the schedule string is printed in
+// a `--replay`-ready form (CI uploads it as an artifact).
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "verify/engine.h"
+#include "verify/mutate.h"
+#include "verify/scenarios.h"
+
+namespace {
+
+using hfq::verify::Result;
+using hfq::verify::Scenario;
+
+void print_failure(const std::string& scenario, const Result& r) {
+  std::printf("FAIL %s: %s — %s\n", scenario.c_str(), r.failure.kind.c_str(),
+              r.failure.message.c_str());
+  std::printf("  schedule: %s\n", r.failure.schedule.c_str());
+  std::printf("  replay:   hfq_verify --replay '%s' --scenario %s\n",
+              r.failure.schedule.c_str(), scenario.c_str());
+  const std::size_t n = r.failure.trace.size();
+  const std::size_t from = n > 40 ? n - 40 : 0;
+  if (from > 0) std::printf("  trace (last %zu of %zu ops):\n", n - from, n);
+  else if (n > 0) std::printf("  trace:\n");
+  for (std::size_t i = from; i < n; ++i) {
+    std::printf("    %s\n", r.failure.trace[i].c_str());
+  }
+}
+
+void print_stats(const std::string& scenario, const char* mode,
+                 const Result& r) {
+  std::printf(
+      "ok   %s (%s): %llu executions, %llu steps, %llu decisions, "
+      "%llu sleep-pruned, max depth %llu\n",
+      scenario.c_str(), mode,
+      static_cast<unsigned long long>(r.stats.executions),
+      static_cast<unsigned long long>(r.stats.steps),
+      static_cast<unsigned long long>(r.stats.decisions),
+      static_cast<unsigned long long>(r.stats.sleep_pruned),
+      static_cast<unsigned long long>(r.stats.max_depth));
+}
+
+const char* mo_name(int mo) {
+  switch (static_cast<std::memory_order>(mo)) {
+    case std::memory_order_relaxed: return "relaxed";
+    case std::memory_order_consume: return "consume";
+    case std::memory_order_acquire: return "acquire";
+    case std::memory_order_release: return "release";
+    case std::memory_order_acq_rel: return "acq_rel";
+    default: return "seq_cst";
+  }
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: hfq_verify [--list]\n"
+      "                  [--exhaustive] [scenario|all] [--bound N]\n"
+      "                  [--mem sc|relaxed] [--max-executions N]\n"
+      "                  [--schedules N [--seed S]]\n"
+      "                  [--replay '<hfqv1:...>' --scenario <name>]\n"
+      "                  [--mutate [file-suffix]]\n");
+  return 2;
+}
+
+struct Args {
+  bool list = false;
+  bool exhaustive = false;
+  bool mutate = false;
+  std::string mutate_suffix = "mpsc_ring.h";
+  std::uint64_t schedules = 0;
+  std::uint64_t seed = 1;
+  std::string replay;
+  std::string scenario;  // empty = all
+  int bound = -2;        // -2 = per-scenario default
+  int mem = -1;          // -1 default, 0 sc, 1 relaxed
+  std::uint64_t max_executions = 0;
+  bool max_executions_set = false;
+};
+
+bool parse(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hfq_verify: %s needs a value\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      a.list = true;
+    } else if (arg == "--exhaustive") {
+      a.exhaustive = true;
+    } else if (arg == "--mutate") {
+      a.mutate = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') a.mutate_suffix = argv[++i];
+    } else if (arg == "--schedules") {
+      const char* v = next("--schedules");
+      if (v == nullptr) return false;
+      a.schedules = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seed") {
+      const char* v = next("--seed");
+      if (v == nullptr) return false;
+      a.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--replay") {
+      const char* v = next("--replay");
+      if (v == nullptr) return false;
+      a.replay = v;
+    } else if (arg == "--scenario") {
+      const char* v = next("--scenario");
+      if (v == nullptr) return false;
+      a.scenario = v;
+    } else if (arg == "--bound") {
+      const char* v = next("--bound");
+      if (v == nullptr) return false;
+      a.bound = std::atoi(v);
+    } else if (arg == "--max-executions") {
+      const char* v = next("--max-executions");
+      if (v == nullptr) return false;
+      a.max_executions = std::strtoull(v, nullptr, 10);
+      a.max_executions_set = true;
+    } else if (arg == "--mem") {
+      const char* v = next("--mem");
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "sc") == 0) {
+        a.mem = 0;
+      } else if (std::strcmp(v, "relaxed") == 0) {
+        a.mem = 1;
+      } else {
+        std::fprintf(stderr, "hfq_verify: --mem wants sc|relaxed\n");
+        return false;
+      }
+    } else if (arg == "all" || hfq::verify::find_scenario(arg) != nullptr) {
+      a.scenario = arg == "all" ? "" : arg;
+    } else {
+      std::fprintf(stderr, "hfq_verify: unknown argument '%s'\n",
+                   arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+hfq::verify::Options tuned(const Scenario& s, const Args& a) {
+  hfq::verify::Options o = s.exhaustive_opts;
+  if (a.bound != -2) o.preemption_bound = a.bound;
+  if (a.mem == 0) o.relaxed_memory = false;
+  if (a.mem == 1) o.relaxed_memory = true;
+  if (a.max_executions_set) o.max_executions = a.max_executions;
+  return o;
+}
+
+std::vector<const Scenario*> selected(const Args& a) {
+  std::vector<const Scenario*> out;
+  if (a.scenario.empty()) {
+    for (const Scenario& s : hfq::verify::all_scenarios()) out.push_back(&s);
+  } else {
+    out.push_back(hfq::verify::find_scenario(a.scenario));
+  }
+  return out;
+}
+
+int run_mutate(const Args& a) {
+  std::printf("mutation campaign: %s (detectors: ring-wrap, ring)\n",
+              a.mutate_suffix.c_str());
+  const hfq::verify::MutationReport rep =
+      hfq::verify::run_mutation_campaign(a.mutate_suffix);
+  if (!rep.baseline_ok) {
+    std::printf("FAIL baseline (unmutated code) did not pass: %s\n",
+                rep.baseline_failure.c_str());
+    return 1;
+  }
+  for (const hfq::verify::MutationOutcome& o : rep.outcomes) {
+    if (o.caught) {
+      std::printf(
+          "caught  %-28s %s -> %s  by %s (%s) after %llu executions\n",
+          o.label.c_str(), mo_name(o.from_mo), mo_name(o.to_mo),
+          o.caught_by.c_str(), o.failure_kind.c_str(),
+          static_cast<unsigned long long>(o.executions));
+    } else {
+      std::printf("MISSED  %-28s %s -> %s  (%llu executions, no failure)\n",
+                  o.label.c_str(), mo_name(o.from_mo), mo_name(o.to_mo),
+                  static_cast<unsigned long long>(o.executions));
+    }
+  }
+  std::printf("mutation score: %llu/%llu weakenings refuted\n",
+              static_cast<unsigned long long>(rep.caught),
+              static_cast<unsigned long long>(rep.weakenable));
+  if (rep.weakenable == 0) {
+    std::printf("FAIL no weakenable sites found for '%s' — wrong suffix?\n",
+                a.mutate_suffix.c_str());
+    return 1;
+  }
+  return rep.all_caught() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, a)) return usage();
+
+  if (a.list) {
+    for (const Scenario& s : hfq::verify::all_scenarios()) {
+      std::printf("%-12s bound=%d mem=%s  %s\n", s.name.c_str(),
+                  s.exhaustive_opts.preemption_bound,
+                  s.exhaustive_opts.relaxed_memory ? "relaxed" : "sc",
+                  s.description.c_str());
+    }
+    return 0;
+  }
+
+  if (a.mutate) return run_mutate(a);
+
+  if (!a.replay.empty()) {
+    const Scenario* s = hfq::verify::find_scenario(a.scenario);
+    if (s == nullptr) {
+      std::fprintf(stderr, "hfq_verify: --replay needs --scenario <name>\n");
+      return usage();
+    }
+    const Result r =
+        hfq::verify::replay(tuned(*s, a), s->body, a.replay);
+    for (const std::string& line : r.trace) std::printf("  %s\n", line.c_str());
+    if (!r.ok) {
+      std::printf("replayed failure: %s — %s\n", r.failure.kind.c_str(),
+                  r.failure.message.c_str());
+      return 1;
+    }
+    std::printf("replay completed without failure (stale schedule or fixed "
+                "bug)\n");
+    return 0;
+  }
+
+  std::vector<const Scenario*> scen = selected(a);
+  for (const Scenario* s : scen) {
+    if (s == nullptr) {
+      std::fprintf(stderr, "hfq_verify: unknown scenario '%s'\n",
+                   a.scenario.c_str());
+      return usage();
+    }
+  }
+
+  int rc = 0;
+  if (a.schedules > 0) {
+    for (const Scenario* s : scen) {
+      hfq::verify::Options o = tuned(*s, a);
+      // Random mode explores bigger interleaving spaces: drop the DFS
+      // preemption bound unless the user pinned one.
+      if (a.bound == -2) o.preemption_bound = -1;
+      const Result r =
+          hfq::verify::explore_random(o, s->body, a.schedules, a.seed);
+      if (r.ok) {
+        print_stats(s->name, "random", r);
+      } else {
+        print_failure(s->name, r);
+        rc = 1;
+      }
+    }
+    return rc;
+  }
+
+  // Default (and --exhaustive): full DFS per scenario.
+  for (const Scenario* s : scen) {
+    const Result r = hfq::verify::explore(tuned(*s, a), s->body);
+    if (r.ok) {
+      print_stats(s->name, "exhaustive", r);
+    } else {
+      print_failure(s->name, r);
+      rc = 1;
+    }
+  }
+  return rc;
+}
