@@ -1,0 +1,166 @@
+// Telemetry-plane overhead budget (DESIGN.md "Telemetry").
+//
+// The acceptance bar is end-to-end — telemetry-on serve throughput within
+// 2% of telemetry-off, recorded as the off/counters/monitor cells in
+// BENCH_serve.json by `hfq_sweep --serve --grid` — but that number is
+// noisy (threads, rings, pacing). This bench isolates the per-packet cost
+// the shard actually pays, so a hot-path regression shows up as raw ns/op
+// before it hides inside run-to-run serve jitter:
+//
+//   BM_SchedBaseline    the scheduler loop alone (what "off" pays)
+//   BM_SchedCounters    + on_arrival/on_delivery/on_loop, no delay checks
+//   BM_SchedMonitor     + per-delivery bound compare (monitor level)
+//   BM_Hook*            each hook in isolation — the marginal cost of one
+//                       more call site on the hot path
+//
+// Budget math: the flat datapath runs ~150-300 ns/packet (BENCH_serve
+// unpaced cells), so 2% is 3-6 ns — the hooks must stay in the
+// couple-of-relaxed-stores regime, which this bench makes measurable.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "core/wf2qplus.h"
+#include "net/packet.h"
+#include "telemetry/shard_telemetry.h"
+
+namespace hfq::bench {
+namespace {
+
+constexpr double kLinkRate = 1e9;
+constexpr std::uint32_t kBytes = 1000;
+
+net::Packet pkt(net::FlowId f, std::uint64_t id) {
+  net::Packet p;
+  p.flow = f;
+  p.size_bytes = kBytes;
+  p.id = id;
+  return p;
+}
+
+telemetry::ShardTelemetryConfig tel_cfg(std::size_t slots,
+                                        bool delay_checks) {
+  telemetry::ShardTelemetryConfig tc;
+  tc.flow_slots = slots;
+  tc.delay_checks = delay_checks;
+  return tc;
+}
+
+// Steady-state enqueue+dequeue pairs on N backlogged WF²Q+ sessions — the
+// same loop bench_sched_complexity and bench_trace_overhead time, so the
+// telemetry deltas sit on a comparable baseline. `tel == nullptr` is the
+// "off" level: the shard's `if (cfg_.telemetry)` branch and nothing else.
+void sched_loop(benchmark::State& state, telemetry::ShardTelemetry* tel) {
+  const int n = static_cast<int>(state.range(0));
+  core::Wf2qPlus s(kLinkRate);
+  for (int f = 0; f < n; ++f) {
+    s.add_flow(static_cast<net::FlowId>(f), kLinkRate / n);
+  }
+  const double pkt_time = 8.0 * kBytes / kLinkRate;
+  std::uint64_t id = 0;
+  double now = 0.0;
+  for (int f = 0; f < n; ++f) {
+    s.enqueue(pkt(static_cast<net::FlowId>(f), id++), now);
+    s.enqueue(pkt(static_cast<net::FlowId>(f), id++), now);
+  }
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    now += pkt_time;
+    auto p = s.dequeue(now);
+    benchmark::DoNotOptimize(p);
+    if (tel != nullptr) {
+      // Mirror Shard::service_link / drain_ingress hook placement: breach
+      // compare on every delivery, histogram sampled 1-in-8, one backlog
+      // observation per loop.
+      const bool sample = (++delivered & 7u) == 0;
+      tel->on_delivery(p->flow, p->size_bytes, pkt_time, now, sample);
+      tel->on_arrival(p->flow, kBytes);
+      tel->on_loop(static_cast<std::uint64_t>(2 * n));
+    }
+    s.enqueue(pkt(p->flow, id++), now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SchedBaseline(benchmark::State& state) {
+  sched_loop(state, nullptr);
+  state.SetLabel("telemetry=off");
+}
+
+void BM_SchedCounters(benchmark::State& state) {
+  telemetry::ShardTelemetry tel(
+      tel_cfg(static_cast<std::size_t>(state.range(0)), false));
+  sched_loop(state, &tel);
+  state.SetLabel("telemetry=counters");
+}
+
+void BM_SchedMonitor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  telemetry::ShardTelemetry tel(tel_cfg(n, true));
+  // Generous bounds: the compare runs every delivery, the breach branch
+  // never takes — the conforming-traffic steady state.
+  for (std::size_t f = 0; f < n; ++f) {
+    tel.set_bound(static_cast<net::FlowId>(f), 1e9);
+  }
+  sched_loop(state, &tel);
+  state.SetLabel("telemetry=monitor");
+}
+
+// --- isolated hook costs ---------------------------------------------------
+
+void BM_HookOnArrival(benchmark::State& state) {
+  telemetry::ShardTelemetry tel(tel_cfg(1024, false));
+  net::FlowId f = 0;
+  for (auto _ : state) {
+    tel.on_arrival(f, kBytes);
+    f = (f + 1) & 1023u;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_HookOnDeliveryCounters(benchmark::State& state) {
+  telemetry::ShardTelemetry tel(tel_cfg(1024, false));
+  net::FlowId f = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    tel.on_delivery(f, kBytes, 1e-4, 1.0, (++i & 7u) == 0);
+    f = (f + 1) & 1023u;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_HookOnDeliveryMonitor(benchmark::State& state) {
+  telemetry::ShardTelemetry tel(tel_cfg(1024, true));
+  for (net::FlowId f = 0; f < 1024; ++f) tel.set_bound(f, 1e9);
+  net::FlowId f = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    tel.on_delivery(f, kBytes, 1e-4, 1.0, (++i & 7u) == 0);
+    f = (f + 1) & 1023u;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_HookHistObserve(benchmark::State& state) {
+  telemetry::LogHistogram h(1e-7);
+  double v = 1e-6;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v < 1.0 ? v * 1.0000001 : 1e-6;
+  }
+  benchmark::DoNotOptimize(h.snapshot().count);
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_SchedBaseline)->Arg(64)->Arg(4096);
+BENCHMARK(BM_SchedCounters)->Arg(64)->Arg(4096);
+BENCHMARK(BM_SchedMonitor)->Arg(64)->Arg(4096);
+BENCHMARK(BM_HookOnArrival);
+BENCHMARK(BM_HookOnDeliveryCounters);
+BENCHMARK(BM_HookOnDeliveryMonitor);
+BENCHMARK(BM_HookHistObserve);
+
+}  // namespace
+}  // namespace hfq::bench
+
+BENCHMARK_MAIN();

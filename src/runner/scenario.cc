@@ -269,6 +269,24 @@ CampaignSpec parse_campaign(std::istream& in) {
       if (spec.serve.horizon_us <= 0.0) {
         fail("serve-horizon-us must be positive", line);
       }
+    } else if (key == "serve-telemetry") {
+      need(1);
+      if (toks[1] != "off" && toks[1] != "counters" && toks[1] != "monitor") {
+        fail("serve-telemetry takes off|counters|monitor", line);
+      }
+      spec.serve.telemetry = toks[1];
+    } else if (key == "serve-telemetry-period") {
+      need(1);
+      spec.serve.telemetry_period_s = std::stod(toks[1]);
+      if (spec.serve.telemetry_period_s <= 0.0) {
+        fail("serve-telemetry-period must be positive", line);
+      }
+    } else if (key == "serve-telemetry-slack") {
+      need(1);
+      spec.serve.telemetry_slack_s = std::stod(toks[1]);
+      if (spec.serve.telemetry_slack_s < 0.0) {
+        fail("serve-telemetry-slack must be >= 0", line);
+      }
     } else if (key == "serve-edit") {
       need(1);
       if (toks.back() != "{") fail("serve-edit needs '<at_s> {'", line);

@@ -81,6 +81,11 @@ struct ServeSpec {
   std::size_t ring_capacity = 1 << 16;
   bool paced = true;
   double horizon_us = 100.0;
+  // Telemetry plane level: "off", "counters", or "monitor" (the default —
+  // telemetry is always-on unless a bench explicitly sheds it).
+  std::string telemetry = "monitor";
+  double telemetry_period_s = 0.5;   // plane epoch
+  double telemetry_slack_s = 0.05;   // bound-monitor jitter allowance
 
   struct Edit {
     double at_s = 0.0;   // service-clock time to apply the batch

@@ -20,6 +20,9 @@ std::string ServeRunResult::summary() const {
      << " edit_drops=" << edit_drops << " ring_drops=" << ring_drops
      << " edits=" << edit_batches << " wall=" << wall_s << "s conservation="
      << (conservation_ok ? "OK" : "VIOLATED");
+  if (monitored_flows > 0) {
+    os << " monitored=" << monitored_flows << " breaches=" << breaches;
+  }
   if (audit_violations > 0) os << " AUDIT=" << audit_violations;
   if (splice_failures > 0) os << " SPLICE=" << splice_failures;
   if (faulted_shards > 0) os << " FAULTED=" << faulted_shards;
@@ -29,7 +32,9 @@ std::string ServeRunResult::summary() const {
 ServeRunResult run_serve_scenario(const runner::Scenario& sc,
                                   const runner::ServeSpec& serve,
                                   std::ostream* stats_sink,
-                                  const std::string& spill_dir) {
+                                  const std::string& spill_dir,
+                                  const std::string& prom_path,
+                                  const std::string& breach_dir) {
   const core::Hierarchy tree = core::parse_hierarchy(sc.tree_text);
 
   ServiceConfig cfg;
@@ -39,6 +44,18 @@ ServeRunResult run_serve_scenario(const runner::Scenario& sc,
   cfg.paced = serve.paced;
   cfg.horizon_s = serve.horizon_us * 1e-6;
   cfg.spill_dir = spill_dir;
+  if (serve.telemetry == "off") {
+    cfg.telemetry.level = TelemetrySpec::Level::kOff;
+  } else if (serve.telemetry == "counters") {
+    cfg.telemetry.level = TelemetrySpec::Level::kCounters;
+  } else {
+    cfg.telemetry.level = TelemetrySpec::Level::kMonitor;
+  }
+  cfg.telemetry.period_s = serve.telemetry_period_s;
+  cfg.telemetry.slack_s = serve.telemetry_slack_s;
+  cfg.telemetry.lmax_bits = 8.0 * sc.packet_bytes;
+  cfg.telemetry.prom_path = prom_path;
+  cfg.telemetry.breach_dir = breach_dir;
   Service svc(tree, cfg);
 
   std::unique_ptr<StatsExporter> exporter;
@@ -139,6 +156,17 @@ ServeRunResult run_serve_scenario(const runner::Scenario& sc,
         wall_s > 0.0 ? static_cast<double>(n) / wall_s / 1e6 : 0.0);
     r.shard_delivered.push_back(n);
     r.shard_busy_ns.push_back(st.busy_ns.load(std::memory_order_relaxed));
+    if (const telemetry::ShardTelemetry* tel = svc.shard_telemetry(i)) {
+      r.delay_breaches += tel->delay_breaches();
+    }
+  }
+  if (telemetry::TelemetryPlane* plane = svc.plane()) {
+    r.breaches = plane->breaches_total();
+    r.snapshot_seq = plane->snapshot_seq();
+  }
+  if (telemetry::BoundMonitor* mon = svc.monitor()) {
+    r.lag_breaches = mon->flow_lag_breaches() + mon->class_lag_breaches();
+    r.monitored_flows = mon->monitored_flows();
   }
   return r;
 }

@@ -46,16 +46,28 @@ struct ServeRunResult {
   // producers time-share cores with the shards. Zero on paced runs.
   std::vector<std::uint64_t> shard_busy_ns;
 
+  // Telemetry plane results (zero when telemetry is off).
+  std::uint64_t breaches = 0;          // delay + lag, plane total
+  std::uint64_t delay_breaches = 0;    // shard-side Corollary 2 violations
+  std::uint64_t lag_breaches = 0;      // monitor WFI lag violations
+  std::uint64_t snapshot_seq = 0;      // exposition snapshots published
+  std::uint64_t monitored_flows = 0;
+
   [[nodiscard]] std::string summary() const;  // one line for the CLI
 };
 
 // Runs the scenario through the live service. `stats_sink`, when non-null,
 // receives the newline-JSON stats stream (one object per shard per tick).
-// Throws std::runtime_error on configuration errors (bad tree text, unknown
-// scheduler key, invalid shard count, malformed edit batch).
+// `prom_path` / `breach_dir`, when non-empty, enable the telemetry plane's
+// Prometheus exposition file and breach-report directory (the level itself
+// comes from serve.telemetry). Throws std::runtime_error on configuration
+// errors (bad tree text, unknown scheduler key, invalid shard count,
+// malformed edit batch).
 ServeRunResult run_serve_scenario(const runner::Scenario& sc,
                                   const runner::ServeSpec& serve,
                                   std::ostream* stats_sink,
-                                  const std::string& spill_dir = "");
+                                  const std::string& spill_dir = "",
+                                  const std::string& prom_path = "",
+                                  const std::string& breach_dir = "");
 
 }  // namespace hfq::serve

@@ -1,5 +1,6 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -49,6 +50,38 @@ Service::Service(const core::Hierarchy& tree, const ServiceConfig& cfg) {
     }
   }
 
+  // Telemetry blocks precede the shards so ShardConfig can point at them.
+  const TelemetrySpec& ts = cfg.telemetry;
+  const bool telemetry_on = ts.level != TelemetrySpec::Level::kOff;
+  const bool monitor_on = ts.level == TelemetrySpec::Level::kMonitor;
+  if (telemetry_on) {
+    net::FlowId max_flow = 0;
+    for (const auto& kv : directory_) {
+      max_flow = std::max(max_flow, kv.second.flow);
+    }
+    telemetry::ShardTelemetryConfig tc;
+    tc.flow_slots =
+        std::min(static_cast<std::size_t>(max_flow) + 1 + ts.flow_headroom,
+                 TelemetrySpec::kMaxFlowSlots);
+    // Delay stamps are wall-clock only in paced mode; unpaced (bench)
+    // shards serve in virtual time, where arrival->departure spans are not
+    // delays, so the per-packet compare would be noise.
+    tc.delay_checks = monitor_on && cfg.paced;
+    telemetry_.reserve(num_shards_);
+    for (std::size_t s = 0; s < num_shards_; ++s) {
+      telemetry_.push_back(std::make_unique<telemetry::ShardTelemetry>(tc));
+    }
+    if (monitor_on) {
+      telemetry::BoundMonitorConfig mc;
+      mc.lmax_bits = ts.lmax_bits;
+      mc.sigma_packets = ts.sigma_packets;
+      mc.slack_s = ts.slack_s;
+      mc.delay_checks = tc.delay_checks;
+      monitor_ = std::make_unique<telemetry::BoundMonitor>(tree, num_shards_,
+                                                           mc);
+    }
+  }
+
   shards_.reserve(num_shards_);
   for (std::size_t s = 0; s < num_shards_; ++s) {
     ShardConfig sc;
@@ -60,8 +93,50 @@ Service::Service(const core::Hierarchy& tree, const ServiceConfig& cfg) {
     sc.paced = cfg.paced;
     sc.horizon_s = cfg.horizon_s;
     sc.spill_dir = cfg.spill_dir;
+    sc.telemetry = telemetry_on ? telemetry_[s].get() : nullptr;
+    sc.capture_dir = ts.breach_dir;
     shards_.push_back(std::make_unique<Shard>(
         sc, runner::build_scheduler(cfg.scheduler, scaled)));
+  }
+
+  if (telemetry_on) {
+    std::vector<telemetry::ShardTelemetry*> blocks;
+    blocks.reserve(telemetry_.size());
+    for (auto& t : telemetry_) blocks.push_back(t.get());
+    if (monitor_) monitor_->attach(blocks);
+    telemetry::PlaneConfig pc;
+    pc.period_s = ts.period_s;
+    pc.prom_path = ts.prom_path;
+    pc.breach_dir = ts.breach_dir;
+    plane_ = std::make_unique<telemetry::TelemetryPlane>(
+        pc, std::move(blocks), monitor_.get(),
+        [this] {
+          std::vector<telemetry::ShardStatsView> views(shards_.size());
+          for (std::size_t s = 0; s < shards_.size(); ++s) {
+            const ShardStats& st = shards_[s]->stats();
+            telemetry::ShardStatsView& v = views[s];
+            // verify: relaxed — periodic monitoring copy, single-writer
+            // counters; bounded staleness is part of the snapshot protocol.
+            v.ingested = st.ingested.load(std::memory_order_relaxed);
+            v.accepted = st.accepted.load(std::memory_order_relaxed);
+            v.delivered = st.delivered.load(std::memory_order_relaxed);
+            v.backlog = st.backlog.load(std::memory_order_relaxed);
+            v.edit_drops = st.edit_drops.load(std::memory_order_relaxed);
+            v.ring_drops = shards_[s]->ring_drops();
+            v.epoch = st.epoch.load(std::memory_order_relaxed);
+            v.audit_violations =
+                st.audit_violations.load(std::memory_order_relaxed);
+            v.splice_failures =
+                st.splice_failures.load(std::memory_order_relaxed);
+            v.busy_ns = st.busy_ns.load(std::memory_order_relaxed);
+            v.faulted = shards_[s]->faulted();
+          }
+          return views;
+        },
+        [this] { return clock_s(); },
+        [this](std::uint32_t shard) {
+          if (shard < shards_.size()) shards_[shard]->request_capture();
+        });
   }
 }
 
@@ -72,15 +147,26 @@ void Service::start() {
   started_ = true;
   const Shard::Clock::time_point t0 = Shard::Clock::now();
   for (auto& s : shards_) s->start(t0);
+  if (plane_) plane_->start();
 }
 
 void Service::stop() {
   if (!started_) return;
   for (auto& s : shards_) s->stop();
+  // Plane last: its final tick publishes the post-drain counter state.
+  if (plane_) plane_->stop();
   started_ = false;
 }
 
 void Service::apply_edit_text(const std::string& text) {
+  apply_edits_internal(text, /*monitored=*/true);
+}
+
+void Service::apply_edit_text_unmonitored(const std::string& text) {
+  apply_edits_internal(text, /*monitored=*/false);
+}
+
+void Service::apply_edits_internal(const std::string& text, bool monitored) {
   if (!supports_live_edits()) {
     throw std::runtime_error(
         "serve: scheduler does not support live edits (flat \"wf2q+\" and "
@@ -158,6 +244,9 @@ void Service::apply_edit_text(const std::string& text) {
     }
   }
   ++edit_batches_;
+  // Keep the online guarantees tracking the configuration (the unmonitored
+  // variant skips this on purpose — see the header).
+  if (monitored && monitor_) monitor_->on_edits(ops);
 }
 
 Service::Totals Service::totals() const {

@@ -32,8 +32,31 @@
 #include "net/packet.h"
 #include "serve/shard.h"
 #include "serve/shard_map.h"
+#include "telemetry/bound_monitor.h"
+#include "telemetry/plane.h"
+#include "telemetry/shard_telemetry.h"
 
 namespace hfq::serve {
+
+// Always-on telemetry configuration (DESIGN.md "Telemetry").
+struct TelemetrySpec {
+  enum class Level {
+    kOff,       // no telemetry blocks at all (bench baseline)
+    kCounters,  // per-shard counters + histograms, no bound monitor
+    kMonitor,   // counters + online WFI/Corollary-2 bound monitor
+  };
+  Level level = Level::kMonitor;
+  double period_s = 0.5;        // plane epoch (snapshot + monitor + expose)
+  std::string prom_path;        // Prometheus exposition file ("" = off)
+  std::string breach_dir;       // breach reports + capture dumps ("" = off)
+  double lmax_bits = 12000.0;   // Lmax for the analytic bounds (1500 B)
+  double sigma_packets = 16.0;  // (sigma, rho) burstiness allowance
+  double slack_s = 0.05;        // scheduling/OS jitter allowance
+  // Per-flow cell arrays are sized max-flow-id + this headroom (live adds
+  // land in the headroom), capped at kMaxFlowSlots.
+  std::size_t flow_headroom = 1024;
+  static constexpr std::size_t kMaxFlowSlots = 1u << 21;
+};
 
 struct ServiceConfig {
   std::size_t num_shards = 4;
@@ -49,6 +72,7 @@ struct ServiceConfig {
   bool paced = true;
   double horizon_s = 100e-6;
   std::string spill_dir;
+  TelemetrySpec telemetry;
 };
 
 class Service {
@@ -78,8 +102,16 @@ class Service {
   // Control plane (one thread at a time): applies a live edit batch.
   // Throws on parse errors, unknown names, flow-binding conflicts, or a
   // scheduler without live-edit support; blocks until every shard applied
-  // the batch.
+  // the batch. The bound monitor (when on) is updated in the same call, so
+  // the guarantees it checks always track the configured hierarchy.
   void apply_edit_text(const std::string& text);
+
+  // Fault injection for tests and drills: applies the batch to the shards
+  // WITHOUT telling the bound monitor, so the service deliberately departs
+  // from the service curves the monitor still enforces. A mis-weighting
+  // edit applied this way MUST trip the monitor within an epoch — that is
+  // the telemetry plane's acceptance test, not a production entry point.
+  void apply_edit_text_unmonitored(const std::string& text);
 
   [[nodiscard]] std::size_t num_shards() const noexcept {
     return shards_.size();
@@ -115,13 +147,30 @@ class Service {
   };
   [[nodiscard]] std::vector<Session> sessions() const;
 
+  // Telemetry accessors; null / empty when the level disables the piece.
+  [[nodiscard]] telemetry::TelemetryPlane* plane() noexcept {
+    return plane_.get();
+  }
+  [[nodiscard]] telemetry::BoundMonitor* monitor() noexcept {
+    return monitor_.get();
+  }
+  [[nodiscard]] const telemetry::ShardTelemetry* shard_telemetry(
+      std::size_t i) const {
+    return i < telemetry_.size() ? telemetry_[i].get() : nullptr;
+  }
+
  private:
   struct DirEntry {
     net::FlowId flow = 0;
     double rate_bps = 0.0;
   };
 
+  void apply_edits_internal(const std::string& text, bool monitored);
+
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<telemetry::ShardTelemetry>> telemetry_;
+  std::unique_ptr<telemetry::BoundMonitor> monitor_;
+  std::unique_ptr<telemetry::TelemetryPlane> plane_;
   std::unordered_map<std::string, DirEntry> directory_;  // name -> session
   std::unordered_map<net::FlowId, std::string> flow_names_;
   std::size_t num_shards_ = 0;

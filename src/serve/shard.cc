@@ -103,6 +103,9 @@ void Shard::thread_main() {
 
 bool Shard::run_once() {
   apply_pending_edits();
+  // verify: acquire — rare one-shot request from the telemetry plane; pairs
+  // with request_capture()'s release so the dump sees the breach context.
+  if (capture_req_.load(std::memory_order_acquire)) take_capture();
   if (!cfg_.paced) {
     // Bench mode: meter the working iterations so BENCH_serve.json can
     // report scheduler-bound ns/op independent of producer interleaving.
@@ -132,6 +135,23 @@ std::size_t Shard::drain_ingress() {
   stats_.ingested.fetch_add(n, std::memory_order_relaxed);
   stats_.accepted.fetch_add(ok, std::memory_order_relaxed);
   stats_.backlog.store(sched_->backlog_packets(), std::memory_order_relaxed);
+  if (cfg_.telemetry != nullptr) {
+    std::uint32_t max_bytes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      cfg_.telemetry->on_arrival(ingest_buf_[i].flow,
+                                 ingest_buf_[i].size_bytes);
+      if (ingest_buf_[i].size_bytes > max_bytes) {
+        max_bytes = ingest_buf_[i].size_bytes;
+      }
+    }
+    if (ok < n) {
+      // The scheduler doesn't say WHICH packets it rejected, only how
+      // many; charge the drop with an upper bound on its bits so the
+      // monitor's provable-backlog arithmetic stays conservative.
+      cfg_.telemetry->on_sched_drop(n - ok,
+                                    8ull * (n - ok) * max_bytes);
+    }
+  }
   return n;
 }
 
@@ -160,16 +180,26 @@ std::size_t Shard::service_link() {
   for (std::size_t i = 0; i < n; ++i) {
     t += service_buf_[i].size_bits() / cfg_.link_rate_bps;
     // Service latency (arrival -> departure on the virtual link), sampled
-    // every 8th packet to keep the P^2 updates off the common path.
-    if ((++delivered_local_ & 7u) == 0) {
+    // every 8th packet to keep the P^2 and histogram updates off the common
+    // path. The telemetry delay-bound compare runs on EVERY packet — a
+    // breach must be caught on the packet that commits it.
+    const bool sample = (++delivered_local_ & 7u) == 0;
+    if (sample) {
       const double d = t - service_buf_[i].created;
       lat_p50_.add(d);
       lat_p99_.add(d);
     }
+    if (cfg_.telemetry != nullptr) {
+      cfg_.telemetry->on_delivery(service_buf_[i].flow,
+                                  service_buf_[i].size_bytes,
+                                  t - service_buf_[i].created, t, sample);
+    }
   }
   link_free_at_ = t;
   stats_.delivered.fetch_add(n, std::memory_order_relaxed);
-  stats_.backlog.store(sched_->backlog_packets(), std::memory_order_relaxed);
+  const std::uint64_t depth = sched_->backlog_packets();
+  stats_.backlog.store(depth, std::memory_order_relaxed);
+  if (cfg_.telemetry != nullptr) cfg_.telemetry->on_loop(depth);
   if ((delivered_local_ & 1023u) < n) publish_latency();
   return n;
 }
@@ -222,6 +252,22 @@ void Shard::apply_pending_edits() {
 void Shard::publish_latency() {
   stats_.p50_s.store(lat_p50_.value(), std::memory_order_relaxed);
   stats_.p99_s.store(lat_p99_.value(), std::memory_order_relaxed);
+}
+
+void Shard::take_capture() {
+  // verify: relaxed — the shard thread is the only consumer of the flag
+  // once set; clearing it races nothing.
+  capture_req_.store(false, std::memory_order_relaxed);
+  if (captured_ || cfg_.capture_dir.empty()) return;
+  captured_ = true;
+  const std::vector<obs::Event> events = recorder_.snapshot();
+  const std::string path = cfg_.capture_dir + "/shard" +
+                           std::to_string(cfg_.index) + "_ring.csv";
+  std::ofstream os(path);
+  if (!os) return;
+  os << "# shard " << cfg_.index
+     << " anomaly capture (telemetry breach trigger)\n";
+  obs::write_csv(os, events);
 }
 
 void Shard::spill_forensics(const std::string& reason) {

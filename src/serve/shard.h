@@ -49,6 +49,7 @@
 #include "serve/epoch_gate.h"
 #include "serve/mpsc_ring.h"
 #include "stats/quantile.h"
+#include "telemetry/shard_telemetry.h"
 
 namespace hfq::serve {
 
@@ -61,6 +62,13 @@ struct ShardConfig {
   bool paced = true;                 // false = bench mode (virtual time)
   double horizon_s = 100e-6;         // closed-loop commit window (paced)
   std::string spill_dir;             // flight-recorder spill on fault ("" = off)
+  // Always-on telemetry block for this shard (owned by the Service; null =
+  // telemetry off). The loop's only extra work is the lock-free hooks in
+  // shard_telemetry.h.
+  telemetry::ShardTelemetry* telemetry = nullptr;
+  // Anomaly-capture spill directory: request_capture() makes the shard dump
+  // its flight-recorder ring here ("" = off).
+  std::string capture_dir;
 };
 
 // Runtime counters published by the shard thread (relaxed atomics; the
@@ -144,6 +152,16 @@ class Shard {
     return std::chrono::duration<double>(Clock::now() - t0_).count();
   }
 
+  // Anomaly capture (telemetry plane, any thread): asks the shard thread to
+  // dump its own flight-recorder ring to <capture_dir>/shard<i>_ring.csv at
+  // the next loop iteration. The recorder stays single-writer — the dump
+  // happens on the shard thread, off the per-packet path, at most once.
+  void request_capture() noexcept {
+    // verify: release — the breach bookkeeping that motivated the capture
+    // happens-before the shard observes the request.
+    capture_req_.store(true, std::memory_order_release);
+  }
+
  private:
   struct EditBatch {
     std::vector<ResolvedEdit> ops;
@@ -156,6 +174,7 @@ class Shard {
   void apply_pending_edits();
   void publish_latency();
   void spill_forensics(const std::string& reason);
+  void take_capture();
 
   ShardConfig cfg_;
   std::unique_ptr<net::Scheduler> sched_;
@@ -167,6 +186,7 @@ class Shard {
   std::atomic<bool> stop_{false};
   std::atomic<bool> running_{false};
   std::atomic<bool> faulted_{false};
+  std::atomic<bool> capture_req_{false};
   // Ticket/ack handoff for live edits; the protocol itself lives in
   // epoch_gate.h where the model checker can instantiate it.
   EpochGate<EditBatch> edit_gate_;
@@ -180,6 +200,7 @@ class Shard {
   std::uint64_t delivered_local_ = 0;  // latency sampling stride counter
   obs::FlightRecorder recorder_{8192};
   bool spilled_ = false;
+  bool captured_ = false;
 };
 
 }  // namespace hfq::serve

@@ -49,6 +49,7 @@ void StatsExporter::run_once() {
 
 void StatsExporter::write_tick() {
   const double now = svc_.clock_s();
+  const std::uint64_t seq = ticks_ + 1;
   sink_ << std::setprecision(9);
   for (std::size_t i = 0; i < svc_.num_shards(); ++i) {
     const Shard& sh = svc_.shard(i);
@@ -56,10 +57,16 @@ void StatsExporter::write_tick() {
     // verify: relaxed — periodic monitoring export; values may lag the
     // shard thread by a tick, which the derived-rate math tolerates, so
     // no ordering is needed on any read below.
-    const std::uint64_t ingested =
-        st.ingested.load(std::memory_order_relaxed);
+    //
+    // Read order matters for the DERIVED sched_drops: the shard bumps
+    // `ingested` before `accepted`, so reading accepted FIRST guarantees
+    // ingested >= the accepted we saw and the difference can never
+    // underflow to a bogus huge "drop burst" mid-stream (it previously
+    // could, most visibly while live edits kept the loop busy).
     const std::uint64_t accepted =
         st.accepted.load(std::memory_order_relaxed);
+    const std::uint64_t ingested =
+        st.ingested.load(std::memory_order_relaxed);
     const std::uint64_t delivered =
         st.delivered.load(std::memory_order_relaxed);
     const double dt = now - last_t_[i];
@@ -69,7 +76,8 @@ void StatsExporter::write_tick() {
             : 0.0;
     last_delivered_[i] = delivered;
     last_t_[i] = now;
-    sink_ << "{\"t\":" << now << ",\"shard\":" << i << ",\"epoch\":"
+    sink_ << "{\"t\":" << now << ",\"seq\":" << seq << ",\"shard\":" << i
+          << ",\"epoch\":"
           << st.epoch.load(std::memory_order_relaxed)
           << ",\"ingested\":" << ingested << ",\"accepted\":" << accepted
           << ",\"delivered\":" << delivered

@@ -6,7 +6,15 @@
 // latency quantiles the shard publishes. One object per line, flushed per
 // tick, so `tail -f` and line-oriented tooling consume it directly:
 //
-//   {"t":1.504,"shard":0,"epoch":2,"ingested":812345,...,"pps":541200.0}
+//   {"t":1.504,"seq":4,"shard":0,"epoch":2,"ingested":812345,...}
+//
+// Stream contract: every exported counter is monotonic (single-writer shard
+// atomics, never reset — live hierarchy edits change rates, not counters),
+// and every line carries the tick's `seq`, which increases by exactly one
+// per tick. A reader that sees seq jump backwards is looking at a restarted
+// stream; a gap means it missed ticks; a repeated seq with a different `t`
+// is a torn/concatenated stream. `sched_drops` is derived (ingested -
+// accepted) with the reads ordered so it can never underflow.
 //
 // This is control-plane code: it reads the shards' padded atomic counters
 // and never touches a scheduler, a ring, or a shard loop. Its sleep uses a

@@ -1,0 +1,297 @@
+#include "telemetry/bound_monitor.h"
+
+#include <utility>
+
+#include "qos/admission.h"
+#include "util/assert.h"
+
+namespace hfq::telemetry {
+
+namespace {
+
+core::Hierarchy scale_tree(const core::Hierarchy& tree,
+                           std::size_t num_shards) {
+  const double inv = 1.0 / static_cast<double>(num_shards);
+  core::Hierarchy scaled(tree.link_rate() * inv, tree.node(0).name);
+  for (std::uint32_t i = 1; i < tree.size(); ++i) {
+    const core::Hierarchy::NodeSpec& n = tree.node(i);
+    const auto parent = static_cast<std::uint32_t>(n.parent);
+    if (n.leaf) {
+      scaled.add_session(parent, n.name, n.rate_bps * inv, n.flow,
+                         n.capacity_packets);
+    } else {
+      scaled.add_class(parent, n.name, n.rate_bps * inv);
+    }
+  }
+  return scaled;
+}
+
+}  // namespace
+
+BoundMonitor::BoundMonitor(const core::Hierarchy& tree,
+                           std::size_t num_shards,
+                           const BoundMonitorConfig& cfg)
+    : cfg_(cfg), scaled_(scale_tree(tree, num_shards)),
+      num_shards_(num_shards) {
+  HFQ_ASSERT(num_shards > 0);
+  HFQ_ASSERT(cfg.lmax_bits > 0.0);
+
+  // Classes first so leaves can reference them. classes_[k] corresponds to
+  // the k-th internal node (root excluded: the link aggregate is just the
+  // shard's delivered counter, already exported).
+  std::unordered_map<std::uint32_t, std::uint32_t> class_of_node;
+  if (cfg_.per_class) {
+    for (std::uint32_t i = 1; i < scaled_.size(); ++i) {
+      const core::Hierarchy::NodeSpec& n = scaled_.node(i);
+      if (n.leaf) continue;
+      ClassRec c;
+      c.name = n.name;
+      c.rate_scaled = n.rate_bps;
+      c.tail_s = scaled_tail(i);
+      class_of_node.emplace(i, static_cast<std::uint32_t>(classes_.size()));
+      classes_.push_back(std::move(c));
+    }
+  }
+
+  for (std::uint32_t i = 1; i < scaled_.size(); ++i) {
+    const core::Hierarchy::NodeSpec& n = scaled_.node(i);
+    if (!n.leaf) continue;
+    const auto tail = qos::delay_bound(scaled_, i, 0.0, cfg_.lmax_bits);
+    HFQ_ASSERT(tail.has_value());
+    std::vector<std::uint32_t> memberships;
+    for (std::int32_t a = n.parent; a > 0;
+         a = scaled_.node(static_cast<std::uint32_t>(a)).parent) {
+      auto it = class_of_node.find(static_cast<std::uint32_t>(a));
+      if (it != class_of_node.end()) memberships.push_back(it->second);
+    }
+    register_flow(n.flow, n.rate_bps, *tail, n.name, std::move(memberships));
+  }
+}
+
+double BoundMonitor::scaled_tail(std::uint32_t node) const {
+  // WFI latency term for the aggregate at `node`, treated as a session of
+  // its parent server: Lmax over every server on the path to the root,
+  // plus the link transmission time, plus — conservatively — Lmax at the
+  // node's own rate to absorb its internal packetization.
+  double tail = cfg_.lmax_bits / scaled_.node(node).rate_bps;
+  for (std::int32_t a = scaled_.node(node).parent; a >= 0;
+       a = scaled_.node(static_cast<std::uint32_t>(a)).parent) {
+    tail += cfg_.lmax_bits / scaled_.node(static_cast<std::uint32_t>(a)).rate_bps;
+  }
+  tail += cfg_.lmax_bits / scaled_.link_rate();
+  return tail;
+}
+
+void BoundMonitor::register_flow(net::FlowId flow, double rate_scaled,
+                                 double tail_s, std::string name,
+                                 std::vector<std::uint32_t> classes) {
+  HFQ_ASSERT_MSG(flow_index_.count(flow) == 0,
+                 "bound monitor: flow registered twice");
+  FlowRec rec;
+  rec.active = true;
+  rec.flow = flow;
+  rec.rate_scaled = rate_scaled;
+  rec.tail_s = tail_s;
+  rec.bound_s = cfg_.sigma_packets * cfg_.lmax_bits / rate_scaled + tail_s +
+                cfg_.slack_s;
+  rec.name = std::move(name);
+  for (std::uint32_t c : classes) classes_[c].members.push_back(
+      static_cast<std::uint32_t>(flows_.size()));
+  rec.classes = std::move(classes);
+  flow_index_.emplace(flow, static_cast<std::uint32_t>(flows_.size()));
+  flows_.push_back(std::move(rec));
+  ++active_flows_;
+  for (auto& per_shard : spans_) per_shard.resize(flows_.size());
+  if (!shards_.empty()) publish_bound(flows_.back());
+}
+
+void BoundMonitor::publish_bound(const FlowRec& rec) {
+  const double b =
+      cfg_.delay_checks && rec.active ? rec.bound_s : ShardTelemetry::kNoBound;
+  for (ShardTelemetry* st : shards_) st->set_bound(rec.flow, b);
+}
+
+void BoundMonitor::reset_spans(std::uint32_t rec_idx) {
+  for (auto& per_shard : spans_) {
+    if (rec_idx < per_shard.size()) per_shard[rec_idx].active = false;
+  }
+  for (std::uint32_t c : flows_[rec_idx].classes) {
+    for (auto& per_shard : class_spans_) per_shard[c].active = false;
+  }
+}
+
+void BoundMonitor::attach(std::vector<ShardTelemetry*> shards) {
+  shards_ = std::move(shards);
+  HFQ_ASSERT(shards_.size() == num_shards_);
+  spans_.assign(shards_.size(), std::vector<Span>(flows_.size()));
+  class_spans_.assign(shards_.size(), std::vector<Span>(classes_.size()));
+  drop_bits_seen_.assign(shards_.size(), 0);
+  for (const FlowRec& rec : flows_) {
+    if (rec.active) publish_bound(rec);
+  }
+}
+
+void BoundMonitor::on_edits(const std::vector<serve::ResolvedEdit>& ops) {
+  using Kind = serve::ResolvedEdit::Kind;
+  for (const serve::ResolvedEdit& op : ops) {
+    auto it = flow_index_.find(op.flow);
+    switch (op.kind) {
+      case Kind::kSetRate: {
+        if (it == flow_index_.end()) break;
+        FlowRec& rec = flows_[it->second];
+        rec.rate_scaled = op.rate_bps;
+        rec.bound_s = cfg_.sigma_packets * cfg_.lmax_bits / op.rate_bps +
+                      rec.tail_s + cfg_.slack_s;
+        publish_bound(rec);
+        reset_spans(it->second);
+        break;
+      }
+      case Kind::kAdd: {
+        if (it != flow_index_.end()) break;
+        // Live adds go to the flat live-edit schedulers, where the only
+        // ancestor server is the link itself.
+        const double tail = 2.0 * cfg_.lmax_bits / scaled_.link_rate();
+        register_flow(op.flow, op.rate_bps, tail,
+                      "flow" + std::to_string(op.flow), {});
+        break;
+      }
+      case Kind::kRemove: {
+        if (it == flow_index_.end()) break;
+        FlowRec& rec = flows_[it->second];
+        rec.active = false;
+        --active_flows_;
+        reset_spans(it->second);
+        publish_bound(rec);  // clears to kNoBound
+        flow_index_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<Breach> BoundMonitor::evaluate(double now_s) {
+  ++evaluations_;
+  spans_active_ = 0;
+  std::vector<Breach> out;
+  const double lmax = cfg_.lmax_bits;
+
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    const ShardTelemetry& st = *shards_[s];
+    const std::uint64_t drops = st.dropped_bits_upper();
+    const bool drop_epoch = drops != drop_bits_seen_[s];
+    drop_bits_seen_[s] = drops;
+
+    // Per-flow spans.
+    for (std::uint32_t idx = 0; idx < flows_.size(); ++idx) {
+      const FlowRec& rec = flows_[idx];
+      if (!rec.active || rec.flow >= st.flow_slots()) continue;
+      const std::uint64_t arrived = st.arrived_bits(rec.flow);
+      const std::uint64_t served = st.served_bits(rec.flow);
+      Span& sp = spans_[s][idx];
+      if (drop_epoch) sp.active = false;
+      // Provable queued bits now: arrivals minus service minus every bit
+      // the shard might ever have dropped (phantom-backlog guard).
+      const std::uint64_t avail =
+          arrived > served + drops ? arrived - served - drops : 0;
+      if (!sp.active) {
+        if (static_cast<double>(avail) >= lmax) {
+          sp = Span{true, now_s, served, avail};
+        }
+        continue;
+      }
+      const std::uint64_t served_since = served - sp.served0;
+      if (served_since >= sp.backlog0) {
+        // The τ-bits are gone; the queue may have emptied. Re-anchor.
+        sp = static_cast<double>(avail) >= lmax
+                 ? Span{true, now_s, served, avail}
+                 : Span{};
+        continue;
+      }
+      ++spans_active_;
+      const double elapsed = now_s - sp.t0_s;
+      const double lag =
+          elapsed - static_cast<double>(served_since) / rec.rate_scaled;
+      const double budget = rec.tail_s + cfg_.slack_s;
+      if (lag > budget) {
+        ++flow_lag_breaches_;
+        Breach b;
+        b.kind = Breach::Kind::kFlowLag;
+        b.shard = s;
+        b.flow = rec.flow;
+        b.name = rec.name;
+        b.measured_s = lag;
+        b.budget_s = budget;
+        b.at_s = now_s;
+        out.push_back(std::move(b));
+        sp = Span{true, now_s, served, avail};  // one breach per epoch
+      }
+    }
+
+    // Per-class aggregate spans.
+    for (std::uint32_t c = 0; c < classes_.size(); ++c) {
+      const ClassRec& cls = classes_[c];
+      std::uint64_t arrived = 0, served = 0;
+      for (std::uint32_t idx : cls.members) {
+        const FlowRec& rec = flows_[idx];
+        if (!rec.active || rec.flow >= st.flow_slots()) continue;
+        arrived += st.arrived_bits(rec.flow);
+        served += st.served_bits(rec.flow);
+      }
+      Span& sp = class_spans_[s][c];
+      if (drop_epoch) sp.active = false;
+      const std::uint64_t avail =
+          arrived > served + drops ? arrived - served - drops : 0;
+      if (!sp.active) {
+        if (static_cast<double>(avail) >= lmax) {
+          sp = Span{true, now_s, served, avail};
+        }
+        continue;
+      }
+      const std::uint64_t served_since = served - sp.served0;
+      if (served_since >= sp.backlog0) {
+        sp = static_cast<double>(avail) >= lmax
+                 ? Span{true, now_s, served, avail}
+                 : Span{};
+        continue;
+      }
+      ++spans_active_;
+      const double elapsed = now_s - sp.t0_s;
+      const double lag =
+          elapsed - static_cast<double>(served_since) / cls.rate_scaled;
+      const double budget = cls.tail_s + cfg_.slack_s;
+      if (lag > budget) {
+        ++class_lag_breaches_;
+        Breach b;
+        b.kind = Breach::Kind::kClassLag;
+        b.shard = s;
+        b.name = cls.name;
+        b.measured_s = lag;
+        b.budget_s = budget;
+        b.at_s = now_s;
+        out.push_back(std::move(b));
+        sp = Span{true, now_s, served, avail};
+      }
+    }
+  }
+  return out;
+}
+
+double BoundMonitor::delay_bound_s(net::FlowId flow) const {
+  auto it = flow_index_.find(flow);
+  return it != flow_index_.end() ? flows_[it->second].bound_s
+                                 : ShardTelemetry::kNoBound;
+}
+
+std::string BoundMonitor::session_name(net::FlowId flow) const {
+  auto it = flow_index_.find(flow);
+  return it != flow_index_.end() ? flows_[it->second].name : std::string();
+}
+
+double BoundMonitor::lag_budget_s(net::FlowId flow) const {
+  auto it = flow_index_.find(flow);
+  return it != flow_index_.end()
+             ? flows_[it->second].tail_s + cfg_.slack_s
+             : ShardTelemetry::kNoBound;
+}
+
+}  // namespace hfq::telemetry

@@ -1,0 +1,185 @@
+// Online fairness-bound monitor: turns the paper's analytic machinery into
+// a runtime guarantee checker (DESIGN.md "Telemetry", bound-monitor math).
+//
+// The monitor runs on the telemetry plane's control thread, never on a
+// shard hot path. It watches two guarantees per monitored session (and,
+// aggregated, per link-sharing class), both derived from the H-WF²Q+
+// results the repo already proves offline:
+//
+//  1. Packet delay (Corollary 2). Each shard runs the full tree uniformly
+//     scaled by 1/N, so the per-shard bound for a (sigma, rho=r_i)
+//     constrained session is the Corollary 2 walk over the SCALED tree:
+//       D_i = sigma/r_i' + Σ_{ancestors n} Lmax/r_n' + Lmax/r_link'
+//     (primes = scaled rates; numerically N × the full-tree bound). The
+//     monitor precomputes D_i + slack per flow and publishes it into each
+//     ShardTelemetry's bound array; the SHARD compares every delivery
+//     against it, so a violated bound is caught on the very packet that
+//     breaks it — within the epoch it happens, as ISSUE 10 requires.
+//     Delay checks only run in paced mode: unpaced shards serve in virtual
+//     time, where arrival→departure spans are not wall delays.
+//
+//  2. Normalized service lag (WFI). WF²Q+ is worst-case fair: from ANY
+//     instant τ inside a session-backlogged period, the session receives
+//       S_i(τ, t) ≥ r_i'·(t − τ) − r_i'·C_i   with   r_i'·C_i/r_i' = tail_i
+//     where tail_i = Σ Lmax/r_n' + Lmax/r_link' is the WFI-derived latency
+//     term (the sigma-free part of D_i). Because the guarantee anchors at
+//     any τ — the Worst-case Fair Index property, not the weaker
+//     start-of-backlog service curve — the monitor can anchor a span at an
+//     epoch tick and assert, epochs later:
+//       lag = (t − τ) − S_i(τ,t)/r_i'  must stay ≤ tail_i + slack.
+//     A span is only judged while the session is PROVABLY continuously
+//     backlogged: if bits served since τ are fewer than the bits queued at
+//     τ, the queue cannot have emptied (per-flow FIFO). Queued-at-τ is
+//     arrived − served minus the shard's cumulative scheduler-drop bits
+//     upper bound, so phantom backlog from dropped arrivals can never
+//     masquerade as starvation; any drop activity during a span resets it.
+//
+// Live edits: the service forwards each applied ResolvedEdit batch; the
+// monitor re-derives bounds, updates the shard bound arrays, and resets
+// affected spans. The deliberate-violation path for tests is simply an
+// edit applied to the shards but NOT forwarded here (see
+// serve::Service::apply_edit_text_unmonitored).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "net/packet.h"
+#include "serve/edits.h"
+#include "telemetry/shard_telemetry.h"
+
+namespace hfq::telemetry {
+
+struct BoundMonitorConfig {
+  double lmax_bits = 12000.0;    // max packet, bits (1500 B default)
+  double sigma_packets = 16.0;   // (sigma, rho) burst allowance, Lmax units
+  double slack_s = 0.05;         // jitter allowance on both checks
+  bool per_class = true;         // also monitor internal-node aggregates
+  bool delay_checks = true;      // publish per-flow delay bounds to shards
+};
+
+// One detected guarantee violation.
+struct Breach {
+  enum class Kind { kDelay, kFlowLag, kClassLag };
+  Kind kind = Kind::kFlowLag;
+  std::uint32_t shard = 0;
+  net::FlowId flow = 0;          // kDelay / kFlowLag
+  std::string name;              // session or class name when known
+  double measured_s = 0.0;       // observed delay, or observed lag
+  double budget_s = 0.0;         // the bound it broke
+  double at_s = 0.0;             // service-clock time of detection
+  std::uint64_t seq = 0;         // shard breach ordinal (kDelay only)
+};
+
+class BoundMonitor {
+ public:
+  // `tree` is the UNSCALED service hierarchy; the monitor rebuilds the same
+  // 1/num_shards scaling the service applies to each shard and reuses
+  // qos::delay_bound on the scaled tree.
+  BoundMonitor(const core::Hierarchy& tree, std::size_t num_shards,
+               const BoundMonitorConfig& cfg);
+
+  // Registers the per-shard telemetry blocks and publishes every known
+  // flow's delay bound into their bound arrays. Call before Service::start.
+  void attach(std::vector<ShardTelemetry*> shards);
+
+  // Applies a live-edit batch (rates already scaled per shard, exactly as
+  // dispatched to the shards). Recomputes bounds, updates the shard bound
+  // arrays, resets spans of affected flows.
+  void on_edits(const std::vector<serve::ResolvedEdit>& ops);
+
+  // One monitoring epoch at service-clock time `now_s`: scans the per-flow
+  // cells of every shard, advances backlog spans, returns lag breaches
+  // found this epoch. Delay breaches are detected shard-side; the plane
+  // collects those from the breach rings directly.
+  [[nodiscard]] std::vector<Breach> evaluate(double now_s);
+
+  // The delay bound (including slack) the monitor published for a flow, in
+  // seconds; infinity when unmonitored.
+  [[nodiscard]] double delay_bound_s(net::FlowId flow) const;
+  // The WFI lag budget (tail + slack) for a flow, seconds.
+  [[nodiscard]] double lag_budget_s(net::FlowId flow) const;
+  // Directory name of a monitored flow ("" when unknown).
+  [[nodiscard]] std::string session_name(net::FlowId flow) const;
+
+  [[nodiscard]] std::size_t monitored_flows() const noexcept {
+    return active_flows_;
+  }
+  [[nodiscard]] std::size_t monitored_classes() const noexcept {
+    return classes_.size();
+  }
+  [[nodiscard]] std::uint64_t flow_lag_breaches() const noexcept {
+    return flow_lag_breaches_;
+  }
+  [[nodiscard]] std::uint64_t class_lag_breaches() const noexcept {
+    return class_lag_breaches_;
+  }
+  [[nodiscard]] std::uint64_t spans_active() const noexcept {
+    return spans_active_;
+  }
+  [[nodiscard]] std::uint64_t evaluations() const noexcept {
+    return evaluations_;
+  }
+  [[nodiscard]] const BoundMonitorConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  // A provably-continuously-backlogged observation window on one shard.
+  struct Span {
+    bool active = false;
+    double t0_s = 0.0;            // anchor instant τ
+    std::uint64_t served0 = 0;    // S(0, τ), bits
+    std::uint64_t backlog0 = 0;   // provable queued bits at τ
+  };
+
+  struct FlowRec {
+    bool active = false;
+    net::FlowId flow = 0;
+    double rate_scaled = 0.0;     // r_i', bits/s on one shard
+    double tail_s = 0.0;          // WFI latency term on the scaled tree
+    double bound_s = 0.0;         // Corollary 2 delay bound + slack
+    std::string name;
+    std::vector<std::uint32_t> classes;  // indices into classes_
+  };
+
+  struct ClassRec {
+    std::string name;
+    double rate_scaled = 0.0;
+    double tail_s = 0.0;
+    std::vector<std::uint32_t> members;  // indices into flows_
+  };
+
+  void register_flow(net::FlowId flow, double rate_scaled, double tail_s,
+                     std::string name, std::vector<std::uint32_t> classes);
+  void publish_bound(const FlowRec& rec);
+  void reset_spans(std::uint32_t rec_idx);
+  [[nodiscard]] double scaled_tail(std::uint32_t node) const;
+
+  BoundMonitorConfig cfg_;
+  core::Hierarchy scaled_;       // the per-shard tree (1/N rates)
+  std::size_t num_shards_ = 0;
+
+  std::vector<FlowRec> flows_;
+  std::unordered_map<net::FlowId, std::uint32_t> flow_index_;
+  std::vector<ClassRec> classes_;
+  std::size_t active_flows_ = 0;
+
+  std::vector<ShardTelemetry*> shards_;
+  // spans[shard][rec_idx] / class_spans[shard][class_idx].
+  std::vector<std::vector<Span>> spans_;
+  std::vector<std::vector<Span>> class_spans_;
+  // Per-shard cumulative dropped-bits upper bound at last look; any advance
+  // poisons that shard's spans for the epoch.
+  std::vector<std::uint64_t> drop_bits_seen_;
+
+  std::uint64_t flow_lag_breaches_ = 0;
+  std::uint64_t class_lag_breaches_ = 0;
+  std::uint64_t spans_active_ = 0;
+  std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace hfq::telemetry

@@ -1,0 +1,86 @@
+#include "telemetry/log_histogram.h"
+
+#include <algorithm>
+
+namespace hfq::telemetry {
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  HFQ_ASSERT_MSG(unit == other.unit && sub_bits == other.sub_bits,
+                 "histogram merge requires an identical bucket geometry");
+  if (other.buckets.size() > buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum_units += other.sum_units;
+}
+
+std::uint64_t HistogramSnapshot::bucket_lo(std::uint32_t sub_bits,
+                                           std::size_t i) {
+  const std::uint64_t sub = 1ull << sub_bits;
+  if (i < sub) return i;
+  const std::uint64_t block = i >> sub_bits;      // ≥ 1
+  const std::uint64_t within = i & (sub - 1);
+  const std::uint64_t shift = block - 1;
+  return (sub + within) << shift;
+}
+
+std::uint64_t HistogramSnapshot::bucket_hi(std::uint32_t sub_bits,
+                                           std::size_t i) {
+  const std::uint64_t sub = 1ull << sub_bits;
+  if (i < sub) return i + 1;
+  const std::uint64_t shift = (i >> sub_bits) - 1;
+  return bucket_lo(sub_bits, i) + (1ull << shift);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = seen + static_cast<double>(buckets[i]);
+    if (next >= target) {
+      const double lo = static_cast<double>(bucket_lo(sub_bits, i));
+      const double hi = static_cast<double>(bucket_hi(sub_bits, i));
+      const double frac =
+          buckets[i] > 0
+              ? (target - seen) / static_cast<double>(buckets[i])
+              : 1.0;
+      return unit * (lo + (hi - lo) * std::clamp(frac, 0.0, 1.0));
+    }
+    seen = next;
+  }
+  return max_value();
+}
+
+double HistogramSnapshot::max_value() const {
+  for (std::size_t i = buckets.size(); i-- > 0;) {
+    if (buckets[i] > 0) {
+      return unit * static_cast<double>(bucket_hi(sub_bits, i));
+    }
+  }
+  return 0.0;
+}
+
+HistogramSnapshot LogHistogram::snapshot() const {
+  HistogramSnapshot s;
+  s.unit = unit_;
+  s.sub_bits = kSubBits;
+  s.buckets.resize(kBuckets);
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t v = buckets_[i].load(std::memory_order_relaxed);
+    s.buckets[i] = v;
+    if (v > 0) last = i + 1;
+    s.count += v;
+  }
+  s.buckets.resize(last);
+  s.sum_units = sum_units_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace hfq::telemetry

@@ -1,0 +1,127 @@
+// Log-bucketed (HDR-style) histogram for the always-on telemetry plane.
+//
+// The serve layer needs latency/backlog distributions that are (a) cheap
+// enough to update on the shard hot path — no locks, no allocation, no
+// floating-point log() — and (b) mergeable across shards and across time
+// without losing information. Fixed-width bins (stats/histogram.h) cannot
+// cover nine decades of latency; P² sketches (stats/quantile.h) are not
+// mergeable exactly. This histogram covers [unit, ~2^62*unit) with
+// `1 << kSubBits` sub-buckets per octave (kSubBits = 5 → 32 buckets per
+// power of two, ≤ 3.2% relative bucket width), the HdrHistogram layout:
+//
+//   value v  →  n = floor(v / unit)            (saturating)
+//   n < 32   →  bucket n                       (exact linear region)
+//   n ≥ 32   →  msb = floor(log2 n); shift = msb - 5
+//               bucket = ((msb - 4) << 5) + ((n >> shift) - 32)
+//
+// The bucket index is a handful of integer ops around a count-leading-zeros
+// — no branches on the value magnitude, no FP transcendentals.
+//
+// Concurrency model: exactly one writer (the owning shard thread) and any
+// number of readers (the telemetry plane). Buckets are relaxed atomics the
+// writer bumps with plain load+store (single-writer, so no RMW needed — a
+// bump compiles to two MOVs, not a LOCK XADD). Every bucket is individually
+// monotonic, so a reader's snapshot is bounded between the histogram's past
+// and present state; `count` is derived from the snapshot's own buckets, so
+// a snapshot is always internally consistent. Snapshots are plain structs:
+// merging them is exact integer addition — associative and commutative, the
+// property test_telemetry.cc proves — so per-shard accumulation + plane
+// merge equals one global histogram.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace hfq::telemetry {
+
+// Plain-data snapshot of a LogHistogram (or a merge of several).
+struct HistogramSnapshot {
+  double unit = 1.0;              // bucket geometry base (seconds, packets…)
+  std::uint32_t sub_bits = 0;     // buckets per octave = 1 << sub_bits
+  std::vector<std::uint64_t> buckets;  // trimmed after the last non-zero
+  std::uint64_t count = 0;        // sum of buckets (derived, consistent)
+  double sum_units = 0.0;         // approximate Σ value/unit (writer-racy)
+
+  // Exact integer merge; layouts (unit, sub_bits) must match.
+  void merge(const HistogramSnapshot& other);
+
+  // Value (in `unit`s) at the lower/upper edge of bucket i.
+  [[nodiscard]] static std::uint64_t bucket_lo(std::uint32_t sub_bits,
+                                               std::size_t i);
+  [[nodiscard]] static std::uint64_t bucket_hi(std::uint32_t sub_bits,
+                                               std::size_t i);
+
+  // Quantile q in [0,1], returned in value units (unit * bucket upper edge,
+  // linear interpolation inside the bucket). 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  // Largest recorded value's bucket upper edge, in value units.
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] double mean() const {
+    return count > 0 ? sum_units * unit / static_cast<double>(count) : 0.0;
+  }
+};
+
+class LogHistogram {
+ public:
+  static constexpr std::uint32_t kSubBits = 5;
+  static constexpr std::uint64_t kSub = 1ull << kSubBits;
+  // Covers msb 5..56 → indices up to (56-4)<<5 + 31; 2048 slots is enough
+  // for any double that survives the saturating unit conversion.
+  static constexpr std::size_t kBuckets = 1u << 11;
+
+  // `unit` is the resolution floor: values below one unit land in bucket 0.
+  explicit LogHistogram(double unit) : unit_(unit) {
+    HFQ_ASSERT_MSG(unit > 0.0, "histogram unit must be positive");
+  }
+
+  // Single-writer hot-path update: integer bucket index + two relaxed
+  // plain load+store bumps. No locks, no allocation, no formatting.
+  void observe(double value) noexcept {
+    const std::uint64_t n = to_units(value);
+    bump(buckets_[index_of(n)]);
+    // Saturating sum in units; relaxed single-writer like the buckets.
+    sum_units_.store(sum_units_.load(std::memory_order_relaxed) +
+                         static_cast<double>(n),
+                     std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double unit() const noexcept { return unit_; }
+
+  // Reader-side consistent-enough snapshot (see header comment).
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  // Bucket index for a value expressed in units (exposed for tests).
+  [[nodiscard]] static std::size_t index_of(std::uint64_t n) noexcept {
+    if (n < kSub) return static_cast<std::size_t>(n);
+    const int msb = 63 - __builtin_clzll(n);
+    const std::size_t idx =
+        (static_cast<std::size_t>(msb - static_cast<int>(kSubBits) + 1)
+         << kSubBits) +
+        static_cast<std::size_t>(
+            (n >> (msb - static_cast<int>(kSubBits))) - kSub);
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+
+  [[nodiscard]] std::uint64_t to_units(double value) const noexcept {
+    if (!(value > 0.0)) return 0;
+    const double scaled = value / unit_;
+    constexpr double kMax = 9.0e18;  // < 2^63, keeps the cast defined
+    return scaled >= kMax ? static_cast<std::uint64_t>(kMax)
+                          : static_cast<std::uint64_t>(scaled);
+  }
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& c) noexcept {
+    c.store(c.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+  }
+
+  double unit_;
+  std::atomic<double> sum_units_{0.0};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+}  // namespace hfq::telemetry

@@ -1,0 +1,311 @@
+#include "telemetry/plane.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "telemetry/prometheus.h"
+#include "util/assert.h"
+
+namespace hfq::telemetry {
+
+namespace {
+
+const char* kind_name(Breach::Kind k) {
+  switch (k) {
+    case Breach::Kind::kDelay: return "delay";
+    case Breach::Kind::kFlowLag: return "flow_lag";
+    case Breach::Kind::kClassLag: return "class_lag";
+  }
+  return "unknown";
+}
+
+void summary(TextWriter& w, const std::string& name,
+             const HistogramSnapshot& h) {
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%g", q);
+    w.sample(name, {{"quantile", buf}}, h.quantile(q));
+  }
+  w.sample(name + "_sum",
+           {}, h.sum_units * h.unit);
+  w.sample(name + "_count", {}, static_cast<double>(h.count));
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+TelemetryPlane::TelemetryPlane(const PlaneConfig& cfg,
+                               std::vector<ShardTelemetry*> shards,
+                               BoundMonitor* monitor, StatsSource stats,
+                               ClockFn clock, CaptureFn capture)
+    : cfg_(cfg),
+      shards_(std::move(shards)),
+      monitor_(monitor),
+      stats_(std::move(stats)),
+      clock_(std::move(clock)),
+      capture_(std::move(capture)) {
+  HFQ_ASSERT(cfg_.period_s > 0.0);
+  ring_seen_.assign(shards_.size(), 0);
+  capture_armed_.assign(shards_.size(), false);
+}
+
+TelemetryPlane::~TelemetryPlane() { stop(); }
+
+void TelemetryPlane::start() {
+  if (running_.exchange(true)) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { plane_loop(); });
+}
+
+void TelemetryPlane::stop() {
+  if (!running_.exchange(false)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  tick();  // final epoch: publish the end-of-run state
+}
+
+void TelemetryPlane::plane_loop() {
+  using namespace std::chrono;
+  const auto period = duration<double>(cfg_.period_s);
+  auto next = steady_clock::now() + duration_cast<nanoseconds>(period);
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Poll-sleep in short slices so stop() never waits a full epoch.
+    if (steady_clock::now() < next) {
+      std::this_thread::sleep_for(milliseconds(5));
+      continue;
+    }
+    next += duration_cast<nanoseconds>(period);
+    tick();
+  }
+}
+
+void TelemetryPlane::tick() {
+  std::lock_guard<std::mutex> lk(tick_mu_);
+  const double now = clock_();
+
+  std::vector<Breach> fresh;
+  if (monitor_ != nullptr) fresh = monitor_->evaluate(now);
+  drain_delay_breaches(fresh);
+  if (!fresh.empty()) record_breaches(std::move(fresh));
+
+  seq_.store(seq_.load(std::memory_order_relaxed) + 1,
+             std::memory_order_release);
+  if (!cfg_.prom_path.empty()) write_exposition(render());
+}
+
+void TelemetryPlane::drain_delay_breaches(std::vector<Breach>& out) {
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    const auto copies = shards_[s]->breaches_since(ring_seen_[s]);
+    for (const auto& c : copies) {
+      ring_seen_[s] = std::max(ring_seen_[s], c.seq);
+      Breach b;
+      b.kind = Breach::Kind::kDelay;
+      b.shard = s;
+      b.flow = c.flow;
+      if (monitor_ != nullptr) b.name = monitor_->session_name(c.flow);
+      b.measured_s = c.delay_s;
+      b.budget_s = c.bound_s;
+      b.at_s = c.at_s;
+      b.seq = c.seq;
+      out.push_back(std::move(b));
+    }
+    // The ring holds the newest kBreachRing; if more landed than we saw,
+    // account for the skipped ones so `ring_seen_` tracks the counter.
+    ring_seen_[s] = std::max(ring_seen_[s], shards_[s]->delay_breaches());
+  }
+}
+
+void TelemetryPlane::record_breaches(std::vector<Breach> fresh) {
+  for (Breach& b : fresh) {
+    const std::uint64_t ordinal =
+        breaches_total_.load(std::memory_order_relaxed) + 1;
+    breaches_total_.store(ordinal, std::memory_order_release);
+    if (!cfg_.breach_dir.empty() && ordinal <= cfg_.breach_file_cap) {
+      write_breach_report(b, ordinal);
+    }
+    if (capture_ && b.shard < capture_armed_.size() &&
+        !capture_armed_[b.shard]) {
+      capture_armed_[b.shard] = true;
+      capture_(b.shard);
+    }
+    std::lock_guard<std::mutex> lk(log_mu_);
+    if (breach_log_.size() < cfg_.breach_log_cap) {
+      breach_log_.push_back(std::move(b));
+    }
+  }
+}
+
+std::vector<Breach> TelemetryPlane::breach_log() const {
+  std::lock_guard<std::mutex> lk(log_mu_);
+  return breach_log_;
+}
+
+std::string TelemetryPlane::render() {
+  TextWriter w;
+  const double now = clock_();
+  const std::uint64_t seq = seq_.load(std::memory_order_relaxed);
+
+  w.family("hfq_snapshot_seq", "counter",
+           "Exposition snapshot sequence number (resets only with the "
+           "service; a decrease means a restarted stream).");
+  w.sample("hfq_snapshot_seq", {}, static_cast<double>(seq + 1));
+  w.family("hfq_service_clock_seconds", "gauge",
+           "Service clock at snapshot time.");
+  w.sample("hfq_service_clock_seconds", {}, now);
+
+  // Raw service counters, one sample per shard.
+  const std::vector<ShardStatsView> stats =
+      stats_ ? stats_() : std::vector<ShardStatsView>();
+  struct Fam {
+    const char* name;
+    const char* type;
+    const char* help;
+    std::uint64_t ShardStatsView::*field;
+  };
+  static const Fam kFams[] = {
+      {"hfq_shard_ingested_total", "counter",
+       "Packets popped from the ingress ring.", &ShardStatsView::ingested},
+      {"hfq_shard_accepted_total", "counter",
+       "Packets accepted by the scheduler.", &ShardStatsView::accepted},
+      {"hfq_shard_delivered_total", "counter",
+       "Packets departed the virtual link.", &ShardStatsView::delivered},
+      {"hfq_shard_backlog_packets", "gauge", "Scheduler queue depth.",
+       &ShardStatsView::backlog},
+      {"hfq_shard_edit_drops_total", "counter",
+       "Packets dropped by live session removal.",
+       &ShardStatsView::edit_drops},
+      {"hfq_shard_ring_drops_total", "counter",
+       "Packets rejected at the ingress ring.", &ShardStatsView::ring_drops},
+      {"hfq_shard_epoch_total", "counter", "Edit batches applied.",
+       &ShardStatsView::epoch},
+      {"hfq_shard_audit_violations_total", "counter",
+       "Scheduler audit violations.", &ShardStatsView::audit_violations},
+      {"hfq_shard_splice_failures_total", "counter",
+       "Live-edit splice failures.", &ShardStatsView::splice_failures},
+      {"hfq_shard_busy_nanoseconds_total", "counter",
+       "Wall nanoseconds in working loop iterations (bench mode).",
+       &ShardStatsView::busy_ns},
+  };
+  for (const Fam& f : kFams) {
+    w.family(f.name, f.type, f.help);
+    for (std::uint32_t s = 0; s < stats.size(); ++s) {
+      w.sample(f.name, {{"shard", std::to_string(s)}},
+               static_cast<double>(stats[s].*(f.field)));
+    }
+  }
+  w.family("hfq_shard_faulted", "gauge", "1 when the shard thread parked.");
+  for (std::uint32_t s = 0; s < stats.size(); ++s) {
+    w.sample("hfq_shard_faulted", {{"shard", std::to_string(s)}},
+             stats[s].faulted ? 1.0 : 0.0);
+  }
+
+  // Telemetry-block counters.
+  w.family("hfq_delay_breaches_total", "counter",
+           "Deliveries later than the Corollary 2 per-shard bound.");
+  w.family("hfq_sched_dropped_packets_total", "counter",
+           "Scheduler-rejected packets seen by telemetry.");
+  w.family("hfq_unmonitored_packets_total", "counter",
+           "Arrivals on flows outside the telemetry flow-slot range.");
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    const LabelSet lbl = {{"shard", std::to_string(s)}};
+    w.sample("hfq_delay_breaches_total", lbl,
+             static_cast<double>(shards_[s]->delay_breaches()));
+    w.sample("hfq_sched_dropped_packets_total", lbl,
+             static_cast<double>(shards_[s]->dropped_pkts()));
+    w.sample("hfq_unmonitored_packets_total", lbl,
+             static_cast<double>(shards_[s]->unmonitored_pkts()));
+  }
+
+  // Merged latency / backlog distributions (exact integer merge).
+  if (!shards_.empty()) {
+    HistogramSnapshot lat = shards_[0]->latency_snapshot();
+    HistogramSnapshot bkl = shards_[0]->backlog_snapshot();
+    for (std::uint32_t s = 1; s < shards_.size(); ++s) {
+      lat.merge(shards_[s]->latency_snapshot());
+      bkl.merge(shards_[s]->backlog_snapshot());
+    }
+    w.family("hfq_latency_seconds", "summary",
+             "Sampled arrival-to-departure service latency.");
+    summary(w, "hfq_latency_seconds", lat);
+    w.family("hfq_backlog_packets", "summary",
+             "Per-loop scheduler queue depth samples.");
+    summary(w, "hfq_backlog_packets", bkl);
+  }
+
+  // Bound-monitor state.
+  if (monitor_ != nullptr) {
+    w.family("hfq_monitored_flows", "gauge",
+             "Sessions with a live Corollary 2 bound.");
+    w.sample("hfq_monitored_flows", {},
+             static_cast<double>(monitor_->monitored_flows()));
+    w.family("hfq_monitored_classes", "gauge",
+             "Internal-node aggregates under lag monitoring.");
+    w.sample("hfq_monitored_classes", {},
+             static_cast<double>(monitor_->monitored_classes()));
+    w.family("hfq_lag_spans_active", "gauge",
+             "Provably-backlogged observation spans last epoch.");
+    w.sample("hfq_lag_spans_active", {},
+             static_cast<double>(monitor_->spans_active()));
+    w.family("hfq_flow_lag_breaches_total", "counter",
+             "Per-flow WFI service-lag violations.");
+    w.sample("hfq_flow_lag_breaches_total", {},
+             static_cast<double>(monitor_->flow_lag_breaches()));
+    w.family("hfq_class_lag_breaches_total", "counter",
+             "Per-class WFI service-lag violations.");
+    w.sample("hfq_class_lag_breaches_total", {},
+             static_cast<double>(monitor_->class_lag_breaches()));
+    w.family("hfq_monitor_evaluations_total", "counter",
+             "Bound-monitor epochs evaluated.");
+    w.sample("hfq_monitor_evaluations_total", {},
+             static_cast<double>(monitor_->evaluations()));
+  }
+
+  w.family("hfq_breaches_total", "counter",
+           "All guarantee breaches (delay + lag) recorded by the plane.");
+  w.sample("hfq_breaches_total", {},
+           static_cast<double>(breaches_total_.load(
+               std::memory_order_relaxed)));
+  return w.str();
+}
+
+void TelemetryPlane::write_exposition(const std::string& text) const {
+  const std::string tmp = cfg_.prom_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;  // exposition is best-effort; the run goes on
+    out << text;
+  }
+  std::rename(tmp.c_str(), cfg_.prom_path.c_str());
+}
+
+void TelemetryPlane::write_breach_report(const Breach& b,
+                                         std::uint64_t ordinal) const {
+  const std::string path =
+      cfg_.breach_dir + "/breach_" + std::to_string(ordinal) + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return;
+  out << "{\n"
+      << "  \"ordinal\": " << ordinal << ",\n"
+      << "  \"kind\": \"" << kind_name(b.kind) << "\",\n"
+      << "  \"shard\": " << b.shard << ",\n"
+      << "  \"flow\": " << b.flow << ",\n"
+      << "  \"name\": \"" << json_escape(b.name) << "\",\n"
+      << "  \"measured_s\": " << b.measured_s << ",\n"
+      << "  \"budget_s\": " << b.budget_s << ",\n"
+      << "  \"at_s\": " << b.at_s << ",\n"
+      << "  \"shard_breach_seq\": " << b.seq << "\n"
+      << "}\n";
+}
+
+}  // namespace hfq::telemetry

@@ -1,0 +1,130 @@
+// The telemetry plane: one control-plane thread that periodically snapshots
+// every shard's telemetry block, runs the online bound monitor, publishes a
+// Prometheus-text exposition file, and arms anomaly capture when a
+// guarantee breaks (DESIGN.md "Telemetry").
+//
+// The plane deliberately does NOT depend on src/serve/: it is handed the
+// per-shard ShardTelemetry blocks, a stats-source callback that copies the
+// service's raw counters into plain structs, a service clock, and a capture
+// callback. serve::Service owns and wires all of these (service.h), so
+// hfq_serve links hfq_telemetry and not the other way around.
+//
+// Everything expensive — string formatting, histogram merging, file IO —
+// happens on this thread. Shard threads only ever touch their own
+// ShardTelemetry (shard_telemetry.h); the plane reads those blocks with
+// relaxed loads under the single-writer monotonic-counter protocol.
+//
+// Exposition protocol: each tick renders the full metric set (stamped with
+// a monotonically increasing `hfq_snapshot_seq`) into <prom_path>.tmp and
+// std::rename()s it over <prom_path>, so a scraper never observes a torn
+// file. Breach handling: new delay breaches are drained from the shard
+// rings, lag breaches come from the bound monitor; each new breach is
+// appended to the in-memory breach log, written as a JSON report under
+// breach_dir/, and — once per shard per run — the capture callback is
+// invoked so the service spills that shard's flight-recorder ring next to
+// the reports.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/bound_monitor.h"
+#include "telemetry/shard_telemetry.h"
+
+namespace hfq::telemetry {
+
+// Plain copy of one shard's service-level counters, filled by the stats
+// source callback each tick.
+struct ShardStatsView {
+  std::uint64_t ingested = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t backlog = 0;
+  std::uint64_t edit_drops = 0;
+  std::uint64_t ring_drops = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t audit_violations = 0;
+  std::uint64_t splice_failures = 0;
+  std::uint64_t busy_ns = 0;
+  bool faulted = false;
+};
+
+struct PlaneConfig {
+  double period_s = 0.5;      // monitoring epoch
+  std::string prom_path;      // exposition file ("" = don't write)
+  std::string breach_dir;     // breach JSON reports ("" = don't write)
+  std::size_t breach_log_cap = 1024;
+  std::size_t breach_file_cap = 32;  // at most this many report files
+};
+
+class TelemetryPlane {
+ public:
+  using StatsSource = std::function<std::vector<ShardStatsView>()>;
+  using ClockFn = std::function<double()>;          // service seconds
+  using CaptureFn = std::function<void(std::uint32_t shard)>;
+
+  // `monitor` may be null (counters-only level); the plane then skips lag
+  // evaluation but still drains shard delay-breach rings.
+  TelemetryPlane(const PlaneConfig& cfg,
+                 std::vector<ShardTelemetry*> shards, BoundMonitor* monitor,
+                 StatsSource stats, ClockFn clock, CaptureFn capture);
+  ~TelemetryPlane();
+
+  TelemetryPlane(const TelemetryPlane&) = delete;
+  TelemetryPlane& operator=(const TelemetryPlane&) = delete;
+
+  void start();
+  // Runs one final synchronous tick (so short runs still publish) and
+  // joins the plane thread.
+  void stop();
+
+  // One synchronous monitoring epoch; also the loop body. Thread-safe
+  // against the plane thread via the tick mutex (tests call it directly).
+  void tick();
+
+  [[nodiscard]] std::uint64_t snapshot_seq() const noexcept {
+    return seq_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t breaches_total() const noexcept {
+    return breaches_total_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::vector<Breach> breach_log() const;
+  // Renders the current metric set (what the next exposition write would
+  // contain). Control-plane only.
+  [[nodiscard]] std::string render();
+
+  [[nodiscard]] const PlaneConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void plane_loop();
+  void drain_delay_breaches(std::vector<Breach>& out);
+  void record_breaches(std::vector<Breach> fresh);
+  void write_exposition(const std::string& text) const;
+  void write_breach_report(const Breach& b, std::uint64_t ordinal) const;
+
+  PlaneConfig cfg_;
+  std::vector<ShardTelemetry*> shards_;
+  BoundMonitor* monitor_ = nullptr;
+  StatsSource stats_;
+  ClockFn clock_;
+  CaptureFn capture_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> breaches_total_{0};
+
+  std::mutex tick_mu_;                   // serializes tick() callers
+  mutable std::mutex log_mu_;            // guards breach_log_
+  std::vector<Breach> breach_log_;
+  std::vector<std::uint64_t> ring_seen_;     // per-shard drained breach seq
+  std::vector<bool> capture_armed_;          // per-shard: spill requested
+};
+
+}  // namespace hfq::telemetry

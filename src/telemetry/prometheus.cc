@@ -1,0 +1,333 @@
+#include "telemetry/prometheus.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace hfq::telemetry {
+
+namespace {
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != ':') {
+      return false;
+    }
+  }
+  return true;
+}
+
+void append_escaped(std::string& out, const std::string& v) {
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '"': out += "\\\""; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_value(std::string& out, double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    out += buf;
+  } else if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+// Family a sample name belongs to: strips summary suffixes.
+std::string family_of(const std::string& name) {
+  for (const char* suffix : {"_sum", "_count"}) {
+    const std::string s(suffix);
+    if (name.size() > s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      return name.substr(0, name.size() - s.size());
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+void TextWriter::family(const std::string& name, const std::string& type,
+                        const std::string& help) {
+  out_ += "# HELP ";
+  out_ += name;
+  out_ += ' ';
+  out_ += help;
+  out_ += "\n# TYPE ";
+  out_ += name;
+  out_ += ' ';
+  out_ += type;
+  out_ += '\n';
+}
+
+void TextWriter::sample(const std::string& name, const LabelSet& labels,
+                        double value) {
+  out_ += name;
+  if (!labels.empty()) {
+    out_ += '{';
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) out_ += ',';
+      first = false;
+      out_ += k;
+      out_ += "=\"";
+      append_escaped(out_, v);
+      out_ += '"';
+    }
+    out_ += '}';
+  }
+  out_ += ' ';
+  append_value(out_, value);
+  out_ += '\n';
+}
+
+const PromSample* PromParseResult::find(const std::string& name,
+                                        const LabelSet& labels) const {
+  for (const PromSample& s : samples) {
+    if (s.name != name) continue;
+    bool match = true;
+    for (const auto& [k, v] : labels) {
+      bool found = false;
+      for (const auto& [sk, sv] : s.labels) {
+        if (sk == k) {
+          found = sv == v;
+          break;
+        }
+      }
+      if (!found) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return &s;
+  }
+  return nullptr;
+}
+
+double PromParseResult::sum(const std::string& name) const {
+  double total = 0.0;
+  for (const PromSample& s : samples) {
+    if (s.name == name) total += s.value;
+  }
+  return total;
+}
+
+namespace {
+
+struct LineParser {
+  const std::string& line;
+  std::size_t pos = 0;
+
+  explicit LineParser(const std::string& l) : line(l) {}
+
+  [[nodiscard]] bool done() const { return pos >= line.size(); }
+  [[nodiscard]] char peek() const { return line[pos]; }
+  void skip_spaces() {
+    while (!done() && (peek() == ' ' || peek() == '\t')) ++pos;
+  }
+  std::string take_name() {
+    const std::size_t start = pos;
+    while (!done() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_' || peek() == ':')) {
+      ++pos;
+    }
+    return line.substr(start, pos - start);
+  }
+};
+
+bool parse_labels(LineParser& p, LabelSet& out, std::string& err) {
+  ++p.pos;  // consume '{'
+  while (true) {
+    p.skip_spaces();
+    if (p.done()) {
+      err = "unterminated label set";
+      return false;
+    }
+    if (p.peek() == '}') {
+      ++p.pos;
+      return true;
+    }
+    const std::string key = p.take_name();
+    if (key.empty()) {
+      err = "empty label name";
+      return false;
+    }
+    if (p.done() || p.peek() != '=') {
+      err = "expected '=' after label name";
+      return false;
+    }
+    ++p.pos;
+    if (p.done() || p.peek() != '"') {
+      err = "expected '\"' to open label value";
+      return false;
+    }
+    ++p.pos;
+    std::string value;
+    while (!p.done() && p.peek() != '"') {
+      char c = p.peek();
+      if (c == '\\') {
+        ++p.pos;
+        if (p.done()) {
+          err = "dangling escape in label value";
+          return false;
+        }
+        const char e = p.peek();
+        c = e == 'n' ? '\n' : e;  // \\ and \" unescape to themselves
+      }
+      value += c;
+      ++p.pos;
+    }
+    if (p.done()) {
+      err = "unterminated label value";
+      return false;
+    }
+    ++p.pos;  // closing quote
+    out.emplace_back(key, value);
+    p.skip_spaces();
+    if (!p.done() && p.peek() == ',') ++p.pos;
+  }
+}
+
+bool parse_value(const std::string& text, double& out) {
+  if (text == "+Inf" || text == "Inf") {
+    out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "-Inf") {
+    out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "NaN") {
+    out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+PromParseResult parse_prometheus(const std::string& text) {
+  PromParseResult out;
+  std::vector<std::string> typed;  // family names with a # TYPE line
+
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::string line = text.substr(
+        start, nl == std::string::npos ? std::string::npos : nl - start);
+    start = nl == std::string::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    auto fail = [&](const std::string& why) {
+      out.errors.push_back("line " + std::to_string(line_no) + ": " + why);
+    };
+
+    if (line[0] == '#') {
+      // `# HELP <name> <text>` / `# TYPE <name> <type>` / plain comment.
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+        const bool is_type = line[2] == 'T';
+        const std::size_t name_at = 7;
+        const std::size_t sp = line.find(' ', name_at);
+        if (sp == std::string::npos) {
+          fail("HELP/TYPE line without a payload");
+          continue;
+        }
+        const std::string name = line.substr(name_at, sp - name_at);
+        if (!valid_metric_name(name)) {
+          fail("invalid metric name '" + name + "'");
+          continue;
+        }
+        const std::string rest = line.substr(sp + 1);
+        if (is_type) {
+          if (rest != "counter" && rest != "gauge" && rest != "summary" &&
+              rest != "histogram" && rest != "untyped") {
+            fail("unknown metric type '" + rest + "'");
+            continue;
+          }
+          typed.push_back(name);
+          bool seen = false;
+          for (auto& f : out.families) {
+            if (f.name == name) {
+              f.type = rest;
+              seen = true;
+            }
+          }
+          if (!seen) out.families.push_back(PromFamily{name, rest, ""});
+        } else {
+          bool seen = false;
+          for (auto& f : out.families) {
+            if (f.name == name) {
+              f.help = rest;
+              seen = true;
+            }
+          }
+          if (!seen) out.families.push_back(PromFamily{name, "", rest});
+        }
+      }
+      continue;  // other comments are legal and ignored
+    }
+
+    LineParser p(line);
+    PromSample s;
+    s.name = p.take_name();
+    if (s.name.empty() || !valid_metric_name(s.name)) {
+      fail("expected a metric name");
+      continue;
+    }
+    if (!p.done() && p.peek() == '{') {
+      std::string err;
+      if (!parse_labels(p, s.labels, err)) {
+        fail(err);
+        continue;
+      }
+    }
+    p.skip_spaces();
+    if (p.done()) {
+      fail("sample without a value");
+      continue;
+    }
+    const std::string value_text = line.substr(p.pos);
+    if (!parse_value(value_text, s.value)) {
+      fail("malformed value '" + value_text + "'");
+      continue;
+    }
+    const std::string fam = family_of(s.name);
+    bool has_type = false;
+    for (const std::string& t : typed) {
+      if (t == fam || t == s.name) {
+        has_type = true;
+        break;
+      }
+    }
+    if (!has_type) {
+      fail("sample '" + s.name + "' precedes its # TYPE declaration");
+      continue;
+    }
+    out.samples.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace hfq::telemetry

@@ -1,0 +1,72 @@
+// Prometheus text-format exposition: a tiny writer and a strict parser.
+//
+// The telemetry plane serializes the metric set with TextWriter and
+// publishes it atomically (write to <path>.tmp, std::rename). The parser
+// exists for the consumers inside this repo — `hfq_top`, the CI scrape
+// check, and the round-trip test — and is deliberately strict: every line
+// must be a well-formed `# HELP`, `# TYPE`, comment, or sample line, and
+// every sample's family must have been typed first. Anything else is
+// reported as a parse error (CI asserts zero).
+//
+// Only the subset of the format the plane emits is supported: counter,
+// gauge, and summary families; label values with \\, \n and \" escapes;
+// no exemplars, no timestamps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hfq::telemetry {
+
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+class TextWriter {
+ public:
+  // Starts a family: emits `# HELP` and `# TYPE` lines. `type` is
+  // "counter", "gauge" or "summary".
+  void family(const std::string& name, const std::string& type,
+              const std::string& help);
+
+  // Emits one sample of the current (or any previously declared) family.
+  // `name` may carry a summary suffix (_sum, _count).
+  void sample(const std::string& name, const LabelSet& labels, double value);
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  std::string out_;
+};
+
+struct PromSample {
+  std::string name;
+  LabelSet labels;
+  double value = 0.0;
+};
+
+struct PromFamily {
+  std::string name;
+  std::string type;
+  std::string help;
+};
+
+struct PromParseResult {
+  std::vector<PromFamily> families;
+  std::vector<PromSample> samples;
+  std::vector<std::string> errors;  // one entry per malformed line
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+  // First sample matching name + labels (all given labels must match
+  // exactly); nullptr when absent.
+  [[nodiscard]] const PromSample* find(const std::string& name,
+                                       const LabelSet& labels = {}) const;
+  // Sum of every sample of the family (e.g. a per-shard counter's total).
+  [[nodiscard]] double sum(const std::string& name) const;
+};
+
+// Parses a full exposition text. Never throws; malformed lines land in
+// `errors` with their line number.
+[[nodiscard]] PromParseResult parse_prometheus(const std::string& text);
+
+}  // namespace hfq::telemetry

@@ -1,0 +1,35 @@
+#include "telemetry/shard_telemetry.h"
+
+#include <algorithm>
+
+namespace hfq::telemetry {
+
+std::vector<ShardTelemetry::BreachCopy> ShardTelemetry::breaches_since(
+    std::uint64_t from_seq) const {
+  const std::uint64_t n = breach_count_.load(std::memory_order_acquire);
+  if (n <= from_seq) return {};
+  const std::uint64_t first =
+      std::max(from_seq + 1, n > kBreachRing ? n - kBreachRing + 1 : 1);
+  std::vector<BreachCopy> out;
+  out.reserve(static_cast<std::size_t>(n - first + 1));
+  for (std::uint64_t seq = first; seq <= n; ++seq) {
+    const BreachSlot& s = ring_[(seq - 1) % kBreachRing];
+    BreachCopy c;
+    c.seq = s.seq.load(std::memory_order_relaxed);
+    c.flow = s.flow.load(std::memory_order_relaxed);
+    c.delay_s = s.delay_s.load(std::memory_order_relaxed);
+    c.bound_s = s.bound_s.load(std::memory_order_relaxed);
+    c.at_s = s.at_s.load(std::memory_order_relaxed);
+    // The writer may have lapped this slot between the counter read and
+    // the slot read; keep whichever breach now occupies it (it is newer)
+    // as long as it is within the window we are reporting.
+    if (c.seq >= first && c.seq <= n) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BreachCopy& a, const BreachCopy& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+}  // namespace hfq::telemetry

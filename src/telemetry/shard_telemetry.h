@@ -1,0 +1,239 @@
+// Always-on per-shard telemetry block: the shard-side half of the
+// telemetry plane (DESIGN.md "Telemetry").
+//
+// One ShardTelemetry is owned by the Service per shard and updated from
+// exactly one writer — the shard thread — via the on_arrival / on_delivery
+// / on_loop hooks below. The hooks are the *only* telemetry code on the
+// per-packet path and obey the `metrics-in-hot-loop` lint rule: no string
+// formatting, no allocation, no locking — integer bucket math and relaxed
+// single-writer atomic bumps (plain load+store, never a LOCK RMW). The
+// telemetry plane (plane.h) reads everything from its control-plane thread
+// with relaxed loads; every exported quantity is individually monotonic, so
+// snapshots are bounded between past and present state.
+//
+// Contents:
+//   * latency / backlog log-bucketed histograms (log_histogram.h),
+//   * per-flow service cells — cumulative arrived/served packets and bits,
+//     indexed by flow id (flat array, sized at service build; flows beyond
+//     the slot bound are counted, not tracked),
+//   * a per-flow delay-bound array written by the control plane (bound
+//     monitor) and compared on every delivery: the shard detects a breach
+//     of the Corollary-2/WFI delay bound the moment the late packet leaves
+//     the virtual link — within the epoch it happens — and records it into
+//     a small breach ring for the plane to report,
+//   * drop/unmonitored counters that keep the plane's per-flow backlog
+//     arithmetic honest (see bound_monitor.h).
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "telemetry/log_histogram.h"
+#include "util/assert.h"
+
+namespace hfq::telemetry {
+
+// One delay-bound breach, recorded by the shard thread at delivery time.
+// Slots are relaxed atomics published through a release store of the breach
+// counter; a reader can see a torn slot only if more than kBreachRing
+// breaches land between its counter read and its slot reads (forensics
+// quality is unaffected — the counters are exact).
+struct BreachSlot {
+  std::atomic<std::uint64_t> seq{0};   // 1-based breach ordinal
+  std::atomic<std::uint32_t> flow{0};
+  std::atomic<double> delay_s{0.0};
+  std::atomic<double> bound_s{0.0};
+  std::atomic<double> at_s{0.0};       // service-clock departure time
+};
+
+// Per-flow cumulative service cell: 32 bytes, one cacheline holds two.
+// Single writer (the shard thread); all counters monotonic.
+struct FlowCell {
+  std::atomic<std::uint64_t> arrived_pkts{0};
+  std::atomic<std::uint64_t> arrived_bits{0};
+  std::atomic<std::uint64_t> served_pkts{0};
+  std::atomic<std::uint64_t> served_bits{0};
+};
+
+struct ShardTelemetryConfig {
+  std::size_t flow_slots = 0;     // per-flow cells; 0 disables flow tracking
+  bool delay_checks = true;       // compare delivery delay against bounds
+  double latency_unit_s = 1e-7;   // 100 ns latency resolution floor
+  double backlog_unit = 1.0;      // 1 packet backlog resolution
+};
+
+class ShardTelemetry {
+ public:
+  static constexpr std::size_t kBreachRing = 32;
+
+  explicit ShardTelemetry(const ShardTelemetryConfig& cfg)
+      : cfg_(cfg),
+        latency_(cfg.latency_unit_s),
+        backlog_(cfg.backlog_unit) {
+    if (cfg_.flow_slots > 0) {
+      flows_ = std::make_unique<FlowCell[]>(cfg_.flow_slots);
+      bounds_ = std::make_unique<std::atomic<double>[]>(cfg_.flow_slots);
+      for (std::size_t i = 0; i < cfg_.flow_slots; ++i) {
+        bounds_[i].store(kNoBound, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  ShardTelemetry(const ShardTelemetry&) = delete;
+  ShardTelemetry& operator=(const ShardTelemetry&) = delete;
+
+  // --- shard-thread hot-path hooks (metrics-in-hot-loop discipline) --------
+
+  // One packet accepted by the scheduler at drain time.
+  void on_arrival(net::FlowId flow, std::uint32_t size_bytes) noexcept {
+    if (flow < cfg_.flow_slots) {
+      FlowCell& c = flows_[flow];
+      bump(c.arrived_pkts, 1);
+      bump(c.arrived_bits, 8ull * size_bytes);
+    } else {
+      bump(unmonitored_pkts_, 1);
+    }
+  }
+
+  // One packet departed the virtual link. `delay_s` is arrival→departure on
+  // the service clock; `sample` strides the histogram update (the breach
+  // compare runs on every packet — a missed breach is not a smaller one).
+  void on_delivery(net::FlowId flow, std::uint32_t size_bytes, double delay_s,
+                   double at_s, bool sample) noexcept {
+    if (flow < cfg_.flow_slots) {
+      FlowCell& c = flows_[flow];
+      bump(c.served_pkts, 1);
+      bump(c.served_bits, 8ull * size_bytes);
+      if (cfg_.delay_checks) {
+        const double bound = bounds_[flow].load(std::memory_order_relaxed);
+        if (delay_s > bound) record_breach(flow, delay_s, bound, at_s);
+      }
+    }
+    if (sample) latency_.observe(delay_s);
+  }
+
+  // Scheduler rejected `pkts` of a drained burst (finite session buffer or
+  // unknown flow): the cells above over-count arrivals by at most
+  // `bits_upper` — the bound monitor reads these to keep its backlog
+  // criterion sound (phantom backlog never passes for starvation).
+  void on_sched_drop(std::uint64_t pkts, std::uint64_t bits_upper) noexcept {
+    bump(dropped_pkts_, pkts);
+    bump(dropped_bits_upper_, bits_upper);
+  }
+
+  // Sampled once per working loop iteration with the scheduler's queue depth.
+  void on_loop(std::uint64_t backlog_pkts) noexcept {
+    backlog_.observe(static_cast<double>(backlog_pkts));
+  }
+
+  // --- control-plane side ---------------------------------------------------
+
+  static constexpr double kNoBound = std::numeric_limits<double>::infinity();
+
+  // Sets/clears the delay bound the shard compares deliveries against.
+  // Called by the bound monitor at build time and at live-edit boundaries;
+  // racing the shard thread is safe (atomic, and a one-epoch-stale bound
+  // only delays or anticipates detection by that epoch).
+  void set_bound(net::FlowId flow, double bound_s) noexcept {
+    if (flow < cfg_.flow_slots) {
+      bounds_[flow].store(bound_s, std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] double bound(net::FlowId flow) const noexcept {
+    return flow < cfg_.flow_slots
+               ? bounds_[flow].load(std::memory_order_relaxed)
+               : kNoBound;
+  }
+
+  [[nodiscard]] std::size_t flow_slots() const noexcept {
+    return cfg_.flow_slots;
+  }
+  [[nodiscard]] const ShardTelemetryConfig& config() const noexcept {
+    return cfg_;
+  }
+
+  // Monotonic counters (relaxed reads; each written by the shard thread).
+  [[nodiscard]] std::uint64_t delay_breaches() const noexcept {
+    return breach_count_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t dropped_pkts() const noexcept {
+    return dropped_pkts_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped_bits_upper() const noexcept {
+    return dropped_bits_upper_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t unmonitored_pkts() const noexcept {
+    return unmonitored_pkts_.load(std::memory_order_relaxed);
+  }
+
+  // Raw cell reads for the bound monitor's per-flow scan.
+  [[nodiscard]] std::uint64_t arrived_pkts(net::FlowId f) const noexcept {
+    return flows_[f].arrived_pkts.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t arrived_bits(net::FlowId f) const noexcept {
+    return flows_[f].arrived_bits.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t served_pkts(net::FlowId f) const noexcept {
+    return flows_[f].served_pkts.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t served_bits(net::FlowId f) const noexcept {
+    return flows_[f].served_bits.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot latency_snapshot() const {
+    return latency_.snapshot();
+  }
+  [[nodiscard]] HistogramSnapshot backlog_snapshot() const {
+    return backlog_.snapshot();
+  }
+
+  // Breach details currently held in the ring, oldest first, capped at
+  // kBreachRing. `from_seq` skips breaches already reported (1-based).
+  struct BreachCopy {
+    std::uint64_t seq = 0;
+    net::FlowId flow = 0;
+    double delay_s = 0.0;
+    double bound_s = 0.0;
+    double at_s = 0.0;
+  };
+  [[nodiscard]] std::vector<BreachCopy> breaches_since(
+      std::uint64_t from_seq) const;
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& c, std::uint64_t by) noexcept {
+    c.store(c.load(std::memory_order_relaxed) + by,
+            std::memory_order_relaxed);
+  }
+
+  void record_breach(net::FlowId flow, double delay_s, double bound_s,
+                     double at_s) noexcept {
+    const std::uint64_t n =
+        breach_count_.load(std::memory_order_relaxed);
+    BreachSlot& s = ring_[n % kBreachRing];
+    s.seq.store(n + 1, std::memory_order_relaxed);
+    s.flow.store(flow, std::memory_order_relaxed);
+    s.delay_s.store(delay_s, std::memory_order_relaxed);
+    s.bound_s.store(bound_s, std::memory_order_relaxed);
+    s.at_s.store(at_s, std::memory_order_relaxed);
+    // Publish: readers that observe the new count see the slot writes.
+    breach_count_.store(n + 1, std::memory_order_release);
+  }
+
+  ShardTelemetryConfig cfg_;
+  LogHistogram latency_;
+  LogHistogram backlog_;
+  std::unique_ptr<FlowCell[]> flows_;
+  std::unique_ptr<std::atomic<double>[]> bounds_;
+  BreachSlot ring_[kBreachRing];
+  std::atomic<std::uint64_t> breach_count_{0};
+  std::atomic<std::uint64_t> dropped_pkts_{0};
+  std::atomic<std::uint64_t> dropped_bits_upper_{0};
+  std::atomic<std::uint64_t> unmonitored_pkts_{0};
+};
+
+}  // namespace hfq::telemetry

@@ -62,6 +62,15 @@ inline bool run_once() {
   return true;
 }
 
+// metrics-in-hot-loop: string formatting inside a shard-side metric update
+// hook; the telemetry hot hooks are integer bucket math and relaxed
+// single-writer bumps only (src/telemetry/shard_telemetry.h) — label
+// rendering and exposition run on the plane thread (src/telemetry/plane.cc).
+inline void on_delivery(int flow, double delay_s) {
+  last_label_ = std::to_string(flow);
+  (void)delay_s;
+}
+
 // atomic-ordering (x2): a bare .load() silently defaults to seq_cst — an
 // undecided ordering and a full fence on the per-packet path — and a
 // relaxed load with no `// verify:` justification hides whatever pairing

@@ -1,0 +1,588 @@
+// Tests for the always-on telemetry plane (src/telemetry/): log-bucketed
+// histogram geometry and exact snapshot merging, Prometheus text round-trip
+// and strict parse-error detection, the stats stream's monotonic-counter /
+// sequence-number contract across live edits, the bound monitor's analytic
+// bounds, false-positive-freedom on conforming traffic, and the acceptance
+// path — a deliberately mis-weighted live edit applied behind the
+// monitor's back (Service::apply_edit_text_unmonitored) must be flagged
+// within an epoch, produce a breach report on disk, and arm the flight
+// recorder capture.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tree_parser.h"
+#include "net/packet.h"
+#include "obs/flight_recorder.h"
+#include "qos/admission.h"
+#include "runner/scenario.h"
+#include "serve/harness.h"
+#include "serve/service.h"
+#include "telemetry/bound_monitor.h"
+#include "telemetry/log_histogram.h"
+#include "telemetry/plane.h"
+#include "telemetry/prometheus.h"
+#include "telemetry/shard_telemetry.h"
+
+namespace hfq {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// LogHistogram: bucket geometry and exact snapshot merge.
+
+TEST(LogHistogram, BucketIndexIsMonotoneAndEdgesBracket) {
+  using H = telemetry::LogHistogram;
+  std::size_t prev = 0;
+  for (std::uint64_t n = 0; n < 100000; n = n < 64 ? n + 1 : n * 9 / 8) {
+    const std::size_t idx = H::index_of(n);
+    EXPECT_GE(idx, prev) << "index not monotone at n=" << n;
+    EXPECT_LE(telemetry::HistogramSnapshot::bucket_lo(H::kSubBits, idx), n);
+    EXPECT_GT(telemetry::HistogramSnapshot::bucket_hi(H::kSubBits, idx), n);
+    prev = idx;
+  }
+  // The linear region is exact: one value per bucket below 2^kSubBits.
+  for (std::uint64_t n = 0; n < H::kSub; ++n) {
+    EXPECT_EQ(H::index_of(n), n);
+  }
+}
+
+TEST(LogHistogram, RelativeBucketWidthStaysBounded) {
+  using H = telemetry::LogHistogram;
+  for (std::uint64_t n = H::kSub; n < (1ull << 40); n = n * 5 / 4) {
+    const std::size_t idx = H::index_of(n);
+    const double lo = static_cast<double>(
+        telemetry::HistogramSnapshot::bucket_lo(H::kSubBits, idx));
+    const double hi = static_cast<double>(
+        telemetry::HistogramSnapshot::bucket_hi(H::kSubBits, idx));
+    // 32 sub-buckets per octave: width/lo <= 1/32 + rounding.
+    EXPECT_LE((hi - lo) / lo, 1.0 / 32.0 + 1e-9) << "at n=" << n;
+  }
+}
+
+telemetry::HistogramSnapshot fill(double unit, std::uint64_t seed,
+                                  int count) {
+  telemetry::LogHistogram h(unit);
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> exp(1e3);
+  for (int i = 0; i < count; ++i) h.observe(exp(rng));
+  return h.snapshot();
+}
+
+bool same_buckets(const telemetry::HistogramSnapshot& a,
+                  const telemetry::HistogramSnapshot& b) {
+  return a.count == b.count && a.buckets == b.buckets;
+}
+
+TEST(LogHistogram, MergeIsAssociativeAndCommutative) {
+  const auto a = fill(1e-7, 1, 4000);
+  const auto b = fill(1e-7, 2, 2500);
+  const auto c = fill(1e-7, 3, 600);
+
+  auto ab_c = a;          // (a + b) + c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  auto bc = b;            // a + (b + c)
+  bc.merge(c);
+  auto a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_TRUE(same_buckets(ab_c, a_bc));
+
+  auto ba = b;            // b + a == a + b
+  ba.merge(a);
+  auto ab = a;
+  ab.merge(b);
+  EXPECT_TRUE(same_buckets(ab, ba));
+  EXPECT_EQ(ab.count, a.count + b.count);
+  EXPECT_EQ(ab_c.count, a.count + b.count + c.count);
+}
+
+TEST(LogHistogram, QuantilesLandInTheRightDecade) {
+  telemetry::LogHistogram h(1e-7);
+  for (int i = 0; i < 900; ++i) h.observe(1e-3);   // 90% at 1 ms
+  for (int i = 0; i < 100; ++i) h.observe(1e-1);   // 10% at 100 ms
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_NEAR(s.quantile(0.5), 1e-3, 1e-3 * 0.05);
+  EXPECT_NEAR(s.quantile(0.99), 1e-1, 1e-1 * 0.05);
+  EXPECT_GE(s.max_value(), 1e-1);
+  EXPECT_LT(s.max_value(), 1.1e-1);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text format: write → parse round trip, strict error reporting.
+
+TEST(Prometheus, RoundTripPreservesFamiliesSamplesAndLabels) {
+  telemetry::TextWriter w;
+  w.family("hfq_demo_total", "counter", "A demo counter; quotes \"inside\".");
+  w.sample("hfq_demo_total", {{"shard", "0"}}, 41.0);
+  w.sample("hfq_demo_total", {{"shard", "1"}}, 1.0);
+  w.family("hfq_demo_gauge", "gauge", "A gauge with a tricky label.");
+  w.sample("hfq_demo_gauge",
+           {{"name", "weird\\label\"value\"\nnewline"}}, -2.5);
+  w.family("hfq_demo_summary", "summary", "Quantiles.");
+  w.sample("hfq_demo_summary", {{"quantile", "0.5"}}, 0.25);
+  w.sample("hfq_demo_summary_sum", {}, 12.5);
+  w.sample("hfq_demo_summary_count", {}, 50.0);
+
+  const auto r = telemetry::parse_prometheus(w.str());
+  ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+  ASSERT_EQ(r.families.size(), 3u);
+  EXPECT_EQ(r.families[0].name, "hfq_demo_total");
+  EXPECT_EQ(r.families[0].type, "counter");
+  EXPECT_EQ(r.families[0].help, "A demo counter; quotes \"inside\".");
+
+  EXPECT_DOUBLE_EQ(r.sum("hfq_demo_total"), 42.0);
+  const auto* s0 = r.find("hfq_demo_total", {{"shard", "0"}});
+  ASSERT_NE(s0, nullptr);
+  EXPECT_DOUBLE_EQ(s0->value, 41.0);
+
+  // The escaped label value survives the round trip byte-for-byte.
+  const auto* g =
+      r.find("hfq_demo_gauge", {{"name", "weird\\label\"value\"\nnewline"}});
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->value, -2.5);
+
+  const auto* q = r.find("hfq_demo_summary", {{"quantile", "0.5"}});
+  ASSERT_NE(q, nullptr);
+  EXPECT_DOUBLE_EQ(q->value, 0.25);
+  const auto* cnt = r.find("hfq_demo_summary_count");
+  ASSERT_NE(cnt, nullptr);
+  EXPECT_DOUBLE_EQ(cnt->value, 50.0);
+}
+
+TEST(Prometheus, MalformedLinesAreReportedWithLineNumbers) {
+  // Sample before its # TYPE, a garbage line, and a bad value.
+  const std::string text =
+      "early_sample 1\n"
+      "# TYPE ok_metric counter\n"
+      "ok_metric 3\n"
+      "!!! not a metric line\n"
+      "ok_metric not_a_number\n";
+  const auto r = telemetry::parse_prometheus(text);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.errors.size(), 3u);
+  // The well-formed sample still parses.
+  const auto* ok = r.find("ok_metric");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_DOUBLE_EQ(ok->value, 3.0);
+  // Errors carry their 1-based line numbers.
+  EXPECT_NE(r.errors[0].find("line 1"), std::string::npos) << r.errors[0];
+  EXPECT_NE(r.errors[1].find("line 4"), std::string::npos) << r.errors[1];
+  EXPECT_NE(r.errors[2].find("line 5"), std::string::npos) << r.errors[2];
+}
+
+// ---------------------------------------------------------------------------
+// ShardTelemetry: single-writer cells, bounds, breach ring.
+
+TEST(ShardTelemetry, CountsFlowsAndDetectsDelayBreaches) {
+  telemetry::ShardTelemetryConfig tc;
+  tc.flow_slots = 8;
+  tc.delay_checks = true;
+  telemetry::ShardTelemetry tel(tc);
+
+  tel.set_bound(3, 0.010);
+  tel.on_arrival(3, 500);
+  tel.on_delivery(3, 500, 0.005, 1.0, true);   // within bound
+  EXPECT_EQ(tel.delay_breaches(), 0u);
+  tel.on_delivery(3, 500, 0.020, 1.1, false);  // breach
+  EXPECT_EQ(tel.delay_breaches(), 1u);
+  EXPECT_EQ(tel.arrived_bits(3), 8ull * 500);
+  EXPECT_EQ(tel.served_bits(3), 2 * 8ull * 500);
+
+  const auto breaches = tel.breaches_since(0);
+  ASSERT_EQ(breaches.size(), 1u);
+  EXPECT_EQ(breaches[0].flow, 3u);
+  EXPECT_DOUBLE_EQ(breaches[0].delay_s, 0.020);
+  EXPECT_DOUBLE_EQ(breaches[0].bound_s, 0.010);
+  // Already-reported breaches are not returned again.
+  EXPECT_TRUE(tel.breaches_since(breaches[0].seq).empty());
+
+  // Flows beyond the slot range are counted, never tracked.
+  tel.on_arrival(100, 500);
+  EXPECT_EQ(tel.unmonitored_pkts(), 1u);
+  // No bound published (kNoBound = inf): no delay is ever a breach.
+  tel.on_delivery(5, 500, 1e9, 2.0, false);
+  EXPECT_EQ(tel.delay_breaches(), 1u);
+}
+
+TEST(ShardTelemetry, BreachRingKeepsNewestWhenLapped) {
+  telemetry::ShardTelemetryConfig tc;
+  tc.flow_slots = 4;
+  telemetry::ShardTelemetry tel(tc);
+  tel.set_bound(0, 0.0);
+  const std::size_t n = telemetry::ShardTelemetry::kBreachRing + 10;
+  for (std::size_t i = 0; i < n; ++i) {
+    tel.on_delivery(0, 100, 1.0 + static_cast<double>(i), 1.0, false);
+  }
+  EXPECT_EQ(tel.delay_breaches(), n);
+  const auto copies = tel.breaches_since(0);
+  ASSERT_EQ(copies.size(), telemetry::ShardTelemetry::kBreachRing);
+  // Oldest-first, ending at the newest ordinal.
+  EXPECT_EQ(copies.front().seq, n - telemetry::ShardTelemetry::kBreachRing + 1);
+  EXPECT_EQ(copies.back().seq, n);
+}
+
+// ---------------------------------------------------------------------------
+// BoundMonitor: analytic bounds on the scaled tree.
+
+TEST(BoundMonitor, PublishesCorollary2BoundsOnTheScaledTree) {
+  const core::Hierarchy tree = core::parse_hierarchy(
+      "link 8M\n"
+      "cA 6M {\n  s0 4M flow=0\n  s1 2M flow=1\n}\n"
+      "s2 2M flow=2\n");
+  telemetry::BoundMonitorConfig mc;
+  mc.lmax_bits = 8000.0;
+  mc.sigma_packets = 4.0;
+  mc.slack_s = 0.01;
+  const std::size_t shards = 2;
+  telemetry::BoundMonitor mon(tree, shards, mc);
+
+  EXPECT_EQ(mon.monitored_flows(), 3u);
+  EXPECT_GE(mon.monitored_classes(), 1u);
+
+  // The monitor's per-flow bound is the Corollary 2 walk over the 1/N
+  // scaled tree with sigma = sigma_packets * Lmax, plus slack. qos::
+  // delay_bound on a hand-scaled tree is the independent reference.
+  core::Hierarchy scaled(tree.link_rate() / shards, tree.node(0).name);
+  const auto ca = scaled.add_class(0, "cA", 6e6 / shards);
+  scaled.add_session(ca, "s0", 4e6 / shards, 0);
+  scaled.add_session(ca, "s1", 2e6 / shards, 1);
+  scaled.add_session(0, "s2", 2e6 / shards, 2);
+  for (net::FlowId f = 0; f < 3; ++f) {
+    const auto want = qos::delay_bound_for_flow(
+        scaled, f, mc.sigma_packets * mc.lmax_bits, mc.lmax_bits);
+    ASSERT_TRUE(want.has_value());
+    EXPECT_NEAR(mon.delay_bound_s(f), *want + mc.slack_s, 1e-12)
+        << "flow " << f;
+    // The lag budget is the sigma-free latency tail + slack — strictly
+    // below the delay bound for any positive sigma.
+    EXPECT_LT(mon.lag_budget_s(f), mon.delay_bound_s(f));
+    EXPECT_GT(mon.lag_budget_s(f), mc.slack_s);
+  }
+  EXPECT_EQ(mon.delay_bound_s(99),
+            std::numeric_limits<double>::infinity());
+
+  // Deeper sessions carry more Lmax/r_n terms: s0 sits under cA, s2 under
+  // the link directly, both tails include their own rate term.
+  EXPECT_GT(mon.lag_budget_s(1), mon.lag_budget_s(2) - 1e-12);
+}
+
+TEST(BoundMonitor, ReweightEditMovesTheBound) {
+  const core::Hierarchy tree = core::parse_hierarchy(
+      "link 8M\ns0 4M flow=0\ns1 4M flow=1\n");
+  telemetry::BoundMonitorConfig mc;
+  mc.slack_s = 0.0;
+  telemetry::BoundMonitor mon(tree, 1, mc);
+  const double before = mon.delay_bound_s(0);
+
+  serve::ResolvedEdit e;
+  e.kind = serve::ResolvedEdit::Kind::kSetRate;
+  e.flow = 0;
+  e.rate_bps = 1e6;  // slashed from 4M: sigma/r term quadruples
+  mon.on_edits({e});
+  const double after = mon.delay_bound_s(0);
+  EXPECT_GT(after, before * 2.0);
+
+  serve::ResolvedEdit rm;
+  rm.kind = serve::ResolvedEdit::Kind::kRemove;
+  rm.flow = 0;
+  mon.on_edits({rm});
+  EXPECT_EQ(mon.delay_bound_s(0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(mon.monitored_flows(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Stats stream contract: per-tick sequence numbers, monotonic counters —
+// across live edits (the regression this PR fixes).
+
+TEST(StatsStream, SeqAndCountersMonotoneAcrossLiveEdits) {
+  std::ostringstream tree_text;
+  tree_text << "link 50M\n";
+  for (int f = 0; f < 32; ++f) {
+    tree_text << "s" << f << " " << (50e6 / 32) << " flow=" << f << "\n";
+  }
+  runner::Scenario sc;
+  sc.tree_text = tree_text.str();
+  sc.scheduler = "wf2q+";
+  sc.traffic = "cbr";
+  sc.load = 0.8;
+  sc.duration_s = 0.8;
+  sc.packet_bytes = 400;
+  sc.seed = 7;
+
+  runner::ServeSpec spec;
+  spec.shards = 2;
+  spec.producers = 1;
+  spec.paced = true;
+  spec.telemetry = "counters";
+  spec.edits.push_back({0.2, "s0 9M\ns1 200k\n"});
+  spec.edits.push_back({0.4, "remove s2\n"});
+
+  std::ostringstream stats;
+  const serve::ServeRunResult r =
+      serve::run_serve_scenario(sc, spec, &stats);
+  EXPECT_TRUE(r.conservation_ok) << r.summary();
+  EXPECT_EQ(r.edit_batches, 2u);
+
+  // Pull one field out of a stats JSONL line.
+  auto field = [](const std::string& line, const std::string& key) -> double {
+    const std::string tag = "\"" + key + "\":";
+    const auto at = line.find(tag);
+    if (at == std::string::npos) return -1.0;
+    return std::stod(line.substr(at + tag.size()));
+  };
+
+  std::istringstream in(stats.str());
+  std::string line;
+  std::uint64_t last_seq = 0;
+  std::vector<double> last_delivered(spec.shards, 0.0);
+  std::vector<double> last_ingested(spec.shards, 0.0);
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    const double seq = field(line, "seq");
+    ASSERT_GE(seq, 1.0) << "stats line missing seq: " << line;
+    // Seq increments by one per tick; all shards of a tick share it.
+    const auto s = static_cast<std::uint64_t>(seq);
+    ASSERT_TRUE(s == last_seq || s == last_seq + 1)
+        << "seq jumped " << last_seq << " -> " << s;
+    last_seq = s;
+    const auto shard = static_cast<std::size_t>(field(line, "shard"));
+    ASSERT_LT(shard, spec.shards);
+    // Counters never go backwards — not across ticks and not across the
+    // two live edits (the pre-fix regression).
+    const double delivered = field(line, "delivered");
+    const double ingested = field(line, "ingested");
+    const double sched_drops = field(line, "sched_drops");
+    EXPECT_GE(delivered, last_delivered[shard]) << line;
+    EXPECT_GE(ingested, last_ingested[shard]) << line;
+    EXPECT_GE(sched_drops, 0.0) << "derived sched_drops underflow: " << line;
+    last_delivered[shard] = delivered;
+    last_ingested[shard] = ingested;
+  }
+  EXPECT_GE(lines, 2u * spec.shards) << "stream too short:\n" << stats.str();
+}
+
+// ---------------------------------------------------------------------------
+// Conforming traffic is false-positive-free; a mis-weighted unmonitored
+// edit is flagged within an epoch.
+
+serve::ServeRunResult conforming_run(const std::string& traffic,
+                                     std::uint64_t seed) {
+  std::ostringstream tree_text;
+  tree_text << "link 50M\n";
+  for (int f = 0; f < 16; ++f) {
+    tree_text << "s" << f << " " << (50e6 / 16) << " flow=" << f << "\n";
+  }
+  runner::Scenario sc;
+  sc.tree_text = tree_text.str();
+  sc.scheduler = "wf2q+";
+  sc.traffic = traffic;
+  sc.load = 0.7;
+  sc.duration_s = 1.0;
+  sc.packet_bytes = 500;
+  sc.seed = seed;
+
+  runner::ServeSpec spec;
+  spec.shards = 2;
+  spec.producers = 1;
+  spec.paced = true;
+  spec.telemetry = "monitor";
+  spec.telemetry_period_s = 0.1;
+  return serve::run_serve_scenario(sc, spec, nullptr);
+}
+
+TEST(BoundMonitorEndToEnd, ConformingCbrRunsBreachFree) {
+  const serve::ServeRunResult r = conforming_run("cbr", 21);
+  EXPECT_TRUE(r.conservation_ok) << r.summary();
+  EXPECT_EQ(r.breaches, 0u) << r.summary();
+  EXPECT_EQ(r.delay_breaches, 0u);
+  EXPECT_EQ(r.lag_breaches, 0u);
+  EXPECT_EQ(r.monitored_flows, 16u);
+  EXPECT_GE(r.snapshot_seq, 2u);  // the plane ticked during the run
+}
+
+TEST(BoundMonitorEndToEnd, ConformingPoissonRunsBreachFree) {
+  const serve::ServeRunResult r = conforming_run("poisson", 22);
+  EXPECT_TRUE(r.conservation_ok) << r.summary();
+  EXPECT_EQ(r.breaches, 0u) << r.summary();
+}
+
+// The acceptance test: a mis-weighting edit applied to the shards but NOT
+// to the monitor (fault injection) starves a flow the monitor still
+// believes owns half the link. The monitor must flag it within an epoch,
+// write a breach report, and arm the shard's flight-recorder capture.
+TEST(BoundMonitorEndToEnd, UnmonitoredMisweightTripsTheMonitorWithinAnEpoch) {
+  const fs::path dir =
+      fs::temp_directory_path() / "hfq_telemetry_breach_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const core::Hierarchy tree = core::parse_hierarchy(
+      "link 1M\ns0 500k flow=0\ns1 500k flow=1\n");
+  serve::ServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.paced = true;
+  cfg.telemetry.level = serve::TelemetrySpec::Level::kMonitor;
+  cfg.telemetry.period_s = 0.1;    // epoch: detection latency bound
+  cfg.telemetry.slack_s = 0.02;
+  cfg.telemetry.lmax_bits = 8.0 * 500;
+  cfg.telemetry.sigma_packets = 4.0;
+  cfg.telemetry.breach_dir = dir.string();
+  serve::Service svc(tree, cfg);
+  svc.start();
+
+  // Paced producers driven by cumulative-bits targets (self-correcting
+  // against sleep jitter). Pre-edit both flows conform: 300k offered
+  // against a believed 500k share each. At t≈0.4 s the unmonitored edit
+  // slashes s0 to 20k and hands s1 980k, and flow 1 ramps to 950k — so s1
+  // (legitimately, under the shards' new weights) consumes the link and
+  // starves s0, whose believed service curve still promises 500k. Flow 1
+  // never violates a bound the monitor believes: its measured service
+  // exceeds its believed rate, which is never a breach.
+  const double kBits = 8.0 * 500;
+  double edit_at = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+  bool edited = false;
+  std::uint64_t id = 0;
+  double sent0 = 0.0, sent1 = 0.0;  // cumulative bits submitted
+  auto submit = [&](net::FlowId f) {
+    net::Packet p;
+    p.id = id++;
+    p.flow = f;
+    p.size_bytes = 500;
+    p.created = svc.clock_s();
+    (void)svc.submit(p);
+  };
+  while (true) {
+    const double t = elapsed();
+    if (t > 1.6) break;
+    if (!edited && t > 0.4) {
+      svc.apply_edit_text_unmonitored("s0 20k\ns1 980k\n");
+      edit_at = svc.clock_s();
+      edited = true;
+    }
+    const double target0 = 300e3 * t;
+    const double target1 =
+        !edited ? 300e3 * t
+                : 300e3 * 0.4 + 950e3 * (t - 0.4);
+    while (sent0 < target0) { submit(0); sent0 += kBits; }
+    while (sent1 < target1) { submit(1); sent1 += kBits; }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Give the plane a couple more epochs to evaluate, then stop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  telemetry::TelemetryPlane* plane = svc.plane();
+  ASSERT_NE(plane, nullptr);
+  svc.stop();
+
+  EXPECT_GT(plane->breaches_total(), 0u) << "mis-weight was not flagged";
+  const std::vector<telemetry::Breach> log = plane->breach_log();
+  ASSERT_FALSE(log.empty());
+  // Every breach is on the starved flow, after the edit, and the first
+  // detection landed within a few epochs of the violation building up (the
+  // lag needs tail+slack seconds of starvation to become provable, then
+  // one epoch to be seen; 1.0 s is generous for period_s = 0.1).
+  for (const telemetry::Breach& b : log) {
+    EXPECT_EQ(b.flow, 0u);
+    EXPECT_GT(b.at_s, edit_at);
+  }
+  EXPECT_LT(log.front().at_s - edit_at, 1.0)
+      << "detection took " << log.front().at_s - edit_at << "s";
+
+  // The breach report landed on disk...
+  bool found_report = false;
+  bool found_capture = false;
+  for (const auto& ent : fs::directory_iterator(dir)) {
+    const std::string name = ent.path().filename().string();
+    if (name.rfind("breach_", 0) == 0) found_report = true;
+    if (name.find("_ring.csv") != std::string::npos) found_capture = true;
+  }
+  EXPECT_TRUE(found_report) << "no breach_*.json in " << dir;
+  // ...and the anomaly capture armed the flight recorder. The dump file
+  // only exists when tracing is compiled in (same gate as the PR-4 spill
+  // path); with HFQ_TRACE off the arming is a no-op by design.
+  if (obs::compiled_in()) {
+    EXPECT_TRUE(found_capture) << "no shard ring dump in " << dir;
+  }
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryPlane exposition: the file a scrape reads is well-formed and
+// internally consistent with the run that produced it.
+
+TEST(TelemetryPlane, ExpositionFileParsesAndMatchesRunTotals) {
+  const fs::path prom =
+      fs::temp_directory_path() / "hfq_telemetry_prom_test.txt";
+  fs::remove(prom);
+
+  std::ostringstream tree_text;
+  tree_text << "link 40M\n";
+  for (int f = 0; f < 8; ++f) {
+    tree_text << "s" << f << " " << (40e6 / 8) << " flow=" << f << "\n";
+  }
+  runner::Scenario sc;
+  sc.tree_text = tree_text.str();
+  sc.scheduler = "wf2q+";
+  sc.traffic = "cbr";
+  sc.load = 0.6;
+  sc.duration_s = 0.6;
+  sc.packet_bytes = 500;
+  sc.seed = 5;
+
+  runner::ServeSpec spec;
+  spec.shards = 2;
+  spec.producers = 1;
+  spec.paced = true;
+  spec.telemetry = "monitor";
+  spec.telemetry_period_s = 0.1;
+
+  const serve::ServeRunResult r =
+      serve::run_serve_scenario(sc, spec, nullptr, "", prom.string());
+  EXPECT_TRUE(r.conservation_ok) << r.summary();
+
+  std::ifstream in(prom);
+  ASSERT_TRUE(in.good()) << "no exposition written to " << prom;
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto parsed = telemetry::parse_prometheus(text.str());
+  ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty() ? "" : parsed.errors[0]);
+
+  // The final tick runs after service stop, so the exposed totals are the
+  // run's exact final counters.
+  EXPECT_DOUBLE_EQ(parsed.sum("hfq_shard_delivered_total"),
+                   static_cast<double>(r.delivered));
+  EXPECT_DOUBLE_EQ(parsed.sum("hfq_breaches_total"), 0.0);
+  const auto* seq = parsed.find("hfq_snapshot_seq");
+  ASSERT_NE(seq, nullptr);
+  EXPECT_GE(seq->value, 2.0);
+  const auto* flows = parsed.find("hfq_monitored_flows");
+  ASSERT_NE(flows, nullptr);
+  EXPECT_DOUBLE_EQ(flows->value, 8.0);
+  // Latency summary is present with a full quantile ladder.
+  EXPECT_NE(parsed.find("hfq_latency_seconds", {{"quantile", "0.99"}}),
+            nullptr);
+  EXPECT_NE(parsed.find("hfq_latency_seconds_count"), nullptr);
+  fs::remove(prom);
+}
+
+}  // namespace
+}  // namespace hfq

@@ -1,33 +1,66 @@
 #!/usr/bin/env python3
-"""Per-cell perf-regression guard over BENCH_datapath.json records.
+"""Per-cell perf-regression guard over BENCH_*.json records.
 
-Compares a freshly recorded datapath benchmark against the committed
-baseline, cell by cell — cells match on (impl, pattern, n) — and fails
-(exit 1) if any cell's ns_per_op regressed by more than the tolerance
-(default 15%). Cells present in only one record are reported but do not
-fail the run (new impls / retired impls land through the baseline commit).
+Compares a freshly recorded benchmark against the committed baseline, cell
+by cell, and fails (exit 1) if any cell's ns_per_op regressed by more than
+the tolerance (default 15%). Cells present in only one record are reported
+but do not fail the run (new impls / retired impls land through the
+baseline commit).
+
+Two record schemas are recognized by their cell fields:
+
+  BENCH_datapath.json  cells match on (impl, pattern, n)
+  BENCH_serve.json     cells match on (scenario, shards_total, paced, tree,
+                       telemetry, shard) — `telemetry` distinguishes the
+                       off/counters/monitor overhead cells the sweep's
+                       unpaced 100k grid emits, so a telemetry-hot-path
+                       regression fails the same guard as a scheduler one.
 
     tools/check_bench_regression.py BENCH_datapath.json \
         --baseline <committed BENCH_datapath.json> [--tolerance 0.15]
 
-CI runs this in the datapath-bench job right after recording; the committed
-baseline at the repo root holds reference-box numbers (EXPERIMENTS.md), so
-a same-box re-record inside the tolerance stays green while an algorithmic
-regression — the sorted-insert blowup kind, which is 100x not 15% — fails
-loudly even on a noisy shared runner.
+CI runs this right after recording; the committed baseline at the repo root
+holds reference-box numbers (EXPERIMENTS.md), so a same-box re-record
+inside the tolerance stays green while an algorithmic regression — the
+sorted-insert blowup kind, which is 100x not 15% — fails loudly even on a
+noisy shared runner.
+
+Paced serve cells report wall-clock ns_per_op (pacing-bound, not
+scheduler-bound); --skip-paced drops them so only the unpaced bench cells
+gate.
 """
 
 import argparse
 import json
 import sys
 
+DATAPATH_KEY = ("impl", "pattern", "n")
+SERVE_KEY = ("scenario", "shards_total", "paced", "tree", "telemetry",
+             "shard")
 
-def load_cells(path):
+
+def cell_key(cell):
+    """Schema-sniffing cell identity: datapath cells carry `impl`."""
+    fields = DATAPATH_KEY if "impl" in cell else SERVE_KEY
+    # .get, not [] — pre-telemetry serve baselines lack the field; those
+    # cells key with telemetry=None and still match a re-record that ran
+    # with telemetry off IF the re-record also omits it, otherwise they
+    # surface as NEW/RETIRED rather than crashing the guard.
+    return tuple(cell.get(f) for f in fields)
+
+
+def fmt_key(key):
+    return " ".join("_" if part is None else str(part) for part in key)
+
+
+def load_cells(path, skip_paced=False):
     with open(path) as f:
         record = json.load(f)
     cells = {}
     for cell in record.get("cells", []):
-        key = (cell["impl"], cell["pattern"], cell["n"])
+        if skip_paced and cell.get("paced") is True:
+            continue
+        key = cell_key(cell)
         if key in cells:
             raise SystemExit(f"{path}: duplicate cell {key}")
         cells[key] = cell
@@ -38,27 +71,29 @@ def load_cells(path):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("record", help="freshly recorded BENCH_datapath.json")
+    ap.add_argument("record", help="freshly recorded BENCH_*.json")
     ap.add_argument("--baseline", required=True,
-                    help="committed baseline BENCH_datapath.json")
+                    help="committed baseline BENCH_*.json")
     ap.add_argument("--tolerance", type=float, default=0.15,
                     help="allowed fractional ns/op regression per cell "
                          "(default 0.15)")
+    ap.add_argument("--skip-paced", action="store_true",
+                    help="ignore paced serve cells (wall-clock-bound, not "
+                         "scheduler-bound)")
     args = ap.parse_args()
 
-    new = load_cells(args.record)
-    base = load_cells(args.baseline)
+    new = load_cells(args.record, args.skip_paced)
+    base = load_cells(args.baseline, args.skip_paced)
 
     failures = []
-    for key in sorted(base.keys() | new.keys()):
-        impl, pattern, n = key
+    for key in sorted(base.keys() | new.keys(), key=fmt_key):
+        label = fmt_key(key)
         if key not in base:
-            print(f"  NEW       {impl:8s} {pattern:14s} n={n:<8d} "
+            print(f"  NEW       {label:64s} "
                   f"{new[key]['ns_per_op']:10.1f} ns/op (no baseline)")
             continue
         if key not in new:
-            print(f"  RETIRED   {impl:8s} {pattern:14s} n={n:<8d} "
-                  f"(baseline only)")
+            print(f"  RETIRED   {label:64s} (baseline only)")
             continue
         b = base[key]["ns_per_op"]
         v = new[key]["ns_per_op"]
@@ -66,16 +101,16 @@ def main():
         status = "ok"
         if ratio > 1.0 + args.tolerance:
             status = "REGRESSED"
-            failures.append((key, b, v, ratio))
-        print(f"  {status:9s} {impl:8s} {pattern:14s} n={n:<8d} "
+            failures.append((label, b, v, ratio))
+        print(f"  {status:9s} {label:64s} "
               f"{b:10.1f} -> {v:10.1f} ns/op  ({ratio:5.2f}x)")
 
     if failures:
         print(f"\n{len(failures)} cell(s) regressed beyond "
               f"{args.tolerance:.0%}:", file=sys.stderr)
-        for (impl, pattern, n), b, v, ratio in failures:
-            print(f"  {impl}/{pattern}/n={n}: {b:.1f} -> {v:.1f} ns/op "
-                  f"({ratio:.2f}x)", file=sys.stderr)
+        for label, b, v, ratio in failures:
+            print(f"  {label}: {b:.1f} -> {v:.1f} ns/op ({ratio:.2f}x)",
+                  file=sys.stderr)
         return 1
     print(f"\nall matched cells within {args.tolerance:.0%} of baseline")
     return 0

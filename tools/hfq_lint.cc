@@ -108,6 +108,14 @@ const Rule kRules[] = {
      "and justify every relaxed load with a `// verify:` comment naming the "
      "pairing or why no ordering is needed (see src/serve/mpsc_ring.h); the "
      "model checker proves the protocol (hfq_verify --exhaustive, --mutate)"},
+    {"metrics-in-hot-loop",
+     "string formatting, allocation, or locking inside a shard-side metric "
+     "update hook",
+     "the telemetry hot hooks (on_arrival/on_delivery/on_sched_drop/on_loop/"
+     "observe/record_breach, src/telemetry/shard_telemetry.h) are integer "
+     "bucket math and relaxed single-writer bumps only; label rendering, "
+     "exposition, and anything that formats or blocks runs on the plane "
+     "thread (src/telemetry/plane.cc)"},
 };
 
 struct Finding {
@@ -323,6 +331,18 @@ const std::regex kShardLoopDef(
 // Blocking-synchronization vocabulary forbidden inside those bodies.
 const std::regex kLockVocab(
     R"(\b(std::)?(mutex|timed_mutex|recursive_mutex|shared_mutex|condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|shared_lock)\b|\.\s*(lock|try_lock|unlock|wait|wait_for|wait_until)\s*\()");
+
+// Telemetry metric-update hook definitions (src/telemetry/): the only
+// metric code the shard thread runs per packet / per loop iteration. The
+// always-on budget (≤2% of the datapath, BENCH_serve.json telemetry cells)
+// only holds while these bodies stay in the integer-math + relaxed-bump
+// regime; one std::to_string or mutex wait per packet eats it whole.
+const std::regex kMetricHookDef(
+    R"(\b(bool|void|auto|int)\s+(\w+(<[^>]*>)?::)?(on_arrival|on_delivery|on_sched_drop|on_loop|observe|record_breach)\s*\()");
+// String-building vocabulary forbidden inside those bodies (allocation and
+// locking are matched by kAlloc / kLockVocab; I/O by kIoWrite).
+const std::regex kMetricFormatVocab(
+    R"(\b(std::)?(to_string|ostringstream|stringstream|snprintf|sprintf|vsnprintf|format)\b|\bstd::string\b|\.\s*append\s*\(|\+=\s*")");
 
 // Concurrency-hot definitions for the atomic-ordering rule: the lock-free
 // datapath and the handoff protocols around it (src/serve/mpsc_ring.h,
@@ -589,6 +609,72 @@ void check_shard_loop(const SourceFile& sf,
   }
 }
 
+// Finds telemetry metric-hook *definitions* (kMetricHookDef) and flags any
+// string formatting, allocation, locking, or direct I/O inside the body —
+// same body-walking scheme as check_hot_loop_io. The plane thread
+// (src/telemetry/plane.cc) is where formatting belongs; it avoids these
+// function names on purpose.
+void check_metric_hooks(const SourceFile& sf,
+                        const std::vector<std::vector<std::string>>& disables,
+                        std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < sf.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(sf.code[i], m, kMetricHookDef)) continue;
+    // Walk forward to the opening brace; a `;` first means declaration only.
+    int depth = 0;
+    bool found_open = false;
+    bool is_decl = false;
+    std::size_t body_begin = 0, body_begin_col = 0;
+    for (std::size_t j = i; j < sf.code.size() && !found_open && !is_decl;
+         ++j) {
+      const std::string& c = sf.code[j];
+      for (std::size_t k = j == i
+                               ? static_cast<std::size_t>(m.position(0))
+                               : 0;
+           k < c.size(); ++k) {
+        if (c[k] == '(') ++depth;
+        if (c[k] == ')') --depth;
+        if (depth == 0 && c[k] == ';') {
+          is_decl = true;
+          break;
+        }
+        if (depth == 0 && c[k] == '{') {
+          found_open = true;
+          body_begin = j;
+          body_begin_col = k + 1;
+          break;
+        }
+      }
+    }
+    if (is_decl || !found_open) continue;
+    int braces = 1;
+    for (std::size_t j = body_begin; j < sf.code.size() && braces > 0; ++j) {
+      const std::string& c = sf.code[j];
+      std::size_t from = j == body_begin ? body_begin_col : 0;
+      std::size_t to = c.size();
+      for (std::size_t k = from; k < c.size(); ++k) {
+        if (c[k] == '{') ++braces;
+        if (c[k] == '}') {
+          --braces;
+          if (braces == 0) {
+            to = k;
+            break;
+          }
+        }
+      }
+      const std::string body_part = c.substr(from, to - from);
+      if ((std::regex_search(body_part, kMetricFormatVocab) ||
+           std::regex_search(body_part, kAlloc) ||
+           std::regex_search(body_part, kLockVocab) ||
+           std::regex_search(body_part, kIoWrite)) &&
+          !rule_disabled(disables, j, "metrics-in-hot-loop")) {
+        out.push_back(Finding{sf.rel_path, j + 1, "metrics-in-hot-loop",
+                              trim(sf.raw[j])});
+      }
+    }
+  }
+}
+
 // Finds concurrency-hot *definitions* (kAtomicHotDef) and flags, line by
 // line, any atomic op that defaults its memory_order and any
 // memory_order_relaxed load without a `// verify:` justification nearby —
@@ -820,6 +906,7 @@ int main(int argc, char** argv) {
     check_preconditions(sf, disables, findings);
     check_hot_loop_io(sf, disables, findings);
     check_shard_loop(sf, disables, findings);
+    check_metric_hooks(sf, disables, findings);
     check_atomic_ordering(sf, disables, findings);
   }
 

@@ -36,6 +36,18 @@
 //
 //   hfq_sweep --scenario scenarios/serve_bench.scn --serve --serve-grid \
 //             --serve-duration 2 --bench-out BENCH_serve.json
+//
+// The grid also re-runs its unpaced 100k-session cells with the telemetry
+// plane at "counters" and "monitor" levels (the baseline cells run "off");
+// every cell carries a "telemetry" field so check_bench_regression.py can
+// guard the <=2% telemetry overhead budget alongside the scaling numbers.
+//
+// Telemetry flags (serve mode):
+//   --telemetry off|counters|monitor   override the campaign's level
+//   --prom-out FILE       Prometheus exposition file (atomically replaced
+//                         every plane epoch; scrape mid-run with hfq_top)
+//   --breach-dir DIR      breach reports + flight-recorder captures
+//   --fail-on-breach      non-zero exit if the bound monitor trips
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -60,7 +72,10 @@ void usage(const char* argv0) {
                "          [--trace-dir DIR]\n"
                "          [--serve] [--serve-duration S] [--serve-flows N]\n"
                "          [--serve-grid]\n"
-               "          [--serve-out FILE.jsonl] [--bench-out FILE.json]\n",
+               "          [--serve-out FILE.jsonl] [--bench-out FILE.json]\n"
+               "          [--telemetry off|counters|monitor]\n"
+               "          [--prom-out FILE] [--breach-dir DIR]\n"
+               "          [--fail-on-breach]\n",
                argv0);
 }
 
@@ -101,11 +116,20 @@ void print_summary(const CampaignResult& result) {
 // the service itself is the multi-threaded part). Returns a process exit
 // code: non-zero on any conservation violation, faulted shard, splice
 // failure, or scenario error.
+struct ServeTelemetryOpts {
+  std::string level;       // "" = keep the campaign's serve-telemetry
+  std::string prom_out;    // exposition file path
+  std::string breach_dir;  // breach reports + capture dumps
+  bool fail_on_breach = false;
+};
+
 int run_serve_mode(hfq::runner::CampaignSpec spec, double serve_duration,
                    int serve_flows, bool serve_grid,
                    const std::string& serve_out,
-                   const std::string& bench_out, const std::string& trace_dir) {
+                   const std::string& bench_out, const std::string& trace_dir,
+                   const ServeTelemetryOpts& tele) {
   if (serve_duration > 0.0) spec.duration_s = serve_duration;
+  if (!tele.level.empty()) spec.serve.telemetry = tele.level;
   if (serve_flows > 0 && !serve_grid) {
     // CI-friendly override: one flat tree with serve_flows sessions.
     spec.trees.clear();
@@ -124,12 +148,25 @@ int run_serve_mode(hfq::runner::CampaignSpec spec, double serve_duration,
           hfq::runner::CampaignSpec cell = spec;
           cell.serve.shards = shards;
           cell.serve.paced = paced;
+          cell.serve.telemetry = "off";  // datapath baseline
           cell.serve.edits.clear();  // datapath scaling, not control plane
           cell.trees.clear();
           cell.trees.push_back(hfq::runner::CampaignSpec::Tree{
               "flat" + std::to_string(flows),
               hfq::runner::synth_tree(flows, 1, 1e9)});
-          specs.push_back(std::move(cell));
+          // Telemetry overhead cells: the unpaced 100k-session cells (the
+          // scheduler-bound ones, where per-packet overhead is visible)
+          // re-run with counters and with the full bound monitor. The <=2%
+          // budget is judged on these against the "off" twin.
+          if (!paced && flows == 100000) {
+            for (const char* level : {"off", "counters", "monitor"}) {
+              hfq::runner::CampaignSpec tcell = cell;
+              tcell.serve.telemetry = level;
+              specs.push_back(std::move(tcell));
+            }
+          } else {
+            specs.push_back(std::move(cell));
+          }
         }
       }
     }
@@ -176,13 +213,20 @@ int run_serve_mode(hfq::runner::CampaignSpec spec, double serve_duration,
         cell_spec.serve.paced ? "" : " [bench/unpaced]");
     for (const auto& sc : scenarios) {
       try {
-        const hfq::serve::ServeRunResult r =
-            hfq::serve::run_serve_scenario(sc, cell_spec.serve, stats_sink,
-                                           trace_dir);
+        const hfq::serve::ServeRunResult r = hfq::serve::run_serve_scenario(
+            sc, cell_spec.serve, stats_sink, trace_dir, tele.prom_out,
+            tele.breach_dir);
         std::printf("%5zu  %-36s %s\n", sc.index, sc.label().c_str(),
                     r.summary().c_str());
         if (!r.conservation_ok || r.faulted_shards > 0 ||
             r.splice_failures > 0) {
+          ++failed;
+        }
+        if (tele.fail_on_breach && r.breaches > 0) {
+          std::fprintf(stderr,
+                       "%5zu  %-36s BREACH: %llu guarantee violation(s)\n",
+                       sc.index, sc.label().c_str(),
+                       static_cast<unsigned long long>(r.breaches));
           ++failed;
         }
         if (bench.is_open()) {
@@ -205,6 +249,7 @@ int run_serve_mode(hfq::runner::CampaignSpec spec, double serve_duration,
                     << ", \"paced\": "
                     << (cell_spec.serve.paced ? "true" : "false")
                     << ", \"tree\": \"" << cell_spec.trees.front().name
+                    << "\", \"telemetry\": \"" << cell_spec.serve.telemetry
                     << "\", ";
             }
             bench << "\"shard\": " << s << ", \"delivered\": " << n
@@ -249,6 +294,7 @@ int main(int argc, char** argv) {
   int serve_flows = 0;          // 0 = campaign trees
   std::string serve_out;
   std::string bench_out;
+  ServeTelemetryOpts tele;
 
   for (int i = 1; i < argc; ++i) {
     auto value = [&]() -> const char* {
@@ -284,6 +330,19 @@ int main(int argc, char** argv) {
       serve_out = value();
     } else if (std::strcmp(argv[i], "--bench-out") == 0) {
       bench_out = value();
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      tele.level = value();
+      if (tele.level != "off" && tele.level != "counters" &&
+          tele.level != "monitor") {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--prom-out") == 0) {
+      tele.prom_out = value();
+    } else if (std::strcmp(argv[i], "--breach-dir") == 0) {
+      tele.breach_dir = value();
+    } else if (std::strcmp(argv[i], "--fail-on-breach") == 0) {
+      tele.fail_on_breach = true;
     } else {
       usage(argv[0]);
       return 2;
@@ -304,7 +363,7 @@ int main(int argc, char** argv) {
     }
     if (serve) {
       return run_serve_mode(spec, serve_duration, serve_flows, serve_grid,
-                            serve_out, bench_out, trace_dir);
+                            serve_out, bench_out, trace_dir, tele);
     }
     const CampaignResult result =
         hfq::runner::run_campaign(spec, jobs, only_shard, trace_dir);

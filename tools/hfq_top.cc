@@ -1,0 +1,247 @@
+// hfq_top — terminal dashboard and CI scrape check for the telemetry plane.
+//
+// Reads the Prometheus exposition file the service publishes (atomically,
+// via rename) and renders a one-screen summary: per-shard throughput and
+// backlog, merged latency quantiles, bound-monitor state, and the breach
+// ledger. Three modes:
+//
+//   hfq_top --prom <path>                 one snapshot, pretty-printed
+//   hfq_top --prom <path> --follow [-i s] redraw every interval (default 1s)
+//   hfq_top --prom <path> --check         CI primitive: parse strictly, exit
+//                                         non-zero on any parse error or a
+//                                         nonzero hfq_breaches_total
+//
+// --check is what the serve-soak CI job runs mid-soak: it proves the
+// exposition is well-formed AND that a conforming workload produced zero
+// guarantee breaches. `--allow-breaches` relaxes the second assertion for
+// fault-injection runs where breaches are the expected outcome.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/prometheus.h"
+
+namespace {
+
+using hfq::telemetry::LabelSet;
+using hfq::telemetry::PromParseResult;
+using hfq::telemetry::PromSample;
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --prom <file> [--follow] [--interval <s>] [--check]\n"
+      "          [--allow-breaches] [--max-iters <n>]\n"
+      "\n"
+      "  --prom <file>      Prometheus exposition file written by the\n"
+      "                     telemetry plane (hfq_sweep --serve --prom-out).\n"
+      "  --follow           redraw until interrupted (or --max-iters).\n"
+      "  --interval <s>     refresh period in --follow mode (default 1.0).\n"
+      "  --max-iters <n>    stop --follow after n redraws (for scripting).\n"
+      "  --check            machine mode: parse strictly, print one summary\n"
+      "                     line, exit 1 on parse errors, 2 on breaches,\n"
+      "                     3 when the file is missing/empty.\n"
+      "  --allow-breaches   --check tolerates nonzero hfq_breaches_total.\n",
+      argv0);
+}
+
+double value_or(const PromParseResult& r, const std::string& name,
+                double fallback) {
+  const PromSample* s = r.find(name);
+  return s != nullptr ? s->value : fallback;
+}
+
+double shard_value(const PromParseResult& r, const std::string& name,
+                   std::uint32_t shard) {
+  const PromSample* s = r.find(name, {{"shard", std::to_string(shard)}});
+  return s != nullptr ? s->value : 0.0;
+}
+
+std::size_t count_shards(const PromParseResult& r) {
+  std::size_t n = 0;
+  for (const PromSample& s : r.samples) {
+    if (s.name != "hfq_shard_delivered_total") continue;
+    for (const auto& [k, v] : s.labels) {
+      if (k == "shard") {
+        n = std::max(n, static_cast<std::size_t>(std::stoull(v)) + 1);
+      }
+    }
+  }
+  return n;
+}
+
+std::string quantile_row(const PromParseResult& r, const std::string& name) {
+  std::ostringstream os;
+  for (const char* q : {"0.5", "0.9", "0.99", "0.999"}) {
+    const PromSample* s = r.find(name, {{"quantile", q}});
+    os << "  p" << q;
+    if (s != nullptr) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "=%.6g", s->value);
+      os << buf;
+    } else {
+      os << "=?";
+    }
+  }
+  return os.str();
+}
+
+// One full-screen render of a parsed snapshot. Uses plain text (no cursor
+// addressing) so output is pipeable; --follow prefixes a form feed.
+void render(const PromParseResult& r) {
+  const double seq = value_or(r, "hfq_snapshot_seq", 0.0);
+  const double clock_s = value_or(r, "hfq_service_clock_seconds", 0.0);
+  const double breaches = value_or(r, "hfq_breaches_total", 0.0);
+  std::printf("hfq_top  snapshot=%.0f  service-clock=%.3fs  breaches=%.0f%s\n",
+              seq, clock_s, breaches, breaches > 0.0 ? "  << BREACH" : "");
+
+  const std::size_t shards = count_shards(r);
+  std::printf("\n%5s %12s %12s %10s %10s %8s %7s %s\n", "shard", "delivered",
+              "ingested", "backlog", "drops", "epochs", "delayBr", "state");
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const double drops = shard_value(r, "hfq_shard_ring_drops_total", s) +
+                         shard_value(r, "hfq_shard_edit_drops_total", s) +
+                         shard_value(r, "hfq_sched_dropped_packets_total", s);
+    const bool faulted = shard_value(r, "hfq_shard_faulted", s) != 0.0;
+    std::printf("%5u %12.0f %12.0f %10.0f %10.0f %8.0f %7.0f %s\n", s,
+                shard_value(r, "hfq_shard_delivered_total", s),
+                shard_value(r, "hfq_shard_ingested_total", s),
+                shard_value(r, "hfq_shard_backlog_packets", s), drops,
+                shard_value(r, "hfq_shard_epoch_total", s),
+                shard_value(r, "hfq_delay_breaches_total", s),
+                faulted ? "FAULTED" : "ok");
+  }
+
+  if (r.find("hfq_latency_seconds_count") != nullptr) {
+    std::printf("\nlatency  (s, sampled 1/8):%s  n=%.0f\n",
+                quantile_row(r, "hfq_latency_seconds").c_str(),
+                value_or(r, "hfq_latency_seconds_count", 0.0));
+  }
+  if (r.find("hfq_backlog_packets_count") != nullptr) {
+    std::printf("backlog  (pkts, per-loop):%s  n=%.0f\n",
+                quantile_row(r, "hfq_backlog_packets").c_str(),
+                value_or(r, "hfq_backlog_packets_count", 0.0));
+  }
+
+  if (r.find("hfq_monitored_flows") != nullptr) {
+    std::printf(
+        "\nmonitor  flows=%.0f classes=%.0f spans=%.0f evals=%.0f "
+        "flow-lag=%.0f class-lag=%.0f\n",
+        value_or(r, "hfq_monitored_flows", 0.0),
+        value_or(r, "hfq_monitored_classes", 0.0),
+        value_or(r, "hfq_lag_spans_active", 0.0),
+        value_or(r, "hfq_monitor_evaluations_total", 0.0),
+        value_or(r, "hfq_flow_lag_breaches_total", 0.0),
+        value_or(r, "hfq_class_lag_breaches_total", 0.0));
+  }
+}
+
+bool slurp(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream os;
+  os << in.rdbuf();
+  out = os.str();
+  return !out.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string prom_path;
+  bool follow = false;
+  bool check = false;
+  bool allow_breaches = false;
+  double interval_s = 1.0;
+  long max_iters = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--prom") == 0) {
+      prom_path = value();
+    } else if (std::strcmp(argv[i], "--follow") == 0) {
+      follow = true;
+    } else if (std::strcmp(argv[i], "--interval") == 0 ||
+               std::strcmp(argv[i], "-i") == 0) {
+      interval_s = std::atof(value());
+      if (interval_s <= 0.0) interval_s = 1.0;
+    } else if (std::strcmp(argv[i], "--max-iters") == 0) {
+      max_iters = std::atol(value());
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--allow-breaches") == 0) {
+      allow_breaches = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (prom_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  if (check) {
+    std::string text;
+    if (!slurp(prom_path, text)) {
+      std::fprintf(stderr, "hfq_top --check: cannot read %s\n",
+                   prom_path.c_str());
+      return 3;
+    }
+    const PromParseResult r = hfq::telemetry::parse_prometheus(text);
+    const double breaches = value_or(r, "hfq_breaches_total", 0.0);
+    std::printf(
+        "hfq_top --check: snapshot=%.0f families=%zu samples=%zu "
+        "parse-errors=%zu breaches=%.0f\n",
+        value_or(r, "hfq_snapshot_seq", 0.0), r.families.size(),
+        r.samples.size(), r.errors.size(), breaches);
+    for (const std::string& e : r.errors) {
+      std::fprintf(stderr, "  parse error: %s\n", e.c_str());
+    }
+    if (!r.ok()) return 1;
+    if (breaches > 0.0 && !allow_breaches) return 2;
+    return 0;
+  }
+
+  long iter = 0;
+  do {
+    std::string text;
+    if (!slurp(prom_path, text)) {
+      if (!follow) {
+        std::fprintf(stderr, "hfq_top: cannot read %s\n", prom_path.c_str());
+        return 1;
+      }
+      std::printf("hfq_top: waiting for %s ...\n", prom_path.c_str());
+    } else {
+      const PromParseResult r = hfq::telemetry::parse_prometheus(text);
+      if (follow) std::printf("\f");
+      render(r);
+      for (const std::string& e : r.errors) {
+        std::fprintf(stderr, "parse error: %s\n", e.c_str());
+      }
+      std::fflush(stdout);
+    }
+    if (!follow) break;
+    ++iter;
+    if (max_iters >= 0 && iter >= max_iters) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+  } while (true);
+  return 0;
+}
